@@ -1,0 +1,273 @@
+//! Gaussian-process regression with a squared-exponential ARD kernel.
+
+/// GP hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct GpConfig {
+    /// Signal variance `σ_f²`.
+    pub signal_variance: f64,
+    /// Per-dimension length scales (ARD). Scalar broadcast when length 1.
+    pub length_scales: Vec<f64>,
+    /// Observation noise variance `σ_n²` added to the kernel diagonal.
+    pub noise_variance: f64,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig { signal_variance: 1.0, length_scales: vec![0.3], noise_variance: 1e-3 }
+    }
+}
+
+impl GpConfig {
+    fn length_scale(&self, dim: usize) -> f64 {
+        if self.length_scales.len() == 1 {
+            self.length_scales[0]
+        } else {
+            self.length_scales[dim]
+        }
+    }
+
+    /// SE-ARD kernel value.
+    pub fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut s = 0.0;
+        for (d, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            let l = self.length_scale(d);
+            let diff = (x - y) / l;
+            s += diff * diff;
+        }
+        self.signal_variance * (-0.5 * s).exp()
+    }
+}
+
+/// A fitted Gaussian process (zero prior mean over centred targets).
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    config: GpConfig,
+    x: Vec<Vec<f64>>,
+    /// Cholesky factor L of K + σ²I (lower triangular, row-major packed).
+    chol: Vec<f64>,
+    /// α = (K + σ²I)⁻¹ (y - mean).
+    alpha: Vec<f64>,
+    y_mean: f64,
+}
+
+impl GaussianProcess {
+    /// Fit on observations. Jitter is escalated automatically if the
+    /// Cholesky factorization fails.
+    pub fn fit(x: Vec<Vec<f64>>, y: &[f64], config: GpConfig) -> GaussianProcess {
+        assert!(!x.is_empty(), "GP needs at least one observation");
+        assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let centred: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+
+        let mut k = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = config.kernel(&x[i], &x[j]);
+                k[i * n + j] = v;
+                k[j * n + i] = v;
+            }
+        }
+        let mut jitter = config.noise_variance.max(1e-10);
+        let chol = loop {
+            let mut kj = k.clone();
+            for i in 0..n {
+                kj[i * n + i] += jitter;
+            }
+            if let Some(l) = cholesky(&kj, n) {
+                break l;
+            }
+            jitter *= 10.0;
+            assert!(jitter < 1e3, "kernel matrix irreparably non-PSD");
+        };
+        let alpha = chol_solve(&chol, n, &centred);
+        GaussianProcess { config, x, chol, alpha, y_mean }
+    }
+
+    /// Posterior mean and variance at a point.
+    pub fn predict(&self, p: &[f64]) -> (f64, f64) {
+        let n = self.x.len();
+        let kstar: Vec<f64> = self.x.iter().map(|xi| self.config.kernel(xi, p)).collect();
+        let mean =
+            self.y_mean + kstar.iter().zip(self.alpha.iter()).map(|(a, b)| a * b).sum::<f64>();
+        // v = L⁻¹ k*; var = k(p,p) - vᵀv.
+        let v = forward_sub(&self.chol, n, &kstar);
+        let var = self.config.kernel(p, p) - v.iter().map(|x| x * x).sum::<f64>();
+        (mean, var.max(1e-12))
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether no observations exist (never true for a fitted GP).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Expected Improvement for *minimization* below `best` at `p`, with
+    /// exploration jitter `xi`.
+    pub fn expected_improvement(&self, p: &[f64], best: f64, xi: f64) -> f64 {
+        let (mu, var) = self.predict(p);
+        let sigma = var.sqrt();
+        if sigma < 1e-12 {
+            return 0.0;
+        }
+        let improvement = best - mu - xi;
+        let z = improvement / sigma;
+        improvement * phi_cdf(z) + sigma * phi_pdf(z)
+    }
+}
+
+/// Dense Cholesky `A = L Lᵀ`; returns `None` if A is not positive definite.
+fn cholesky(a: &[f64], n: usize) -> Option<Vec<f64>> {
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solve `L z = b` (forward substitution).
+fn forward_sub(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    let mut z = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * z[k];
+        }
+        z[i] = sum / l[i * n + i];
+    }
+    z
+}
+
+/// Solve `(L Lᵀ) x = b`.
+fn chol_solve(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    let z = forward_sub(l, n, b);
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = z[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    x
+}
+
+fn phi_pdf(z: f64) -> f64 {
+    (-(z * z) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+fn phi_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gp_interpolates_observations() {
+        let x = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let y = vec![1.0, 2.0, 0.5];
+        let gp = GaussianProcess::fit(x.clone(), &y, GpConfig::default());
+        for (xi, yi) in x.iter().zip(y.iter()) {
+            let (mu, var) = gp.predict(xi);
+            assert!((mu - yi).abs() < 0.1, "mean {mu} vs obs {yi}");
+            assert!(var < 0.05, "variance at observation: {var}");
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let x = vec![vec![0.0], vec![0.1]];
+        let y = vec![0.0, 0.1];
+        let gp = GaussianProcess::fit(x, &y, GpConfig::default());
+        let (_, v_near) = gp.predict(&[0.05]);
+        let (_, v_far) = gp.predict(&[3.0]);
+        assert!(v_far > 10.0 * v_near, "near {v_near} far {v_far}");
+    }
+
+    #[test]
+    fn far_predictions_revert_to_mean() {
+        let x = vec![vec![0.0], vec![0.2], vec![0.4]];
+        let y = vec![5.0, 7.0, 6.0];
+        let gp = GaussianProcess::fit(x, &y, GpConfig::default());
+        let (mu, _) = gp.predict(&[100.0]);
+        assert!((mu - 6.0).abs() < 1e-6, "{mu}");
+    }
+
+    #[test]
+    fn ei_prefers_promising_regions() {
+        // Observations descending toward x=1; EI at the frontier should
+        // beat EI in the well-explored bad region.
+        let x = vec![vec![0.0], vec![0.3], vec![0.6]];
+        let y = vec![3.0, 2.0, 1.0];
+        let gp = GaussianProcess::fit(x, &y, GpConfig::default());
+        let ei_frontier = gp.expected_improvement(&[0.9], 1.0, 0.0);
+        let ei_bad = gp.expected_improvement(&[0.0], 1.0, 0.0);
+        assert!(ei_frontier > ei_bad, "frontier {ei_frontier} vs bad {ei_bad}");
+        assert!(ei_frontier > 0.0);
+    }
+
+    #[test]
+    fn ei_is_nonnegative() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0.0, 1.0];
+        let gp = GaussianProcess::fit(x, &y, GpConfig::default());
+        for p in [-1.0, 0.0, 0.25, 0.5, 0.75, 1.0, 2.0] {
+            assert!(gp.expected_improvement(&[p], 0.0, 0.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_do_not_break_factorization() {
+        let x = vec![vec![0.5], vec![0.5], vec![0.5]];
+        let y = vec![1.0, 1.1, 0.9];
+        let gp = GaussianProcess::fit(x, &y, GpConfig::default());
+        let (mu, _) = gp.predict(&[0.5]);
+        assert!((mu - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn ard_length_scales_weight_dimensions() {
+        let cfg = GpConfig {
+            signal_variance: 1.0,
+            length_scales: vec![0.1, 10.0],
+            noise_variance: 1e-6,
+        };
+        // Moving along the short-scale dim decorrelates fast.
+        let k_dim0 = cfg.kernel(&[0.0, 0.0], &[0.3, 0.0]);
+        let k_dim1 = cfg.kernel(&[0.0, 0.0], &[0.0, 0.3]);
+        assert!(k_dim0 < 0.05);
+        assert!(k_dim1 > 0.99);
+    }
+}

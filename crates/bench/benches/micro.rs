@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks.
+//!
+//! The headline number is `lite/recommend`: the paper claims LITE makes
+//! recommendations in under two seconds; this bench measures the full
+//! Step 1–3 path (ACG sampling + NECS ranking of 30 candidates).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lite_core::experiment::{DatasetBuilder, PredictionContext};
+use lite_core::necs::NecsConfig;
+use lite_core::recommend::LiteTuner;
+use lite_sparksim::cluster::ClusterSpec;
+use lite_sparksim::conf::ConfSpace;
+use lite_sparksim::exec::simulate;
+use lite_workloads::apps::{build_job, AppId};
+use lite_workloads::data::SizeTier;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let cluster = ClusterSpec::cluster_c();
+    let space = ConfSpace::table_iv();
+    let conf = space.default_conf();
+    let plan = build_job(AppId::KMeans, &AppId::KMeans.dataset(SizeTier::Valid));
+    c.bench_function("sparksim/kmeans_valid_run", |b| {
+        b.iter(|| black_box(simulate(&cluster, &conf, &plan, 1)))
+    });
+}
+
+fn bench_conf_space(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let space = ConfSpace::table_iv();
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("conf/sample_encode_decode", |b| {
+        b.iter(|| {
+            let conf = space.sample(&mut rng);
+            let u = conf.normalized(&space);
+            black_box(space.decode(&u))
+        })
+    });
+}
+
+fn bench_lite(c: &mut Criterion) {
+    // Small but real LITE system (reduced epochs: we measure inference,
+    // not training quality).
+    let ds = DatasetBuilder {
+        apps: vec![AppId::KMeans, AppId::PageRank, AppId::Sort],
+        clusters: vec![ClusterSpec::cluster_c()],
+        tiers: vec![SizeTier::Train(0), SizeTier::Train(2)],
+        confs_per_cell: 3,
+        seed: 5,
+    }
+    .build();
+    let tuner = LiteTuner::from_dataset(
+        &ds,
+        NecsConfig { epochs: 4, batch_size: 512, ..Default::default() },
+        5,
+    );
+    let cluster = ClusterSpec::cluster_c();
+    let data = AppId::KMeans.dataset(SizeTier::Test);
+
+    // The paper's "< 2 s" claim: full recommendation (ACG + 30-candidate
+    // NECS ranking).
+    c.bench_function("lite/recommend", |b| {
+        b.iter(|| black_box(tuner.recommend(AppId::KMeans, &data, &cluster, 7).unwrap()))
+    });
+
+    // NECS single-app prediction.
+    let ctx = PredictionContext::warm(&tuner.registry, AppId::KMeans, &data, &cluster).unwrap();
+    let conf = ds.space.default_conf();
+    c.bench_function("necs/predict_app", |b| {
+        b.iter(|| black_box(tuner.model.predict_app(&tuner.registry, &ctx, &conf)))
+    });
+}
+
+fn bench_forest(c: &mut Criterion) {
+    use lite_forest::gbdt::{GbdtConfig, GbdtRegressor};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(2);
+    let x: Vec<Vec<f64>> =
+        (0..500).map(|_| (0..20).map(|_| rng.gen::<f64>()).collect()).collect();
+    let y: Vec<f64> = x.iter().map(|r| r.iter().sum::<f64>()).collect();
+    let cfg = GbdtConfig { num_rounds: 40, ..Default::default() };
+    c.bench_function("forest/gbdt_fit_500x20", |b| {
+        b.iter(|| black_box(GbdtRegressor::fit(&x, &y, &cfg)))
+    });
+    let model = GbdtRegressor::fit(&x, &y, &cfg);
+    c.bench_function("forest/gbdt_predict", |b| b.iter(|| black_box(model.predict(&x[0]))));
+}
+
+fn bench_gp(c: &mut Criterion) {
+    use lite_bayesopt::gp::{GaussianProcess, GpConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(3);
+    let x: Vec<Vec<f64>> =
+        (0..60).map(|_| (0..16).map(|_| rng.gen::<f64>()).collect()).collect();
+    let y: Vec<f64> = x.iter().map(|r| r[0] * 3.0 - r[1]).collect();
+    c.bench_function("gp/fit_60x16", |b| {
+        b.iter(|| black_box(GaussianProcess::fit(x.clone(), &y, GpConfig::default())))
+    });
+    let gp = GaussianProcess::fit(x.clone(), &y, GpConfig::default());
+    c.bench_function("gp/ei", |b| b.iter(|| black_box(gp.expected_improvement(&x[0], 0.0, 0.01))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulator, bench_conf_space, bench_lite, bench_forest, bench_gp
+}
+criterion_main!(benches);

@@ -1,0 +1,332 @@
+//! The DDPG agent: actor, critic, target networks, replay buffer,
+//! Ornstein–Uhlenbeck exploration noise.
+
+use lite_nn::init::rng;
+use lite_nn::layers::Dense;
+use lite_nn::optim::Adam;
+use lite_nn::tape::{ParamId, Params, Tape, Var};
+use lite_nn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+/// Agent hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DdpgConfig {
+    /// State dimensionality.
+    pub state_dim: usize,
+    /// Action dimensionality (here: number of knobs).
+    pub action_dim: usize,
+    /// Hidden width of actor/critic MLPs.
+    pub hidden: usize,
+    /// Discount factor.
+    pub gamma: f32,
+    /// Soft target-update rate.
+    pub tau: f32,
+    /// Actor learning rate.
+    pub actor_lr: f32,
+    /// Critic learning rate.
+    pub critic_lr: f32,
+    /// Replay-buffer capacity.
+    pub buffer_capacity: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// OU noise stiffness.
+    pub ou_theta: f32,
+    /// OU noise scale.
+    pub ou_sigma: f32,
+}
+
+impl DdpgConfig {
+    /// Defaults matching a CDBTune-scale setup.
+    pub fn new(state_dim: usize, action_dim: usize) -> DdpgConfig {
+        DdpgConfig {
+            state_dim,
+            action_dim,
+            hidden: 64,
+            gamma: 0.9,
+            tau: 0.01,
+            actor_lr: 1e-3,
+            critic_lr: 1e-3,
+            buffer_capacity: 4096,
+            batch_size: 16,
+            ou_theta: 0.15,
+            ou_sigma: 0.2,
+        }
+    }
+}
+
+/// One replay transition.
+#[derive(Debug, Clone)]
+struct Transition {
+    state: Vec<f32>,
+    action: Vec<f32>,
+    reward: f32,
+    next_state: Vec<f32>,
+    done: bool,
+}
+
+/// A two-layer MLP head used for both actor and critic.
+#[derive(Debug, Clone)]
+struct Mlp2 {
+    l1: Dense,
+    l2: Dense,
+    out: Dense,
+}
+
+impl Mlp2 {
+    fn new(params: &mut Params, name: &str, input: usize, hidden: usize, output: usize, r: &mut StdRng) -> Mlp2 {
+        Mlp2 {
+            l1: Dense::new(params, &format!("{name}.l1"), input, hidden, r),
+            l2: Dense::new(params, &format!("{name}.l2"), hidden, hidden, r),
+            out: Dense::new(params, &format!("{name}.out"), hidden, output, r),
+        }
+    }
+
+    fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
+        let h = self.l1.forward(tape, params, x);
+        let h = tape.relu(h);
+        let h = self.l2.forward(tape, params, h);
+        let h = tape.relu(h);
+        self.out.forward(tape, params, h)
+    }
+
+    fn param_ids(&self) -> [ParamId; 6] {
+        [self.l1.w, self.l1.b, self.l2.w, self.l2.b, self.out.w, self.out.b]
+    }
+}
+
+/// The DDPG agent.
+pub struct DdpgAgent {
+    /// Agent configuration.
+    pub config: DdpgConfig,
+    params: Params,
+    target_params: Params,
+    actor: Mlp2,
+    critic: Mlp2,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    buffer: Vec<Transition>,
+    buffer_pos: usize,
+    ou_state: Vec<f32>,
+    rng: StdRng,
+}
+
+impl DdpgAgent {
+    /// New agent with seeded initialization.
+    pub fn new(config: DdpgConfig, seed: u64) -> DdpgAgent {
+        let mut r = rng(seed);
+        let mut params = Params::new();
+        let actor = Mlp2::new(&mut params, "actor", config.state_dim, config.hidden, config.action_dim, &mut r);
+        let critic = Mlp2::new(
+            &mut params,
+            "critic",
+            config.state_dim + config.action_dim,
+            config.hidden,
+            1,
+            &mut r,
+        );
+        let target_params = params.clone();
+        DdpgAgent {
+            config,
+            params,
+            target_params,
+            actor,
+            critic,
+            actor_opt: Adam::new(config.actor_lr),
+            critic_opt: Adam::new(config.critic_lr),
+            buffer: Vec::new(),
+            buffer_pos: 0,
+            ou_state: vec![0.0; config.action_dim],
+            rng: StdRng::seed_from_u64(seed ^ 0xddb6),
+        }
+    }
+
+    fn actor_forward(&self, tape: &mut Tape, params: &Params, state: Var) -> Var {
+        let raw = self.actor.forward(tape, params, state);
+        tape.sigmoid(raw) // actions live in [0,1]^D
+    }
+
+    fn critic_forward(&self, tape: &mut Tape, params: &Params, state: Var, action: Var) -> Var {
+        let sa = tape.concat_cols(&[state, action]);
+        self.critic.forward(tape, params, sa)
+    }
+
+    /// Deterministic policy action for a state.
+    pub fn act(&self, state: &[f32]) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let s = tape.leaf(Tensor::row_vector(state.to_vec()));
+        let a = self.actor_forward(&mut tape, &self.params, s);
+        tape.value(a).data().to_vec()
+    }
+
+    /// Policy action plus OU exploration noise, clamped to `[0,1]`.
+    pub fn act_noisy(&mut self, state: &[f32]) -> Vec<f32> {
+        let mut a = self.act(state);
+        let normal = Normal::new(0.0, 1.0).expect("unit normal");
+        for (ai, ou) in a.iter_mut().zip(self.ou_state.iter_mut()) {
+            let dx = -self.config.ou_theta * *ou
+                + self.config.ou_sigma * normal.sample(&mut self.rng) as f32;
+            *ou += dx;
+            *ai = (*ai + *ou).clamp(0.0, 1.0);
+        }
+        a
+    }
+
+    /// Store a transition in the replay buffer.
+    pub fn remember(&mut self, state: &[f32], action: &[f32], reward: f32, next_state: &[f32], done: bool) {
+        let t = Transition {
+            state: state.to_vec(),
+            action: action.to_vec(),
+            reward,
+            next_state: next_state.to_vec(),
+            done,
+        };
+        if self.buffer.len() < self.config.buffer_capacity {
+            self.buffer.push(t);
+        } else {
+            self.buffer[self.buffer_pos] = t;
+            self.buffer_pos = (self.buffer_pos + 1) % self.config.buffer_capacity;
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn buffer_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// One gradient update on a replay minibatch (no-op until the buffer
+    /// holds a full batch), followed by a soft target update.
+    pub fn train_step(&mut self) {
+        let b = self.config.batch_size;
+        if self.buffer.len() < b {
+            return;
+        }
+        let idx: Vec<usize> = (0..b).map(|_| self.rng.gen_range(0..self.buffer.len())).collect();
+
+        let sd = self.config.state_dim;
+        let ad = self.config.action_dim;
+        let mut states = Tensor::zeros(b, sd);
+        let mut actions = Tensor::zeros(b, ad);
+        let mut next_states = Tensor::zeros(b, sd);
+        let mut targets = Tensor::zeros(b, 1);
+        for (r, &i) in idx.iter().enumerate() {
+            let t = &self.buffer[i];
+            states.row_mut(r).copy_from_slice(&t.state);
+            actions.row_mut(r).copy_from_slice(&t.action);
+            next_states.row_mut(r).copy_from_slice(&t.next_state);
+        }
+        // Q-targets from the target networks.
+        {
+            let mut tape = Tape::new();
+            let ns = tape.leaf(next_states.clone());
+            let na = self.actor_forward(&mut tape, &self.target_params, ns);
+            let nq = self.critic_forward(&mut tape, &self.target_params, ns, na);
+            for (r, &i) in idx.iter().enumerate() {
+                let t = &self.buffer[i];
+                let bootstrap =
+                    if t.done { 0.0 } else { self.config.gamma * tape.value(nq).get(r, 0) };
+                targets.set(r, 0, t.reward + bootstrap);
+            }
+        }
+        // Critic update: minimize TD error.
+        {
+            let mut tape = Tape::new();
+            let s = tape.leaf(states.clone());
+            let a = tape.leaf(actions);
+            let q = self.critic_forward(&mut tape, &self.params, s, a);
+            let loss = tape.mse_loss(q, &targets);
+            tape.backward(loss, &mut self.params);
+            // Zero out actor gradients: the critic step must not move the
+            // actor even though both live in one store.
+            for id in self.actor.param_ids() {
+                self.params.grad_mut(id).zero_();
+            }
+            self.critic_opt.step(&mut self.params);
+        }
+        // Actor update: ascend Q(s, π(s)).
+        {
+            let mut tape = Tape::new();
+            let s = tape.leaf(states);
+            let a = self.actor_forward(&mut tape, &self.params, s);
+            let q = self.critic_forward(&mut tape, &self.params, s, a);
+            // Minimize -mean(Q).
+            let neg_q = tape.scale(q, -1.0);
+            let loss = tape.mean(neg_q);
+            tape.backward(loss, &mut self.params);
+            for id in self.critic.param_ids() {
+                self.params.grad_mut(id).zero_();
+            }
+            self.actor_opt.step(&mut self.params);
+        }
+        // Soft target update.
+        let tau = self.config.tau;
+        for i in 0..self.params.len() {
+            let id = ParamId(i);
+            let src = self.params.value(id).clone();
+            let dst = self.target_params.value_mut(id);
+            for (d, s) in dst.data_mut().iter_mut().zip(src.data().iter()) {
+                *d = (1.0 - tau) * *d + tau * s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_live_in_unit_cube() {
+        let mut agent = DdpgAgent::new(DdpgConfig::new(4, 3), 1);
+        let state = vec![0.5, -1.0, 2.0, 0.0];
+        let a = agent.act(&state);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|v| (0.0..=1.0).contains(v)));
+        let noisy = agent.act_noisy(&state);
+        assert!(noisy.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn buffer_wraps_at_capacity() {
+        let mut cfg = DdpgConfig::new(2, 2);
+        cfg.buffer_capacity = 4;
+        let mut agent = DdpgAgent::new(cfg, 2);
+        for i in 0..10 {
+            agent.remember(&[i as f32, 0.0], &[0.5, 0.5], 0.0, &[0.0, 0.0], false);
+        }
+        assert_eq!(agent.buffer_len(), 4);
+    }
+
+    #[test]
+    fn train_step_is_noop_until_batch_full() {
+        let mut agent = DdpgAgent::new(DdpgConfig::new(2, 2), 3);
+        let before = agent.act(&[0.1, 0.2]);
+        agent.train_step();
+        assert_eq!(agent.act(&[0.1, 0.2]), before);
+    }
+
+    #[test]
+    fn agent_learns_a_one_step_bandit() {
+        // Reward = -|a0 - 0.8|: optimal action has a0 = 0.8, independent of
+        // state. After training, the policy should move toward it.
+        let mut cfg = DdpgConfig::new(2, 1);
+        cfg.batch_size = 32;
+        cfg.actor_lr = 3e-3;
+        cfg.critic_lr = 3e-3;
+        let mut agent = DdpgAgent::new(cfg, 4);
+        let state = vec![0.0f32, 0.0];
+        let initial = (agent.act(&state)[0] - 0.8).abs();
+        for _ in 0..400 {
+            let a = agent.act_noisy(&state);
+            let r = -(a[0] - 0.8).abs();
+            agent.remember(&state, &a, r, &state, true);
+            agent.train_step();
+        }
+        let trained = (agent.act(&state)[0] - 0.8).abs();
+        assert!(
+            trained < initial.max(0.15),
+            "policy did not improve: {initial} -> {trained}"
+        );
+    }
+}

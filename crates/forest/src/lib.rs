@@ -1,0 +1,21 @@
+//! # lite-forest — tree-ensemble substrate
+//!
+//! Two of the paper's components need tree models:
+//!
+//! * **Adaptive Candidate Generation** fits one Random Forest Regression
+//!   per knob mapping (application, input datasize) to a promising knob
+//!   value (paper Eq. 6) — provided by [`rf::RandomForestRegressor`].
+//! * The strongest non-neural baseline of Table VII is **LightGBM**; its
+//!   stand-in here is [`gbdt::GbdtRegressor`], a histogram-binned,
+//!   leaf-wise gradient-boosted tree ensemble of the same family.
+//!
+//! Both are built on [`cart::RegressionTree`], an exact variance-gain CART
+//! learner. All models take explicit seeds and are deterministic.
+
+pub mod cart;
+pub mod gbdt;
+pub mod rf;
+
+pub use cart::RegressionTree;
+pub use gbdt::GbdtRegressor;
+pub use rf::RandomForestRegressor;

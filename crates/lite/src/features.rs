@@ -1,0 +1,444 @@
+//! Stage-based Code Organization and feature assembly (paper Section III).
+//!
+//! The training unit is the **stage instance** `⟨o, C, G, d, e, y⟩`:
+//! configuration, code features, scheduler features, data features,
+//! environment features, stage execution time. Stage *templates* (the code
+//! and DAG of one stage kind of one application) are interned in a
+//! [`TemplateRegistry`] so that
+//!
+//! * one application run yields many stage instances (the augmentation of
+//!   paper Figure 9), and
+//! * models encode each template once per minibatch and share the encoding
+//!   across all of its instances.
+
+use lite_nn::layers::normalized_adjacency;
+use lite_nn::tensor::Tensor;
+use lite_sparksim::cluster::ClusterSpec;
+use lite_sparksim::conf::{ConfSpace, SparkConf, NUM_KNOBS};
+use lite_sparksim::plan::OpKind;
+use lite_workloads::apps::AppId;
+use lite_workloads::data::DataSpec;
+use lite_workloads::instrument::{instrument_app, StageCode};
+use lite_workloads::tokenize::{tokenize, Vocab, OOV_TOKEN_ID};
+use std::collections::HashMap;
+
+/// Maximum tokens per stage (`N` in the paper: 1000, zero-padded).
+pub const TOKEN_CAP: usize = 1000;
+
+/// Index of a stage template within a [`TemplateRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TemplateKey(pub usize);
+
+/// One interned stage template: encoded code plus DAG.
+#[derive(Debug, Clone)]
+pub struct TemplateEntry {
+    /// Owning application.
+    pub app: AppId,
+    /// Stage template name (e.g. `"pr-contrib"`).
+    pub name: String,
+    /// Token ids (vocab-encoded, truncated at [`TOKEN_CAP`], *not* padded —
+    /// encoders pad or window as they need).
+    pub token_ids: Vec<usize>,
+    /// DAG node labels as op-vocab indices (0 = oov).
+    pub dag_ops: Vec<usize>,
+    /// Normalized adjacency `Â` of the DAG.
+    pub a_hat: Tensor,
+}
+
+/// Interned templates + vocabularies shared by every model.
+#[derive(Debug, Clone)]
+pub struct TemplateRegistry {
+    entries: Vec<TemplateEntry>,
+    by_key: HashMap<(AppId, String), TemplateKey>,
+    /// Token vocabulary built from the training applications' stage codes.
+    pub vocab: Vocab,
+    /// Operation vocabulary: maps `OpKind` id → one-hot index (1-based;
+    /// index 0 is the oov operation). `S` = number of training-time ops.
+    op_index: HashMap<usize, usize>,
+}
+
+impl TemplateRegistry {
+    /// Build a registry by instrumenting `apps` (the training
+    /// applications). Vocabularies are derived from these apps only, so
+    /// cold-start applications added later exercise the `<oov>` paths
+    /// exactly as in the paper.
+    pub fn build(apps: &[AppId]) -> TemplateRegistry {
+        let instrumented: Vec<(AppId, Vec<StageCode>)> =
+            apps.iter().map(|&a| (a, instrument_app(a))).collect();
+
+        // Token vocabulary over all training stage codes.
+        let token_streams: Vec<Vec<String>> = instrumented
+            .iter()
+            .flat_map(|(_, stages)| stages.iter().map(|s| tokenize(&s.source)))
+            .collect();
+        let refs: Vec<&[String]> = token_streams.iter().map(|s| s.as_slice()).collect();
+        // min_count = 1: each template contributes exactly one stream to
+        // this corpus, so any higher threshold would silently collapse all
+        // template-unique distinctive tokens (the paper's C1 motivation)
+        // into <oov>.
+        let vocab = Vocab::build(refs.iter().copied(), 1);
+
+        // Operation vocabulary (one-hot index space, 0 reserved for oov).
+        let mut op_index = HashMap::new();
+        for (_, stages) in &instrumented {
+            for s in stages {
+                for op in &s.dag.nodes {
+                    let next = op_index.len() + 1;
+                    op_index.entry(op.id()).or_insert(next);
+                }
+            }
+        }
+
+        let mut reg = TemplateRegistry {
+            entries: Vec::new(),
+            by_key: HashMap::new(),
+            vocab,
+            op_index,
+        };
+        for (app, stages) in instrumented {
+            for s in stages {
+                reg.intern(app, &s);
+            }
+        }
+        reg
+    }
+
+    /// Intern one instrumented stage (idempotent per `(app, name)`).
+    /// Unknown tokens map to `<oov>`; unknown operations map to the oov
+    /// one-hot index.
+    pub fn intern(&mut self, app: AppId, stage: &StageCode) -> TemplateKey {
+        if let Some(&k) = self.by_key.get(&(app, stage.template.clone())) {
+            return k;
+        }
+        let tokens = tokenize(&stage.source);
+        let token_ids: Vec<usize> =
+            tokens.iter().take(TOKEN_CAP).map(|t| self.vocab.id(t)).collect();
+        let dag_ops: Vec<usize> = stage
+            .dag
+            .nodes
+            .iter()
+            .map(|op| self.op_index.get(&op.id()).copied().unwrap_or(0))
+            .collect();
+        let a_hat = normalized_adjacency(stage.dag.nodes.len(), &stage.dag.edges);
+        let key = TemplateKey(self.entries.len());
+        self.entries.push(TemplateEntry {
+            app,
+            name: stage.template.clone(),
+            token_ids,
+            dag_ops,
+            a_hat,
+        });
+        self.by_key.insert((app, stage.template.clone()), key);
+        key
+    }
+
+    /// Look up a template.
+    pub fn get(&self, key: TemplateKey) -> &TemplateEntry {
+        &self.entries[key.0]
+    }
+
+    /// Key for `(app, template name)`, if interned.
+    pub fn key_of(&self, app: AppId, name: &str) -> Option<TemplateKey> {
+        self.by_key.get(&(app, name.to_string())).copied()
+    }
+
+    /// Number of interned templates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// One-hot width for DAG nodes: `S + 1` (paper Section III-B, step 3).
+    pub fn op_onehot_width(&self) -> usize {
+        self.op_index.len() + 1
+    }
+
+    /// Node one-hot feature matrix `V_i ∈ R^{|V| × (S+1)}` for a template.
+    pub fn node_onehots(&self, key: TemplateKey) -> Tensor {
+        let e = self.get(key);
+        let w = self.op_onehot_width();
+        let mut m = Tensor::zeros(e.dag_ops.len(), w);
+        for (r, &idx) in e.dag_ops.iter().enumerate() {
+            m.set(r, idx, 1.0);
+        }
+        m
+    }
+
+    /// Node one-hots as if every operation were unseen (the paper's
+    /// Cold-UNK ablation *without* the oov token maps unseen ops to zero
+    /// vectors instead).
+    pub fn node_onehots_no_oov(&self, key: TemplateKey) -> Tensor {
+        let e = self.get(key);
+        let w = self.op_onehot_width();
+        let mut m = Tensor::zeros(e.dag_ops.len(), w);
+        for (r, &idx) in e.dag_ops.iter().enumerate() {
+            if idx != 0 {
+                m.set(r, idx, 1.0);
+            }
+        }
+        m
+    }
+
+    /// Fraction of a template's tokens that are out-of-vocabulary.
+    pub fn oov_fraction(&self, key: TemplateKey) -> f64 {
+        let e = self.get(key);
+        if e.token_ids.is_empty() {
+            return 0.0;
+        }
+        e.token_ids.iter().filter(|&&t| t == OOV_TOKEN_ID).count() as f64
+            / e.token_ids.len() as f64
+    }
+}
+
+/// One stage-level training instance (paper Section III-C).
+#[derive(Debug, Clone)]
+pub struct StageInstance {
+    /// Owning application.
+    pub app: AppId,
+    /// Interned template (code features `C_i` + scheduler features `G_i`).
+    pub template: TemplateKey,
+    /// Knob values `o_i`.
+    pub conf: SparkConf,
+    /// Data features `d_i`.
+    pub data: DataSpec,
+    /// Environment features `e_i` (Table II).
+    pub env: [f64; 6],
+    /// Stage execution time `y_i` in seconds.
+    pub y: f64,
+    /// Application-instance id `w(x_i)`: instances from the same run share
+    /// `o`, `d`, `e`.
+    pub app_instance: usize,
+}
+
+/// Width of the tabular part of the model input:
+/// `d (4) + e (6) + o (16)`.
+pub const TABULAR_WIDTH: usize = 4 + 6 + NUM_KNOBS;
+
+/// Normalization statistics for tabular features and targets, estimated on
+/// the training set and reused verbatim at test time (the small→large
+/// migration must not peek at test statistics).
+#[derive(Debug, Clone)]
+pub struct FeatNorm {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    /// Mean of `ln(1+y)`.
+    pub y_mean: f64,
+    /// Std of `ln(1+y)`.
+    pub y_std: f64,
+}
+
+impl FeatNorm {
+    /// Estimate from training instances.
+    pub fn fit(space: &ConfSpace, instances: &[StageInstance]) -> FeatNorm {
+        assert!(!instances.is_empty(), "cannot normalize an empty training set");
+        let rows: Vec<Vec<f64>> =
+            instances.iter().map(|i| raw_tabular(space, i)).collect();
+        let dim = rows[0].len();
+        let n = rows.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for r in &rows {
+            for (m, v) in mean.iter_mut().zip(r.iter()) {
+                *m += v / n;
+            }
+        }
+        let mut std = vec![0.0; dim];
+        for r in &rows {
+            for ((s, v), m) in std.iter_mut().zip(r.iter()).zip(mean.iter()) {
+                *s += (v - m) * (v - m) / n;
+            }
+        }
+        for s in &mut std {
+            // Features constant in training (e.g. a single cluster) keep
+            // unit scale: a tiny floor would explode any test-time
+            // deviation into astronomical z-scores.
+            *s = if *s < 1e-8 { 1.0 } else { s.sqrt() };
+        }
+        let ys: Vec<f64> = instances.iter().map(|i| (1.0 + i.y).ln()).collect();
+        let y_mean = ys.iter().sum::<f64>() / n;
+        let y_std =
+            (ys.iter().map(|v| (v - y_mean) * (v - y_mean)).sum::<f64>() / n).sqrt().max(1e-6);
+        FeatNorm { mean, std, y_mean, y_std }
+    }
+
+    /// Normalized tabular feature vector for an instance.
+    pub fn tabular(&self, space: &ConfSpace, inst: &StageInstance) -> Vec<f64> {
+        self.tabular_parts(space, &inst.conf, &inst.data, &inst.env)
+    }
+
+    /// Normalized tabular features from raw parts (used at recommendation
+    /// time where no `StageInstance` exists yet).
+    pub fn tabular_parts(
+        &self,
+        space: &ConfSpace,
+        conf: &SparkConf,
+        data: &DataSpec,
+        env: &[f64; 6],
+    ) -> Vec<f64> {
+        let raw = raw_tabular_parts(space, conf, data, env);
+        raw.iter()
+            .zip(self.mean.iter().zip(self.std.iter()))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Normalize a target time.
+    pub fn norm_y(&self, y: f64) -> f64 {
+        ((1.0 + y).ln() - self.y_mean) / self.y_std
+    }
+
+    /// Invert [`FeatNorm::norm_y`]. The normalized input is clamped to
+    /// ±20σ so wild extrapolations stay finite.
+    pub fn denorm_y(&self, z: f64) -> f64 {
+        (z.clamp(-20.0, 20.0) * self.y_std + self.y_mean).exp() - 1.0
+    }
+}
+
+fn raw_tabular(space: &ConfSpace, inst: &StageInstance) -> Vec<f64> {
+    raw_tabular_parts(space, &inst.conf, &inst.data, &inst.env)
+}
+
+fn raw_tabular_parts(
+    space: &ConfSpace,
+    conf: &SparkConf,
+    data: &DataSpec,
+    env: &[f64; 6],
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(TABULAR_WIDTH);
+    out.extend_from_slice(&data.log_features());
+    // Pre-scale raw environment units into comparable ranges (memory speed
+    // is in thousands of MT/s) before z-scoring.
+    out.extend_from_slice(&[env[0], env[1], env[2], env[3] / 8.0, env[4] / 1000.0, env[5]]);
+    out.extend_from_slice(&conf.normalized(space));
+    out
+}
+
+/// Environment feature helper.
+pub fn env_features(cluster: &ClusterSpec) -> [f64; 6] {
+    cluster.env_features()
+}
+
+/// Whether an operation id is in the op vocabulary of a registry (test
+/// support for the oov ablation).
+pub fn op_known(reg: &TemplateRegistry, op: OpKind) -> bool {
+    reg.op_index.contains_key(&op.id())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lite_workloads::data::SizeTier;
+
+    #[test]
+    fn registry_interns_all_training_templates() {
+        let reg = TemplateRegistry::build(&[AppId::Terasort, AppId::PageRank]);
+        assert!(reg.len() >= 4 + 4, "{} templates", reg.len());
+        assert!(reg.key_of(AppId::Terasort, "sort-partitions").is_some());
+        assert!(reg.key_of(AppId::PageRank, "pr-contrib").is_some());
+        assert!(reg.key_of(AppId::KMeans, "km-assign").is_none());
+    }
+
+    #[test]
+    fn token_cap_is_respected() {
+        let reg = TemplateRegistry::build(&[AppId::StronglyConnectedComponent]);
+        for i in 0..reg.len() {
+            assert!(reg.get(TemplateKey(i)).token_ids.len() <= TOKEN_CAP);
+        }
+    }
+
+    #[test]
+    fn unseen_app_tokens_hit_oov() {
+        // Vocabulary from Terasort only; KMeans stage codes share operator
+        // impls but the closures contain unseen tokens.
+        let mut reg = TemplateRegistry::build(&[AppId::Terasort]);
+        let km = instrument_app(AppId::KMeans);
+        let key = reg.intern(AppId::KMeans, &km[1]); // km-assign
+        assert!(reg.oov_fraction(key) > 0.0);
+        // But shared RDD-impl tokens keep oov well below 100%.
+        assert!(reg.oov_fraction(key) < 0.8, "{}", reg.oov_fraction(key));
+    }
+
+    #[test]
+    fn node_onehots_are_one_hot_with_oov_column() {
+        let mut reg = TemplateRegistry::build(&[AppId::Sort]);
+        let w = reg.op_onehot_width();
+        // SCC uses Pregel ops never seen in Sort.
+        let scc = instrument_app(AppId::StronglyConnectedComponent);
+        let fwd = scc.iter().find(|s| s.template == "scc-forward-reach").unwrap();
+        let key = reg.intern(AppId::StronglyConnectedComponent, fwd);
+        let m = reg.node_onehots(key);
+        assert_eq!(m.cols(), w);
+        // Every row sums to exactly 1, and some rows hit the oov column 0.
+        let mut oov_rows = 0;
+        for r in 0..m.rows() {
+            let s: f32 = m.row(r).iter().sum();
+            assert_eq!(s, 1.0);
+            if m.get(r, 0) == 1.0 {
+                oov_rows += 1;
+            }
+        }
+        assert!(oov_rows > 0, "expected oov ops in SCC under Sort vocab");
+        // The no-oov variant zeroes those rows instead.
+        let m2 = reg.node_onehots_no_oov(key);
+        let zero_rows =
+            (0..m2.rows()).filter(|&r| m2.row(r).iter().all(|&v| v == 0.0)).count();
+        assert_eq!(zero_rows, oov_rows);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut reg = TemplateRegistry::build(&[AppId::Sort]);
+        let n = reg.len();
+        let sort = instrument_app(AppId::Sort);
+        let k1 = reg.intern(AppId::Sort, &sort[0]);
+        assert_eq!(reg.len(), n);
+        assert_eq!(Some(k1), reg.key_of(AppId::Sort, &sort[0].template));
+    }
+
+    fn dummy_instance(y: f64) -> StageInstance {
+        StageInstance {
+            app: AppId::Sort,
+            template: TemplateKey(0),
+            conf: ConfSpace::table_iv().default_conf(),
+            data: AppId::Sort.dataset(SizeTier::Train(0)),
+            env: ClusterSpec::cluster_a().env_features(),
+            y,
+            app_instance: 0,
+        }
+    }
+
+    #[test]
+    fn featnorm_roundtrips_targets() {
+        let space = ConfSpace::table_iv();
+        let insts: Vec<StageInstance> =
+            [1.0, 5.0, 20.0, 100.0].iter().map(|&y| dummy_instance(y)).collect();
+        let norm = FeatNorm::fit(&space, &insts);
+        for y in [0.5, 3.0, 50.0, 700.0] {
+            let z = norm.norm_y(y);
+            assert!((norm.denorm_y(z) - y).abs() < 1e-6 * (1.0 + y));
+        }
+    }
+
+    #[test]
+    fn featnorm_standardizes_training_features() {
+        let space = ConfSpace::table_iv();
+        let mut insts = Vec::new();
+        for (i, y) in [1.0, 2.0, 4.0, 8.0].iter().enumerate() {
+            let mut inst = dummy_instance(*y);
+            inst.data = AppId::Sort.dataset(SizeTier::Train(i as u8));
+            insts.push(inst);
+        }
+        let norm = FeatNorm::fit(&space, &insts);
+        // The datasize feature varies across instances -> mean ~0 across
+        // the training set after normalization.
+        let mut sum = 0.0;
+        for inst in &insts {
+            sum += norm.tabular(&space, inst)[0];
+        }
+        assert!(sum.abs() < 1e-9, "{sum}");
+        assert_eq!(norm.tabular(&space, &insts[0]).len(), TABULAR_WIDTH);
+    }
+}

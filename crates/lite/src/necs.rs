@@ -1,0 +1,425 @@
+//! NECS: Neural Estimator via Code and Scheduler representation
+//! (paper Section III).
+//!
+//! Architecture, following Eq. 1–3:
+//!
+//! * token embeddings → multi-width **CNN** with global max pooling → ReLU
+//!   projection `h_code` (Eq. 1),
+//! * one-hot DAG nodes → two **GCN** layers over `Â` → column-wise max
+//!   pooling `h_DAG` (Eq. 2),
+//! * `concat(d, e, o, h_code, h_DAG)` → **tower MLP** → predicted stage
+//!   time (Eq. 3), trained with MSE (Eq. 4) on log-scaled targets.
+//!
+//! Stage templates are encoded **once per minibatch** and shared by all
+//! instances of that template via a gather — mathematically identical to
+//! per-sample encoding (the gather's backward accumulates), but orders of
+//! magnitude cheaper on stage-augmented data where thousands of instances
+//! reuse a few dozen templates.
+
+use crate::features::{FeatNorm, StageInstance, TemplateKey, TemplateRegistry, TABULAR_WIDTH};
+use lite_nn::init::rng;
+use lite_nn::layers::{Conv1dBank, Dense, GcnLayer, TowerMlp};
+use lite_nn::optim::{clip_grad_norm, Adam};
+use lite_nn::tape::{ParamId, Params, Tape, Var};
+use lite_nn::tensor::Tensor;
+use lite_sparksim::conf::{ConfSpace, SparkConf};
+use lite_workloads::data::DataSpec;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// NECS hyper-parameters. Defaults are scaled for single-core training in
+/// seconds-to-minutes; the architecture matches the paper.
+#[derive(Debug, Clone)]
+pub struct NecsConfig {
+    /// Token embedding size `D`.
+    pub embed_dim: usize,
+    /// CNN window widths.
+    pub conv_widths: Vec<usize>,
+    /// Kernels per window width (`I` in Eq. 1 is `widths × this`).
+    pub kernels_per_width: usize,
+    /// Width of `h_code` after the ReLU projection (Eq. 1).
+    pub code_hidden: usize,
+    /// GCN layer width (`h_DAG` dimension).
+    pub gcn_hidden: usize,
+    /// Tower-MLP hidden depth (`L`).
+    pub mlp_depth: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Init/shuffle seed.
+    pub seed: u64,
+    /// Whether unseen DAG operations use the oov one-hot (paper's default;
+    /// `false` reproduces the Cold-UNK ablation of Table XI).
+    pub use_oov_node: bool,
+}
+
+impl Default for NecsConfig {
+    fn default() -> Self {
+        NecsConfig {
+            embed_dim: 12,
+            conv_widths: vec![3, 5],
+            kernels_per_width: 16,
+            code_hidden: 24,
+            gcn_hidden: 16,
+            mlp_depth: 3,
+            epochs: 30,
+            batch_size: 512,
+            lr: 2e-3,
+            seed: 42,
+            use_oov_node: true,
+        }
+    }
+}
+
+/// The NECS model.
+#[derive(Clone)]
+pub struct Necs {
+    /// Hyper-parameters.
+    pub config: NecsConfig,
+    /// Normalization statistics fitted on the training set.
+    pub norm: FeatNorm,
+    space: ConfSpace,
+    params: Params,
+    token_table: ParamId,
+    conv: Conv1dBank,
+    code_proj: Dense,
+    gcn1: GcnLayer,
+    gcn2: GcnLayer,
+    mlp: TowerMlp,
+    /// Training-loss trajectory (one entry per epoch) for diagnostics.
+    pub loss_history: Vec<f32>,
+}
+
+impl Necs {
+    /// Create an untrained model sized to a registry's vocabularies.
+    pub fn new(
+        registry: &TemplateRegistry,
+        space: ConfSpace,
+        norm: FeatNorm,
+        config: NecsConfig,
+    ) -> Necs {
+        let mut r = rng(config.seed);
+        let mut params = Params::new();
+        let vocab_size = registry.vocab.len();
+        let token_table = params.add(
+            "necs.embed",
+            lite_nn::init::normal(vocab_size, config.embed_dim, 0.1, &mut r),
+        );
+        let conv = Conv1dBank::new(
+            &mut params,
+            "necs.conv",
+            config.embed_dim,
+            &config.conv_widths,
+            config.kernels_per_width,
+            &mut r,
+        );
+        let code_proj =
+            Dense::new(&mut params, "necs.codeproj", conv.output_width(), config.code_hidden, &mut r);
+        let onehot = registry.op_onehot_width();
+        let gcn1 = GcnLayer::new(&mut params, "necs.gcn1", onehot, config.gcn_hidden, &mut r);
+        let gcn2 =
+            GcnLayer::new(&mut params, "necs.gcn2", config.gcn_hidden, config.gcn_hidden, &mut r);
+        let mlp_input = TABULAR_WIDTH + config.code_hidden + config.gcn_hidden;
+        let mlp = TowerMlp::new(&mut params, "necs.mlp", mlp_input, config.mlp_depth, 1, &mut r);
+        Necs { config, norm, space, params, token_table, conv, code_proj, gcn1, gcn2, mlp, loss_history: Vec::new() }
+    }
+
+    /// Convenience: fit normalization + train on a slice of instances.
+    pub fn train(
+        registry: &TemplateRegistry,
+        space: &ConfSpace,
+        instances: &[&StageInstance],
+        config: NecsConfig,
+    ) -> Necs {
+        let owned: Vec<StageInstance> = instances.iter().map(|i| (*i).clone()).collect();
+        let norm = FeatNorm::fit(space, &owned);
+        let mut model = Necs::new(registry, space.clone(), norm, config);
+        model.fit(registry, instances);
+        model
+    }
+
+    /// Encode one template: `[1, code_hidden + gcn_hidden]` (Eq. 1 ‖ Eq. 2).
+    fn encode_template(&self, tape: &mut Tape, registry: &TemplateRegistry, key: TemplateKey) -> Var {
+        let entry = registry.get(key);
+        // --- code branch (Eq. 1) ---
+        let ids: &[usize] = if entry.token_ids.is_empty() { &[0] } else { &entry.token_ids };
+        let emb = tape.embedding_gather(&self.params, self.token_table, ids); // [N, D]
+        let q = self.conv.forward(tape, &self.params, emb); // [1, widths*K]
+        let proj = self.code_proj.forward(tape, &self.params, q);
+        let h_code = tape.relu(proj); // [1, code_hidden]
+        // --- scheduler branch (Eq. 2) ---
+        let onehots = if self.config.use_oov_node {
+            registry.node_onehots(key)
+        } else {
+            registry.node_onehots_no_oov(key)
+        };
+        let a = tape.leaf(entry.a_hat.clone());
+        let h0 = tape.leaf(onehots);
+        let h1 = self.gcn1.forward(tape, &self.params, a, h0);
+        let h2 = self.gcn2.forward(tape, &self.params, a, h1);
+        let h_dag = tape.col_max(h2); // [1, gcn_hidden]
+        tape.concat_cols(&[h_code, h_dag])
+    }
+
+    /// Forward a batch of `(template, normalized tabular)` pairs; returns
+    /// `(prediction [B,1], mlp hidden concat [B,H])`.
+    fn forward_batch(
+        &self,
+        tape: &mut Tape,
+        registry: &TemplateRegistry,
+        templates: &[TemplateKey],
+        tabular: &Tensor,
+    ) -> (Var, Var) {
+        debug_assert_eq!(templates.len(), tabular.rows());
+        // Unique templates, encoded once.
+        let mut uniq: Vec<TemplateKey> = Vec::new();
+        let mut pos: HashMap<TemplateKey, usize> = HashMap::new();
+        let idx: Vec<usize> = templates
+            .iter()
+            .map(|&t| {
+                *pos.entry(t).or_insert_with(|| {
+                    uniq.push(t);
+                    uniq.len() - 1
+                })
+            })
+            .collect();
+        let encoded: Vec<Var> =
+            uniq.iter().map(|&t| self.encode_template(tape, registry, t)).collect();
+        let table = tape.vstack(&encoded); // [T, H_t]
+        let gathered = tape.gather_rows(table, &idx); // [B, H_t]
+        let tab = tape.leaf(tabular.clone()); // [B, TAB]
+        let x = tape.concat_cols(&[tab, gathered]);
+        self.mlp.forward_with_hidden(tape, &self.params, x)
+    }
+
+    /// Assemble the normalized tabular matrix for instances.
+    fn tabular_matrix(&self, instances: &[&StageInstance]) -> Tensor {
+        let mut m = Tensor::zeros(instances.len(), TABULAR_WIDTH);
+        for (r, inst) in instances.iter().enumerate() {
+            let row = self.norm.tabular(&self.space, inst);
+            for (c, v) in row.iter().enumerate() {
+                m.set(r, c, *v as f32);
+            }
+        }
+        m
+    }
+
+    /// Train with Adam on MSE over normalized log targets (Eq. 4).
+    pub fn fit(&mut self, registry: &TemplateRegistry, instances: &[&StageInstance]) {
+        assert!(!instances.is_empty(), "cannot fit on an empty training set");
+        let mut order: Vec<usize> = (0..instances.len()).collect();
+        let mut shuffle_rng = rand::rngs::StdRng::seed_from_u64(self.config.seed ^ 0x5f);
+        let mut opt = Adam::new(self.config.lr);
+        for _epoch in 0..self.config.epochs {
+            order.shuffle(&mut shuffle_rng);
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0;
+            for chunk in order.chunks(self.config.batch_size) {
+                let batch: Vec<&StageInstance> = chunk.iter().map(|&i| instances[i]).collect();
+                let templates: Vec<TemplateKey> = batch.iter().map(|i| i.template).collect();
+                let tab = self.tabular_matrix(&batch);
+                let mut target = Tensor::zeros(batch.len(), 1);
+                for (r, inst) in batch.iter().enumerate() {
+                    target.set(r, 0, self.norm.norm_y(inst.y) as f32);
+                }
+                let mut tape = Tape::new();
+                let (pred, _) = self.forward_batch(&mut tape, registry, &templates, &tab);
+                let loss = tape.mse_loss(pred, &target);
+                epoch_loss += tape.value(loss).get(0, 0);
+                batches += 1;
+                tape.backward(loss, &mut self.params);
+                clip_grad_norm(&mut self.params, 5.0);
+                opt.step(&mut self.params);
+            }
+            self.loss_history.push(epoch_loss / batches.max(1) as f32);
+        }
+    }
+
+    /// Predict stage execution times (seconds) for a batch of
+    /// `(template, conf, data, env)` tuples.
+    pub fn predict_stages(
+        &self,
+        registry: &TemplateRegistry,
+        items: &[(TemplateKey, &SparkConf, &DataSpec, &[f64; 6])],
+    ) -> Vec<f64> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let mut tab = Tensor::zeros(items.len(), TABULAR_WIDTH);
+        for (r, (_, conf, data, env)) in items.iter().enumerate() {
+            let row = self.norm.tabular_parts(&self.space, conf, data, env);
+            for (c, v) in row.iter().enumerate() {
+                tab.set(r, c, *v as f32);
+            }
+        }
+        let templates: Vec<TemplateKey> = items.iter().map(|it| it.0).collect();
+        let mut tape = Tape::new();
+        let (pred, _) = self.forward_batch(&mut tape, registry, &templates, &tab);
+        (0..items.len())
+            .map(|r| self.norm.denorm_y(tape.value(pred).get(r, 0) as f64).max(0.0))
+            .collect()
+    }
+
+    /// Predict the total execution time of an application instance under a
+    /// configuration by summing per-stage predictions (paper Eq. 5's inner
+    /// sum). Stage multiplicity (iterations) is respected by the context.
+    pub fn predict_app(
+        &self,
+        registry: &TemplateRegistry,
+        ctx: &crate::experiment::PredictionContext,
+        conf: &SparkConf,
+    ) -> f64 {
+        // Unique templates with multiplicity: predict each once, weight by
+        // its instance count.
+        let mut counts: HashMap<TemplateKey, usize> = HashMap::new();
+        for &t in &ctx.stages {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        let mut uniq: Vec<TemplateKey> = counts.keys().copied().collect();
+        uniq.sort_by_key(|t| t.0); // deterministic summation order
+        let items: Vec<(TemplateKey, &SparkConf, &DataSpec, &[f64; 6])> =
+            uniq.iter().map(|&t| (t, conf, &ctx.data, &ctx.env)).collect();
+        let preds = self.predict_stages(registry, &items);
+        uniq.iter().zip(preds.iter()).map(|(t, p)| p * counts[t] as f64).sum()
+    }
+
+    /// Mutable access to the parameter store (used by Adaptive Model
+    /// Update to extend the store with a discriminator and fine-tune).
+    pub fn params_mut(&mut self) -> &mut Params {
+        &mut self.params
+    }
+
+    /// Shared access to the parameter store.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Forward a batch exposing the MLP hidden concatenation (the feature
+    /// embedding `h_i` that Adaptive Model Update discriminates on).
+    pub fn forward_with_hidden(
+        &self,
+        tape: &mut Tape,
+        registry: &TemplateRegistry,
+        instances: &[&StageInstance],
+    ) -> (Var, Var) {
+        let templates: Vec<TemplateKey> = instances.iter().map(|i| i.template).collect();
+        let tab = self.tabular_matrix(instances);
+        self.forward_batch(tape, registry, &templates, &tab)
+    }
+
+    /// Width of the MLP hidden concatenation.
+    pub fn hidden_width(&self) -> usize {
+        self.mlp.hidden_width()
+    }
+
+    /// Normalized target for an instance (AMU needs consistent targets).
+    pub fn norm_target(&self, inst: &StageInstance) -> f32 {
+        self.norm.norm_y(inst.y) as f32
+    }
+
+    /// The knob space this model normalizes against.
+    pub fn space(&self) -> &ConfSpace {
+        &self.space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{DatasetBuilder, PredictionContext};
+    use lite_sparksim::cluster::ClusterSpec;
+    use lite_workloads::apps::AppId;
+    use lite_workloads::data::SizeTier;
+
+    fn small_dataset() -> crate::experiment::Dataset {
+        DatasetBuilder {
+            apps: vec![AppId::Sort, AppId::PageRank, AppId::KMeans],
+            clusters: vec![ClusterSpec::cluster_a()],
+            tiers: SizeTier::train_tiers().to_vec(),
+            confs_per_cell: 3,
+            seed: 5,
+        }
+        .build()
+    }
+
+    fn quick_config() -> NecsConfig {
+        NecsConfig { epochs: 30, batch_size: 128, ..Default::default() }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let ds = small_dataset();
+        let refs: Vec<&StageInstance> = ds.instances.iter().collect();
+        let model = Necs::train(&ds.registry, &ds.space, &refs, quick_config());
+        let first = model.loss_history.first().copied().unwrap();
+        let last = model.loss_history.last().copied().unwrap();
+        assert!(last < 0.7 * first, "loss did not drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn predictions_are_positive_and_scale_with_data() {
+        let ds = small_dataset();
+        let refs: Vec<&StageInstance> = ds.instances.iter().collect();
+        let model = Necs::train(&ds.registry, &ds.space, &refs, quick_config());
+        let cluster = &ds.clusters[0];
+        let small = AppId::Sort.dataset(SizeTier::Train(0));
+        // Test tier (400x) rather than Valid (24x): the scaling direction
+        // must hold even for a lightly-trained test model, so use a
+        // contrast far above its noise floor.
+        let big = AppId::Sort.dataset(SizeTier::Test);
+        let conf = ds.space.default_conf();
+        let ctx_s = PredictionContext::warm(&ds.registry, AppId::Sort, &small, cluster).unwrap();
+        let ctx_b = PredictionContext::warm(&ds.registry, AppId::Sort, &big, cluster).unwrap();
+        let p_small = model.predict_app(&ds.registry, &ctx_s, &conf);
+        let p_big = model.predict_app(&ds.registry, &ctx_b, &conf);
+        assert!(p_small > 0.0);
+        assert!(p_big > p_small, "no data scaling: {p_small} vs {p_big}");
+    }
+
+    #[test]
+    fn fit_then_predict_correlates_with_truth_on_train() {
+        let ds = small_dataset();
+        let refs: Vec<&StageInstance> = ds.instances.iter().collect();
+        let model = Necs::train(&ds.registry, &ds.space, &refs, quick_config());
+        let items: Vec<(TemplateKey, &SparkConf, &DataSpec, &[f64; 6])> = refs
+            .iter()
+            .take(200)
+            .map(|i| (i.template, &i.conf, &i.data, &i.env))
+            .collect();
+        let preds = model.predict_stages(&ds.registry, &items);
+        let truths: Vec<f64> = refs.iter().take(200).map(|i| i.y).collect();
+        let rho = lite_metrics::ranking::spearman(&preds, &truths);
+        assert!(rho > 0.7, "train-set rank correlation too low: {rho}");
+    }
+
+    #[test]
+    fn predict_app_sums_stage_multiplicity() {
+        let ds = small_dataset();
+        let refs: Vec<&StageInstance> = ds.instances.iter().collect();
+        let model = Necs::train(&ds.registry, &ds.space, &refs, NecsConfig { epochs: 1, ..quick_config() });
+        let cluster = &ds.clusters[0];
+        let data = AppId::PageRank.dataset(SizeTier::Train(0));
+        let ctx = PredictionContext::warm(&ds.registry, AppId::PageRank, &data, cluster).unwrap();
+        let conf = ds.space.default_conf();
+        let total = model.predict_app(&ds.registry, &ctx, &conf);
+        // Manual re-aggregation.
+        let items: Vec<(TemplateKey, &SparkConf, &DataSpec, &[f64; 6])> =
+            ctx.stages.iter().map(|&t| (t, &conf, &ctx.data, &ctx.env)).collect();
+        let manual: f64 = model.predict_stages(&ds.registry, &items).iter().sum();
+        assert!((total - manual).abs() < 1e-6 * manual.max(1.0), "{total} vs {manual}");
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let ds = small_dataset();
+        let refs: Vec<&StageInstance> = ds.instances.iter().collect();
+        let cfg = NecsConfig { epochs: 2, ..quick_config() };
+        let a = Necs::train(&ds.registry, &ds.space, &refs, cfg.clone());
+        let b = Necs::train(&ds.registry, &ds.space, &refs, cfg);
+        assert_eq!(a.loss_history, b.loss_history);
+    }
+}

@@ -1,0 +1,14 @@
+//! # lite-metrics — evaluation metrics and statistical tests
+//!
+//! The paper evaluates with ranking metrics from information retrieval
+//! (HR@K, NDCG@K against a gold-standard configuration ranking), the
+//! Execution Time Reduction metric (Eq. 9, with a 7200 s cap on failed or
+//! over-long runs), and the Wilcoxon signed-rank test for the Adaptive
+//! Model Update comparison (Table IX). All are implemented here, plus
+//! Spearman correlation used in diagnostics.
+
+pub mod ranking;
+pub mod stats;
+
+pub use ranking::{etr, hr_at_k, ndcg_at_k, rank_by, spearman, EXECUTION_CAP_S};
+pub use stats::{wilcoxon_signed_rank, WilcoxonResult};

@@ -1,0 +1,163 @@
+//! Ranking metrics: HR@K, NDCG@K, ETR, Spearman.
+
+/// The paper's execution-time cap: runs longer than two hours (or failed
+/// runs) are recorded as 7200 seconds (Section V-B).
+pub const EXECUTION_CAP_S: f64 = 7200.0;
+
+/// Indices `0..n` sorted ascending by score (ties broken by index, so the
+/// ordering is deterministic).
+pub fn rank_by(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[a].partial_cmp(&scores[b]).expect("finite scores").then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Hit ratio at K: fraction of the gold top-K items recovered in the
+/// predicted top-K. Both rankings are *ascending by execution time* (lower
+/// is better).
+pub fn hr_at_k(predicted: &[f64], gold: &[f64], k: usize) -> f64 {
+    assert_eq!(predicted.len(), gold.len(), "ranking length mismatch");
+    assert!(k >= 1, "k must be >= 1");
+    let k = k.min(predicted.len());
+    let p: std::collections::HashSet<usize> =
+        rank_by(predicted).into_iter().take(k).collect();
+    let g = rank_by(gold);
+    let hits = g.iter().take(k).filter(|i| p.contains(i)).count();
+    hits as f64 / k as f64
+}
+
+/// NDCG at K with graded relevance: the item at gold position `j < K` has
+/// relevance `K - j` (so the metric distinguishes "good" from "better"
+/// configurations, as the paper requires); items outside the gold top-K
+/// have relevance 0. Discount is the standard `1 / log2(pos + 2)`.
+pub fn ndcg_at_k(predicted: &[f64], gold: &[f64], k: usize) -> f64 {
+    assert_eq!(predicted.len(), gold.len(), "ranking length mismatch");
+    assert!(k >= 1, "k must be >= 1");
+    let k = k.min(predicted.len());
+    let gold_rank = rank_by(gold);
+    let mut rel = vec![0.0f64; predicted.len()];
+    for (pos, &item) in gold_rank.iter().take(k).enumerate() {
+        rel[item] = (k - pos) as f64;
+    }
+    let pred_rank = rank_by(predicted);
+    let dcg: f64 = pred_rank
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(pos, &item)| rel[item] / ((pos + 2) as f64).log2())
+        .sum();
+    let idcg: f64 =
+        (0..k).map(|pos| (k - pos) as f64 / ((pos + 2) as f64).log2()).sum();
+    dcg / idcg
+}
+
+/// Execution Time Reduction (paper Eq. 9):
+/// `ETR = (t_default - t_method) / t_default`, with both times capped at
+/// [`EXECUTION_CAP_S`]. Positive means faster than default; 1.0 would mean
+/// zero execution time.
+pub fn etr(t_default: f64, t_method: f64) -> f64 {
+    let d = t_default.min(EXECUTION_CAP_S);
+    let m = t_method.min(EXECUTION_CAP_S);
+    assert!(d > 0.0, "default time must be positive");
+    (d - m) / d
+}
+
+/// Spearman rank correlation between two score vectors.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    assert!(n >= 2, "need at least two points");
+    let rank_of = |scores: &[f64]| -> Vec<f64> {
+        let order = rank_by(scores);
+        let mut r = vec![0.0; scores.len()];
+        for (pos, &i) in order.iter().enumerate() {
+            r[i] = pos as f64;
+        }
+        r
+    };
+    let ra = rank_of(a);
+    let rb = rank_of(b);
+    let mean = (n as f64 - 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for i in 0..n {
+        let xa = ra[i] - mean;
+        let xb = rb[i] - mean;
+        num += xa * xb;
+        da += xa * xa;
+        db += xb * xb;
+    }
+    num / (da * db).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let gold = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(hr_at_k(&gold, &gold, 3), 1.0);
+        assert!((ndcg_at_k(&gold, &gold, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_prediction_scores_zero_hr() {
+        let gold = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let pred = vec![6.0, 5.0, 4.0, 3.0, 2.0, 1.0];
+        assert_eq!(hr_at_k(&pred, &gold, 3), 0.0);
+        assert_eq!(ndcg_at_k(&pred, &gold, 3), 0.0);
+    }
+
+    #[test]
+    fn ndcg_rewards_ordering_within_top_k() {
+        let gold = vec![1.0, 2.0, 3.0, 10.0, 11.0, 12.0];
+        // Both predictions recover the right top-3 set, but one inverts it.
+        let in_order = vec![0.1, 0.2, 0.3, 9.0, 9.1, 9.2];
+        let inverted = vec![0.3, 0.2, 0.1, 9.0, 9.1, 9.2];
+        assert_eq!(hr_at_k(&in_order, &gold, 3), hr_at_k(&inverted, &gold, 3));
+        assert!(ndcg_at_k(&in_order, &gold, 3) > ndcg_at_k(&inverted, &gold, 3));
+    }
+
+    #[test]
+    fn hr_is_between_zero_and_one() {
+        let gold = vec![3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.3];
+        let pred = vec![2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0];
+        let v = hr_at_k(&pred, &gold, 5);
+        assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn k_larger_than_list_is_clamped() {
+        let gold = vec![1.0, 2.0];
+        assert_eq!(hr_at_k(&gold, &gold, 10), 1.0);
+        assert!((ndcg_at_k(&gold, &gold, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn etr_matches_paper_eq9() {
+        assert!((etr(100.0, 10.0) - 0.9).abs() < 1e-12);
+        assert_eq!(etr(100.0, 100.0), 0.0);
+        // Failed/over-cap runs are clamped to the 7200 s cap.
+        assert!((etr(10_000.0, 72.0) - (7200.0 - 72.0) / 7200.0).abs() < 1e-12);
+        assert!(etr(100.0, 9_999.0) < -70.0);
+    }
+
+    #[test]
+    fn spearman_detects_monotone_relations() {
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let b: Vec<f64> = a.iter().map(|v| v * v).collect();
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        let c: Vec<f64> = a.iter().map(|v| -v).collect();
+        assert!((spearman(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_by_breaks_ties_deterministically() {
+        let r = rank_by(&[1.0, 1.0, 0.5]);
+        assert_eq!(r, vec![2, 0, 1]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Statistical tests: Wilcoxon signed-rank (paper Table IX).
+
+/// Result of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WilcoxonResult {
+    /// Sum of ranks of positive differences.
+    pub w_plus: f64,
+    /// Sum of ranks of negative differences.
+    pub w_minus: f64,
+    /// Number of non-zero differences actually tested.
+    pub n: usize,
+    /// One-sided p-value for the alternative "b > a" (i.e. the second
+    /// sample is an *increase* over the first — the direction the paper
+    /// tests when comparing NECS_u against NECS).
+    pub p_value: f64,
+}
+
+/// Wilcoxon signed-rank test on paired samples.
+///
+/// Zero differences are dropped (the standard Wilcoxon treatment); ties in
+/// `|diff|` receive mid-ranks. For `n ≤ 20` the exact null distribution of
+/// `W⁻` is enumerated by dynamic programming; above that the normal
+/// approximation with continuity correction is used.
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> WilcoxonResult {
+    assert_eq!(a.len(), b.len(), "paired samples must have equal length");
+    let mut diffs: Vec<f64> =
+        a.iter().zip(b.iter()).map(|(x, y)| y - x).filter(|d| *d != 0.0).collect();
+    let n = diffs.len();
+    if n == 0 {
+        return WilcoxonResult { w_plus: 0.0, w_minus: 0.0, n: 0, p_value: 1.0 };
+    }
+    diffs.sort_by(|x, y| x.abs().partial_cmp(&y.abs()).expect("finite diffs"));
+
+    // Mid-ranks over |diff| with tie handling.
+    let mut ranks = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && diffs[j + 1].abs() == diffs[i].abs() {
+            j += 1;
+        }
+        let mid = (i + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = mid;
+        }
+        i = j + 1;
+    }
+
+    let mut w_plus = 0.0;
+    let mut w_minus = 0.0;
+    for (d, r) in diffs.iter().zip(ranks.iter()) {
+        if *d > 0.0 {
+            w_plus += r;
+        } else {
+            w_minus += r;
+        }
+    }
+
+    // One-sided alternative b > a: small W- is evidence. p = P(W- <= w_minus).
+    let p_value = if n <= 20 && ranks.iter().all(|r| r.fract() == 0.0) {
+        exact_p_leq(n, w_minus)
+    } else {
+        normal_p_leq(n, w_minus)
+    };
+    WilcoxonResult { w_plus, w_minus, n, p_value: p_value.clamp(0.0, 1.0) }
+}
+
+/// Exact `P(W <= w)` under the null via subset-sum DP over ranks `1..=n`.
+fn exact_p_leq(n: usize, w: f64) -> f64 {
+    let max_sum = n * (n + 1) / 2;
+    let mut counts = vec![0u128; max_sum + 1];
+    counts[0] = 1;
+    for r in 1..=n {
+        for s in (r..=max_sum).rev() {
+            counts[s] += counts[s - r];
+        }
+    }
+    let total: u128 = 1u128 << n;
+    let w_floor = w.floor() as usize;
+    let cum: u128 = counts.iter().take(w_floor.min(max_sum) + 1).sum();
+    cum as f64 / total as f64
+}
+
+/// Normal approximation `P(W <= w)` with continuity correction.
+fn normal_p_leq(n: usize, w: f64) -> f64 {
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    let sd = (nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0).sqrt();
+    let z = (w + 0.5 - mean) / sd;
+    phi(z)
+}
+
+/// Standard normal CDF via erf approximation (Abramowitz & Stegun 7.1.26).
+fn phi(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistent_increase_gives_small_p() {
+        let a = vec![0.40, 0.42, 0.38, 0.45, 0.41, 0.39, 0.44, 0.43];
+        let b: Vec<f64> = a.iter().map(|v| v + 0.02).collect();
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert_eq!(r.w_minus, 0.0);
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn consistent_decrease_gives_large_p() {
+        let a = vec![0.40, 0.42, 0.38, 0.45, 0.41, 0.39, 0.44, 0.43];
+        let b: Vec<f64> = a.iter().map(|v| v - 0.02).collect();
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert!(r.p_value > 0.95, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn no_difference_is_not_significant() {
+        let a = vec![1.0, 2.0, 3.0];
+        let r = wilcoxon_signed_rank(&a, &a);
+        assert_eq!(r.n, 0);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn mixed_differences_give_moderate_p() {
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = vec![1.5, 1.5, 3.5, 3.5, 5.5, 5.5];
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert!(r.p_value > 0.05 && r.p_value < 0.95, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn exact_matches_known_small_case() {
+        // n=3, all positive: W- = 0 => p = P(W <= 0) = 1/8.
+        let a = vec![0.0, 0.0, 0.0];
+        let b = vec![1.0, 2.0, 3.0];
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert!((r.p_value - 0.125).abs() < 1e-12, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn normal_approximation_used_for_large_n() {
+        let a: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|v| v + 1.0 + (v % 3.0)).collect();
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert_eq!(r.n, 40);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn w_plus_and_w_minus_partition_rank_sum() {
+        let a = vec![1.0, 5.0, 2.0, 8.0, 3.0];
+        let b = vec![2.0, 4.0, 4.0, 7.0, 6.0];
+        let r = wilcoxon_signed_rank(&a, &b);
+        let expect = r.n * (r.n + 1) / 2;
+        assert!((r.w_plus + r.w_minus - expect as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phi_sanity() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-7);
+        assert!((phi(1.96) - 0.975).abs() < 1e-3);
+        assert!((phi(-1.96) - 0.025).abs() < 1e-3);
+    }
+}

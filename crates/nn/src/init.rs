@@ -1,0 +1,63 @@
+//! Weight initialization with seeded RNGs (all experiments are
+//! reproducible bit-for-bit).
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+/// Xavier/Glorot uniform init for a `fan_in × fan_out` weight matrix.
+pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    let limit = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// He normal init (preferred before ReLU).
+pub fn he(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    let std = (2.0 / rows as f64).sqrt();
+    let dist = Normal::new(0.0, std).expect("valid std");
+    let data = (0..rows * cols).map(|_| dist.sample(rng) as f32).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Small-scale normal init (embeddings).
+pub fn normal(rows: usize, cols: usize, std: f64, rng: &mut StdRng) -> Tensor {
+    let dist = Normal::new(0.0, std).expect("valid std");
+    let data = (0..rows * cols).map(|_| dist.sample(rng) as f32).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Deterministic RNG from a seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let a = xavier(4, 5, &mut rng(7));
+        let b = xavier(4, 5, &mut rng(7));
+        assert_eq!(a, b);
+        let c = xavier(4, 5, &mut rng(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let t = xavier(10, 10, &mut rng(1));
+        let limit = (6.0f64 / 20.0).sqrt() as f32;
+        assert!(t.data().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn he_has_reasonable_scale() {
+        let t = he(1000, 4, &mut rng(2));
+        let std = (t.norm_sq() / t.len() as f32).sqrt();
+        let expect = (2.0f32 / 1000.0).sqrt();
+        assert!((std - expect).abs() < 0.3 * expect, "std {std} vs {expect}");
+    }
+}

@@ -1,0 +1,25 @@
+//! # lite-nn — a small neural-network substrate
+//!
+//! The paper trains CNN/GCN/MLP estimators (and LSTM / Transformer
+//! baselines) in a Python deep-learning stack; this crate supplies the
+//! equivalent machinery in pure Rust:
+//!
+//! * [`tensor::Tensor`] — dense row-major `f32` matrices,
+//! * [`tape::Tape`] — define-by-run reverse-mode autodiff with an op set
+//!   sized to the paper's models (including gradient reversal for
+//!   adversarial fine-tuning and gather/stack ops so per-template encodings
+//!   are computed once per minibatch),
+//! * [`layers`] — Dense, tower MLP, Conv1d bank, GCN, LSTM, Transformer,
+//! * [`optim`] — SGD and Adam on an external [`tape::Params`] store,
+//! * [`init`] — seeded Xavier/He/normal initializers.
+//!
+//! Everything is deterministic given the caller's seeds.
+
+pub mod init;
+pub mod layers;
+pub mod optim;
+pub mod tape;
+pub mod tensor;
+
+pub use tape::{ParamId, Params, Tape, Var};
+pub use tensor::Tensor;

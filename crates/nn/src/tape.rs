@@ -1,0 +1,933 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records operations eagerly (define-by-run); [`Tape::backward`]
+//! walks the tape in reverse, accumulating gradients into a [`Params`]
+//! store. Parameters live *outside* the tape so a fresh tape can be built
+//! per minibatch while optimizers step on the persistent store.
+//!
+//! The op set is exactly what the paper's models need: dense algebra for
+//! MLPs, `im2col`+matmul convolution for the CNN code encoder, gather /
+//! stack ops so per-template encodings can be shared across a minibatch,
+//! masked max-pooling for the GCN scheduler encoder, softmax/layer-norm for
+//! the Transformer baseline, and a gradient-reversal op for the adversarial
+//! Adaptive Model Update.
+
+use crate::tensor::Tensor;
+
+/// Handle to a parameter tensor in a [`Params`] store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamId(pub usize);
+
+/// Persistent parameter store (values + gradient accumulators).
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    values: Vec<Tensor>,
+    grads: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl Params {
+    /// An empty store.
+    pub fn new() -> Params {
+        Params::default()
+    }
+
+    /// Register a parameter tensor under a diagnostic name.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let id = ParamId(self.values.len());
+        self.grads.push(Tensor::zeros(value.rows(), value.cols()));
+        self.values.push(value);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Parameter value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable parameter value (used by optimizers).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// Accumulated gradient.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Mutable gradient accumulator.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.grads[id.0]
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Zero all gradient accumulators.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.zero_();
+        }
+    }
+
+    /// Iterate `(id, name)` pairs.
+    pub fn iter_ids(&self) -> impl Iterator<Item = (ParamId, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (ParamId(i), n.as_str()))
+    }
+}
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+enum Op {
+    Leaf,
+    Param(ParamId),
+    MatMul(Var, Var),
+    Add(Var, Var),
+    /// `[m,n] + [1,n]` broadcast over rows.
+    AddRowBroadcast(Var, Var),
+    Scale(Var, f32),
+    Hadamard(Var, Var),
+    Relu(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    RowSoftmax(Var),
+    /// Max over each row: `[m,n] -> [m,1]` (argmax memo).
+    RowMax(Var),
+    /// Max over each column: `[m,n] -> [1,n]` (argmax memo).
+    ColMax(Var),
+    ConcatCols(Vec<Var>),
+    VStack(Vec<Var>),
+    GatherRows(Var, Vec<usize>),
+    /// Sliding-window unfold of `[n,d]` into `[w*d, n-w+1]` columns.
+    Im2Col(Var, usize),
+    /// Row gather from an embedding table parameter.
+    EmbeddingGather(ParamId, Vec<usize>),
+    SliceRow(Var, usize),
+    /// Row-wise layer norm with gain/bias vars.
+    LayerNormRow(Var, Var, Var),
+    /// Identity forward, `-lambda` scaled backward (adversarial training).
+    GradReverse(Var, f32),
+    /// Mean of row-wise squared error against a constant target (scalar).
+    MseLoss(Var, Tensor),
+    /// Mean binary cross-entropy on logits against constant labels.
+    BceLogitsLoss(Var, Tensor),
+    /// Mean over all elements -> `[1,1]`.
+    Mean(Var),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+    /// Integer memo (argmax indices for max ops).
+    memo_idx: Vec<usize>,
+    /// Tensor memos (layer norm normalized input / inv-std).
+    memo_t: Vec<Tensor>,
+}
+
+/// An autodiff tape. Build one per forward pass.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Tape {
+        Tape { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.push_full(value, op, Vec::new(), Vec::new())
+    }
+
+    fn push_full(
+        &mut self,
+        value: Tensor,
+        op: Op,
+        memo_idx: Vec<usize>,
+        memo_t: Vec<Tensor>,
+    ) -> Var {
+        self.nodes.push(Node { value, op, memo_idx, memo_t });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Record a constant (no gradient).
+    pub fn leaf(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf)
+    }
+
+    /// Record a parameter (gradient flows into the store on backward).
+    pub fn param(&mut self, params: &Params, id: ParamId) -> Var {
+        self.push(params.value(id).clone(), Op::Param(id))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Elementwise sum (same shapes).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// `[m,n] + [1,n]`, broadcasting the bias row.
+    pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        let (m, n) = self.value(a).shape();
+        assert_eq!(self.value(bias).shape(), (1, n), "bias must be [1,{n}]");
+        let mut out = self.value(a).clone();
+        for r in 0..m {
+            let b = self.value(bias).row(0).to_vec();
+            for (o, bv) in out.row_mut(r).iter_mut().zip(b.iter()) {
+                *o += bv;
+            }
+        }
+        self.push(out, Op::AddRowBroadcast(a, bias))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.value(a).scaled(alpha);
+        self.push(v, Op::Scale(a, alpha))
+    }
+
+    /// Elementwise product.
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).hadamard(self.value(b));
+        self.push(v, Op::Hadamard(a, b))
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Row-wise softmax.
+    pub fn row_softmax(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        let mut out = Tensor::zeros(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for (o, &v) in out.row_mut(r).iter_mut().zip(row.iter()) {
+                *o = (v - mx).exp();
+                sum += *o;
+            }
+            for o in out.row_mut(r) {
+                *o /= sum;
+            }
+        }
+        self.push(out, Op::RowSoftmax(a))
+    }
+
+    /// Max over each row: `[m,n] -> [m,1]`.
+    pub fn row_max(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        let mut out = Tensor::zeros(x.rows(), 1);
+        let mut arg = vec![0usize; x.rows()];
+        for r in 0..x.rows() {
+            let (mut bi, mut bv) = (0usize, f32::NEG_INFINITY);
+            for (c, &v) in x.row(r).iter().enumerate() {
+                if v > bv {
+                    bv = v;
+                    bi = c;
+                }
+            }
+            out.set(r, 0, bv);
+            arg[r] = bi;
+        }
+        self.push_full(out, Op::RowMax(a), arg, Vec::new())
+    }
+
+    /// Max over each column: `[m,n] -> [1,n]`.
+    pub fn col_max(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        let (m, n) = x.shape();
+        let mut out = Tensor::full(1, n, f32::NEG_INFINITY);
+        let mut arg = vec![0usize; n];
+        for r in 0..m {
+            for (c, &v) in x.row(r).iter().enumerate() {
+                if v > out.get(0, c) {
+                    out.set(0, c, v);
+                    arg[c] = r;
+                }
+            }
+        }
+        self.push_full(out, Op::ColMax(a), arg, Vec::new())
+    }
+
+    /// Concatenate along columns (all inputs share the row count).
+    pub fn concat_cols(&mut self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty());
+        let m = self.value(vars[0]).rows();
+        let total: usize = vars.iter().map(|v| self.value(*v).cols()).sum();
+        let mut out = Tensor::zeros(m, total);
+        for r in 0..m {
+            let mut off = 0;
+            for v in vars {
+                let t = self.value(*v);
+                assert_eq!(t.rows(), m, "concat_cols row mismatch");
+                out.row_mut(r)[off..off + t.cols()].copy_from_slice(t.row(r));
+                off += t.cols();
+            }
+        }
+        self.push(out, Op::ConcatCols(vars.to_vec()))
+    }
+
+    /// Stack `[1,F]` rows into `[B,F]`.
+    pub fn vstack(&mut self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty());
+        let f = self.value(vars[0]).cols();
+        let mut out = Tensor::zeros(vars.len(), f);
+        for (r, v) in vars.iter().enumerate() {
+            let t = self.value(*v);
+            assert_eq!(t.shape(), (1, f), "vstack expects [1,{f}] rows");
+            out.row_mut(r).copy_from_slice(t.row(0));
+        }
+        self.push(out, Op::VStack(vars.to_vec()))
+    }
+
+    /// Gather rows of `[T,F]` by index into `[B,F]` (indices may repeat —
+    /// this is how per-template encodings are shared across a batch).
+    pub fn gather_rows(&mut self, a: Var, idx: &[usize]) -> Var {
+        let t = self.value(a);
+        let mut out = Tensor::zeros(idx.len(), t.cols());
+        for (r, &i) in idx.iter().enumerate() {
+            assert!(i < t.rows(), "gather index {i} out of {} rows", t.rows());
+            out.row_mut(r).copy_from_slice(t.row(i));
+        }
+        self.push(out, Op::GatherRows(a, idx.to_vec()))
+    }
+
+    /// Unfold `[n,d]` into sliding windows of `w` rows: output `[w*d, n-w+1]`
+    /// where column `j` is the flattened window starting at row `j`.
+    pub fn im2col(&mut self, a: Var, w: usize) -> Var {
+        let x = self.value(a);
+        let (n, d) = x.shape();
+        assert!(w >= 1 && w <= n, "window {w} out of range for {n} rows");
+        let p = n - w + 1;
+        let mut out = Tensor::zeros(w * d, p);
+        for j in 0..p {
+            for k in 0..w {
+                for c in 0..d {
+                    out.set(k * d + c, j, x.get(j + k, c));
+                }
+            }
+        }
+        self.push(out, Op::Im2Col(a, w))
+    }
+
+    /// Gather token embeddings: table `[V,D]` (parameter), ids -> `[N,D]`.
+    pub fn embedding_gather(&mut self, params: &Params, table: ParamId, ids: &[usize]) -> Var {
+        let t = params.value(table);
+        let mut out = Tensor::zeros(ids.len(), t.cols());
+        for (r, &i) in ids.iter().enumerate() {
+            assert!(i < t.rows(), "token id {i} out of vocab {}", t.rows());
+            out.row_mut(r).copy_from_slice(t.row(i));
+        }
+        self.push(out, Op::EmbeddingGather(table, ids.to_vec()))
+    }
+
+    /// Extract one row as `[1,n]`.
+    pub fn slice_row(&mut self, a: Var, r: usize) -> Var {
+        let x = self.value(a);
+        let out = Tensor::row_vector(x.row(r).to_vec());
+        self.push(out, Op::SliceRow(a, r))
+    }
+
+    /// Row-wise layer normalization with learnable gain/bias (`[1,n]`).
+    pub fn layer_norm_row(&mut self, a: Var, gain: Var, bias: Var) -> Var {
+        const EPS: f32 = 1e-5;
+        let x = self.value(a);
+        let (m, n) = x.shape();
+        assert_eq!(self.value(gain).shape(), (1, n));
+        assert_eq!(self.value(bias).shape(), (1, n));
+        let mut xhat = Tensor::zeros(m, n);
+        let mut inv_std = Tensor::zeros(m, 1);
+        let mut out = Tensor::zeros(m, n);
+        let g = self.value(gain).row(0).to_vec();
+        let b = self.value(bias).row(0).to_vec();
+        for r in 0..m {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / n as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+            let is = 1.0 / (var + EPS).sqrt();
+            inv_std.set(r, 0, is);
+            for c in 0..n {
+                let xh = (row[c] - mean) * is;
+                xhat.set(r, c, xh);
+                out.set(r, c, g[c] * xh + b[c]);
+            }
+        }
+        self.push_full(out, Op::LayerNormRow(a, gain, bias), Vec::new(), vec![xhat, inv_std])
+    }
+
+    /// Identity forward; backward multiplies the gradient by `-lambda`.
+    /// This is the gradient-reversal layer of adversarial domain
+    /// adaptation (paper's Adaptive Model Update).
+    pub fn grad_reverse(&mut self, a: Var, lambda: f32) -> Var {
+        let v = self.value(a).clone();
+        self.push(v, Op::GradReverse(a, lambda))
+    }
+
+    /// Mean squared error against a constant target (scalar `[1,1]`).
+    pub fn mse_loss(&mut self, pred: Var, target: &Tensor) -> Var {
+        let p = self.value(pred);
+        assert_eq!(p.shape(), target.shape(), "mse target shape");
+        let n = p.len() as f32;
+        let mut acc = 0.0;
+        for (a, b) in p.data().iter().zip(target.data().iter()) {
+            let d = a - b;
+            acc += d * d;
+        }
+        self.push(Tensor::from_vec(1, 1, vec![acc / n]), Op::MseLoss(pred, target.clone()))
+    }
+
+    /// Mean binary cross-entropy on logits vs constant 0/1 labels
+    /// (numerically stable log-sum-exp form).
+    pub fn bce_logits_loss(&mut self, logits: Var, labels: &Tensor) -> Var {
+        let z = self.value(logits);
+        assert_eq!(z.shape(), labels.shape(), "bce labels shape");
+        let n = z.len() as f32;
+        let mut acc = 0.0;
+        for (&x, &y) in z.data().iter().zip(labels.data().iter()) {
+            // max(x,0) - x*y + ln(1 + e^{-|x|})
+            acc += x.max(0.0) - x * y + (1.0 + (-x.abs()).exp()).ln();
+        }
+        self.push(Tensor::from_vec(1, 1, vec![acc / n]), Op::BceLogitsLoss(logits, labels.clone()))
+    }
+
+    /// Mean over all elements.
+    pub fn mean(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        let m = x.sum() / x.len() as f32;
+        self.push(Tensor::from_vec(1, 1, vec![m]), Op::Mean(a))
+    }
+
+    /// Run reverse-mode accumulation from `loss` (must be `[1,1]`),
+    /// adding parameter gradients into `params`.
+    pub fn backward(&mut self, loss: Var, params: &mut Params) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Tensor::full(1, 1, 1.0));
+
+        for idx in (0..=loss.0).rev() {
+            let Some(g) = grads[idx].take() else { continue };
+            // Split borrows: the node being processed vs earlier nodes.
+            let (before, rest) = self.nodes.split_at_mut(idx);
+            let node = &rest[0];
+            let val = |v: Var| -> &Tensor {
+                assert!(v.0 < idx, "op parent must precede node");
+                &before[v.0].value
+            };
+            let accum = |grads: &mut Vec<Option<Tensor>>, v: Var, delta: Tensor| {
+                match &mut grads[v.0] {
+                    Some(t) => t.axpy(1.0, &delta),
+                    slot => *slot = Some(delta),
+                }
+            };
+            match &node.op {
+                Op::Leaf => {}
+                Op::Param(id) => params.grad_mut(*id).axpy(1.0, &g),
+                Op::MatMul(a, b) => {
+                    let da = g.matmul_transpose_b(val(*b));
+                    let db = val(*a).transpose_a_matmul(&g);
+                    accum(&mut grads, *a, da);
+                    accum(&mut grads, *b, db);
+                }
+                Op::Add(a, b) => {
+                    accum(&mut grads, *a, g.clone());
+                    accum(&mut grads, *b, g);
+                }
+                Op::AddRowBroadcast(a, bias) => {
+                    let mut db = Tensor::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (c, &v) in g.row(r).iter().enumerate() {
+                            db.set(0, c, db.get(0, c) + v);
+                        }
+                    }
+                    accum(&mut grads, *a, g);
+                    accum(&mut grads, *bias, db);
+                }
+                Op::Scale(a, alpha) => accum(&mut grads, *a, g.scaled(*alpha)),
+                Op::Hadamard(a, b) => {
+                    let da = g.hadamard(val(*b));
+                    let db = g.hadamard(val(*a));
+                    accum(&mut grads, *a, da);
+                    accum(&mut grads, *b, db);
+                }
+                Op::Relu(a) => {
+                    let mask = val(*a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                    accum(&mut grads, *a, g.hadamard(&mask));
+                }
+                Op::Sigmoid(a) => {
+                    let y = &node.value;
+                    let dy = y.map(|s| s * (1.0 - s));
+                    accum(&mut grads, *a, g.hadamard(&dy));
+                }
+                Op::Tanh(a) => {
+                    let y = &node.value;
+                    let dy = y.map(|t| 1.0 - t * t);
+                    accum(&mut grads, *a, g.hadamard(&dy));
+                }
+                Op::RowSoftmax(a) => {
+                    let y = &node.value;
+                    let mut dx = Tensor::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let dot: f32 =
+                            y.row(r).iter().zip(g.row(r).iter()).map(|(s, gg)| s * gg).sum();
+                        for c in 0..y.cols() {
+                            dx.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+                        }
+                    }
+                    accum(&mut grads, *a, dx);
+                }
+                Op::RowMax(a) => {
+                    let x = val(*a);
+                    let mut dx = Tensor::zeros(x.rows(), x.cols());
+                    for r in 0..x.rows() {
+                        dx.set(r, node.memo_idx[r], g.get(r, 0));
+                    }
+                    accum(&mut grads, *a, dx);
+                }
+                Op::ColMax(a) => {
+                    let x = val(*a);
+                    let mut dx = Tensor::zeros(x.rows(), x.cols());
+                    for c in 0..x.cols() {
+                        dx.set(node.memo_idx[c], c, g.get(0, c));
+                    }
+                    accum(&mut grads, *a, dx);
+                }
+                Op::ConcatCols(vars) => {
+                    let vars = vars.clone();
+                    let mut off = 0;
+                    for v in vars {
+                        let w = val(v).cols();
+                        let mut dv = Tensor::zeros(g.rows(), w);
+                        for r in 0..g.rows() {
+                            dv.row_mut(r).copy_from_slice(&g.row(r)[off..off + w]);
+                        }
+                        off += w;
+                        accum(&mut grads, v, dv);
+                    }
+                }
+                Op::VStack(vars) => {
+                    for (r, v) in vars.clone().into_iter().enumerate() {
+                        accum(&mut grads, v, Tensor::row_vector(g.row(r).to_vec()));
+                    }
+                }
+                Op::GatherRows(a, idx_list) => {
+                    let x = val(*a);
+                    let mut dx = Tensor::zeros(x.rows(), x.cols());
+                    for (r, &i) in idx_list.iter().enumerate() {
+                        for (c, &v) in g.row(r).iter().enumerate() {
+                            dx.set(i, c, dx.get(i, c) + v);
+                        }
+                    }
+                    accum(&mut grads, *a, dx);
+                }
+                Op::Im2Col(a, w) => {
+                    let x = val(*a);
+                    let (n, d) = x.shape();
+                    let p = n - w + 1;
+                    let mut dx = Tensor::zeros(n, d);
+                    for j in 0..p {
+                        for k in 0..*w {
+                            for c in 0..d {
+                                let v = g.get(k * d + c, j);
+                                dx.set(j + k, c, dx.get(j + k, c) + v);
+                            }
+                        }
+                    }
+                    accum(&mut grads, *a, dx);
+                }
+                Op::EmbeddingGather(table, ids) => {
+                    let gt = params.grad_mut(*table);
+                    for (r, &i) in ids.iter().enumerate() {
+                        for (c, &v) in g.row(r).iter().enumerate() {
+                            gt.set(i, c, gt.get(i, c) + v);
+                        }
+                    }
+                }
+                Op::SliceRow(a, r) => {
+                    let x = val(*a);
+                    let mut dx = Tensor::zeros(x.rows(), x.cols());
+                    dx.row_mut(*r).copy_from_slice(g.row(0));
+                    accum(&mut grads, *a, dx);
+                }
+                Op::LayerNormRow(a, gain, bias) => {
+                    let xhat = &node.memo_t[0];
+                    let inv_std = &node.memo_t[1];
+                    let (m, n) = xhat.shape();
+                    let gvec = val(*gain).row(0).to_vec();
+                    let mut dgain = Tensor::zeros(1, n);
+                    let mut dbias = Tensor::zeros(1, n);
+                    let mut dx = Tensor::zeros(m, n);
+                    for r in 0..m {
+                        let gy: Vec<f32> =
+                            (0..n).map(|c| g.get(r, c) * gvec[c]).collect();
+                        let mean_gy = gy.iter().sum::<f32>() / n as f32;
+                        let mean_gy_xhat = (0..n)
+                            .map(|c| gy[c] * xhat.get(r, c))
+                            .sum::<f32>()
+                            / n as f32;
+                        for c in 0..n {
+                            dgain.set(0, c, dgain.get(0, c) + g.get(r, c) * xhat.get(r, c));
+                            dbias.set(0, c, dbias.get(0, c) + g.get(r, c));
+                            let v = (gy[c] - mean_gy - xhat.get(r, c) * mean_gy_xhat)
+                                * inv_std.get(r, 0);
+                            dx.set(r, c, v);
+                        }
+                    }
+                    accum(&mut grads, *a, dx);
+                    accum(&mut grads, *gain, dgain);
+                    accum(&mut grads, *bias, dbias);
+                }
+                Op::GradReverse(a, lambda) => accum(&mut grads, *a, g.scaled(-lambda)),
+                Op::MseLoss(pred, target) => {
+                    let p = val(*pred);
+                    let scale = 2.0 * g.get(0, 0) / p.len() as f32;
+                    let mut dp = Tensor::zeros(p.rows(), p.cols());
+                    for (o, (&a, &b)) in
+                        dp.data_mut().iter_mut().zip(p.data().iter().zip(target.data().iter()))
+                    {
+                        *o = scale * (a - b);
+                    }
+                    accum(&mut grads, *pred, dp);
+                }
+                Op::BceLogitsLoss(logits, labels) => {
+                    let z = val(*logits);
+                    let scale = g.get(0, 0) / z.len() as f32;
+                    let mut dz = Tensor::zeros(z.rows(), z.cols());
+                    for (o, (&x, &y)) in
+                        dz.data_mut().iter_mut().zip(z.data().iter().zip(labels.data().iter()))
+                    {
+                        let s = 1.0 / (1.0 + (-x).exp());
+                        *o = scale * (s - y);
+                    }
+                    accum(&mut grads, *logits, dz);
+                }
+                Op::Mean(a) => {
+                    let x = val(*a);
+                    let v = g.get(0, 0) / x.len() as f32;
+                    accum(&mut grads, *a, Tensor::full(x.rows(), x.cols(), v));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference check of `d loss / d param` for every scalar in
+    /// every parameter.
+    fn grad_check(
+        build: impl Fn(&mut Tape, &Params) -> Var,
+        params: &mut Params,
+        tol: f32,
+    ) {
+        // Analytic gradients.
+        params.zero_grads();
+        let mut tape = Tape::new();
+        let loss = build(&mut tape, params);
+        tape.backward(loss, params);
+        let analytic: Vec<Tensor> =
+            (0..params.len()).map(|i| params.grad(ParamId(i)).clone()).collect();
+
+        let eps = 1e-3f32;
+        for pi in 0..params.len() {
+            for e in 0..params.value(ParamId(pi)).len() {
+                let orig = params.value(ParamId(pi)).data()[e];
+                params.value_mut(ParamId(pi)).data_mut()[e] = orig + eps;
+                let mut t1 = Tape::new();
+                let l1 = build(&mut t1, params);
+                let f1 = t1.value(l1).get(0, 0);
+                params.value_mut(ParamId(pi)).data_mut()[e] = orig - eps;
+                let mut t2 = Tape::new();
+                let l2 = build(&mut t2, params);
+                let f2 = t2.value(l2).get(0, 0);
+                params.value_mut(ParamId(pi)).data_mut()[e] = orig;
+                let numeric = (f1 - f2) / (2.0 * eps);
+                let got = analytic[pi].data()[e];
+                assert!(
+                    (numeric - got).abs() <= tol * (1.0 + numeric.abs().max(got.abs())),
+                    "param {pi} elem {e}: numeric {numeric} vs analytic {got}"
+                );
+            }
+        }
+    }
+
+    fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn grad_check_dense_relu_mse() {
+        let mut params = Params::new();
+        let w = params.add("w", t(3, 2, &[0.4, -0.3, 0.2, 0.7, -0.5, 0.1]));
+        let b = params.add("b", t(1, 2, &[0.05, -0.02]));
+        let x = t(2, 3, &[1.0, -0.5, 2.0, 0.3, 0.8, -1.2]);
+        let target = t(2, 2, &[0.5, -0.5, 1.0, 0.0]);
+        grad_check(
+            |tape, p| {
+                let xv = tape.leaf(x.clone());
+                let wv = tape.param(p, w);
+                let bv = tape.param(p, b);
+                let h = tape.matmul(xv, wv);
+                let h = tape.add_row_broadcast(h, bv);
+                let h = tape.relu(h);
+                tape.mse_loss(h, &target)
+            },
+            &mut params,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_sigmoid_tanh_hadamard() {
+        let mut params = Params::new();
+        let a = params.add("a", t(2, 2, &[0.3, -0.6, 0.9, 0.1]));
+        let b = params.add("b", t(2, 2, &[-0.2, 0.5, 0.4, -0.8]));
+        let target = t(2, 2, &[0.0, 0.3, 0.6, -0.1]);
+        grad_check(
+            |tape, p| {
+                let av = tape.param(p, a);
+                let bv = tape.param(p, b);
+                let s = tape.sigmoid(av);
+                let u = tape.tanh(bv);
+                let h = tape.hadamard(s, u);
+                tape.mse_loss(h, &target)
+            },
+            &mut params,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_softmax_and_mean() {
+        let mut params = Params::new();
+        let a = params.add("a", t(2, 3, &[0.3, -0.6, 0.9, 1.1, 0.2, -0.4]));
+        let target = t(2, 3, &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+        grad_check(
+            |tape, p| {
+                let av = tape.param(p, a);
+                let s = tape.row_softmax(av);
+                tape.mse_loss(s, &target)
+            },
+            &mut params,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_max_pools() {
+        let mut params = Params::new();
+        // Values well separated so FD perturbation doesn't flip the argmax.
+        let a = params.add("a", t(3, 2, &[1.0, -2.0, 4.0, 0.5, -1.0, 3.0]));
+        let target_row = t(3, 1, &[0.0, 0.0, 0.0]);
+        grad_check(
+            |tape, p| {
+                let av = tape.param(p, a);
+                let m = tape.row_max(av);
+                tape.mse_loss(m, &target_row)
+            },
+            &mut params,
+            2e-2,
+        );
+        let target_col = t(1, 2, &[0.0, 0.0]);
+        grad_check(
+            |tape, p| {
+                let av = tape.param(p, a);
+                let m = tape.col_max(av);
+                tape.mse_loss(m, &target_col)
+            },
+            &mut params,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_im2col_conv_pipeline() {
+        let mut params = Params::new();
+        let emb = params.add(
+            "emb",
+            t(4, 2, &[0.1, 0.2, -0.3, 0.4, 0.5, -0.6, 0.7, 0.8]),
+        );
+        let kern = params.add("k", t(2, 4, &[0.3, -0.1, 0.2, 0.4, -0.2, 0.5, 0.1, -0.3]));
+        let ids = vec![0usize, 2, 1, 3, 2];
+        let target = t(2, 1, &[0.2, -0.2]);
+        grad_check(
+            |tape, p| {
+                let e = tape.embedding_gather(p, emb, &ids); // [5,2]
+                let cols = tape.im2col(e, 2); // [4,4]
+                let kv = tape.param(p, kern); // [2,4]
+                let fm = tape.matmul(kv, cols); // [2,4]
+                let pooled = tape.row_max(fm); // [2,1]
+                tape.mse_loss(pooled, &target)
+            },
+            &mut params,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_gather_vstack_concat() {
+        let mut params = Params::new();
+        let a = params.add("a", t(1, 2, &[0.3, -0.5]));
+        let b = params.add("b", t(1, 2, &[0.8, 0.1]));
+        let target = t(3, 4, &[0.0; 12]);
+        grad_check(
+            |tape, p| {
+                let av = tape.param(p, a);
+                let bv = tape.param(p, b);
+                let stacked = tape.vstack(&[av, bv]); // [2,2]
+                let gathered = tape.gather_rows(stacked, &[0, 1, 0]); // [3,2]
+                let doubled = tape.concat_cols(&[gathered, gathered]); // [3,4]
+                tape.mse_loss(doubled, &target)
+            },
+            &mut params,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_layer_norm() {
+        let mut params = Params::new();
+        let a = params.add("a", t(2, 3, &[0.5, -1.0, 2.0, 1.5, 0.0, -0.5]));
+        let g = params.add("g", t(1, 3, &[1.0, 0.9, 1.1]));
+        let b = params.add("b", t(1, 3, &[0.0, 0.1, -0.1]));
+        let target = t(2, 3, &[0.0; 6]);
+        grad_check(
+            |tape, p| {
+                let av = tape.param(p, a);
+                let gv = tape.param(p, g);
+                let bv = tape.param(p, b);
+                let y = tape.layer_norm_row(av, gv, bv);
+                tape.mse_loss(y, &target)
+            },
+            &mut params,
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_bce_logits() {
+        let mut params = Params::new();
+        let a = params.add("a", t(3, 1, &[0.5, -1.2, 2.0]));
+        let labels = t(3, 1, &[1.0, 0.0, 1.0]);
+        grad_check(
+            |tape, p| {
+                let av = tape.param(p, a);
+                tape.bce_logits_loss(av, &labels)
+            },
+            &mut params,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_reverse_flips_and_scales_gradient() {
+        let mut params = Params::new();
+        let a = params.add("a", t(1, 2, &[0.3, -0.4]));
+        let target = t(1, 2, &[0.0, 0.0]);
+
+        params.zero_grads();
+        let mut tape = Tape::new();
+        let av = tape.param(&params, a);
+        let loss = tape.mse_loss(av, &target);
+        tape.backward(loss, &mut params);
+        let plain = params.grad(ParamId(0)).clone();
+
+        params.zero_grads();
+        let mut tape = Tape::new();
+        let av = tape.param(&params, a);
+        let rev = tape.grad_reverse(av, 0.5);
+        let loss = tape.mse_loss(rev, &target);
+        tape.backward(loss, &mut params);
+        let reversed = params.grad(ParamId(0)).clone();
+
+        for (p, r) in plain.data().iter().zip(reversed.data().iter()) {
+            assert!((r + 0.5 * p).abs() < 1e-6, "expected -0.5x: {p} vs {r}");
+        }
+    }
+
+    #[test]
+    fn backward_accumulates_across_calls() {
+        let mut params = Params::new();
+        let a = params.add("a", t(1, 1, &[2.0]));
+        let target = t(1, 1, &[0.0]);
+        for _ in 0..2 {
+            let mut tape = Tape::new();
+            let av = tape.param(&params, a);
+            let loss = tape.mse_loss(av, &target);
+            tape.backward(loss, &mut params);
+        }
+        // d/da (a^2) = 2a = 4, accumulated twice = 8.
+        assert!((params.grad(ParamId(0)).get(0, 0) - 8.0).abs() < 1e-5);
+        params.zero_grads();
+        assert_eq!(params.grad(ParamId(0)).get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn embedding_grads_scatter_to_used_rows_only() {
+        let mut params = Params::new();
+        let emb = params.add("emb", t(3, 2, &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6]));
+        let target = t(2, 2, &[0.0; 4]);
+        let mut tape = Tape::new();
+        let e = tape.embedding_gather(&params, emb, &[2, 2]);
+        let loss = tape.mse_loss(e, &target);
+        tape.backward(loss, &mut params);
+        let g = params.grad(emb);
+        assert_eq!(g.row(0), &[0.0, 0.0]);
+        assert_eq!(g.row(1), &[0.0, 0.0]);
+        assert!(g.row(2).iter().all(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,180 @@
+//! Directional tests of the simulator's cost-model mechanisms: each test
+//! isolates one knob/mechanism pair from the table in `exec.rs`'s docs.
+
+use lite_sparksim::cluster::ClusterSpec;
+use lite_sparksim::conf::{ConfSpace, Knob};
+use lite_sparksim::exec::{preflight, simulate};
+use lite_sparksim::plan::{InputSource, JobPlan, OpDag, OpKind, StagePlan};
+use lite_sparksim::result::FailureReason;
+
+fn space() -> ConfSpace {
+    ConfSpace::table_iv()
+}
+
+/// A configurable one/two stage job for mechanism isolation.
+fn cpu_job(bytes: u64, cycles: f64, mem_intensity: f64) -> JobPlan {
+    let mut s = StagePlan::new("cpu", OpDag::chain(&[OpKind::TextFile, OpKind::MapPartitions]), bytes);
+    s.cycles_per_byte = cycles;
+    s.mem_intensity = mem_intensity;
+    s.skew_sigma = 0.0;
+    JobPlan { app_name: "cpu-job".into(), stages: vec![s] }
+}
+
+#[test]
+fn faster_cpus_run_compute_bound_stages_faster() {
+    let conf = space().default_conf();
+    let plan = cpu_job(1 << 30, 400.0, 0.0);
+    let slow = ClusterSpec { cpu_ghz: 2.0, ..ClusterSpec::cluster_a() };
+    let fast = ClusterSpec { cpu_ghz: 4.0, ..ClusterSpec::cluster_a() };
+    let t_slow = simulate(&slow, &conf, &plan, 1).total_time_s;
+    let t_fast = simulate(&fast, &conf, &plan, 1).total_time_s;
+    assert!(t_fast < 0.7 * t_slow, "2x clock gave {t_slow} -> {t_fast}");
+}
+
+#[test]
+fn memory_bandwidth_matters_only_for_membound_stages() {
+    let conf = space().default_conf();
+    let slow_mem = ClusterSpec { mem_mts: 1600.0, ..ClusterSpec::cluster_a() };
+    let fast_mem = ClusterSpec { mem_mts: 3200.0, ..ClusterSpec::cluster_a() };
+    // Memory-bound stage benefits.
+    let bound = cpu_job(1 << 30, 200.0, 1.0);
+    let t_slow = simulate(&slow_mem, &conf, &bound, 1).total_time_s;
+    let t_fast = simulate(&fast_mem, &conf, &bound, 1).total_time_s;
+    assert!(t_fast < t_slow, "mem-bound: {t_fast} !< {t_slow}");
+    // Pure-compute stage is indifferent (disk rate also shifts slightly
+    // with MT/s, so allow a loose band).
+    let pure = cpu_job(1 << 30, 200.0, 0.0);
+    let p_slow = simulate(&slow_mem, &conf, &pure, 1).total_time_s;
+    let p_fast = simulate(&fast_mem, &conf, &pure, 1).total_time_s;
+    assert!((p_fast - p_slow).abs() < 0.25 * p_slow, "cpu-bound moved too much: {p_slow} vs {p_fast}");
+}
+
+#[test]
+fn higher_skew_lengthens_stages() {
+    let conf = space().default_conf();
+    let mut lo = cpu_job(4 << 30, 100.0, 0.2);
+    lo.stages[0].skew_sigma = 0.01;
+    let mut hi = lo.clone();
+    hi.stages[0].skew_sigma = 0.8;
+    let t_lo = simulate(&ClusterSpec::cluster_b(), &conf, &lo, 9).total_time_s;
+    let t_hi = simulate(&ClusterSpec::cluster_b(), &conf, &hi, 9).total_time_s;
+    assert!(t_hi > t_lo, "skewed stage not slower: {t_hi} !> {t_lo}");
+}
+
+#[test]
+fn spill_compression_trades_io_for_cpu() {
+    // With heavy spilling on a slow-disk-relative workload, compressing
+    // spills should reduce total time (our disk is slow relative to the
+    // light compression CPU cost).
+    let s = space();
+    let cluster = ClusterSpec::cluster_a();
+    let mut plan = JobPlan::example_shuffle_job(8 << 30);
+    plan.stages[1].working_set_factor = 3.0;
+    let mut on = s.default_conf();
+    on.set(&s, Knob::ExecutorMemoryGb, 1.0);
+    on.set(&s, Knob::ShuffleSpillCompress, 1.0);
+    let mut off = on.clone();
+    off.set(&s, Knob::ShuffleSpillCompress, 0.0);
+    let r_on = simulate(&cluster, &on, &plan, 3);
+    let r_off = simulate(&cluster, &off, &plan, 3);
+    assert!(r_on.stages[1].spill_bytes > 0, "test needs spills to trigger");
+    assert!(
+        r_on.total_time_s < r_off.total_time_s,
+        "compressed spills {} !< raw {}",
+        r_on.total_time_s,
+        r_off.total_time_s
+    );
+}
+
+#[test]
+fn more_driver_cores_cut_scheduling_delay_on_many_task_stages() {
+    let s = space();
+    let cluster = ClusterSpec::cluster_c();
+    let mut plan = JobPlan::example_shuffle_job(16 << 30);
+    plan.stages[0].skew_sigma = 0.0;
+    plan.stages[1].skew_sigma = 0.0;
+    let mut one = s.default_conf();
+    one.set(&s, Knob::DriverCores, 1.0);
+    one.set(&s, Knob::DefaultParallelism, 512.0);
+    one.set(&s, Knob::FilesMaxPartitionMb, 16.0); // ~1000 scan tasks
+    let mut eight = one.clone();
+    eight.set(&s, Knob::DriverCores, 8.0);
+    let t1 = simulate(&cluster, &one, &plan, 5).total_time_s;
+    let t8 = simulate(&cluster, &eight, &plan, 5).total_time_s;
+    assert!(t8 < t1, "8 driver cores {t8} !< 1 core {t1}");
+}
+
+#[test]
+fn driver_oom_on_huge_results_with_small_driver() {
+    let s = space();
+    let mut conf = s.default_conf();
+    conf.set(&s, Knob::DriverMemoryGb, 1.0);
+    conf.set(&s, Knob::DriverMaxResultSizeMb, 4096.0);
+    let mut plan = JobPlan::example_shuffle_job(1 << 30);
+    plan.stages[1].result_bytes = 3 << 30; // 3 GB collect into 1 GB driver
+    let r = simulate(&ClusterSpec::cluster_b(), &conf, &plan, 2);
+    assert_eq!(r.failure, Some(FailureReason::DriverOom));
+}
+
+#[test]
+fn preflight_rejects_each_failure_class() {
+    let s = space();
+    let cluster = ClusterSpec::cluster_c();
+    // Class 1: unsatisfiable allocation.
+    let mut huge = s.default_conf();
+    huge.set(&s, Knob::ExecutorMemoryGb, 32.0);
+    assert_eq!(
+        preflight(&cluster, &huge, 1 << 30),
+        Err(FailureReason::InfeasibleAllocation)
+    );
+    // Class 2: partitions cannot fit the per-task heap share.
+    let mut tiny_heap = s.default_conf();
+    tiny_heap.set(&s, Knob::ExecutorMemoryGb, 1.0);
+    tiny_heap.set(&s, Knob::ExecutorCores, 16.0);
+    tiny_heap.set(&s, Knob::DefaultParallelism, 8.0);
+    assert_eq!(
+        preflight(&cluster, &tiny_heap, 64 << 30),
+        Err(FailureReason::ExecutorOom)
+    );
+    // Default conf on small data passes.
+    assert!(preflight(&cluster, &s.default_conf(), 64 << 20).is_ok());
+}
+
+#[test]
+fn preflight_scan_bound_uses_max_partition_bytes() {
+    let s = space();
+    let cluster = ClusterSpec::cluster_a();
+    let mut conf = s.default_conf();
+    conf.set(&s, Knob::ExecutorMemoryGb, 1.0);
+    conf.set(&s, Knob::ExecutorCores, 16.0);
+    conf.set(&s, Knob::DefaultParallelism, 512.0); // shuffle path is fine
+    conf.set(&s, Knob::FilesMaxPartitionMb, 512.0); // scan path is not
+    assert!(preflight(&cluster, &conf, 8 << 30).is_err());
+    conf.set(&s, Knob::FilesMaxPartitionMb, 16.0);
+    assert!(preflight(&cluster, &conf, 8 << 30).is_ok());
+}
+
+#[test]
+fn cache_source_without_prior_cache_degrades_gracefully() {
+    // Reading InputSource::Cache when nothing was cached treats the
+    // last_cached_fraction default (1.0) as a full hit; the engine must
+    // not panic and must produce finite time.
+    let mut stage = StagePlan::new("read-cache", OpDag::chain(&[OpKind::Cache, OpKind::Map]), 1 << 28);
+    stage.input = InputSource::Cache;
+    let plan = JobPlan { app_name: "x".into(), stages: vec![stage] };
+    let r = simulate(&ClusterSpec::cluster_a(), &space().default_conf(), &plan, 1);
+    assert!(r.ok());
+    assert!(r.total_time_s.is_finite());
+}
+
+#[test]
+fn stage_stats_expose_monitor_view() {
+    let plan = JobPlan::example_shuffle_job(2 << 30);
+    let r = simulate(&ClusterSpec::cluster_b(), &space().default_conf(), &plan, 4);
+    assert_eq!(r.stages.len(), 2);
+    assert_eq!(r.stages[0].shuffle_read_bytes, 0);
+    assert!(r.stages[1].shuffle_read_bytes > 0);
+    // Compressed shuffle write is smaller than logical input.
+    assert!(r.stages[0].shuffle_write_bytes < plan.stages[0].shuffle_write_bytes);
+    assert!(r.stages.iter().all(|s| s.num_tasks > 0));
+}

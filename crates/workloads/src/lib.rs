@@ -1,0 +1,33 @@
+//! # lite-workloads — the spark-bench application suite
+//!
+//! The paper evaluates LITE on fifteen spark-bench applications covering
+//! machine learning, graph analytics and MapReduce. This crate provides
+//! those applications as *synthetic but structurally faithful* workloads:
+//!
+//! * each application has a brief Scala-like **main body** whose important
+//!   tokens are rare and distinctive (paper Figure 4),
+//! * a **stage decomposition** with per-stage operator DAGs and cost
+//!   profiles consumed by the `lite-sparksim` engine, and
+//! * an **instrumentation** step that expands each stage's operators into
+//!   the underlying RDD-implementation source, yielding the dense
+//!   stage-level token streams of paper Figure 5.
+//!
+//! Entry points:
+//! * [`apps::AppId`] — the fifteen applications,
+//! * [`data::DataSpec`] / [`data::SizeTier`] — Table V's data ladders,
+//! * [`apps::build_job`] — application × data → simulator [`JobPlan`],
+//! * [`instrument::instrument_app`] — stage-level codes + DAGs from a
+//!   profiling run on the smallest dataset (the paper's cold-start path).
+//!
+//! [`JobPlan`]: lite_sparksim::plan::JobPlan
+
+pub mod apps;
+pub mod data;
+pub mod instrument;
+pub mod srcgen;
+pub mod tokenize;
+
+pub use apps::{build_job, AppId};
+pub use data::{DataSpec, SizeTier};
+pub use instrument::{instrument_app, StageCode};
+pub use tokenize::{tokenize, Vocab, OOV_TOKEN_ID, PAD_TOKEN_ID};

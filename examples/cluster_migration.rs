@@ -1,0 +1,71 @@
+//! Environment transfer (paper RQ3.2 / Table XII).
+//!
+//! Trains NECS once on clusters A+B only and once on all three clusters,
+//! then compares ranking quality for jobs on cluster C. Demonstrates that
+//! environment features let NECS transfer across hardware, and that
+//! training-environment variety helps.
+
+use lite_repro::lite::baselines::AnyModel;
+use lite_repro::lite::experiment::{gold_times, DatasetBuilder, PredictionContext};
+use lite_repro::lite::features::StageInstance;
+use lite_repro::lite::necs::{Necs, NecsConfig};
+use lite_repro::metrics::ranking::{ndcg_at_k, EXECUTION_CAP_S};
+use lite_repro::sparksim::cluster::ClusterSpec;
+use lite_repro::sparksim::conf::SparkConf;
+use lite_repro::workloads::apps::AppId;
+use lite_repro::workloads::data::SizeTier;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn train(clusters: Vec<ClusterSpec>, label: &str) -> (lite_repro::lite::experiment::Dataset, AnyModel) {
+    println!("training NECS on {label}...");
+    let ds = lite_repro::lite::experiment::DatasetBuilder {
+        clusters,
+        ..DatasetBuilder::paper_training(4, 33)
+    }
+    .build();
+    let refs: Vec<&StageInstance> = ds.instances.iter().collect();
+    let model = Necs::train(
+        &ds.registry,
+        &ds.space,
+        &refs,
+        NecsConfig { epochs: 20, ..Default::default() },
+    );
+    (ds, AnyModel::Necs(model))
+}
+
+fn main() {
+    let target = ClusterSpec::cluster_c();
+    let variants = [
+        ("clusters A+B (never saw C)", vec![ClusterSpec::cluster_a(), ClusterSpec::cluster_b()]),
+        ("all clusters", ClusterSpec::all_evaluation_clusters()),
+    ];
+    for (label, clusters) in variants {
+        let (ds, model) = train(clusters, label);
+        let mut total = 0.0;
+        let mut counted = 0.0;
+        for (ai, app) in AppId::all().into_iter().enumerate() {
+            let data = app.dataset(SizeTier::Valid);
+            let mut rng = StdRng::seed_from_u64(100 + ai as u64);
+            let confs: Vec<SparkConf> = (0..25).map(|_| ds.space.sample(&mut rng)).collect();
+            let gold = gold_times(&target, app, &data, &confs, 50 + ai as u64);
+            let Some(ctx) = PredictionContext::warm(&ds.registry, app, &data, &target) else {
+                continue;
+            };
+            let preds: Vec<f64> = confs
+                .iter()
+                .map(|c| {
+                    if lite_repro::sparksim::exec::preflight(&target, c, data.bytes).is_err() {
+                        EXECUTION_CAP_S * 10.0
+                    } else {
+                        model.predict_app(&ds.registry, &ctx, c)
+                    }
+                })
+                .collect();
+            total += ndcg_at_k(&preds, &gold, 5);
+            counted += 1.0;
+        }
+        println!("  NDCG@5 on cluster C jobs: {:.4}\n", total / counted);
+    }
+    println!("(paper Table XII: training on all environments gives the best NDCG on cluster C)");
+}

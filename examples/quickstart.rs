@@ -1,0 +1,57 @@
+//! Quickstart: train LITE on small data, tune TeraSort on large data.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full paper pipeline: build the offline training set on the
+//! simulator (small inputs only), train NECS + fit Adaptive Candidate
+//! Generation, then recommend a configuration for a 16 GB TeraSort on
+//! cluster C and compare it against the Spark defaults.
+
+use lite_repro::lite::experiment::DatasetBuilder;
+use lite_repro::lite::necs::NecsConfig;
+use lite_repro::lite::recommend::LiteTuner;
+use lite_repro::metrics::ranking::etr;
+use lite_repro::sparksim::cluster::ClusterSpec;
+use lite_repro::sparksim::exec::simulate;
+use lite_repro::workloads::apps::{build_job, AppId};
+use lite_repro::workloads::data::SizeTier;
+
+fn main() {
+    // 1. Offline phase: run every app on small inputs with sampled knobs.
+    println!("building offline training set (small inputs, 3 clusters)...");
+    let ds = DatasetBuilder::paper_training(4, 42).build();
+    println!(
+        "  {} application runs -> {} stage-level instances ({} templates)",
+        ds.runs.len(),
+        ds.instances.len(),
+        ds.registry.len()
+    );
+
+    // 2. Train NECS and fit ACG.
+    println!("training NECS + fitting Adaptive Candidate Generation...");
+    let tuner = LiteTuner::from_dataset(
+        &ds,
+        NecsConfig { epochs: 20, ..Default::default() },
+        42,
+    );
+
+    // 3. Online phase: tune TeraSort on 16 GB input, cluster C.
+    let app = AppId::Terasort;
+    let cluster = ClusterSpec::cluster_c();
+    let data = app.dataset(SizeTier::Test);
+    println!("\nrecommending knobs for {app} on {:.1} GB (cluster C)...", data.bytes as f64 / (1 << 30) as f64);
+    let start = std::time::Instant::now();
+    let ranked = tuner.recommend(app, &data, &cluster, 7).expect("TeraSort is in the training set");
+    println!("  recommendation latency: {:.2}s (paper: < 2s)", start.elapsed().as_secs_f64());
+    println!("\ntop recommendation:\n{}", ranked[0].conf);
+
+    // 4. Execute both configurations on the simulated cluster.
+    let plan = build_job(app, &data);
+    let t_rec = simulate(&cluster, &ranked[0].conf, &plan, 1).capped_time(7200.0);
+    let t_def = simulate(&cluster, &ds.space.default_conf(), &plan, 1).capped_time(7200.0);
+    println!("\ndefault configuration: {t_def:.0}s");
+    println!("LITE recommendation:   {t_rec:.0}s");
+    println!("execution time reduction (Eq. 9): {:.2}", etr(t_def, t_rec));
+}

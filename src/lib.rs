@@ -1,0 +1,30 @@
+//! # lite-repro — reproduction of LITE (ICDE 2022)
+//!
+//! *Adaptive Code Learning for Spark Configuration Tuning* proposed LITE, a
+//! lightweight knob recommender that learns a stage-level performance
+//! estimator (NECS) from code and scheduler features, migrates knowledge
+//! from small to large datasets, and adapts online via adversarial
+//! fine-tuning.
+//!
+//! This umbrella crate re-exports the whole workspace so examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`sparksim`] — discrete-event Spark execution simulator (substrate).
+//! * [`workloads`] — the spark-bench application suite and instrumentation.
+//! * [`nn`] — tensors, reverse-mode autograd, layers and optimizers.
+//! * [`forest`] — CART / random forest / GBDT tree ensembles.
+//! * [`bayesopt`] — Gaussian-process Bayesian optimization baseline.
+//! * [`ddpg`] — DDPG / DDPG-C reinforcement-learning baselines.
+//! * [`metrics`] — HR@K, NDCG@K, ETR and statistical tests.
+//! * [`lite`] — the paper's contribution: NECS, stage-based code
+//!   organization, adaptive candidate generation, adaptive model update and
+//!   the online recommender.
+
+pub use lite_bayesopt as bayesopt;
+pub use lite_core as lite;
+pub use lite_ddpg as ddpg;
+pub use lite_forest as forest;
+pub use lite_metrics as metrics;
+pub use lite_nn as nn;
+pub use lite_sparksim as sparksim;
+pub use lite_workloads as workloads;

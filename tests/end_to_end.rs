@@ -1,0 +1,117 @@
+//! End-to-end integration: offline training → online recommendation →
+//! feedback → adaptive update, across all workspace crates.
+
+use lite_repro::lite::amu::AmuConfig;
+use lite_repro::lite::experiment::{DatasetBuilder, PredictionContext};
+use lite_repro::lite::necs::NecsConfig;
+use lite_repro::lite::recommend::LiteTuner;
+use lite_repro::metrics::ranking::etr;
+use lite_repro::sparksim::cluster::ClusterSpec;
+use lite_repro::sparksim::exec::{preflight, simulate};
+use lite_repro::workloads::apps::{build_job, AppId};
+use lite_repro::workloads::data::SizeTier;
+
+fn small_system() -> (lite_repro::lite::experiment::Dataset, LiteTuner) {
+    let ds = lite_repro::lite::experiment::DatasetBuilder {
+        apps: vec![AppId::KMeans, AppId::PageRank, AppId::Terasort, AppId::Sort],
+        clusters: vec![ClusterSpec::cluster_a(), ClusterSpec::cluster_c()],
+        tiers: vec![SizeTier::Train(0), SizeTier::Train(2)],
+        confs_per_cell: 4,
+        seed: 99,
+    }
+    .build();
+    let tuner = LiteTuner::from_dataset(
+        &ds,
+        NecsConfig { epochs: 8, batch_size: 256, ..Default::default() },
+        99,
+    );
+    (ds, tuner)
+}
+
+#[test]
+fn offline_online_pipeline_beats_default_on_large_data() {
+    let (ds, tuner) = small_system();
+    let cluster = ClusterSpec::cluster_c();
+    let mut wins = 0;
+    for (i, app) in [AppId::KMeans, AppId::PageRank, AppId::Terasort].iter().enumerate() {
+        let data = app.dataset(SizeTier::Test);
+        let ranked = tuner.recommend(*app, &data, &cluster, i as u64).expect("warm app");
+        // Every surfaced candidate passes the engine's static pre-flight,
+        // or is ranked behind all feasible ones.
+        assert!(preflight(&cluster, &ranked[0].conf, data.bytes).is_ok());
+        let plan = build_job(*app, &data);
+        let t_rec = simulate(&cluster, &ranked[0].conf, &plan, 7).capped_time(7200.0);
+        let t_def =
+            simulate(&cluster, &ds.space.default_conf(), &plan, 7).capped_time(7200.0);
+        if etr(t_def, t_rec) > 0.0 {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 2, "LITE beat default on only {wins}/3 apps");
+}
+
+#[test]
+fn cold_start_app_gets_feasible_recommendation() {
+    let (_, mut tuner) = small_system();
+    let cluster = ClusterSpec::cluster_c();
+    // TriangleCount was not in the training apps.
+    let data = AppId::TriangleCount.dataset(SizeTier::Valid);
+    assert!(tuner.recommend(AppId::TriangleCount, &data, &cluster, 1).is_none());
+    let ranked = tuner.recommend_cold(AppId::TriangleCount, &data, &cluster, 1);
+    assert!(!ranked.is_empty());
+    assert!(preflight(&cluster, &ranked[0].conf, data.bytes).is_ok());
+    let r = simulate(&cluster, &ranked[0].conf, &build_job(AppId::TriangleCount, &data), 3);
+    assert!(r.ok(), "cold recommendation failed: {:?}", r.failure);
+}
+
+#[test]
+fn feedback_accumulates_and_update_runs() {
+    let (ds, mut tuner) = small_system();
+    tuner.update_batch = 20;
+    let cluster = ClusterSpec::cluster_c();
+    let data = AppId::PageRank.dataset(SizeTier::Valid);
+    let mut k = 0;
+    while !tuner.update_due() {
+        let rec = tuner.recommend(AppId::PageRank, &data, &cluster, k).unwrap();
+        let result =
+            simulate(&cluster, &rec[0].conf, &build_job(AppId::PageRank, &data), 40 + k);
+        tuner.observe(AppId::PageRank, &data, &cluster, &rec[0].conf, &result);
+        k += 1;
+        assert!(k < 40, "feedback never reached the update batch");
+    }
+    let history = tuner.update(&ds, &AmuConfig { epochs: 2, ..Default::default() });
+    assert_eq!(history.len(), 2);
+    assert!(history.iter().all(|h| h.prediction_loss.is_finite()));
+    // Tuner still works after the update.
+    let rec = tuner.recommend(AppId::PageRank, &data, &cluster, 123).unwrap();
+    assert!(rec[0].predicted_s.is_finite());
+}
+
+#[test]
+fn paper_training_protocol_produces_augmented_instances() {
+    // The full Table V protocol at minimal sampling: every app, three
+    // clusters, four tiers.
+    let ds = DatasetBuilder::paper_training(1, 5).build();
+    // 15 apps x 3 clusters x 4 tiers x (1 sampled + default) runs.
+    assert_eq!(ds.runs.len(), 15 * 3 * 4 * 2);
+    // Stage augmentation multiplies instances well beyond runs.
+    assert!(ds.instances.len() > 5 * ds.runs.len());
+    // Every app contributes templates.
+    for app in AppId::all() {
+        let data = app.dataset(SizeTier::Valid);
+        let ctx = PredictionContext::warm(&ds.registry, app, &data, &ds.clusters[2]);
+        assert!(ctx.is_some(), "{app} missing from registry");
+    }
+}
+
+#[test]
+fn recommendation_latency_is_sub_second() {
+    let (_, tuner) = small_system();
+    let cluster = ClusterSpec::cluster_c();
+    let data = AppId::KMeans.dataset(SizeTier::Test);
+    let start = std::time::Instant::now();
+    let _ = tuner.recommend(AppId::KMeans, &data, &cluster, 5).unwrap();
+    // Paper claims < 2 s on their hardware; even a debug build should be
+    // well under that here.
+    assert!(start.elapsed().as_secs_f64() < 2.0, "recommendation too slow");
+}

@@ -1,0 +1,128 @@
+//! Property-based invariants of the learning substrates (`lite-nn`,
+//! `lite-forest`, `lite-bayesopt`, `lite-metrics`) as used by the core.
+
+use lite_repro::bayesopt::gp::{GaussianProcess, GpConfig};
+use lite_repro::forest::cart::TreeConfig;
+use lite_repro::forest::RegressionTree;
+use lite_repro::metrics::ranking::{hr_at_k, ndcg_at_k, spearman};
+use lite_repro::metrics::wilcoxon_signed_rank;
+use lite_repro::nn::tape::{Params, Tape};
+use lite_repro::nn::tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ranking_metrics_are_bounded(scores in finite_vec(6..40), k in 1usize..10) {
+        let gold: Vec<f64> = (0..scores.len()).map(|i| i as f64).collect();
+        let hr = hr_at_k(&scores, &gold, k);
+        let ndcg = ndcg_at_k(&scores, &gold, k);
+        prop_assert!((0.0..=1.0).contains(&hr));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ndcg));
+        // Perfect prediction is always perfect.
+        prop_assert_eq!(hr_at_k(&gold, &gold, k), 1.0);
+        prop_assert!((ndcg_at_k(&gold, &gold, k) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_is_bounded_and_symmetric(a in finite_vec(3..30)) {
+        let b: Vec<f64> = a.iter().map(|v| v * 2.0 + 1.0).collect();
+        prop_assert!((spearman(&a, &b) - 1.0).abs() < 1e-9, "monotone map must give rho=1");
+        let c: Vec<f64> = a.iter().rev().cloned().collect();
+        let r = spearman(&a, &c);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        prop_assert!((spearman(&a, &c) - spearman(&c, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wilcoxon_p_value_is_a_probability(a in finite_vec(2..40), delta in -5.0f64..5.0) {
+        let b: Vec<f64> = a.iter().map(|v| v + delta).collect();
+        let r = wilcoxon_signed_rank(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        // Rank sums partition n(n+1)/2.
+        let total = r.n * (r.n + 1) / 2;
+        prop_assert!((r.w_plus + r.w_minus - total as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_predictions_stay_in_target_hull(
+        ys in proptest::collection::vec(-50.0f64..50.0, 8..60),
+        probe in -100.0f64..100.0,
+    ) {
+        let x: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = RegressionTree::fit(&x, &ys, &TreeConfig::default(), &mut rng);
+        let (lo, hi) = ys.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+        let p = tree.predict(&[probe]);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    #[test]
+    fn gp_variance_is_nonnegative_and_interpolation_tight(
+        xs in proptest::collection::vec(0.0f64..1.0, 3..12),
+        probe in -0.5f64..1.5,
+    ) {
+        let pts: Vec<Vec<f64>> = xs.iter().map(|&v| vec![v]).collect();
+        let ys: Vec<f64> = xs.iter().map(|v| (v * 7.0).sin()).collect();
+        let gp = GaussianProcess::fit(pts.clone(), &ys, GpConfig::default());
+        let (_, var) = gp.predict(&[probe]);
+        prop_assert!(var >= 0.0);
+        for (p, y) in pts.iter().zip(ys.iter()) {
+            let (mu, _) = gp.predict(p);
+            prop_assert!((mu - y).abs() < 0.35, "interpolation off: {mu} vs {y}");
+        }
+        prop_assert!(gp.expected_improvement(&[probe], 0.0, 0.0) >= 0.0);
+    }
+
+    #[test]
+    fn autograd_matches_finite_differences_on_random_dense_nets(
+        seed in 0u64..200,
+        rows in 1usize..4,
+    ) {
+        let mut rng = lite_repro::nn::init::rng(seed);
+        let mut params = Params::new();
+        let w = params.add("w", lite_repro::nn::init::xavier(3, 2, &mut rng));
+        let x = lite_repro::nn::init::normal(rows, 3, 1.0, &mut rng);
+        let target = Tensor::zeros(rows, 2);
+
+        let run = |params: &Params| -> f32 {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let wv = tape.param(params, w);
+            let h = tape.matmul(xv, wv);
+            let h = tape.tanh(h);
+            let loss = tape.mse_loss(h, &target);
+            tape.value(loss).get(0, 0)
+        };
+        params.zero_grads();
+        {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let wv = tape.param(&params, w);
+            let h = tape.matmul(xv, wv);
+            let h = tape.tanh(h);
+            let loss = tape.mse_loss(h, &target);
+            tape.backward(loss, &mut params);
+        }
+        let eps = 1e-3f32;
+        for e in 0..6 {
+            let orig = params.value(w).data()[e];
+            params.value_mut(w).data_mut()[e] = orig + eps;
+            let f1 = run(&params);
+            params.value_mut(w).data_mut()[e] = orig - eps;
+            let f2 = run(&params);
+            params.value_mut(w).data_mut()[e] = orig;
+            let numeric = (f1 - f2) / (2.0 * eps);
+            let got = params.grad(w).data()[e];
+            prop_assert!((numeric - got).abs() <= 2e-2 * (1.0 + numeric.abs().max(got.abs())),
+                "elem {e}: fd {numeric} vs autograd {got}");
+        }
+    }
+}

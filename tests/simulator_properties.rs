@@ -1,0 +1,127 @@
+//! Property-based invariants of the execution simulator, spanning
+//! `lite-sparksim` and `lite-workloads`.
+
+use lite_repro::sparksim::cluster::ClusterSpec;
+use lite_repro::sparksim::conf::{ConfSpace, Knob, SparkConf, NUM_KNOBS};
+use lite_repro::sparksim::exec::{allocate, preflight, simulate};
+use lite_repro::workloads::apps::{build_job, AppId};
+use lite_repro::workloads::data::SizeTier;
+use proptest::prelude::*;
+
+fn arb_conf() -> impl Strategy<Value = SparkConf> {
+    proptest::collection::vec(0.0f64..1.0, NUM_KNOBS).prop_map(|u| {
+        let mut arr = [0.0; NUM_KNOBS];
+        arr.copy_from_slice(&u);
+        ConfSpace::table_iv().decode(&arr)
+    })
+}
+
+fn arb_cluster() -> impl Strategy<Value = ClusterSpec> {
+    prop_oneof![
+        Just(ClusterSpec::cluster_a()),
+        Just(ClusterSpec::cluster_b()),
+        Just(ClusterSpec::cluster_c()),
+    ]
+}
+
+fn arb_app() -> impl Strategy<Value = AppId> {
+    (0usize..15).prop_map(|i| AppId::all()[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulation_is_deterministic(conf in arb_conf(), cluster in arb_cluster(), app in arb_app(), seed in 0u64..1000) {
+        let plan = build_job(app, &app.dataset(SizeTier::Train(1)));
+        let a = simulate(&cluster, &conf, &plan, seed);
+        let b = simulate(&cluster, &conf, &plan, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn times_are_finite_and_nonnegative(conf in arb_conf(), cluster in arb_cluster(), app in arb_app()) {
+        let plan = build_job(app, &app.dataset(SizeTier::Train(2)));
+        let r = simulate(&cluster, &conf, &plan, 7);
+        prop_assert!(r.total_time_s.is_finite());
+        prop_assert!(r.total_time_s >= 0.0);
+        for st in &r.stages {
+            prop_assert!(st.duration_s.is_finite() && st.duration_s >= 0.0);
+            prop_assert!(st.cached_fraction >= 0.0 && st.cached_fraction <= 1.0);
+        }
+        prop_assert!(r.capped_time(7200.0) <= 7200.0);
+        // Inner status must always be a sane model input.
+        prop_assert!(r.inner_status().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn more_data_is_never_faster_when_successful(conf in arb_conf(), cluster in arb_cluster(), app in arb_app()) {
+        let small = simulate(&cluster, &conf, &build_job(app, &app.dataset(SizeTier::Train(0))), 3);
+        let big = simulate(&cluster, &conf, &build_job(app, &app.dataset(SizeTier::Valid)), 3);
+        if small.ok() && big.ok() {
+            // Generous tolerance: noise is multiplicative and independent.
+            prop_assert!(big.total_time_s > 0.5 * small.total_time_s,
+                "24x data ran >2x faster: {} vs {}", big.total_time_s, small.total_time_s);
+        }
+    }
+
+    #[test]
+    fn infeasible_allocation_implies_failed_run(conf in arb_conf(), cluster in arb_cluster(), app in arb_app()) {
+        let plan = build_job(app, &app.dataset(SizeTier::Train(0)));
+        let r = simulate(&cluster, &conf, &plan, 11);
+        if allocate(&cluster, &conf).is_none() {
+            prop_assert!(!r.ok());
+        } else {
+            prop_assert!(r.executors >= 1);
+            prop_assert_eq!(r.slots, r.executors * conf.executor_cores());
+        }
+    }
+
+    #[test]
+    fn preflight_ok_implies_allocation_and_small_inputs_run(conf in arb_conf(), cluster in arb_cluster(), app in arb_app()) {
+        let data = app.dataset(SizeTier::Train(0));
+        if preflight(&cluster, &conf, data.bytes).is_ok() {
+            prop_assert!(allocate(&cluster, &conf).is_some());
+            let r = simulate(&cluster, &conf, &build_job(app, &data), 13);
+            // On the smallest inputs a preflight-clean configuration must
+            // execute (driver-side failures aside, which need big results).
+            prop_assert!(r.failure != Some(lite_repro::sparksim::result::FailureReason::InfeasibleAllocation));
+        }
+    }
+
+    #[test]
+    fn event_log_roundtrips_for_any_run(conf in arb_conf(), cluster in arb_cluster(), app in arb_app()) {
+        use lite_repro::sparksim::eventlog::{decode, emit, encode};
+        let plan = build_job(app, &app.dataset(SizeTier::Train(1)));
+        let r = simulate(&cluster, &conf, &plan, 17);
+        let events = emit(&plan, &r);
+        prop_assert_eq!(decode(encode(&events)).unwrap(), events);
+    }
+
+    #[test]
+    fn normalized_roundtrip_for_any_conf(conf in arb_conf()) {
+        let space = ConfSpace::table_iv();
+        let u = conf.normalized(&space);
+        let back = space.decode(&u);
+        for (a, b) in conf.values().iter().zip(back.values().iter()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+        prop_assert!(space.is_valid(&conf));
+    }
+}
+
+#[test]
+fn more_executors_do_not_hurt_throughput_on_wide_jobs() {
+    // Deterministic directional check kept out of proptest: fixing all but
+    // one knob isolates the mechanism.
+    let space = ConfSpace::table_iv();
+    let cluster = ClusterSpec::cluster_c();
+    let plan = build_job(AppId::Sort, &AppId::Sort.dataset(SizeTier::Test));
+    let mut one = space.default_conf();
+    one.set(&space, Knob::ExecutorInstances, 1.0);
+    let mut many = one.clone();
+    many.set(&space, Knob::ExecutorInstances, 24.0);
+    let t1 = simulate(&cluster, &one, &plan, 5).capped_time(7200.0);
+    let t24 = simulate(&cluster, &many, &plan, 5).capped_time(7200.0);
+    assert!(t24 < t1, "24 executors {t24} not faster than 1 executor {t1}");
+}
