@@ -1,0 +1,26 @@
+# Convenience targets; `make verify` is the full pre-merge gate.
+
+.PHONY: verify fmt lint build test bench quick
+
+verify:
+	./scripts/verify.sh
+
+fmt:
+	cargo fmt --all
+
+lint:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+bench:
+	cargo bench -p lite-bench
+
+# Smoke-run every experiment binary with shrunken settings.
+quick:
+	LITE_BENCH_QUICK=1 cargo run --release -p lite-bench --bin fig01_knob_surface
+	LITE_BENCH_QUICK=1 cargo run --release -p lite-bench --bin fig09_augmentation

@@ -259,11 +259,8 @@ mod tests {
 
     #[test]
     fn ard_length_scales_weight_dimensions() {
-        let cfg = GpConfig {
-            signal_variance: 1.0,
-            length_scales: vec![0.1, 10.0],
-            noise_variance: 1e-6,
-        };
+        let cfg =
+            GpConfig { signal_variance: 1.0, length_scales: vec![0.1, 10.0], noise_variance: 1e-6 };
         // Moving along the short-scale dim decorrelates fast.
         let k_dim0 = cfg.kernel(&[0.0, 0.0], &[0.3, 0.0]);
         let k_dim1 = cfg.kernel(&[0.0, 0.0], &[0.0, 0.3]);

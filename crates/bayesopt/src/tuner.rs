@@ -7,6 +7,7 @@
 //! charges BO's overhead — is exhausted.
 
 use crate::gp::{GaussianProcess, GpConfig};
+use lite_obs::Tracer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -42,6 +43,9 @@ pub struct BoTuner {
     pub xi: f64,
     /// GP hyper-parameters.
     pub gp: GpConfig,
+    /// Span tracer: one `bo.iter` span per evaluated configuration
+    /// (disabled by default).
+    pub tracer: Tracer,
     seed: u64,
 }
 
@@ -53,6 +57,7 @@ impl BoTuner {
             acquisition_pool: 512,
             xi: 0.01,
             gp: GpConfig { length_scales: vec![0.25], ..Default::default() },
+            tracer: Tracer::disabled(),
             seed,
         }
     }
@@ -85,7 +90,14 @@ impl BoTuner {
 
         // Always spend at least one evaluation, even on tiny budgets (the
         // paper's BO baseline runs "at least 2 hours").
+        let mut run_span = self.tracer.span("bo.run");
+        if run_span.is_recording() {
+            run_span.attr_u64("warm_observations", warm.len() as u64);
+            run_span.attr_f64("budget_s", budget_s);
+        }
+        let mut iteration = 0u64;
         loop {
+            let mut iter_span = self.tracer.span("bo.iter");
             let point = if xs.is_empty() {
                 uniform_point(self.dim, &mut rng)
             } else {
@@ -111,6 +123,14 @@ impl BoTuner {
                 best_point = point.clone();
             }
             trace.push(TuneTrace { overhead_s: overhead, time_s: t, best_s: best });
+            if iter_span.is_recording() {
+                iter_span.attr_u64("iteration", iteration);
+                iter_span.attr_str("candidate", &format!("{point:.3?}"));
+                iter_span.attr_f64("actual_s", t);
+                iter_span.attr_f64("best_s", best);
+                iter_span.attr_f64("overhead_s", overhead);
+            }
+            iteration += 1;
             xs.push(point);
             ys.push((1.0 + t).ln());
             raw.push(t);
@@ -118,6 +138,10 @@ impl BoTuner {
             if overhead >= budget_s {
                 break;
             }
+        }
+        if run_span.is_recording() {
+            run_span.attr_u64("evaluations", iteration);
+            run_span.attr_f64("best_s", best);
         }
         (trace, best_point)
     }
@@ -169,6 +193,24 @@ mod tests {
         let (trace, _) = tuner.run(&[], |p| 100.0 + bowl(p), 500.0);
         assert!(trace.len() <= 6, "{} evals", trace.len());
         assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn iteration_spans_match_the_trace() {
+        let mut tuner = BoTuner::new(2, 11);
+        tuner.tracer = Tracer::new();
+        let (trace, _) = tuner.run(&[], bowl, 1000.0);
+        let spans = tuner.tracer.finished();
+        let run = spans.iter().find(|s| s.name == "bo.run").expect("run span");
+        let iters: Vec<_> = spans.iter().filter(|s| s.name == "bo.iter").collect();
+        assert_eq!(iters.len(), trace.len());
+        assert!(iters.iter().all(|s| s.parent == Some(run.id)));
+        for (step, span) in trace.iter().zip(iters.iter()) {
+            match span.attr("actual_s") {
+                Some(lite_obs::AttrValue::F64(v)) => assert_eq!(*v, step.time_s),
+                other => panic!("missing actual_s: {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -77,8 +77,7 @@ fn bench_forest(c: &mut Criterion) {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(2);
-    let x: Vec<Vec<f64>> =
-        (0..500).map(|_| (0..20).map(|_| rng.gen::<f64>()).collect()).collect();
+    let x: Vec<Vec<f64>> = (0..500).map(|_| (0..20).map(|_| rng.gen::<f64>()).collect()).collect();
     let y: Vec<f64> = x.iter().map(|r| r.iter().sum::<f64>()).collect();
     let cfg = GbdtConfig { num_rounds: 40, ..Default::default() };
     c.bench_function("forest/gbdt_fit_500x20", |b| {
@@ -93,8 +92,7 @@ fn bench_gp(c: &mut Criterion) {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(3);
-    let x: Vec<Vec<f64>> =
-        (0..60).map(|_| (0..16).map(|_| rng.gen::<f64>()).collect()).collect();
+    let x: Vec<Vec<f64>> = (0..60).map(|_| (0..16).map(|_| rng.gen::<f64>()).collect()).collect();
     let y: Vec<f64> = x.iter().map(|r| r[0] * 3.0 - r[1]).collect();
     c.bench_function("gp/fit_60x16", |b| {
         b.iter(|| black_box(GaussianProcess::fit(x.clone(), &y, GpConfig::default())))

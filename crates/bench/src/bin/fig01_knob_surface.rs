@@ -11,7 +11,8 @@
 //! one rung up the data ladder with 1 GB executors, so panel (a) uses the
 //! mid-scale input (recorded in EXPERIMENTS.md).
 
-use lite_bench::{print_header, print_row};
+use lite_bench::finish_report;
+use lite_obs::Report;
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::conf::{ConfSpace, Knob};
 use lite_sparksim::exec::simulate;
@@ -19,17 +20,21 @@ use lite_workloads::apps::{build_job, AppId};
 use lite_workloads::data::SizeTier;
 
 fn main() {
+    let report = Report::new("fig01_knob_surface");
     let space = ConfSpace::table_iv();
     let cluster = ClusterSpec::cluster_a();
     let apps = [AppId::PageRank, AppId::TriangleCount];
     let tier = SizeTier::Valid;
 
-    println!("# Figure 1(a): execution time vs spark.executor.cores (mid-scale input, 1 GB executors)\n");
     let cores: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0];
     // Panel (b) keeps the paper's 160 MB input for the joint grid.
     let tier_b = SizeTier::Train(3);
     let widths = [6, 10, 10];
-    print_header(&["cores", "PR (s)", "TC (s)"], &widths);
+    let mut ta = report.table(
+        "Figure 1(a): execution time vs spark.executor.cores (mid-scale input, 1 GB executors)",
+        &["cores", "PR (s)", "TC (s)"],
+        &widths,
+    );
     let mut best = [(0.0, f64::INFINITY); 2];
     for &c in &cores {
         let mut row = vec![format!("{c:.0}")];
@@ -45,20 +50,25 @@ fn main() {
             }
             row.push(format!("{t:.1}"));
         }
-        print_row(&row, &widths);
+        ta.row(&row);
     }
-    println!(
+    report.field("pr_best_cores", best[0].0);
+    report.field("tc_best_cores", best[1].0);
+    report.note(&format!(
         "\nOptimal executor.cores: PageRank = {}, TriangleCount = {} (paper: per-app optima differ)\n",
         best[0].0, best[1].0
-    );
+    ));
 
-    println!("# Figure 1(b): PageRank time vs executor.cores x executor.memory (GB)\n");
     let mems = [1.0, 2.0, 3.0, 4.0, 8.0];
     let mut widths = vec![6usize];
     widths.extend(std::iter::repeat_n(9, mems.len()));
     let mut header = vec!["cores".to_string()];
     header.extend(mems.iter().map(|m| format!("mem={m}G")));
-    print_header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>(), &widths);
+    let mut tb = report.table(
+        "Figure 1(b): PageRank time vs executor.cores x executor.memory (GB)",
+        &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &widths,
+    );
     let mut joint_best = (0.0, 0.0, f64::INFINITY);
     for &c in &[1.0, 2.0, 4.0, 6.0, 8.0] {
         let mut row = vec![format!("{c:.0}")];
@@ -79,10 +89,14 @@ fn main() {
             }
             row.push(format!("{t:.1}"));
         }
-        print_row(&row, &widths);
+        tb.row(&row);
     }
-    println!(
+    report.field("joint_best_cores", joint_best.0);
+    report.field("joint_best_mem_gb", joint_best.1);
+    report.field("joint_best_time_s", joint_best.2);
+    report.note(&format!(
         "\nJoint optimum: executor.cores={}, executor.memory={} ({:.1}s) — multi-knob optimum, as in the paper",
         joint_best.0, joint_best.1, joint_best.2
-    );
+    ));
+    finish_report(&report);
 }

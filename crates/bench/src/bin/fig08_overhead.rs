@@ -9,9 +9,10 @@
 //! tuners ever reach.
 
 use lite_bench::tuning::{tune_bo, tune_ddpg, tune_lite};
-use lite_bench::{necs_epochs, print_header, print_row, training_dataset};
+use lite_bench::{finish_report, necs_epochs, training_dataset};
 use lite_core::necs::NecsConfig;
 use lite_core::recommend::LiteTuner;
+use lite_obs::Report;
 use lite_sparksim::cluster::ClusterSpec;
 use lite_workloads::apps::AppId;
 use lite_workloads::data::SizeTier;
@@ -19,33 +20,33 @@ use std::time::Instant;
 
 fn main() {
     let t0 = Instant::now();
-    let ds = training_dataset(1);
-    let lite = LiteTuner::from_dataset(
-        &ds,
-        NecsConfig { epochs: necs_epochs(), ..Default::default() },
-        1,
-    );
+    let report = Report::new("fig08_overhead");
+    report.field("quick_mode", lite_bench::quick_mode());
+    report.field("budget_s", lite_bench::tuning::TUNING_BUDGET_S);
+    let ds = report.phase("dataset", || training_dataset(1));
+    let lite = report.phase("train_lite", || {
+        LiteTuner::from_dataset(&ds, NecsConfig { epochs: necs_epochs(), ..Default::default() }, 1)
+    });
     eprintln!("[fig08] LITE ready ({:.0}s)", t0.elapsed().as_secs_f64());
     let cluster = ClusterSpec::cluster_c();
 
     for (app, seed) in [(AppId::DecisionTree, 8801u64), (AppId::LinearRegression, 8802)] {
         let data = app.dataset(SizeTier::Test);
-        println!("\n# Figure 8 — {} (large data, cluster C)\n", app.name());
 
         let bo = tune_bo(&ds, &cluster, app, &data, seed);
         let ddpg = tune_ddpg(&ds.space, &cluster, app, &data, &[], seed);
         let lite_out = tune_lite(&lite, &cluster, app, &data, seed);
 
         let widths = [10usize, 14, 14];
-        print_header(&["overhead_s", "BO best_s", "DDPG best_s"], &widths);
+        let mut table = report.table(
+            &format!("Figure 8 — {} (large data, cluster C)", app.name()),
+            &["overhead_s", "BO best_s", "DDPG best_s"],
+            &widths,
+        );
         // Merge the two traces onto a common overhead axis.
         let steps: Vec<f64> = {
-            let mut s: Vec<f64> = bo
-                .trace
-                .iter()
-                .chain(ddpg.trace.iter())
-                .map(|(o, _)| *o)
-                .collect();
+            let mut s: Vec<f64> =
+                bo.trace.iter().chain(ddpg.trace.iter()).map(|(o, _)| *o).collect();
             s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             s.dedup_by(|a, b| (*a - *b).abs() < 1.0);
             s
@@ -54,29 +55,31 @@ fn main() {
             trace.iter().take_while(|(ov, _)| *ov <= o).map(|(_, b)| *b).last()
         };
         for o in &steps {
-            print_row(
-                &[
-                    format!("{o:.0}"),
-                    best_at(&bo.trace, *o).map_or("-".into(), |b| format!("{b:.0}")),
-                    best_at(&ddpg.trace, *o).map_or("-".into(), |b| format!("{b:.0}")),
-                ],
-                &widths,
-            );
+            table.row(&[
+                format!("{o:.0}"),
+                best_at(&bo.trace, *o).map_or("-".into(), |b| format!("{b:.0}")),
+                best_at(&ddpg.trace, *o).map_or("-".into(), |b| format!("{b:.0}")),
+            ]);
         }
         let bo_best = bo.time_s;
         let ddpg_best = ddpg.time_s;
-        println!(
+        report.field(&format!("{}.lite_overhead_s", app.abbrev()), lite_out.decide_wall_s);
+        report.field(&format!("{}.lite_time_s", app.abbrev()), lite_out.time_s);
+        report.field(&format!("{}.bo_best_s", app.abbrev()), bo_best);
+        report.field(&format!("{}.ddpg_best_s", app.abbrev()), ddpg_best);
+        report.note(&format!(
             "\nLITE point: overhead {:.2}s (model inference only) -> execution time {:.0}s",
             lite_out.decide_wall_s, lite_out.time_s
-        );
-        println!(
+        ));
+        report.note(&format!(
             "Final best after the full {:.0}s budget: BO {bo_best:.0}s, DDPG {ddpg_best:.0}s.",
             lite_bench::tuning::TUNING_BUDGET_S
-        );
-        println!(
+        ));
+        report.note(&format!(
             "LITE / best-iterative ratio: {:.2} (paper: LITE near-optimal at minimal overhead)",
             lite_out.time_s / bo_best.min(ddpg_best)
-        );
+        ));
     }
+    finish_report(&report);
     eprintln!("[fig08] total {:.0}s", t0.elapsed().as_secs_f64());
 }

@@ -7,15 +7,17 @@
 //! Paper shape: augmentation ranges from 4× (Terasort) to hundreds×
 //! (SCC); stage-level token counts are a multiple of the main body's.
 
-use lite_bench::{print_header, print_row};
+use lite_bench::finish_report;
+use lite_obs::Report;
 use lite_workloads::apps::AppId;
 use lite_workloads::instrument::{augmentation_factor, instrument_app};
 use lite_workloads::tokenize::tokenize;
 
 fn main() {
-    println!("# Figure 9: Stage-based Code Organization augmentation\n");
+    let report = Report::new("fig09_augmentation");
     let widths = [6, 11, 11, 13, 13];
-    print_header(
+    let mut table = report.table(
+        "Figure 9: Stage-based Code Organization augmentation",
         &["app", "#templates", "#instances", "main tokens", "stage tokens"],
         &widths,
     );
@@ -35,26 +37,27 @@ fn main() {
         if aug > max_aug.1 {
             max_aug = (app, aug);
         }
-        print_row(
-            &[
-                app.abbrev().to_string(),
-                templates.len().to_string(),
-                aug.to_string(),
-                main_tokens.to_string(),
-                stage_tokens.to_string(),
-            ],
-            &widths,
-        );
+        table.row(&[
+            app.abbrev().to_string(),
+            templates.len().to_string(),
+            aug.to_string(),
+            main_tokens.to_string(),
+            stage_tokens.to_string(),
+        ]);
     }
     let avg_ratio = token_ratios.iter().sum::<f64>() / token_ratios.len() as f64;
-    println!(
+    report.field("min_augmentation", min_aug.1 as u64);
+    report.field("max_augmentation", max_aug.1 as u64);
+    report.field("avg_token_ratio", avg_ratio);
+    report.note(&format!(
         "\nAugmentation range: {}x ({}) to {}x ({}); paper reports 4x (TS) to 427x (SCC).",
         min_aug.1,
         min_aug.0.abbrev(),
         max_aug.1,
         max_aug.0.abbrev()
-    );
-    println!(
+    ));
+    report.note(&format!(
         "Average stage-code/main-code token ratio: {avg_ratio:.1}x (paper: length of codes per instance roughly tripled)."
-    );
+    ));
+    finish_report(&report);
 }

@@ -7,13 +7,12 @@
 //! above the best warm competitor up to x ≈ 0.4, and above the average
 //! warm competitor up to x ≈ 0.7.
 
-use lite_bench::{
-    f4, gold_set, num_candidates, print_header, print_row, train_confs_per_cell, EvalSetting,
-};
+use lite_bench::{f4, finish_report, gold_set, num_candidates, train_confs_per_cell, EvalSetting};
 use lite_core::experiment::{DatasetBuilder, PredictionContext};
 use lite_core::features::StageInstance;
 use lite_core::necs::{Necs, NecsConfig};
 use lite_metrics::ranking::{hr_at_k, ndcg_at_k, EXECUTION_CAP_S};
+use lite_obs::Report;
 use lite_sparksim::cluster::ClusterSpec;
 use lite_workloads::apps::AppId;
 use lite_workloads::data::SizeTier;
@@ -24,6 +23,8 @@ use std::time::Instant;
 
 fn main() {
     let t0 = Instant::now();
+    let report = Report::new("fig10_unseen_curve");
+    report.field("quick_mode", lite_bench::quick_mode());
     let cluster = ClusterSpec::cluster_c();
     let apps = AppId::all();
     let ns: Vec<usize> =
@@ -32,9 +33,12 @@ fn main() {
     // Fewer epochs per model: this figure trains ns.len() x runs models.
     let epochs = if lite_bench::quick_mode() { 3 } else { 15 };
 
-    println!("\n# Figure 10: ranking vs fraction of never-seen applications (cluster C validation)\n");
     let widths = [8usize, 8, 9, 9];
-    print_header(&["x=n/15", "n", "HR@5", "NDCG@5"], &widths);
+    let mut table = report.table(
+        "Figure 10: ranking vs fraction of never-seen applications (cluster C validation)",
+        &["x=n/15", "n", "HR@5", "NDCG@5"],
+        &widths,
+    );
 
     for &n in &ns {
         let mut hr_acc = 0.0;
@@ -69,19 +73,16 @@ fn main() {
                     cluster: cluster.clone(),
                     data: app.dataset(SizeTier::Valid),
                 };
-                let gold = gold_set(
-                    &ds.space,
-                    &setting,
-                    num_candidates(),
-                    2200 + 101 * run + ai as u64,
-                );
+                let gold =
+                    gold_set(&ds.space, &setting, num_candidates(), 2200 + 101 * run + ai as u64);
                 let mut reg = ds.registry.clone();
                 let ctx = PredictionContext::cold(&mut reg, app, &setting.data, &cluster);
                 let preds: Vec<f64> = gold
                     .confs
                     .iter()
                     .map(|c| {
-                        if lite_sparksim::exec::preflight(&cluster, c, setting.data.bytes).is_err() {
+                        if lite_sparksim::exec::preflight(&cluster, c, setting.data.bytes).is_err()
+                        {
                             EXECUTION_CAP_S * 10.0
                         } else {
                             model.predict_app(&reg, &ctx, c)
@@ -93,20 +94,18 @@ fn main() {
                 counted += 1.0;
             }
         }
-        print_row(
-            &[
-                format!("{:.2}", n as f64 / 15.0),
-                n.to_string(),
-                f4(hr_acc / counted),
-                f4(ndcg_acc / counted),
-            ],
-            &widths,
-        );
+        table.row(&[
+            format!("{:.2}", n as f64 / 15.0),
+            n.to_string(),
+            f4(hr_acc / counted),
+            f4(ndcg_acc / counted),
+        ]);
         eprintln!("[fig10] n={n} done ({:.0}s)", t0.elapsed().as_secs_f64());
     }
-    println!(
+    report.note(
         "\nReference lines from Table VII (cluster C): best warm competitor and average warm \
-         competitor — compare the curve against those values."
+         competitor — compare the curve against those values.",
     );
+    finish_report(&report);
     eprintln!("[fig10] total {:.0}s", t0.elapsed().as_secs_f64());
 }

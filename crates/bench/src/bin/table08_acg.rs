@@ -10,11 +10,12 @@
 //!     good candidates likelier.
 
 use lite_bench::tuning::execute;
-use lite_bench::{f4, necs_epochs, num_candidates, print_header, print_row, secs, training_dataset};
+use lite_bench::{f4, finish_report, necs_epochs, num_candidates, secs, training_dataset};
 use lite_core::experiment::{gold_times, PredictionContext};
 use lite_core::necs::NecsConfig;
 use lite_core::recommend::LiteTuner;
 use lite_metrics::ranking::{etr, hr_at_k, ndcg_at_k};
+use lite_obs::Report;
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::conf::SparkConf;
 use lite_workloads::apps::AppId;
@@ -25,20 +26,23 @@ use std::time::Instant;
 
 fn main() {
     let t0 = Instant::now();
-    let ds = training_dataset(1);
-    let lite = LiteTuner::from_dataset(
-        &ds,
-        NecsConfig { epochs: necs_epochs(), ..Default::default() },
-        1,
-    );
+    let report = Report::new("table08_acg");
+    report.field("quick_mode", lite_bench::quick_mode());
+    let ds = report.phase("dataset", || training_dataset(1));
+    let lite = report.phase("train_lite", || {
+        LiteTuner::from_dataset(&ds, NecsConfig { epochs: necs_epochs(), ..Default::default() }, 1)
+    });
     eprintln!("[table08] LITE ready ({:.0}s)", t0.elapsed().as_secs_f64());
     let cluster = ClusterSpec::cluster_c();
     let env = cluster.env_features();
 
     // ---- (a) ACG vs plain RFR ----
-    println!("\n# Table VIII(a): RFR point prediction vs LITE (ACG + NECS), large test jobs on cluster C\n");
     let widths = [6usize, 10, 10, 9, 9];
-    print_header(&["app", "RFR t(s)", "LITE t(s)", "RFR ETR", "LITE ETR"], &widths);
+    let mut ta = report.table(
+        "Table VIII(a): RFR point prediction vs LITE (ACG + NECS), large test jobs on cluster C",
+        &["app", "RFR t(s)", "LITE t(s)", "RFR ETR", "LITE ETR"],
+        &widths,
+    );
     let mut sums = [0.0f64; 4];
     for (ai, app) in AppId::all().into_iter().enumerate() {
         let data = app.dataset(SizeTier::Test);
@@ -53,36 +57,35 @@ fn main() {
         sums[1] += t_lite;
         sums[2] += e_rfr;
         sums[3] += e_lite;
-        print_row(
-            &[
-                app.abbrev().to_string(),
-                secs(t_rfr),
-                secs(t_lite),
-                format!("{e_rfr:.2}"),
-                format!("{e_lite:.2}"),
-            ],
-            &widths,
-        );
+        ta.row(&[
+            app.abbrev().to_string(),
+            secs(t_rfr),
+            secs(t_lite),
+            format!("{e_rfr:.2}"),
+            format!("{e_lite:.2}"),
+        ]);
     }
     let n = AppId::all().len() as f64;
-    print_row(
-        &[
-            "avg".to_string(),
-            secs(sums[0] / n),
-            secs(sums[1] / n),
-            format!("{:.2}", sums[2] / n),
-            format!("{:.2}", sums[3] / n),
-        ],
-        &widths,
-    );
+    ta.row(&[
+        "avg".to_string(),
+        secs(sums[0] / n),
+        secs(sums[1] / n),
+        format!("{:.2}", sums[2] / n),
+        format!("{:.2}", sums[3] / n),
+    ]);
+    report.field("rfr_avg_etr", sums[2] / n);
+    report.field("lite_avg_etr", sums[3] / n);
 
     // ---- (b) ACG vs other sampling strategies ----
     // For each validation app on cluster C: sample candidates four ways,
     // rank them with NECS, and score HR/NDCG against the simulated gold
     // list *of those candidates*.
-    println!("\n# Table VIII(b): candidate-sampling strategies under the same NECS ranking (cluster C validation)\n");
     let widths_b = [10usize, 9, 9, 11];
-    print_header(&["sampling", "HR@5", "NDCG@5", "top-1 t(s)"], &widths_b);
+    let mut tb = report.table(
+        "Table VIII(b): candidate-sampling strategies under the same NECS ranking (cluster C validation)",
+        &["sampling", "HR@5", "NDCG@5", "top-1 t(s)"],
+        &widths_b,
+    );
     let strategies = ["random", "lhs", "grid", "ACG"];
     let n_cand = num_candidates();
     let mut results: Vec<(f64, f64, f64)> = vec![(0.0, 0.0, 0.0); strategies.len()];
@@ -117,12 +120,14 @@ fn main() {
         if *strat == "ACG" {
             acg_time_quality = ndcg;
         }
-        print_row(&[strat.to_string(), f4(hr), f4(ndcg), secs(top1)], &widths_b);
+        tb.row(&[strat.to_string(), f4(hr), f4(ndcg), secs(top1)]);
     }
-    println!(
+    report.field("acg_ndcg5", acg_time_quality);
+    report.note(&format!(
         "\nNote: HR/NDCG here score ranking quality *within* each strategy's own candidate set; \
          panel (a) shows ACG's candidates are also absolutely better (lower executed time). ACG NDCG@5 = {}.",
         f4(acg_time_quality)
-    );
+    ));
+    finish_report(&report);
     eprintln!("[table08] total {:.0}s", t0.elapsed().as_secs_f64());
 }

@@ -6,12 +6,13 @@
 //! fine-tune on the feedback of one fold via AMU; evaluate ranking on the
 //! other fold; four runs with different fold splits.
 
-use lite_bench::{f4, gold_set, necs_epochs, num_candidates, print_header, print_row, EvalSetting};
+use lite_bench::{f4, finish_report, gold_set, necs_epochs, num_candidates, EvalSetting};
 use lite_core::amu::{adaptive_model_update, AmuConfig};
 use lite_core::experiment::{extract_stage_instances, Dataset, DatasetBuilder};
 use lite_core::features::StageInstance;
 use lite_core::necs::{Necs, NecsConfig};
 use lite_metrics::stats::wilcoxon_signed_rank;
+use lite_obs::Report;
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::exec::simulate;
 use lite_workloads::apps::{build_job, AppId};
@@ -23,10 +24,12 @@ use std::time::Instant;
 
 fn main() {
     let t0 = Instant::now();
+    let report = Report::new("table09_amu");
+    report.field("quick_mode", lite_bench::quick_mode());
     let clusters = ClusterSpec::all_evaluation_clusters();
-    println!("\n# Table IX: HR@5 / NDCG@5 for NECS vs NECS_u (Adaptive Model Update)\n");
     let widths = [10usize, 9, 9, 9, 9, 9, 9];
-    print_header(
+    let mut table = report.table(
+        "Table IX: HR@5 / NDCG@5 for NECS vs NECS_u (Adaptive Model Update)",
         &["cluster", "HR", "HR_u", "p(HR)", "NDCG", "NDCG_u", "p(NDCG)"],
         &widths,
     );
@@ -48,7 +51,11 @@ fn main() {
             &refs,
             NecsConfig { epochs: necs_epochs(), ..Default::default() },
         );
-        eprintln!("[table09] {} base NECS ready ({:.0}s)", cluster.name, t0.elapsed().as_secs_f64());
+        eprintln!(
+            "[table09] {} base NECS ready ({:.0}s)",
+            cluster.name,
+            t0.elapsed().as_secs_f64()
+        );
 
         let mut hr_pairs: Vec<(f64, f64)> = Vec::new();
         let mut ndcg_pairs: Vec<(f64, f64)> = Vec::new();
@@ -101,8 +108,12 @@ fn main() {
                     cluster: cluster.clone(),
                     data: app.dataset(SizeTier::Valid),
                 };
-                let gold =
-                    gold_set(&ds.space, &setting, num_candidates(), 600 + run * 37 + app.index() as u64);
+                let gold = gold_set(
+                    &ds.space,
+                    &setting,
+                    num_candidates(),
+                    600 + run * 37 + app.index() as u64,
+                );
                 let score = |m: &Necs| {
                     let model = AnyModelRef(m);
                     model.scores(&ds, &setting, &gold)
@@ -131,20 +142,18 @@ fn main() {
             &ndcg_pairs.iter().map(|p| p.0).collect::<Vec<_>>(),
             &ndcg_pairs.iter().map(|p| p.1).collect::<Vec<_>>(),
         );
-        print_row(
-            &[
-                cluster.name.clone(),
-                f4(mean(&hr_pairs, 0)),
-                f4(mean(&hr_pairs, 1)),
-                format!("{:.4}", p_hr.p_value),
-                f4(mean(&ndcg_pairs, 0)),
-                f4(mean(&ndcg_pairs, 1)),
-                format!("{:.4}", p_ndcg.p_value),
-            ],
-            &widths,
-        );
+        table.row(&[
+            cluster.name.clone(),
+            f4(mean(&hr_pairs, 0)),
+            f4(mean(&hr_pairs, 1)),
+            format!("{:.4}", p_hr.p_value),
+            f4(mean(&ndcg_pairs, 0)),
+            f4(mean(&ndcg_pairs, 1)),
+            format!("{:.4}", p_ndcg.p_value),
+        ]);
     }
-    println!("\nPaper shape: NECS_u >= NECS on every cluster with p < 0.05.");
+    report.note("\nPaper shape: NECS_u >= NECS on every cluster with p < 0.05.");
+    finish_report(&report);
     eprintln!("[table09] total {:.0}s", t0.elapsed().as_secs_f64());
 }
 
@@ -169,7 +178,8 @@ impl AnyModelRef<'_> {
             .confs
             .iter()
             .map(|c| {
-                if lite_sparksim::exec::preflight(&setting.cluster, c, setting.data.bytes).is_err() {
+                if lite_sparksim::exec::preflight(&setting.cluster, c, setting.data.bytes).is_err()
+                {
                     lite_metrics::ranking::EXECUTION_CAP_S * 10.0
                 } else {
                     self.0.predict_app(&ds.registry, &ctx, c)

@@ -7,11 +7,12 @@
 //! Paper shape: ETR > 0.9 for most apps, average ≈ 0.95.
 
 use lite_bench::tuning::execute;
-use lite_bench::{necs_epochs, print_header, print_row, train_confs_per_cell};
+use lite_bench::{finish_report, necs_epochs, train_confs_per_cell};
 use lite_core::experiment::DatasetBuilder;
 use lite_core::necs::NecsConfig;
 use lite_core::recommend::LiteTuner;
 use lite_metrics::ranking::etr;
+use lite_obs::Report;
 use lite_sparksim::cluster::ClusterSpec;
 use lite_workloads::apps::AppId;
 use lite_workloads::data::SizeTier;
@@ -19,17 +20,19 @@ use std::time::Instant;
 
 fn main() {
     let t0 = Instant::now();
+    let report = Report::new("table10_coldstart");
+    report.field("quick_mode", lite_bench::quick_mode());
     let cluster = ClusterSpec::cluster_c();
-    println!("\n# Table X: cold-start ETR per never-seen application (large data, cluster C)\n");
     let widths = [6usize, 12, 12, 8];
-    print_header(&["app", "default t(s)", "LITE t(s)", "ETR"], &widths);
+    let mut table = report.table(
+        "Table X: cold-start ETR per never-seen application (large data, cluster C)",
+        &["app", "default t(s)", "LITE t(s)", "ETR"],
+        &widths,
+    );
 
     let apps = AppId::all();
-    let held_out: Vec<AppId> = if lite_bench::quick_mode() {
-        vec![AppId::Terasort, AppId::KMeans]
-    } else {
-        apps.to_vec()
-    };
+    let held_out: Vec<AppId> =
+        if lite_bench::quick_mode() { vec![AppId::Terasort, AppId::KMeans] } else { apps.to_vec() };
 
     let mut etrs = Vec::new();
     for (ai, &held) in held_out.iter().enumerate() {
@@ -57,23 +60,23 @@ fn main() {
         let t_default = execute(&cluster, held, &data, &ds.space.default_conf(), seed ^ 0x4);
         let e = etr(t_default, t_lite);
         etrs.push(e);
-        print_row(
-            &[
-                held.abbrev().to_string(),
-                format!("{t_default:.0}"),
-                format!("{t_lite:.0}"),
-                format!("{e:.2}"),
-            ],
-            &widths,
-        );
+        table.row(&[
+            held.abbrev().to_string(),
+            format!("{t_default:.0}"),
+            format!("{t_lite:.0}"),
+            format!("{e:.2}"),
+        ]);
         eprintln!("[table10] {} done ({:.0}s)", held.abbrev(), t0.elapsed().as_secs_f64());
     }
     let avg = etrs.iter().sum::<f64>() / etrs.len() as f64;
     let above = etrs.iter().filter(|&&e| e > 0.7).count();
-    println!(
+    report.field("avg_cold_etr", avg);
+    report.field("apps_above_0_7", above as u64);
+    report.note(&format!(
         "\nAverage cold-start ETR = {avg:.2}; {above}/{} apps above 0.7 (paper: avg 0.95, 11/15 above 0.95 — \
          note their warm-start best competitor reached only 0.69).",
         etrs.len()
-    );
+    ));
+    finish_report(&report);
     eprintln!("[table10] total {:.0}s", t0.elapsed().as_secs_f64());
 }

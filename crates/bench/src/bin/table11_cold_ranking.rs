@@ -7,14 +7,14 @@
 //! token hurts cold-start robustness.
 
 use lite_bench::{
-    f4, gold_set, necs_epochs, num_candidates, print_header, print_row, train_confs_per_cell,
-    EvalSetting,
+    f4, finish_report, gold_set, necs_epochs, num_candidates, train_confs_per_cell, EvalSetting,
 };
 use lite_core::baselines::{EstimatorKind, FeatureSet, TabularModel};
 use lite_core::experiment::{Dataset, DatasetBuilder, PredictionContext};
 use lite_core::features::{StageInstance, TemplateRegistry};
 use lite_core::necs::{Necs, NecsConfig};
 use lite_metrics::ranking::{hr_at_k, ndcg_at_k, EXECUTION_CAP_S};
+use lite_obs::Report;
 use lite_sparksim::cluster::ClusterSpec;
 use lite_workloads::apps::AppId;
 use lite_workloads::data::SizeTier;
@@ -44,6 +44,8 @@ fn necs_scores(
 
 fn main() {
     let t0 = Instant::now();
+    let report = Report::new("table11_cold_ranking");
+    report.field("quick_mode", lite_bench::quick_mode());
     let cluster = ClusterSpec::cluster_c();
     let apps = AppId::all();
     let eval_apps: Vec<AppId> =
@@ -150,18 +152,19 @@ fn main() {
         eprintln!("[table11] {} done ({:.0}s)", app.abbrev(), t0.elapsed().as_secs_f64());
     }
 
-    println!("\n# Table XI: average ranking under warm vs cold start (cluster C validation)\n");
     let widths = [16usize, 9, 9];
-    print_header(&["model", "HR@5", "NDCG@5"], &widths);
-    for (i, label) in labels.iter().enumerate() {
-        print_row(
-            &[label.to_string(), f4(acc[i][0] / counted), f4(acc[i][1] / counted)],
-            &widths,
-        );
-    }
-    println!(
-        "\nPaper shape: SCG+LightGBM drops sharply warm->cold; NECS stays close to warm accuracy; \
-         removing the oov token (Cold-UNK) degrades cold-start ranking."
+    let mut table = report.table(
+        "Table XI: average ranking under warm vs cold start (cluster C validation)",
+        &["model", "HR@5", "NDCG@5"],
+        &widths,
     );
+    for (i, label) in labels.iter().enumerate() {
+        table.row(&[label.to_string(), f4(acc[i][0] / counted), f4(acc[i][1] / counted)]);
+    }
+    report.note(
+        "\nPaper shape: SCG+LightGBM drops sharply warm->cold; NECS stays close to warm accuracy; \
+         removing the oov token (Cold-UNK) degrades cold-start ranking.",
+    );
+    finish_report(&report);
     eprintln!("[table11] total {:.0}s", t0.elapsed().as_secs_f64());
 }

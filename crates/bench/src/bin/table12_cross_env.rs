@@ -6,13 +6,14 @@
 //! on all clusters gives the best NDCG (environment variety transfers).
 
 use lite_bench::{
-    f4, gold_set, necs_epochs, num_candidates, print_header, print_row, ranking_scores,
-    train_confs_per_cell, EvalSetting,
+    f4, finish_report, gold_set, necs_epochs, num_candidates, ranking_scores, train_confs_per_cell,
+    EvalSetting,
 };
 use lite_core::baselines::AnyModel;
 use lite_core::experiment::DatasetBuilder;
 use lite_core::features::StageInstance;
 use lite_core::necs::{Necs, NecsConfig};
+use lite_obs::Report;
 use lite_sparksim::cluster::ClusterSpec;
 use lite_workloads::apps::AppId;
 use lite_workloads::data::SizeTier;
@@ -26,9 +27,14 @@ fn main() {
         ("NECS_all", ClusterSpec::all_evaluation_clusters()),
     ];
 
-    println!("\n# Table XII: NECS trained on different clusters, evaluated on cluster C validation\n");
+    let report = Report::new("table12_cross_env");
+    report.field("quick_mode", lite_bench::quick_mode());
     let widths = [10usize, 9, 9];
-    print_header(&["model", "HR@5", "NDCG@5"], &widths);
+    let mut table = report.table(
+        "Table XII: NECS trained on different clusters, evaluated on cluster C validation",
+        &["model", "HR@5", "NDCG@5"],
+        &widths,
+    );
 
     // Shared gold sets on cluster C validation.
     let eval_cluster = ClusterSpec::cluster_c();
@@ -73,11 +79,12 @@ fn main() {
                 counted += 1.0;
             }
         }
-        print_row(&[name.to_string(), f4(hr / counted), f4(ndcg / counted)], &widths);
+        table.row(&[name.to_string(), f4(hr / counted), f4(ndcg / counted)]);
         eprintln!("[table12] {name} done ({:.0}s)", t0.elapsed().as_secs_f64());
     }
-    println!(
-        "\nPaper shape: NECS_C > NECS_AB (environment mismatch hurts); NECS_all achieves the best NDCG."
+    report.note(
+        "\nPaper shape: NECS_C > NECS_AB (environment mismatch hurts); NECS_all achieves the best NDCG.",
     );
+    finish_report(&report);
     eprintln!("[table12] total {:.0}s", t0.elapsed().as_secs_f64());
 }

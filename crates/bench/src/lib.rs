@@ -26,6 +26,23 @@ pub fn quick_mode() -> bool {
     std::env::var("LITE_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
 }
 
+/// Directory run manifests are appended to (override with
+/// `LITE_BENCH_RESULTS`; defaults to `results/` under the cwd).
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("LITE_BENCH_RESULTS")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results"))
+}
+
+/// Append a report's manifest to [`results_dir`]. Failures are logged, not
+/// fatal — a read-only checkout should not kill a finished bench run.
+pub fn finish_report(report: &lite_obs::Report) {
+    match report.finish(results_dir()) {
+        Ok(path) => eprintln!("[report] manifest appended to {}", path.display()),
+        Err(e) => eprintln!("[report] could not write manifest: {e}"),
+    }
+}
+
 /// Configurations sampled per training cell (paper-scale vs quick).
 pub fn train_confs_per_cell() -> usize {
     if quick_mode() {
@@ -116,8 +133,7 @@ pub fn ranking_scores(
     setting: &EvalSetting,
     gold: &GoldSet,
 ) -> Option<(f64, f64)> {
-    let ctx =
-        PredictionContext::warm(&ds.registry, setting.app, &setting.data, &setting.cluster)?;
+    let ctx = PredictionContext::warm(&ds.registry, setting.app, &setting.data, &setting.cluster)?;
     let preds: Vec<f64> = gold
         .confs
         .iter()

@@ -37,12 +37,24 @@ pub struct TuneOutcome {
 }
 
 /// Execute a configuration on the target workload (capped).
-pub fn execute(cluster: &ClusterSpec, app: AppId, data: &DataSpec, conf: &SparkConf, seed: u64) -> f64 {
+pub fn execute(
+    cluster: &ClusterSpec,
+    app: AppId,
+    data: &DataSpec,
+    conf: &SparkConf,
+    seed: u64,
+) -> f64 {
     simulate(cluster, conf, &build_job(app, data), seed).capped_time(EXECUTION_CAP_S)
 }
 
 /// One-shot method: evaluate a fixed configuration.
-pub fn tune_fixed(cluster: &ClusterSpec, app: AppId, data: &DataSpec, conf: &SparkConf, seed: u64) -> TuneOutcome {
+pub fn tune_fixed(
+    cluster: &ClusterSpec,
+    app: AppId,
+    data: &DataSpec,
+    conf: &SparkConf,
+    seed: u64,
+) -> TuneOutcome {
     let t = execute(cluster, app, data, conf, seed);
     TuneOutcome { time_s: t, trace: vec![(t, t)], decide_wall_s: 0.0 }
 }
@@ -193,10 +205,7 @@ pub fn tune_ddpg(
         TUNING_BUDGET_S - t_default,
     );
     let decide_wall_s = wall.elapsed().as_secs_f64();
-    let best = trace
-        .last()
-        .map(|t| t.best_s.min(t_default))
-        .unwrap_or(t_default);
+    let best = trace.last().map(|t| t.best_s.min(t_default)).unwrap_or(t_default);
     let mut full_trace = vec![(t_default, t_default)];
     full_trace.extend(trace.iter().map(|t| (t_default + t.overhead_s, t.best_s.min(t_default))));
     TuneOutcome { time_s: best, trace: full_trace, decide_wall_s }

@@ -75,7 +75,14 @@ struct Mlp2 {
 }
 
 impl Mlp2 {
-    fn new(params: &mut Params, name: &str, input: usize, hidden: usize, output: usize, r: &mut StdRng) -> Mlp2 {
+    fn new(
+        params: &mut Params,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        output: usize,
+        r: &mut StdRng,
+    ) -> Mlp2 {
         Mlp2 {
             l1: Dense::new(params, &format!("{name}.l1"), input, hidden, r),
             l2: Dense::new(params, &format!("{name}.l2"), hidden, hidden, r),
@@ -117,7 +124,14 @@ impl DdpgAgent {
     pub fn new(config: DdpgConfig, seed: u64) -> DdpgAgent {
         let mut r = rng(seed);
         let mut params = Params::new();
-        let actor = Mlp2::new(&mut params, "actor", config.state_dim, config.hidden, config.action_dim, &mut r);
+        let actor = Mlp2::new(
+            &mut params,
+            "actor",
+            config.state_dim,
+            config.hidden,
+            config.action_dim,
+            &mut r,
+        );
         let critic = Mlp2::new(
             &mut params,
             "critic",
@@ -174,7 +188,14 @@ impl DdpgAgent {
     }
 
     /// Store a transition in the replay buffer.
-    pub fn remember(&mut self, state: &[f32], action: &[f32], reward: f32, next_state: &[f32], done: bool) {
+    pub fn remember(
+        &mut self,
+        state: &[f32],
+        action: &[f32],
+        reward: f32,
+        next_state: &[f32],
+        done: bool,
+    ) {
         let t = Transition {
             state: state.to_vec(),
             action: action.to_vec(),
@@ -324,9 +345,6 @@ mod tests {
             agent.train_step();
         }
         let trained = (agent.act(&state)[0] - 0.8).abs();
-        assert!(
-            trained < initial.max(0.15),
-            "policy did not improve: {initial} -> {trained}"
-        );
+        assert!(trained < initial.max(0.15), "policy did not improve: {initial} -> {trained}");
     }
 }

@@ -1,6 +1,7 @@
 //! Budgeted DDPG tuning loop (the paper's DDPG(2h) / DDPG-C(2h)).
 
 use crate::agent::{DdpgAgent, DdpgConfig};
+use lite_obs::Tracer;
 
 /// One step of a tuning trajectory (same shape as the BO trace so Figure 8
 /// can overlay them).
@@ -26,13 +27,20 @@ pub struct DdpgTuner {
     agent: DdpgAgent,
     /// Gradient updates per environment step.
     pub updates_per_step: usize,
+    /// Span tracer: one `ddpg.step` span per environment trial (disabled
+    /// by default).
+    pub tracer: Tracer,
 }
 
 impl DdpgTuner {
     /// New tuner; `state_dim` must match what the environment emits,
     /// `action_dim` is the knob count.
     pub fn new(state_dim: usize, action_dim: usize, seed: u64) -> DdpgTuner {
-        DdpgTuner { agent: DdpgAgent::new(DdpgConfig::new(state_dim, action_dim), seed), updates_per_step: 4 }
+        DdpgTuner {
+            agent: DdpgAgent::new(DdpgConfig::new(state_dim, action_dim), seed),
+            updates_per_step: 4,
+            tracer: Tracer::disabled(),
+        }
     }
 
     /// Run tuning until `budget_s` seconds of executed application time
@@ -48,12 +56,19 @@ impl DdpgTuner {
         mut step: impl FnMut(&[f32]) -> (f64, Vec<f32>),
         budget_s: f64,
     ) -> (Vec<TuneTrace>, Vec<f32>) {
+        let mut run_span = self.tracer.span("ddpg.run");
+        if run_span.is_recording() {
+            run_span.attr_f64("budget_s", budget_s);
+            run_span.attr_f64("t_default_s", t_default);
+        }
         let mut state = initial_state;
         let mut overhead = 0.0;
         let mut best = f64::INFINITY;
         let mut best_action = vec![0.5; self.agent.config.action_dim];
         let mut trace = Vec::new();
+        let mut iteration = 0u64;
         loop {
+            let mut step_span = self.tracer.span("ddpg.step");
             let action = self.agent.act_noisy(&state);
             let (t, next_state) = step(&action);
             overhead += t;
@@ -70,9 +85,22 @@ impl DdpgTuner {
             }
             state = next_state;
             trace.push(TuneTrace { overhead_s: overhead, time_s: t, best_s: best });
+            if step_span.is_recording() {
+                step_span.attr_u64("iteration", iteration);
+                step_span.attr_str("candidate", &format!("{action:.3?}"));
+                step_span.attr_f64("actual_s", t);
+                step_span.attr_f64("reward", f64::from(reward));
+                step_span.attr_f64("best_s", best);
+                step_span.attr_f64("overhead_s", overhead);
+            }
+            iteration += 1;
             if overhead >= budget_s {
                 break;
             }
+        }
+        if run_span.is_recording() {
+            run_span.attr_u64("steps", iteration);
+            run_span.attr_f64("best_s", best);
         }
         (trace, best_action)
     }
@@ -99,6 +127,24 @@ mod tests {
         assert_eq!(best.len(), 2);
         for w in trace.windows(2) {
             assert!(w[1].best_s <= w[0].best_s);
+        }
+    }
+
+    #[test]
+    fn step_spans_match_the_trace() {
+        let mut tuner = DdpgTuner::new(2, 2, 17);
+        tuner.tracer = Tracer::new();
+        let (trace, _) = tuner.run(vec![0.5, 0.5], 100.0, env, 500.0);
+        let spans = tuner.tracer.finished();
+        let run = spans.iter().find(|s| s.name == "ddpg.run").expect("run span");
+        let steps: Vec<_> = spans.iter().filter(|s| s.name == "ddpg.step").collect();
+        assert_eq!(steps.len(), trace.len());
+        assert!(steps.iter().all(|s| s.parent == Some(run.id)));
+        for (step, span) in trace.iter().zip(steps.iter()) {
+            match span.attr("actual_s") {
+                Some(lite_obs::AttrValue::F64(v)) => assert_eq!(*v, step.time_s),
+                other => panic!("missing actual_s: {other:?}"),
+            }
         }
     }
 

@@ -148,11 +148,8 @@ fn best_split(
             }
             let right_sum = total_sum - left_sum;
             // Maximizing sum-of-squares of child means == minimizing SSE.
-            let score =
-                left_sum * left_sum / left_n + right_sum * right_sum / (n - left_n);
-            if score > parent_sse_base + 1e-12
-                && best.is_none_or(|(_, _, s)| score > s)
-            {
+            let score = left_sum * left_sum / left_n + right_sum * right_sum / (n - left_n);
+            if score > parent_sse_base + 1e-12 && best.is_none_or(|(_, _, s)| score > s) {
                 best = Some((f, (xv + xn) / 2.0, score));
             }
         }
@@ -193,9 +190,8 @@ mod tests {
         use rand::Rng;
         let x: Vec<Vec<f64>> = (0..200).map(|_| vec![r.gen::<f64>(), r.gen::<f64>()]).collect();
         let y: Vec<f64> = x.iter().map(|v| v[0] * 3.0 - v[1]).collect();
-        let (lo, hi) = y.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
-            (l.min(v), h.max(v))
-        });
+        let (lo, hi) =
+            y.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
         let tree = RegressionTree::fit(&x, &y, &TreeConfig::default(), &mut rng());
         for _ in 0..100 {
             let p = tree.predict(&[r.gen::<f64>() * 2.0 - 0.5, r.gen::<f64>() * 2.0 - 0.5]);
@@ -226,7 +222,12 @@ mod tests {
     fn ties_in_feature_values_do_not_split_between_equals() {
         let x: Vec<Vec<f64>> = vec![vec![1.0], vec![1.0], vec![2.0], vec![2.0]];
         let y = vec![0.0, 1.0, 10.0, 11.0];
-        let tree = RegressionTree::fit(&x, &y, &TreeConfig { min_samples_leaf: 1, ..Default::default() }, &mut rng());
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            &TreeConfig { min_samples_leaf: 1, ..Default::default() },
+            &mut rng(),
+        );
         assert!((tree.predict(&[1.0]) - 0.5).abs() < 1e-9);
         assert!((tree.predict(&[2.0]) - 10.5).abs() < 1e-9);
     }

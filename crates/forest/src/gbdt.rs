@@ -133,10 +133,7 @@ fn quantile_edges(x: &[Vec<f64>], feature: usize, num_bins: usize) -> Vec<f64> {
 }
 
 fn bin_row(row: &[f64], edges: &[Vec<f64>]) -> Vec<u8> {
-    row.iter()
-        .zip(edges.iter())
-        .map(|(&v, e)| e.partition_point(|&edge| edge < v) as u8)
-        .collect()
+    row.iter().zip(edges.iter()).map(|(&v, e)| e.partition_point(|&edge| edge < v) as u8).collect()
 }
 
 fn grow(
@@ -161,6 +158,9 @@ fn grow(
     // maximizing the regularized gain.
     let parent_score = g_sum * g_sum / (n + config.lambda);
     let mut best: Option<(usize, u8, f64)> = None;
+    // `f` indexes the second dimension of `binned[i][f]`, not `binned`
+    // itself, so the iterator rewrite the lint suggests does not apply.
+    #[allow(clippy::needless_range_loop)]
     for f in 0..num_features {
         let mut hist_g = [0.0f64; 256];
         let mut hist_n = [0u32; 256];
@@ -212,12 +212,9 @@ mod tests {
 
     fn nonlinear(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let x: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..3).map(|_| rng.gen::<f64>()).collect()).collect();
-        let y: Vec<f64> = x
-            .iter()
-            .map(|v| (v[0] * 6.0).sin() * 3.0 + v[1] * v[1] * 4.0 - 2.0 * v[2])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..n).map(|_| (0..3).map(|_| rng.gen::<f64>()).collect()).collect();
+        let y: Vec<f64> =
+            x.iter().map(|v| (v[0] * 6.0).sin() * 3.0 + v[1] * v[1] * 4.0 - 2.0 * v[2]).collect();
         (x, y)
     }
 
@@ -230,16 +227,14 @@ mod tests {
             let m = ty.iter().sum::<f64>() / ty.len() as f64;
             ty.iter().map(|v| (v - m).powi(2)).sum::<f64>()
         };
-        let sse: f64 =
-            tx.iter().zip(ty.iter()).map(|(v, t)| (model.predict(v) - t).powi(2)).sum();
+        let sse: f64 = tx.iter().zip(ty.iter()).map(|(v, t)| (model.predict(v) - t).powi(2)).sum();
         assert!(sse < 0.15 * var, "R2 too low: sse {sse} var {var}");
     }
 
     #[test]
     fn more_rounds_reduce_training_error() {
         let (x, y) = nonlinear(300, 3);
-        let small =
-            GbdtRegressor::fit(&x, &y, &GbdtConfig { num_rounds: 5, ..Default::default() });
+        let small = GbdtRegressor::fit(&x, &y, &GbdtConfig { num_rounds: 5, ..Default::default() });
         let large =
             GbdtRegressor::fit(&x, &y, &GbdtConfig { num_rounds: 100, ..Default::default() });
         let sse = |m: &GbdtRegressor| -> f64 {

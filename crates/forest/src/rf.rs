@@ -85,9 +85,7 @@ mod tests {
 
     fn friedman_like(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let x: Vec<Vec<f64>> = (0..n)
-            .map(|_| (0..4).map(|_| rng.gen::<f64>()).collect())
-            .collect();
+        let x: Vec<Vec<f64>> = (0..n).map(|_| (0..4).map(|_| rng.gen::<f64>()).collect()).collect();
         let y: Vec<f64> =
             x.iter().map(|v| 10.0 * v[0] + 5.0 * (v[1] * v[2]) - 3.0 * v[3]).collect();
         (x, y)

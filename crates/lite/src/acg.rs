@@ -70,12 +70,10 @@ impl AdaptiveCandidateGenerator {
         let mut models = Vec::with_capacity(NUM_KNOBS);
         let mut sigmas = [0.0f64; NUM_KNOBS];
         for (d, knob) in ALL_KNOBS.iter().enumerate() {
-            let y: Vec<f64> =
-                top_runs.iter().map(|&i| ds.runs[i].conf.get(*knob)).collect();
+            let y: Vec<f64> = top_runs.iter().map(|&i| ds.runs[i].conf.get(*knob)).collect();
             let mean = y.iter().sum::<f64>() / y.len() as f64;
-            sigmas[d] = (y.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / y.len() as f64)
-                .sqrt();
+            sigmas[d] =
+                (y.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / y.len() as f64).sqrt();
             let cfg = ForestConfig { num_trees: 32, ..Default::default() };
             models.push(RandomForestRegressor::fit(&x, &y, &cfg, seed ^ (d as u64) << 8));
         }

@@ -184,8 +184,14 @@ mod tests {
                 let conf = ds.space.sample(&mut rng);
                 let result = simulate(&cluster_c, &conf, &build_job(app, &data), 900 + k);
                 extract_stage_instances(
-                    &ds.registry, app, &conf, &data, &cluster_c, &result,
-                    usize::MAX - 1, &mut target,
+                    &ds.registry,
+                    app,
+                    &conf,
+                    &data,
+                    &cluster_c,
+                    &result,
+                    usize::MAX - 1,
+                    &mut target,
                 );
             }
         }
@@ -215,10 +221,7 @@ mod tests {
         );
         let after = mse_on(&model, eval_t);
         assert_eq!(hist.len(), 4);
-        assert!(
-            after < before * 1.05,
-            "AMU degraded target fit: {before} -> {after}"
-        );
+        assert!(after < before * 1.05, "AMU degraded target fit: {before} -> {after}");
     }
 
     #[test]

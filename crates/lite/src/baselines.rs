@@ -103,12 +103,7 @@ fn bow(tokens: &[String]) -> [f64; BOW_DIM] {
 /// Monitor-UI-style stage statistics for (app, data, conf, template):
 /// `[ln input, ln shuffle-out, ln result, ln tasks, cache flag]`, averaged
 /// over the plan's stages matching the template.
-fn monitor_stats(
-    app: AppId,
-    data: &DataSpec,
-    conf: &SparkConf,
-    template_name: &str,
-) -> [f64; 5] {
+fn monitor_stats(app: AppId, data: &DataSpec, conf: &SparkConf, template_name: &str) -> [f64; 5] {
     let plan = build_job(app, data);
     let mut acc = [0.0f64; 5];
     let mut n = 0.0;
@@ -174,7 +169,14 @@ fn stage_row(
 }
 
 /// Build the feature row for one *application* run.
-fn app_row(space: &ConfSpace, app: AppId, data: &DataSpec, env: &[f64; 6], conf: &SparkConf, fs: FeatureSet) -> Vec<f64> {
+fn app_row(
+    space: &ConfSpace,
+    app: AppId,
+    data: &DataSpec,
+    env: &[f64; 6],
+    conf: &SparkConf,
+    fs: FeatureSet,
+) -> Vec<f64> {
     let mut row = vec![0.0; 15];
     row[app.index()] = 1.0;
     row.extend_from_slice(&data.log_features());
@@ -188,12 +190,7 @@ fn app_row(space: &ConfSpace, app: AppId, data: &DataSpec, env: &[f64; 6], conf:
 
 enum FittedEstimator {
     Gbdt(GbdtRegressor),
-    Mlp {
-        params: Params,
-        mlp: TowerMlp,
-        mean: Vec<f64>,
-        std: Vec<f64>,
-    },
+    Mlp { params: Params, mlp: TowerMlp, mean: Vec<f64>, std: Vec<f64> },
 }
 
 /// A fitted tabular baseline (one cell of Table VII's grid).
@@ -344,7 +341,14 @@ impl TabularModel {
             }
             total
         } else {
-            self.predict_row(&app_row(&self.space, ctx.app, &ctx.data, &ctx.env, conf, self.feature_set))
+            self.predict_row(&app_row(
+                &self.space,
+                ctx.app,
+                &ctx.data,
+                &ctx.env,
+                conf,
+                self.feature_set,
+            ))
         }
     }
 
@@ -468,7 +472,12 @@ impl NeuralBaseline {
         model
     }
 
-    fn encode_template(&self, tape: &mut Tape, registry: &TemplateRegistry, key: TemplateKey) -> Var {
+    fn encode_template(
+        &self,
+        tape: &mut Tape,
+        registry: &TemplateRegistry,
+        key: TemplateKey,
+    ) -> Var {
         let entry = registry.get(key);
         let raw = match self.encoder {
             EncoderKind::Lstm | EncoderKind::Transformer => {
@@ -480,11 +489,7 @@ impl NeuralBaseline {
                     EncoderKind::Lstm => {
                         self.lstm.as_ref().expect("lstm").forward(tape, &self.params, emb)
                     }
-                    _ => self
-                        .transformer
-                        .as_ref()
-                        .expect("tf")
-                        .forward(tape, &self.params, emb),
+                    _ => self.transformer.as_ref().expect("tf").forward(tape, &self.params, emb),
                 }
             }
             EncoderKind::Gcn => {
@@ -587,8 +592,7 @@ impl NeuralBaseline {
         uniq.iter()
             .enumerate()
             .map(|(r, t)| {
-                self.norm.denorm_y(tape.value(pred).get(r, 0) as f64).max(0.0)
-                    * counts[t] as f64
+                self.norm.denorm_y(tape.value(pred).get(r, 0) as f64).max(0.0) * counts[t] as f64
             })
             .sum()
     }
@@ -654,10 +658,7 @@ mod tests {
         let inst = &ds.instances[0];
         let base = TABULAR_WIDTH + 5;
         assert_eq!(stage_row(&ds.space, &ds.registry, inst, FeatureSet::S).len(), base);
-        assert_eq!(
-            stage_row(&ds.space, &ds.registry, inst, FeatureSet::Sc).len(),
-            base + BOW_DIM
-        );
+        assert_eq!(stage_row(&ds.space, &ds.registry, inst, FeatureSet::Sc).len(), base + BOW_DIM);
         assert_eq!(
             stage_row(&ds.space, &ds.registry, inst, FeatureSet::Scg).len(),
             base + BOW_DIM + 3 + ds.registry.op_onehot_width()
@@ -680,8 +681,8 @@ mod tests {
         for fs in [FeatureSet::W, FeatureSet::S, FeatureSet::Wc, FeatureSet::Sc, FeatureSet::Scg] {
             let m = TabularModel::fit(&ds, EstimatorKind::Gbdt, fs, 1);
             let data = AppId::Sort.dataset(SizeTier::Train(1));
-            let ctx = PredictionContext::warm(&ds.registry, AppId::Sort, &data, &ds.clusters[0])
-                .unwrap();
+            let ctx =
+                PredictionContext::warm(&ds.registry, AppId::Sort, &data, &ds.clusters[0]).unwrap();
             let p = m.predict_app(&ds.registry, &ctx, &ds.space.default_conf());
             assert!(p > 0.0 && p.is_finite(), "{}: {p}", m.label());
         }

@@ -94,6 +94,15 @@ impl DatasetBuilder {
 
     /// Run every cell and assemble the dataset.
     pub fn build(&self) -> Dataset {
+        self.build_with(&lite_obs::Tracer::disabled())
+    }
+
+    /// [`build`](DatasetBuilder::build) with observability: a
+    /// `dataset.build` span wrapping one `dataset.cell` span per
+    /// (app, cluster, tier) cell, each carrying the cell's run and
+    /// instance counts. A disabled tracer makes this identical to `build`.
+    pub fn build_with(&self, tracer: &lite_obs::Tracer) -> Dataset {
+        let mut build_span = tracer.span("dataset.build");
         let space = ConfSpace::table_iv();
         let registry = TemplateRegistry::build(&self.apps);
         let mut runs = Vec::new();
@@ -102,14 +111,16 @@ impl DatasetBuilder {
         for &app in &self.apps {
             for (ci, cluster) in self.clusters.iter().enumerate() {
                 for &tier in &self.tiers {
+                    let mut cell_span = tracer.span("dataset.cell");
+                    let (runs_before, instances_before) = (runs.len(), instances.len());
                     let data = app.dataset(tier);
-                    let mut confs: Vec<SparkConf> = (0..self.confs_per_cell)
-                        .map(|_| space.sample(&mut rng))
-                        .collect();
+                    let mut confs: Vec<SparkConf> =
+                        (0..self.confs_per_cell).map(|_| space.sample(&mut rng)).collect();
                     confs.push(space.default_conf());
                     for conf in confs {
                         let run_seed = splitmix(
-                            self.seed ^ ((app.index() as u64) << 40)
+                            self.seed
+                                ^ ((app.index() as u64) << 40)
                                 ^ ((ci as u64) << 32)
                                 ^ runs.len() as u64,
                         );
@@ -128,8 +139,21 @@ impl DatasetBuilder {
                         );
                         runs.push(AppRun { app, tier, cluster: ci, data, conf, result });
                     }
+                    if cell_span.is_recording() {
+                        cell_span.attr_str("app", &app.to_string());
+                        cell_span.attr_u64("cluster", ci as u64);
+                        cell_span.attr_str("tier", &format!("{tier:?}"));
+                        cell_span.attr_u64("runs", (runs.len() - runs_before) as u64);
+                        cell_span
+                            .attr_u64("instances", (instances.len() - instances_before) as u64);
+                    }
                 }
             }
+        }
+        if build_span.is_recording() {
+            build_span.attr_u64("runs", runs.len() as u64);
+            build_span.attr_u64("instances", instances.len() as u64);
+            build_span.attr_u64("templates", registry.len() as u64);
         }
         Dataset { space, clusters: self.clusters.clone(), registry, runs, instances }
     }
@@ -196,12 +220,7 @@ impl PredictionContext {
         let plan = build_job(app, data);
         let stages: Option<Vec<TemplateKey>> =
             plan.stages.iter().map(|s| registry.key_of(app, &s.name)).collect();
-        Some(PredictionContext {
-            app,
-            data: *data,
-            env: cluster.env_features(),
-            stages: stages?,
-        })
+        Some(PredictionContext { app, data: *data, env: cluster.env_features(), stages: stages? })
     }
 
     /// Build for a cold-start application: run instrumentation on the
@@ -280,6 +299,32 @@ mod tests {
     }
 
     #[test]
+    fn build_with_emits_one_cell_span_per_cell() {
+        let tracer = lite_obs::Tracer::new();
+        let ds = tiny_builder().build_with(&tracer);
+        let spans = tracer.finished();
+        let build = spans.iter().find(|s| s.name == "dataset.build").expect("build span");
+        let cells: Vec<_> = spans.iter().filter(|s| s.name == "dataset.cell").collect();
+        // 2 apps x 1 cluster x 2 tiers.
+        assert_eq!(cells.len(), 4);
+        assert!(cells.iter().all(|c| c.parent == Some(build.id)));
+        let total_runs: u64 = cells
+            .iter()
+            .map(|c| match c.attr("runs") {
+                Some(lite_obs::AttrValue::U64(n)) => *n,
+                other => panic!("missing runs attr: {other:?}"),
+            })
+            .sum();
+        assert_eq!(total_runs, ds.runs.len() as u64);
+        // Tracing must not perturb the build itself.
+        let plain = tiny_builder().build();
+        assert_eq!(plain.runs.len(), ds.runs.len());
+        for (x, y) in plain.runs.iter().zip(ds.runs.iter()) {
+            assert_eq!(x.result.total_time_s, y.result.total_time_s);
+        }
+    }
+
+    #[test]
     fn dataset_build_is_deterministic() {
         let a = tiny_builder().build();
         let b = tiny_builder().build();
@@ -314,8 +359,9 @@ mod tests {
     fn warm_context_fails_for_unknown_app() {
         let ds = tiny_builder().build();
         let data = AppId::KMeans.dataset(SizeTier::Valid);
-        assert!(PredictionContext::warm(&ds.registry, AppId::KMeans, &data, &ds.clusters[0])
-            .is_none());
+        assert!(
+            PredictionContext::warm(&ds.registry, AppId::KMeans, &data, &ds.clusters[0]).is_none()
+        );
     }
 
     #[test]
@@ -324,8 +370,7 @@ mod tests {
         let mut registry = ds.registry.clone();
         let before = registry.len();
         let data = AppId::KMeans.dataset(SizeTier::Valid);
-        let ctx =
-            PredictionContext::cold(&mut registry, AppId::KMeans, &data, &ds.clusters[0]);
+        let ctx = PredictionContext::cold(&mut registry, AppId::KMeans, &data, &ds.clusters[0]);
         assert!(registry.len() > before);
         assert!(!ctx.stages.is_empty());
     }

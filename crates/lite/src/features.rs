@@ -89,12 +89,8 @@ impl TemplateRegistry {
             }
         }
 
-        let mut reg = TemplateRegistry {
-            entries: Vec::new(),
-            by_key: HashMap::new(),
-            vocab,
-            op_index,
-        };
+        let mut reg =
+            TemplateRegistry { entries: Vec::new(), by_key: HashMap::new(), vocab, op_index };
         for (app, stages) in instrumented {
             for s in stages {
                 reg.intern(app, &s);
@@ -189,8 +185,7 @@ impl TemplateRegistry {
         if e.token_ids.is_empty() {
             return 0.0;
         }
-        e.token_ids.iter().filter(|&&t| t == OOV_TOKEN_ID).count() as f64
-            / e.token_ids.len() as f64
+        e.token_ids.iter().filter(|&&t| t == OOV_TOKEN_ID).count() as f64 / e.token_ids.len() as f64
     }
 }
 
@@ -235,8 +230,7 @@ impl FeatNorm {
     /// Estimate from training instances.
     pub fn fit(space: &ConfSpace, instances: &[StageInstance]) -> FeatNorm {
         assert!(!instances.is_empty(), "cannot normalize an empty training set");
-        let rows: Vec<Vec<f64>> =
-            instances.iter().map(|i| raw_tabular(space, i)).collect();
+        let rows: Vec<Vec<f64>> = instances.iter().map(|i| raw_tabular(space, i)).collect();
         let dim = rows[0].len();
         let n = rows.len() as f64;
         let mut mean = vec![0.0; dim];
@@ -383,8 +377,7 @@ mod tests {
         assert!(oov_rows > 0, "expected oov ops in SCC under Sort vocab");
         // The no-oov variant zeroes those rows instead.
         let m2 = reg.node_onehots_no_oov(key);
-        let zero_rows =
-            (0..m2.rows()).filter(|&r| m2.row(r).iter().all(|&v| v == 0.0)).count();
+        let zero_rows = (0..m2.rows()).filter(|&r| m2.row(r).iter().all(|&v| v == 0.0)).count();
         assert_eq!(zero_rows, oov_rows);
     }
 

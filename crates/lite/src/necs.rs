@@ -22,6 +22,7 @@ use lite_nn::layers::{Conv1dBank, Dense, GcnLayer, TowerMlp};
 use lite_nn::optim::{clip_grad_norm, Adam};
 use lite_nn::tape::{ParamId, Params, Tape, Var};
 use lite_nn::tensor::Tensor;
+use lite_obs::Tracer;
 use lite_sparksim::conf::{ConfSpace, SparkConf};
 use lite_workloads::data::DataSpec;
 use rand::seq::SliceRandom;
@@ -105,10 +106,8 @@ impl Necs {
         let mut r = rng(config.seed);
         let mut params = Params::new();
         let vocab_size = registry.vocab.len();
-        let token_table = params.add(
-            "necs.embed",
-            lite_nn::init::normal(vocab_size, config.embed_dim, 0.1, &mut r),
-        );
+        let token_table = params
+            .add("necs.embed", lite_nn::init::normal(vocab_size, config.embed_dim, 0.1, &mut r));
         let conv = Conv1dBank::new(
             &mut params,
             "necs.conv",
@@ -117,15 +116,32 @@ impl Necs {
             config.kernels_per_width,
             &mut r,
         );
-        let code_proj =
-            Dense::new(&mut params, "necs.codeproj", conv.output_width(), config.code_hidden, &mut r);
+        let code_proj = Dense::new(
+            &mut params,
+            "necs.codeproj",
+            conv.output_width(),
+            config.code_hidden,
+            &mut r,
+        );
         let onehot = registry.op_onehot_width();
         let gcn1 = GcnLayer::new(&mut params, "necs.gcn1", onehot, config.gcn_hidden, &mut r);
         let gcn2 =
             GcnLayer::new(&mut params, "necs.gcn2", config.gcn_hidden, config.gcn_hidden, &mut r);
         let mlp_input = TABULAR_WIDTH + config.code_hidden + config.gcn_hidden;
         let mlp = TowerMlp::new(&mut params, "necs.mlp", mlp_input, config.mlp_depth, 1, &mut r);
-        Necs { config, norm, space, params, token_table, conv, code_proj, gcn1, gcn2, mlp, loss_history: Vec::new() }
+        Necs {
+            config,
+            norm,
+            space,
+            params,
+            token_table,
+            conv,
+            code_proj,
+            gcn1,
+            gcn2,
+            mlp,
+            loss_history: Vec::new(),
+        }
     }
 
     /// Convenience: fit normalization + train on a slice of instances.
@@ -143,7 +159,12 @@ impl Necs {
     }
 
     /// Encode one template: `[1, code_hidden + gcn_hidden]` (Eq. 1 ‖ Eq. 2).
-    fn encode_template(&self, tape: &mut Tape, registry: &TemplateRegistry, key: TemplateKey) -> Var {
+    fn encode_template(
+        &self,
+        tape: &mut Tape,
+        registry: &TemplateRegistry,
+        key: TemplateKey,
+    ) -> Var {
         let entry = registry.get(key);
         // --- code branch (Eq. 1) ---
         let ids: &[usize] = if entry.token_ids.is_empty() { &[0] } else { &entry.token_ids };
@@ -151,7 +172,7 @@ impl Necs {
         let q = self.conv.forward(tape, &self.params, emb); // [1, widths*K]
         let proj = self.code_proj.forward(tape, &self.params, q);
         let h_code = tape.relu(proj); // [1, code_hidden]
-        // --- scheduler branch (Eq. 2) ---
+                                      // --- scheduler branch (Eq. 2) ---
         let onehots = if self.config.use_oov_node {
             registry.node_onehots(key)
         } else {
@@ -210,13 +231,32 @@ impl Necs {
 
     /// Train with Adam on MSE over normalized log targets (Eq. 4).
     pub fn fit(&mut self, registry: &TemplateRegistry, instances: &[&StageInstance]) {
+        self.fit_with(registry, instances, &Tracer::disabled());
+    }
+
+    /// [`fit`](Necs::fit) with observability: one `necs.epoch` span per
+    /// epoch carrying the mean minibatch loss and the mean pre-clip
+    /// gradient norm. A disabled tracer makes this identical to `fit`.
+    pub fn fit_with(
+        &mut self,
+        registry: &TemplateRegistry,
+        instances: &[&StageInstance],
+        tracer: &Tracer,
+    ) {
         assert!(!instances.is_empty(), "cannot fit on an empty training set");
+        let mut fit_span = tracer.span("necs.fit");
+        if fit_span.is_recording() {
+            fit_span.attr_u64("instances", instances.len() as u64);
+            fit_span.attr_u64("epochs", self.config.epochs as u64);
+        }
         let mut order: Vec<usize> = (0..instances.len()).collect();
         let mut shuffle_rng = rand::rngs::StdRng::seed_from_u64(self.config.seed ^ 0x5f);
         let mut opt = Adam::new(self.config.lr);
-        for _epoch in 0..self.config.epochs {
+        for epoch in 0..self.config.epochs {
+            let mut epoch_span = tracer.span("necs.epoch");
             order.shuffle(&mut shuffle_rng);
             let mut epoch_loss = 0.0f32;
+            let mut grad_norm_sum = 0.0f32;
             let mut batches = 0;
             for chunk in order.chunks(self.config.batch_size) {
                 let batch: Vec<&StageInstance> = chunk.iter().map(|&i| instances[i]).collect();
@@ -232,10 +272,17 @@ impl Necs {
                 epoch_loss += tape.value(loss).get(0, 0);
                 batches += 1;
                 tape.backward(loss, &mut self.params);
-                clip_grad_norm(&mut self.params, 5.0);
+                grad_norm_sum += clip_grad_norm(&mut self.params, 5.0);
                 opt.step(&mut self.params);
             }
-            self.loss_history.push(epoch_loss / batches.max(1) as f32);
+            let mean_loss = epoch_loss / batches.max(1) as f32;
+            self.loss_history.push(mean_loss);
+            if epoch_span.is_recording() {
+                epoch_span.attr_u64("epoch", epoch as u64);
+                epoch_span.attr_u64("batches", batches as u64);
+                epoch_span.attr_f64("loss", f64::from(mean_loss));
+                epoch_span.attr_f64("grad_norm", f64::from(grad_norm_sum / batches.max(1) as f32));
+            }
         }
     }
 
@@ -385,11 +432,8 @@ mod tests {
         let ds = small_dataset();
         let refs: Vec<&StageInstance> = ds.instances.iter().collect();
         let model = Necs::train(&ds.registry, &ds.space, &refs, quick_config());
-        let items: Vec<(TemplateKey, &SparkConf, &DataSpec, &[f64; 6])> = refs
-            .iter()
-            .take(200)
-            .map(|i| (i.template, &i.conf, &i.data, &i.env))
-            .collect();
+        let items: Vec<(TemplateKey, &SparkConf, &DataSpec, &[f64; 6])> =
+            refs.iter().take(200).map(|i| (i.template, &i.conf, &i.data, &i.env)).collect();
         let preds = model.predict_stages(&ds.registry, &items);
         let truths: Vec<f64> = refs.iter().take(200).map(|i| i.y).collect();
         let rho = lite_metrics::ranking::spearman(&preds, &truths);
@@ -400,7 +444,8 @@ mod tests {
     fn predict_app_sums_stage_multiplicity() {
         let ds = small_dataset();
         let refs: Vec<&StageInstance> = ds.instances.iter().collect();
-        let model = Necs::train(&ds.registry, &ds.space, &refs, NecsConfig { epochs: 1, ..quick_config() });
+        let model =
+            Necs::train(&ds.registry, &ds.space, &refs, NecsConfig { epochs: 1, ..quick_config() });
         let cluster = &ds.clusters[0];
         let data = AppId::PageRank.dataset(SizeTier::Train(0));
         let ctx = PredictionContext::warm(&ds.registry, AppId::PageRank, &data, cluster).unwrap();
@@ -411,6 +456,35 @@ mod tests {
             ctx.stages.iter().map(|&t| (t, &conf, &ctx.data, &ctx.env)).collect();
         let manual: f64 = model.predict_stages(&ds.registry, &items).iter().sum();
         assert!((total - manual).abs() < 1e-6 * manual.max(1.0), "{total} vs {manual}");
+    }
+
+    #[test]
+    fn fit_with_emits_epoch_spans_with_loss_and_grad_norm() {
+        let ds = small_dataset();
+        let refs: Vec<&StageInstance> = ds.instances.iter().collect();
+        let cfg = NecsConfig { epochs: 3, ..quick_config() };
+        let owned: Vec<StageInstance> = refs.iter().map(|i| (*i).clone()).collect();
+        let norm = FeatNorm::fit(&ds.space, &owned);
+        let mut model = Necs::new(&ds.registry, ds.space.clone(), norm, cfg);
+        let tracer = Tracer::new();
+        model.fit_with(&ds.registry, &refs, &tracer);
+        let spans = tracer.finished();
+        let fit = spans.iter().find(|s| s.name == "necs.fit").expect("fit span");
+        let epochs: Vec<_> = spans.iter().filter(|s| s.name == "necs.epoch").collect();
+        assert_eq!(epochs.len(), 3);
+        assert!(epochs.iter().all(|e| e.parent == Some(fit.id)));
+        for (i, e) in epochs.iter().enumerate() {
+            match e.attr("loss") {
+                Some(lite_obs::AttrValue::F64(l)) => {
+                    assert!((l - f64::from(model.loss_history[i])).abs() < 1e-6);
+                }
+                other => panic!("epoch {i} missing loss attr: {other:?}"),
+            }
+            match e.attr("grad_norm") {
+                Some(lite_obs::AttrValue::F64(g)) => assert!(*g > 0.0 && g.is_finite()),
+                other => panic!("epoch {i} missing grad_norm attr: {other:?}"),
+            }
+        }
     }
 
     #[test]

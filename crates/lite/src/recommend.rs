@@ -13,6 +13,7 @@ use crate::amu::{adaptive_model_update, AmuConfig, AmuEpoch};
 use crate::experiment::{extract_stage_instances, Dataset, PredictionContext};
 use crate::features::{StageInstance, TemplateRegistry};
 use crate::necs::{Necs, NecsConfig};
+use lite_obs::Tracer;
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::conf::SparkConf;
 use lite_sparksim::result::RunResult;
@@ -42,6 +43,9 @@ pub struct LiteTuner {
     pub num_candidates: usize,
     /// Feedback batch size that triggers an adaptive update.
     pub update_batch: usize,
+    /// Span tracer for recommendation loops (disabled by default; set an
+    /// enabled tracer to record `lite.recommend`/`lite.candidate` spans).
+    pub tracer: Tracer,
     feedback: Vec<StageInstance>,
     feedback_runs: usize,
 }
@@ -58,6 +62,7 @@ impl LiteTuner {
             registry: ds.registry.clone(),
             num_candidates: 30,
             update_batch: 50,
+            tracer: Tracer::disabled(),
             feedback: Vec::new(),
             feedback_runs: 0,
         }
@@ -96,31 +101,45 @@ impl LiteTuner {
         cluster: &ClusterSpec,
         seed: u64,
     ) -> Vec<RankedCandidate> {
+        let mut rec_span = self.tracer.span("lite.recommend");
+        if rec_span.is_recording() {
+            rec_span.attr_str("app", &ctx.app.to_string());
+            rec_span.attr_u64("candidates", self.num_candidates as u64);
+            rec_span.attr_u64("seed", seed);
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let confs =
             self.acg.candidates(ctx.app, &ctx.data, &ctx.env, self.num_candidates, &mut rng);
         let mut ranked: Vec<RankedCandidate> = confs
             .into_iter()
-            .map(|conf| {
+            .enumerate()
+            .map(|(i, conf)| {
+                let mut cand_span = self.tracer.span("lite.candidate");
                 // Configurations failing the engine's static pre-flight
                 // (unsatisfiable allocation, partitions that cannot fit a
                 // task's heap share) never even start on a real cluster;
                 // rank them behind everything.
-                let predicted_s = if lite_sparksim::exec::preflight(
-                    cluster,
-                    &conf,
-                    ctx.data.bytes,
-                )
-                .is_err()
-                {
-                    lite_metrics::ranking::EXECUTION_CAP_S * 10.0
-                } else {
+                let preflight_ok =
+                    lite_sparksim::exec::preflight(cluster, &conf, ctx.data.bytes).is_ok();
+                let predicted_s = if preflight_ok {
                     self.model.predict_app(&self.registry, ctx, &conf)
+                } else {
+                    lite_metrics::ranking::EXECUTION_CAP_S * 10.0
                 };
+                if cand_span.is_recording() {
+                    cand_span.attr_u64("candidate", i as u64);
+                    cand_span.attr_bool("preflight_ok", preflight_ok);
+                    cand_span.attr_f64("predicted_s", predicted_s);
+                }
                 RankedCandidate { conf, predicted_s }
             })
             .collect();
         ranked.sort_by(|a, b| a.predicted_s.partial_cmp(&b.predicted_s).expect("finite"));
+        if rec_span.is_recording() {
+            if let Some(best) = ranked.first() {
+                rec_span.attr_f64("best_predicted_s", best.predicted_s);
+            }
+        }
         ranked
     }
 
@@ -164,8 +183,7 @@ impl LiteTuner {
     pub fn update(&mut self, source: &Dataset, config: &AmuConfig) -> Vec<AmuEpoch> {
         let src: Vec<&StageInstance> = source.instances.iter().collect();
         let tgt: Vec<&StageInstance> = self.feedback.iter().collect();
-        let history =
-            adaptive_model_update(&mut self.model, &self.registry, &src, &tgt, config);
+        let history = adaptive_model_update(&mut self.model, &self.registry, &src, &tgt, config);
         self.feedback.clear();
         history
     }
@@ -200,9 +218,8 @@ mod tests {
     fn warm_recommendation_is_ranked_and_valid() {
         let (ds, tuner) = tuner();
         let data = AppId::KMeans.dataset(SizeTier::Valid);
-        let ranked = tuner
-            .recommend(AppId::KMeans, &data, &ds.clusters[1], 1)
-            .expect("KMeans is warm");
+        let ranked =
+            tuner.recommend(AppId::KMeans, &data, &ds.clusters[1], 1).expect("KMeans is warm");
         assert_eq!(ranked.len(), tuner.num_candidates);
         for w in ranked.windows(2) {
             assert!(w[0].predicted_s <= w[1].predicted_s);
@@ -217,16 +234,29 @@ mod tests {
         let (ds, tuner) = tuner();
         let cluster = &ds.clusters[1]; // cluster C
         let data = AppId::KMeans.dataset(SizeTier::Test);
-        let best =
-            tuner.recommend(AppId::KMeans, &data, cluster, 2).expect("warm")[0].conf.clone();
+        let best = tuner.recommend(AppId::KMeans, &data, cluster, 2).expect("warm")[0].conf.clone();
         let plan = build_job(AppId::KMeans, &data);
         let t_best = simulate(cluster, &best, &plan, 77).capped_time(7200.0);
-        let t_default =
-            simulate(cluster, &ds.space.default_conf(), &plan, 77).capped_time(7200.0);
-        assert!(
-            t_best < t_default,
-            "LITE did not beat default: {t_best} vs {t_default}"
-        );
+        let t_default = simulate(cluster, &ds.space.default_conf(), &plan, 77).capped_time(7200.0);
+        assert!(t_best < t_default, "LITE did not beat default: {t_best} vs {t_default}");
+    }
+
+    #[test]
+    fn recommendation_emits_candidate_spans() {
+        let (ds, mut tuner) = tuner();
+        tuner.tracer = Tracer::new();
+        let data = AppId::KMeans.dataset(SizeTier::Valid);
+        let ranked = tuner.recommend(AppId::KMeans, &data, &ds.clusters[0], 1).expect("warm");
+        let spans = tuner.tracer.finished();
+        let rec = spans.iter().find(|s| s.name == "lite.recommend").expect("recommend span");
+        let cands: Vec<_> = spans.iter().filter(|s| s.name == "lite.candidate").collect();
+        assert_eq!(cands.len(), tuner.num_candidates);
+        assert!(cands.iter().all(|c| c.parent == Some(rec.id)));
+        // The recorded best matches the returned ranking.
+        match rec.attr("best_predicted_s") {
+            Some(lite_obs::AttrValue::F64(b)) => assert_eq!(*b, ranked[0].predicted_s),
+            other => panic!("missing best_predicted_s: {other:?}"),
+        }
     }
 
     #[test]

@@ -8,9 +8,7 @@ pub const EXECUTION_CAP_S: f64 = 7200.0;
 /// ordering is deterministic).
 pub fn rank_by(scores: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scores[a].partial_cmp(&scores[b]).expect("finite scores").then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores").then(a.cmp(&b)));
     idx
 }
 
@@ -21,8 +19,7 @@ pub fn hr_at_k(predicted: &[f64], gold: &[f64], k: usize) -> f64 {
     assert_eq!(predicted.len(), gold.len(), "ranking length mismatch");
     assert!(k >= 1, "k must be >= 1");
     let k = k.min(predicted.len());
-    let p: std::collections::HashSet<usize> =
-        rank_by(predicted).into_iter().take(k).collect();
+    let p: std::collections::HashSet<usize> = rank_by(predicted).into_iter().take(k).collect();
     let g = rank_by(gold);
     let hits = g.iter().take(k).filter(|i| p.contains(i)).count();
     hits as f64 / k as f64
@@ -48,8 +45,7 @@ pub fn ndcg_at_k(predicted: &[f64], gold: &[f64], k: usize) -> f64 {
         .enumerate()
         .map(|(pos, &item)| rel[item] / ((pos + 2) as f64).log2())
         .sum();
-    let idcg: f64 =
-        (0..k).map(|pos| (k - pos) as f64 / ((pos + 2) as f64).log2()).sum();
+    let idcg: f64 = (0..k).map(|pos| (k - pos) as f64 / ((pos + 2) as f64).log2()).sum();
     dcg / idcg
 }
 

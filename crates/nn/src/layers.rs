@@ -27,7 +27,13 @@ pub struct Dense {
 
 impl Dense {
     /// Create with He init (use before ReLU) under `name` in the store.
-    pub fn new(params: &mut Params, name: &str, input: usize, output: usize, rng: &mut StdRng) -> Dense {
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        input: usize,
+        output: usize,
+        rng: &mut StdRng,
+    ) -> Dense {
         let w = params.add(format!("{name}.w"), init::he(input, output, rng));
         let b = params.add(format!("{name}.b"), Tensor::zeros(1, output));
         Dense { w, b, input, output }
@@ -126,11 +132,10 @@ impl Conv1dBank {
         let kernels = widths
             .iter()
             .map(|&w| {
-                let k = params.add(
-                    format!("{name}.conv{w}.w"),
-                    init::he(kernels_per_width, w * dim, rng),
-                );
-                let b = params.add(format!("{name}.conv{w}.b"), Tensor::zeros(1, kernels_per_width));
+                let k = params
+                    .add(format!("{name}.conv{w}.w"), init::he(kernels_per_width, w * dim, rng));
+                let b =
+                    params.add(format!("{name}.conv{w}.b"), Tensor::zeros(1, kernels_per_width));
                 (w, k, b)
             })
             .collect();
@@ -157,15 +162,14 @@ impl Conv1dBank {
                 // Degenerate short input: clip kernel columns by gathering
                 // the leading rows of the transposed view. In practice N >>
                 // w; this branch only defends tiny test inputs.
-                let clipped =
-                    Tensor::from_vec(self.kernels_per_width, w_eff * self.dim, {
-                        let full = params.value(k);
-                        let mut v = Vec::with_capacity(self.kernels_per_width * w_eff * self.dim);
-                        for r in 0..self.kernels_per_width {
-                            v.extend_from_slice(&full.row(r)[..w_eff * self.dim]);
-                        }
-                        v
-                    });
+                let clipped = Tensor::from_vec(self.kernels_per_width, w_eff * self.dim, {
+                    let full = params.value(k);
+                    let mut v = Vec::with_capacity(self.kernels_per_width * w_eff * self.dim);
+                    for r in 0..self.kernels_per_width {
+                        v.extend_from_slice(&full.row(r)[..w_eff * self.dim]);
+                    }
+                    v
+                });
                 tape.leaf(clipped)
             };
             let fm = tape.matmul(kv, cols); // [K, P]
@@ -193,7 +197,13 @@ pub struct GcnLayer {
 
 impl GcnLayer {
     /// New layer.
-    pub fn new(params: &mut Params, name: &str, input: usize, output: usize, rng: &mut StdRng) -> GcnLayer {
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        input: usize,
+        output: usize,
+        rng: &mut StdRng,
+    ) -> GcnLayer {
         let w = params.add(format!("{name}.w"), init::xavier(input, output, rng));
         GcnLayer { w, input, output }
     }
@@ -221,8 +231,8 @@ pub fn normalized_adjacency(n: usize, edges: &[(usize, usize)]) -> Tensor {
         a.set(v, u, 1.0);
     }
     let mut deg = vec![0.0f32; n];
-    for i in 0..n {
-        deg[i] = a.row(i).iter().sum::<f32>();
+    for (i, d) in deg.iter_mut().enumerate() {
+        *d = a.row(i).iter().sum::<f32>();
     }
     let mut out = Tensor::zeros(n, n);
     for i in 0..n {
@@ -254,7 +264,14 @@ pub struct Lstm {
 
 impl Lstm {
     /// New LSTM with forget-gate bias 1.
-    pub fn new(params: &mut Params, name: &str, input: usize, hidden: usize, max_steps: usize, rng: &mut StdRng) -> Lstm {
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        max_steps: usize,
+        rng: &mut StdRng,
+    ) -> Lstm {
         let wx = params.add(format!("{name}.wx"), init::xavier(input, 4 * hidden, rng));
         let wh = params.add(format!("{name}.wh"), init::xavier(hidden, 4 * hidden, rng));
         let mut bias = Tensor::zeros(1, 4 * hidden);
@@ -280,7 +297,7 @@ impl Lstm {
             let zh = tape.matmul(h, wh);
             let z = tape.add(zx, zh);
             let z = tape.add(z, b); // [1, 4H]
-            // Split gates i, f, g, o.
+                                    // Split gates i, f, g, o.
             let gates: Vec<Var> = (0..4)
                 .map(|k| {
                     let cols: Vec<usize> = (k * hsz..(k + 1) * hsz).collect();
@@ -326,7 +343,14 @@ pub struct TransformerBlock {
 
 impl TransformerBlock {
     /// New block; `dim` must be divisible by `heads`.
-    pub fn new(params: &mut Params, name: &str, dim: usize, heads: usize, max_steps: usize, rng: &mut StdRng) -> TransformerBlock {
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        max_steps: usize,
+        rng: &mut StdRng,
+    ) -> TransformerBlock {
         assert_eq!(dim % heads, 0, "dim {dim} not divisible by heads {heads}");
         let wq = params.add(format!("{name}.wq"), init::xavier(dim, dim, rng));
         let wk = params.add(format!("{name}.wk"), init::xavier(dim, dim, rng));
@@ -338,7 +362,21 @@ impl TransformerBlock {
         let ln1_b = params.add(format!("{name}.ln1.b"), Tensor::zeros(1, dim));
         let ln2_g = params.add(format!("{name}.ln2.g"), Tensor::full(1, dim, 1.0));
         let ln2_b = params.add(format!("{name}.ln2.b"), Tensor::zeros(1, dim));
-        TransformerBlock { wq, wk, wv, wo, ff1, ff2, ln1_g, ln1_b, ln2_g, ln2_b, heads, dim, max_steps }
+        TransformerBlock {
+            wq,
+            wk,
+            wv,
+            wo,
+            ff1,
+            ff2,
+            ln1_g,
+            ln1_b,
+            ln2_g,
+            ln2_b,
+            heads,
+            dim,
+            max_steps,
+        }
     }
 
     /// Encode `[N, D] -> [1, D]` (attention block + mean pool).
@@ -451,8 +489,8 @@ mod tests {
         let loss = tape.mse_loss(out, &Tensor::zeros(1, 10));
         tape.backward(loss, &mut params);
         // Conv weights received gradient.
-        let any_grad = (0..params.len())
-            .any(|i| params.grad(crate::tape::ParamId(i)).norm_sq() > 0.0);
+        let any_grad =
+            (0..params.len()).any(|i| params.grad(crate::tape::ParamId(i)).norm_sq() > 0.0);
         assert!(any_grad);
     }
 

@@ -83,7 +83,16 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard betas.
     pub fn new(lr: f32) -> Adam {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, m: Vec::new(), v: Vec::new(), t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
     }
 
     /// Builder-style weight decay.

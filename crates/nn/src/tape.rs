@@ -271,7 +271,7 @@ impl Tape {
         let x = self.value(a);
         let mut out = Tensor::zeros(x.rows(), 1);
         let mut arg = vec![0usize; x.rows()];
-        for r in 0..x.rows() {
+        for (r, slot) in arg.iter_mut().enumerate() {
             let (mut bi, mut bv) = (0usize, f32::NEG_INFINITY);
             for (c, &v) in x.row(r).iter().enumerate() {
                 if v > bv {
@@ -280,7 +280,7 @@ impl Tape {
                 }
             }
             out.set(r, 0, bv);
-            arg[r] = bi;
+            *slot = bi;
         }
         self.push_full(out, Op::RowMax(a), arg, Vec::new())
     }
@@ -466,12 +466,11 @@ impl Tape {
                 assert!(v.0 < idx, "op parent must precede node");
                 &before[v.0].value
             };
-            let accum = |grads: &mut Vec<Option<Tensor>>, v: Var, delta: Tensor| {
-                match &mut grads[v.0] {
+            let accum =
+                |grads: &mut Vec<Option<Tensor>>, v: Var, delta: Tensor| match &mut grads[v.0] {
                     Some(t) => t.axpy(1.0, &delta),
                     slot => *slot = Some(delta),
-                }
-            };
+                };
             match &node.op {
                 Op::Leaf => {}
                 Op::Param(id) => params.grad_mut(*id).axpy(1.0, &g),
@@ -610,18 +609,15 @@ impl Tape {
                     let mut dbias = Tensor::zeros(1, n);
                     let mut dx = Tensor::zeros(m, n);
                     for r in 0..m {
-                        let gy: Vec<f32> =
-                            (0..n).map(|c| g.get(r, c) * gvec[c]).collect();
+                        let gy: Vec<f32> = (0..n).map(|c| g.get(r, c) * gvec[c]).collect();
                         let mean_gy = gy.iter().sum::<f32>() / n as f32;
-                        let mean_gy_xhat = (0..n)
-                            .map(|c| gy[c] * xhat.get(r, c))
-                            .sum::<f32>()
-                            / n as f32;
-                        for c in 0..n {
+                        let mean_gy_xhat =
+                            (0..n).map(|c| gy[c] * xhat.get(r, c)).sum::<f32>() / n as f32;
+                        for (c, &gyc) in gy.iter().enumerate() {
                             dgain.set(0, c, dgain.get(0, c) + g.get(r, c) * xhat.get(r, c));
                             dbias.set(0, c, dbias.get(0, c) + g.get(r, c));
-                            let v = (gy[c] - mean_gy - xhat.get(r, c) * mean_gy_xhat)
-                                * inv_std.get(r, 0);
+                            let v =
+                                (gyc - mean_gy - xhat.get(r, c) * mean_gy_xhat) * inv_std.get(r, 0);
                             dx.set(r, c, v);
                         }
                     }
@@ -669,11 +665,7 @@ mod tests {
 
     /// Finite-difference check of `d loss / d param` for every scalar in
     /// every parameter.
-    fn grad_check(
-        build: impl Fn(&mut Tape, &Params) -> Var,
-        params: &mut Params,
-        tol: f32,
-    ) {
+    fn grad_check(build: impl Fn(&mut Tape, &Params) -> Var, params: &mut Params, tol: f32) {
         // Analytic gradients.
         params.zero_grads();
         let mut tape = Tape::new();
@@ -683,7 +675,7 @@ mod tests {
             (0..params.len()).map(|i| params.grad(ParamId(i)).clone()).collect();
 
         let eps = 1e-3f32;
-        for pi in 0..params.len() {
+        for (pi, grads) in analytic.iter().enumerate() {
             for e in 0..params.value(ParamId(pi)).len() {
                 let orig = params.value(ParamId(pi)).data()[e];
                 params.value_mut(ParamId(pi)).data_mut()[e] = orig + eps;
@@ -696,7 +688,7 @@ mod tests {
                 let f2 = t2.value(l2).get(0, 0);
                 params.value_mut(ParamId(pi)).data_mut()[e] = orig;
                 let numeric = (f1 - f2) / (2.0 * eps);
-                let got = analytic[pi].data()[e];
+                let got = grads.data()[e];
                 assert!(
                     (numeric - got).abs() <= tol * (1.0 + numeric.abs().max(got.abs())),
                     "param {pi} elem {e}: numeric {numeric} vs analytic {got}"
@@ -797,10 +789,7 @@ mod tests {
     #[test]
     fn grad_check_im2col_conv_pipeline() {
         let mut params = Params::new();
-        let emb = params.add(
-            "emb",
-            t(4, 2, &[0.1, 0.2, -0.3, 0.4, 0.5, -0.6, 0.7, 0.8]),
-        );
+        let emb = params.add("emb", t(4, 2, &[0.1, 0.2, -0.3, 0.4, 0.5, -0.6, 0.7, 0.8]));
         let kern = params.add("k", t(2, 4, &[0.3, -0.1, 0.2, 0.4, -0.2, 0.5, 0.1, -0.3]));
         let ids = vec![0usize, 2, 1, 3, 2];
         let target = t(2, 1, &[0.2, -0.2]);

@@ -2,7 +2,9 @@
 //! must learn, not just pass local gradient checks.
 
 use lite_nn::init::{normal, rng};
-use lite_nn::layers::{normalized_adjacency, Conv1dBank, Dense, GcnLayer, Lstm, TowerMlp, TransformerBlock};
+use lite_nn::layers::{
+    normalized_adjacency, Conv1dBank, Dense, GcnLayer, Lstm, TowerMlp, TransformerBlock,
+};
 use lite_nn::optim::{clip_grad_norm, Adam};
 use lite_nn::tape::{Params, Tape};
 use lite_nn::tensor::Tensor;

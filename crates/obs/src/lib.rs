@@ -1,0 +1,49 @@
+//! # lite-obs — observability for the LITE reproduction
+//!
+//! Three pieces, deliberately dependency-free so they can sit *below* the
+//! simulator in the workspace graph and cost nothing when disabled:
+//!
+//! * [`span`] — a hierarchical span tracer. Thread-safe, monotonic-clock,
+//!   nestable spans with key/value attributes. A disabled tracer's
+//!   [`span::Tracer::span`] is a branch and nothing else, so call sites can
+//!   stay unconditionally instrumented. High-volume spans sit behind a
+//!   fine-detail level ([`span::Tracer::new_fine`]), the span analogue of
+//!   DEBUG vs INFO logging.
+//! * [`metrics`] — a registry of named counters, gauges and histograms.
+//!   Counters and histograms are sharded across cache-line-padded atomics so
+//!   concurrent increments from simulator threads do not contend.
+//! * [`report`] — run manifests: phase wall-clock timings, free-form fields,
+//!   tables (printed to stdout *and* captured, so the human table and the
+//!   machine manifest cannot drift apart), notes and a metrics snapshot,
+//!   serialized as one JSON object per line into `results/*.manifest.jsonl`.
+//!
+//! ```
+//! use lite_obs::span::Tracer;
+//! use lite_obs::metrics::Registry;
+//!
+//! let tracer = Tracer::new();
+//! let reg = Registry::new();
+//! let tasks = reg.counter("sim.tasks_launched");
+//! {
+//!     let mut run = tracer.span("run");
+//!     run.attr_u64("seed", 42);
+//!     {
+//!         let mut stage = tracer.span("stage");
+//!         stage.attr_str("name", "shuffle");
+//!         tasks.add(128);
+//!     }
+//! }
+//! let spans = tracer.finished();
+//! assert_eq!(spans.len(), 2);
+//! assert_eq!(tasks.value(), 128);
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, HistogramBatch, MetricsSnapshot, Registry};
+pub use report::Report;
+pub use span::{AttrValue, SpanGuard, SpanRecord, SynthSpan, Tracer};

@@ -1,0 +1,472 @@
+//! A registry of named counters, gauges and histograms.
+//!
+//! Counters and histograms are the hot-path primitives (the simulator bumps
+//! them per task); both spread their state over [`SHARDS`]
+//! cache-line-padded atomics indexed by a per-thread slot, so concurrent
+//! writers do not bounce a single cache line. Reads sum the shards.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-backed clones:
+//! register once, then update through the handle without touching the
+//! registry's name map again.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of shards for counters/histograms. Power of two.
+pub const SHARDS: usize = 16;
+
+/// Log₂-spaced histogram buckets: bucket `i` holds values `v` with
+/// `63 - v.leading_zeros() == i` (value 0 goes to bucket 0).
+pub const HIST_BUCKETS: usize = 64;
+
+/// A cache-line-padded atomic cell.
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+impl PaddedU64 {
+    const fn new() -> PaddedU64 {
+        PaddedU64(AtomicU64::new(0))
+    }
+}
+
+fn new_shards() -> [PaddedU64; SHARDS] {
+    std::array::from_fn(|_| PaddedU64::new())
+}
+
+/// Per-thread shard slot, assigned round-robin on first use. Const-init
+/// thread-local plus a sentinel keeps the hot-path access free of the
+/// lazy-initialization guard.
+#[inline]
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    SLOT.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            s.set(v);
+            v
+        }
+    })
+}
+
+struct CounterInner {
+    shards: [PaddedU64; SHARDS],
+}
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter {
+    inner: Arc<CounterInner>,
+}
+
+impl Counter {
+    fn new() -> Counter {
+        Counter { inner: Arc::new(CounterInner { shards: new_shards() }) }
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.inner.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total (sum over shards).
+    pub fn value(&self) -> u64 {
+        self.inner.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A last-write-wins `f64` gauge.
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge { bits: Arc::new(AtomicU64::new(0.0f64.to_bits())) }
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Read the gauge.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramInner {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: [PaddedU64; SHARDS],
+    sum: [PaddedU64; SHARDS],
+}
+
+/// A histogram over non-negative integer observations with log₂ buckets.
+///
+/// Records are two relaxed atomic adds plus one bucket add; quantiles are
+/// approximate (upper bound of the matched bucket).
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+/// Aggregated view of a histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Mean observation (0 when empty).
+    pub mean: f64,
+    /// Approximate 50th percentile (bucket upper bound).
+    pub p50: u64,
+    /// Approximate 99th percentile (bucket upper bound).
+    pub p99: u64,
+    /// Largest non-empty bucket's upper bound (approximate max).
+    pub max: u64,
+}
+
+#[inline(always)]
+fn bucket_of(v: u64) -> usize {
+    // `leading_zeros` of a non-zero u64 is at most 63, so the mask is a
+    // no-op semantically — it just proves the index in-bounds.
+    ((63 - v.max(1).leading_zeros()) & 63) as usize
+}
+
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (2u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: new_shards(),
+                sum: new_shards(),
+            }),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let s = shard_index();
+        self.inner.count[s].0.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum[s].0.fetch_add(v, Ordering::Relaxed);
+        self.inner.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration in whole microseconds.
+    #[inline]
+    pub fn record_secs(&self, seconds: f64) {
+        self.record((seconds.max(0.0) * 1e6) as u64);
+    }
+
+    /// Merge a locally accumulated [`HistogramBatch`]: two shard adds plus
+    /// one atomic add per non-empty bucket, instead of three atomics per
+    /// observation. No-op for an empty batch.
+    pub fn record_batch(&self, batch: &HistogramBatch) {
+        if batch.count == 0 {
+            return;
+        }
+        let s = shard_index();
+        self.inner.count[s].0.fetch_add(batch.count, Ordering::Relaxed);
+        self.inner.sum[s].0.fetch_add(batch.sum, Ordering::Relaxed);
+        for (i, &c) in batch.buckets.iter().enumerate() {
+            if c > 0 {
+                self.inner.buckets[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Aggregate the histogram.
+    pub fn summary(&self) -> HistogramSummary {
+        let count: u64 = self.inner.count.iter().map(|s| s.0.load(Ordering::Relaxed)).sum();
+        let sum: u64 = self.inner.sum.iter().map(|s| s.0.load(Ordering::Relaxed)).sum();
+        let buckets: Vec<u64> =
+            self.inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let target = (q * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, b) in buckets.iter().enumerate() {
+                seen += b;
+                if seen >= target {
+                    return bucket_upper(i);
+                }
+            }
+            bucket_upper(HIST_BUCKETS - 1)
+        };
+        let max = buckets.iter().rposition(|&b| b > 0).map(bucket_upper).unwrap_or(0);
+        HistogramSummary {
+            count,
+            sum,
+            mean: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            p50: quantile(0.50),
+            p99: quantile(0.99),
+            max,
+        }
+    }
+}
+
+/// Thread-local histogram accumulation for hot loops: plain integer adds
+/// per observation, then one [`Histogram::record_batch`] per phase.
+#[derive(Clone)]
+pub struct HistogramBatch {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl HistogramBatch {
+    /// An empty batch.
+    pub fn new() -> HistogramBatch {
+        HistogramBatch { buckets: [0; HIST_BUCKETS], count: 0, sum: 0 }
+    }
+
+    /// Record one observation into the local batch.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Record a duration in whole microseconds.
+    #[inline]
+    pub fn observe_secs(&mut self, seconds: f64) {
+        self.observe((seconds.max(0.0) * 1e6) as u64);
+    }
+
+    /// Number of observations accumulated.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl Default for HistogramBatch {
+    fn default() -> HistogramBatch {
+        HistogramBatch::new()
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A named-metric registry. Cloning shares the registry.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry { inner: Arc::new(Mutex::new(RegistryInner::default())) }
+    }
+
+    /// The process-wide default registry (what bench binaries snapshot).
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().expect("metrics registry lock")
+    }
+
+    /// Get or create a counter by name.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.lock().counters.entry(name.to_string()).or_insert_with(Counter::new).clone()
+    }
+
+    /// Get or create a gauge by name.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.lock().gauges.entry(name.to_string()).or_insert_with(Gauge::new).clone()
+    }
+
+    /// Get or create a histogram by name.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.lock().histograms.entry(name.to_string()).or_insert_with(Histogram::new).clone()
+    }
+
+    /// Snapshot every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let g = self.lock();
+        MetricsSnapshot {
+            counters: g.counters.iter().map(|(k, c)| (k.clone(), c.value())).collect(),
+            gauges: g.gauges.iter().map(|(k, c)| (k.clone(), c.value())).collect(),
+            histograms: g.histograms.iter().map(|(k, h)| (k.clone(), h.summary())).collect(),
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+/// Point-in-time values of every metric in a registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let reg = Registry::new();
+        let c = reg.counter("t.tasks");
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.value(), 8000);
+        // Same name returns the same counter.
+        assert_eq!(reg.counter("t.tasks").value(), 8000);
+    }
+
+    #[test]
+    fn gauges_hold_last_write() {
+        let reg = Registry::new();
+        let g = reg.gauge("t.cache_hit");
+        g.set(0.25);
+        g.set(0.75);
+        assert_eq!(g.value(), 0.75);
+    }
+
+    #[test]
+    fn histogram_summary_is_sane() {
+        let reg = Registry::new();
+        let h = reg.histogram("t.task_us");
+        for v in [1u64, 2, 3, 100, 1000, 100_000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 101_106);
+        assert!((s.mean - 101_106.0 / 6.0).abs() < 1e-9);
+        assert!(s.p50 >= 3 && s.p50 <= 127, "{}", s.p50);
+        assert!(s.p99 >= 100_000, "{}", s.p99);
+        assert!(s.max >= 100_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Registry::new().histogram("t.empty");
+        let s = h.summary();
+        assert_eq!(s, HistogramSummary { count: 0, sum: 0, mean: 0.0, p50: 0, p99: 0, max: 0 });
+    }
+
+    #[test]
+    fn snapshot_sorts_and_finds() {
+        let reg = Registry::new();
+        reg.counter("b").add(2);
+        reg.counter("a").add(1);
+        reg.gauge("g").set(3.5);
+        reg.histogram("h").record(7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters, vec![("a".into(), 1), ("b".into(), 2)]);
+        assert_eq!(snap.gauge("g"), Some(3.5));
+        assert_eq!(snap.histogram("h").unwrap().count, 1);
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn batched_records_match_direct_records() {
+        let reg = Registry::new();
+        let direct = reg.histogram("t.direct");
+        let batched = reg.histogram("t.batched");
+        let mut batch = HistogramBatch::new();
+        let values = [0u64, 1, 5, 5, 900, 70_000, u64::MAX / 2];
+        for &v in &values {
+            direct.record(v);
+            batch.observe(v);
+        }
+        assert_eq!(batch.count(), values.len() as u64);
+        batched.record_batch(&batch);
+        assert_eq!(direct.summary(), batched.summary());
+        // Flushing the same batch twice doubles the counts.
+        batched.record_batch(&batch);
+        assert_eq!(batched.summary().count, 2 * values.len() as u64);
+        // Empty batches are no-ops.
+        reg.histogram("t.empty_flush").record_batch(&HistogramBatch::new());
+        assert_eq!(reg.histogram("t.empty_flush").summary().count, 0);
+    }
+
+    #[test]
+    fn bucket_edges_are_consistent() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        for i in 0..62 {
+            // Upper bound of bucket i is below lower bound of bucket i+2.
+            assert!(bucket_upper(i) < bucket_upper(i + 1));
+        }
+        assert_eq!(bucket_upper(63), u64::MAX);
+    }
+}

@@ -1,4 +1,4 @@
-//! Spark-style event logs.
+//! Spark-style event logs (the SLOG wire format).
 //!
 //! Real LITE parses the JSON event logs Spark writes per application to
 //! recover the stage-level DAG scheduler view. The simulator emits the same
@@ -6,6 +6,27 @@
 //! instrumentation step parses it back. Round-tripping through an explicit
 //! wire format (rather than passing structs around) keeps the feature
 //! extractor honest: it only sees what a log would contain.
+//!
+//! Two format versions share one record vocabulary:
+//!
+//! | magic | version | records |
+//! |---|---|---|
+//! | `SLOG` | v1 | tags 1–4 (app/stage granularity) |
+//! | `SLG2` | v2 | tags 1–6 (v1 plus task granularity) |
+//!
+//! | tag | record | payload (little-endian) |
+//! |---|---|---|
+//! | 1 | `AppStart` | str app, u32 stages |
+//! | 2 | `StageSubmitted` | u32 stage_id, str name, u32 n, n×u16 op, u32 e, e×(u32,u32) edge |
+//! | 3 | `StageCompleted` | u32 stage_id, f64 duration_s, u32 num_tasks, u64 input_bytes |
+//! | 4 | `AppEnd` | u8 success, f64 total_time_s |
+//! | 5 | `TaskStart` | u32 stage_id, u32 index, u32 wave, f64 start_s |
+//! | 6 | `TaskEnd` | u32 stage_id, u32 index, u32 wave, f64 duration_s, u64 spill, f64 gc_s, u64 shuffle_read, u64 shuffle_write |
+//!
+//! `str` is `u32` length + UTF-8 bytes. [`decode`] dispatches on the magic,
+//! so every v1 buffer ever written keeps decoding unchanged, and a v1
+//! decoder pass over a v2 buffer fails loudly on the magic rather than
+//! mis-parsing task records.
 
 use crate::plan::{JobPlan, OpDag, OpKind};
 use crate::result::RunResult;
@@ -22,14 +43,50 @@ pub enum Event {
     StageCompleted { stage_id: u32, duration_s: f64, num_tasks: u32, input_bytes: u64 },
     /// Application finished (success flag + total time).
     AppEnd { success: bool, total_time_s: f64 },
+    /// Task launched (v2 only): position within its stage and the
+    /// simulated launch time relative to the stage start.
+    TaskStart { stage_id: u32, index: u32, wave: u32, start_s: f64 },
+    /// Task finished (v2 only): runtime plus the per-task resource signals
+    /// the Spark UI exposes per task.
+    TaskEnd {
+        /// Stage the task belongs to.
+        stage_id: u32,
+        /// Task index within the stage (launch order).
+        index: u32,
+        /// Scheduling wave the task ran in.
+        wave: u32,
+        /// Simulated task duration in seconds.
+        duration_s: f64,
+        /// Bytes spilled to disk.
+        spill_bytes: u64,
+        /// Seconds lost to garbage collection.
+        gc_time_s: f64,
+        /// Shuffle bytes fetched.
+        shuffle_read_bytes: u64,
+        /// Shuffle bytes written.
+        shuffle_write_bytes: u64,
+    },
+}
+
+impl Event {
+    /// Whether this record requires the v2 format.
+    pub fn is_v2_only(&self) -> bool {
+        matches!(self, Event::TaskStart { .. } | Event::TaskEnd { .. })
+    }
 }
 
 const TAG_APP_START: u8 = 1;
 const TAG_STAGE_SUBMITTED: u8 = 2;
 const TAG_STAGE_COMPLETED: u8 = 3;
 const TAG_APP_END: u8 = 4;
+const TAG_TASK_START: u8 = 5;
+const TAG_TASK_END: u8 = 6;
 
-/// Emit the event log for a finished run.
+const MAGIC_V1: &[u8; 4] = b"SLOG";
+const MAGIC_V2: &[u8; 4] = b"SLG2";
+
+/// Emit the event log for a finished run (v1 vocabulary: app and stage
+/// records only).
 pub fn emit(plan: &JobPlan, result: &RunResult) -> Vec<Event> {
     let mut events = Vec::with_capacity(plan.stages.len() * 2 + 2);
     events.push(Event::AppStart { app: plan.app_name.clone(), stages: plan.stages.len() as u32 });
@@ -40,6 +97,52 @@ pub fn emit(plan: &JobPlan, result: &RunResult) -> Vec<Event> {
             name: stage.name.clone(),
             dag: stage.ops.clone(),
         });
+        events.push(Event::StageCompleted {
+            stage_id: stats.stage_id as u32,
+            duration_s: stats.duration_s,
+            num_tasks: stats.num_tasks,
+            input_bytes: stats.input_bytes,
+        });
+    }
+    events.push(Event::AppEnd { success: result.ok(), total_time_s: result.total_time_s });
+    events
+}
+
+/// Emit a v2 event log: [`emit`] plus `TaskStart`/`TaskEnd` records for
+/// every per-task record present in the result (i.e. runs simulated with
+/// `SimObs::collect_tasks`). Per stage the order mirrors Spark's log:
+/// `StageSubmitted`, all task records in launch order, `StageCompleted`.
+pub fn emit_v2(plan: &JobPlan, result: &RunResult) -> Vec<Event> {
+    let tasks: usize = result.stages.iter().map(|s| s.tasks.len()).sum();
+    let mut events = Vec::with_capacity(plan.stages.len() * 2 + 2 + tasks * 2);
+    events.push(Event::AppStart { app: plan.app_name.clone(), stages: plan.stages.len() as u32 });
+    for stats in &result.stages {
+        let stage = &plan.stages[stats.stage_id];
+        events.push(Event::StageSubmitted {
+            stage_id: stats.stage_id as u32,
+            name: stage.name.clone(),
+            dag: stage.ops.clone(),
+        });
+        for t in &stats.tasks {
+            events.push(Event::TaskStart {
+                stage_id: stats.stage_id as u32,
+                index: t.index,
+                wave: t.wave,
+                start_s: t.start_s,
+            });
+        }
+        for t in &stats.tasks {
+            events.push(Event::TaskEnd {
+                stage_id: stats.stage_id as u32,
+                index: t.index,
+                wave: t.wave,
+                duration_s: t.duration_s,
+                spill_bytes: t.spill_bytes,
+                gc_time_s: t.gc_time_s,
+                shuffle_read_bytes: t.shuffle_read_bytes,
+                shuffle_write_bytes: t.shuffle_write_bytes,
+            });
+        }
         events.push(Event::StageCompleted {
             stage_id: stats.stage_id as u32,
             duration_s: stats.duration_s,
@@ -68,12 +171,29 @@ fn get_str(buf: &mut Bytes) -> Result<String, DecodeError> {
     String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
 }
 
-/// Encode events into the binary log format.
+/// Encode events into the binary log format, choosing the oldest version
+/// that can represent them: streams without task records produce
+/// byte-identical v1 (`SLOG`) output, streams with task records produce v2
+/// (`SLG2`).
 pub fn encode(events: &[Event]) -> Bytes {
+    if events.iter().any(Event::is_v2_only) {
+        encode_v2(events)
+    } else {
+        encode_with_magic(events, MAGIC_V1)
+    }
+}
+
+/// Encode events as v2 (`SLG2`) regardless of content.
+pub fn encode_v2(events: &[Event]) -> Bytes {
+    encode_with_magic(events, MAGIC_V2)
+}
+
+fn encode_with_magic(events: &[Event], magic: &[u8; 4]) -> Bytes {
     let mut buf = BytesMut::new();
-    buf.put_slice(b"SLOG");
+    buf.put_slice(magic);
     buf.put_u32_le(events.len() as u32);
     for ev in events {
+        debug_assert!(magic == MAGIC_V2 || !ev.is_v2_only(), "task record in a v1 log");
         match ev {
             Event::AppStart { app, stages } => {
                 buf.put_u8(TAG_APP_START);
@@ -106,6 +226,33 @@ pub fn encode(events: &[Event]) -> Bytes {
                 buf.put_u8(u8::from(*success));
                 buf.put_f64_le(*total_time_s);
             }
+            Event::TaskStart { stage_id, index, wave, start_s } => {
+                buf.put_u8(TAG_TASK_START);
+                buf.put_u32_le(*stage_id);
+                buf.put_u32_le(*index);
+                buf.put_u32_le(*wave);
+                buf.put_f64_le(*start_s);
+            }
+            Event::TaskEnd {
+                stage_id,
+                index,
+                wave,
+                duration_s,
+                spill_bytes,
+                gc_time_s,
+                shuffle_read_bytes,
+                shuffle_write_bytes,
+            } => {
+                buf.put_u8(TAG_TASK_END);
+                buf.put_u32_le(*stage_id);
+                buf.put_u32_le(*index);
+                buf.put_u32_le(*wave);
+                buf.put_f64_le(*duration_s);
+                buf.put_u64_le(*spill_bytes);
+                buf.put_f64_le(*gc_time_s);
+                buf.put_u64_le(*shuffle_read_bytes);
+                buf.put_u64_le(*shuffle_write_bytes);
+            }
         }
     }
     buf.freeze()
@@ -126,16 +273,20 @@ pub enum DecodeError {
     BadUtf8,
 }
 
-/// Decode a binary event log.
+/// Decode a binary event log of either version, dispatching on the magic.
+/// v1 (`SLOG`) buffers decode exactly as they always have; task-record
+/// tags inside a v1 buffer are rejected as [`DecodeError::BadTag`].
 pub fn decode(mut buf: Bytes) -> Result<Vec<Event>, DecodeError> {
     if buf.remaining() < 8 {
         return Err(DecodeError::BadMagic);
     }
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
-    if &magic != b"SLOG" {
-        return Err(DecodeError::BadMagic);
-    }
+    let v2 = match &magic {
+        m if m == MAGIC_V1 => false,
+        m if m == MAGIC_V2 => true,
+        _ => return Err(DecodeError::BadMagic),
+    };
     let n = buf.get_u32_le() as usize;
     let ops = OpKind::all();
     let mut events = Vec::with_capacity(n);
@@ -203,6 +354,32 @@ pub fn decode(mut buf: Bytes) -> Result<Vec<Event>, DecodeError> {
                 }
                 Event::AppEnd { success: buf.get_u8() != 0, total_time_s: buf.get_f64_le() }
             }
+            TAG_TASK_START if v2 => {
+                if buf.remaining() < 4 + 4 + 4 + 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                Event::TaskStart {
+                    stage_id: buf.get_u32_le(),
+                    index: buf.get_u32_le(),
+                    wave: buf.get_u32_le(),
+                    start_s: buf.get_f64_le(),
+                }
+            }
+            TAG_TASK_END if v2 => {
+                if buf.remaining() < 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                Event::TaskEnd {
+                    stage_id: buf.get_u32_le(),
+                    index: buf.get_u32_le(),
+                    wave: buf.get_u32_le(),
+                    duration_s: buf.get_f64_le(),
+                    spill_bytes: buf.get_u64_le(),
+                    gc_time_s: buf.get_f64_le(),
+                    shuffle_read_bytes: buf.get_u64_le(),
+                    shuffle_write_bytes: buf.get_u64_le(),
+                }
+            }
             t => return Err(DecodeError::BadTag(t)),
         };
         events.push(ev);
@@ -220,7 +397,8 @@ mod tests {
     #[test]
     fn emit_encode_decode_roundtrip() {
         let plan = JobPlan::example_shuffle_job(128 << 20);
-        let result = simulate(&ClusterSpec::cluster_a(), &ConfSpace::table_iv().default_conf(), &plan, 1);
+        let result =
+            simulate(&ClusterSpec::cluster_a(), &ConfSpace::table_iv().default_conf(), &plan, 1);
         let events = emit(&plan, &result);
         let decoded = decode(encode(&events)).unwrap();
         assert_eq!(events, decoded);
@@ -252,7 +430,7 @@ mod tests {
     #[test]
     fn failed_runs_log_only_started_stages() {
         let cluster = ClusterSpec::cluster_c();
-        let s = ConfSpaceTableIv::space();
+        let s = ConfSpace::table_iv();
         let mut conf = s.default_conf();
         conf.set(&s, crate::conf::Knob::DefaultParallelism, 8.0);
         conf.set(&s, crate::conf::Knob::ExecutorMemoryGb, 1.0);
@@ -265,11 +443,113 @@ mod tests {
         assert!(matches!(events.last(), Some(Event::AppEnd { success: false, .. })));
     }
 
-    /// Helper shim so the test reads naturally.
-    struct ConfSpaceTableIv;
-    impl ConfSpaceTableIv {
-        fn space() -> ConfSpace {
-            ConfSpace::table_iv()
+    /// A v1 buffer byte-for-byte as the seed's encoder produced it. This is
+    /// a frozen regression artifact: if this test breaks, previously written
+    /// logs have been orphaned.
+    #[test]
+    fn golden_v1_bytes_decode_unchanged() {
+        let mut golden = Vec::new();
+        golden.extend_from_slice(b"SLOG");
+        golden.extend_from_slice(&2u32.to_le_bytes()); // two events
+        golden.push(1); // AppStart
+        golden.extend_from_slice(&2u32.to_le_bytes());
+        golden.extend_from_slice(b"wc");
+        golden.extend_from_slice(&3u32.to_le_bytes());
+        golden.push(4); // AppEnd
+        golden.push(1);
+        golden.extend_from_slice(&42.5f64.to_le_bytes());
+        let decoded = decode(Bytes::from(golden)).unwrap();
+        assert_eq!(
+            decoded,
+            vec![
+                Event::AppStart { app: "wc".into(), stages: 3 },
+                Event::AppEnd { success: true, total_time_s: 42.5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn v1_streams_still_encode_as_v1() {
+        let plan = JobPlan::example_shuffle_job(128 << 20);
+        let result =
+            simulate(&ClusterSpec::cluster_a(), &ConfSpace::table_iv().default_conf(), &plan, 1);
+        let events = emit(&plan, &result);
+        let bytes = encode(&events);
+        assert_eq!(&bytes[..4], b"SLOG");
+        assert_eq!(decode(bytes).unwrap(), events);
+    }
+
+    fn task_level_result() -> (JobPlan, RunResult) {
+        let plan = JobPlan::example_shuffle_job(512 << 20);
+        let obs = crate::exec::SimObs {
+            tracer: lite_obs::Tracer::disabled(),
+            metrics: None,
+            collect_tasks: true,
+        };
+        let result = crate::exec::simulate_obs(
+            &ClusterSpec::cluster_a(),
+            &ConfSpace::table_iv().default_conf(),
+            &plan,
+            7,
+            &obs,
+        );
+        assert!(result.ok(), "{:?}", result.failure);
+        (plan, result)
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_task_records() {
+        let (plan, result) = task_level_result();
+        let events = emit_v2(&plan, &result);
+        let starts = events.iter().filter(|e| matches!(e, Event::TaskStart { .. })).count();
+        let ends = events.iter().filter(|e| matches!(e, Event::TaskEnd { .. })).count();
+        let tasks: usize = result.stages.iter().map(|s| s.tasks.len()).sum();
+        assert!(tasks > 0);
+        assert_eq!(starts, tasks);
+        assert_eq!(ends, tasks);
+        let bytes = encode(&events);
+        assert_eq!(&bytes[..4], b"SLG2");
+        assert_eq!(decode(bytes).unwrap(), events);
+        // Forcing v2 on a v1-vocabulary stream also round-trips.
+        let v1_events = emit(&plan, &result);
+        assert_eq!(decode(encode_v2(&v1_events)).unwrap(), v1_events);
+    }
+
+    #[test]
+    fn v1_decoder_rejects_task_tags() {
+        // A task record smuggled under the v1 magic must not silently parse.
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"SLOG");
+        buf.put_u32_le(1);
+        buf.put_u8(5); // TAG_TASK_START
+        buf.put_u32_le(0);
+        buf.put_u32_le(0);
+        buf.put_u32_le(0);
+        buf.put_f64_le(0.0);
+        assert_eq!(decode(buf.freeze()), Err(DecodeError::BadTag(5)));
+    }
+
+    #[test]
+    fn v2_decode_rejects_truncated_and_garbage_task_records() {
+        let (plan, result) = task_level_result();
+        let bytes = encode(&emit_v2(&plan, &result));
+        // Any strict prefix is an error, never a silent partial parse.
+        for cut in [bytes.len() - 1, bytes.len() - 20, 10] {
+            assert!(decode(bytes.slice(..cut)).is_err(), "prefix {cut} parsed");
         }
+        // Garbage tag inside a v2 stream.
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"SLG2");
+        buf.put_u32_le(1);
+        buf.put_u8(77);
+        assert_eq!(decode(buf.freeze()), Err(DecodeError::BadTag(77)));
+        // Truncated TaskEnd payload.
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"SLG2");
+        buf.put_u32_le(1);
+        buf.put_u8(6); // TAG_TASK_END
+        buf.put_u32_le(0);
+        buf.put_u32_le(1);
+        assert_eq!(decode(buf.freeze()), Err(DecodeError::Truncated));
     }
 }

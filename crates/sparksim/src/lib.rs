@@ -45,6 +45,6 @@ pub mod result;
 
 pub use cluster::ClusterSpec;
 pub use conf::{ConfSpace, Knob, KnobDomain, SparkConf};
-pub use exec::simulate;
+pub use exec::{simulate, simulate_obs, SimMetrics, SimObs};
 pub use plan::{JobPlan, OpDag, OpKind, StagePlan};
-pub use result::{FailureReason, RunResult, StageStats};
+pub use result::{FailureReason, RunResult, StageStats, TaskStats};

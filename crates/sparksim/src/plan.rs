@@ -134,13 +134,55 @@ impl OpKind {
     pub fn all() -> &'static [OpKind] {
         use OpKind::*;
         &[
-            TextFile, ObjectFile, Parallelize, Map, MapValues, MapPartitions, FlatMap, Filter,
-            Distinct, Sample, Union, ZipPartitions, ZipWithIndex, KeyBy, GroupByKey, ReduceByKey,
-            CombineByKey, AggregateByKey, FoldByKey, SortByKey, RepartitionAndSort, PartitionBy,
-            Join, LeftOuterJoin, CoGroup, Cartesian, Broadcast, TreeAggregate, TreeReduce,
-            Coalesce, Repartition, Cache, Checkpoint, Collect, CollectAsMap, Count, Reduce, Fold,
-            Take, SaveAsTextFile, SaveAsObjectFile, ShuffledRdd, MapPartitionsWithIndex, Pregel,
-            AggregateMessages, JoinVertices, OuterJoinVertices, SubGraph, ConnectedComponentsOp,
+            TextFile,
+            ObjectFile,
+            Parallelize,
+            Map,
+            MapValues,
+            MapPartitions,
+            FlatMap,
+            Filter,
+            Distinct,
+            Sample,
+            Union,
+            ZipPartitions,
+            ZipWithIndex,
+            KeyBy,
+            GroupByKey,
+            ReduceByKey,
+            CombineByKey,
+            AggregateByKey,
+            FoldByKey,
+            SortByKey,
+            RepartitionAndSort,
+            PartitionBy,
+            Join,
+            LeftOuterJoin,
+            CoGroup,
+            Cartesian,
+            Broadcast,
+            TreeAggregate,
+            TreeReduce,
+            Coalesce,
+            Repartition,
+            Cache,
+            Checkpoint,
+            Collect,
+            CollectAsMap,
+            Count,
+            Reduce,
+            Fold,
+            Take,
+            SaveAsTextFile,
+            SaveAsObjectFile,
+            ShuffledRdd,
+            MapPartitionsWithIndex,
+            Pregel,
+            AggregateMessages,
+            JoinVertices,
+            OuterJoinVertices,
+            SubGraph,
+            ConnectedComponentsOp,
             TriangleCountOp,
         ]
     }
@@ -338,11 +380,7 @@ impl JobPlan {
 
     /// Total bytes scanned from HDFS across stages.
     pub fn total_input_bytes(&self) -> u64 {
-        self.stages
-            .iter()
-            .filter(|s| s.input == InputSource::Hdfs)
-            .map(|s| s.input_bytes)
-            .sum()
+        self.stages.iter().filter(|s| s.input == InputSource::Hdfs).map(|s| s.input_bytes).sum()
     }
 
     /// A tiny two-stage map/reduce job used in documentation examples and

@@ -13,7 +13,8 @@ fn space() -> ConfSpace {
 
 /// A configurable one/two stage job for mechanism isolation.
 fn cpu_job(bytes: u64, cycles: f64, mem_intensity: f64) -> JobPlan {
-    let mut s = StagePlan::new("cpu", OpDag::chain(&[OpKind::TextFile, OpKind::MapPartitions]), bytes);
+    let mut s =
+        StagePlan::new("cpu", OpDag::chain(&[OpKind::TextFile, OpKind::MapPartitions]), bytes);
     s.cycles_per_byte = cycles;
     s.mem_intensity = mem_intensity;
     s.skew_sigma = 0.0;
@@ -46,7 +47,10 @@ fn memory_bandwidth_matters_only_for_membound_stages() {
     let pure = cpu_job(1 << 30, 200.0, 0.0);
     let p_slow = simulate(&slow_mem, &conf, &pure, 1).total_time_s;
     let p_fast = simulate(&fast_mem, &conf, &pure, 1).total_time_s;
-    assert!((p_fast - p_slow).abs() < 0.25 * p_slow, "cpu-bound moved too much: {p_slow} vs {p_fast}");
+    assert!(
+        (p_fast - p_slow).abs() < 0.25 * p_slow,
+        "cpu-bound moved too much: {p_slow} vs {p_fast}"
+    );
 }
 
 #[test]
@@ -123,19 +127,13 @@ fn preflight_rejects_each_failure_class() {
     // Class 1: unsatisfiable allocation.
     let mut huge = s.default_conf();
     huge.set(&s, Knob::ExecutorMemoryGb, 32.0);
-    assert_eq!(
-        preflight(&cluster, &huge, 1 << 30),
-        Err(FailureReason::InfeasibleAllocation)
-    );
+    assert_eq!(preflight(&cluster, &huge, 1 << 30), Err(FailureReason::InfeasibleAllocation));
     // Class 2: partitions cannot fit the per-task heap share.
     let mut tiny_heap = s.default_conf();
     tiny_heap.set(&s, Knob::ExecutorMemoryGb, 1.0);
     tiny_heap.set(&s, Knob::ExecutorCores, 16.0);
     tiny_heap.set(&s, Knob::DefaultParallelism, 8.0);
-    assert_eq!(
-        preflight(&cluster, &tiny_heap, 64 << 30),
-        Err(FailureReason::ExecutorOom)
-    );
+    assert_eq!(preflight(&cluster, &tiny_heap, 64 << 30), Err(FailureReason::ExecutorOom));
     // Default conf on small data passes.
     assert!(preflight(&cluster, &s.default_conf(), 64 << 20).is_ok());
 }
@@ -159,7 +157,8 @@ fn cache_source_without_prior_cache_degrades_gracefully() {
     // Reading InputSource::Cache when nothing was cached treats the
     // last_cached_fraction default (1.0) as a full hit; the engine must
     // not panic and must produce finite time.
-    let mut stage = StagePlan::new("read-cache", OpDag::chain(&[OpKind::Cache, OpKind::Map]), 1 << 28);
+    let mut stage =
+        StagePlan::new("read-cache", OpDag::chain(&[OpKind::Cache, OpKind::Map]), 1 << 28);
     stage.input = InputSource::Cache;
     let plan = JobPlan { app_name: "x".into(), stages: vec![stage] };
     let r = simulate(&ClusterSpec::cluster_a(), &space().default_conf(), &plan, 1);

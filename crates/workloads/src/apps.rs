@@ -169,7 +169,8 @@ impl AppId {
     /// Figure 4). Distinctive tokens are deliberately rare across apps.
     pub fn main_source(self) -> &'static str {
         match self {
-            AppId::KMeans => r#"
+            AppId::KMeans => {
+                r#"
 val sparkConf = new SparkConf().setAppName("KMeans")
 val sc = new SparkContext(sparkConf)
 val data = sc.textFile(inputPath)
@@ -178,8 +179,10 @@ val clusters = KMeans.train(parsedData, numClusters, numIterations, KMeans.K_MEA
 val WSSSE = clusters.computeCost(parsedData)
 println(s"Within Set Sum of Squared Errors = $WSSSE")
 sc.stop()
-"#,
-            AppId::LinearRegression => r#"
+"#
+            }
+            AppId::LinearRegression => {
+                r#"
 val sparkConf = new SparkConf().setAppName("LinearRegression")
 val sc = new SparkContext(sparkConf)
 val examples = MLUtils.loadLibSVMFile(sc, inputPath).cache()
@@ -188,8 +191,10 @@ algorithm.optimizer.setNumIterations(numIterations).setStepSize(stepSize)
 val model = algorithm.run(examples)
 val prediction = model.predict(examples.map(_.features))
 sc.stop()
-"#,
-            AppId::LogisticRegression => r#"
+"#
+            }
+            AppId::LogisticRegression => {
+                r#"
 val sparkConf = new SparkConf().setAppName("LogisticRegression")
 val sc = new SparkContext(sparkConf)
 val training = MLUtils.loadLibSVMFile(sc, inputPath).cache()
@@ -198,8 +203,10 @@ val model = lr.run(training)
 val predictionAndLabels = training.map { case LabeledPoint(label, features) =>
   (model.predict(features), label) }
 sc.stop()
-"#,
-            AppId::Svm => r#"
+"#
+            }
+            AppId::Svm => {
+                r#"
 val sparkConf = new SparkConf().setAppName("SVM")
 val sc = new SparkContext(sparkConf)
 val training = MLUtils.loadLibSVMFile(sc, inputPath).cache()
@@ -208,8 +215,10 @@ svmAlg.optimizer.setNumIterations(numIterations).setRegParam(regParam).setUpdate
 val model = svmAlg.run(training)
 val scoreAndLabels = training.map(p => (model.predict(p.features), p.label))
 sc.stop()
-"#,
-            AppId::DecisionTree => r#"
+"#
+            }
+            AppId::DecisionTree => {
+                r#"
 val sparkConf = new SparkConf().setAppName("DecisionTree")
 val sc = new SparkContext(sparkConf)
 val data = MLUtils.loadLabeledPoints(sc, inputPath).cache()
@@ -218,8 +227,10 @@ val model = DecisionTree.train(data, strategy)
 val labelAndPreds = data.map(point => (point.label, model.predict(point.features)))
 val testErr = labelAndPreds.filter(r => r._1 != r._2).count.toDouble / data.count
 sc.stop()
-"#,
-            AppId::MatrixFactorization => r#"
+"#
+            }
+            AppId::MatrixFactorization => {
+                r#"
 val sparkConf = new SparkConf().setAppName("MatrixFactorization")
 val sc = new SparkContext(sparkConf)
 val ratings = sc.textFile(inputPath).map(_.split("::") match {
@@ -228,8 +239,10 @@ val model = ALS.train(ratings, rank, numIterations, lambda)
 val usersProducts = ratings.map { case Rating(user, product, rate) => (user, product) }
 val predictions = model.predict(usersProducts)
 sc.stop()
-"#,
-            AppId::SvdPlusPlus => r#"
+"#
+            }
+            AppId::SvdPlusPlus => {
+                r#"
 val sparkConf = new SparkConf().setAppName("SVDPlusPlus")
 val sc = new SparkContext(sparkConf)
 val edges = sc.textFile(inputPath).map { line =>
@@ -238,8 +251,10 @@ val edges = sc.textFile(inputPath).map { line =>
 val conf = new SVDPlusPlus.Conf(rank, maxIters, minVal, maxVal, gamma1, gamma2, gamma6, gamma7)
 val (g, mean) = SVDPlusPlus.run(edges, conf)
 sc.stop()
-"#,
-            AppId::PageRank => r#"
+"#
+            }
+            AppId::PageRank => {
+                r#"
 val sparkConf = new SparkConf().setAppName("PageRank")
 val sc = new SparkContext(sparkConf)
 val graph = GraphLoader.edgeListFile(sc, inputPath).cache()
@@ -247,8 +262,10 @@ val ranks = graph.staticPageRank(numIterations, resetProb = 0.15).vertices
 val top = ranks.sortBy(_._2, ascending = false).take(topK)
 top.foreach { case (id, rank) => println(s"$id has rank $rank") }
 sc.stop()
-"#,
-            AppId::TriangleCount => r#"
+"#
+            }
+            AppId::TriangleCount => {
+                r#"
 val sparkConf = new SparkConf().setAppName("TriangleCount")
 val sc = new SparkContext(sparkConf)
 val graph = GraphLoader.edgeListFile(sc, inputPath, canonicalOrientation = true)
@@ -257,8 +274,10 @@ val triCounts = graph.triangleCount().vertices
 val totalTriangles = triCounts.map(_._2).reduce(_ + _) / 3
 println(s"Total triangles: $totalTriangles")
 sc.stop()
-"#,
-            AppId::ConnectedComponent => r#"
+"#
+            }
+            AppId::ConnectedComponent => {
+                r#"
 val sparkConf = new SparkConf().setAppName("ConnectedComponent")
 val sc = new SparkContext(sparkConf)
 val graph = GraphLoader.edgeListFile(sc, inputPath).cache()
@@ -266,8 +285,10 @@ val cc = graph.connectedComponents().vertices
 val componentSizes = cc.map { case (_, cid) => (cid, 1L) }.reduceByKey(_ + _)
 println(s"Number of components: ${componentSizes.count}")
 sc.stop()
-"#,
-            AppId::StronglyConnectedComponent => r#"
+"#
+            }
+            AppId::StronglyConnectedComponent => {
+                r#"
 val sparkConf = new SparkConf().setAppName("StronglyConnectedComponent")
 val sc = new SparkContext(sparkConf)
 val graph = GraphLoader.edgeListFile(sc, inputPath).cache()
@@ -275,8 +296,10 @@ val sccGraph = graph.stronglyConnectedComponents(numIter)
 val sccSizes = sccGraph.vertices.map { case (_, root) => (root, 1L) }.reduceByKey(_ + _)
 println(s"Largest SCC: ${sccSizes.map(_._2).max}")
 sc.stop()
-"#,
-            AppId::ShortestPaths => r#"
+"#
+            }
+            AppId::ShortestPaths => {
+                r#"
 val sparkConf = new SparkConf().setAppName("ShortestPaths")
 val sc = new SparkContext(sparkConf)
 val graph = GraphLoader.edgeListFile(sc, inputPath).cache()
@@ -284,16 +307,20 @@ val landmarks = Seq(1L, 4L, 7L)
 val results = ShortestPaths.run(graph, landmarks).vertices
 results.take(topK).foreach { case (id, spMap) => println(s"$id -> $spMap") }
 sc.stop()
-"#,
-            AppId::LabelPropagation => r#"
+"#
+            }
+            AppId::LabelPropagation => {
+                r#"
 val sparkConf = new SparkConf().setAppName("LabelPropagation")
 val sc = new SparkContext(sparkConf)
 val graph = GraphLoader.edgeListFile(sc, inputPath).cache()
 val communities = LabelPropagation.run(graph, maxSteps)
 val communitySizes = communities.vertices.map { case (_, label) => (label, 1L) }.reduceByKey(_ + _)
 sc.stop()
-"#,
-            AppId::Terasort => r#"
+"#
+            }
+            AppId::Terasort => {
+                r#"
 val sparkConf = new SparkConf().setAppName("TeraSort")
 val sc = new SparkContext(sparkConf)
 val file = sc.textFile(inputFile)
@@ -301,8 +328,10 @@ val data = file.map(line => (line.substring(0, 10), line.substring(10)))
 val partitioned = data.repartitionAndSortWithinPartitions(new TeraSortPartitioner(partitions))
 partitioned.saveAsTextFile(outputFile)
 sc.stop()
-"#,
-            AppId::Sort => r#"
+"#
+            }
+            AppId::Sort => {
+                r#"
 val sparkConf = new SparkConf().setAppName("Sort")
 val sc = new SparkContext(sparkConf)
 val lines = sc.textFile(inputFile)
@@ -310,7 +339,8 @@ val keyed = lines.map(line => (line.split("\t")(0), line))
 val sorted = keyed.sortByKey(ascending = true, numPartitions = partitions)
 sorted.map(_._2).saveAsTextFile(outputFile)
 sc.stop()
-"#,
+"#
+            }
         }
     }
 
@@ -571,12 +601,16 @@ pub fn build_job(app: AppId, data: &DataSpec) -> JobPlan {
                         .done(),
                 );
                 stages.push(
-                    Sb::new("pr-update", &[ShuffledRdd, ReduceByKey, MapValues], (b as f64 * 0.8) as u64)
-                        .src(Shuffle)
-                        .cycles(30.0)
-                        .ws(0.9)
-                        .skew(0.25)
-                        .done(),
+                    Sb::new(
+                        "pr-update",
+                        &[ShuffledRdd, ReduceByKey, MapValues],
+                        (b as f64 * 0.8) as u64,
+                    )
+                    .src(Shuffle)
+                    .cycles(30.0)
+                    .ws(0.9)
+                    .skew(0.25)
+                    .done(),
                 );
             }
             stages.push(
@@ -606,14 +640,18 @@ pub fn build_job(app: AppId, data: &DataSpec) -> JobPlan {
                     .done(),
             );
             stages.push(
-                Sb::new("join-neighbor-sets", &[ShuffledRdd, Join, FlatMap], (b as f64 * 2.4) as u64)
-                    .src(Shuffle)
-                    .cycles(220.0)
-                    .mem(0.6)
-                    .ws(2.8)
-                    .shuffle_out(b / 2)
-                    .skew(0.5)
-                    .done(),
+                Sb::new(
+                    "join-neighbor-sets",
+                    &[ShuffledRdd, Join, FlatMap],
+                    (b as f64 * 2.4) as u64,
+                )
+                .src(Shuffle)
+                .cycles(220.0)
+                .mem(0.6)
+                .ws(2.8)
+                .shuffle_out(b / 2)
+                .skew(0.5)
+                .done(),
             );
             stages.push(
                 Sb::new("count-triangles", &[ShuffledRdd, TriangleCountOp, Map, TreeReduce], b / 2)
@@ -634,19 +672,27 @@ pub fn build_job(app: AppId, data: &DataSpec) -> JobPlan {
             );
             for _ in 0..iters {
                 stages.push(
-                    Sb::new("cc-min-label", &[ConnectedComponentsOp, AggregateMessages, ReduceByKey], b)
-                        .src(Cache)
-                        .cycles(35.0)
-                        .ws(0.7)
-                        .shuffle_out((b as f64 * 0.6) as u64)
-                        .done(),
+                    Sb::new(
+                        "cc-min-label",
+                        &[ConnectedComponentsOp, AggregateMessages, ReduceByKey],
+                        b,
+                    )
+                    .src(Cache)
+                    .cycles(35.0)
+                    .ws(0.7)
+                    .shuffle_out((b as f64 * 0.6) as u64)
+                    .done(),
                 );
                 stages.push(
-                    Sb::new("cc-apply", &[ShuffledRdd, JoinVertices, MapValues], (b as f64 * 0.6) as u64)
-                        .src(Shuffle)
-                        .cycles(25.0)
-                        .ws(0.8)
-                        .done(),
+                    Sb::new(
+                        "cc-apply",
+                        &[ShuffledRdd, JoinVertices, MapValues],
+                        (b as f64 * 0.6) as u64,
+                    )
+                    .src(Shuffle)
+                    .cycles(25.0)
+                    .ws(0.8)
+                    .done(),
                 );
             }
         }
@@ -692,11 +738,15 @@ pub fn build_job(app: AppId, data: &DataSpec) -> JobPlan {
                     );
                 }
                 stages.push(
-                    Sb::new("scc-label", &[ShuffledRdd, ReduceByKey, JoinVertices], (b as f64 * 0.4) as u64)
-                        .src(Shuffle)
-                        .cycles(22.0)
-                        .ws(0.9)
-                        .done(),
+                    Sb::new(
+                        "scc-label",
+                        &[ShuffledRdd, ReduceByKey, JoinVertices],
+                        (b as f64 * 0.4) as u64,
+                    )
+                    .src(Shuffle)
+                    .cycles(22.0)
+                    .ws(0.9)
+                    .done(),
                 );
             }
         }
@@ -777,10 +827,7 @@ pub fn build_job(app: AppId, data: &DataSpec) -> JobPlan {
         }
         AppId::Sort => {
             stages.push(
-                Sb::new("key-lines", &[TextFile, Map, KeyBy], b)
-                    .cycles(15.0)
-                    .shuffle_out(b)
-                    .done(),
+                Sb::new("key-lines", &[TextFile, Map, KeyBy], b).cycles(15.0).shuffle_out(b).done(),
             );
             stages.push(
                 Sb::new("sort-by-key", &[ShuffledRdd, SortByKey], b)
@@ -961,12 +1008,7 @@ mod tests {
         for app in AppId::all() {
             let small = app.dataset(SizeTier::Train(0));
             let large = app.dataset(SizeTier::Test);
-            assert!(
-                large.bytes > 100 * small.bytes,
-                "{app}: {} !>> {}",
-                large.bytes,
-                small.bytes
-            );
+            assert!(large.bytes > 100 * small.bytes, "{app}: {} !>> {}", large.bytes, small.bytes);
         }
     }
 
@@ -990,11 +1032,7 @@ mod tests {
             .iter()
             .map(|a| (*a, build_job(*a, &a.dataset(SizeTier::Train(0))).stages.len()))
             .collect();
-        let scc = counts
-            .iter()
-            .find(|(a, _)| *a == AppId::StronglyConnectedComponent)
-            .unwrap()
-            .1;
+        let scc = counts.iter().find(|(a, _)| *a == AppId::StronglyConnectedComponent).unwrap().1;
         let ts = counts.iter().find(|(a, _)| *a == AppId::Terasort).unwrap().1;
         assert_eq!(ts, 4, "Terasort has 4 stage instances (paper Figure 4)");
         assert!(scc > 40, "SCC should dominate augmentation: {scc}");

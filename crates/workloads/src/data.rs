@@ -75,13 +75,7 @@ pub struct DataSpec {
 impl DataSpec {
     /// Tabular data: `rows × cols` of 8-byte values plus a label.
     pub fn tabular(rows: u64, cols: u32, iterations: u32) -> Self {
-        DataSpec {
-            rows,
-            cols,
-            iterations,
-            partitions: 0,
-            bytes: rows * (cols as u64 + 1) * 8,
-        }
+        DataSpec { rows, cols, iterations, partitions: 0, bytes: rows * (cols as u64 + 1) * 8 }
     }
 
     /// Graph data: `edges` edges at ~16 bytes each; `rows` records the edge
@@ -93,13 +87,7 @@ impl DataSpec {
 
     /// Key-value records of fixed width (Terasort-style 100-byte records).
     pub fn records(rows: u64, record_bytes: u32, partitions: u32) -> Self {
-        DataSpec {
-            rows,
-            cols: 0,
-            iterations: 0,
-            partitions,
-            bytes: rows * record_bytes as u64,
-        }
+        DataSpec { rows, cols: 0, iterations: 0, partitions, bytes: rows * record_bytes as u64 }
     }
 
     /// The paper's four-dimensional data-feature vector

@@ -84,8 +84,7 @@ impl Vocab {
         kept.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         let mut id_to_token = vec!["<pad>".to_string(), "<oov>".to_string()];
         id_to_token.extend(kept.into_iter().map(|(t, _)| t.to_string()));
-        let token_to_id =
-            id_to_token.iter().enumerate().map(|(i, t)| (t.clone(), i)).collect();
+        let token_to_id = id_to_token.iter().enumerate().map(|(i, t)| (t.clone(), i)).collect();
         Vocab { token_to_id, id_to_token }
     }
 
@@ -111,8 +110,7 @@ impl Vocab {
 
     /// Encode a token stream to ids, truncated/padded to `max_len`.
     pub fn encode(&self, tokens: &[String], max_len: usize) -> Vec<usize> {
-        let mut ids: Vec<usize> =
-            tokens.iter().take(max_len).map(|t| self.id(t)).collect();
+        let mut ids: Vec<usize> = tokens.iter().take(max_len).map(|t| self.id(t)).collect();
         ids.resize(max_len, PAD_TOKEN_ID);
         ids
     }
@@ -126,8 +124,22 @@ mod tests {
     fn tokenize_splits_identifiers_and_operators() {
         let toks = tokenize("val x = rdd.map(f).reduceByKey(_ + _)");
         let expect = [
-            "val", "x", "=", "rdd", ".", "map", "(", "f", ")", ".", "reduceByKey", "(", "_",
-            "+", "_", ")",
+            "val",
+            "x",
+            "=",
+            "rdd",
+            ".",
+            "map",
+            "(",
+            "f",
+            ")",
+            ".",
+            "reduceByKey",
+            "(",
+            "_",
+            "+",
+            "_",
+            ")",
         ];
         assert_eq!(toks, expect.map(String::from).to_vec());
     }

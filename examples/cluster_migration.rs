@@ -17,7 +17,10 @@ use lite_repro::workloads::data::SizeTier;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn train(clusters: Vec<ClusterSpec>, label: &str) -> (lite_repro::lite::experiment::Dataset, AnyModel) {
+fn train(
+    clusters: Vec<ClusterSpec>,
+    label: &str,
+) -> (lite_repro::lite::experiment::Dataset, AnyModel) {
     println!("training NECS on {label}...");
     let ds = lite_repro::lite::experiment::DatasetBuilder {
         clusters,

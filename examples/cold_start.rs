@@ -17,8 +17,7 @@ use lite_repro::workloads::data::SizeTier;
 
 fn main() {
     let held_out = AppId::TriangleCount;
-    let train_apps: Vec<AppId> =
-        AppId::all().into_iter().filter(|a| *a != held_out).collect();
+    let train_apps: Vec<AppId> = AppId::all().into_iter().filter(|a| *a != held_out).collect();
     println!("training LITE without {held_out} ({} apps)...", train_apps.len());
     let ds = lite_repro::lite::experiment::DatasetBuilder {
         apps: train_apps,
@@ -30,10 +29,7 @@ fn main() {
 
     let cluster = ClusterSpec::cluster_c();
     let data = held_out.dataset(SizeTier::Test);
-    assert!(
-        tuner.recommend(held_out, &data, &cluster, 1).is_none(),
-        "cold app must not be warm"
-    );
+    assert!(tuner.recommend(held_out, &data, &cluster, 1).is_none(), "cold app must not be warm");
 
     println!("cold-start recommendation (instruments {held_out} on its smallest input)...");
     let ranked = tuner.recommend_cold(held_out, &data, &cluster, 1);

@@ -29,16 +29,13 @@ fn main() {
             }
             std::process::exit(1);
         });
-    let knob = ALL_KNOBS
-        .into_iter()
-        .find(|k| k.spark_name() == knob_name)
-        .unwrap_or_else(|| {
-            eprintln!("unknown knob {knob_name}; one of:");
-            for k in ALL_KNOBS {
-                eprintln!("  {k}");
-            }
-            std::process::exit(1);
-        });
+    let knob = ALL_KNOBS.into_iter().find(|k| k.spark_name() == knob_name).unwrap_or_else(|| {
+        eprintln!("unknown knob {knob_name}; one of:");
+        for k in ALL_KNOBS {
+            eprintln!("  {k}");
+        }
+        std::process::exit(1);
+    });
 
     let space = ConfSpace::table_iv();
     let cluster = ClusterSpec::cluster_a();
@@ -68,7 +65,11 @@ fn main() {
             conf.set(&space, Knob::ExecutorMemoryGb, 2.0);
         }
         let r = simulate(&cluster, &conf, &plan, 1);
-        let label = if r.ok() { format!("{:8.1}s", r.total_time_s) } else { format!("FAILED ({})", r.failure.unwrap().label()) };
+        let label = if r.ok() {
+            format!("{:8.1}s", r.total_time_s)
+        } else {
+            format!("FAILED ({})", r.failure.unwrap().label())
+        };
         let t = r.capped_time(7200.0);
         if t < best.1 {
             best = (v, t);

@@ -40,7 +40,10 @@ fn main() {
         round += 1;
     }
 
-    println!("\nfeedback batch full ({} instances) — running Adaptive Model Update...", tuner.feedback_len());
+    println!(
+        "\nfeedback batch full ({} instances) — running Adaptive Model Update...",
+        tuner.feedback_len()
+    );
     let history = tuner.update(&ds, &AmuConfig::default());
     for (e, h) in history.iter().enumerate() {
         println!(
@@ -48,5 +51,7 @@ fn main() {
             h.prediction_loss, h.discriminator_loss
         );
     }
-    println!("\nNECS is now fine-tuned toward the production domain (paper Table IX: NECS_u > NECS).");
+    println!(
+        "\nNECS is now fine-tuned toward the production domain (paper Table IX: NECS_u > NECS)."
+    );
 }

@@ -31,17 +31,16 @@ fn main() {
 
     // 2. Train NECS and fit ACG.
     println!("training NECS + fitting Adaptive Candidate Generation...");
-    let tuner = LiteTuner::from_dataset(
-        &ds,
-        NecsConfig { epochs: 20, ..Default::default() },
-        42,
-    );
+    let tuner = LiteTuner::from_dataset(&ds, NecsConfig { epochs: 20, ..Default::default() }, 42);
 
     // 3. Online phase: tune TeraSort on 16 GB input, cluster C.
     let app = AppId::Terasort;
     let cluster = ClusterSpec::cluster_c();
     let data = app.dataset(SizeTier::Test);
-    println!("\nrecommending knobs for {app} on {:.1} GB (cluster C)...", data.bytes as f64 / (1 << 30) as f64);
+    println!(
+        "\nrecommending knobs for {app} on {:.1} GB (cluster C)...",
+        data.bytes as f64 / (1 << 30) as f64
+    );
     let start = std::time::Instant::now();
     let ranked = tuner.recommend(app, &data, &cluster, 7).expect("TeraSort is in the training set");
     println!("  recommendation latency: {:.2}s (paper: < 2s)", start.elapsed().as_secs_f64());

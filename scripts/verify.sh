@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification gate: formatting and lints first (cheap, catch the
+# most churn), then the tier-1 build + test pass from ROADMAP.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "verify: OK"

@@ -41,8 +41,7 @@ fn offline_online_pipeline_beats_default_on_large_data() {
         assert!(preflight(&cluster, &ranked[0].conf, data.bytes).is_ok());
         let plan = build_job(*app, &data);
         let t_rec = simulate(&cluster, &ranked[0].conf, &plan, 7).capped_time(7200.0);
-        let t_def =
-            simulate(&cluster, &ds.space.default_conf(), &plan, 7).capped_time(7200.0);
+        let t_def = simulate(&cluster, &ds.space.default_conf(), &plan, 7).capped_time(7200.0);
         if etr(t_def, t_rec) > 0.0 {
             wins += 1;
         }
@@ -73,8 +72,7 @@ fn feedback_accumulates_and_update_runs() {
     let mut k = 0;
     while !tuner.update_due() {
         let rec = tuner.recommend(AppId::PageRank, &data, &cluster, k).unwrap();
-        let result =
-            simulate(&cluster, &rec[0].conf, &build_job(AppId::PageRank, &data), 40 + k);
+        let result = simulate(&cluster, &rec[0].conf, &build_job(AppId::PageRank, &data), 40 + k);
         tuner.observe(AppId::PageRank, &data, &cluster, &rec[0].conf, &result);
         k += 1;
         assert!(k < 40, "feedback never reached the update batch");
