@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the full pre-merge gate.
 
-.PHONY: verify fmt lint build test bench quick
+.PHONY: verify fmt lint build test bench quick loadtest
 
 verify:
 	./scripts/verify.sh
@@ -24,3 +24,9 @@ bench:
 quick:
 	LITE_BENCH_QUICK=1 cargo run --release -p lite-bench --bin fig01_knob_surface
 	LITE_BENCH_QUICK=1 cargo run --release -p lite-bench --bin fig09_augmentation
+
+# Load-test the tuning service (lite-serve): N client threads, batched
+# inference, at least one background hot-swap; manifest goes to
+# results/serve_loadtest.manifest.jsonl.
+loadtest:
+	cargo run --release -p lite-bench --bin serve_loadtest

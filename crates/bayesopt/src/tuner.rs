@@ -84,7 +84,7 @@ impl BoTuner {
         let mut best = raw.iter().cloned().fold(f64::INFINITY, f64::min);
         let mut best_point = warm
             .iter()
-            .min_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite"))
+            .min_by(|a, b| a.time_s.total_cmp(&b.time_s))
             .map(|o| o.point.clone())
             .unwrap_or_else(|| vec![0.5; self.dim]);
 

@@ -47,7 +47,7 @@ fn main() {
         let steps: Vec<f64> = {
             let mut s: Vec<f64> =
                 bo.trace.iter().chain(ddpg.trace.iter()).map(|(o, _)| *o).collect();
-            s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            s.sort_by(f64::total_cmp);
             s.dedup_by(|a, b| (*a - *b).abs() < 1.0);
             s
         };

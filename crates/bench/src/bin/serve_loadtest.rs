@@ -1,0 +1,325 @@
+//! Load test for lite-serve: N client threads (in-process and TCP) hammer
+//! a running tuning service while observed feedback forces at least one
+//! background model hot-swap mid-run.
+//!
+//! Reported into `results/serve_loadtest.manifest.jsonl`:
+//! * throughput and precise p50/p95/p99 request latencies (computed from
+//!   the raw sorted samples, not histogram buckets),
+//! * cache hit rate and shed/error counts,
+//! * the number of hot-swaps and distinct model versions clients saw,
+//! * batched vs per-candidate NECS scoring time on a 30-candidate request.
+//!
+//! `LITE_BENCH_QUICK=1` shrinks the run for smoke testing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lite_bench::finish_report;
+use lite_core::amu::AmuConfig;
+use lite_core::experiment::{Dataset, DatasetBuilder, PredictionContext};
+use lite_core::necs::NecsConfig;
+use lite_core::recommend::LiteTuner;
+use lite_obs::{Registry, Report, Tracer};
+use lite_serve::{ModelSnapshot, ServeConfig, ServeError, Service, ServiceHandle};
+use lite_sparksim::cluster::ClusterSpec;
+use lite_sparksim::exec::simulate;
+use lite_workloads::apps::{build_job, AppId};
+use lite_workloads::data::SizeTier;
+
+const SERVED_APPS: [AppId; 3] = [AppId::Sort, AppId::KMeans, AppId::PageRank];
+
+struct ClientStats {
+    latencies_s: Vec<f64>,
+    versions: Vec<u64>,
+    shed: usize,
+    errors: usize,
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let quick = lite_bench::quick_mode();
+    let report = Report::new("serve_loadtest");
+    report.field("quick_mode", quick);
+
+    let threads: usize = if quick { 4 } else { 6 };
+    let tcp_threads: usize = 2.min(threads);
+    let min_reqs_per_thread: usize = if quick { 30 } else { 120 };
+    report.field("client_threads", threads);
+    report.field("tcp_client_threads", tcp_threads);
+
+    // ---- offline phase: dataset + model ---------------------------------
+    let ds = report.phase("dataset", || {
+        Arc::new(
+            DatasetBuilder {
+                apps: SERVED_APPS.to_vec(),
+                clusters: vec![ClusterSpec::cluster_a(), ClusterSpec::cluster_c()],
+                tiers: vec![SizeTier::Train(0), SizeTier::Train(2)],
+                confs_per_cell: if quick { 2 } else { 3 },
+                seed: 4242,
+            }
+            .build(),
+        )
+    });
+    let tuner = report.phase("train", || {
+        LiteTuner::from_dataset(
+            &ds,
+            NecsConfig { epochs: if quick { 2 } else { 6 }, ..Default::default() },
+            4242,
+        )
+    });
+    eprintln!("[loadtest] model ready ({:.0}s)", t0.elapsed().as_secs_f64());
+
+    // ---- batched vs per-candidate scoring on one 30-candidate request ---
+    batch_comparison(&report, &ds, &tuner);
+
+    // ---- serving phase --------------------------------------------------
+    let registry = Registry::new();
+    let config = ServeConfig {
+        workers: 4,
+        queue_capacity: 64,
+        update_batch: if quick { 16 } else { 24 },
+        amu: AmuConfig { epochs: 1, half_batch: 64, ..Default::default() },
+        ..Default::default()
+    };
+    let snapshot = ModelSnapshot::from_tuner(&tuner);
+    let service = Service::start(snapshot, ds.clone(), config, &registry, Tracer::disabled());
+    let handle = service.handle();
+    let server =
+        lite_serve::net::serve_tcp(service.handle(), "127.0.0.1:0").expect("bind TCP front-end");
+    let addr = server.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let serve_t0 = Instant::now();
+    let clients: Vec<_> = (0..threads)
+        .map(|t| {
+            let handle = handle.clone();
+            let stop = stop.clone();
+            let use_tcp = t < tcp_threads;
+            std::thread::spawn(move || {
+                if use_tcp {
+                    tcp_client(addr, t, min_reqs_per_thread, &stop)
+                } else {
+                    inproc_client(&handle, t, min_reqs_per_thread, &stop)
+                }
+            })
+        })
+        .collect();
+
+    // Feedback driver: observe executed recommendations until the updater
+    // hot-swaps at least once, so every load test demonstrates a swap
+    // under concurrent read traffic.
+    let cluster = ds.clusters[0].clone();
+    let data = AppId::KMeans.dataset(SizeTier::Valid);
+    let plan = build_job(AppId::KMeans, &data);
+    let mut feedback_runs = 0u64;
+    let feedback_deadline = Instant::now() + Duration::from_secs(600);
+    while handle.swap_count() == 0 {
+        if Instant::now() > feedback_deadline {
+            eprintln!("[loadtest] WARNING: no hot-swap within 600 s");
+            break;
+        }
+        match handle.recommend(AppId::KMeans, &data, &cluster, 1, 9000 + feedback_runs) {
+            Ok(rec) => {
+                let result = simulate(&cluster, &rec.ranked[0].conf, &plan, 9000 + feedback_runs);
+                let _ =
+                    handle.observe(AppId::KMeans, &data, &cluster, &rec.ranked[0].conf, &result);
+                feedback_runs += 1;
+            }
+            Err(ServeError::Overloaded) => std::thread::yield_now(),
+            Err(e) => panic!("feedback driver failed: {e}"),
+        }
+    }
+    let swaps = handle.swap_count();
+    eprintln!(
+        "[loadtest] {swaps} hot-swap(s) after {feedback_runs} observed runs ({:.0}s)",
+        t0.elapsed().as_secs_f64()
+    );
+    stop.store(true, Ordering::Release);
+
+    let stats: Vec<ClientStats> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread panicked (deadlock-free requirement)"))
+        .collect();
+    let serve_wall_s = serve_t0.elapsed().as_secs_f64();
+    report.phase_s("serve", serve_wall_s);
+    server.shutdown();
+    let hit_rate = handle.cache_hit_rate();
+    let (cache_hits, cache_misses) = handle.cache_counts();
+    service.shutdown();
+
+    // ---- aggregate ------------------------------------------------------
+    let mut latencies: Vec<f64> =
+        stats.iter().flat_map(|s| s.latencies_s.iter().copied()).collect();
+    latencies.sort_by(f64::total_cmp);
+    let total_ok = latencies.len();
+    let shed: usize = stats.iter().map(|s| s.shed).sum();
+    let errors: usize = stats.iter().map(|s| s.errors).sum();
+    let versions: std::collections::BTreeSet<u64> =
+        stats.iter().flat_map(|s| s.versions.iter().copied()).collect();
+    let pct = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[idx]
+    };
+    let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+    let throughput = total_ok as f64 / serve_wall_s.max(1e-9);
+
+    report.field("requests_ok", total_ok);
+    report.field("requests_shed", shed);
+    report.field("requests_error", errors);
+    report.field("feedback_runs", feedback_runs);
+    report.field("hot_swaps", swaps);
+    report.field("versions_seen", versions.len());
+    report.field("throughput_rps", throughput);
+    report.field("p50_ms", p50 * 1e3);
+    report.field("p95_ms", p95 * 1e3);
+    report.field("p99_ms", p99 * 1e3);
+    report.field("cache_hit_rate", hit_rate);
+    report.field("cache_hits", cache_hits);
+    report.field("cache_misses", cache_misses);
+    report.metrics(&registry);
+
+    let widths = [16usize, 12];
+    let mut table =
+        report.table("serve loadtest — latency and throughput", &["metric", "value"], &widths);
+    table.row(&["throughput_rps".into(), format!("{throughput:.1}")]);
+    table.row(&["p50_ms".into(), format!("{:.2}", p50 * 1e3)]);
+    table.row(&["p95_ms".into(), format!("{:.2}", p95 * 1e3)]);
+    table.row(&["p99_ms".into(), format!("{:.2}", p99 * 1e3)]);
+    table.row(&["cache_hit_rate".into(), format!("{hit_rate:.3}")]);
+    table.row(&["hot_swaps".into(), format!("{swaps}")]);
+    drop(table);
+
+    report.note(&format!(
+        "{threads} client threads ({tcp_threads} over TCP) sustained for {serve_wall_s:.1}s; \
+         {total_ok} requests served, {shed} shed, {errors} other errors; \
+         {swaps} background hot-swap(s), clients saw {} model version(s).",
+        versions.len()
+    ));
+    if swaps == 0 {
+        report.note("WARNING: no hot-swap observed — acceptance criterion not met this run.");
+    }
+    finish_report(&report);
+    eprintln!("[loadtest] total {:.0}s", t0.elapsed().as_secs_f64());
+}
+
+/// In-process client: cycles served apps and a small seed range (so the
+/// prediction cache sees repeats), recording latency per successful call.
+fn inproc_client(
+    handle: &ServiceHandle,
+    thread_id: usize,
+    min_reqs: usize,
+    stop: &AtomicBool,
+) -> ClientStats {
+    let cluster = ClusterSpec::cluster_a();
+    let mut stats =
+        ClientStats { latencies_s: Vec::new(), versions: Vec::new(), shed: 0, errors: 0 };
+    let mut i = 0usize;
+    while i < min_reqs || !stop.load(Ordering::Acquire) {
+        let app = SERVED_APPS[(thread_id + i) % SERVED_APPS.len()];
+        let data = app.dataset(SizeTier::Valid);
+        let seed = (i % 8) as u64;
+        let t = Instant::now();
+        match handle.recommend(app, &data, &cluster, 5, seed) {
+            Ok(resp) => {
+                stats.latencies_s.push(t.elapsed().as_secs_f64());
+                stats.versions.push(resp.version);
+            }
+            Err(ServeError::Overloaded) => stats.shed += 1,
+            Err(_) => stats.errors += 1,
+        }
+        i += 1;
+    }
+    stats
+}
+
+/// TCP client: same request mix through the framed JSON front-end.
+fn tcp_client(
+    addr: std::net::SocketAddr,
+    thread_id: usize,
+    min_reqs: usize,
+    stop: &AtomicBool,
+) -> ClientStats {
+    let mut client = lite_serve::Client::connect(addr).expect("tcp connect");
+    let mut stats =
+        ClientStats { latencies_s: Vec::new(), versions: Vec::new(), shed: 0, errors: 0 };
+    let mut i = 0usize;
+    while i < min_reqs || !stop.load(Ordering::Acquire) {
+        let app = SERVED_APPS[(thread_id + i) % SERVED_APPS.len()];
+        let data = app.dataset(SizeTier::Valid);
+        let seed = (i % 8) as u64;
+        let t = Instant::now();
+        match client.recommend(app, &data, "cluster-a", 5, seed) {
+            Ok(resp) if resp.get("ok").and_then(lite_obs::Json::as_bool) == Some(true) => {
+                stats.latencies_s.push(t.elapsed().as_secs_f64());
+                if let Some(v) = resp.get("version").and_then(lite_obs::Json::as_u64) {
+                    stats.versions.push(v);
+                }
+            }
+            Ok(resp) => {
+                if resp.get("code").and_then(lite_obs::Json::as_str) == Some("overloaded") {
+                    stats.shed += 1;
+                } else {
+                    stats.errors += 1;
+                }
+            }
+            Err(_) => stats.errors += 1,
+        }
+        i += 1;
+    }
+    stats
+}
+
+/// Time one 30-candidate request scored per-candidate (30 single-row NECS
+/// passes) vs batched (one 30×stages pass) and record the speedup.
+fn batch_comparison(report: &Report, ds: &Dataset, tuner: &LiteTuner) {
+    let cluster = ClusterSpec::cluster_a();
+    let data = AppId::KMeans.dataset(SizeTier::Valid);
+    let ctx = PredictionContext::warm(&ds.registry, AppId::KMeans, &data, &cluster)
+        .expect("KMeans is warm");
+    let confs = tuner.acg.candidates_seeded(AppId::KMeans, &data, &ctx.env, 30, 17);
+    let reps = if lite_bench::quick_mode() { 3 } else { 10 };
+
+    // Warm up once so allocator effects do not bias either side.
+    let batch_ref = tuner.model.predict_app_batch(&tuner.registry, &ctx, &confs);
+
+    let t = Instant::now();
+    let mut per: Vec<f64> = Vec::new();
+    for _ in 0..reps {
+        per = confs.iter().map(|c| tuner.model.predict_app(&tuner.registry, &ctx, c)).collect();
+    }
+    let percand_s = t.elapsed().as_secs_f64() / reps as f64;
+
+    let t = Instant::now();
+    let mut batch: Vec<f64> = Vec::new();
+    for _ in 0..reps {
+        batch = tuner.model.predict_app_batch(&tuner.registry, &ctx, &confs);
+    }
+    let batch_s = t.elapsed().as_secs_f64() / reps as f64;
+
+    assert_eq!(batch, batch_ref, "batched scoring must be deterministic");
+    let max_rel = per
+        .iter()
+        .zip(batch.iter())
+        .map(|(a, b)| (a - b).abs() / a.abs().max(1.0))
+        .fold(0.0f64, f64::max);
+    assert!(max_rel <= 1e-9, "batched and per-candidate predictions diverged: {max_rel}");
+
+    let speedup = percand_s / batch_s.max(1e-12);
+    report.field("batch30_percand_s", percand_s);
+    report.field("batch30_batched_s", batch_s);
+    report.field("batch30_speedup", speedup);
+    report.note(&format!(
+        "30-candidate scoring: per-candidate {:.1} ms vs batched {:.1} ms ({speedup:.1}x).",
+        percand_s * 1e3,
+        batch_s * 1e3
+    ));
+    eprintln!(
+        "[loadtest] batch comparison: {:.1} ms -> {:.1} ms ({speedup:.1}x)",
+        percand_s * 1e3,
+        batch_s * 1e3
+    );
+}

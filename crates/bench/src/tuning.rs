@@ -83,7 +83,7 @@ pub fn tune_by_model_ranking(
     };
     let best = confs
         .iter()
-        .min_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite predictions"))
+        .min_by(|a, b| score(a).total_cmp(&score(b)))
         .expect("non-empty candidates")
         .clone();
     let decide_wall_s = wall.elapsed().as_secs_f64();
@@ -123,10 +123,7 @@ pub fn tune_bo(
     let mut candidates: Vec<&lite_core::experiment::AppRun> =
         ds.runs.iter().filter(|r| r.app == app).collect();
     candidates.sort_by(|a, b| {
-        b.data
-            .bytes
-            .cmp(&a.data.bytes)
-            .then(ds.run_time(a).partial_cmp(&ds.run_time(b)).expect("finite"))
+        b.data.bytes.cmp(&a.data.bytes).then(ds.run_time(a).total_cmp(&ds.run_time(b)))
     });
     let warm: Vec<BoObservation> = candidates
         .iter()

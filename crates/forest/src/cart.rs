@@ -129,7 +129,7 @@ fn best_split(
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
     for &f in features {
         let mut order: Vec<usize> = idx.to_vec();
-        order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).expect("finite features"));
+        order.sort_by(|&a, &b| x[a][f].total_cmp(&x[b][f]));
         let mut left_sum = 0.0;
         let mut left_n = 0.0;
         for w in 0..order.len() - 1 {

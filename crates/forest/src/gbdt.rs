@@ -117,7 +117,7 @@ impl GbdtRegressor {
 
 fn quantile_edges(x: &[Vec<f64>], feature: usize, num_bins: usize) -> Vec<f64> {
     let mut vals: Vec<f64> = x.iter().map(|r| r[feature]).collect();
-    vals.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+    vals.sort_by(f64::total_cmp);
     vals.dedup();
     let n_edges = num_bins - 1;
     if vals.len() <= 1 {

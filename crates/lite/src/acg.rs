@@ -17,7 +17,9 @@ use rand::Rng;
 /// Fraction of best training runs used for the mean-value targets and σ.
 const TOP_FRACTION: f64 = 0.4;
 
-/// Fitted candidate generator.
+/// Fitted candidate generator. `Clone` so a serving snapshot can own an
+/// immutable copy alongside the NECS model.
+#[derive(Clone)]
 pub struct AdaptiveCandidateGenerator {
     space: ConfSpace,
     /// One RFR per knob, over `[app one-hot (15) | ln(bytes) | env (6)]`.
@@ -49,11 +51,7 @@ impl AdaptiveCandidateGenerator {
         }
         let mut top_runs: Vec<usize> = Vec::new();
         for (_, mut idx) in cells {
-            idx.sort_by(|&a, &b| {
-                ds.run_time(&ds.runs[a])
-                    .partial_cmp(&ds.run_time(&ds.runs[b]))
-                    .expect("finite times")
-            });
+            idx.sort_by(|&a, &b| ds.run_time(&ds.runs[a]).total_cmp(&ds.run_time(&ds.runs[b])));
             let keep = ((idx.len() as f64 * TOP_FRACTION).ceil() as usize).max(1);
             top_runs.extend(idx.into_iter().take(keep));
         }
@@ -121,6 +119,23 @@ impl AdaptiveCandidateGenerator {
     ) -> Vec<SparkConf> {
         let (lo, hi) = self.region(app, data, env);
         (0..n).map(|_| self.space.sample_in_box(&lo, &hi, rng)).collect()
+    }
+
+    /// [`candidates`](Self::candidates) with a fresh seed-derived RNG, so
+    /// a candidate set is a pure function of `(request, seed)` — callers
+    /// that must replay a request deterministically (the serving path, the
+    /// tuner) share this one construction.
+    pub fn candidates_seeded(
+        &self,
+        app: AppId,
+        data: &DataSpec,
+        env: &[f64; 6],
+        n: usize,
+        seed: u64,
+    ) -> Vec<SparkConf> {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        self.candidates(app, data, env, n, &mut rng)
     }
 
     /// Per-knob spans (diagnostics / Table VIIIb).

@@ -219,14 +219,9 @@ impl Necs {
 
     /// Assemble the normalized tabular matrix for instances.
     fn tabular_matrix(&self, instances: &[&StageInstance]) -> Tensor {
-        let mut m = Tensor::zeros(instances.len(), TABULAR_WIDTH);
-        for (r, inst) in instances.iter().enumerate() {
-            let row = self.norm.tabular(&self.space, inst);
-            for (c, v) in row.iter().enumerate() {
-                m.set(r, c, *v as f32);
-            }
-        }
-        m
+        let rows: Vec<Vec<f64>> =
+            instances.iter().map(|inst| self.norm.tabular(&self.space, inst)).collect();
+        Tensor::from_rows_f64(TABULAR_WIDTH, &rows)
     }
 
     /// Train with Adam on MSE over normalized log targets (Eq. 4).
@@ -296,13 +291,11 @@ impl Necs {
         if items.is_empty() {
             return Vec::new();
         }
-        let mut tab = Tensor::zeros(items.len(), TABULAR_WIDTH);
-        for (r, (_, conf, data, env)) in items.iter().enumerate() {
-            let row = self.norm.tabular_parts(&self.space, conf, data, env);
-            for (c, v) in row.iter().enumerate() {
-                tab.set(r, c, *v as f32);
-            }
-        }
+        let rows: Vec<Vec<f64>> = items
+            .iter()
+            .map(|(_, conf, data, env)| self.norm.tabular_parts(&self.space, conf, data, env))
+            .collect();
+        let tab = Tensor::from_rows_f64(TABULAR_WIDTH, &rows);
         let templates: Vec<TemplateKey> = items.iter().map(|it| it.0).collect();
         let mut tape = Tape::new();
         let (pred, _) = self.forward_batch(&mut tape, registry, &templates, &tab);
@@ -320,18 +313,48 @@ impl Necs {
         ctx: &crate::experiment::PredictionContext,
         conf: &SparkConf,
     ) -> f64 {
-        // Unique templates with multiplicity: predict each once, weight by
-        // its instance count.
+        self.predict_app_batch(registry, ctx, std::slice::from_ref(conf))[0]
+    }
+
+    /// Predict application execution times for *many* candidate
+    /// configurations of one instance in a single batched forward pass —
+    /// the serving-path variant of [`Necs::predict_app`]. All
+    /// `(unique template × candidate)` rows go through one tape, so the
+    /// template encodings (the expensive CNN/GCN branches) are computed
+    /// once and shared across every candidate via the tape's gather,
+    /// instead of once per candidate.
+    ///
+    /// Row-wise forward math is independent per row and the per-candidate
+    /// summation order matches `predict_app` (templates sorted by key), so
+    /// both paths agree bit-for-bit (guarded by a 1e-9 equivalence test).
+    pub fn predict_app_batch(
+        &self,
+        registry: &TemplateRegistry,
+        ctx: &crate::experiment::PredictionContext,
+        confs: &[SparkConf],
+    ) -> Vec<f64> {
+        // Unique templates with multiplicity: predict each once per
+        // candidate, weight by its instance count.
         let mut counts: HashMap<TemplateKey, usize> = HashMap::new();
         for &t in &ctx.stages {
             *counts.entry(t).or_insert(0) += 1;
         }
         let mut uniq: Vec<TemplateKey> = counts.keys().copied().collect();
         uniq.sort_by_key(|t| t.0); // deterministic summation order
-        let items: Vec<(TemplateKey, &SparkConf, &DataSpec, &[f64; 6])> =
-            uniq.iter().map(|&t| (t, conf, &ctx.data, &ctx.env)).collect();
+        if uniq.is_empty() {
+            return vec![0.0; confs.len()];
+        }
+        let items: Vec<(TemplateKey, &SparkConf, &DataSpec, &[f64; 6])> = confs
+            .iter()
+            .flat_map(|conf| uniq.iter().map(move |&t| (t, conf, &ctx.data, &ctx.env)))
+            .collect();
         let preds = self.predict_stages(registry, &items);
-        uniq.iter().zip(preds.iter()).map(|(t, p)| p * counts[t] as f64).sum()
+        preds
+            .chunks(uniq.len())
+            .map(|per_stage| {
+                uniq.iter().zip(per_stage.iter()).map(|(t, p)| p * counts[t] as f64).sum()
+            })
+            .collect()
     }
 
     /// Mutable access to the parameter store (used by Adaptive Model
@@ -485,6 +508,35 @@ mod tests {
                 other => panic!("epoch {i} missing grad_norm attr: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn predict_app_batch_matches_per_candidate_predictions() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let ds = small_dataset();
+        let refs: Vec<&StageInstance> = ds.instances.iter().collect();
+        let model =
+            Necs::train(&ds.registry, &ds.space, &refs, NecsConfig { epochs: 2, ..quick_config() });
+        let cluster = &ds.clusters[0];
+        let data = AppId::PageRank.dataset(SizeTier::Valid);
+        let ctx = PredictionContext::warm(&ds.registry, AppId::PageRank, &data, cluster).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let confs: Vec<SparkConf> = (0..30).map(|_| ds.space.sample(&mut rng)).collect();
+        let batched = model.predict_app_batch(&ds.registry, &ctx, &confs);
+        assert_eq!(batched.len(), confs.len());
+        for (conf, b) in confs.iter().zip(batched.iter()) {
+            let single = model.predict_app(&ds.registry, &ctx, conf);
+            // The batched path must reproduce Eq. 5 scoring exactly; any
+            // drift here means the server ranks differently than the paper.
+            assert!(
+                (single - b).abs() <= 1e-9 * single.abs().max(1.0),
+                "batched {b} != per-candidate {single}"
+            );
+        }
+        assert!(batched.iter().all(|p| p.is_finite() && *p >= 0.0));
+        // Empty candidate list short-circuits.
+        assert!(model.predict_app_batch(&ds.registry, &ctx, &[]).is_empty());
     }
 
     #[test]

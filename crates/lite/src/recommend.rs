@@ -19,8 +19,6 @@ use lite_sparksim::conf::SparkConf;
 use lite_sparksim::result::RunResult;
 use lite_workloads::apps::AppId;
 use lite_workloads::data::DataSpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// A ranked candidate.
 #[derive(Debug, Clone)]
@@ -29,6 +27,54 @@ pub struct RankedCandidate {
     pub conf: SparkConf,
     /// NECS-predicted total execution time in seconds.
     pub predicted_s: f64,
+}
+
+/// Score candidate configurations for one prediction context: preflight
+/// failures rank behind everything at `EXECUTION_CAP_S × 10`, survivors
+/// are scored in **one** batched NECS pass ([`Necs::predict_app_batch`]).
+/// Returns one prediction per input candidate, in input order. Shared by
+/// [`LiteTuner`] and the serving path (which interleaves a cache, so it
+/// needs scoring separate from sampling and sorting).
+pub fn score_candidates(
+    model: &Necs,
+    registry: &TemplateRegistry,
+    ctx: &PredictionContext,
+    cluster: &ClusterSpec,
+    confs: &[SparkConf],
+    tracer: &Tracer,
+) -> Vec<f64> {
+    // Configurations failing the engine's static pre-flight (unsatisfiable
+    // allocation, partitions that cannot fit a task's heap share) never
+    // even start on a real cluster; rank them behind everything.
+    let preflight_ok: Vec<bool> = confs
+        .iter()
+        .map(|conf| lite_sparksim::exec::preflight(cluster, conf, ctx.data.bytes).is_ok())
+        .collect();
+    let survivors: Vec<SparkConf> = confs
+        .iter()
+        .zip(preflight_ok.iter())
+        .filter(|(_, &ok)| ok)
+        .map(|(conf, _)| conf.clone())
+        .collect();
+    let mut batched = model.predict_app_batch(registry, ctx, &survivors).into_iter();
+    preflight_ok
+        .iter()
+        .enumerate()
+        .map(|(i, &ok)| {
+            let predicted_s = if ok {
+                batched.next().expect("one prediction per preflight survivor")
+            } else {
+                lite_metrics::ranking::EXECUTION_CAP_S * 10.0
+            };
+            let mut cand_span = tracer.span("lite.candidate");
+            if cand_span.is_recording() {
+                cand_span.attr_u64("candidate", i as u64);
+                cand_span.attr_bool("preflight_ok", ok);
+                cand_span.attr_f64("predicted_s", predicted_s);
+            }
+            predicted_s
+        })
+        .collect()
 }
 
 /// The assembled LITE system.
@@ -107,34 +153,18 @@ impl LiteTuner {
             rec_span.attr_u64("candidates", self.num_candidates as u64);
             rec_span.attr_u64("seed", seed);
         }
-        let mut rng = StdRng::seed_from_u64(seed);
         let confs =
-            self.acg.candidates(ctx.app, &ctx.data, &ctx.env, self.num_candidates, &mut rng);
+            self.acg.candidates_seeded(ctx.app, &ctx.data, &ctx.env, self.num_candidates, seed);
+        let scores =
+            score_candidates(&self.model, &self.registry, ctx, cluster, &confs, &self.tracer);
         let mut ranked: Vec<RankedCandidate> = confs
             .into_iter()
-            .enumerate()
-            .map(|(i, conf)| {
-                let mut cand_span = self.tracer.span("lite.candidate");
-                // Configurations failing the engine's static pre-flight
-                // (unsatisfiable allocation, partitions that cannot fit a
-                // task's heap share) never even start on a real cluster;
-                // rank them behind everything.
-                let preflight_ok =
-                    lite_sparksim::exec::preflight(cluster, &conf, ctx.data.bytes).is_ok();
-                let predicted_s = if preflight_ok {
-                    self.model.predict_app(&self.registry, ctx, &conf)
-                } else {
-                    lite_metrics::ranking::EXECUTION_CAP_S * 10.0
-                };
-                if cand_span.is_recording() {
-                    cand_span.attr_u64("candidate", i as u64);
-                    cand_span.attr_bool("preflight_ok", preflight_ok);
-                    cand_span.attr_f64("predicted_s", predicted_s);
-                }
-                RankedCandidate { conf, predicted_s }
-            })
+            .zip(scores)
+            .map(|(conf, predicted_s)| RankedCandidate { conf, predicted_s })
             .collect();
-        ranked.sort_by(|a, b| a.predicted_s.partial_cmp(&b.predicted_s).expect("finite"));
+        // total_cmp, not partial_cmp: a non-finite prediction must degrade
+        // the ranking (NaN sorts last), never panic a serving thread.
+        ranked.sort_by(|a, b| a.predicted_s.total_cmp(&b.predicted_s));
         if rec_span.is_recording() {
             if let Some(best) = ranked.first() {
                 rec_span.attr_f64("best_predicted_s", best.predicted_s);

@@ -8,7 +8,7 @@ pub const EXECUTION_CAP_S: f64 = 7200.0;
 /// ordering is deterministic).
 pub fn rank_by(scores: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores").then(a.cmp(&b)));
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
     idx
 }
 

@@ -29,7 +29,7 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> WilcoxonResult {
     if n == 0 {
         return WilcoxonResult { w_plus: 0.0, w_minus: 0.0, n: 0, p_value: 1.0 };
     }
-    diffs.sort_by(|x, y| x.abs().partial_cmp(&y.abs()).expect("finite diffs"));
+    diffs.sort_by(|x, y| x.abs().total_cmp(&y.abs()));
 
     // Mid-ranks over |diff| with tie handling.
     let mut ranks = vec![0.0f64; n];

@@ -37,6 +37,23 @@ impl Tensor {
         Tensor::from_vec(1, n, data)
     }
 
+    /// Assemble a batch matrix from per-row `f64` feature slices, narrowing
+    /// to `f32`. Feature pipelines produce `f64` rows; stacking them here
+    /// (instead of element-wise `set` at every call site) is the entry
+    /// point of the batched inference path. `cols` is explicit so an empty
+    /// batch still has a well-defined shape.
+    pub fn from_rows_f64<R: AsRef<[f64]>>(cols: usize, rows: &[R]) -> Tensor {
+        let mut out = Tensor::zeros(rows.len(), cols);
+        for (r, row) in rows.iter().enumerate() {
+            let row = row.as_ref();
+            assert_eq!(row.len(), cols, "row {r} has {} cols, expected {cols}", row.len());
+            for (o, &v) in out.row_mut(r).iter_mut().zip(row.iter()) {
+                *o = v as f32;
+            }
+        }
+        out
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -287,5 +304,23 @@ mod tests {
     fn rows_are_contiguous() {
         let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
         assert_eq!(a.row(1), &[4., 5., 6.]);
+    }
+
+    #[test]
+    fn from_rows_f64_stacks_and_narrows() {
+        let rows = [vec![1.0f64, 2.0], vec![0.25, -0.5]];
+        let t = Tensor::from_rows_f64(2, &rows);
+        assert_eq!(t.shape(), (2, 2));
+        assert_eq!(t.data(), &[1.0, 2.0, 0.25, -0.5]);
+        // Empty batches keep a well-defined column count.
+        let empty: Vec<Vec<f64>> = Vec::new();
+        assert_eq!(Tensor::from_rows_f64(3, &empty).shape(), (0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2")]
+    fn from_rows_f64_rejects_ragged_rows() {
+        let rows = [vec![1.0f64, 2.0], vec![3.0]];
+        let _ = Tensor::from_rows_f64(2, &rows);
     }
 }

@@ -1,9 +1,11 @@
-//! A minimal JSON value and serializer.
+//! A minimal JSON value, serializer and parser.
 //!
 //! The workspace's `serde_json` is unavailable to crates below the
 //! simulator without dragging a heavy dependency into the hot-path graph;
-//! manifests only need *emission*, so a ~100-line writer suffices. Objects
-//! preserve insertion order (manifests are meant to be diffed by humans).
+//! manifests need *emission* and the serving wire protocol needs
+//! *parsing*, so a small writer plus a recursive-descent reader suffice.
+//! Objects preserve insertion order (manifests are meant to be diffed by
+//! humans).
 
 use std::fmt::Write as _;
 
@@ -28,10 +30,97 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
 }
 
+/// A parse failure: byte offset into the input plus a short message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// What was expected or found.
+    pub msg: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
 impl Json {
     /// Build an object from key/value pairs.
     pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Parse a JSON document (the inverse of [`Json::render`]). Rejects
+    /// trailing garbage. Integral numbers parse to `Int`/`UInt`, others to
+    /// `Num`; duplicate object keys are kept in order (last wins on
+    /// [`Json::get`] lookups being first-match keeps round-trips honest,
+    /// so `get` returns the *first* occurrence).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match). `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (`Int`/`UInt`/`Num`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::UInt(v) => Some(*v as f64),
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integral value as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(v) if *v >= 0 => Some(*v as u64),
+            Json::UInt(v) => Some(*v),
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array items.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
     }
 
     /// Serialize to a compact string (single line, no trailing newline).
@@ -82,6 +171,235 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> JsonError {
+        JsonError { offset: self.pos, msg }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, msg: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':'")?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u', "expected low surrogate")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid code point"))?);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // byte boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().expect("non-empty checked above");
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("unescaped control character"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (d as char).to_digit(16).ok_or_else(|| self.err("invalid hex digit"))?;
+            v = v * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == int_start {
+            return Err(self.err("expected digits"));
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii digits are valid utf-8");
+        if integral {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError { offset: start, msg: "invalid number" })
     }
 }
 
@@ -186,5 +504,80 @@ mod tests {
         let rendered = Json::Num(v).render();
         let parsed: f64 = rendered.parse().unwrap();
         assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn parse_roundtrips_rendered_values() {
+        let j = Json::obj(vec![
+            ("op", Json::from("recommend")),
+            // Integral literals parse back as `Int` (UInt is only for
+            // values above i64::MAX), so construct with `Int` to make the
+            // round-trip structural, not just semantic.
+            ("k", Json::Int(5)),
+            ("neg", Json::Int(-3)),
+            ("x", Json::Num(1.5e-3)),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+            ("vals", Json::Arr(vec![Json::Int(1), Json::Num(2.25)])),
+            ("text", Json::from("a\"b\\c\nd\théllo")),
+        ]);
+        let parsed = Json::parse(&j.render()).expect("roundtrip");
+        assert_eq!(parsed, j);
+    }
+
+    #[test]
+    fn parse_handles_whitespace_escapes_and_nesting() {
+        let j = Json::parse(" { \"a\" : [ 1 , { \"b\" : \"\\u0041\\u00e9\" } ] , \"c\": 2.5 } ")
+            .expect("parse");
+        assert_eq!(j.get("c").and_then(Json::as_f64), Some(2.5));
+        let arr = j.get("a").and_then(Json::as_arr).expect("array");
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].get("b").and_then(Json::as_str), Some("Aé"));
+        // Surrogate pair.
+        let emoji = Json::parse("\"\\ud83d\\ude00\"").expect("surrogate pair");
+        assert_eq!(emoji.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn parse_classifies_numbers() {
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(18_446_744_073_709_551_615)
+        );
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(Json::parse("-0.5").unwrap(), Json::Num(-0.5));
+        assert_eq!(Json::Int(42).as_u64(), Some(42));
+        assert_eq!(Json::Int(-1).as_u64(), None);
+        assert_eq!(Json::Num(3.0).as_u64(), Some(3));
+        assert_eq!(Json::Num(3.5).as_u64(), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1.e3",
+            "\"unterminated",
+            "{\"a\":1}x",
+            "\"\\ud83d\"",
+            "01x",
+            "nul",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed input: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn get_returns_first_match_and_none_for_non_objects() {
+        let j = Json::parse("{\"a\":1,\"a\":2}").unwrap();
+        assert_eq!(j.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("missing"), None);
+        assert_eq!(Json::Null.get("a"), None);
     }
 }

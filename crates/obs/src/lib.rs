@@ -43,7 +43,7 @@ pub mod metrics;
 pub mod report;
 pub mod span;
 
-pub use json::Json;
+pub use json::{Json, JsonError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramBatch, MetricsSnapshot, Registry};
 pub use report::Report;
 pub use span::{AttrValue, SpanGuard, SpanRecord, SynthSpan, Tracer};

@@ -1,0 +1,231 @@
+//! Sharded LRU cache of per-candidate NECS predictions.
+//!
+//! Keys are exact: the full `(app, data, cluster, conf)` tuple packed into
+//! a fixed word array (floats by bit pattern), so two requests share an
+//! entry only when the model would compute the identical number — batched
+//! NECS inference is bit-for-bit equal to per-candidate inference, so a
+//! hit never changes a response. Entries remember the model version that
+//! produced them; a hot-swap therefore invalidates the whole cache lazily,
+//! with no swap-time sweep.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use lite_obs::Counter;
+use lite_sparksim::cluster::ClusterSpec;
+use lite_sparksim::conf::SparkConf;
+use lite_workloads::apps::AppId;
+use lite_workloads::data::DataSpec;
+
+/// app(1) + data(5) + cluster env(6) + cluster name hash(1) + conf(16).
+const KEY_WORDS: usize = 29;
+
+/// Exact cache key: every feature the prediction depends on, bit-packed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey([u64; KEY_WORDS]);
+
+impl CacheKey {
+    /// Pack one candidate's identity.
+    pub fn new(app: AppId, data: &DataSpec, cluster: &ClusterSpec, conf: &SparkConf) -> CacheKey {
+        let mut w = [0u64; KEY_WORDS];
+        w[0] = app.index() as u64;
+        w[1] = data.rows;
+        w[2] = data.cols as u64;
+        w[3] = data.iterations as u64;
+        w[4] = data.partitions as u64;
+        w[5] = data.bytes;
+        for (i, &e) in cluster.env_features().iter().enumerate() {
+            w[6 + i] = e.to_bits();
+        }
+        w[12] = fnv1a(cluster.name.as_bytes());
+        for (i, &v) in conf.values().iter().enumerate() {
+            w[13 + i] = v.to_bits();
+        }
+        CacheKey(w)
+    }
+
+    fn shard_of(&self, shards: usize) -> usize {
+        let mut h = 0xcbf29ce484222325u64;
+        for &word in &self.0 {
+            h = (h ^ word).wrapping_mul(0x100000001b3);
+        }
+        (h % shards as u64) as usize
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+struct Entry {
+    version: u64,
+    value: f64,
+    stamp: u64,
+}
+
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    clock: u64,
+}
+
+/// The cache: N independently locked shards, per-shard LRU eviction.
+pub struct PredictionCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl PredictionCache {
+    /// `shards` independently locked maps of at most `capacity_per_shard`
+    /// entries each. Hit/miss counters come from the caller's metrics
+    /// registry so the cache shows up in manifests.
+    pub fn new(
+        shards: usize,
+        capacity_per_shard: usize,
+        hits: Counter,
+        misses: Counter,
+    ) -> PredictionCache {
+        assert!(shards > 0, "cache needs at least one shard");
+        PredictionCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard { map: HashMap::new(), clock: 0 }))
+                .collect(),
+            capacity_per_shard,
+            hits,
+            misses,
+        }
+    }
+
+    /// Look up a prediction made by model `version`. A stale-version entry
+    /// is removed on sight and counts as a miss.
+    pub fn get(&self, key: &CacheKey, version: u64) -> Option<f64> {
+        let mut shard = self.shard(key);
+        match shard.map.get_mut(key) {
+            Some(entry) if entry.version == version => {
+                shard.clock += 1;
+                let stamp = shard.clock;
+                shard.map.get_mut(key).expect("entry present").stamp = stamp;
+                self.hits.inc();
+                Some(shard.map[key].value)
+            }
+            Some(_) => {
+                shard.map.remove(key);
+                self.misses.inc();
+                None
+            }
+            None => {
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Store a prediction, evicting the shard's least-recently-used entry
+    /// when full.
+    pub fn insert(&self, key: CacheKey, version: u64, value: f64) {
+        if self.capacity_per_shard == 0 {
+            return;
+        }
+        let mut shard = self.shard(&key);
+        if shard.map.len() >= self.capacity_per_shard && !shard.map.contains_key(&key) {
+            if let Some(oldest) = shard.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k) {
+                shard.map.remove(&oldest);
+            }
+        }
+        shard.clock += 1;
+        let stamp = shard.clock;
+        shard.map.insert(key, Entry { version, value, stamp });
+    }
+
+    /// Entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.value()
+    }
+
+    /// Lifetime misses (stale-version evictions included).
+    pub fn misses(&self) -> u64 {
+        self.misses.value()
+    }
+
+    /// Lifetime hit rate in `[0, 1]`; 0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> std::sync::MutexGuard<'_, Shard> {
+        self.shards[key.shard_of(self.shards.len())].lock().expect("cache shard poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lite_obs::Registry;
+    use lite_sparksim::conf::ConfSpace;
+
+    fn cache(shards: usize, cap: usize) -> PredictionCache {
+        let reg = Registry::new();
+        PredictionCache::new(shards, cap, reg.counter("hits"), reg.counter("misses"))
+    }
+
+    fn key(knob0: f64) -> CacheKey {
+        let space = ConfSpace::table_iv();
+        let mut conf = space.default_conf();
+        conf.set(&space, lite_sparksim::conf::Knob::ExecutorCores, knob0);
+        CacheKey::new(
+            AppId::Sort,
+            &AppId::Sort.dataset(lite_workloads::data::SizeTier::Valid),
+            &ClusterSpec::cluster_a(),
+            &conf,
+        )
+    }
+
+    #[test]
+    fn hit_miss_and_version_invalidation() {
+        let c = cache(4, 8);
+        let k = key(2.0);
+        assert_eq!(c.get(&k, 0), None);
+        c.insert(k, 0, 123.5);
+        assert_eq!(c.get(&k, 0), Some(123.5));
+        // A new model version invalidates the entry.
+        assert_eq!(c.get(&k, 1), None);
+        assert_eq!(c.get(&k, 1), None); // really removed, not just skipped
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 3);
+        assert!((c.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_within_shard() {
+        let c = cache(1, 2); // one shard so all keys compete
+        let (a, b, d) = (key(1.0), key(2.0), key(3.0));
+        c.insert(a, 0, 1.0);
+        c.insert(b, 0, 2.0);
+        assert_eq!(c.get(&a, 0), Some(1.0)); // touch a: b is now LRU
+        c.insert(d, 0, 3.0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&b, 0), None, "LRU entry should have been evicted");
+        assert_eq!(c.get(&a, 0), Some(1.0));
+        assert_eq!(c.get(&d, 0), Some(3.0));
+    }
+}

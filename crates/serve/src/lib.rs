@@ -1,0 +1,54 @@
+//! # lite-serve — the LITE tuner as a concurrent recommendation service
+//!
+//! The paper's Step 1–4 loop (Section IV) lifted from a one-shot script
+//! into a server: recommendations are answered by a pool of worker threads
+//! in milliseconds while feedback-driven model updates happen continuously
+//! in the background. Four pieces:
+//!
+//! * [`slot`] — a versioned model registry: an immutable
+//!   [`Arc<ModelSnapshot>`](snapshot::ModelSnapshot) behind
+//!   [`slot::VersionedSlot`], whose steady-state read is one atomic load;
+//!   a background updater thread drains observed feedback, runs the
+//!   paper's Adaptive Model Update on a clone, and hot-swaps a new
+//!   version without stalling readers.
+//! * [`service`] — a worker pool over a bounded request queue with
+//!   per-request deadlines and explicit load-shedding: a full queue
+//!   rejects with [`service::ServeError::Overloaded`] instead of queuing
+//!   unboundedly.
+//! * [`cache`] — a sharded LRU prediction cache keyed by
+//!   `(app, data, cluster, conf)`; entries carry the model version that
+//!   produced them, so every hot-swap invalidates the cache for free.
+//! * batched NECS scoring — requests score all their candidates through
+//!   [`lite_core::necs::Necs::predict_app_batch`], one tape per request
+//!   instead of one per candidate.
+//!
+//! Requests arrive over an in-process [`service::ServiceHandle`] or the
+//! length-prefixed TCP front-end in [`net`], which reuses
+//! [`lite_obs::Json`] for wire encoding. Everything is `std`-only on top
+//! of the workspace crates.
+
+pub mod cache;
+pub mod net;
+pub mod service;
+pub mod slot;
+pub mod snapshot;
+
+pub use cache::PredictionCache;
+pub use net::{Client, TcpServer};
+pub use service::{RecommendResponse, ServeConfig, ServeError, Service, ServiceHandle};
+pub use slot::{SlotReader, VersionedSlot};
+pub use snapshot::ModelSnapshot;
+
+/// Compile-time `Send + Sync` assertions: every type that crosses the
+/// worker/updater/front-end thread boundaries must be safe to share. A
+/// non-`Sync` field sneaking into the model stack fails the build here,
+/// not in production.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<snapshot::ModelSnapshot>();
+    assert_send_sync::<slot::VersionedSlot<snapshot::ModelSnapshot>>();
+    assert_send_sync::<service::Service>();
+    assert_send_sync::<service::ServiceHandle>();
+    assert_send_sync::<cache::PredictionCache>();
+    assert_send_sync::<service::ServeError>();
+};

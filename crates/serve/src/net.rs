@@ -1,0 +1,559 @@
+//! Length-prefixed TCP front-end over the in-process service handle.
+//!
+//! Framing is a 4-byte big-endian payload length followed by one JSON
+//! document (encoded/decoded with [`lite_obs::Json`] — the same value type
+//! the manifests use, so the wire format needs no new dependency). One
+//! request frame yields exactly one response frame; responses always carry
+//! an `"ok"` boolean, with errors as `{"ok":false,"code":...,"error":...}`.
+//!
+//! Operations:
+//!
+//! * `{"op":"ping"}` → `{"ok":true,"version":v,"swaps":n}`
+//! * `{"op":"recommend","app":"KMeans","data":{...},"cluster":"cluster-a",
+//!   "k":3,"seed":7}` → `{"ok":true,"version":v,"cached":c,"scored":s,
+//!   "ranked":[{"conf":[16 values],"predicted_s":t},...]}`
+//! * `{"op":"observe","app":...,"data":...,"cluster":...,"conf":[...],
+//!   "result":{"total_time_s":t,"failed":false,"stages":[{"name":...,
+//!   "duration_s":d},...]}}` → `{"ok":true,"feedback":n}`
+//!
+//! `cluster` is either a preset name (`"cluster-a"`/`"cluster-b"`/
+//! `"cluster-c"`) or a full object with the Table III fields.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use lite_obs::Json;
+use lite_sparksim::cluster::ClusterSpec;
+use lite_sparksim::conf::{ConfSpace, SparkConf, NUM_KNOBS};
+use lite_sparksim::result::{FailureReason, RunResult, StageStats};
+use lite_workloads::apps::AppId;
+use lite_workloads::data::DataSpec;
+
+use crate::service::{RecommendResponse, ServeError, ServiceHandle};
+
+/// Largest accepted frame payload; recommendation traffic is tiny, so
+/// anything bigger is a protocol error, not a workload.
+const MAX_FRAME: u32 = 1 << 20;
+
+/// Write one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame; `None` on a clean EOF before the length prefix.
+pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+/// A running TCP front-end. Dropping (or calling
+/// [`shutdown`](TcpServer::shutdown)) stops accepting new connections;
+/// established connections end when their clients disconnect.
+pub struct TcpServer {
+    local_addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// The bound address (useful with a `:0` ephemeral-port bind).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop the accept loop and join it.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            t.join().expect("accept thread panicked");
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Serve `handle` over TCP at `addr` (e.g. `"127.0.0.1:0"`). Each
+/// connection gets its own thread; requests on one connection are served
+/// in order, concurrency comes from concurrent connections.
+pub fn serve_tcp<A: ToSocketAddrs>(handle: ServiceHandle, addr: A) -> std::io::Result<TcpServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = stop.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("serve-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let handle = handle.clone();
+                let _ = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || connection_loop(stream, handle));
+            }
+        })
+        .expect("spawn accept thread");
+    Ok(TcpServer { local_addr, stop, accept_thread: Some(accept_thread) })
+}
+
+fn connection_loop(mut stream: TcpStream, handle: ServiceHandle) {
+    let space = ConfSpace::table_iv();
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return, // client gone
+        };
+        let response = match std::str::from_utf8(&payload)
+            .map_err(|_| "frame is not utf-8".to_string())
+            .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
+        {
+            Ok(request) => dispatch(&handle, &space, &request),
+            Err(msg) => wire_error("bad_request", &msg),
+        };
+        if write_frame(&mut stream, response.render().as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+fn dispatch(handle: &ServiceHandle, space: &ConfSpace, request: &Json) -> Json {
+    let op = request.get("op").and_then(Json::as_str).unwrap_or("");
+    let outcome = match op {
+        "ping" => Ok(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("version", Json::from(handle.version())),
+            ("swaps", Json::from(handle.swap_count())),
+        ])),
+        "recommend" => wire_recommend(handle, request),
+        "observe" => wire_observe(handle, space, request),
+        _ => Err(("bad_request", "unknown op".to_string())),
+    };
+    match outcome {
+        Ok(json) => json,
+        Err((code, msg)) => wire_error(code, &msg),
+    }
+}
+
+type WireResult = Result<Json, (&'static str, String)>;
+
+fn wire_recommend(handle: &ServiceHandle, request: &Json) -> WireResult {
+    let app = parse_app(request.get("app"))?;
+    let data = parse_data(request.get("data"))?;
+    let cluster = parse_cluster(request.get("cluster"))?;
+    let k = request.get("k").and_then(Json::as_u64).unwrap_or(1) as usize;
+    let seed = request.get("seed").and_then(Json::as_u64).unwrap_or(0);
+    match handle.recommend(app, &data, &cluster, k, seed) {
+        Ok(resp) => Ok(recommend_to_json(&resp)),
+        Err(err) => Err((error_code(&err), err.to_string())),
+    }
+}
+
+fn wire_observe(handle: &ServiceHandle, space: &ConfSpace, request: &Json) -> WireResult {
+    let app = parse_app(request.get("app"))?;
+    let data = parse_data(request.get("data"))?;
+    let cluster = parse_cluster(request.get("cluster"))?;
+    let conf = parse_conf(space, request.get("conf"))?;
+    let result = parse_result(request.get("result"))?;
+    match handle.observe(app, &data, &cluster, &conf, &result) {
+        Ok(feedback) => {
+            Ok(Json::obj(vec![("ok", Json::Bool(true)), ("feedback", Json::from(feedback))]))
+        }
+        Err(err) => Err((error_code(&err), err.to_string())),
+    }
+}
+
+fn error_code(err: &ServeError) -> &'static str {
+    match err {
+        ServeError::Overloaded => "overloaded",
+        ServeError::DeadlineExceeded => "deadline_exceeded",
+        ServeError::ColdApp(_) => "cold_app",
+        ServeError::ShuttingDown => "shutting_down",
+        ServeError::Internal(_) => "internal",
+    }
+}
+
+fn wire_error(code: &'static str, msg: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("code", Json::from(code)),
+        ("error", Json::from(msg)),
+    ])
+}
+
+fn recommend_to_json(resp: &RecommendResponse) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("version", Json::from(resp.version)),
+        ("cached", Json::from(resp.cached)),
+        ("scored", Json::from(resp.scored)),
+        (
+            "ranked",
+            Json::Arr(
+                resp.ranked
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            (
+                                "conf",
+                                Json::Arr(r.conf.values().iter().map(|&v| Json::Num(v)).collect()),
+                            ),
+                            ("predicted_s", Json::Num(r.predicted_s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Wire parsing
+
+fn parse_app(value: Option<&Json>) -> Result<AppId, (&'static str, String)> {
+    let name = value
+        .and_then(Json::as_str)
+        .ok_or_else(|| ("bad_request", "missing app name".to_string()))?;
+    AppId::all()
+        .iter()
+        .copied()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| ("bad_request", format!("unknown app {name:?}")))
+}
+
+fn parse_data(value: Option<&Json>) -> Result<DataSpec, (&'static str, String)> {
+    let obj = value.ok_or_else(|| ("bad_request", "missing data".to_string()))?;
+    let field = |key: &str| obj.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let bytes = obj
+        .get("bytes")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ("bad_request", "data.bytes required".to_string()))?;
+    Ok(DataSpec {
+        rows: field("rows"),
+        cols: field("cols") as u32,
+        iterations: field("iterations") as u32,
+        partitions: field("partitions") as u32,
+        bytes,
+    })
+}
+
+fn parse_cluster(value: Option<&Json>) -> Result<ClusterSpec, (&'static str, String)> {
+    match value {
+        Some(Json::Str(name)) => ClusterSpec::all_evaluation_clusters()
+            .into_iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| ("bad_request", format!("unknown cluster preset {name:?}"))),
+        Some(obj @ Json::Obj(_)) => {
+            let name = obj.get("name").and_then(Json::as_str).unwrap_or("wire-cluster");
+            let num = |key: &str| -> Result<f64, (&'static str, String)> {
+                obj.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(("bad_request", format!("cluster.{key} required")))
+            };
+            Ok(ClusterSpec {
+                name: name.to_string(),
+                nodes: num("nodes")? as u32,
+                cores_per_node: num("cores_per_node")? as u32,
+                cpu_ghz: num("cpu_ghz")?,
+                mem_gb_per_node: num("mem_gb_per_node")?,
+                mem_mts: num("mem_mts")?,
+                net_gbps: num("net_gbps")?,
+            })
+        }
+        _ => Err(("bad_request", "missing cluster (preset name or object)".to_string())),
+    }
+}
+
+fn parse_conf(
+    space: &ConfSpace,
+    value: Option<&Json>,
+) -> Result<SparkConf, (&'static str, String)> {
+    let items = value
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ("bad_request", "missing conf array".to_string()))?;
+    if items.len() != NUM_KNOBS {
+        return Err(("bad_request", format!("conf needs {NUM_KNOBS} values, got {}", items.len())));
+    }
+    let mut values = [0.0f64; NUM_KNOBS];
+    for (i, item) in items.iter().enumerate() {
+        values[i] =
+            item.as_f64().ok_or_else(|| ("bad_request", format!("conf[{i}] is not a number")))?;
+    }
+    Ok(SparkConf::from_values(space, values))
+}
+
+fn parse_result(value: Option<&Json>) -> Result<RunResult, (&'static str, String)> {
+    let obj = value.ok_or_else(|| ("bad_request", "missing result".to_string()))?;
+    let total_time_s = obj
+        .get("total_time_s")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| ("bad_request", "result.total_time_s required".to_string()))?;
+    let failed = obj.get("failed").and_then(Json::as_bool).unwrap_or(false);
+    let stages_json = obj
+        .get("stages")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ("bad_request", "result.stages required".to_string()))?;
+    let mut stages = Vec::with_capacity(stages_json.len());
+    for (i, st) in stages_json.iter().enumerate() {
+        let name = st
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ("bad_request", format!("stages[{i}].name required")))?;
+        let duration_s = st
+            .get("duration_s")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ("bad_request", format!("stages[{i}].duration_s required")))?;
+        let u = |key: &str| st.get(key).and_then(Json::as_u64).unwrap_or(0);
+        stages.push(StageStats {
+            stage_id: st.get("stage_id").and_then(Json::as_u64).unwrap_or(i as u64) as usize,
+            name: name.to_string(),
+            duration_s,
+            num_tasks: u("num_tasks") as u32,
+            input_bytes: u("input_bytes"),
+            shuffle_read_bytes: u("shuffle_read_bytes"),
+            shuffle_write_bytes: u("shuffle_write_bytes"),
+            spill_bytes: u("spill_bytes"),
+            gc_time_s: st.get("gc_time_s").and_then(Json::as_f64).unwrap_or(0.0),
+            peak_task_memory: u("peak_task_memory"),
+            cached_fraction: st.get("cached_fraction").and_then(Json::as_f64).unwrap_or(1.0),
+            tasks: Vec::new(),
+        });
+    }
+    Ok(RunResult {
+        total_time_s,
+        stages,
+        // The wire carries only a failed flag; the concrete reason does not
+        // affect feedback extraction.
+        failure: failed.then_some(FailureReason::ExecutorOom),
+        executors: obj.get("executors").and_then(Json::as_u64).unwrap_or(0) as u32,
+        slots: obj.get("slots").and_then(Json::as_u64).unwrap_or(0) as u32,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+/// A blocking TCP client speaking the framed JSON protocol.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a [`TcpServer`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        Ok(Client { stream: TcpStream::connect(addr)? })
+    }
+
+    /// Send one request document and block for its response.
+    pub fn request(&mut self, request: &Json) -> std::io::Result<Json> {
+        write_frame(&mut self.stream, request.render().as_bytes())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed")
+        })?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf-8 frame"))?;
+        Json::parse(text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// `ping`: the serving model version.
+    pub fn ping(&mut self) -> std::io::Result<u64> {
+        let resp = self.request(&Json::obj(vec![("op", Json::from("ping"))]))?;
+        resp.get("version").and_then(Json::as_u64).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "ping response missing version")
+        })
+    }
+
+    /// `recommend` against a preset cluster; returns the raw response
+    /// document (check `"ok"`).
+    pub fn recommend(
+        &mut self,
+        app: AppId,
+        data: &DataSpec,
+        cluster: &str,
+        k: usize,
+        seed: u64,
+    ) -> std::io::Result<Json> {
+        self.request(&Json::obj(vec![
+            ("op", Json::from("recommend")),
+            ("app", Json::from(app.name())),
+            ("data", data_to_json(data)),
+            ("cluster", Json::from(cluster)),
+            ("k", Json::from(k)),
+            ("seed", Json::from(seed)),
+        ]))
+    }
+
+    /// `observe` an executed configuration's outcome against a preset
+    /// cluster; returns the raw response document.
+    pub fn observe(
+        &mut self,
+        app: AppId,
+        data: &DataSpec,
+        cluster: &str,
+        conf: &SparkConf,
+        result: &RunResult,
+    ) -> std::io::Result<Json> {
+        self.request(&Json::obj(vec![
+            ("op", Json::from("observe")),
+            ("app", Json::from(app.name())),
+            ("data", data_to_json(data)),
+            ("cluster", Json::from(cluster)),
+            ("conf", Json::Arr(conf.values().iter().map(|&v| Json::Num(v)).collect())),
+            ("result", result_to_json(result)),
+        ]))
+    }
+}
+
+/// Encode a [`DataSpec`] for the wire.
+pub fn data_to_json(data: &DataSpec) -> Json {
+    Json::obj(vec![
+        ("rows", Json::from(data.rows)),
+        ("cols", Json::from(data.cols)),
+        ("iterations", Json::from(data.iterations)),
+        ("partitions", Json::from(data.partitions)),
+        ("bytes", Json::from(data.bytes)),
+    ])
+}
+
+/// Encode a [`RunResult`] for the wire (stage names and durations; the
+/// observability-only stage fields travel too so nothing is lost).
+pub fn result_to_json(result: &RunResult) -> Json {
+    Json::obj(vec![
+        ("total_time_s", Json::Num(result.total_time_s)),
+        ("failed", Json::Bool(result.failure.is_some())),
+        ("executors", Json::from(result.executors)),
+        ("slots", Json::from(result.slots)),
+        (
+            "stages",
+            Json::Arr(
+                result
+                    .stages
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("stage_id", Json::from(s.stage_id)),
+                            ("name", Json::from(s.name.as_str())),
+                            ("duration_s", Json::Num(s.duration_s)),
+                            ("num_tasks", Json::from(s.num_tasks)),
+                            ("input_bytes", Json::from(s.input_bytes)),
+                            ("shuffle_read_bytes", Json::from(s.shuffle_read_bytes)),
+                            ("shuffle_write_bytes", Json::from(s.shuffle_write_bytes)),
+                            ("spill_bytes", Json::from(s.spill_bytes)),
+                            ("gc_time_s", Json::Num(s.gc_time_s)),
+                            ("peak_task_memory", Json::from(s.peak_task_memory)),
+                            ("cached_fraction", Json::Num(s.cached_fraction)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"op\":\"ping\"}").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"{\"op\":\"ping\"}");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+
+        let huge = (MAX_FRAME + 1).to_be_bytes();
+        let mut cursor = std::io::Cursor::new(huge.to_vec());
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn wire_parsers_roundtrip_domain_types() {
+        let data = AppId::PageRank.dataset(lite_workloads::data::SizeTier::Valid);
+        let parsed = parse_data(Some(&data_to_json(&data))).unwrap();
+        assert_eq!(parsed, data);
+
+        let cluster = parse_cluster(Some(&Json::from("cluster-b"))).unwrap();
+        assert_eq!(cluster, ClusterSpec::cluster_b());
+        let custom = Json::parse(
+            r#"{"name":"x","nodes":2,"cores_per_node":8,"cpu_ghz":3.0,
+                "mem_gb_per_node":32,"mem_mts":2400,"net_gbps":10}"#,
+        )
+        .unwrap();
+        assert_eq!(parse_cluster(Some(&custom)).unwrap().nodes, 2);
+
+        let space = ConfSpace::table_iv();
+        let conf = space.default_conf();
+        let wire = Json::Arr(conf.values().iter().map(|&v| Json::Num(v)).collect());
+        assert_eq!(parse_conf(&space, Some(&wire)).unwrap(), conf);
+
+        assert_eq!(parse_app(Some(&Json::from("KMeans"))).unwrap(), AppId::KMeans);
+        assert!(parse_app(Some(&Json::from("NoSuchApp"))).is_err());
+    }
+
+    #[test]
+    fn run_results_roundtrip_the_fields_feedback_needs() {
+        let result = RunResult {
+            total_time_s: 42.5,
+            stages: vec![StageStats {
+                stage_id: 3,
+                name: "reduce".into(),
+                duration_s: 21.25,
+                num_tasks: 64,
+                input_bytes: 1024,
+                shuffle_read_bytes: 256,
+                shuffle_write_bytes: 128,
+                spill_bytes: 0,
+                gc_time_s: 0.5,
+                peak_task_memory: 99,
+                cached_fraction: 0.75,
+                tasks: Vec::new(),
+            }],
+            failure: None,
+            executors: 4,
+            slots: 16,
+        };
+        let parsed = parse_result(Some(&result_to_json(&result))).unwrap();
+        assert_eq!(parsed, result);
+    }
+}

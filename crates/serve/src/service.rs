@@ -1,0 +1,729 @@
+//! The tuning service: a worker pool over a bounded queue, plus the
+//! background updater that hot-swaps model versions.
+//!
+//! Admission control is explicit. The queue has a fixed capacity; a full
+//! queue rejects new requests with [`ServeError::Overloaded`] at enqueue
+//! time (load-shedding) instead of letting latency grow without bound.
+//! Every request carries a deadline; a request whose deadline passed while
+//! it sat in the queue is answered [`ServeError::DeadlineExceeded`] without
+//! being scored. Workers never block on the updater: they read the model
+//! through a [`SlotReader`](crate::slot::SlotReader), so a swap costs a
+//! request one mutex acquisition at most, once.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lite_core::amu::{adaptive_model_update, AmuConfig};
+use lite_core::experiment::{extract_stage_instances, Dataset};
+use lite_core::features::StageInstance;
+use lite_core::recommend::{score_candidates, RankedCandidate};
+use lite_obs::{Counter, Gauge, Histogram, Registry, Tracer};
+use lite_sparksim::cluster::ClusterSpec;
+use lite_sparksim::conf::SparkConf;
+use lite_sparksim::result::RunResult;
+use lite_workloads::apps::AppId;
+use lite_workloads::data::DataSpec;
+
+use crate::cache::{CacheKey, PredictionCache};
+use crate::slot::VersionedSlot;
+use crate::snapshot::ModelSnapshot;
+
+// ---------------------------------------------------------------------------
+// Errors and results
+
+/// Why a request was not served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request queue was full; the request was shed at admission.
+    Overloaded,
+    /// The deadline passed before a worker picked the request up.
+    DeadlineExceeded,
+    /// The app's templates are not in the serving snapshot; cold-start
+    /// instrumentation mutates the registry and is an offline operation.
+    ColdApp(AppId),
+    /// The service is shutting down.
+    ShuttingDown,
+    /// A worker disappeared without answering (a bug, surfaced not hung).
+    Internal(&'static str),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "request queue full (load shed)"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded in queue"),
+            ServeError::ColdApp(app) => write!(f, "app {app} not in serving snapshot (cold start)"),
+            ServeError::ShuttingDown => write!(f, "service shutting down"),
+            ServeError::Internal(msg) => write!(f, "internal serve error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A served recommendation.
+#[derive(Debug, Clone)]
+pub struct RecommendResponse {
+    /// Model version that produced every score in `ranked`.
+    pub version: u64,
+    /// Top-k candidates, best first.
+    pub ranked: Vec<RankedCandidate>,
+    /// Candidates answered from the prediction cache.
+    pub cached: usize,
+    /// Candidates scored through the batched NECS pass.
+    pub scored: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads answering requests. `0` spawns no workers (useful
+    /// for queue tests: requests enqueue but nothing consumes them).
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue sheds with
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Deadline applied by [`ServiceHandle::recommend`] and friends when
+    /// the caller does not pass one explicitly.
+    pub default_deadline: Duration,
+    /// Observed feedback instances that trigger a background model update.
+    pub update_batch: usize,
+    /// Prediction-cache shards.
+    pub cache_shards: usize,
+    /// Prediction-cache entries per shard (`0` disables caching).
+    pub cache_capacity_per_shard: usize,
+    /// Adaptive Model Update hyper-parameters for background swaps.
+    pub amu: AmuConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            default_deadline: Duration::from_secs(2),
+            update_batch: 50,
+            cache_shards: 8,
+            cache_capacity_per_shard: 512,
+            amu: AmuConfig::default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oneshot reply channel
+
+struct OneshotInner<T> {
+    state: Mutex<(Option<T>, bool)>, // (value, sender gone)
+    cv: Condvar,
+}
+
+pub(crate) struct OneshotSender<T> {
+    inner: Arc<OneshotInner<T>>,
+}
+
+pub(crate) struct OneshotReceiver<T> {
+    inner: Arc<OneshotInner<T>>,
+}
+
+pub(crate) fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let inner = Arc::new(OneshotInner { state: Mutex::new((None, false)), cv: Condvar::new() });
+    (OneshotSender { inner: inner.clone() }, OneshotReceiver { inner })
+}
+
+impl<T> OneshotSender<T> {
+    pub(crate) fn send(self, value: T) {
+        let mut state = self.inner.state.lock().expect("oneshot poisoned");
+        state.0 = Some(value);
+        // Drop (below) flips the closed flag and notifies.
+    }
+}
+
+impl<T> Drop for OneshotSender<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().expect("oneshot poisoned");
+        state.1 = true;
+        drop(state);
+        self.inner.cv.notify_all();
+    }
+}
+
+impl<T> OneshotReceiver<T> {
+    /// Block until the worker replies. `None` means the sender was dropped
+    /// without replying.
+    pub(crate) fn recv(self) -> Option<T> {
+        let mut state = self.inner.state.lock().expect("oneshot poisoned");
+        while state.0.is_none() && !state.1 {
+            state = self.inner.cv.wait(state).expect("oneshot poisoned");
+        }
+        state.0.take()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded queue
+
+enum PushError {
+    Full,
+    Closed,
+}
+
+struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(QueueInner { items: VecDeque::new(), closed: false }),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Non-blocking push: admission control happens here, not by blocking
+    /// the producer.
+    fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocking pop; `None` once the queue is closed and drained.
+    fn pop(&self) -> Option<(T, usize)> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                let depth = inner.items.len();
+                return Some((item, depth));
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.cv.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Close the queue, wake all waiters, and return whatever was still
+    /// queued so the caller can answer it.
+    fn close(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.closed = true;
+        let drained = inner.items.drain(..).collect();
+        drop(inner);
+        self.cv.notify_all();
+        drained
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+
+enum Request {
+    Recommend {
+        app: AppId,
+        data: DataSpec,
+        cluster: ClusterSpec,
+        k: usize,
+        seed: u64,
+        reply: OneshotSender<Result<RecommendResponse, ServeError>>,
+    },
+    Observe {
+        app: AppId,
+        data: DataSpec,
+        cluster: ClusterSpec,
+        conf: SparkConf,
+        result: Box<RunResult>,
+        reply: OneshotSender<Result<usize, ServeError>>,
+    },
+    /// Test support: occupy a worker for `dur`. Lets tests fill the queue
+    /// deterministically without racing real work.
+    Stall { dur: Duration, reply: OneshotSender<Result<(), ServeError>> },
+}
+
+impl Request {
+    /// Answer a request that will never reach a worker.
+    fn reject(self, err: ServeError) {
+        match self {
+            Request::Recommend { reply, .. } => reply.send(Err(err)),
+            Request::Observe { reply, .. } => reply.send(Err(err)),
+            Request::Stall { reply, .. } => reply.send(Err(err)),
+        }
+    }
+}
+
+struct Job {
+    request: Request,
+    enqueued: Instant,
+    deadline: Instant,
+}
+
+// ---------------------------------------------------------------------------
+// Shared state and metrics
+
+struct ServeMetrics {
+    queue_depth: Gauge,
+    shed: Counter,
+    expired: Counter,
+    requests: Counter,
+    swaps: Counter,
+    latency: Histogram,
+    batch_size: Histogram,
+    cache_hit_rate: Gauge,
+}
+
+impl ServeMetrics {
+    fn new(registry: &Registry) -> ServeMetrics {
+        ServeMetrics {
+            queue_depth: registry.gauge("serve.queue_depth"),
+            shed: registry.counter("serve.shed"),
+            expired: registry.counter("serve.expired"),
+            requests: registry.counter("serve.requests"),
+            swaps: registry.counter("serve.swaps"),
+            latency: registry.histogram("serve.latency_us"),
+            batch_size: registry.histogram("serve.batch_size"),
+            cache_hit_rate: registry.gauge("serve.cache_hit_rate"),
+        }
+    }
+}
+
+struct Shared {
+    slot: VersionedSlot<ModelSnapshot>,
+    queue: BoundedQueue<Job>,
+    cache: PredictionCache,
+    feedback: Mutex<Vec<StageInstance>>,
+    feedback_cv: Condvar,
+    feedback_runs: AtomicUsize,
+    source: Arc<Dataset>,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+    tracer: Tracer,
+    metrics: ServeMetrics,
+    /// Swaps that finished (the slot stamp, mirrored for cheap reads).
+    swap_count: AtomicU64,
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+
+fn worker_loop(shared: Arc<Shared>) {
+    let mut reader = shared.slot.reader();
+    while let Some((job, depth)) = shared.queue.pop() {
+        shared.metrics.queue_depth.set(depth as f64);
+        let now = Instant::now();
+        if now > job.deadline {
+            shared.metrics.expired.inc();
+            job.request.reject(ServeError::DeadlineExceeded);
+            continue;
+        }
+        match job.request {
+            Request::Recommend { app, data, cluster, k, seed, reply } => {
+                let snapshot = shared.slot.load_with(&mut reader).clone();
+                let mut span = shared.tracer.span("serve.request");
+                let outcome = serve_recommend(&shared, &snapshot, app, &data, &cluster, k, seed);
+                if span.is_recording() {
+                    span.attr_str("app", &app.to_string());
+                    span.attr_u64("version", snapshot.version);
+                    span.attr_f64("queue_wait_s", (now - job.enqueued).as_secs_f64());
+                    match &outcome {
+                        Ok(resp) => {
+                            span.attr_u64("cached", resp.cached as u64);
+                            span.attr_u64("scored", resp.scored as u64);
+                        }
+                        Err(err) => span.attr_str("error", &err.to_string()),
+                    }
+                }
+                drop(span);
+                shared.metrics.requests.inc();
+                shared.metrics.latency.record_secs(job.enqueued.elapsed().as_secs_f64());
+                shared.metrics.cache_hit_rate.set(shared.cache.hit_rate());
+                reply.send(outcome);
+            }
+            Request::Observe { app, data, cluster, conf, result, reply } => {
+                let snapshot = shared.slot.load_with(&mut reader).clone();
+                let run_id = usize::MAX - shared.feedback_runs.fetch_add(1, Ordering::Relaxed);
+                let mut extracted = Vec::new();
+                extract_stage_instances(
+                    &snapshot.registry,
+                    app,
+                    &conf,
+                    &data,
+                    &cluster,
+                    &result,
+                    run_id,
+                    &mut extracted,
+                );
+                let total = {
+                    let mut feedback = shared.feedback.lock().expect("feedback poisoned");
+                    feedback.extend(extracted);
+                    feedback.len()
+                };
+                if total >= shared.config.update_batch {
+                    shared.feedback_cv.notify_one();
+                }
+                shared.metrics.requests.inc();
+                shared.metrics.latency.record_secs(job.enqueued.elapsed().as_secs_f64());
+                reply.send(Ok(total));
+            }
+            Request::Stall { dur, reply } => {
+                std::thread::sleep(dur);
+                reply.send(Ok(()));
+            }
+        }
+    }
+}
+
+fn serve_recommend(
+    shared: &Shared,
+    snapshot: &ModelSnapshot,
+    app: AppId,
+    data: &DataSpec,
+    cluster: &ClusterSpec,
+    k: usize,
+    seed: u64,
+) -> Result<RecommendResponse, ServeError> {
+    let Some(ctx) = snapshot.warm_context(app, data, cluster) else {
+        return Err(ServeError::ColdApp(app));
+    };
+    let confs = snapshot.acg.candidates_seeded(app, data, &ctx.env, snapshot.num_candidates, seed);
+
+    // Cache pass: answer what this model version already predicted.
+    let keys: Vec<CacheKey> = confs.iter().map(|c| CacheKey::new(app, data, cluster, c)).collect();
+    let mut scores: Vec<Option<f64>> =
+        keys.iter().map(|key| shared.cache.get(key, snapshot.version)).collect();
+    let cached = scores.iter().filter(|s| s.is_some()).count();
+
+    // Batched NECS pass over the misses only. Batched scoring is
+    // bit-identical to per-candidate scoring, so mixing cached and fresh
+    // values cannot perturb the ranking.
+    let miss_confs: Vec<SparkConf> = confs
+        .iter()
+        .zip(scores.iter())
+        .filter(|(_, s)| s.is_none())
+        .map(|(c, _)| c.clone())
+        .collect();
+    let scored = miss_confs.len();
+    shared.metrics.batch_size.record(scored as u64);
+    if scored > 0 {
+        let fresh = score_candidates(
+            &snapshot.model,
+            &snapshot.registry,
+            &ctx,
+            cluster,
+            &miss_confs,
+            &shared.tracer,
+        );
+        let mut fresh = fresh.into_iter();
+        for (slot, key) in scores.iter_mut().zip(keys.iter()) {
+            if slot.is_none() {
+                let v = fresh.next().expect("one score per miss");
+                shared.cache.insert(*key, snapshot.version, v);
+                *slot = Some(v);
+            }
+        }
+    }
+
+    let mut ranked: Vec<RankedCandidate> = confs
+        .into_iter()
+        .zip(scores)
+        .map(|(conf, s)| RankedCandidate { conf, predicted_s: s.expect("every candidate scored") })
+        .collect();
+    ranked.sort_by(|a, b| a.predicted_s.total_cmp(&b.predicted_s));
+    ranked.truncate(k.max(1));
+    Ok(RecommendResponse { version: snapshot.version, ranked, cached, scored })
+}
+
+// ---------------------------------------------------------------------------
+// Updater
+
+fn updater_loop(shared: Arc<Shared>) {
+    loop {
+        // Wait until a full feedback batch accumulated or shutdown.
+        let batch: Vec<StageInstance> = {
+            let mut feedback = shared.feedback.lock().expect("feedback poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if feedback.len() >= shared.config.update_batch {
+                    break std::mem::take(&mut *feedback);
+                }
+                let (guard, _timeout) = shared
+                    .feedback_cv
+                    .wait_timeout(feedback, Duration::from_millis(100))
+                    .expect("feedback poisoned");
+                feedback = guard;
+            }
+        };
+        if batch.is_empty() {
+            continue;
+        }
+
+        // Clone-update-swap: readers keep serving the old version while the
+        // fine-tune runs; the swap is the only synchronized step.
+        let started = Instant::now();
+        let old = shared.slot.load();
+        let mut span = shared.tracer.span("serve.swap");
+        let mut model = old.model.clone();
+        let src: Vec<&StageInstance> = shared.source.instances.iter().collect();
+        let tgt: Vec<&StageInstance> = batch.iter().collect();
+        adaptive_model_update(&mut model, &old.registry, &src, &tgt, &shared.config.amu);
+        let next = ModelSnapshot {
+            version: old.version + 1,
+            model,
+            acg: old.acg.clone(),
+            registry: old.registry.clone(),
+            num_candidates: old.num_candidates,
+        };
+        if span.is_recording() {
+            span.attr_u64("version", next.version);
+            span.attr_u64("feedback_instances", tgt.len() as u64);
+            span.attr_f64("update_s", started.elapsed().as_secs_f64());
+        }
+        drop(span);
+        shared.slot.swap(Arc::new(next));
+        shared.swap_count.fetch_add(1, Ordering::Release);
+        shared.metrics.swaps.inc();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Service + handle
+
+/// The running service: owns the worker and updater threads.
+pub struct Service {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// A cheap, cloneable client handle. Safe to share across threads; every
+/// call enqueues a request and blocks on its reply.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+}
+
+impl Service {
+    /// Start the service over an initial model snapshot. `source` is the
+    /// offline training dataset the Adaptive Model Update mixes with
+    /// observed feedback.
+    pub fn start(
+        snapshot: ModelSnapshot,
+        source: Arc<Dataset>,
+        config: ServeConfig,
+        registry: &Registry,
+        tracer: Tracer,
+    ) -> Service {
+        let metrics = ServeMetrics::new(registry);
+        let cache = PredictionCache::new(
+            config.cache_shards.max(1),
+            config.cache_capacity_per_shard,
+            registry.counter("serve.cache_hits"),
+            registry.counter("serve.cache_misses"),
+        );
+        let shared = Arc::new(Shared {
+            slot: VersionedSlot::new(Arc::new(snapshot)),
+            queue: BoundedQueue::new(config.queue_capacity),
+            cache,
+            feedback: Mutex::new(Vec::new()),
+            feedback_cv: Condvar::new(),
+            feedback_runs: AtomicUsize::new(0),
+            source,
+            config,
+            shutdown: AtomicBool::new(false),
+            tracer,
+            metrics,
+            swap_count: AtomicU64::new(0),
+        });
+        let mut threads = Vec::new();
+        for i in 0..shared.config.workers {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn worker"),
+            );
+        }
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-updater".into())
+                    .spawn(move || updater_loop(shared))
+                    .expect("spawn updater"),
+            );
+        }
+        Service { shared, threads }
+    }
+
+    /// A client handle.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle { shared: self.shared.clone() }
+    }
+
+    /// Stop accepting requests, answer everything still queued with
+    /// [`ServeError::ShuttingDown`], and join all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for job in self.shared.queue.close() {
+            job.request.reject(ServeError::ShuttingDown);
+        }
+        self.shared.feedback_cv.notify_all();
+        for t in self.threads.drain(..) {
+            t.join().expect("serve thread panicked");
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl ServiceHandle {
+    fn submit<T>(
+        &self,
+        request: Request,
+        receiver: OneshotReceiver<Result<T, ServeError>>,
+        deadline: Duration,
+    ) -> Result<T, ServeError> {
+        let now = Instant::now();
+        let job = Job { request, enqueued: now, deadline: now + deadline };
+        match self.shared.queue.try_push(job) {
+            Ok(depth) => self.shared.metrics.queue_depth.set(depth as f64),
+            Err(PushError::Full) => {
+                self.shared.metrics.shed.inc();
+                return Err(ServeError::Overloaded);
+            }
+            Err(PushError::Closed) => return Err(ServeError::ShuttingDown),
+        }
+        receiver.recv().unwrap_or(Err(ServeError::Internal("worker dropped reply")))
+    }
+
+    /// Recommend top-`k` configurations with the default deadline.
+    pub fn recommend(
+        &self,
+        app: AppId,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+        k: usize,
+        seed: u64,
+    ) -> Result<RecommendResponse, ServeError> {
+        self.recommend_deadline(app, data, cluster, k, seed, self.shared.config.default_deadline)
+    }
+
+    /// Recommend with an explicit deadline (measured from enqueue).
+    pub fn recommend_deadline(
+        &self,
+        app: AppId,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+        k: usize,
+        seed: u64,
+        deadline: Duration,
+    ) -> Result<RecommendResponse, ServeError> {
+        let (tx, rx) = oneshot();
+        let request =
+            Request::Recommend { app, data: *data, cluster: cluster.clone(), k, seed, reply: tx };
+        self.submit(request, rx, deadline)
+    }
+
+    /// Report an executed configuration's outcome (paper Step 4a). Returns
+    /// the feedback-buffer size after extraction; reaching the configured
+    /// batch wakes the background updater.
+    pub fn observe(
+        &self,
+        app: AppId,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+        conf: &SparkConf,
+        result: &RunResult,
+    ) -> Result<usize, ServeError> {
+        let (tx, rx) = oneshot();
+        let request = Request::Observe {
+            app,
+            data: *data,
+            cluster: cluster.clone(),
+            conf: conf.clone(),
+            result: Box::new(result.clone()),
+            reply: tx,
+        };
+        self.submit(request, rx, self.shared.config.default_deadline)
+    }
+
+    /// Test support: occupy one worker for `dur`.
+    pub fn stall(&self, dur: Duration) -> Result<(), ServeError> {
+        let (tx, rx) = oneshot();
+        // Stalls get a generous deadline: they exist to hold workers busy.
+        self.submit(Request::Stall { dur, reply: tx }, rx, dur + Duration::from_secs(60))
+    }
+
+    /// Current model version.
+    pub fn version(&self) -> u64 {
+        self.shared.slot.load().version
+    }
+
+    /// Current model snapshot.
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        self.shared.slot.load()
+    }
+
+    /// Completed background hot-swaps.
+    pub fn swap_count(&self) -> u64 {
+        self.shared.swap_count.load(Ordering::Acquire)
+    }
+
+    /// Feedback instances waiting for the next update.
+    pub fn feedback_len(&self) -> usize {
+        self.shared.feedback.lock().expect("feedback poisoned").len()
+    }
+
+    /// Requests currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Lifetime prediction-cache hit rate in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.shared.cache.hit_rate()
+    }
+
+    /// Lifetime (cache hits, cache misses).
+    pub fn cache_counts(&self) -> (u64, u64) {
+        (self.shared.cache.hits(), self.shared.cache.misses())
+    }
+}

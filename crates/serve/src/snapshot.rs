@@ -1,0 +1,58 @@
+//! An immutable, versioned bundle of everything a recommendation needs.
+//!
+//! Workers answer requests against *one* snapshot for the request's whole
+//! lifetime, so a hot-swap mid-request can never mix model versions. The
+//! version lives **inside** the snapshot (not just on the slot) so a
+//! response can report exactly which model produced it.
+
+use lite_core::acg::AdaptiveCandidateGenerator;
+use lite_core::experiment::PredictionContext;
+use lite_core::features::TemplateRegistry;
+use lite_core::necs::Necs;
+use lite_core::recommend::LiteTuner;
+use lite_sparksim::cluster::ClusterSpec;
+use lite_workloads::apps::AppId;
+use lite_workloads::data::DataSpec;
+
+/// One immutable model version: NECS + ACG + template registry.
+#[derive(Clone)]
+pub struct ModelSnapshot {
+    /// Monotonic model version; v0 is the offline-trained model, each
+    /// Adaptive Model Update publishes v+1.
+    pub version: u64,
+    /// The performance estimator.
+    pub model: Necs,
+    /// The candidate generator.
+    pub acg: AdaptiveCandidateGenerator,
+    /// Template registry frozen at snapshot time. Snapshots are immutable,
+    /// so cold-start apps (which would grow the registry) are rejected by
+    /// the service rather than served.
+    pub registry: TemplateRegistry,
+    /// Candidates sampled per recommendation.
+    pub num_candidates: usize,
+}
+
+impl ModelSnapshot {
+    /// Assemble version 0 from an offline-trained tuner's parts.
+    pub fn from_tuner(tuner: &LiteTuner) -> ModelSnapshot {
+        ModelSnapshot {
+            version: 0,
+            model: tuner.model.clone(),
+            acg: tuner.acg.clone(),
+            registry: tuner.registry.clone(),
+            num_candidates: tuner.num_candidates,
+        }
+    }
+
+    /// The warm-start prediction context for a request, or `None` when the
+    /// app's templates were never interned (cold-start — not servable from
+    /// an immutable snapshot).
+    pub fn warm_context(
+        &self,
+        app: AppId,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+    ) -> Option<PredictionContext> {
+        PredictionContext::warm(&self.registry, app, data, cluster)
+    }
+}

@@ -1,0 +1,288 @@
+//! End-to-end tests of the tuning service: concurrent readers during
+//! hot-swaps, load-shedding, deadlines, cache behavior, and the TCP wire.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lite_core::amu::AmuConfig;
+use lite_core::experiment::{Dataset, DatasetBuilder};
+use lite_core::necs::NecsConfig;
+use lite_core::recommend::LiteTuner;
+use lite_obs::{Registry, Tracer};
+use lite_serve::{ModelSnapshot, ServeConfig, ServeError, Service};
+use lite_sparksim::cluster::ClusterSpec;
+use lite_sparksim::exec::simulate;
+use lite_workloads::apps::{build_job, AppId};
+use lite_workloads::data::SizeTier;
+
+fn trained() -> (Arc<Dataset>, ModelSnapshot) {
+    let ds = DatasetBuilder {
+        apps: vec![AppId::Sort, AppId::KMeans],
+        clusters: vec![ClusterSpec::cluster_a()],
+        tiers: vec![SizeTier::Train(0), SizeTier::Train(2)],
+        confs_per_cell: 3,
+        seed: 41,
+    }
+    .build();
+    let tuner = LiteTuner::from_dataset(
+        &ds,
+        NecsConfig { epochs: 2, batch_size: 256, ..Default::default() },
+        41,
+    );
+    let snapshot = ModelSnapshot::from_tuner(&tuner);
+    (Arc::new(ds), snapshot)
+}
+
+fn quick_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_capacity: 32,
+        update_batch: 12,
+        amu: AmuConfig { epochs: 1, half_batch: 32, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Drive observations until the background updater publishes at least one
+/// new model version.
+fn drive_one_swap(handle: &lite_serve::ServiceHandle, cluster: &ClusterSpec) {
+    let data = AppId::KMeans.dataset(SizeTier::Valid);
+    let plan = build_job(AppId::KMeans, &data);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut seed = 900u64;
+    while handle.swap_count() == 0 {
+        assert!(Instant::now() < deadline, "no hot-swap within 120 s");
+        let rec = handle
+            .recommend(AppId::KMeans, &data, cluster, 1, seed)
+            .expect("recommend during feedback loop");
+        let result = simulate(cluster, &rec.ranked[0].conf, &plan, seed);
+        handle
+            .observe(AppId::KMeans, &data, cluster, &rec.ranked[0].conf, &result)
+            .expect("observe");
+        seed += 1;
+    }
+}
+
+#[test]
+fn concurrent_readers_stay_deterministic_across_hot_swaps() {
+    let (ds, snapshot) = trained();
+    let cluster = ds.clusters[0].clone();
+    let registry = Registry::new();
+    let service =
+        Service::start(snapshot, ds.clone(), quick_config(), &registry, Tracer::disabled());
+    let handle = service.handle();
+
+    // Readers hammer one fixed request and record (version, scores) pairs
+    // until they have witnessed a post-swap version.
+    let data = AppId::Sort.dataset(SizeTier::Valid);
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let handle = handle.clone();
+            let cluster = cluster.clone();
+            std::thread::spawn(move || {
+                let mut seen: Vec<(u64, Vec<f64>)> = Vec::new();
+                let deadline = Instant::now() + Duration::from_secs(120);
+                loop {
+                    let resp = handle
+                        .recommend(AppId::Sort, &data, &cluster, 30, 7)
+                        .expect("reader recommend");
+                    let scores: Vec<f64> = resp.ranked.iter().map(|r| r.predicted_s).collect();
+                    assert_eq!(resp.cached + resp.scored, 30);
+                    seen.push((resp.version, scores));
+                    if resp.version >= 1 || Instant::now() > deadline {
+                        return seen;
+                    }
+                }
+            })
+        })
+        .collect();
+
+    drive_one_swap(&handle, &cluster);
+
+    let mut by_version: std::collections::HashMap<u64, Vec<f64>> = Default::default();
+    let mut versions_seen = std::collections::BTreeSet::new();
+    for reader in readers {
+        for (version, scores) in reader.join().expect("reader panicked") {
+            versions_seen.insert(version);
+            // Identical request + identical model version => bit-identical
+            // scores, regardless of worker, cache state, or batching.
+            let canonical = by_version.entry(version).or_insert_with(|| scores.clone());
+            assert_eq!(&scores, canonical, "nondeterministic scores at version {version}");
+        }
+    }
+    assert!(
+        versions_seen.len() >= 2,
+        "readers never observed a hot-swap: versions {versions_seen:?}"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_instead_of_blocking() {
+    let (ds, snapshot) = trained();
+    let cluster = ds.clusters[0].clone();
+    let config = ServeConfig { workers: 0, queue_capacity: 2, ..quick_config() };
+    let registry = Registry::new();
+    let service = Service::start(snapshot, ds, config, &registry, Tracer::disabled());
+    let handle = service.handle();
+
+    // No workers consume, so two stalls fill the queue deterministically.
+    let pending: Vec<_> = (0..2)
+        .map(|_| {
+            let handle = handle.clone();
+            std::thread::spawn(move || handle.stall(Duration::ZERO))
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.queue_len() < 2 {
+        assert!(Instant::now() < deadline, "stalls never enqueued");
+        std::thread::yield_now();
+    }
+
+    // The third request is shed immediately, not queued or blocked.
+    let started = Instant::now();
+    let data = AppId::Sort.dataset(SizeTier::Valid);
+    let shed = handle.recommend(AppId::Sort, &data, &cluster, 1, 0);
+    assert_eq!(shed.unwrap_err(), ServeError::Overloaded);
+    assert!(started.elapsed() < Duration::from_secs(1), "shedding blocked");
+    assert_eq!(registry.snapshot().counter("serve.shed"), Some(1));
+
+    // Shutdown answers the still-queued stalls instead of leaking them.
+    service.shutdown();
+    for p in pending {
+        assert_eq!(p.join().expect("stall thread"), Err(ServeError::ShuttingDown));
+    }
+    assert_eq!(
+        handle.recommend(AppId::Sort, &data, &cluster, 1, 0).unwrap_err(),
+        ServeError::ShuttingDown
+    );
+}
+
+#[test]
+fn queued_past_deadline_is_answered_deadline_exceeded() {
+    let (ds, snapshot) = trained();
+    let cluster = ds.clusters[0].clone();
+    let config = ServeConfig { workers: 1, ..quick_config() };
+    let registry = Registry::new();
+    let service = Service::start(snapshot, ds, config, &registry, Tracer::disabled());
+    let handle = service.handle();
+
+    // Two stalls against one worker: whichever is popped first sleeps for
+    // 300 ms, so the other stays visibly queued. Waiting until we SEE a
+    // queued stall guarantees at least 300 ms of stall time sits ahead of
+    // the request submitted next — without it, the worker could drain a
+    // lone stall before this thread ever observes it.
+    let stalls: Vec<_> = (0..2)
+        .map(|_| {
+            let handle = handle.clone();
+            std::thread::spawn(move || handle.stall(Duration::from_millis(300)))
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.queue_len() == 0 {
+        assert!(Instant::now() < deadline, "stalls never enqueued");
+        std::thread::yield_now();
+    }
+
+    // This request's 1 ms deadline expires while the worker stalls.
+    let data = AppId::Sort.dataset(SizeTier::Valid);
+    let expired =
+        handle.recommend_deadline(AppId::Sort, &data, &cluster, 1, 0, Duration::from_millis(1));
+    assert_eq!(expired.unwrap_err(), ServeError::DeadlineExceeded);
+    assert_eq!(registry.snapshot().counter("serve.expired"), Some(1));
+    for stall in stalls {
+        assert_eq!(stall.join().expect("stall thread"), Ok(()));
+    }
+    service.shutdown();
+}
+
+#[test]
+fn cache_serves_repeats_and_invalidates_on_swap() {
+    let (ds, snapshot) = trained();
+    let cluster = ds.clusters[0].clone();
+    let registry = Registry::new();
+    let service =
+        Service::start(snapshot, ds.clone(), quick_config(), &registry, Tracer::disabled());
+    let handle = service.handle();
+    let data = AppId::Sort.dataset(SizeTier::Valid);
+
+    let first = handle.recommend(AppId::Sort, &data, &cluster, 30, 7).expect("first");
+    assert_eq!((first.cached, first.scored), (0, 30));
+    let second = handle.recommend(AppId::Sort, &data, &cluster, 30, 7).expect("second");
+    assert_eq!((second.cached, second.scored), (30, 0));
+    let firsts: Vec<f64> = first.ranked.iter().map(|r| r.predicted_s).collect();
+    let seconds: Vec<f64> = second.ranked.iter().map(|r| r.predicted_s).collect();
+    assert_eq!(firsts, seconds, "cache hits must be bit-identical to fresh scores");
+    assert!(handle.cache_hit_rate() > 0.0);
+
+    // A hot-swap invalidates every cached prediction.
+    drive_one_swap(&handle, &cluster);
+    let post = handle.recommend(AppId::Sort, &data, &cluster, 30, 7).expect("post-swap");
+    assert!(post.version >= 1);
+    assert_eq!(post.cached, 0, "stale-version entries must not serve");
+    assert_eq!(post.scored, 30);
+    service.shutdown();
+}
+
+#[test]
+fn cold_apps_are_rejected_not_served() {
+    let (ds, snapshot) = trained();
+    let cluster = ds.clusters[0].clone();
+    let registry = Registry::new();
+    let service = Service::start(snapshot, ds, quick_config(), &registry, Tracer::disabled());
+    let handle = service.handle();
+    // Terasort was not in the training apps, so its templates are unknown.
+    let data = AppId::Terasort.dataset(SizeTier::Valid);
+    let err = handle.recommend(AppId::Terasort, &data, &cluster, 1, 0).unwrap_err();
+    assert_eq!(err, ServeError::ColdApp(AppId::Terasort));
+    service.shutdown();
+}
+
+#[test]
+fn tcp_front_end_round_trips_requests() {
+    let (ds, snapshot) = trained();
+    let cluster_name = ds.clusters[0].name.clone();
+    let registry = Registry::new();
+    let service =
+        Service::start(snapshot, ds.clone(), quick_config(), &registry, Tracer::disabled());
+    let server = lite_serve::net::serve_tcp(service.handle(), "127.0.0.1:0").expect("bind");
+    let mut client = lite_serve::Client::connect(server.local_addr()).expect("connect");
+
+    assert_eq!(client.ping().expect("ping"), 0);
+
+    let data = AppId::KMeans.dataset(SizeTier::Valid);
+    let resp = client.recommend(AppId::KMeans, &data, &cluster_name, 3, 5).expect("recommend");
+    assert_eq!(resp.get("ok").and_then(lite_obs::Json::as_bool), Some(true));
+    let ranked = resp.get("ranked").and_then(lite_obs::Json::as_arr).expect("ranked");
+    assert_eq!(ranked.len(), 3);
+    let conf = ranked[0].get("conf").and_then(lite_obs::Json::as_arr).expect("conf");
+    assert_eq!(conf.len(), 16);
+
+    // Observe a simulated outcome of the recommended configuration.
+    let rec = service
+        .handle()
+        .recommend(AppId::KMeans, &data, &ds.clusters[0], 1, 5)
+        .expect("in-process recommend");
+    let result =
+        simulate(&ds.clusters[0], &rec.ranked[0].conf, &build_job(AppId::KMeans, &data), 1);
+    let obs = client
+        .observe(AppId::KMeans, &data, &cluster_name, &rec.ranked[0].conf, &result)
+        .expect("observe");
+    assert_eq!(obs.get("ok").and_then(lite_obs::Json::as_bool), Some(true));
+    assert!(obs.get("feedback").and_then(lite_obs::Json::as_u64).unwrap_or(0) > 0);
+
+    // Unknown ops and cold apps come back as typed wire errors.
+    let bad = client
+        .request(&lite_obs::Json::obj(vec![("op", lite_obs::Json::from("nope"))]))
+        .expect("bad op");
+    assert_eq!(bad.get("ok").and_then(lite_obs::Json::as_bool), Some(false));
+    assert_eq!(bad.get("code").and_then(lite_obs::Json::as_str), Some("bad_request"));
+    let cold_data = AppId::Terasort.dataset(SizeTier::Valid);
+    let cold =
+        client.recommend(AppId::Terasort, &cold_data, &cluster_name, 1, 0).expect("cold recommend");
+    assert_eq!(cold.get("code").and_then(lite_obs::Json::as_str), Some("cold_app"));
+
+    drop(client);
+    server.shutdown();
+    service.shutdown();
+}

@@ -47,7 +47,7 @@ fn median_paired_ratio(attempt: u64, base: &dyn Fn(u64), probe: &dyn Fn(u64)) ->
         }
         ratios.push(t1.elapsed().as_secs_f64() / base_s);
     }
-    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ratios.sort_by(f64::total_cmp);
     ratios[BATCHES / 2]
 }
 

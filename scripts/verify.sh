@@ -13,7 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q --workspace"
+# --workspace matters: the root is itself a package, so a bare
+# `cargo test` would only run the root package's suites.
+cargo test -q --workspace
 
 echo "verify: OK"

@@ -19,6 +19,9 @@
 //! * [`lite`] — the paper's contribution: NECS, stage-based code
 //!   organization, adaptive candidate generation, adaptive model update and
 //!   the online recommender.
+//! * [`serve`] — the tuner as a concurrent service: versioned model
+//!   hot-swap, batched inference, bounded queue with load-shedding, and a
+//!   framed-JSON TCP front-end.
 
 pub use lite_bayesopt as bayesopt;
 pub use lite_core as lite;
@@ -26,5 +29,7 @@ pub use lite_ddpg as ddpg;
 pub use lite_forest as forest;
 pub use lite_metrics as metrics;
 pub use lite_nn as nn;
+pub use lite_obs as obs;
+pub use lite_serve as serve;
 pub use lite_sparksim as sparksim;
 pub use lite_workloads as workloads;
