@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the full pre-merge gate.
 
-.PHONY: verify fmt lint build test bench quick loadtest
+.PHONY: verify fmt lint build test bench quick loadtest scrape demo
 
 verify:
 	./scripts/verify.sh
@@ -30,3 +30,13 @@ quick:
 # results/serve_loadtest.manifest.jsonl.
 loadtest:
 	cargo run --release -p lite-bench --bin serve_loadtest
+
+# Telemetry-plane scenario: scrape the stats/metrics/trace/health admin
+# ops under recommend traffic while induced prediction drift triggers a
+# hot-swap; writes results/telemetry_scrape.{manifest.jsonl,prom,trace.json}.
+scrape:
+	cargo run --release -p lite-bench --bin telemetry_scrape
+
+# Interactive end-to-end demo of the tuning service example.
+demo:
+	cargo run --release --example tuning_service

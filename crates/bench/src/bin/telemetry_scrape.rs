@@ -1,0 +1,358 @@
+//! Telemetry-plane scenario: a scraper polls the `stats`/`metrics`/
+//! `trace`/`health` admin ops over TCP while recommend traffic runs, and a
+//! feedback driver skews the simulator's response surface mid-run so the
+//! drift monitor — not the fixed feedback batch — triggers the model swap.
+//!
+//! Reported into `results/telemetry_scrape.manifest.jsonl`:
+//! * scrape latencies per admin op (p50/p99 from raw sorted samples),
+//! * honest vs skewed observe counts and the drift summary at swap time,
+//! * proof the swap beat the batch trigger (`update_batch` is set far out
+//!   of reach) and that `serve.drift.alerts` fired.
+//!
+//! Artifacts written next to the manifest:
+//! * `telemetry_scrape.prom` — final Prometheus exposition of the registry,
+//! * `telemetry_scrape.trace.json` — Chrome/Perfetto trace of serve spans.
+//!
+//! `LITE_BENCH_QUICK=1` shrinks the run for smoke testing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lite_bench::finish_report;
+use lite_core::amu::AmuConfig;
+use lite_core::experiment::DatasetBuilder;
+use lite_core::necs::NecsConfig;
+use lite_core::recommend::LiteTuner;
+use lite_obs::{Json, Registry, Report, Tracer};
+use lite_serve::{DriftConfig, ModelSnapshot, ServeConfig, ServeError, Service, ServiceHandle};
+use lite_sparksim::cluster::ClusterSpec;
+use lite_sparksim::exec::simulate;
+use lite_workloads::apps::{build_job, AppId};
+use lite_workloads::data::SizeTier;
+
+const SERVED_APPS: [AppId; 2] = [AppId::Sort, AppId::KMeans];
+const SCRAPE_OPS: [&str; 4] = ["stats", "metrics", "health", "trace"];
+
+/// How much slower the "cluster" gets when we skew the response surface.
+/// 16x pushes rolling MAPE to ~0.94 against a model trained on the honest
+/// surface — past any threshold the calibration below can pick.
+const SKEW: f64 = 16.0;
+
+struct ScrapeStats {
+    /// One latency vector per entry of [`SCRAPE_OPS`].
+    latencies_s: [Vec<f64>; 4],
+    errors: usize,
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let quick = lite_bench::quick_mode();
+    let report = Report::new("telemetry_scrape");
+    report.field("quick_mode", quick);
+
+    // ---- offline phase: dataset + model ---------------------------------
+    let ds = report.phase("dataset", || {
+        Arc::new(
+            DatasetBuilder {
+                apps: SERVED_APPS.to_vec(),
+                clusters: vec![ClusterSpec::cluster_a()],
+                tiers: vec![SizeTier::Train(0), SizeTier::Train(2)],
+                confs_per_cell: if quick { 2 } else { 3 },
+                seed: 4242,
+            }
+            .build(),
+        )
+    });
+    let tuner = report.phase("train", || {
+        LiteTuner::from_dataset(
+            &ds,
+            NecsConfig { epochs: if quick { 2 } else { 6 }, ..Default::default() },
+            4242,
+        )
+    });
+    eprintln!("[scrape] model ready ({:.0}s)", t0.elapsed().as_secs_f64());
+
+    // ---- calibrate the drift threshold ----------------------------------
+    // Measure the model's error on the honest response surface the same way
+    // the service will see it (top-1 recommendation vs simulated run). The
+    // top-1 error is dominated by systematic optimism (the winning
+    // candidate is the one the model is most optimistic about), so the
+    // baseline MAPE is high but stable; the threshold goes at the midpoint
+    // between that baseline and the error the SKEW-times-slower surface
+    // will produce.
+    let cluster = ds.clusters[0].clone();
+    let data = AppId::KMeans.dataset(SizeTier::Valid);
+    let plan = build_job(AppId::KMeans, &data);
+    let (honest_mape, pred_ratio) = {
+        let samples: Vec<(f64, f64)> = (0..12u64)
+            .map(|s| {
+                let ranked =
+                    tuner.recommend(AppId::KMeans, &data, &cluster, s).expect("KMeans is warm");
+                let truth = simulate(&cluster, &ranked[0].conf, &plan, s).total_time_s.max(1e-9);
+                let pred = ranked[0].predicted_s;
+                ((pred - truth).abs() / truth, pred / truth)
+            })
+            .collect();
+        let n = samples.len() as f64;
+        (
+            samples.iter().map(|(e, _)| e).sum::<f64>() / n,
+            samples.iter().map(|(_, r)| r).sum::<f64>() / n,
+        )
+    };
+    // Expected rolling MAPE once observed times are multiplied by SKEW.
+    let skewed_mape = (pred_ratio - SKEW).abs() / SKEW;
+    assert!(
+        skewed_mape > honest_mape + 0.05,
+        "skew {SKEW}x does not separate the error regimes \
+         (honest {honest_mape:.3}, skewed {skewed_mape:.3})"
+    );
+    let mape_threshold = (honest_mape + skewed_mape) / 2.0;
+    eprintln!(
+        "[scrape] honest MAPE {honest_mape:.3}, expected skewed {skewed_mape:.3} \
+         -> drift threshold {mape_threshold:.3}"
+    );
+    report.field("honest_mape_calibrated", honest_mape);
+    report.field("skewed_mape_expected", skewed_mape);
+
+    // ---- serving phase --------------------------------------------------
+    // The batch trigger is unreachable, so a swap can only come from the
+    // drift path; the tracer is enabled so `trace` exports real spans. The
+    // inversion gate is disabled (a uniform slowdown preserves ranking) so
+    // MAPE is the one signal under test.
+    let update_batch: usize = 100_000;
+    let drift =
+        DriftConfig { window: 64, min_samples: 8, mape_threshold, inversion_threshold: 2.0 };
+    report.field("update_batch", update_batch);
+    report.field("drift_window", drift.window);
+    report.field("drift_mape_threshold", drift.mape_threshold);
+    let registry = Registry::new();
+    let config = ServeConfig {
+        workers: 4,
+        queue_capacity: 64,
+        update_batch,
+        drift,
+        amu: AmuConfig { epochs: 1, half_batch: 64, ..Default::default() },
+        ..Default::default()
+    };
+    let snapshot = ModelSnapshot::from_tuner(&tuner);
+    let service = Service::start(snapshot, ds.clone(), config, &registry, Tracer::new());
+    let handle = service.handle();
+    let server =
+        lite_serve::net::serve_tcp(service.handle(), "127.0.0.1:0").expect("bind TCP front-end");
+    let addr = server.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let serve_t0 = Instant::now();
+
+    // Recommend traffic: keeps the workers, cache, and latency histogram
+    // busy while the scraper reads the admin plane.
+    let traffic: Vec<_> = (0..2usize)
+        .map(|t| {
+            let handle = handle.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || recommend_client(&handle, t, &stop))
+        })
+        .collect();
+
+    // Scraper: cycles the four admin ops over its own TCP connection.
+    let scraper = {
+        let stop = stop.clone();
+        std::thread::spawn(move || scrape_client(addr, &stop))
+    };
+
+    // ---- feedback driver ------------------------------------------------
+    // Honest observes first (the model should NOT drift on the surface it
+    // was trained on), then skew the simulator mid-run and wait for the
+    // drift-triggered swap.
+    let honest_runs: u64 = if quick { 12 } else { 24 };
+    let mut seed = 9000u64;
+    for _ in 0..honest_runs {
+        let rec = loop {
+            match handle.recommend(AppId::KMeans, &data, &cluster, 1, seed) {
+                Ok(rec) => break rec,
+                Err(ServeError::Overloaded) => std::thread::yield_now(),
+                Err(e) => panic!("feedback driver failed: {e}"),
+            }
+        };
+        let result = simulate(&cluster, &rec.ranked[0].conf, &plan, seed);
+        let _ = handle.observe(AppId::KMeans, &data, &cluster, &rec.ranked[0].conf, &result);
+        seed += 1;
+    }
+    // Give the updater a poll cycle, then check the honest surface did not
+    // trip the monitor.
+    std::thread::sleep(Duration::from_millis(250));
+    let pre_skew = handle.drift();
+    report.field("honest_runs", honest_runs);
+    report.field("pre_skew_mape", pre_skew.mape);
+    report.field("pre_skew_drifted", pre_skew.drifted);
+    assert_eq!(handle.swap_count(), 0, "no swap may happen on the honest surface");
+
+    eprintln!(
+        "[scrape] skewing response surface {SKEW}x after {honest_runs} honest runs \
+         (pre-skew MAPE {:.3})",
+        pre_skew.mape
+    );
+    let mut skewed_runs = 0u64;
+    let drift_deadline = Instant::now() + Duration::from_secs(300);
+    while handle.swap_count() == 0 {
+        assert!(Instant::now() < drift_deadline, "drift never triggered a swap within 300 s");
+        let rec = match handle.recommend(AppId::KMeans, &data, &cluster, 1, seed) {
+            Ok(rec) => rec,
+            Err(ServeError::Overloaded) => {
+                std::thread::yield_now();
+                continue;
+            }
+            Err(e) => panic!("feedback driver failed: {e}"),
+        };
+        let mut result = simulate(&cluster, &rec.ranked[0].conf, &plan, seed);
+        result.total_time_s *= SKEW;
+        for stage in &mut result.stages {
+            stage.duration_s *= SKEW;
+        }
+        let _ = handle.observe(AppId::KMeans, &data, &cluster, &rec.ranked[0].conf, &result);
+        skewed_runs += 1;
+        seed += 1;
+    }
+    let swap_wall_s = serve_t0.elapsed().as_secs_f64();
+    let total_observes = honest_runs + skewed_runs;
+    eprintln!(
+        "[scrape] drift swap after {skewed_runs} skewed runs ({total_observes} total, \
+         {swap_wall_s:.1}s into serving)"
+    );
+
+    // Let the scraper see the post-swap state before tearing down.
+    std::thread::sleep(Duration::from_millis(if quick { 500 } else { 1500 }));
+    stop.store(true, Ordering::Release);
+    let scrape = scraper.join().expect("scraper thread panicked");
+    let requests: u64 =
+        traffic.into_iter().map(|c| c.join().expect("traffic thread panicked")).sum();
+    report.phase_s("serve", serve_t0.elapsed().as_secs_f64());
+
+    // ---- acceptance: drift beat the batch trigger -----------------------
+    let snap = registry.snapshot();
+    let alerts = snap.counter("serve.drift.alerts").unwrap_or(0);
+    let swaps = handle.swap_count();
+    assert!(swaps >= 1, "drift must have triggered a swap");
+    assert!(alerts >= 1, "serve.drift.alerts must fire: {:?}", snap.counters);
+    assert!(
+        total_observes < update_batch as u64,
+        "swap must beat the {update_batch}-observation batch trigger"
+    );
+    report.field("skewed_runs", skewed_runs);
+    report.field("total_observes", total_observes);
+    report.field("hot_swaps", swaps);
+    report.field("drift_alerts", alerts);
+    report.field("traffic_requests", requests);
+    report.field("scrape_errors", scrape.errors);
+
+    // ---- final scrape -> artifacts --------------------------------------
+    let mut client = lite_serve::Client::connect(addr).expect("tcp connect");
+    let prom = client.metrics_text().expect("final metrics scrape");
+    assert!(prom.contains("# TYPE serve_drift_alerts counter"), "exposition incomplete");
+    let trace = client.trace().expect("final trace scrape");
+    let events = trace.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+    assert!(!events.is_empty(), "enabled tracer must export spans");
+    drop(client);
+    server.shutdown();
+    service.shutdown();
+
+    let dir = lite_bench::results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("[scrape] could not create {}: {e}", dir.display());
+    }
+    for (file, contents) in
+        [("telemetry_scrape.prom", prom), ("telemetry_scrape.trace.json", trace.render())]
+    {
+        let path = dir.join(file);
+        match std::fs::write(&path, contents) {
+            Ok(()) => eprintln!("[scrape] wrote {}", path.display()),
+            Err(e) => eprintln!("[scrape] could not write {}: {e}", path.display()),
+        }
+        report.field(file, true);
+    }
+
+    // ---- scrape latency percentiles -------------------------------------
+    let widths = [10usize, 8, 10, 10];
+    let mut table =
+        report.table("admin scrape latency", &["op", "samples", "p50_ms", "p99_ms"], &widths);
+    for (op, lat) in SCRAPE_OPS.iter().zip(scrape.latencies_s.iter()) {
+        let mut sorted = lat.clone();
+        sorted.sort_by(f64::total_cmp);
+        let pct = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+        };
+        let (p50, p99) = (pct(0.50), pct(0.99));
+        assert!(!sorted.is_empty(), "scraper never completed a {op} call");
+        report.field(&format!("scrape_{op}_p50_ms"), p50 * 1e3);
+        report.field(&format!("scrape_{op}_p99_ms"), p99 * 1e3);
+        table.row(&[
+            (*op).into(),
+            format!("{}", sorted.len()),
+            format!("{:.2}", p50 * 1e3),
+            format!("{:.2}", p99 * 1e3),
+        ]);
+    }
+    drop(table);
+    report.metrics(&registry);
+
+    report.note(&format!(
+        "Drift-triggered swap after {skewed_runs} skewed observes ({total_observes} total, \
+         batch trigger at {update_batch}); {alerts} drift alert(s); \
+         scraper ran {} admin calls concurrently with {requests} recommends.",
+        scrape.latencies_s.iter().map(Vec::len).sum::<usize>()
+    ));
+    finish_report(&report);
+    eprintln!("[scrape] total {:.0}s", t0.elapsed().as_secs_f64());
+}
+
+/// Background recommend traffic; returns the number of successful calls.
+fn recommend_client(handle: &ServiceHandle, thread_id: usize, stop: &AtomicBool) -> u64 {
+    let cluster = ClusterSpec::cluster_a();
+    let mut ok = 0u64;
+    let mut i = 0usize;
+    while !stop.load(Ordering::Acquire) {
+        let app = SERVED_APPS[(thread_id + i) % SERVED_APPS.len()];
+        let data = app.dataset(SizeTier::Valid);
+        match handle.recommend(app, &data, &cluster, 5, (i % 8) as u64) {
+            Ok(_) => ok += 1,
+            Err(ServeError::Overloaded) => std::thread::yield_now(),
+            Err(e) => panic!("traffic client failed: {e}"),
+        }
+        i += 1;
+        // Light throttle: this thread provides background traffic for the
+        // scraper, not saturation load (serve_loadtest covers that), and
+        // an unthrottled loop floods the tracer's span buffer.
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    ok
+}
+
+/// Scraper: cycles `stats`/`metrics`/`health`/`trace` over one framed-JSON
+/// TCP connection, timing each round trip.
+fn scrape_client(addr: std::net::SocketAddr, stop: &AtomicBool) -> ScrapeStats {
+    let mut client = lite_serve::Client::connect(addr).expect("scraper connect");
+    let mut stats = ScrapeStats { latencies_s: Default::default(), errors: 0 };
+    let mut i = 0usize;
+    while !stop.load(Ordering::Acquire) {
+        let op = i % SCRAPE_OPS.len();
+        let t = Instant::now();
+        let ok = match op {
+            0 => client.stats().is_ok(),
+            1 => client.metrics_text().is_ok(),
+            2 => client.health().is_ok(),
+            _ => client.trace().is_ok(),
+        };
+        if ok {
+            stats.latencies_s[op].push(t.elapsed().as_secs_f64());
+        } else {
+            stats.errors += 1;
+        }
+        i += 1;
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    stats
+}

@@ -322,15 +322,38 @@ impl<'a> Parser<'a> {
                         _ => return Err(self.err("invalid escape")),
                     }
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (the input is a &str, so
-                    // byte boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
-                    let c = s.chars().next().expect("non-empty checked above");
-                    if (c as u32) < 0x20 {
+                Some(b) if b < 0x80 => {
+                    if b < 0x20 {
                         return Err(self.err("unescaped control character"));
                     }
+                    // Bulk-copy the run up to the next quote, escape,
+                    // control, or non-ASCII byte. Validating from `pos` to
+                    // the end of input per character instead is quadratic
+                    // in document size.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || !(0x20..0x80).contains(&b) {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .expect("ASCII run is valid UTF-8");
+                    out.push_str(run);
+                }
+                Some(b) => {
+                    // Consume one non-ASCII UTF-8 scalar; the sequence
+                    // length comes from the lead byte.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid utf-8")),
+                    };
+                    let end = (self.pos + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().expect("non-empty checked above");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

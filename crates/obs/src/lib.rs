@@ -17,6 +17,11 @@
 //!   machine manifest cannot drift apart), notes and a metrics snapshot,
 //!   serialized as one JSON object per line into `results/*.manifest.jsonl`.
 //!
+//! Two supporting modules: [`sketch`] holds the log-linear bucket layout
+//! histograms use for few-percent-accurate quantiles, and [`export`]
+//! renders snapshots as Prometheus text exposition and finished spans as
+//! Chrome trace-event JSON (Perfetto-loadable).
+//!
 //! ```
 //! use lite_obs::span::Tracer;
 //! use lite_obs::metrics::Registry;
@@ -38,12 +43,17 @@
 //! assert_eq!(tasks.value(), 128);
 //! ```
 
+pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod report;
+pub mod sketch;
 pub mod span;
 
+pub use export::{chrome_trace, prometheus_text};
 pub use json::{Json, JsonError};
-pub use metrics::{Counter, Gauge, Histogram, HistogramBatch, MetricsSnapshot, Registry};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramBatch, HistogramSummary, MetricsSnapshot, Registry,
+};
 pub use report::Report;
 pub use span::{AttrValue, SpanGuard, SpanRecord, SynthSpan, Tracer};

@@ -5,6 +5,12 @@
 //! cache-line-padded atomics indexed by a per-thread slot, so concurrent
 //! writers do not bounce a single cache line. Reads sum the shards.
 //!
+//! Histograms are backed by the log-linear quantile sketch in
+//! [`crate::sketch`]: log₂ octaves × [`crate::sketch::SUB_BUCKETS`] linear
+//! sub-buckets, so [`HistogramSummary`] quantiles (p50/p90/p99/p999) carry
+//! at most ~3.1% relative error instead of the up-to-2× error of plain
+//! log₂ buckets. A record is still a handful of relaxed atomic adds.
+//!
 //! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-backed clones:
 //! register once, then update through the handle without touching the
 //! registry's name map again.
@@ -13,12 +19,10 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::sketch::{bucket_index, nonempty_buckets, quantile_from_counts, SKETCH_BUCKETS};
+
 /// Number of shards for counters/histograms. Power of two.
 pub const SHARDS: usize = 16;
-
-/// Log₂-spaced histogram buckets: bucket `i` holds values `v` with
-/// `63 - v.leading_zeros() == i` (value 0 goes to bucket 0).
-pub const HIST_BUCKETS: usize = 64;
 
 /// A cache-line-padded atomic cell.
 #[repr(align(64))]
@@ -112,21 +116,29 @@ impl Gauge {
 }
 
 struct HistogramInner {
-    buckets: [AtomicU64; HIST_BUCKETS],
+    buckets: Box<[AtomicU64]>, // SKETCH_BUCKETS entries
     count: [PaddedU64; SHARDS],
     sum: [PaddedU64; SHARDS],
 }
 
-/// A histogram over non-negative integer observations with log₂ buckets.
+/// A histogram over non-negative integer observations, bucketed by the
+/// log-linear sketch in [`crate::sketch`].
 ///
-/// Records are two relaxed atomic adds plus one bucket add; quantiles are
-/// approximate (upper bound of the matched bucket).
+/// Records are two relaxed shard adds plus one bucket add; quantiles are
+/// conservative (the inclusive upper bound of the matched sketch bucket)
+/// with at most ~3.1% relative error.
 #[derive(Clone)]
 pub struct Histogram {
     inner: Arc<HistogramInner>,
 }
 
 /// Aggregated view of a histogram.
+///
+/// Units are whatever the caller recorded. Durations recorded through
+/// [`Histogram::record_secs`] / [`HistogramBatch::observe_secs`] are in
+/// **nanoseconds** (sub-microsecond observations stay distinguishable).
+/// Quantiles are sketch-bucket upper bounds: never below the true sample
+/// quantile, and within ~3.1% above it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSummary {
     /// Number of observations.
@@ -135,26 +147,50 @@ pub struct HistogramSummary {
     pub sum: u64,
     /// Mean observation (0 when empty).
     pub mean: f64,
-    /// Approximate 50th percentile (bucket upper bound).
+    /// Approximate 50th percentile (sketch bucket upper bound).
     pub p50: u64,
-    /// Approximate 99th percentile (bucket upper bound).
+    /// Approximate 90th percentile.
+    pub p90: u64,
+    /// Approximate 99th percentile.
     pub p99: u64,
+    /// Approximate 99.9th percentile.
+    pub p999: u64,
     /// Largest non-empty bucket's upper bound (approximate max).
     pub max: u64,
+    /// Non-empty sketch buckets as `(inclusive upper bound, count)` pairs
+    /// in increasing value order — enough to re-derive any quantile and to
+    /// render Prometheus `_bucket` lines.
+    pub buckets: Vec<(u64, u64)>,
 }
 
-#[inline(always)]
-fn bucket_of(v: u64) -> usize {
-    // `leading_zeros` of a non-zero u64 is at most 63, so the mask is a
-    // no-op semantically — it just proves the index in-bounds.
-    ((63 - v.max(1).leading_zeros()) & 63) as usize
+impl HistogramSummary {
+    /// An all-zero summary (what an empty histogram aggregates to).
+    pub fn empty() -> HistogramSummary {
+        HistogramSummary {
+            count: 0,
+            sum: 0,
+            mean: 0.0,
+            p50: 0,
+            p90: 0,
+            p99: 0,
+            p999: 0,
+            max: 0,
+            buckets: Vec::new(),
+        }
+    }
 }
 
-fn bucket_upper(i: usize) -> u64 {
-    if i >= 63 {
-        u64::MAX
+/// Convert a duration in (finite, non-negative) seconds to the nanosecond
+/// integer a histogram records. Debug builds assert on non-finite input;
+/// release builds drop the observation (recording a fake 0 would skew
+/// p50 downward silently).
+#[inline]
+fn secs_to_ns(seconds: f64) -> Option<u64> {
+    debug_assert!(seconds.is_finite(), "non-finite duration recorded: {seconds}");
+    if seconds.is_finite() {
+        Some((seconds.max(0.0) * 1e9) as u64)
     } else {
-        (2u64 << i) - 1
+        None
     }
 }
 
@@ -162,7 +198,7 @@ impl Histogram {
     fn new() -> Histogram {
         Histogram {
             inner: Arc::new(HistogramInner {
-                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                buckets: (0..SKETCH_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
                 count: new_shards(),
                 sum: new_shards(),
             }),
@@ -175,13 +211,16 @@ impl Histogram {
         let s = shard_index();
         self.inner.count[s].0.fetch_add(1, Ordering::Relaxed);
         self.inner.sum[s].0.fetch_add(v, Ordering::Relaxed);
-        self.inner.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Record a duration in whole microseconds.
+    /// Record a duration as whole **nanoseconds**. Non-finite input is a
+    /// debug assertion and records nothing in release builds.
     #[inline]
     pub fn record_secs(&self, seconds: f64) {
-        self.record((seconds.max(0.0) * 1e6) as u64);
+        if let Some(ns) = secs_to_ns(seconds) {
+            self.record(ns);
+        }
     }
 
     /// Merge a locally accumulated [`HistogramBatch`]: two shard adds plus
@@ -205,30 +244,25 @@ impl Histogram {
     pub fn summary(&self) -> HistogramSummary {
         let count: u64 = self.inner.count.iter().map(|s| s.0.load(Ordering::Relaxed)).sum();
         let sum: u64 = self.inner.sum.iter().map(|s| s.0.load(Ordering::Relaxed)).sum();
-        let buckets: Vec<u64> =
+        let counts: Vec<u64> =
             self.inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let quantile = |q: f64| -> u64 {
-            if count == 0 {
-                return 0;
-            }
-            let target = (q * count as f64).ceil().max(1.0) as u64;
-            let mut seen = 0u64;
-            for (i, b) in buckets.iter().enumerate() {
-                seen += b;
-                if seen >= target {
-                    return bucket_upper(i);
-                }
-            }
-            bucket_upper(HIST_BUCKETS - 1)
-        };
-        let max = buckets.iter().rposition(|&b| b > 0).map(bucket_upper).unwrap_or(0);
+        // Quantiles walk the *bucket* counts (racing writers can make the
+        // shard count differ transiently from the bucket total; using the
+        // bucket total keeps each quantile internally consistent).
+        let bucket_total: u64 = counts.iter().sum();
+        let q = |quant: f64| quantile_from_counts(&counts, bucket_total, quant);
+        let buckets = nonempty_buckets(&counts);
+        let max = buckets.last().map(|&(upper, _)| upper).unwrap_or(0);
         HistogramSummary {
             count,
             sum,
             mean: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
-            p50: quantile(0.50),
-            p99: quantile(0.99),
+            p50: q(0.50),
+            p90: q(0.90),
+            p99: q(0.99),
+            p999: q(0.999),
             max,
+            buckets,
         }
     }
 }
@@ -237,7 +271,7 @@ impl Histogram {
 /// per observation, then one [`Histogram::record_batch`] per phase.
 #[derive(Clone)]
 pub struct HistogramBatch {
-    buckets: [u64; HIST_BUCKETS],
+    buckets: Box<[u64]>, // SKETCH_BUCKETS entries
     count: u64,
     sum: u64,
 }
@@ -245,7 +279,7 @@ pub struct HistogramBatch {
 impl HistogramBatch {
     /// An empty batch.
     pub fn new() -> HistogramBatch {
-        HistogramBatch { buckets: [0; HIST_BUCKETS], count: 0, sum: 0 }
+        HistogramBatch { buckets: vec![0u64; SKETCH_BUCKETS].into_boxed_slice(), count: 0, sum: 0 }
     }
 
     /// Record one observation into the local batch.
@@ -253,13 +287,16 @@ impl HistogramBatch {
     pub fn observe(&mut self, v: u64) {
         self.count += 1;
         self.sum += v;
-        self.buckets[bucket_of(v)] += 1;
+        self.buckets[bucket_index(v)] += 1;
     }
 
-    /// Record a duration in whole microseconds.
+    /// Record a duration as whole **nanoseconds** (see
+    /// [`Histogram::record_secs`]).
     #[inline]
     pub fn observe_secs(&mut self, seconds: f64) {
-        self.observe((seconds.max(0.0) * 1e6) as u64);
+        if let Some(ns) = secs_to_ns(seconds) {
+            self.observe(ns);
+        }
     }
 
     /// Number of observations accumulated.
@@ -400,7 +437,7 @@ mod tests {
     #[test]
     fn histogram_summary_is_sane() {
         let reg = Registry::new();
-        let h = reg.histogram("t.task_us");
+        let h = reg.histogram("t.task_ns");
         for v in [1u64, 2, 3, 100, 1000, 100_000] {
             h.record(v);
         }
@@ -408,16 +445,19 @@ mod tests {
         assert_eq!(s.count, 6);
         assert_eq!(s.sum, 101_106);
         assert!((s.mean - 101_106.0 / 6.0).abs() < 1e-9);
-        assert!(s.p50 >= 3 && s.p50 <= 127, "{}", s.p50);
-        assert!(s.p99 >= 100_000, "{}", s.p99);
-        assert!(s.max >= 100_000);
+        // Small values are exact in the sketch; large ones within ~3.1%.
+        assert_eq!(s.p50, 3);
+        assert!(s.p99 >= 100_000 && s.p99 as f64 <= 100_000.0 * 1.04, "{}", s.p99);
+        assert!(s.p90 >= 1000 && s.p90 <= s.p99);
+        assert!(s.p999 >= s.p99);
+        assert!(s.max >= 100_000 && s.max as f64 <= 100_000.0 * 1.04);
+        assert_eq!(s.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 6);
     }
 
     #[test]
     fn empty_histogram_is_zero() {
         let h = Registry::new().histogram("t.empty");
-        let s = h.summary();
-        assert_eq!(s, HistogramSummary { count: 0, sum: 0, mean: 0.0, p50: 0, p99: 0, max: 0 });
+        assert_eq!(h.summary(), HistogramSummary::empty());
     }
 
     #[test]
@@ -457,16 +497,34 @@ mod tests {
     }
 
     #[test]
-    fn bucket_edges_are_consistent() {
-        assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 0);
-        assert_eq!(bucket_of(2), 1);
-        assert_eq!(bucket_of(3), 1);
-        assert_eq!(bucket_of(4), 2);
-        for i in 0..62 {
-            // Upper bound of bucket i is below lower bound of bucket i+2.
-            assert!(bucket_upper(i) < bucket_upper(i + 1));
-        }
-        assert_eq!(bucket_upper(63), u64::MAX);
+    fn record_secs_keeps_sub_microsecond_resolution() {
+        let reg = Registry::new();
+        let h = reg.histogram("t.lat_ns");
+        // 250 ns and 800 ns used to collapse into the same microsecond-0
+        // bucket; in nanoseconds they land in distinct buckets. Quantiles
+        // report the bucket's inclusive upper bound (within ~1/32 relative).
+        h.record_secs(250e-9);
+        h.record_secs(800e-9);
+        h.record_secs(1.5e-3); // 1.5 ms = 1_500_000 ns
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert!(s.p50 >= 800 && s.p50 as f64 <= 800.0 * 1.04, "p50 {}", s.p50);
+        assert!(s.p99 >= 1_500_000 && s.p99 as f64 <= 1_500_000.0 * 1.04);
+        // Negative durations clamp to zero rather than wrapping.
+        h.record_secs(-1.0);
+        assert_eq!(h.summary().count, 4);
+
+        let mut batch = HistogramBatch::new();
+        batch.observe_secs(250e-9);
+        assert_eq!(batch.count(), 1);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "non-finite duration"))]
+    fn non_finite_durations_are_rejected() {
+        let h = Registry::new().histogram("t.nan");
+        h.record_secs(f64::NAN);
+        // Release builds: dropped, not recorded as a bogus zero.
+        assert_eq!(h.summary().count, 0);
     }
 }

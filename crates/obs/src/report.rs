@@ -264,8 +264,8 @@ impl Report {
             }
             for (k, h) in &m.histograms {
                 out.push_str(&format!(
-                    "  histogram {k}: n={} mean={:.1} p50<={} p99<={}\n",
-                    h.count, h.mean, h.p50, h.p99
+                    "  histogram {k}: n={} mean={:.1} p50<={} p90<={} p99<={} p999<={}\n",
+                    h.count, h.mean, h.p50, h.p90, h.p99, h.p999
                 ));
             }
         }
@@ -319,7 +319,9 @@ fn snapshot_json(m: &MetricsSnapshot) -> Json {
                                 ("sum", Json::UInt(h.sum)),
                                 ("mean", Json::Num(h.mean)),
                                 ("p50", Json::UInt(h.p50)),
+                                ("p90", Json::UInt(h.p90)),
                                 ("p99", Json::UInt(h.p99)),
+                                ("p999", Json::UInt(h.p999)),
                             ]),
                         )
                     })

@@ -173,6 +173,21 @@ impl Tracer {
         }
     }
 
+    /// Snapshot of at most the `max` most recently finished spans, plus
+    /// the number of older spans left out. Clones only the tail — on a
+    /// long-lived tracer with a large buffer this is the accessor exporters
+    /// should use instead of [`Tracer::finished`].
+    pub fn finished_tail(&self, max: usize) -> (Vec<SpanRecord>, usize) {
+        match &self.inner {
+            Some(inner) => {
+                let buf = inner.finished.lock().expect("tracer lock");
+                let skip = buf.len().saturating_sub(max);
+                (buf[skip..].to_vec(), skip)
+            }
+            None => (Vec::new(), 0),
+        }
+    }
+
     /// Drain finished spans, leaving the tracer empty.
     pub fn take_finished(&self) -> Vec<SpanRecord> {
         match &self.inner {

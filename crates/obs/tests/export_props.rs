@@ -1,0 +1,307 @@
+//! Property tests for the exporters: Prometheus exposition never emits an
+//! invalid line, and Chrome trace output always parses back through
+//! `obs::json` with strictly nested begin/end pairs — across randomly
+//! shaped registries and span forests (including orphaned parents and
+//! inverted/out-of-parent timestamp edges, which the renderer must clamp).
+
+use lite_obs::export::{chrome_trace, prometheus_text};
+use lite_obs::span::AttrValue;
+use lite_obs::{Json, Registry, SpanRecord};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+// ---------------------------------------------------------------------------
+// A small exposition-format line parser (the validation oracle)
+
+fn is_valid_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn is_valid_value(s: &str) -> bool {
+    matches!(s, "+Inf" | "-Inf" | "NaN") || s.parse::<f64>().is_ok_and(|v| v.is_finite())
+}
+
+/// Validate one `key="value"` label pair list (without braces); returns the
+/// parsed pairs or an error description.
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let mut rest = s;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = &rest[..eq];
+        if !is_valid_metric_name(key) {
+            return Err(format!("bad label name {key:?}"));
+        }
+        rest = rest[eq + 1..].strip_prefix('"').ok_or("label value not quoted")?;
+        // Scan the escaped value.
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let end = loop {
+            let (i, c) = chars.next().ok_or("unterminated label value")?;
+            match c {
+                '"' => break i,
+                '\\' => match chars.next().ok_or("dangling backslash")?.1 {
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    'n' => value.push('\n'),
+                    other => return Err(format!("invalid escape \\{other}")),
+                },
+                '\n' => return Err("raw newline in label value".into()),
+                c => value.push(c),
+            }
+        };
+        pairs.push((key.to_string(), value));
+        rest = &rest[end + 1..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+    Ok(pairs)
+}
+
+enum Line {
+    Type { name: String, kind: String },
+    Sample { name: String, labels: Vec<(String, String)>, value: String },
+}
+
+fn parse_line(line: &str) -> Result<Line, String> {
+    if let Some(rest) = line.strip_prefix("# TYPE ") {
+        let mut it = rest.split(' ');
+        let name = it.next().unwrap_or("");
+        let kind = it.next().ok_or("TYPE without kind")?;
+        if it.next().is_some() {
+            return Err("trailing tokens after TYPE".into());
+        }
+        if !is_valid_metric_name(name) {
+            return Err(format!("invalid TYPE name {name:?}"));
+        }
+        if !matches!(kind, "counter" | "gauge" | "histogram") {
+            return Err(format!("unknown TYPE kind {kind:?}"));
+        }
+        return Ok(Line::Type { name: name.to_string(), kind: kind.to_string() });
+    }
+    if line.starts_with('#') {
+        return Err("unexpected comment line".into());
+    }
+    // `name value` or `name{labels} value`.
+    let (name_part, value_part) = match line.find('{') {
+        Some(brace) => {
+            let close = line.rfind('}').ok_or("unclosed label brace")?;
+            let labels = parse_labels(&line[brace + 1..close])?;
+            let value = line[close + 1..].strip_prefix(' ').ok_or("no space before value")?;
+            return Ok(Line::Sample {
+                name: {
+                    let n = &line[..brace];
+                    if !is_valid_metric_name(n) {
+                        return Err(format!("invalid sample name {n:?}"));
+                    }
+                    n.to_string()
+                },
+                labels,
+                value: {
+                    if !is_valid_value(value) {
+                        return Err(format!("invalid value {value:?}"));
+                    }
+                    value.to_string()
+                },
+            });
+        }
+        None => {
+            let sp = line.find(' ').ok_or("sample without value")?;
+            (&line[..sp], &line[sp + 1..])
+        }
+    };
+    if !is_valid_metric_name(name_part) {
+        return Err(format!("invalid sample name {name_part:?}"));
+    }
+    if !is_valid_value(value_part) {
+        return Err(format!("invalid value {value_part:?}"));
+    }
+    Ok(Line::Sample { name: name_part.to_string(), labels: Vec::new(), value: value_part.into() })
+}
+
+proptest! {
+    #[test]
+    fn prometheus_exposition_never_emits_an_invalid_line(
+        counters in prop::collection::vec(("[a-z .-]{0,24}", any::<u64>()), 0..6usize),
+        gauges in prop::collection::vec(("[a-z .-]{0,24}", any::<f64>()), 0..6usize),
+        hists in prop::collection::vec(
+            ("[a-z .-]{0,24}", prop::collection::vec(any::<u64>(), 0..32usize)),
+            0..4usize,
+        ),
+    ) {
+        let reg = Registry::new();
+        for (name, v) in &counters {
+            reg.counter(name).add(*v);
+        }
+        for (name, v) in &gauges {
+            reg.gauge(name).set(*v);
+        }
+        for (name, values) in &hists {
+            let h = reg.histogram(name);
+            for &v in values {
+                h.record(v);
+            }
+        }
+        let text = prometheus_text(&reg.snapshot());
+
+        let mut declared: BTreeMap<String, String> = BTreeMap::new();
+        // Per histogram family: cumulative bucket counts and le bounds as
+        // they appear, to check ordering and consistency.
+        let mut bucket_series: BTreeMap<String, Vec<(f64, u64)>> = BTreeMap::new();
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        for raw in text.lines() {
+            let line = parse_line(raw).unwrap_or_else(|e| panic!("{e}\n  line: {raw:?}"));
+            match line {
+                Line::Type { name, kind } => {
+                    declared.insert(name, kind);
+                }
+                Line::Sample { name, labels, value } => {
+                    // Every sample belongs to a declared family.
+                    let family = declared.iter().find(|(base, kind)| match kind.as_str() {
+                        "histogram" => {
+                            name == format!("{base}_sum")
+                                || name == format!("{base}_count")
+                                || name == format!("{base}_bucket")
+                        }
+                        _ => &name == *base,
+                    });
+                    let (base, kind) =
+                        family.unwrap_or_else(|| panic!("sample {name} has no TYPE line"));
+                    if kind == "histogram" && name.ends_with("_bucket") {
+                        let le = labels
+                            .iter()
+                            .find(|(k, _)| k == "le")
+                            .map(|(_, v)| v.as_str())
+                            .expect("bucket without le label");
+                        let le = if le == "+Inf" { f64::INFINITY } else { le.parse().unwrap() };
+                        bucket_series
+                            .entry(base.clone())
+                            .or_default()
+                            .push((le, value.parse().unwrap()));
+                    } else if kind == "histogram" && name.ends_with("_count") {
+                        counts.insert(base.clone(), value.parse().unwrap());
+                    } else {
+                        prop_assert!(labels.is_empty(), "unexpected labels on {name}");
+                    }
+                }
+            }
+        }
+        for (base, series) in &bucket_series {
+            prop_assert!(
+                series.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
+                "{base}: le not increasing / counts not cumulative: {series:?}"
+            );
+            let (last_le, last_count) = *series.last().expect("at least +Inf");
+            prop_assert!(last_le.is_infinite(), "{base}: missing +Inf bucket");
+            prop_assert_eq!(Some(&last_count), counts.get(base), "{}_count mismatch", base);
+        }
+        // Every histogram family emitted a bucket series (even when empty).
+        for (base, kind) in &declared {
+            if kind == "histogram" {
+                prop_assert!(bucket_series.contains_key(base), "{base}: no buckets");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace: parseable and strictly nested
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// Build a random span forest. `i`-th span gets id `i+1`; parents point at
+/// earlier spans, nothing (root), or a missing id (orphan → treated as
+/// root). Timestamps are unconstrained — children may stick out of their
+/// parents and `end < start` happens — the renderer must clamp.
+fn build_spans(shape: &[(u64, u64, u64)]) -> Vec<SpanRecord> {
+    shape
+        .iter()
+        .enumerate()
+        .map(|(i, &(p, a, b))| {
+            let parent = match p % (i as u64 + 3) {
+                0 => None,
+                v if v <= i as u64 => Some(v),
+                _ => Some(10_000 + i as u64), // never a real id
+            };
+            SpanRecord {
+                id: i as u64 + 1,
+                parent,
+                name: NAMES[(a % NAMES.len() as u64) as usize],
+                start_us: a % 1_000,
+                end_us: b % 1_000,
+                attrs: vec![("k", AttrValue::U64(b))],
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn chrome_trace_parses_with_strictly_nested_pairs(
+        shape in prop::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+            0..24usize,
+        ),
+    ) {
+        let spans = build_spans(&shape);
+        let trace = chrome_trace(&spans);
+        // Round-trips through the JSON parser bit-for-bit (all values in
+        // the document are strings/uints/bools).
+        let parsed = Json::parse(&trace.render()).expect("trace renders to parseable JSON");
+        prop_assert_eq!(&parsed, &trace);
+
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        prop_assert_eq!(events.len(), spans.len() * 2, "one B and one E per span");
+
+        // Stack machine per tid: B pushes, E must match the top by name,
+        // child intervals sit inside parents, and a parent never ends
+        // before a child.
+        struct Frame {
+            name: String,
+            begin: u64,
+            max_child_end: u64,
+        }
+        let mut stacks: BTreeMap<u64, Vec<Frame>> = BTreeMap::new();
+        let mut seen_ids: BTreeSet<u64> = BTreeSet::new();
+        for ev in events {
+            let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+            let ts = ev.get("ts").and_then(Json::as_u64).expect("ts");
+            let tid = ev.get("tid").and_then(Json::as_u64).expect("tid");
+            let name = ev.get("name").and_then(Json::as_str).expect("name").to_string();
+            let stack = stacks.entry(tid).or_default();
+            match ph {
+                "B" => {
+                    let id = ev
+                        .get("args")
+                        .and_then(|a| a.get("span_id"))
+                        .and_then(Json::as_u64)
+                        .expect("span_id arg");
+                    prop_assert!(seen_ids.insert(id), "span {id} began twice");
+                    if let Some(parent) = stack.last() {
+                        prop_assert!(ts >= parent.begin, "child begins before parent");
+                    }
+                    stack.push(Frame { name, begin: ts, max_child_end: ts });
+                }
+                "E" => {
+                    let frame = stack.pop().expect("E without matching B");
+                    prop_assert_eq!(&frame.name, &name, "E closes a different span");
+                    prop_assert!(ts >= frame.begin, "span ends before it begins");
+                    prop_assert!(ts >= frame.max_child_end, "parent ends before a child");
+                    if let Some(parent) = stack.last_mut() {
+                        parent.max_child_end = parent.max_child_end.max(ts);
+                    }
+                }
+                other => prop_assert!(false, "unexpected phase {other:?}"),
+            }
+        }
+        for (tid, stack) in &stacks {
+            prop_assert!(stack.is_empty(), "tid {tid}: unclosed spans");
+        }
+        prop_assert_eq!(seen_ids.len(), spans.len(), "every span appears exactly once");
+    }
+}

@@ -21,21 +21,32 @@
 //! * batched NECS scoring — requests score all their candidates through
 //!   [`lite_core::necs::Necs::predict_app_batch`], one tape per request
 //!   instead of one per candidate.
+//! * [`monitor`] — prediction-drift monitoring: a lock-free ring of
+//!   `(predicted, observed)` runtime pairs fed by `observe` feedback,
+//!   summarized into rolling MAPE / signed error / rank-inversion rate.
+//!   The updater retrains on *drift or batch-full*, whichever comes
+//!   first, so a model that stops ranking well is replaced before the
+//!   blind feedback count would have noticed.
 //!
 //! Requests arrive over an in-process [`service::ServiceHandle`] or the
 //! length-prefixed TCP front-end in [`net`], which reuses
-//! [`lite_obs::Json`] for wire encoding. Everything is `std`-only on top
-//! of the workspace crates.
+//! [`lite_obs::Json`] for wire encoding and also answers the admin ops
+//! (`stats`, `metrics` as Prometheus text, `trace` as Chrome trace JSON,
+//! `health`). Everything is `std`-only on top of the workspace crates.
 
 pub mod cache;
+pub mod monitor;
 pub mod net;
 pub mod service;
 pub mod slot;
 pub mod snapshot;
 
 pub use cache::PredictionCache;
+pub use monitor::{DriftConfig, DriftMonitor, DriftSummary};
 pub use net::{Client, TcpServer};
-pub use service::{RecommendResponse, ServeConfig, ServeError, Service, ServiceHandle};
+pub use service::{
+    RecommendResponse, ServeConfig, ServeError, Service, ServiceHandle, ServiceStats,
+};
 pub use slot::{SlotReader, VersionedSlot};
 pub use snapshot::ModelSnapshot;
 
@@ -51,4 +62,6 @@ const _: () = {
     assert_send_sync::<service::ServiceHandle>();
     assert_send_sync::<cache::PredictionCache>();
     assert_send_sync::<service::ServeError>();
+    assert_send_sync::<monitor::DriftMonitor>();
+    assert_send_sync::<monitor::DriftSummary>();
 };

@@ -1,0 +1,319 @@
+//! Prediction-drift monitoring: is the served model still trustworthy?
+//!
+//! Every `observe` feedback report pairs the model's *predicted* runtime
+//! for the executed configuration with the *observed* runtime. The
+//! [`DriftMonitor`] keeps the most recent pairs in a fixed-size lock-free
+//! ring and summarizes them on demand into rolling error statistics:
+//!
+//! * **MAPE** — mean absolute percentage error, the paper's own headline
+//!   accuracy metric, sensitive to calibration drift;
+//! * **mean signed error** — whether the model is systematically over- or
+//!   under-predicting (a workload or data-scale shift usually shows up
+//!   here first);
+//! * **rank-inversion rate** — the fraction of discordant pairs
+//!   (predicted order disagrees with observed order). LITE *ranks*
+//!   candidates, so a model can drift in absolute terms while still
+//!   ranking correctly — and vice versa. This is the metric that actually
+//!   predicts recommendation quality.
+//!
+//! The background updater consults [`DriftMonitor::summary`] so Adaptive
+//! Model Update retraining triggers on *drift or batch-full*, whichever
+//! comes first, instead of a blind feedback count.
+//!
+//! Recording is one `fetch_add` plus one relaxed store: each slot packs
+//! the `(predicted, observed)` pair as two `f32`s in a single `AtomicU64`,
+//! so a summary never sees a torn pair. Concurrent writers may interleave
+//! arbitrarily and a reset races benignly with in-flight records (a
+//! handful of pre-reset pairs can survive into the next window); the
+//! monitor is a statistical signal, not an audit log.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Thresholds for declaring prediction drift.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Ring capacity: how many recent (predicted, observed) pairs the
+    /// rolling statistics cover.
+    pub window: usize,
+    /// Minimum pairs in the window before drift can be declared (avoids
+    /// alerting on the first few noisy observations after a swap).
+    pub min_samples: usize,
+    /// Declare drift when rolling MAPE exceeds this (e.g. `0.5` = 50 %
+    /// mean absolute percentage error).
+    pub mape_threshold: f64,
+    /// Declare drift when the pairwise rank-inversion rate exceeds this.
+    /// `0.5` is coin-flip ranking; the default alerts a little below it.
+    pub inversion_threshold: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> DriftConfig {
+        DriftConfig { window: 256, min_samples: 30, mape_threshold: 0.5, inversion_threshold: 0.45 }
+    }
+}
+
+/// Rolling error statistics over the monitor's window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSummary {
+    /// Pairs currently in the window.
+    pub samples: usize,
+    /// Mean absolute percentage error, `mean(|pred - obs| / obs)` over
+    /// pairs with positive observed runtime. 0 when empty.
+    pub mape: f64,
+    /// Mean signed error in seconds, `mean(pred - obs)`; negative means
+    /// the model under-predicts runtimes.
+    pub mean_error_s: f64,
+    /// Fraction of discordant pairs among all strictly-ordered pairs:
+    /// 0 = perfect ranking, 0.5 = random, 1 = reversed. 0 when fewer than
+    /// two distinct observations.
+    pub inversion_rate: f64,
+    /// Whether the configured thresholds are exceeded (requires
+    /// `min_samples`).
+    pub drifted: bool,
+}
+
+impl DriftSummary {
+    /// The all-zero summary of an empty window.
+    pub fn empty() -> DriftSummary {
+        DriftSummary {
+            samples: 0,
+            mape: 0.0,
+            mean_error_s: 0.0,
+            inversion_rate: 0.0,
+            drifted: false,
+        }
+    }
+}
+
+/// Lock-free ring of `(predicted, observed)` runtime pairs.
+pub struct DriftMonitor {
+    config: DriftConfig,
+    /// Each slot packs `predicted as f32` in the high 32 bits and
+    /// `observed as f32` in the low 32 bits.
+    slots: Box<[AtomicU64]>,
+    /// Total records since the last reset; `min(head, window)` slots are
+    /// live, and `head % window` is the next slot to overwrite.
+    head: AtomicUsize,
+}
+
+#[inline]
+fn pack(predicted: f64, observed: f64) -> u64 {
+    ((predicted as f32).to_bits() as u64) << 32 | (observed as f32).to_bits() as u64
+}
+
+#[inline]
+fn unpack(bits: u64) -> (f64, f64) {
+    (f32::from_bits((bits >> 32) as u32) as f64, f32::from_bits(bits as u32) as f64)
+}
+
+impl DriftMonitor {
+    /// An empty monitor with the given thresholds (window is clamped to at
+    /// least 2).
+    pub fn new(config: DriftConfig) -> DriftMonitor {
+        let window = config.window.max(2);
+        DriftMonitor {
+            slots: (0..window).map(|_| AtomicU64::new(0)).collect(),
+            config: DriftConfig { window, ..config },
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    /// The thresholds this monitor applies.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Record one `(predicted, observed)` runtime pair in seconds.
+    /// Non-finite values are dropped (a failed run has no meaningful
+    /// observed runtime).
+    pub fn record(&self, predicted_s: f64, observed_s: f64) {
+        if !predicted_s.is_finite() || !observed_s.is_finite() {
+            return;
+        }
+        let i = self.head.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        self.slots[i].store(pack(predicted_s, observed_s), Ordering::Relaxed);
+    }
+
+    /// Forget the window (called after a model swap: the new version
+    /// deserves a fresh verdict). Races with in-flight `record`s are
+    /// benign — see the module docs.
+    pub fn reset(&self) {
+        self.head.store(0, Ordering::Relaxed);
+    }
+
+    /// Pairs currently in the window.
+    pub fn len(&self) -> usize {
+        self.head.load(Ordering::Relaxed).min(self.slots.len())
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Compute the rolling statistics. O(window²) for the inversion rate,
+    /// which at the default window of 256 is ~32k comparisons — called by
+    /// the updater at most every 100 ms, not on the request path.
+    pub fn summary(&self) -> DriftSummary {
+        let live = self.len();
+        if live == 0 {
+            return DriftSummary::empty();
+        }
+        let pairs: Vec<(f64, f64)> =
+            self.slots[..live].iter().map(|s| unpack(s.load(Ordering::Relaxed))).collect();
+
+        let mut abs_pct_sum = 0.0;
+        let mut abs_pct_n = 0usize;
+        let mut signed_sum = 0.0;
+        for &(pred, obs) in &pairs {
+            signed_sum += pred - obs;
+            if obs > 0.0 {
+                abs_pct_sum += (pred - obs).abs() / obs;
+                abs_pct_n += 1;
+            }
+        }
+        let mape = if abs_pct_n == 0 { 0.0 } else { abs_pct_sum / abs_pct_n as f64 };
+        let mean_error_s = signed_sum / live as f64;
+
+        let mut discordant = 0usize;
+        let mut ordered = 0usize;
+        for i in 0..pairs.len() {
+            for j in (i + 1)..pairs.len() {
+                let dp = pairs[i].0 - pairs[j].0;
+                let do_ = pairs[i].1 - pairs[j].1;
+                if dp == 0.0 || do_ == 0.0 {
+                    continue; // ties carry no rank information
+                }
+                ordered += 1;
+                if (dp > 0.0) != (do_ > 0.0) {
+                    discordant += 1;
+                }
+            }
+        }
+        let inversion_rate = if ordered == 0 { 0.0 } else { discordant as f64 / ordered as f64 };
+
+        let drifted = live >= self.config.min_samples
+            && (mape > self.config.mape_threshold
+                || inversion_rate > self.config.inversion_threshold);
+        DriftSummary { samples: live, mape, mean_error_s, inversion_rate, drifted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor(min_samples: usize) -> DriftMonitor {
+        DriftMonitor::new(DriftConfig { min_samples, ..DriftConfig::default() })
+    }
+
+    #[test]
+    fn empty_monitor_reports_zeroes() {
+        let m = monitor(10);
+        assert!(m.is_empty());
+        assert_eq!(m.summary(), DriftSummary::empty());
+    }
+
+    #[test]
+    fn accurate_predictions_do_not_drift() {
+        let m = monitor(10);
+        for i in 1..=50 {
+            let truth = i as f64;
+            m.record(truth * 1.02, truth); // 2% error, order preserved
+        }
+        let s = m.summary();
+        assert_eq!(s.samples, 50);
+        assert!((s.mape - 0.02).abs() < 1e-6, "{s:?}");
+        assert!(s.mean_error_s > 0.0);
+        assert_eq!(s.inversion_rate, 0.0);
+        assert!(!s.drifted);
+    }
+
+    #[test]
+    fn calibration_drift_trips_mape() {
+        let m = monitor(10);
+        for i in 1..=40 {
+            let truth = i as f64;
+            m.record(truth, truth * 3.0); // observed 3x the prediction
+        }
+        let s = m.summary();
+        assert!(s.mape > 0.5, "{s:?}");
+        assert!(s.mean_error_s < 0.0, "under-prediction: {s:?}");
+        assert_eq!(s.inversion_rate, 0.0, "order is still perfect");
+        assert!(s.drifted);
+    }
+
+    #[test]
+    fn rank_collapse_trips_inversion_rate_even_when_scale_is_right() {
+        let m = monitor(10);
+        // Predictions are a *reversed* ranking with tiny absolute error
+        // around a common mean: MAPE stays small, inversions go to 1.
+        let n = 40;
+        for i in 0..n {
+            let obs = 100.0 + i as f64;
+            let pred = 100.0 + (n - 1 - i) as f64;
+            m.record(pred, obs);
+        }
+        let s = m.summary();
+        assert!(s.mape < 0.3, "{s:?}");
+        assert!(s.inversion_rate > 0.95, "{s:?}");
+        assert!(s.drifted);
+    }
+
+    #[test]
+    fn min_samples_gates_alerts() {
+        let m = monitor(30);
+        for _ in 0..29 {
+            m.record(10.0, 100.0); // wildly wrong, but too few samples
+        }
+        assert!(!m.summary().drifted);
+        m.record(10.0, 100.0);
+        assert!(m.summary().drifted);
+    }
+
+    #[test]
+    fn window_evicts_oldest_and_reset_clears() {
+        let cfg = DriftConfig { window: 8, min_samples: 2, ..DriftConfig::default() };
+        let m = DriftMonitor::new(cfg);
+        for _ in 0..100 {
+            m.record(5.0, 5.0);
+        }
+        assert_eq!(m.len(), 8);
+        assert!(!m.summary().drifted);
+        m.reset();
+        assert!(m.is_empty());
+        assert_eq!(m.summary(), DriftSummary::empty());
+    }
+
+    #[test]
+    fn non_finite_pairs_are_dropped() {
+        let m = monitor(1);
+        m.record(f64::NAN, 5.0);
+        m.record(5.0, f64::INFINITY);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn concurrent_records_never_tear_pairs() {
+        let m = std::sync::Arc::new(monitor(10));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                // Every thread writes pairs with the invariant obs = 2*pred.
+                for i in 1..500u32 {
+                    let p = (t * 1000 + i) as f64;
+                    m.record(p, 2.0 * p);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let live = m.len();
+        for slot in &m.slots[..live] {
+            let (p, o) = unpack(slot.load(Ordering::Relaxed));
+            assert_eq!(o, 2.0 * p, "torn pair: ({p}, {o})");
+        }
+    }
+}

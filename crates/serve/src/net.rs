@@ -16,6 +16,26 @@
 //!   "result":{"total_time_s":t,"failed":false,"stages":[{"name":...,
 //!   "duration_s":d},...]}}` → `{"ok":true,"feedback":n}`
 //!
+//! Admin ops (no request fields beyond `"op"`):
+//!
+//! * `{"op":"stats"}` → `{"ok":true,"uptime_s":u,"version":v,"swaps":n,
+//!   "queue_depth":d,"queue_capacity":c,"workers":w,"feedback":f,
+//!   "update_batch":b,"requests":r,
+//!   "cache":{"hit_rate":h,"hits":x,"misses":y},
+//!   "drift":{"samples":s,"mape":m,"mean_error_s":e,"inversion_rate":i,
+//!   "drifted":false}}` — a point-in-time operational summary.
+//! * `{"op":"metrics"}` → `{"ok":true,"content_type":
+//!   "text/plain; version=0.0.4","body":"# TYPE serve_requests counter\n
+//!   serve_requests 17\n..."}` — the service registry as Prometheus text
+//!   exposition (histograms as cumulative `_bucket`/`_sum`/`_count`).
+//! * `{"op":"trace"}` → `{"ok":true,"trace":{"traceEvents":[...]},
+//!   "dropped_spans":0}` — finished spans as Chrome trace-event JSON; save
+//!   the `trace` value to a file and load it in Perfetto. Empty when
+//!   tracing is disabled. When the document would overflow the response
+//!   frame the oldest spans are shed and counted in `dropped_spans`.
+//! * `{"op":"health"}` → `{"ok":true,"status":"ok","version":v,
+//!   "uptime_s":u}` — liveness for probes.
+//!
 //! `cluster` is either a preset name (`"cluster-a"`/`"cluster-b"`/
 //! `"cluster-c"`) or a full object with the Table III fields.
 
@@ -32,7 +52,8 @@ use lite_sparksim::result::{FailureReason, RunResult, StageStats};
 use lite_workloads::apps::AppId;
 use lite_workloads::data::DataSpec;
 
-use crate::service::{RecommendResponse, ServeError, ServiceHandle};
+use crate::monitor::DriftSummary;
+use crate::service::{RecommendResponse, ServeError, ServiceHandle, ServiceStats};
 
 /// Largest accepted frame payload; recommendation traffic is tiny, so
 /// anything bigger is a protocol error, not a workload.
@@ -124,6 +145,10 @@ pub fn serve_tcp<A: ToSocketAddrs>(handle: ServiceHandle, addr: A) -> std::io::R
                     break;
                 }
                 let Ok(stream) = conn else { continue };
+                // Frames are written as two small writes (length prefix +
+                // payload); without NODELAY, Nagle + delayed ACK stalls
+                // every response by tens of milliseconds.
+                let _ = stream.set_nodelay(true);
                 let handle = handle.clone();
                 let _ = std::thread::Builder::new()
                     .name("serve-conn".into())
@@ -164,6 +189,28 @@ fn dispatch(handle: &ServiceHandle, space: &ConfSpace, request: &Json) -> Json {
         ])),
         "recommend" => wire_recommend(handle, request),
         "observe" => wire_observe(handle, space, request),
+        "stats" => Ok(stats_to_json(&handle.stats())),
+        "metrics" => Ok(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("content_type", Json::from("text/plain; version=0.0.4")),
+            ("body", Json::from(handle.prometheus().as_str())),
+        ])),
+        "trace" => {
+            // Leave half the frame for the envelope and escaping overhead;
+            // oldest spans are shed first when the trace outgrows it.
+            let (trace, dropped) = handle.trace_json_capped(MAX_FRAME as usize / 2);
+            Ok(Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("trace", trace),
+                ("dropped_spans", Json::from(dropped)),
+            ]))
+        }
+        "health" => Ok(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("status", Json::from("ok")),
+            ("version", Json::from(handle.version())),
+            ("uptime_s", Json::Num(handle.stats().uptime_s)),
+        ])),
         _ => Err(("bad_request", "unknown op".to_string())),
     };
     match outcome {
@@ -215,6 +262,40 @@ fn wire_error(code: &'static str, msg: &str) -> Json {
         ("ok", Json::Bool(false)),
         ("code", Json::from(code)),
         ("error", Json::from(msg)),
+    ])
+}
+
+fn drift_to_json(d: &DriftSummary) -> Json {
+    Json::obj(vec![
+        ("samples", Json::from(d.samples)),
+        ("mape", Json::Num(d.mape)),
+        ("mean_error_s", Json::Num(d.mean_error_s)),
+        ("inversion_rate", Json::Num(d.inversion_rate)),
+        ("drifted", Json::Bool(d.drifted)),
+    ])
+}
+
+fn stats_to_json(s: &ServiceStats) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("uptime_s", Json::Num(s.uptime_s)),
+        ("version", Json::from(s.version)),
+        ("swaps", Json::from(s.swap_count)),
+        ("queue_depth", Json::from(s.queue_depth)),
+        ("queue_capacity", Json::from(s.queue_capacity)),
+        ("workers", Json::from(s.workers)),
+        ("feedback", Json::from(s.feedback_len)),
+        ("update_batch", Json::from(s.update_batch)),
+        ("requests", Json::from(s.requests)),
+        (
+            "cache",
+            Json::obj(vec![
+                ("hit_rate", Json::Num(s.cache_hit_rate)),
+                ("hits", Json::from(s.cache_hits)),
+                ("misses", Json::from(s.cache_misses)),
+            ]),
+        ),
+        ("drift", drift_to_json(&s.drift)),
     ])
 }
 
@@ -378,7 +459,9 @@ pub struct Client {
 impl Client {
     /// Connect to a [`TcpServer`].
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
-        Ok(Client { stream: TcpStream::connect(addr)? })
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
     }
 
     /// Send one request document and block for its response.
@@ -439,6 +522,39 @@ impl Client {
             ("conf", Json::Arr(conf.values().iter().map(|&v| Json::Num(v)).collect())),
             ("result", result_to_json(result)),
         ]))
+    }
+
+    /// `stats`: the operational summary document (check `"ok"`).
+    pub fn stats(&mut self) -> std::io::Result<Json> {
+        self.request(&Json::obj(vec![("op", Json::from("stats"))]))
+    }
+
+    /// `metrics`: the Prometheus text exposition body.
+    pub fn metrics_text(&mut self) -> std::io::Result<String> {
+        let resp = self.request(&Json::obj(vec![("op", Json::from("metrics"))]))?;
+        resp.get("body").and_then(Json::as_str).map(str::to_string).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "metrics response missing body")
+        })
+    }
+
+    /// `trace`: the Chrome trace-event document (save to a `.json` file
+    /// and open in Perfetto).
+    pub fn trace(&mut self) -> std::io::Result<Json> {
+        let resp = self.request(&Json::obj(vec![("op", Json::from("trace"))]))?;
+        resp.get("trace").cloned().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "trace response missing trace")
+        })
+    }
+
+    /// `health`: `Ok(version)` when the server answers `status: "ok"`.
+    pub fn health(&mut self) -> std::io::Result<u64> {
+        let resp = self.request(&Json::obj(vec![("op", Json::from("health"))]))?;
+        match (resp.get("status").and_then(Json::as_str), resp.get("version")) {
+            (Some("ok"), Some(v)) => v.as_u64().ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad health version")
+            }),
+            _ => Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "unhealthy response")),
+        }
     }
 }
 

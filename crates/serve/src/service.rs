@@ -28,6 +28,7 @@ use lite_workloads::apps::AppId;
 use lite_workloads::data::DataSpec;
 
 use crate::cache::{CacheKey, PredictionCache};
+use crate::monitor::{DriftConfig, DriftMonitor, DriftSummary};
 use crate::slot::VersionedSlot;
 use crate::snapshot::ModelSnapshot;
 
@@ -100,6 +101,10 @@ pub struct ServeConfig {
     pub cache_capacity_per_shard: usize,
     /// Adaptive Model Update hyper-parameters for background swaps.
     pub amu: AmuConfig,
+    /// Prediction-drift thresholds. When the rolling error over observed
+    /// feedback exceeds them, the updater retrains on whatever feedback
+    /// has accumulated instead of waiting for a full `update_batch`.
+    pub drift: DriftConfig,
 }
 
 impl Default for ServeConfig {
@@ -112,6 +117,7 @@ impl Default for ServeConfig {
             cache_shards: 8,
             cache_capacity_per_shard: 512,
             amu: AmuConfig::default(),
+            drift: DriftConfig::default(),
         }
     }
 }
@@ -296,6 +302,11 @@ struct ServeMetrics {
     latency: Histogram,
     batch_size: Histogram,
     cache_hit_rate: Gauge,
+    drift_mape: Gauge,
+    drift_mean_error: Gauge,
+    drift_inversion: Gauge,
+    drift_samples: Gauge,
+    drift_alerts: Counter,
 }
 
 impl ServeMetrics {
@@ -306,9 +317,14 @@ impl ServeMetrics {
             expired: registry.counter("serve.expired"),
             requests: registry.counter("serve.requests"),
             swaps: registry.counter("serve.swaps"),
-            latency: registry.histogram("serve.latency_us"),
+            latency: registry.histogram("serve.latency_ns"),
             batch_size: registry.histogram("serve.batch_size"),
             cache_hit_rate: registry.gauge("serve.cache_hit_rate"),
+            drift_mape: registry.gauge("serve.drift.mape"),
+            drift_mean_error: registry.gauge("serve.drift.mean_error_s"),
+            drift_inversion: registry.gauge("serve.drift.inversion_rate"),
+            drift_samples: registry.gauge("serve.drift.samples"),
+            drift_alerts: registry.counter("serve.drift.alerts"),
         }
     }
 }
@@ -325,6 +341,10 @@ struct Shared {
     shutdown: AtomicBool,
     tracer: Tracer,
     metrics: ServeMetrics,
+    /// The registry the service's metrics live in (for admin exposition).
+    registry: Registry,
+    monitor: DriftMonitor,
+    started: Instant,
     /// Swaps that finished (the slot stamp, mirrored for cheap reads).
     swap_count: AtomicU64,
 }
@@ -367,6 +387,15 @@ fn worker_loop(shared: Arc<Shared>) {
             }
             Request::Observe { app, data, cluster, conf, result, reply } => {
                 let snapshot = shared.slot.load_with(&mut reader).clone();
+                // Feed the drift monitor: what did *this* model version
+                // predict for the configuration that just ran? Failed runs
+                // carry no meaningful runtime and are skipped.
+                if result.failure.is_none() {
+                    if let Some(pred) = predict_one(&shared, &snapshot, app, &data, &cluster, &conf)
+                    {
+                        shared.monitor.record(pred, result.total_time_s);
+                    }
+                }
                 let run_id = usize::MAX - shared.feedback_runs.fetch_add(1, Ordering::Relaxed);
                 let mut extracted = Vec::new();
                 extract_stage_instances(
@@ -397,6 +426,36 @@ fn worker_loop(shared: Arc<Shared>) {
             }
         }
     }
+}
+
+/// Predict the runtime of one configuration under `snapshot`, answering
+/// from the prediction cache when the pair was already scored at this
+/// version (the common case: `observe` usually follows a `recommend` for
+/// the same context). `None` when the app is cold in the snapshot.
+fn predict_one(
+    shared: &Shared,
+    snapshot: &ModelSnapshot,
+    app: AppId,
+    data: &DataSpec,
+    cluster: &ClusterSpec,
+    conf: &SparkConf,
+) -> Option<f64> {
+    let key = CacheKey::new(app, data, cluster, conf);
+    if let Some(v) = shared.cache.get(&key, snapshot.version) {
+        return Some(v);
+    }
+    let ctx = snapshot.warm_context(app, data, cluster)?;
+    let scores = score_candidates(
+        &snapshot.model,
+        &snapshot.registry,
+        &ctx,
+        cluster,
+        std::slice::from_ref(conf),
+        &shared.tracer,
+    );
+    let v = *scores.first()?;
+    shared.cache.insert(key, snapshot.version, v);
+    Some(v)
 }
 
 fn serve_recommend(
@@ -463,15 +522,33 @@ fn serve_recommend(
 // Updater
 
 fn updater_loop(shared: Arc<Shared>) {
+    // Alerts are edge-triggered: one count per transition into drift, not
+    // one per 100 ms poll while the condition persists.
+    let mut was_drifted = false;
     loop {
-        // Wait until a full feedback batch accumulated or shutdown.
+        // Wait until retraining is warranted — a full feedback batch OR
+        // detected prediction drift with any feedback at all — or shutdown.
+        let mut trigger = "batch";
         let batch: Vec<StageInstance> = {
             let mut feedback = shared.feedback.lock().expect("feedback poisoned");
             loop {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
+                let drift = shared.monitor.summary();
+                shared.metrics.drift_mape.set(drift.mape);
+                shared.metrics.drift_mean_error.set(drift.mean_error_s);
+                shared.metrics.drift_inversion.set(drift.inversion_rate);
+                shared.metrics.drift_samples.set(drift.samples as f64);
+                if drift.drifted && !was_drifted {
+                    shared.metrics.drift_alerts.inc();
+                }
+                was_drifted = drift.drifted;
                 if feedback.len() >= shared.config.update_batch {
+                    break std::mem::take(&mut *feedback);
+                }
+                if drift.drifted && !feedback.is_empty() {
+                    trigger = "drift";
                     break std::mem::take(&mut *feedback);
                 }
                 let (guard, _timeout) = shared
@@ -505,11 +582,16 @@ fn updater_loop(shared: Arc<Shared>) {
             span.attr_u64("version", next.version);
             span.attr_u64("feedback_instances", tgt.len() as u64);
             span.attr_f64("update_s", started.elapsed().as_secs_f64());
+            span.attr_str("trigger", trigger);
         }
         drop(span);
         shared.slot.swap(Arc::new(next));
         shared.swap_count.fetch_add(1, Ordering::Release);
         shared.metrics.swaps.inc();
+        // The new version deserves a fresh verdict: clear the drift window
+        // so stale errors from the replaced model cannot re-trigger.
+        shared.monitor.reset();
+        was_drifted = false;
     }
 }
 
@@ -547,6 +629,7 @@ impl Service {
             registry.counter("serve.cache_hits"),
             registry.counter("serve.cache_misses"),
         );
+        let monitor = DriftMonitor::new(config.drift.clone());
         let shared = Arc::new(Shared {
             slot: VersionedSlot::new(Arc::new(snapshot)),
             queue: BoundedQueue::new(config.queue_capacity),
@@ -559,6 +642,9 @@ impl Service {
             shutdown: AtomicBool::new(false),
             tracer,
             metrics,
+            registry: registry.clone(),
+            monitor,
+            started: Instant::now(),
             swap_count: AtomicU64::new(0),
         });
         let mut threads = Vec::new();
@@ -726,4 +812,103 @@ impl ServiceHandle {
     pub fn cache_counts(&self) -> (u64, u64) {
         (self.shared.cache.hits(), self.shared.cache.misses())
     }
+
+    /// Rolling prediction-drift statistics over recent observed feedback.
+    pub fn drift(&self) -> DriftSummary {
+        self.shared.monitor.summary()
+    }
+
+    /// A point-in-time operational summary (what the `stats` admin op
+    /// serves).
+    pub fn stats(&self) -> ServiceStats {
+        let (cache_hits, cache_misses) = self.cache_counts();
+        ServiceStats {
+            uptime_s: self.shared.started.elapsed().as_secs_f64(),
+            version: self.version(),
+            swap_count: self.swap_count(),
+            queue_depth: self.queue_len(),
+            queue_capacity: self.shared.config.queue_capacity,
+            workers: self.shared.config.workers,
+            feedback_len: self.feedback_len(),
+            update_batch: self.shared.config.update_batch,
+            requests: self.shared.metrics.requests.value(),
+            cache_hit_rate: self.cache_hit_rate(),
+            cache_hits,
+            cache_misses,
+            drift: self.drift(),
+        }
+    }
+
+    /// Prometheus text exposition of the service's metrics registry (what
+    /// the `metrics` admin op serves). Includes every metric registered in
+    /// the registry the service was started with.
+    pub fn prometheus(&self) -> String {
+        lite_obs::prometheus_text(&self.shared.registry.snapshot())
+    }
+
+    /// Finished spans rendered as Chrome trace-event JSON (what the
+    /// `trace` admin op serves). Non-destructive: spans stay buffered in
+    /// the tracer. Empty when the service runs with a disabled tracer.
+    pub fn trace_json(&self) -> lite_obs::Json {
+        lite_obs::chrome_trace(&self.shared.tracer.finished())
+    }
+
+    /// Like [`ServiceHandle::trace_json`], but bounded: when the rendered
+    /// document would exceed `max_bytes`, the oldest spans are dropped
+    /// until it fits (a long-lived service accumulates more spans than a
+    /// single admin response frame can carry). Returns the trace and the
+    /// number of spans dropped. Children of a dropped parent are promoted
+    /// to roots of their own track.
+    pub fn trace_json_capped(&self, max_bytes: usize) -> (lite_obs::Json, usize) {
+        // Clone only a bounded tail out of the tracer: a span's B/E event
+        // pair never serializes under ~128 bytes, so anything past
+        // `max_bytes / 128` spans cannot fit and copying it would only
+        // burn time on records about to be thrown away.
+        let max_spans = (max_bytes / 128).max(16);
+        let (mut spans, mut dropped) = self.shared.tracer.finished_tail(max_spans);
+        loop {
+            let trace = lite_obs::chrome_trace(&spans);
+            let rendered = trace.render().len();
+            if rendered <= max_bytes || spans.is_empty() {
+                return (trace, dropped);
+            }
+            // Keep the newest spans, scaled to the byte budget with 10%
+            // slack; always drop at least one so the loop terminates.
+            let keep = (spans.len() * max_bytes / rendered).saturating_sub(spans.len() / 10);
+            let keep = keep.min(spans.len() - 1);
+            dropped += spans.len() - keep;
+            spans.drain(..spans.len() - keep);
+        }
+    }
+}
+
+/// Point-in-time operational summary of a running service.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Seconds since [`Service::start`].
+    pub uptime_s: f64,
+    /// Currently served model version.
+    pub version: u64,
+    /// Completed background hot-swaps.
+    pub swap_count: u64,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Bounded-queue capacity.
+    pub queue_capacity: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Feedback instances waiting for the next update.
+    pub feedback_len: usize,
+    /// Feedback instances that trigger a batch-full update.
+    pub update_batch: usize,
+    /// Requests answered by workers so far.
+    pub requests: u64,
+    /// Lifetime prediction-cache hit rate in `[0, 1]`.
+    pub cache_hit_rate: f64,
+    /// Lifetime cache hits.
+    pub cache_hits: u64,
+    /// Lifetime cache misses.
+    pub cache_misses: u64,
+    /// Rolling prediction-drift statistics.
+    pub drift: DriftSummary,
 }

@@ -1,0 +1,156 @@
+//! Admin-plane tests: the `stats`/`metrics`/`trace`/`health` TCP ops
+//! against a live server, and the drift monitor triggering a model swap
+//! before the fixed feedback batch would have.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lite_core::amu::AmuConfig;
+use lite_core::experiment::{Dataset, DatasetBuilder};
+use lite_core::necs::NecsConfig;
+use lite_core::recommend::LiteTuner;
+use lite_obs::{Json, Registry, Tracer};
+use lite_serve::{DriftConfig, ModelSnapshot, ServeConfig, Service};
+use lite_sparksim::cluster::ClusterSpec;
+use lite_sparksim::exec::simulate;
+use lite_workloads::apps::{build_job, AppId};
+use lite_workloads::data::SizeTier;
+
+fn trained() -> (Arc<Dataset>, ModelSnapshot) {
+    let ds = DatasetBuilder {
+        apps: vec![AppId::Sort, AppId::KMeans],
+        clusters: vec![ClusterSpec::cluster_a()],
+        tiers: vec![SizeTier::Train(0), SizeTier::Train(2)],
+        confs_per_cell: 3,
+        seed: 41,
+    }
+    .build();
+    let tuner = LiteTuner::from_dataset(
+        &ds,
+        NecsConfig { epochs: 2, batch_size: 256, ..Default::default() },
+        41,
+    );
+    let snapshot = ModelSnapshot::from_tuner(&tuner);
+    (Arc::new(ds), snapshot)
+}
+
+fn quick_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_capacity: 32,
+        update_batch: 12,
+        amu: AmuConfig { epochs: 1, half_batch: 32, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn admin_ops_answer_over_tcp() {
+    let (ds, snapshot) = trained();
+    let cluster = ds.clusters[0].clone();
+    let registry = Registry::new();
+    // Enabled tracer so `trace` has spans to export.
+    let service = Service::start(snapshot, ds.clone(), quick_config(), &registry, Tracer::new());
+    let server = lite_serve::net::serve_tcp(service.handle(), "127.0.0.1:0").expect("bind");
+    let mut client = lite_serve::Client::connect(server.local_addr()).expect("connect");
+
+    // health: liveness plus the serving version.
+    assert_eq!(client.health().expect("health"), 0);
+
+    // Generate some traffic so stats/metrics/trace have content.
+    let data = AppId::KMeans.dataset(SizeTier::Valid);
+    let rec = client.recommend(AppId::KMeans, &data, &cluster.name, 2, 3).expect("recommend");
+    assert_eq!(rec.get("ok").and_then(Json::as_bool), Some(true));
+
+    // stats: the operational summary with every advertised field.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(stats.get("version").and_then(Json::as_u64), Some(0));
+    assert_eq!(stats.get("swaps").and_then(Json::as_u64), Some(0));
+    assert_eq!(stats.get("workers").and_then(Json::as_u64), Some(2));
+    assert_eq!(stats.get("queue_capacity").and_then(Json::as_u64), Some(32));
+    assert_eq!(stats.get("update_batch").and_then(Json::as_u64), Some(12));
+    assert!(stats.get("uptime_s").and_then(Json::as_f64).unwrap_or(-1.0) >= 0.0);
+    assert!(stats.get("requests").and_then(Json::as_u64).unwrap_or(0) >= 1);
+    let cache = stats.get("cache").expect("cache object");
+    assert!(cache.get("hit_rate").and_then(Json::as_f64).is_some());
+    let drift = stats.get("drift").expect("drift object");
+    assert_eq!(drift.get("drifted").and_then(Json::as_bool), Some(false));
+    assert!(drift.get("mape").and_then(Json::as_f64).is_some());
+    assert!(drift.get("inversion_rate").and_then(Json::as_f64).is_some());
+
+    // metrics: Prometheus text exposition of the service registry.
+    let text = client.metrics_text().expect("metrics");
+    assert!(text.contains("# TYPE serve_requests counter"), "{text}");
+    assert!(text.contains("# TYPE serve_latency_ns histogram"), "{text}");
+    assert!(text.contains("serve_latency_ns_bucket{le=\"+Inf\"}"), "{text}");
+    assert!(text.contains("serve_latency_ns_count"), "{text}");
+    assert!(text.contains("# TYPE serve_drift_alerts counter"), "{text}");
+
+    // trace: Chrome trace events from the enabled tracer, B/E balanced.
+    let trace = client.trace().expect("trace");
+    let events = trace.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+    assert!(!events.is_empty(), "recommend should have produced spans");
+    assert_eq!(events.len() % 2, 0, "every B has an E");
+    assert!(events.iter().any(|e| e.get("name").and_then(Json::as_str) == Some("serve.request")));
+
+    drop(client);
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn induced_drift_triggers_swap_before_batch_count() {
+    let (ds, snapshot) = trained();
+    let cluster = ds.clusters[0].clone();
+    let registry = Registry::new();
+    // The batch trigger is set far out of reach, so only the drift path
+    // can cause a swap.
+    let config = ServeConfig {
+        update_batch: 100_000,
+        drift: DriftConfig {
+            window: 64,
+            min_samples: 8,
+            mape_threshold: 0.3,
+            inversion_threshold: 0.45,
+        },
+        ..quick_config()
+    };
+    let service = Service::start(snapshot, ds.clone(), config, &registry, Tracer::disabled());
+    let handle = service.handle();
+
+    let data = AppId::KMeans.dataset(SizeTier::Valid);
+    let plan = build_job(AppId::KMeans, &data);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut seed = 4100u64;
+    let mut observes = 0u64;
+    while handle.swap_count() == 0 {
+        assert!(Instant::now() < deadline, "drift never triggered a swap");
+        let rec = handle.recommend(AppId::KMeans, &data, &cluster, 1, seed).expect("recommend");
+        let mut result = simulate(&cluster, &rec.ranked[0].conf, &plan, seed);
+        // Skew the response surface: the "cluster" now runs 4x slower than
+        // anything the model was trained on, so MAPE blows past 0.3.
+        result.total_time_s *= 4.0;
+        for stage in &mut result.stages {
+            stage.duration_s *= 4.0;
+        }
+        handle
+            .observe(AppId::KMeans, &data, &cluster, &rec.ranked[0].conf, &result)
+            .expect("observe");
+        observes += 1;
+        seed += 1;
+    }
+
+    assert!((handle.feedback_len() as u64) < 100_000, "drift must fire before the batch count");
+    assert!(observes < 1_000, "drift should trigger within a few windows, took {observes}");
+    assert!(handle.version() >= 1, "swap publishes a new version");
+    let snap = registry.snapshot();
+    assert!(
+        snap.counter("serve.drift.alerts").unwrap_or(0) >= 1,
+        "drift alert counter must fire: {:?}",
+        snap.counters
+    );
+    // Post-swap the monitor starts a fresh window for the new model.
+    assert!(handle.drift().samples < 64, "monitor reset after swap");
+    service.shutdown();
+}

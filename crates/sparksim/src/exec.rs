@@ -177,7 +177,7 @@ pub struct SimMetrics {
     pub gc_seconds: Histogram,
     /// Per-stage simulated duration (microseconds).
     pub stage_duration: Histogram,
-    /// Per-task simulated duration (microseconds). Only populated when
+    /// Per-task simulated duration (nanoseconds). Only populated when
     /// [`SimObs::collect_tasks`] is set: per-task observation is opt-in
     /// detail, like [`StageStats::tasks`] itself.
     pub task_duration: Histogram,
@@ -197,9 +197,9 @@ impl SimMetrics {
             stragglers: registry.counter("sim.stragglers"),
             spill_bytes: registry.counter("sim.spill_bytes"),
             shuffle_fetch_rounds: registry.counter("sim.shuffle.fetch_rounds"),
-            gc_seconds: registry.histogram("sim.stage.gc_us"),
-            stage_duration: registry.histogram("sim.stage.duration_us"),
-            task_duration: registry.histogram("sim.task.duration_us"),
+            gc_seconds: registry.histogram("sim.stage.gc_ns"),
+            stage_duration: registry.histogram("sim.stage.duration_ns"),
+            task_duration: registry.histogram("sim.task.duration_ns"),
             cache_hit_rate: registry.gauge("sim.cache_hit_rate"),
         }
     }
@@ -957,7 +957,7 @@ mod tests {
         let waves: u64 =
             r.stages.iter().map(|s| u64::from(s.num_tasks.div_ceil(r.slots.max(1)))).sum();
         assert_eq!(snap.counter("sim.waves"), Some(waves));
-        assert_eq!(snap.histogram("sim.task.duration_us").map(|h| h.count), Some(total_tasks));
+        assert_eq!(snap.histogram("sim.task.duration_ns").map(|h| h.count), Some(total_tasks));
     }
 
     #[test]

@@ -18,4 +18,14 @@ echo "==> cargo test -q --workspace"
 # `cargo test` would only run the root package's suites.
 cargo test -q --workspace
 
+# Non-fatal reminder: flag run manifests that predate the current commit,
+# so stale benchmark evidence is not mistaken for fresh results.
+head_ts=$(git log -1 --format=%ct 2>/dev/null || echo 0)
+for manifest in results/*.manifest.jsonl; do
+    [ -e "$manifest" ] || continue
+    if [ "$(stat -c %Y "$manifest" 2>/dev/null || echo 0)" -lt "$head_ts" ]; then
+        echo "note: $manifest is older than HEAD — rerun its scenario (make loadtest / make scrape) to refresh"
+    fi
+done
+
 echo "verify: OK"
