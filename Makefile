@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the full pre-merge gate.
 
-.PHONY: verify fmt lint build test bench quick loadtest scrape demo
+.PHONY: verify fmt lint build test bench quick loadtest chaos scrape demo
 
 verify:
 	./scripts/verify.sh
@@ -30,6 +30,13 @@ quick:
 # results/serve_loadtest.manifest.jsonl.
 loadtest:
 	cargo run --release -p lite-bench --bin serve_loadtest
+
+# Chaos scenario: the service under an armed fault injector (torn frames,
+# updater panics, failed swaps, scoring failures, simulator wounds) with
+# retrying circuit-breaking clients; fails on any permanently lost request
+# or Internal error. Manifest goes to results/chaos_loadtest.manifest.jsonl.
+chaos:
+	cargo run --release -p lite-bench --bin chaos_loadtest
 
 # Telemetry-plane scenario: scrape the stats/metrics/trace/health admin
 # ops under recommend traffic while induced prediction drift triggers a

@@ -37,6 +37,12 @@ fn rfr_features(app: AppId, data: &DataSpec, env: &[f64; 6]) -> Vec<f64> {
 }
 
 impl AdaptiveCandidateGenerator {
+    /// The configuration space candidates are drawn from (the degradation
+    /// path needs its template default when scoring is unavailable).
+    pub fn space(&self) -> &ConfSpace {
+        &self.space
+    }
+
     /// Fit from a training dataset: within each (app, cluster, tier) cell,
     /// the `TOP_FRACTION` fastest runs supply (features → knob value)
     /// training pairs; σ^d is the global std of knob `d` over those top

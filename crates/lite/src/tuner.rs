@@ -1,0 +1,241 @@
+//! The unified tuner interface.
+//!
+//! Every tuning method in this workspace — LITE itself, the
+//! Bayesian-optimization and DDPG competitors, the random/default
+//! baselines — historically exposed a bespoke call shape, which forced
+//! `serve` and `bench` to special-case each backend. [`Tuner`] is the one
+//! contract they all speak now:
+//!
+//! * [`Tuner::recommend`] — map a [`TuneRequest`] (application, data,
+//!   cluster, candidate count, seed) to a [`TuneResult`] (ranked
+//!   configurations, best first). Takes `&self` so a service can serve
+//!   many recommendations concurrently; stateful tuners wrap their
+//!   mutable internals in a lock.
+//! * [`Tuner::observe`] — feed back one executed run ([`Feedback`]) so
+//!   online tuners learn from what actually happened.
+//!
+//! The trait is intentionally narrow: model retraining policy (when LITE
+//! runs Adaptive Model Update, how BO refits its surrogate) stays inside
+//! each implementation — callers only recommend and observe.
+
+use crate::recommend::{LiteTuner, RankedCandidate};
+use lite_sparksim::cluster::ClusterSpec;
+use lite_sparksim::conf::{ConfSpace, SparkConf};
+use lite_sparksim::result::RunResult;
+use lite_workloads::apps::AppId;
+use lite_workloads::data::DataSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One tuning question: "which configurations should this application run
+/// with, here, now?"
+#[derive(Debug, Clone)]
+pub struct TuneRequest {
+    /// The application to tune.
+    pub app: AppId,
+    /// Its input data.
+    pub data: DataSpec,
+    /// The cluster it will run on.
+    pub cluster: ClusterSpec,
+    /// How many ranked candidates the caller wants (tuners may return
+    /// fewer; trial-driven tuners like DDPG propose one at a time).
+    pub k: usize,
+    /// Determinism seed: the same request with the same tuner state gives
+    /// the same answer.
+    pub seed: u64,
+}
+
+/// A tuner's answer: candidates ranked best-first.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// Ranked candidates (best first). Never empty on `Ok`.
+    pub ranked: Vec<RankedCandidate>,
+    /// True when the answer came from a degraded path (e.g. scoring was
+    /// unavailable and the tuner fell back to a safe default).
+    pub degraded: bool,
+}
+
+/// One executed run reported back to the tuner.
+#[derive(Debug, Clone)]
+pub struct Feedback {
+    /// The application that ran.
+    pub app: AppId,
+    /// Its input data.
+    pub data: DataSpec,
+    /// The cluster it ran on.
+    pub cluster: ClusterSpec,
+    /// The configuration it ran under.
+    pub conf: SparkConf,
+    /// What happened.
+    pub result: RunResult,
+}
+
+/// Why a tuner could not answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneError {
+    /// The application was never seen and this tuner has no cold-start
+    /// path (LITE's cold path needs `&mut` instrumentation; a serving
+    /// layer decides when to take it).
+    ColdApp(AppId),
+    /// The tuner's internals are unavailable (reason attached).
+    Unavailable(&'static str),
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::ColdApp(app) => write!(f, "cold application: {app}"),
+            TuneError::Unavailable(why) => write!(f, "tuner unavailable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+/// The unified tuning interface. See the module docs.
+pub trait Tuner: Send + Sync {
+    /// Short stable name ("lite", "bo", "ddpg", "random", "default") for
+    /// manifests, stats and logs.
+    fn name(&self) -> &'static str;
+
+    /// Rank candidate configurations for a request.
+    fn recommend(&self, req: &TuneRequest) -> Result<TuneResult, TuneError>;
+
+    /// Report one executed run back to the tuner.
+    fn observe(&mut self, fb: Feedback);
+}
+
+impl Tuner for LiteTuner {
+    fn name(&self) -> &'static str {
+        "lite"
+    }
+
+    /// Warm-path LITE: ACG sampling + batched NECS ranking. Cold apps are
+    /// an error — instrumenting them mutates the registry, which is the
+    /// owner's call, not the trait's.
+    fn recommend(&self, req: &TuneRequest) -> Result<TuneResult, TuneError> {
+        let mut ranked = LiteTuner::recommend(self, req.app, &req.data, &req.cluster, req.seed)
+            .ok_or(TuneError::ColdApp(req.app))?;
+        ranked.truncate(req.k.max(1));
+        Ok(TuneResult { ranked, degraded: false })
+    }
+
+    /// Accumulates stage-level feedback instances; Adaptive Model Update
+    /// still runs on the owner's schedule (it needs the source dataset).
+    fn observe(&mut self, fb: Feedback) {
+        LiteTuner::observe(self, fb.app, &fb.data, &fb.cluster, &fb.conf, &fb.result);
+    }
+}
+
+/// Seeded random-search baseline: uniform samples from the configuration
+/// space, no learning. The floor every learned tuner must beat.
+#[derive(Debug, Clone)]
+pub struct RandomTuner {
+    /// The space to sample.
+    pub space: ConfSpace,
+}
+
+impl Tuner for RandomTuner {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn recommend(&self, req: &TuneRequest) -> Result<TuneResult, TuneError> {
+        let mut rng = StdRng::seed_from_u64(req.seed ^ (req.app.index() as u64) << 40);
+        let ranked = (0..req.k.max(1))
+            .map(|_| RankedCandidate { conf: self.space.sample(&mut rng), predicted_s: 0.0 })
+            .collect();
+        Ok(TuneResult { ranked, degraded: false })
+    }
+
+    fn observe(&mut self, _fb: Feedback) {}
+}
+
+/// The no-tuning baseline: always the space's template default
+/// configuration (what an untuned job actually runs with). Also the
+/// terminal rung of the serving degradation ladder.
+#[derive(Debug, Clone)]
+pub struct DefaultConfTuner {
+    /// The space whose default is served.
+    pub space: ConfSpace,
+}
+
+impl Tuner for DefaultConfTuner {
+    fn name(&self) -> &'static str {
+        "default"
+    }
+
+    fn recommend(&self, _req: &TuneRequest) -> Result<TuneResult, TuneError> {
+        let ranked = vec![RankedCandidate { conf: self.space.default_conf(), predicted_s: 0.0 }];
+        Ok(TuneResult { ranked, degraded: false })
+    }
+
+    fn observe(&mut self, _fb: Feedback) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lite_workloads::data::SizeTier;
+
+    fn request(seed: u64) -> TuneRequest {
+        TuneRequest {
+            app: AppId::Sort,
+            data: AppId::Sort.dataset(SizeTier::Valid),
+            cluster: ClusterSpec::cluster_a(),
+            k: 5,
+            seed,
+        }
+    }
+
+    #[test]
+    fn random_tuner_is_seed_deterministic_and_valid() {
+        let t = RandomTuner { space: ConfSpace::table_iv() };
+        let a = t.recommend(&request(3)).unwrap();
+        let b = t.recommend(&request(3)).unwrap();
+        assert_eq!(a.ranked.len(), 5);
+        for (x, y) in a.ranked.iter().zip(b.ranked.iter()) {
+            assert_eq!(x.conf, y.conf);
+            assert!(t.space.is_valid(&x.conf));
+        }
+        let c = t.recommend(&request(4)).unwrap();
+        assert_ne!(a.ranked[0].conf, c.ranked[0].conf);
+    }
+
+    #[test]
+    fn default_tuner_always_serves_the_template_default() {
+        let space = ConfSpace::table_iv();
+        let t = DefaultConfTuner { space: space.clone() };
+        let r = t.recommend(&request(9)).unwrap();
+        assert_eq!(r.ranked.len(), 1);
+        assert_eq!(r.ranked[0].conf, space.default_conf());
+        assert!(!r.degraded);
+    }
+
+    #[test]
+    fn baselines_are_object_safe_and_thread_safe() {
+        let mut tuners: Vec<Box<dyn Tuner>> = vec![
+            Box::new(RandomTuner { space: ConfSpace::table_iv() }),
+            Box::new(DefaultConfTuner { space: ConfSpace::table_iv() }),
+        ];
+        for t in &mut tuners {
+            let r = t.recommend(&request(1)).expect("baselines always answer");
+            assert!(!r.ranked.is_empty());
+            t.observe(Feedback {
+                app: AppId::Sort,
+                data: AppId::Sort.dataset(SizeTier::Valid),
+                cluster: ClusterSpec::cluster_a(),
+                conf: r.ranked[0].conf.clone(),
+                result: RunResult {
+                    total_time_s: 10.0,
+                    stages: Vec::new(),
+                    failure: None,
+                    executors: 1,
+                    slots: 1,
+                },
+            });
+        }
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn Tuner>();
+    }
+}

@@ -37,15 +37,21 @@
 pub mod cache;
 pub mod monitor;
 pub mod net;
+pub mod resilience;
 pub mod service;
 pub mod slot;
 pub mod snapshot;
 
 pub use cache::PredictionCache;
 pub use monitor::{DriftConfig, DriftMonitor, DriftSummary};
-pub use net::{Client, TcpServer};
+pub use net::{Client, ErrorCode, OpCode, TcpServer, PROTOCOL_VERSION};
+pub use resilience::{
+    BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker, ClientError, ResilientClient,
+    RetryPolicy,
+};
 pub use service::{
-    RecommendResponse, ServeConfig, ServeError, Service, ServiceHandle, ServiceStats,
+    ConfigError, RecommendResponse, ServeConfig, ServeConfigBuilder, ServeError, Service,
+    ServiceHandle, ServiceStats,
 };
 pub use slot::{SlotReader, VersionedSlot};
 pub use snapshot::ModelSnapshot;
@@ -64,4 +70,7 @@ const _: () = {
     assert_send_sync::<service::ServeError>();
     assert_send_sync::<monitor::DriftMonitor>();
     assert_send_sync::<monitor::DriftSummary>();
+    assert_send_sync::<resilience::CircuitBreaker>();
+    assert_send_sync::<resilience::ResilientClient>();
+    assert_send_sync::<lite_sparksim::fault::FaultInjector>();
 };

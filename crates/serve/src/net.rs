@@ -38,6 +38,17 @@
 //!
 //! `cluster` is either a preset name (`"cluster-a"`/`"cluster-b"`/
 //! `"cluster-c"`) or a full object with the Table III fields.
+//!
+//! ## Protocol v2
+//!
+//! Requests carrying a `"v"` key speak the v2 envelope: numeric op codes
+//! (`{"v":2,"o":1,...}` with [`OpCode`]), structured numeric error codes
+//! (`{"v":2,"ok":false,"c":1,"code":"overloaded","error":...}` with
+//! [`ErrorCode`]), and version negotiation via the `hello` op
+//! (`{"op":"hello","max":2}` → `{"ok":true,"v":2}`, the server choosing
+//! `min(client max, server max)`). Payload field names are shared with v1,
+//! so v2 costs no second parser; requests without `"v"` keep decoding as
+//! v1 byte-for-byte. Success responses under v2 are stamped `"v":2`.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -48,6 +59,7 @@ use std::thread::JoinHandle;
 use lite_obs::Json;
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::conf::{ConfSpace, SparkConf, NUM_KNOBS};
+use lite_sparksim::fault::FaultKind;
 use lite_sparksim::result::{FailureReason, RunResult, StageStats};
 use lite_workloads::apps::AppId;
 use lite_workloads::data::DataSpec;
@@ -58,6 +70,151 @@ use crate::service::{RecommendResponse, ServeError, ServiceHandle, ServiceStats}
 /// Largest accepted frame payload; recommendation traffic is tiny, so
 /// anything bigger is a protocol error, not a workload.
 const MAX_FRAME: u32 = 1 << 20;
+
+/// Newest protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// v2 numeric operation codes (v1 uses the same operations by name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpCode {
+    /// Liveness + serving version.
+    Ping = 0,
+    /// Top-k recommendation.
+    Recommend = 1,
+    /// Executed-configuration feedback.
+    Observe = 2,
+    /// Operational summary.
+    Stats = 3,
+    /// Prometheus text exposition.
+    Metrics = 4,
+    /// Chrome trace-event JSON.
+    Trace = 5,
+    /// Probe endpoint.
+    Health = 6,
+    /// Version negotiation (valid from v1 too, by name).
+    Hello = 7,
+}
+
+impl OpCode {
+    /// All operations, for exhaustive round-trip tests.
+    pub const ALL: [OpCode; 8] = [
+        OpCode::Ping,
+        OpCode::Recommend,
+        OpCode::Observe,
+        OpCode::Stats,
+        OpCode::Metrics,
+        OpCode::Trace,
+        OpCode::Health,
+        OpCode::Hello,
+    ];
+
+    /// The numeric wire code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// The v1 `"op"` string.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpCode::Ping => "ping",
+            OpCode::Recommend => "recommend",
+            OpCode::Observe => "observe",
+            OpCode::Stats => "stats",
+            OpCode::Metrics => "metrics",
+            OpCode::Trace => "trace",
+            OpCode::Health => "health",
+            OpCode::Hello => "hello",
+        }
+    }
+
+    /// Decode a v2 numeric op code.
+    pub fn from_code(code: u64) -> Option<OpCode> {
+        OpCode::ALL.into_iter().find(|op| u64::from(op.code()) == code)
+    }
+
+    /// Decode a v1 op name.
+    pub fn from_name(name: &str) -> Option<OpCode> {
+        OpCode::ALL.into_iter().find(|op| op.name() == name)
+    }
+}
+
+/// Structured wire error codes. v1 serializes only the snake_case name;
+/// v2 additionally carries the numeric code in `"c"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The request queue was full; shed at admission.
+    Overloaded = 1,
+    /// The deadline passed before a worker picked the request up.
+    DeadlineExceeded = 2,
+    /// The service answered from its degradation fallback. Never produced
+    /// by the server as an error (degraded responses succeed with
+    /// `"degraded":true`); reserved for clients that promote them.
+    Degraded = 3,
+    /// The service is shutting down.
+    ShuttingDown = 4,
+    /// A server-side bug; surfaced, not hung.
+    Internal = 5,
+    /// The app's templates are not in the serving snapshot.
+    ColdApp = 6,
+    /// The request itself was malformed.
+    BadRequest = 7,
+}
+
+impl ErrorCode {
+    /// All codes, for exhaustive round-trip tests.
+    pub const ALL: [ErrorCode; 7] = [
+        ErrorCode::Overloaded,
+        ErrorCode::DeadlineExceeded,
+        ErrorCode::Degraded,
+        ErrorCode::ShuttingDown,
+        ErrorCode::Internal,
+        ErrorCode::ColdApp,
+        ErrorCode::BadRequest,
+    ];
+
+    /// The numeric wire code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// The snake_case name (the v1 `"code"` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::Degraded => "degraded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+            ErrorCode::ColdApp => "cold_app",
+            ErrorCode::BadRequest => "bad_request",
+        }
+    }
+
+    /// Decode a numeric wire code.
+    pub fn from_code(code: u64) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| u64::from(c.code()) == code)
+    }
+
+    /// Decode a snake_case name.
+    pub fn from_name(name: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// Extract the error code from a response document, understanding both
+    /// the v2 numeric `"c"` and the v1 string `"code"` forms. `None` for
+    /// successful responses.
+    pub fn from_response(resp: &Json) -> Option<ErrorCode> {
+        if resp.get("ok").and_then(Json::as_bool) != Some(false) {
+            return None;
+        }
+        if let Some(c) = resp.get("c").and_then(Json::as_u64) {
+            return ErrorCode::from_code(c);
+        }
+        resp.get("code").and_then(Json::as_str).and_then(ErrorCode::from_name)
+    }
+}
 
 /// Write one length-prefixed frame.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
@@ -161,6 +318,7 @@ pub fn serve_tcp<A: ToSocketAddrs>(handle: ServiceHandle, addr: A) -> std::io::R
 
 fn connection_loop(mut stream: TcpStream, handle: ServiceHandle) {
     let space = ConfSpace::table_iv();
+    let faults = handle.fault_injector();
     loop {
         let payload = match read_frame(&mut stream) {
             Ok(Some(p)) => p,
@@ -171,8 +329,24 @@ fn connection_loop(mut stream: TcpStream, handle: ServiceHandle) {
             .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
         {
             Ok(request) => dispatch(&handle, &space, &request),
-            Err(msg) => wire_error("bad_request", &msg),
+            Err(msg) => wire_error(false, ErrorCode::BadRequest, &msg),
         };
+        // Injected torn frame: the length prefix promises a full payload
+        // but the connection dies halfway through writing it. Clients must
+        // treat the connection as dead and reconnect (resilient clients
+        // retry the request on a fresh one).
+        if let Some(f) = faults.as_deref() {
+            if f.fires(FaultKind::TornFrame, f.next_key()) {
+                let rendered = response.render();
+                let bytes = rendered.as_bytes();
+                if let Ok(len) = u32::try_from(bytes.len()) {
+                    let _ = stream.write_all(&len.to_be_bytes());
+                    let _ = stream.write_all(&bytes[..bytes.len() / 2]);
+                    let _ = stream.flush();
+                }
+                return;
+            }
+        }
         if write_frame(&mut stream, response.render().as_bytes()).is_err() {
             return;
         }
@@ -180,22 +354,33 @@ fn connection_loop(mut stream: TcpStream, handle: ServiceHandle) {
 }
 
 fn dispatch(handle: &ServiceHandle, space: &ConfSpace, request: &Json) -> Json {
-    let op = request.get("op").and_then(Json::as_str).unwrap_or("");
+    let v2 = match request.get("v").and_then(Json::as_u64) {
+        Some(2) => true,
+        Some(v) => {
+            return wire_error(true, ErrorCode::BadRequest, &format!("unsupported version {v}"))
+        }
+        None => false,
+    };
+    let op = if v2 {
+        request.get("o").and_then(Json::as_u64).and_then(OpCode::from_code)
+    } else {
+        request.get("op").and_then(Json::as_str).and_then(OpCode::from_name)
+    };
     let outcome = match op {
-        "ping" => Ok(Json::obj(vec![
+        Some(OpCode::Ping) => Ok(Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("version", Json::from(handle.version())),
             ("swaps", Json::from(handle.swap_count())),
         ])),
-        "recommend" => wire_recommend(handle, request),
-        "observe" => wire_observe(handle, space, request),
-        "stats" => Ok(stats_to_json(&handle.stats())),
-        "metrics" => Ok(Json::obj(vec![
+        Some(OpCode::Recommend) => wire_recommend(handle, request),
+        Some(OpCode::Observe) => wire_observe(handle, space, request),
+        Some(OpCode::Stats) => Ok(stats_to_json(&handle.stats())),
+        Some(OpCode::Metrics) => Ok(Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("content_type", Json::from("text/plain; version=0.0.4")),
             ("body", Json::from(handle.prometheus().as_str())),
         ])),
-        "trace" => {
+        Some(OpCode::Trace) => {
             // Leave half the frame for the envelope and escaping overhead;
             // oldest spans are shed first when the trace outgrows it.
             let (trace, dropped) = handle.trace_json_capped(MAX_FRAME as usize / 2);
@@ -205,21 +390,40 @@ fn dispatch(handle: &ServiceHandle, space: &ConfSpace, request: &Json) -> Json {
                 ("dropped_spans", Json::from(dropped)),
             ]))
         }
-        "health" => Ok(Json::obj(vec![
+        Some(OpCode::Health) => Ok(Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("status", Json::from("ok")),
             ("version", Json::from(handle.version())),
             ("uptime_s", Json::Num(handle.stats().uptime_s)),
         ])),
-        _ => Err(("bad_request", "unknown op".to_string())),
+        Some(OpCode::Hello) => {
+            let max = request.get("max").and_then(Json::as_u64).unwrap_or(1);
+            Ok(Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("v", Json::from(max.clamp(1, PROTOCOL_VERSION))),
+            ]))
+        }
+        None => Err((ErrorCode::BadRequest, "unknown op".to_string())),
     };
     match outcome {
+        Ok(json) if v2 => stamp_v2(json),
         Ok(json) => json,
-        Err((code, msg)) => wire_error(code, &msg),
+        Err((code, msg)) => wire_error(v2, code, &msg),
     }
 }
 
-type WireResult = Result<Json, (&'static str, String)>;
+/// Mark a success response as a v2 frame.
+fn stamp_v2(json: Json) -> Json {
+    match json {
+        Json::Obj(mut pairs) => {
+            pairs.insert(0, ("v".to_string(), Json::from(PROTOCOL_VERSION)));
+            Json::Obj(pairs)
+        }
+        other => other,
+    }
+}
+
+type WireResult = Result<Json, (ErrorCode, String)>;
 
 fn wire_recommend(handle: &ServiceHandle, request: &Json) -> WireResult {
     let app = parse_app(request.get("app"))?;
@@ -247,22 +451,32 @@ fn wire_observe(handle: &ServiceHandle, space: &ConfSpace, request: &Json) -> Wi
     }
 }
 
-fn error_code(err: &ServeError) -> &'static str {
+fn error_code(err: &ServeError) -> ErrorCode {
     match err {
-        ServeError::Overloaded => "overloaded",
-        ServeError::DeadlineExceeded => "deadline_exceeded",
-        ServeError::ColdApp(_) => "cold_app",
-        ServeError::ShuttingDown => "shutting_down",
-        ServeError::Internal(_) => "internal",
+        ServeError::Overloaded => ErrorCode::Overloaded,
+        ServeError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+        ServeError::ColdApp(_) => ErrorCode::ColdApp,
+        ServeError::ShuttingDown => ErrorCode::ShuttingDown,
+        ServeError::Internal(_) => ErrorCode::Internal,
     }
 }
 
-fn wire_error(code: &'static str, msg: &str) -> Json {
-    Json::obj(vec![
-        ("ok", Json::Bool(false)),
-        ("code", Json::from(code)),
-        ("error", Json::from(msg)),
-    ])
+fn wire_error(v2: bool, code: ErrorCode, msg: &str) -> Json {
+    if v2 {
+        Json::obj(vec![
+            ("v", Json::from(PROTOCOL_VERSION)),
+            ("ok", Json::Bool(false)),
+            ("c", Json::from(u64::from(code.code()))),
+            ("code", Json::from(code.name())),
+            ("error", Json::from(msg)),
+        ])
+    } else {
+        Json::obj(vec![
+            ("ok", Json::Bool(false)),
+            ("code", Json::from(code.name())),
+            ("error", Json::from(msg)),
+        ])
+    }
 }
 
 fn drift_to_json(d: &DriftSummary) -> Json {
@@ -296,6 +510,10 @@ fn stats_to_json(s: &ServiceStats) -> Json {
             ]),
         ),
         ("drift", drift_to_json(&s.drift)),
+        ("degraded", Json::Bool(s.degraded)),
+        ("backend", Json::from(s.backend)),
+        ("updater_failures", Json::from(s.updater_failures)),
+        ("fallbacks", Json::from(s.fallbacks)),
     ])
 }
 
@@ -305,6 +523,7 @@ fn recommend_to_json(resp: &RecommendResponse) -> Json {
         ("version", Json::from(resp.version)),
         ("cached", Json::from(resp.cached)),
         ("scored", Json::from(resp.scored)),
+        ("degraded", Json::Bool(resp.degraded)),
         (
             "ranked",
             Json::Arr(
@@ -328,24 +547,24 @@ fn recommend_to_json(resp: &RecommendResponse) -> Json {
 // ---------------------------------------------------------------------------
 // Wire parsing
 
-fn parse_app(value: Option<&Json>) -> Result<AppId, (&'static str, String)> {
+fn parse_app(value: Option<&Json>) -> Result<AppId, (ErrorCode, String)> {
     let name = value
         .and_then(Json::as_str)
-        .ok_or_else(|| ("bad_request", "missing app name".to_string()))?;
+        .ok_or_else(|| (ErrorCode::BadRequest, "missing app name".to_string()))?;
     AppId::all()
         .iter()
         .copied()
         .find(|a| a.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| ("bad_request", format!("unknown app {name:?}")))
+        .ok_or_else(|| (ErrorCode::BadRequest, format!("unknown app {name:?}")))
 }
 
-fn parse_data(value: Option<&Json>) -> Result<DataSpec, (&'static str, String)> {
-    let obj = value.ok_or_else(|| ("bad_request", "missing data".to_string()))?;
+fn parse_data(value: Option<&Json>) -> Result<DataSpec, (ErrorCode, String)> {
+    let obj = value.ok_or_else(|| (ErrorCode::BadRequest, "missing data".to_string()))?;
     let field = |key: &str| obj.get(key).and_then(Json::as_u64).unwrap_or(0);
     let bytes = obj
         .get("bytes")
         .and_then(Json::as_u64)
-        .ok_or_else(|| ("bad_request", "data.bytes required".to_string()))?;
+        .ok_or_else(|| (ErrorCode::BadRequest, "data.bytes required".to_string()))?;
     Ok(DataSpec {
         rows: field("rows"),
         cols: field("cols") as u32,
@@ -355,18 +574,18 @@ fn parse_data(value: Option<&Json>) -> Result<DataSpec, (&'static str, String)> 
     })
 }
 
-fn parse_cluster(value: Option<&Json>) -> Result<ClusterSpec, (&'static str, String)> {
+fn parse_cluster(value: Option<&Json>) -> Result<ClusterSpec, (ErrorCode, String)> {
     match value {
         Some(Json::Str(name)) => ClusterSpec::all_evaluation_clusters()
             .into_iter()
             .find(|c| c.name.eq_ignore_ascii_case(name))
-            .ok_or_else(|| ("bad_request", format!("unknown cluster preset {name:?}"))),
+            .ok_or_else(|| (ErrorCode::BadRequest, format!("unknown cluster preset {name:?}"))),
         Some(obj @ Json::Obj(_)) => {
             let name = obj.get("name").and_then(Json::as_str).unwrap_or("wire-cluster");
-            let num = |key: &str| -> Result<f64, (&'static str, String)> {
+            let num = |key: &str| -> Result<f64, (ErrorCode, String)> {
                 obj.get(key)
                     .and_then(Json::as_f64)
-                    .ok_or(("bad_request", format!("cluster.{key} required")))
+                    .ok_or((ErrorCode::BadRequest, format!("cluster.{key} required")))
             };
             Ok(ClusterSpec {
                 name: name.to_string(),
@@ -378,49 +597,50 @@ fn parse_cluster(value: Option<&Json>) -> Result<ClusterSpec, (&'static str, Str
                 net_gbps: num("net_gbps")?,
             })
         }
-        _ => Err(("bad_request", "missing cluster (preset name or object)".to_string())),
+        _ => Err((ErrorCode::BadRequest, "missing cluster (preset name or object)".to_string())),
     }
 }
 
-fn parse_conf(
-    space: &ConfSpace,
-    value: Option<&Json>,
-) -> Result<SparkConf, (&'static str, String)> {
+fn parse_conf(space: &ConfSpace, value: Option<&Json>) -> Result<SparkConf, (ErrorCode, String)> {
     let items = value
         .and_then(Json::as_arr)
-        .ok_or_else(|| ("bad_request", "missing conf array".to_string()))?;
+        .ok_or_else(|| (ErrorCode::BadRequest, "missing conf array".to_string()))?;
     if items.len() != NUM_KNOBS {
-        return Err(("bad_request", format!("conf needs {NUM_KNOBS} values, got {}", items.len())));
+        return Err((
+            ErrorCode::BadRequest,
+            format!("conf needs {NUM_KNOBS} values, got {}", items.len()),
+        ));
     }
     let mut values = [0.0f64; NUM_KNOBS];
     for (i, item) in items.iter().enumerate() {
-        values[i] =
-            item.as_f64().ok_or_else(|| ("bad_request", format!("conf[{i}] is not a number")))?;
+        values[i] = item
+            .as_f64()
+            .ok_or_else(|| (ErrorCode::BadRequest, format!("conf[{i}] is not a number")))?;
     }
     Ok(SparkConf::from_values(space, values))
 }
 
-fn parse_result(value: Option<&Json>) -> Result<RunResult, (&'static str, String)> {
-    let obj = value.ok_or_else(|| ("bad_request", "missing result".to_string()))?;
+fn parse_result(value: Option<&Json>) -> Result<RunResult, (ErrorCode, String)> {
+    let obj = value.ok_or_else(|| (ErrorCode::BadRequest, "missing result".to_string()))?;
     let total_time_s = obj
         .get("total_time_s")
         .and_then(Json::as_f64)
-        .ok_or_else(|| ("bad_request", "result.total_time_s required".to_string()))?;
+        .ok_or_else(|| (ErrorCode::BadRequest, "result.total_time_s required".to_string()))?;
     let failed = obj.get("failed").and_then(Json::as_bool).unwrap_or(false);
     let stages_json = obj
         .get("stages")
         .and_then(Json::as_arr)
-        .ok_or_else(|| ("bad_request", "result.stages required".to_string()))?;
+        .ok_or_else(|| (ErrorCode::BadRequest, "result.stages required".to_string()))?;
     let mut stages = Vec::with_capacity(stages_json.len());
     for (i, st) in stages_json.iter().enumerate() {
         let name = st
             .get("name")
             .and_then(Json::as_str)
-            .ok_or_else(|| ("bad_request", format!("stages[{i}].name required")))?;
+            .ok_or_else(|| (ErrorCode::BadRequest, format!("stages[{i}].name required")))?;
         let duration_s = st
             .get("duration_s")
             .and_then(Json::as_f64)
-            .ok_or_else(|| ("bad_request", format!("stages[{i}].duration_s required")))?;
+            .ok_or_else(|| (ErrorCode::BadRequest, format!("stages[{i}].duration_s required")))?;
         let u = |key: &str| st.get(key).and_then(Json::as_u64).unwrap_or(0);
         stages.push(StageStats {
             stage_id: st.get("stage_id").and_then(Json::as_u64).unwrap_or(i as u64) as usize,
@@ -451,9 +671,13 @@ fn parse_result(value: Option<&Json>) -> Result<RunResult, (&'static str, String
 // ---------------------------------------------------------------------------
 // Client
 
-/// A blocking TCP client speaking the framed JSON protocol.
+/// A blocking TCP client speaking the framed JSON protocol. Connects as
+/// v1; [`negotiate`](Client::negotiate) upgrades to the highest protocol
+/// version both sides speak, after which every request uses the v2
+/// envelope transparently.
 pub struct Client {
     stream: TcpStream,
+    version: u64,
 }
 
 impl Client {
@@ -461,7 +685,36 @@ impl Client {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Ok(Client { stream, version: 1 })
+    }
+
+    /// The protocol version requests are encoded with (1 until a
+    /// successful [`negotiate`](Client::negotiate)).
+    pub fn protocol_version(&self) -> u64 {
+        self.version
+    }
+
+    /// `hello`: negotiate the protocol version. The server answers
+    /// `min(our max, its max)`; subsequent requests use that envelope.
+    pub fn negotiate(&mut self) -> std::io::Result<u64> {
+        let resp = self.request(&Json::obj(vec![
+            ("op", Json::from(OpCode::Hello.name())),
+            ("max", Json::from(PROTOCOL_VERSION)),
+        ]))?;
+        let v = resp.get("v").and_then(Json::as_u64).unwrap_or(1);
+        self.version = v.clamp(1, PROTOCOL_VERSION);
+        Ok(self.version)
+    }
+
+    /// Encode an operation under the negotiated protocol version.
+    fn op_frame(&self, op: OpCode, mut fields: Vec<(&str, Json)>) -> Json {
+        let mut pairs = if self.version >= 2 {
+            vec![("v", Json::from(self.version)), ("o", Json::from(u64::from(op.code())))]
+        } else {
+            vec![("op", Json::from(op.name()))]
+        };
+        pairs.append(&mut fields);
+        Json::obj(pairs)
     }
 
     /// Send one request document and block for its response.
@@ -476,9 +729,15 @@ impl Client {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
     }
 
+    /// Send one operation under the negotiated envelope.
+    pub fn request_op(&mut self, op: OpCode, fields: Vec<(&str, Json)>) -> std::io::Result<Json> {
+        let frame = self.op_frame(op, fields);
+        self.request(&frame)
+    }
+
     /// `ping`: the serving model version.
     pub fn ping(&mut self) -> std::io::Result<u64> {
-        let resp = self.request(&Json::obj(vec![("op", Json::from("ping"))]))?;
+        let resp = self.request_op(OpCode::Ping, Vec::new())?;
         resp.get("version").and_then(Json::as_u64).ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "ping response missing version")
         })
@@ -494,14 +753,16 @@ impl Client {
         k: usize,
         seed: u64,
     ) -> std::io::Result<Json> {
-        self.request(&Json::obj(vec![
-            ("op", Json::from("recommend")),
-            ("app", Json::from(app.name())),
-            ("data", data_to_json(data)),
-            ("cluster", Json::from(cluster)),
-            ("k", Json::from(k)),
-            ("seed", Json::from(seed)),
-        ]))
+        self.request_op(
+            OpCode::Recommend,
+            vec![
+                ("app", Json::from(app.name())),
+                ("data", data_to_json(data)),
+                ("cluster", Json::from(cluster)),
+                ("k", Json::from(k)),
+                ("seed", Json::from(seed)),
+            ],
+        )
     }
 
     /// `observe` an executed configuration's outcome against a preset
@@ -514,24 +775,26 @@ impl Client {
         conf: &SparkConf,
         result: &RunResult,
     ) -> std::io::Result<Json> {
-        self.request(&Json::obj(vec![
-            ("op", Json::from("observe")),
-            ("app", Json::from(app.name())),
-            ("data", data_to_json(data)),
-            ("cluster", Json::from(cluster)),
-            ("conf", Json::Arr(conf.values().iter().map(|&v| Json::Num(v)).collect())),
-            ("result", result_to_json(result)),
-        ]))
+        self.request_op(
+            OpCode::Observe,
+            vec![
+                ("app", Json::from(app.name())),
+                ("data", data_to_json(data)),
+                ("cluster", Json::from(cluster)),
+                ("conf", Json::Arr(conf.values().iter().map(|&v| Json::Num(v)).collect())),
+                ("result", result_to_json(result)),
+            ],
+        )
     }
 
     /// `stats`: the operational summary document (check `"ok"`).
     pub fn stats(&mut self) -> std::io::Result<Json> {
-        self.request(&Json::obj(vec![("op", Json::from("stats"))]))
+        self.request_op(OpCode::Stats, Vec::new())
     }
 
     /// `metrics`: the Prometheus text exposition body.
     pub fn metrics_text(&mut self) -> std::io::Result<String> {
-        let resp = self.request(&Json::obj(vec![("op", Json::from("metrics"))]))?;
+        let resp = self.request_op(OpCode::Metrics, Vec::new())?;
         resp.get("body").and_then(Json::as_str).map(str::to_string).ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "metrics response missing body")
         })
@@ -540,7 +803,7 @@ impl Client {
     /// `trace`: the Chrome trace-event document (save to a `.json` file
     /// and open in Perfetto).
     pub fn trace(&mut self) -> std::io::Result<Json> {
-        let resp = self.request(&Json::obj(vec![("op", Json::from("trace"))]))?;
+        let resp = self.request_op(OpCode::Trace, Vec::new())?;
         resp.get("trace").cloned().ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "trace response missing trace")
         })
@@ -548,7 +811,7 @@ impl Client {
 
     /// `health`: `Ok(version)` when the server answers `status: "ok"`.
     pub fn health(&mut self) -> std::io::Result<u64> {
-        let resp = self.request(&Json::obj(vec![("op", Json::from("health"))]))?;
+        let resp = self.request_op(OpCode::Health, Vec::new())?;
         match (resp.get("status").and_then(Json::as_str), resp.get("version")) {
             (Some("ok"), Some(v)) => v.as_u64().ok_or_else(|| {
                 std::io::Error::new(std::io::ErrorKind::InvalidData, "bad health version")

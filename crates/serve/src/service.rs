@@ -9,10 +9,27 @@
 //! being scored. Workers never block on the updater: they read the model
 //! through a [`SlotReader`](crate::slot::SlotReader), so a swap costs a
 //! request one mutex acquisition at most, once.
+//!
+//! The service fronts one of two [`Backend`]s behind the same handle and
+//! wire protocol: the snapshot backend ([`Service::start`]) serves NECS
+//! model snapshots with caching, drift monitoring, and background
+//! Adaptive Model Update swaps; the tuner backend ([`Service::start_tuner`])
+//! serves any [`Tuner`] implementation (LITE, Bayesian optimization, DDPG,
+//! baselines) through the unified trait, so every tuner in the workspace
+//! is servable without its own service stack.
+//!
+//! Resilience: every fault hook branches on `config.faults` being `None`
+//! (zero cost when disabled). When the background update fails — an
+//! injected panic, a real panic in AMU, or a failed swap — the service
+//! *degrades* instead of dying: the last-good snapshot stays pinned, the
+//! `serve.degraded` gauge rises, and the batch is dropped. When NECS
+//! scoring itself fails, recommendations fall back to the template
+//! registry's default configuration, flagged `degraded` in the response.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -20,9 +37,11 @@ use lite_core::amu::{adaptive_model_update, AmuConfig};
 use lite_core::experiment::{extract_stage_instances, Dataset};
 use lite_core::features::StageInstance;
 use lite_core::recommend::{score_candidates, RankedCandidate};
+use lite_core::tuner::{Feedback as TunerFeedback, TuneError, TuneRequest, Tuner};
 use lite_obs::{Counter, Gauge, Histogram, Registry, Tracer};
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::conf::SparkConf;
+use lite_sparksim::fault::{FaultInjector, FaultKind};
 use lite_sparksim::result::RunResult;
 use lite_workloads::apps::AppId;
 use lite_workloads::data::DataSpec;
@@ -76,12 +95,16 @@ pub struct RecommendResponse {
     pub cached: usize,
     /// Candidates scored through the batched NECS pass.
     pub scored: usize,
+    /// `true` when scoring failed and the response is the degradation
+    /// fallback (the template registry's default configuration, unscored).
+    pub degraded: bool,
 }
 
 // ---------------------------------------------------------------------------
 // Configuration
 
-/// Service tuning knobs.
+/// Service tuning knobs. Construct via [`ServeConfig::builder`], which
+/// validates the cross-field invariants; `Default` is always valid.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads answering requests. `0` spawns no workers (useful
@@ -93,6 +116,10 @@ pub struct ServeConfig {
     /// Deadline applied by [`ServiceHandle::recommend`] and friends when
     /// the caller does not pass one explicitly.
     pub default_deadline: Duration,
+    /// Hard ceiling on any request deadline; explicit deadlines are
+    /// clamped to it at submission so one caller cannot park a request in
+    /// the queue forever.
+    pub max_deadline: Duration,
     /// Observed feedback instances that trigger a background model update.
     pub update_batch: usize,
     /// Prediction-cache shards.
@@ -105,6 +132,9 @@ pub struct ServeConfig {
     /// feedback exceeds them, the updater retrains on whatever feedback
     /// has accumulated instead of waiting for a full `update_batch`.
     pub drift: DriftConfig,
+    /// Fault-injection hooks for chaos testing. `None` disables every
+    /// hook; each disabled hook costs one branch on this option.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for ServeConfig {
@@ -113,12 +143,146 @@ impl Default for ServeConfig {
             workers: 4,
             queue_capacity: 64,
             default_deadline: Duration::from_secs(2),
+            max_deadline: Duration::from_secs(60),
             update_batch: 50,
             cache_shards: 8,
             cache_capacity_per_shard: 512,
             amu: AmuConfig::default(),
             drift: DriftConfig::default(),
+            faults: None,
         }
+    }
+}
+
+impl ServeConfig {
+    /// A validating builder (the supported construction path; direct
+    /// struct literals skip the invariant checks below).
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder { config: ServeConfig::default() }
+    }
+
+    /// Check the cross-field invariants the builder enforces.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        if self.update_batch == 0 {
+            return Err(ConfigError::ZeroUpdateBatch);
+        }
+        if self.max_deadline.is_zero() || self.default_deadline > self.max_deadline {
+            return Err(ConfigError::InvertedDeadlines);
+        }
+        if self.drift.mape_threshold <= 0.0 || self.drift.inversion_threshold <= 0.0 {
+            return Err(ConfigError::NonPositiveDriftThreshold);
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`ServeConfigBuilder`] refused to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `queue_capacity == 0`: every request would shed at admission.
+    ZeroQueueCapacity,
+    /// `update_batch == 0`: the updater would spin retraining on nothing.
+    ZeroUpdateBatch,
+    /// `default_deadline > max_deadline` (or a zero ceiling): the default
+    /// would be clamped below itself on every request.
+    InvertedDeadlines,
+    /// A drift threshold `<= 0` declares permanent drift and retrains on
+    /// every feedback instance.
+    NonPositiveDriftThreshold,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroQueueCapacity => write!(f, "queue_capacity must be > 0"),
+            ConfigError::ZeroUpdateBatch => write!(f, "update_batch must be > 0"),
+            ConfigError::InvertedDeadlines => {
+                write!(f, "default_deadline must be <= max_deadline (and max_deadline > 0)")
+            }
+            ConfigError::NonPositiveDriftThreshold => {
+                write!(f, "drift thresholds must be > 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`ServeConfig`] that rejects invalid combinations at
+/// [`build`](ServeConfigBuilder::build) time.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Worker threads answering requests.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = n;
+        self
+    }
+
+    /// Bounded queue capacity (must be > 0).
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.config.queue_capacity = n;
+        self
+    }
+
+    /// Default per-request deadline.
+    pub fn default_deadline(mut self, d: Duration) -> Self {
+        self.config.default_deadline = d;
+        self
+    }
+
+    /// Hard ceiling on any request deadline.
+    pub fn max_deadline(mut self, d: Duration) -> Self {
+        self.config.max_deadline = d;
+        self
+    }
+
+    /// Feedback instances that trigger a background update (must be > 0).
+    pub fn update_batch(mut self, n: usize) -> Self {
+        self.config.update_batch = n;
+        self
+    }
+
+    /// Prediction-cache shard count.
+    pub fn cache_shards(mut self, n: usize) -> Self {
+        self.config.cache_shards = n;
+        self
+    }
+
+    /// Prediction-cache entries per shard (`0` disables caching).
+    pub fn cache_capacity_per_shard(mut self, n: usize) -> Self {
+        self.config.cache_capacity_per_shard = n;
+        self
+    }
+
+    /// Adaptive Model Update hyper-parameters.
+    pub fn amu(mut self, amu: AmuConfig) -> Self {
+        self.config.amu = amu;
+        self
+    }
+
+    /// Drift thresholds (must be > 0).
+    pub fn drift(mut self, drift: DriftConfig) -> Self {
+        self.config.drift = drift;
+        self
+    }
+
+    /// Arm the fault-injection hooks.
+    pub fn faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.config.faults = Some(faults);
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<ServeConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -307,6 +471,13 @@ struct ServeMetrics {
     drift_inversion: Gauge,
     drift_samples: Gauge,
     drift_alerts: Counter,
+    /// 1 while the service is pinned on a stale snapshot after an updater
+    /// failure, 0 otherwise.
+    degraded: Gauge,
+    /// Background updates that failed (panic or failed swap).
+    updater_failures: Counter,
+    /// Recommendations answered by the default-configuration fallback.
+    fallbacks: Counter,
 }
 
 impl ServeMetrics {
@@ -325,35 +496,77 @@ impl ServeMetrics {
             drift_inversion: registry.gauge("serve.drift.inversion_rate"),
             drift_samples: registry.gauge("serve.drift.samples"),
             drift_alerts: registry.counter("serve.drift.alerts"),
+            degraded: registry.gauge("serve.degraded"),
+            updater_failures: registry.counter("serve.updater_failures"),
+            fallbacks: registry.counter("serve.fallbacks"),
         }
     }
 }
 
-struct Shared {
+/// State the snapshot backend needs: the versioned model slot plus the
+/// feedback/update/cache/drift machinery around it.
+struct SnapshotCore {
     slot: VersionedSlot<ModelSnapshot>,
-    queue: BoundedQueue<Job>,
     cache: PredictionCache,
     feedback: Mutex<Vec<StageInstance>>,
     feedback_cv: Condvar,
     feedback_runs: AtomicUsize,
     source: Arc<Dataset>,
+    monitor: DriftMonitor,
+}
+
+/// State the tuner backend needs: any [`Tuner`] behind a read-write lock.
+/// Recommendations take the read side (tuners expose `recommend(&self)`),
+/// observations the write side.
+struct TunerCore {
+    tuner: RwLock<Box<dyn Tuner>>,
+    name: &'static str,
+    observed: AtomicU64,
+}
+
+/// What the worker pool serves from.
+enum Backend {
+    /// NECS model snapshots with hot-swap, caching, and drift-triggered
+    /// background updates (the paper's serving path).
+    Snapshot(SnapshotCore),
+    /// Any [`Tuner`] implementation through the unified trait.
+    Tuner(TunerCore),
+}
+
+impl Backend {
+    fn label(&self) -> &'static str {
+        match self {
+            Backend::Snapshot(_) => "snapshot",
+            Backend::Tuner(core) => core.name,
+        }
+    }
+}
+
+struct Shared {
+    backend: Backend,
+    queue: BoundedQueue<Job>,
     config: ServeConfig,
     shutdown: AtomicBool,
     tracer: Tracer,
     metrics: ServeMetrics,
     /// The registry the service's metrics live in (for admin exposition).
     registry: Registry,
-    monitor: DriftMonitor,
     started: Instant,
     /// Swaps that finished (the slot stamp, mirrored for cheap reads).
     swap_count: AtomicU64,
+    /// Set while serving from a pinned stale snapshot after an updater
+    /// failure; cleared by the next successful swap.
+    degraded: AtomicBool,
 }
 
 // ---------------------------------------------------------------------------
 // Worker
 
 fn worker_loop(shared: Arc<Shared>) {
-    let mut reader = shared.slot.reader();
+    let mut reader = match &shared.backend {
+        Backend::Snapshot(core) => Some(core.slot.reader()),
+        Backend::Tuner(_) => None,
+    };
     while let Some((job, depth)) = shared.queue.pop() {
         shared.metrics.queue_depth.set(depth as f64);
         let now = Instant::now();
@@ -362,19 +575,42 @@ fn worker_loop(shared: Arc<Shared>) {
             job.request.reject(ServeError::DeadlineExceeded);
             continue;
         }
+        // Injected handling latency: stalls this worker the way a slow
+        // downstream dependency would, building real queue pressure.
+        if let Some(f) = shared.config.faults.as_deref() {
+            if let Some(d) = f.fire_delay(FaultKind::RequestDelay, f.next_key()) {
+                std::thread::sleep(d);
+            }
+        }
         match job.request {
             Request::Recommend { app, data, cluster, k, seed, reply } => {
-                let snapshot = shared.slot.load_with(&mut reader).clone();
                 let mut span = shared.tracer.span("serve.request");
-                let outcome = serve_recommend(&shared, &snapshot, app, &data, &cluster, k, seed);
+                let outcome = match &shared.backend {
+                    Backend::Snapshot(core) => {
+                        let snapshot =
+                            core.slot.load_with(reader.as_mut().expect("snapshot reader")).clone();
+                        let outcome = serve_recommend(
+                            &shared, core, &snapshot, app, &data, &cluster, k, seed,
+                        );
+                        if span.is_recording() {
+                            span.attr_u64("version", snapshot.version);
+                        }
+                        shared.metrics.cache_hit_rate.set(core.cache.hit_rate());
+                        outcome
+                    }
+                    Backend::Tuner(core) => tuner_recommend(core, app, &data, &cluster, k, seed),
+                };
                 if span.is_recording() {
                     span.attr_str("app", &app.to_string());
-                    span.attr_u64("version", snapshot.version);
+                    span.attr_str("backend", shared.backend.label());
                     span.attr_f64("queue_wait_s", (now - job.enqueued).as_secs_f64());
                     match &outcome {
                         Ok(resp) => {
                             span.attr_u64("cached", resp.cached as u64);
                             span.attr_u64("scored", resp.scored as u64);
+                            if resp.degraded {
+                                span.attr_str("outcome", "degraded_fallback");
+                            }
                         }
                         Err(err) => span.attr_str("error", &err.to_string()),
                     }
@@ -382,43 +618,62 @@ fn worker_loop(shared: Arc<Shared>) {
                 drop(span);
                 shared.metrics.requests.inc();
                 shared.metrics.latency.record_secs(job.enqueued.elapsed().as_secs_f64());
-                shared.metrics.cache_hit_rate.set(shared.cache.hit_rate());
                 reply.send(outcome);
             }
             Request::Observe { app, data, cluster, conf, result, reply } => {
-                let snapshot = shared.slot.load_with(&mut reader).clone();
-                // Feed the drift monitor: what did *this* model version
-                // predict for the configuration that just ran? Failed runs
-                // carry no meaningful runtime and are skipped.
-                if result.failure.is_none() {
-                    if let Some(pred) = predict_one(&shared, &snapshot, app, &data, &cluster, &conf)
-                    {
-                        shared.monitor.record(pred, result.total_time_s);
+                let outcome = match &shared.backend {
+                    Backend::Snapshot(core) => {
+                        let snapshot =
+                            core.slot.load_with(reader.as_mut().expect("snapshot reader")).clone();
+                        // Feed the drift monitor: what did *this* model
+                        // version predict for the configuration that just
+                        // ran? Failed runs carry no meaningful runtime and
+                        // are skipped.
+                        if result.failure.is_none() {
+                            if let Some(pred) = predict_one(
+                                shared.as_ref(),
+                                core,
+                                &snapshot,
+                                app,
+                                &data,
+                                &cluster,
+                                &conf,
+                            ) {
+                                core.monitor.record(pred, result.total_time_s);
+                            }
+                        }
+                        let run_id =
+                            usize::MAX - core.feedback_runs.fetch_add(1, Ordering::Relaxed);
+                        let mut extracted = Vec::new();
+                        extract_stage_instances(
+                            &snapshot.registry,
+                            app,
+                            &conf,
+                            &data,
+                            &cluster,
+                            &result,
+                            run_id,
+                            &mut extracted,
+                        );
+                        let total = {
+                            let mut feedback = core.feedback.lock().expect("feedback poisoned");
+                            feedback.extend(extracted);
+                            feedback.len()
+                        };
+                        if total >= shared.config.update_batch {
+                            core.feedback_cv.notify_one();
+                        }
+                        Ok(total)
                     }
-                }
-                let run_id = usize::MAX - shared.feedback_runs.fetch_add(1, Ordering::Relaxed);
-                let mut extracted = Vec::new();
-                extract_stage_instances(
-                    &snapshot.registry,
-                    app,
-                    &conf,
-                    &data,
-                    &cluster,
-                    &result,
-                    run_id,
-                    &mut extracted,
-                );
-                let total = {
-                    let mut feedback = shared.feedback.lock().expect("feedback poisoned");
-                    feedback.extend(extracted);
-                    feedback.len()
+                    Backend::Tuner(core) => {
+                        let fb = TunerFeedback { app, data, cluster, conf, result: *result };
+                        core.tuner.write().expect("tuner poisoned").observe(fb);
+                        Ok(core.observed.fetch_add(1, Ordering::AcqRel) as usize + 1)
+                    }
                 };
-                if total >= shared.config.update_batch {
-                    shared.feedback_cv.notify_one();
-                }
                 shared.metrics.requests.inc();
                 shared.metrics.latency.record_secs(job.enqueued.elapsed().as_secs_f64());
-                reply.send(Ok(total));
+                reply.send(outcome);
             }
             Request::Stall { dur, reply } => {
                 std::thread::sleep(dur);
@@ -428,12 +683,39 @@ fn worker_loop(shared: Arc<Shared>) {
     }
 }
 
+/// Serve one recommendation through the unified [`Tuner`] trait.
+fn tuner_recommend(
+    core: &TunerCore,
+    app: AppId,
+    data: &DataSpec,
+    cluster: &ClusterSpec,
+    k: usize,
+    seed: u64,
+) -> Result<RecommendResponse, ServeError> {
+    let req = TuneRequest { app, data: *data, cluster: cluster.clone(), k, seed };
+    let outcome = core.tuner.read().expect("tuner poisoned").recommend(&req);
+    match outcome {
+        Ok(result) => Ok(RecommendResponse {
+            // Tuners have no snapshot version; expose the learning
+            // generation (observed runs) so clients still see progress.
+            version: core.observed.load(Ordering::Acquire),
+            cached: 0,
+            scored: result.ranked.len(),
+            degraded: result.degraded,
+            ranked: result.ranked,
+        }),
+        Err(TuneError::ColdApp(app)) => Err(ServeError::ColdApp(app)),
+        Err(TuneError::Unavailable(msg)) => Err(ServeError::Internal(msg)),
+    }
+}
+
 /// Predict the runtime of one configuration under `snapshot`, answering
 /// from the prediction cache when the pair was already scored at this
 /// version (the common case: `observe` usually follows a `recommend` for
 /// the same context). `None` when the app is cold in the snapshot.
 fn predict_one(
     shared: &Shared,
+    core: &SnapshotCore,
     snapshot: &ModelSnapshot,
     app: AppId,
     data: &DataSpec,
@@ -441,7 +723,7 @@ fn predict_one(
     conf: &SparkConf,
 ) -> Option<f64> {
     let key = CacheKey::new(app, data, cluster, conf);
-    if let Some(v) = shared.cache.get(&key, snapshot.version) {
+    if let Some(v) = core.cache.get(&key, snapshot.version) {
         return Some(v);
     }
     let ctx = snapshot.warm_context(app, data, cluster)?;
@@ -454,12 +736,14 @@ fn predict_one(
         &shared.tracer,
     );
     let v = *scores.first()?;
-    shared.cache.insert(key, snapshot.version, v);
+    core.cache.insert(key, snapshot.version, v);
     Some(v)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_recommend(
     shared: &Shared,
+    core: &SnapshotCore,
     snapshot: &ModelSnapshot,
     app: AppId,
     data: &DataSpec,
@@ -470,12 +754,72 @@ fn serve_recommend(
     let Some(ctx) = snapshot.warm_context(app, data, cluster) else {
         return Err(ServeError::ColdApp(app));
     };
+    let score_broken = shared
+        .config
+        .faults
+        .as_deref()
+        .is_some_and(|f| f.fires(FaultKind::ScoreFail, f.next_key()));
+    let outcome = if score_broken {
+        None
+    } else {
+        // Scoring is the only part of the request that runs model code;
+        // a panic or a non-finite score degrades to the fallback below
+        // instead of killing the worker.
+        catch_unwind(AssertUnwindSafe(|| {
+            score_ranked(shared, core, snapshot, &ctx, app, data, cluster, seed)
+        }))
+        .ok()
+        .filter(|(ranked, _, _)| ranked.iter().all(|r| r.predicted_s.is_finite()))
+    };
+    match outcome {
+        Some((mut ranked, cached, scored)) => {
+            ranked.sort_by(|a, b| a.predicted_s.total_cmp(&b.predicted_s));
+            ranked.truncate(k.max(1));
+            Ok(RecommendResponse {
+                version: snapshot.version,
+                ranked,
+                cached,
+                scored,
+                degraded: false,
+            })
+        }
+        None => {
+            // Degradation ladder, bottom rung: NECS scoring is broken but
+            // the template registry still knows a safe configuration.
+            // Answer the space default, unscored and flagged, rather than
+            // failing the request.
+            shared.metrics.fallbacks.inc();
+            let conf = snapshot.acg.space().default_conf();
+            Ok(RecommendResponse {
+                version: snapshot.version,
+                ranked: vec![RankedCandidate { conf, predicted_s: 0.0 }],
+                cached: 0,
+                scored: 0,
+                degraded: true,
+            })
+        }
+    }
+}
+
+/// The cache-then-batch scoring pass: every candidate for the request,
+/// scored and unsorted, plus (cache hits, fresh scores).
+#[allow(clippy::too_many_arguments)]
+fn score_ranked(
+    shared: &Shared,
+    core: &SnapshotCore,
+    snapshot: &ModelSnapshot,
+    ctx: &lite_core::experiment::PredictionContext,
+    app: AppId,
+    data: &DataSpec,
+    cluster: &ClusterSpec,
+    seed: u64,
+) -> (Vec<RankedCandidate>, usize, usize) {
     let confs = snapshot.acg.candidates_seeded(app, data, &ctx.env, snapshot.num_candidates, seed);
 
     // Cache pass: answer what this model version already predicted.
     let keys: Vec<CacheKey> = confs.iter().map(|c| CacheKey::new(app, data, cluster, c)).collect();
     let mut scores: Vec<Option<f64>> =
-        keys.iter().map(|key| shared.cache.get(key, snapshot.version)).collect();
+        keys.iter().map(|key| core.cache.get(key, snapshot.version)).collect();
     let cached = scores.iter().filter(|s| s.is_some()).count();
 
     // Batched NECS pass over the misses only. Batched scoring is
@@ -493,7 +837,7 @@ fn serve_recommend(
         let fresh = score_candidates(
             &snapshot.model,
             &snapshot.registry,
-            &ctx,
+            ctx,
             cluster,
             &miss_confs,
             &shared.tracer,
@@ -502,26 +846,25 @@ fn serve_recommend(
         for (slot, key) in scores.iter_mut().zip(keys.iter()) {
             if slot.is_none() {
                 let v = fresh.next().expect("one score per miss");
-                shared.cache.insert(*key, snapshot.version, v);
+                core.cache.insert(*key, snapshot.version, v);
                 *slot = Some(v);
             }
         }
     }
 
-    let mut ranked: Vec<RankedCandidate> = confs
+    let ranked: Vec<RankedCandidate> = confs
         .into_iter()
         .zip(scores)
         .map(|(conf, s)| RankedCandidate { conf, predicted_s: s.expect("every candidate scored") })
         .collect();
-    ranked.sort_by(|a, b| a.predicted_s.total_cmp(&b.predicted_s));
-    ranked.truncate(k.max(1));
-    Ok(RecommendResponse { version: snapshot.version, ranked, cached, scored })
+    (ranked, cached, scored)
 }
 
 // ---------------------------------------------------------------------------
 // Updater
 
 fn updater_loop(shared: Arc<Shared>) {
+    let Backend::Snapshot(core) = &shared.backend else { return };
     // Alerts are edge-triggered: one count per transition into drift, not
     // one per 100 ms poll while the condition persists.
     let mut was_drifted = false;
@@ -530,12 +873,12 @@ fn updater_loop(shared: Arc<Shared>) {
         // detected prediction drift with any feedback at all — or shutdown.
         let mut trigger = "batch";
         let batch: Vec<StageInstance> = {
-            let mut feedback = shared.feedback.lock().expect("feedback poisoned");
+            let mut feedback = core.feedback.lock().expect("feedback poisoned");
             loop {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                let drift = shared.monitor.summary();
+                let drift = core.monitor.summary();
                 shared.metrics.drift_mape.set(drift.mape);
                 shared.metrics.drift_mean_error.set(drift.mean_error_s);
                 shared.metrics.drift_inversion.set(drift.inversion_rate);
@@ -551,7 +894,7 @@ fn updater_loop(shared: Arc<Shared>) {
                     trigger = "drift";
                     break std::mem::take(&mut *feedback);
                 }
-                let (guard, _timeout) = shared
+                let (guard, _timeout) = core
                     .feedback_cv
                     .wait_timeout(feedback, Duration::from_millis(100))
                     .expect("feedback poisoned");
@@ -565,14 +908,46 @@ fn updater_loop(shared: Arc<Shared>) {
         // Clone-update-swap: readers keep serving the old version while the
         // fine-tune runs; the swap is the only synchronized step.
         let started = Instant::now();
-        let old = shared.slot.load();
+        let old = core.slot.load();
+        let next_version = old.version + 1;
+        let faults = shared.config.faults.as_deref();
+        // Injected swap latency: the whole pipeline stalls, but readers
+        // keep answering from the pinned version — that is the point.
+        if let Some(d) = faults.and_then(|f| f.fire_delay(FaultKind::SwapDelay, next_version)) {
+            std::thread::sleep(d);
+        }
         let mut span = shared.tracer.span("serve.swap");
-        let mut model = old.model.clone();
-        let src: Vec<&StageInstance> = shared.source.instances.iter().collect();
+        let src: Vec<&StageInstance> = core.source.instances.iter().collect();
         let tgt: Vec<&StageInstance> = batch.iter().collect();
-        adaptive_model_update(&mut model, &old.registry, &src, &tgt, &shared.config.amu);
+        let updated = catch_unwind(AssertUnwindSafe(|| {
+            if faults.is_some_and(|f| f.fires(FaultKind::UpdaterPanic, next_version)) {
+                panic!("injected updater panic (chaos)");
+            }
+            let mut model = old.model.clone();
+            adaptive_model_update(&mut model, &old.registry, &src, &tgt, &shared.config.amu);
+            model
+        }));
+        let swap_failed = faults.is_some_and(|f| f.fires(FaultKind::SwapFail, next_version));
+        let model = match updated {
+            Ok(model) if !swap_failed => model,
+            _ => {
+                // Graceful degradation: the last-good snapshot stays
+                // pinned, the batch is dropped (future feedback re-derives
+                // its signal), and the gauge tells operators that
+                // recommendations are served by a stale model.
+                shared.degraded.store(true, Ordering::Release);
+                shared.metrics.degraded.set(1.0);
+                shared.metrics.updater_failures.inc();
+                if span.is_recording() {
+                    span.attr_u64("version", next_version);
+                    span.attr_str("outcome", "degraded");
+                }
+                drop(span);
+                continue;
+            }
+        };
         let next = ModelSnapshot {
-            version: old.version + 1,
+            version: next_version,
             model,
             acg: old.acg.clone(),
             registry: old.registry.clone(),
@@ -583,14 +958,19 @@ fn updater_loop(shared: Arc<Shared>) {
             span.attr_u64("feedback_instances", tgt.len() as u64);
             span.attr_f64("update_s", started.elapsed().as_secs_f64());
             span.attr_str("trigger", trigger);
+            span.attr_str("outcome", "swapped");
         }
         drop(span);
-        shared.slot.swap(Arc::new(next));
+        core.slot.swap(Arc::new(next));
         shared.swap_count.fetch_add(1, Ordering::Release);
         shared.metrics.swaps.inc();
+        // A successful swap ends any degradation: the serving model is
+        // fresh again.
+        shared.degraded.store(false, Ordering::Release);
+        shared.metrics.degraded.set(0.0);
         // The new version deserves a fresh verdict: clear the drift window
         // so stale errors from the replaced model cannot re-trigger.
-        shared.monitor.reset();
+        core.monitor.reset();
         was_drifted = false;
     }
 }
@@ -622,7 +1002,6 @@ impl Service {
         registry: &Registry,
         tracer: Tracer,
     ) -> Service {
-        let metrics = ServeMetrics::new(registry);
         let cache = PredictionCache::new(
             config.cache_shards.max(1),
             config.cache_capacity_per_shard,
@@ -630,22 +1009,57 @@ impl Service {
             registry.counter("serve.cache_misses"),
         );
         let monitor = DriftMonitor::new(config.drift.clone());
-        let shared = Arc::new(Shared {
+        let backend = Backend::Snapshot(SnapshotCore {
             slot: VersionedSlot::new(Arc::new(snapshot)),
-            queue: BoundedQueue::new(config.queue_capacity),
             cache,
             feedback: Mutex::new(Vec::new()),
             feedback_cv: Condvar::new(),
             feedback_runs: AtomicUsize::new(0),
             source,
+            monitor,
+        });
+        Service::start_backend(backend, config, registry, tracer, true)
+    }
+
+    /// Start the service over any [`Tuner`] implementation — LITE, the
+    /// Bayesian-optimization or DDPG baselines, or random/default
+    /// controls — behind the same handle, wire protocol, queue, and
+    /// admission control as the snapshot path. There is no background
+    /// updater: tuners learn inline from `observe`.
+    pub fn start_tuner(
+        tuner: Box<dyn Tuner>,
+        config: ServeConfig,
+        registry: &Registry,
+        tracer: Tracer,
+    ) -> Service {
+        let name = tuner.name();
+        let backend = Backend::Tuner(TunerCore {
+            tuner: RwLock::new(tuner),
+            name,
+            observed: AtomicU64::new(0),
+        });
+        Service::start_backend(backend, config, registry, tracer, false)
+    }
+
+    fn start_backend(
+        backend: Backend,
+        config: ServeConfig,
+        registry: &Registry,
+        tracer: Tracer,
+        updater: bool,
+    ) -> Service {
+        let metrics = ServeMetrics::new(registry);
+        let shared = Arc::new(Shared {
+            backend,
+            queue: BoundedQueue::new(config.queue_capacity),
             config,
             shutdown: AtomicBool::new(false),
             tracer,
             metrics,
             registry: registry.clone(),
-            monitor,
             started: Instant::now(),
             swap_count: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
         });
         let mut threads = Vec::new();
         for i in 0..shared.config.workers {
@@ -657,7 +1071,7 @@ impl Service {
                     .expect("spawn worker"),
             );
         }
-        {
+        if updater {
             let shared = shared.clone();
             threads.push(
                 std::thread::Builder::new()
@@ -687,7 +1101,9 @@ impl Service {
         for job in self.shared.queue.close() {
             job.request.reject(ServeError::ShuttingDown);
         }
-        self.shared.feedback_cv.notify_all();
+        if let Backend::Snapshot(core) = &self.shared.backend {
+            core.feedback_cv.notify_all();
+        }
         for t in self.threads.drain(..) {
             t.join().expect("serve thread panicked");
         }
@@ -708,6 +1124,7 @@ impl ServiceHandle {
         deadline: Duration,
     ) -> Result<T, ServeError> {
         let now = Instant::now();
+        let deadline = deadline.min(self.shared.config.max_deadline);
         let job = Job { request, enqueued: now, deadline: now + deadline };
         match self.shared.queue.try_push(job) {
             Ok(depth) => self.shared.metrics.queue_depth.set(depth as f64),
@@ -732,7 +1149,8 @@ impl ServiceHandle {
         self.recommend_deadline(app, data, cluster, k, seed, self.shared.config.default_deadline)
     }
 
-    /// Recommend with an explicit deadline (measured from enqueue).
+    /// Recommend with an explicit deadline (measured from enqueue, clamped
+    /// to [`ServeConfig::max_deadline`]).
     pub fn recommend_deadline(
         &self,
         app: AppId,
@@ -749,8 +1167,9 @@ impl ServiceHandle {
     }
 
     /// Report an executed configuration's outcome (paper Step 4a). Returns
-    /// the feedback-buffer size after extraction; reaching the configured
-    /// batch wakes the background updater.
+    /// the feedback-buffer size after extraction (snapshot backend) or the
+    /// total observed runs (tuner backend); reaching the configured batch
+    /// wakes the background updater.
     pub fn observe(
         &self,
         app: AppId,
@@ -778,14 +1197,39 @@ impl ServiceHandle {
         self.submit(Request::Stall { dur, reply: tx }, rx, dur + Duration::from_secs(60))
     }
 
-    /// Current model version.
+    /// Current model version (snapshot backend) or learning generation —
+    /// observed runs — for tuner backends.
     pub fn version(&self) -> u64 {
-        self.shared.slot.load().version
+        match &self.shared.backend {
+            Backend::Snapshot(core) => core.slot.load().version,
+            Backend::Tuner(core) => core.observed.load(Ordering::Acquire),
+        }
     }
 
-    /// Current model snapshot.
-    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
-        self.shared.slot.load()
+    /// Current model snapshot; `None` for tuner backends, which have no
+    /// snapshot to expose.
+    pub fn snapshot(&self) -> Option<Arc<ModelSnapshot>> {
+        match &self.shared.backend {
+            Backend::Snapshot(core) => Some(core.slot.load()),
+            Backend::Tuner(_) => None,
+        }
+    }
+
+    /// The serving backend: `"snapshot"`, or the tuner's name.
+    pub fn backend(&self) -> &'static str {
+        self.shared.backend.label()
+    }
+
+    /// The armed fault injector, if chaos hooks are enabled (the TCP
+    /// front-end shares it for wire-level faults).
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.shared.config.faults.clone()
+    }
+
+    /// Whether the service is currently degraded (serving a pinned stale
+    /// snapshot after an updater failure).
+    pub fn degraded(&self) -> bool {
+        self.shared.degraded.load(Ordering::Acquire)
     }
 
     /// Completed background hot-swaps.
@@ -793,9 +1237,13 @@ impl ServiceHandle {
         self.shared.swap_count.load(Ordering::Acquire)
     }
 
-    /// Feedback instances waiting for the next update.
+    /// Feedback instances waiting for the next update (always 0 for tuner
+    /// backends: they consume feedback inline).
     pub fn feedback_len(&self) -> usize {
-        self.shared.feedback.lock().expect("feedback poisoned").len()
+        match &self.shared.backend {
+            Backend::Snapshot(core) => core.feedback.lock().expect("feedback poisoned").len(),
+            Backend::Tuner(_) => 0,
+        }
     }
 
     /// Requests currently queued.
@@ -803,19 +1251,36 @@ impl ServiceHandle {
         self.shared.queue.len()
     }
 
-    /// Lifetime prediction-cache hit rate in `[0, 1]`.
+    /// Lifetime prediction-cache hit rate in `[0, 1]` (0 for tuner
+    /// backends: they do not cache).
     pub fn cache_hit_rate(&self) -> f64 {
-        self.shared.cache.hit_rate()
+        match &self.shared.backend {
+            Backend::Snapshot(core) => core.cache.hit_rate(),
+            Backend::Tuner(_) => 0.0,
+        }
     }
 
     /// Lifetime (cache hits, cache misses).
     pub fn cache_counts(&self) -> (u64, u64) {
-        (self.shared.cache.hits(), self.shared.cache.misses())
+        match &self.shared.backend {
+            Backend::Snapshot(core) => (core.cache.hits(), core.cache.misses()),
+            Backend::Tuner(_) => (0, 0),
+        }
     }
 
-    /// Rolling prediction-drift statistics over recent observed feedback.
+    /// Rolling prediction-drift statistics over recent observed feedback
+    /// (empty for tuner backends).
     pub fn drift(&self) -> DriftSummary {
-        self.shared.monitor.summary()
+        match &self.shared.backend {
+            Backend::Snapshot(core) => core.monitor.summary(),
+            Backend::Tuner(_) => DriftSummary {
+                samples: 0,
+                mape: 0.0,
+                mean_error_s: 0.0,
+                inversion_rate: 0.0,
+                drifted: false,
+            },
+        }
     }
 
     /// A point-in-time operational summary (what the `stats` admin op
@@ -836,6 +1301,10 @@ impl ServiceHandle {
             cache_hits,
             cache_misses,
             drift: self.drift(),
+            degraded: self.degraded(),
+            backend: self.backend(),
+            updater_failures: self.shared.metrics.updater_failures.value(),
+            fallbacks: self.shared.metrics.fallbacks.value(),
         }
     }
 
@@ -911,4 +1380,13 @@ pub struct ServiceStats {
     pub cache_misses: u64,
     /// Rolling prediction-drift statistics.
     pub drift: DriftSummary,
+    /// Whether the service is serving a pinned stale snapshot after an
+    /// updater failure.
+    pub degraded: bool,
+    /// Serving backend: `"snapshot"` or a tuner name.
+    pub backend: &'static str,
+    /// Background updates that failed (panic or failed swap).
+    pub updater_failures: u64,
+    /// Recommendations answered by the default-configuration fallback.
+    pub fallbacks: u64,
 }

@@ -23,6 +23,7 @@
 
 use crate::cluster::{ClusterSpec, GB, MB};
 use crate::conf::{Knob, SparkConf};
+use crate::fault::{FaultInjector, FaultKind};
 use crate::plan::{InputSource, JobPlan, StagePlan};
 use crate::result::{FailureReason, RunResult, StageStats, TaskStats};
 use lite_obs::{AttrValue, Counter, Gauge, Histogram, HistogramBatch, Registry, SynthSpan, Tracer};
@@ -260,6 +261,24 @@ pub fn simulate_obs(
     seed: u64,
     obs: &SimObs,
 ) -> RunResult {
+    simulate_faulted(cluster, conf, plan, seed, obs, None)
+}
+
+/// [`simulate_obs`] with fault injection. `faults: None` is exactly
+/// [`simulate_obs`] — every fault point branches on the option, so the
+/// healthy path stays byte-identical. With an armed injector, stages may
+/// lose executors at their boundary (the survivors rerun the lost slots'
+/// tasks on a shrunken slot pool), grow extra stragglers, or be forced
+/// into OOM/spill regardless of their memory arithmetic. All wounds are
+/// deterministic in `(injector seed, stage id, task index)`.
+pub fn simulate_faulted(
+    cluster: &ClusterSpec,
+    conf: &SparkConf,
+    plan: &JobPlan,
+    seed: u64,
+    obs: &SimObs,
+    faults: Option<&FaultInjector>,
+) -> RunResult {
     debug_assert!(plan.validate().is_ok(), "invalid plan: {:?}", plan.validate());
     let mut run_span = obs.tracer.span("sim.run");
     if run_span.is_recording() {
@@ -311,6 +330,7 @@ pub fn simulate_obs(
             seed,
             obs,
             &mut task_hist,
+            faults,
         );
         clock += out.end_time;
         if stage_span.is_recording() {
@@ -376,7 +396,11 @@ fn run_stage(
     seed: u64,
     obs: &SimObs,
     task_hist: &mut Option<HistogramBatch>,
+    faults: Option<&FaultInjector>,
 ) -> StageOutcome {
+    // Per-stage fault key: depends only on the run seed and stage id, so a
+    // wound reproduces regardless of what earlier stages did.
+    let stage_key = mix(seed ^ 0xFA017 ^ stage_id as u64);
     let exec_cores = conf.executor_cores().max(1) as f64;
     let heap = conf.executor_memory_bytes() as f64;
     let usable = (heap - RESERVED_HEAP_BYTES).max(64.0 * MB) * conf.get(Knob::MemoryFraction);
@@ -435,7 +459,10 @@ fn run_stage(
     // --------------------------------------------------------------- memory
     let working_set = bytes_task * DESER_FACTOR * stage.working_set_factor + fetch_mem;
     let partition_heap = bytes_task * DESER_FACTOR;
-    if partition_heap + working_set.min(exec_mem_per_task) > heap_per_task * OOM_HEADROOM {
+    let forced_oom = faults.is_some_and(|f| f.fires(FaultKind::ForcedOom, stage_key));
+    if forced_oom
+        || partition_heap + working_set.min(exec_mem_per_task) > heap_per_task * OOM_HEADROOM
+    {
         // Unsplittable partition blows the heap: retries won't help.
         let stats = StageStats {
             stage_id,
@@ -463,7 +490,12 @@ fn run_stage(
         return StageOutcome { stats, failure: Some(FailureReason::ExecutorOom), end_time };
     }
 
-    let spill_per_task = (working_set - exec_mem_per_task).max(0.0);
+    let mut spill_per_task = (working_set - exec_mem_per_task).max(0.0);
+    if faults.is_some_and(|f| f.fires(FaultKind::ForcedSpill, stage_key ^ 0x5)) {
+        // The execution pool is suddenly half-evicted (a co-tenant grabbed
+        // the node): half the working set hits disk no matter the headroom.
+        spill_per_task = spill_per_task.max(0.5 * working_set);
+    }
     if spill_per_task > 0.0 {
         let disk_spill =
             spill_per_task * if conf.shuffle_spill_compress() { COMPRESS_RATIO } else { 1.0 };
@@ -506,8 +538,24 @@ fn run_stage(
     let driver_cores = conf.get(Knob::DriverCores).max(1.0);
     let sched_delay = tasks as f64 / (driver_cores * 220.0);
 
+    // Executor loss at the stage boundary: a quarter of the executors (at
+    // least one, never all) disappear. Their slots are gone for the whole
+    // stage, and the tasks they would have run when they died rerun on the
+    // survivors — extra work on a shrunken slot pool, which is exactly how
+    // the loss shows up in a real Spark UI (a longer tail, not a failure).
+    let mut sched_slots = alloc.slots;
+    let mut rerun_tasks = 0u32;
+    if let Some(f) = faults {
+        if alloc.executors > 1 && f.fires(FaultKind::ExecutorLoss, stage_key ^ 0x10) {
+            let cores_per_exec = (alloc.slots / alloc.executors).max(1);
+            let lost_slots = (alloc.executors / 4).max(1) * cores_per_exec;
+            sched_slots = alloc.slots.saturating_sub(lost_slots).max(1);
+            rerun_tasks = lost_slots.min(tasks);
+        }
+    }
+
     let mut slot_heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-    for s in 0..alloc.slots {
+    for s in 0..sched_slots {
         slot_heap.push(Reverse((0, s)));
     }
     // Per-task observability, kept off the critical path: wave spans are
@@ -519,7 +567,7 @@ fn run_stage(
     // order, so the wave index is a running counter — no per-task division.
     let fine = obs.tracer.is_fine();
     let track_waves = fine || obs.collect_tasks;
-    let wave_slots = alloc.slots.max(1);
+    let wave_slots = sched_slots.max(1);
     let mut wave: u32 = 0;
     let mut wave_fill: u32 = 0;
     let mut task_stats: Vec<TaskStats> = Vec::new();
@@ -532,12 +580,15 @@ fn run_stage(
     let task_shuffle_write = (out_bytes_task * if compress { COMPRESS_RATIO } else { 1.0 }) as u64;
     let mut stragglers = 0u64;
     let mut stage_end = 0.0f64;
-    for t in 0..tasks {
+    for t in 0..tasks + rerun_tasks {
         let h = mix(seed ^ mix((stage_id as u64) << 32 | t as u64));
         let sigma = stage.skew_sigma;
         let mut dur = base_task_s * (sigma * std_normal(h) - 0.5 * sigma * sigma).exp();
-        // Occasional straggler (slow disk, bad JIT, skewy key).
-        if unit(mix(h ^ 0x57a6)) < 1.2 / (tasks as f64 + 8.0) {
+        // Occasional straggler (slow disk, bad JIT, skewy key) — plus any
+        // the injector forces on top of the organic rate.
+        if unit(mix(h ^ 0x57a6)) < 1.2 / (tasks as f64 + 8.0)
+            || faults.is_some_and(|f| f.fires(FaultKind::Straggler, h))
+        {
             dur *= 2.5;
             stragglers += 1;
         }
@@ -562,7 +613,9 @@ fn run_stage(
                     agg.2 = agg.2.max(end);
                 }
             }
-            if obs.collect_tasks {
+            // Rerun tasks occupy slots and waves but are not *planned*
+            // tasks: per-task records keep the plan's cardinality.
+            if obs.collect_tasks && t < tasks {
                 task_stats.push(TaskStats {
                     index: t,
                     wave,
@@ -649,7 +702,7 @@ fn run_stage(
         tasks: task_stats,
     };
     if let Some(m) = &obs.metrics {
-        m.tasks_launched.add(u64::from(tasks));
+        m.tasks_launched.add(u64::from(tasks + rerun_tasks));
         m.waves.add(num_waves);
         m.stragglers.add(stragglers);
         m.spill_bytes.add(stats.spill_bytes);
@@ -986,6 +1039,69 @@ mod tests {
             assert_eq!(t.wave, t.index / r.slots.max(1));
             assert!(t.duration_s > 0.0 && t.start_s >= 0.0);
         }
+    }
+
+    #[test]
+    fn disabled_faults_are_byte_identical_and_wounds_are_deterministic() {
+        use crate::fault::{FaultInjector, FaultKind};
+        let cluster = ClusterSpec::cluster_b();
+        let conf = space().default_conf();
+        let plan = JobPlan::example_shuffle_job(512 << 20);
+        let plain = simulate(&cluster, &conf, &plan, 43);
+        // None and a zero-probability injector are both exactly `simulate`.
+        let none = simulate_faulted(&cluster, &conf, &plan, 43, &SimObs::disabled(), None);
+        assert_eq!(plain, none);
+        let idle = FaultInjector::new(9);
+        let with_idle =
+            simulate_faulted(&cluster, &conf, &plan, 43, &SimObs::disabled(), Some(&idle));
+        assert_eq!(plain, with_idle);
+        assert_eq!(idle.total_fired(), 0);
+        // An armed injector wounds the same run identically every time.
+        let mk = || {
+            FaultInjector::new(9).with(FaultKind::ExecutorLoss, 1.0).with(FaultKind::Straggler, 0.2)
+        };
+        let (a, b) = (mk(), mk());
+        let ra = simulate_faulted(&cluster, &conf, &plan, 43, &SimObs::disabled(), Some(&a));
+        let rb = simulate_faulted(&cluster, &conf, &plan, 43, &SimObs::disabled(), Some(&b));
+        assert_eq!(ra, rb);
+        assert!(a.fired(FaultKind::ExecutorLoss) > 0);
+    }
+
+    #[test]
+    fn executor_loss_slows_the_run_without_failing_it() {
+        use crate::fault::{FaultInjector, FaultKind};
+        let cluster = ClusterSpec::cluster_b();
+        let conf = space().default_conf();
+        let plan = JobPlan::example_shuffle_job(1 << 30);
+        let healthy = simulate(&cluster, &conf, &plan, 47);
+        assert!(healthy.ok());
+        let inj = FaultInjector::new(5).with(FaultKind::ExecutorLoss, 1.0);
+        let wounded = simulate_faulted(&cluster, &conf, &plan, 47, &SimObs::disabled(), Some(&inj));
+        assert!(wounded.ok(), "executor loss degrades, it does not fail: {:?}", wounded.failure);
+        assert!(
+            wounded.total_time_s > healthy.total_time_s,
+            "fewer slots + reruns must cost time: {} !> {}",
+            wounded.total_time_s,
+            healthy.total_time_s
+        );
+    }
+
+    #[test]
+    fn forced_oom_and_spill_fire_regardless_of_memory_arithmetic() {
+        use crate::fault::{FaultInjector, FaultKind};
+        let cluster = ClusterSpec::cluster_b();
+        let conf = space().default_conf();
+        let plan = JobPlan::example_shuffle_job(512 << 20);
+        assert!(simulate(&cluster, &conf, &plan, 53).ok());
+
+        let oom = FaultInjector::new(6).with(FaultKind::ForcedOom, 1.0);
+        let r = simulate_faulted(&cluster, &conf, &plan, 53, &SimObs::disabled(), Some(&oom));
+        assert_eq!(r.failure, Some(FailureReason::ExecutorOom));
+
+        let spill = FaultInjector::new(6).with(FaultKind::ForcedSpill, 1.0);
+        let r = simulate_faulted(&cluster, &conf, &plan, 53, &SimObs::disabled(), Some(&spill));
+        assert!(r.ok());
+        assert!(r.stages.iter().any(|s| s.spill_bytes > 0), "forced spill left no trace");
     }
 
     #[test]

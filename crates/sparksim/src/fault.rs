@@ -1,0 +1,310 @@
+//! Deterministic, seedable fault injection.
+//!
+//! A [`FaultInjector`] is a shared, thread-safe decision oracle: callers at
+//! well-known *fault points* ask "does fault `kind` fire for key `key`?"
+//! and the answer is a pure function of `(injector seed, kind, key)` — the
+//! same seeded injector wounds a run the same way every time, independent
+//! of thread interleaving at unrelated fault points. That is what makes a
+//! chaos scenario debuggable: a failure found under seed 7 is reproduced
+//! under seed 7.
+//!
+//! The taxonomy covers both layers of the stack (see DESIGN.md
+//! "Resilience"):
+//!
+//! * **simulator wounds** — [`FaultKind::ExecutorLoss`] (slots vanish
+//!   mid-stage and their running tasks are rescheduled),
+//!   [`FaultKind::Straggler`] (extra 2.5× slow tasks),
+//!   [`FaultKind::ForcedOom`] and [`FaultKind::ForcedSpill`];
+//! * **service wounds** — [`FaultKind::UpdaterPanic`] (the background
+//!   retrainer dies mid-update), [`FaultKind::SwapDelay`] /
+//!   [`FaultKind::SwapFail`] (slow or aborted snapshot publication),
+//!   [`FaultKind::ScoreFail`] (NECS scoring unavailable),
+//!   [`FaultKind::TornFrame`] (a TCP response is cut mid-frame and the
+//!   connection dropped) and [`FaultKind::RequestDelay`] (injected request
+//!   latency).
+//!
+//! Fault points take an `Option<&FaultInjector>` (or an
+//! `Option<Arc<FaultInjector>>` field); when the option is `None` the hook
+//! compiles to a branch and the host code path is byte-identical to the
+//! un-instrumented one — the same zero-cost discipline the obs plane pins
+//! with its overhead tests.
+//!
+//! An injector can be [`disarm`](FaultInjector::disarm)ed and re-armed at
+//! runtime: chaos drills use this to model a fault *storm* that ends
+//! mid-run (the recovery half of a circuit-breaker Open → HalfOpen →
+//! Closed cycle needs the world to actually heal).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// SplitMix64: the same per-key hash the execution engine uses for task
+/// skew, exported so every resilience component (backoff jitter, fault
+/// rolls) can derive deterministic randomness from `(seed, key)` pairs.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform (0,1) from a hash (53-bit mantissa, never exactly 0 or 1).
+#[inline]
+pub fn unit64(h: u64) -> f64 {
+    ((h >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+}
+
+/// Number of fault kinds (array sizes below).
+pub const NUM_FAULT_KINDS: usize = 10;
+
+/// Everything the injector knows how to break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum FaultKind {
+    /// A quarter of the executors die at a stage boundary: the stage runs
+    /// on fewer slots and the lost executors' in-flight tasks rerun.
+    ExecutorLoss = 0,
+    /// Extra straggler tasks beyond the engine's organic straggler rate.
+    Straggler = 1,
+    /// A stage OOMs regardless of its memory arithmetic.
+    ForcedOom = 2,
+    /// A stage spills half its working set regardless of pool headroom.
+    ForcedSpill = 3,
+    /// The background updater panics mid-retrain.
+    UpdaterPanic = 4,
+    /// Snapshot publication stalls for the configured delay.
+    SwapDelay = 5,
+    /// A finished retrain is discarded instead of swapped in.
+    SwapFail = 6,
+    /// NECS candidate scoring fails for one request.
+    ScoreFail = 7,
+    /// A TCP response frame is truncated mid-write and the connection dies.
+    TornFrame = 8,
+    /// A request is held for the configured delay before processing.
+    RequestDelay = 9,
+}
+
+impl FaultKind {
+    /// All kinds, indexable by `as usize`.
+    pub const ALL: [FaultKind; NUM_FAULT_KINDS] = [
+        FaultKind::ExecutorLoss,
+        FaultKind::Straggler,
+        FaultKind::ForcedOom,
+        FaultKind::ForcedSpill,
+        FaultKind::UpdaterPanic,
+        FaultKind::SwapDelay,
+        FaultKind::SwapFail,
+        FaultKind::ScoreFail,
+        FaultKind::TornFrame,
+        FaultKind::RequestDelay,
+    ];
+
+    /// Stable snake_case label (manifest / metrics names).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::ExecutorLoss => "executor_loss",
+            FaultKind::Straggler => "straggler",
+            FaultKind::ForcedOom => "forced_oom",
+            FaultKind::ForcedSpill => "forced_spill",
+            FaultKind::UpdaterPanic => "updater_panic",
+            FaultKind::SwapDelay => "swap_delay",
+            FaultKind::SwapFail => "swap_fail",
+            FaultKind::ScoreFail => "score_fail",
+            FaultKind::TornFrame => "torn_frame",
+            FaultKind::RequestDelay => "request_delay",
+        }
+    }
+
+    /// Per-kind salt so the same key rolls independently per kind.
+    fn salt(self) -> u64 {
+        0xFA01_7000 + self as u64
+    }
+}
+
+/// Deterministic fault decision oracle. See the module docs.
+#[derive(Debug)]
+pub struct FaultInjector {
+    seed: u64,
+    armed: AtomicBool,
+    probs: [f64; NUM_FAULT_KINDS],
+    delays: [Duration; NUM_FAULT_KINDS],
+    fired: [AtomicU64; NUM_FAULT_KINDS],
+    /// Monotone counter for fault points without a natural key (e.g. a TCP
+    /// connection deciding whether to tear the next frame).
+    keys: AtomicU64,
+}
+
+impl FaultInjector {
+    /// An armed injector with every probability at zero (fires nothing
+    /// until `with`/`with_delay` raise probabilities).
+    pub fn new(seed: u64) -> FaultInjector {
+        FaultInjector {
+            seed,
+            armed: AtomicBool::new(true),
+            probs: [0.0; NUM_FAULT_KINDS],
+            delays: [Duration::ZERO; NUM_FAULT_KINDS],
+            fired: Default::default(),
+            keys: AtomicU64::new(0),
+        }
+    }
+
+    /// Builder: set the firing probability of one kind (clamped to [0,1]).
+    pub fn with(mut self, kind: FaultKind, prob: f64) -> FaultInjector {
+        self.probs[kind as usize] = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: probability plus the delay injected when the kind fires
+    /// (only meaningful for `SwapDelay` / `RequestDelay`).
+    pub fn with_delay(mut self, kind: FaultKind, prob: f64, delay: Duration) -> FaultInjector {
+        self.delays[kind as usize] = delay;
+        self.with(kind, prob)
+    }
+
+    /// The injector's seed (chaos manifests record it for reproduction).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Stop firing (all `fires` return false) without dropping the
+    /// injector: models the end of a fault storm.
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::Release);
+    }
+
+    /// Resume firing after [`disarm`](FaultInjector::disarm).
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Whether the injector is currently armed.
+    pub fn armed(&self) -> bool {
+        self.armed.load(Ordering::Acquire)
+    }
+
+    /// Does `kind` fire for `key`? Pure in `(seed, kind, key)` while
+    /// armed; counts every firing.
+    pub fn fires(&self, kind: FaultKind, key: u64) -> bool {
+        let p = self.probs[kind as usize];
+        if p <= 0.0 || !self.armed() {
+            return false;
+        }
+        if p < 1.0 && unit64(mix64(self.seed ^ kind.salt() ^ mix64(key))) >= p {
+            return false;
+        }
+        self.fired[kind as usize].fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// [`fires`](FaultInjector::fires), returning the configured delay on a
+    /// firing (for latency-shaped kinds).
+    pub fn fire_delay(&self, kind: FaultKind, key: u64) -> Option<Duration> {
+        if self.fires(kind, key) {
+            Some(self.delays[kind as usize])
+        } else {
+            None
+        }
+    }
+
+    /// A fresh key for fault points without a natural one. Monotone, so
+    /// decisions stay deterministic per (seed, arrival order).
+    pub fn next_key(&self) -> u64 {
+        self.keys.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// How many times `kind` has fired since construction.
+    pub fn fired(&self, kind: FaultKind) -> u64 {
+        self.fired[kind as usize].load(Ordering::Relaxed)
+    }
+
+    /// Total firings across all kinds.
+    pub fn total_fired(&self) -> u64 {
+        self.fired.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// `(label, count)` per kind with at least one firing — manifest rows.
+    pub fn summary(&self) -> Vec<(&'static str, u64)> {
+        FaultKind::ALL.iter().map(|&k| (k.label(), self.fired(k))).filter(|&(_, n)| n > 0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_per_seed_and_key() {
+        let a = FaultInjector::new(7).with(FaultKind::Straggler, 0.5);
+        let b = FaultInjector::new(7).with(FaultKind::Straggler, 0.5);
+        for key in 0..1000 {
+            assert_eq!(a.fires(FaultKind::Straggler, key), b.fires(FaultKind::Straggler, key));
+        }
+        assert_eq!(a.fired(FaultKind::Straggler), b.fired(FaultKind::Straggler));
+        // A different seed gives a different firing set (overwhelmingly).
+        let c = FaultInjector::new(8).with(FaultKind::Straggler, 0.5);
+        let diff = (0..1000)
+            .filter(|&k| a.fires(FaultKind::Straggler, k) != c.fires(FaultKind::Straggler, k))
+            .count();
+        assert!(diff > 100, "seeds 7 and 8 differ on only {diff}/1000 keys");
+    }
+
+    #[test]
+    fn kinds_roll_independently() {
+        let inj = FaultInjector::new(3)
+            .with(FaultKind::ExecutorLoss, 0.5)
+            .with(FaultKind::ForcedOom, 0.5);
+        let diff = (0..1000)
+            .filter(|&k| {
+                inj.fires(FaultKind::ExecutorLoss, k) != inj.fires(FaultKind::ForcedOom, k)
+            })
+            .count();
+        assert!(diff > 100, "kinds agree on {}/1000 keys", 1000 - diff);
+    }
+
+    #[test]
+    fn probability_is_roughly_honored() {
+        let inj = FaultInjector::new(11).with(FaultKind::ScoreFail, 0.2);
+        let hits = (0..10_000).filter(|&k| inj.fires(FaultKind::ScoreFail, k)).count();
+        assert!((1500..2500).contains(&hits), "p=0.2 fired {hits}/10000");
+        assert_eq!(inj.fired(FaultKind::ScoreFail) as usize, hits);
+    }
+
+    #[test]
+    fn zero_probability_and_disarm_never_fire() {
+        let inj = FaultInjector::new(1).with(FaultKind::TornFrame, 1.0);
+        assert!(inj.fires(FaultKind::TornFrame, 0));
+        assert!(!inj.fires(FaultKind::RequestDelay, 0), "unset kind must not fire");
+        inj.disarm();
+        assert!(!inj.fires(FaultKind::TornFrame, 1));
+        inj.arm();
+        assert!(inj.fires(FaultKind::TornFrame, 1));
+        assert_eq!(inj.fired(FaultKind::TornFrame), 2);
+    }
+
+    #[test]
+    fn fire_delay_returns_configured_delay() {
+        let inj = FaultInjector::new(2).with_delay(
+            FaultKind::RequestDelay,
+            1.0,
+            Duration::from_millis(5),
+        );
+        assert_eq!(inj.fire_delay(FaultKind::RequestDelay, 9), Some(Duration::from_millis(5)));
+        assert_eq!(inj.fire_delay(FaultKind::SwapDelay, 9), None);
+    }
+
+    #[test]
+    fn summary_lists_only_fired_kinds() {
+        let inj = FaultInjector::new(4).with(FaultKind::UpdaterPanic, 1.0);
+        assert!(inj.summary().is_empty());
+        inj.fires(FaultKind::UpdaterPanic, 0);
+        assert_eq!(inj.summary(), vec![("updater_panic", 1)]);
+        assert_eq!(inj.total_fired(), 1);
+    }
+
+    #[test]
+    fn next_key_is_monotone() {
+        let inj = FaultInjector::new(0);
+        assert_eq!(inj.next_key(), 0);
+        assert_eq!(inj.next_key(), 1);
+    }
+}

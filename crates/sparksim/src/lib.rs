@@ -40,11 +40,13 @@ pub mod cluster;
 pub mod conf;
 pub mod eventlog;
 pub mod exec;
+pub mod fault;
 pub mod plan;
 pub mod result;
 
 pub use cluster::ClusterSpec;
 pub use conf::{ConfSpace, Knob, KnobDomain, SparkConf};
-pub use exec::{simulate, simulate_obs, SimMetrics, SimObs};
+pub use exec::{simulate, simulate_faulted, simulate_obs, SimMetrics, SimObs};
+pub use fault::{FaultInjector, FaultKind};
 pub use plan::{JobPlan, OpDag, OpKind, StagePlan};
 pub use result::{FailureReason, RunResult, StageStats, TaskStats};

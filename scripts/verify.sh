@@ -18,6 +18,12 @@ echo "==> cargo test -q --workspace"
 # `cargo test` would only run the root package's suites.
 cargo test -q --workspace
 
+echo "==> chaos smoke (lost/Internal requests fail the gate)"
+# A few seconds of the chaos load test: fault injection, retries, circuit
+# breaking, degradation. The binary exits non-zero if any request is lost
+# forever or any Internal error reaches a client.
+LITE_BENCH_QUICK=1 cargo run --release -q -p lite-bench --bin chaos_loadtest -- --smoke
+
 # Non-fatal reminder: flag run manifests that predate the current commit,
 # so stale benchmark evidence is not mistaken for fresh results.
 head_ts=$(git log -1 --format=%ct 2>/dev/null || echo 0)
