@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the full pre-merge gate.
 
-.PHONY: verify fmt lint build test bench quick loadtest chaos scrape demo
+.PHONY: verify fmt lint build test bench quick loadtest chaos scrape demo analyze
 
 verify:
 	./scripts/verify.sh
@@ -43,6 +43,12 @@ chaos:
 # hot-swap; writes results/telemetry_scrape.{manifest.jsonl,prom,trace.json}.
 scrape:
 	cargo run --release -p lite-bench --bin telemetry_scrape
+
+# Static vs dynamic cold-start extraction: wall-time and StageCode
+# equivalence across all 15 workloads; manifest goes to
+# results/analyze_bench.manifest.jsonl.
+analyze:
+	cargo run --release -p lite-bench --bin analyze_bench
 
 # Interactive end-to-end demo of the tuning service example.
 demo:

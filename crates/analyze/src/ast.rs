@@ -1,0 +1,521 @@
+//! Typed AST for the Scala-like subset emitted by `srcgen`/`apps`,
+//! plus a canonical pretty-printer.
+//!
+//! The printer is the inverse of the parser on this subset: for every AST
+//! `a`, `parse(pretty(a))` equals `a` up to spans (property-tested, and
+//! exercised on the real 15-app corpus). Spans never participate in
+//! equality-after-reparse checks; [`Program::zero_spans`] normalizes them.
+
+use crate::lex::Span;
+use std::fmt::Write as _;
+
+/// A parsed program: a sequence of top-level statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Top-level statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `val <pat> = <expr>`
+    Val {
+        /// Binding pattern.
+        pat: Pat,
+        /// Bound expression.
+        value: Expr,
+        /// Statement span.
+        span: Span,
+    },
+    /// A bare expression statement.
+    Expr(Expr),
+}
+
+/// A binding or case pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pat {
+    /// `name`
+    Ident(String),
+    /// `_`
+    Wild,
+    /// `(p, p, …)`
+    Tuple(Vec<Pat>),
+    /// `Ctor(p, p, …)` (e.g. `Array(user, item, rate)`)
+    Ctor(String, Vec<Pat>),
+}
+
+/// A call argument, optionally named (`ascending = false`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arg {
+    /// Parameter name for named arguments.
+    pub name: Option<String>,
+    /// Argument value.
+    pub value: Expr,
+}
+
+/// One `case pat => body` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Case {
+    /// Clause pattern.
+    pub pat: Pat,
+    /// Clause body.
+    pub body: Expr,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Identifier reference.
+    Ident(String, Span),
+    /// Numeric literal (text preserved: `10`, `0.15`, `1L`).
+    Num(String, Span),
+    /// String literal (raw contents, escapes preserved verbatim).
+    Str(String, Span),
+    /// Interpolated string `s"…"` (contents kept opaque).
+    Interp(String, Span),
+    /// Character literal `'…'`.
+    Char(String, Span),
+    /// The placeholder `_`.
+    Under(Span),
+    /// `new Path.To.Type(args)`; `args` is `None` when written without
+    /// parentheses (`new SquaredL2Updater`).
+    New {
+        /// Dotted type path.
+        path: Vec<String>,
+        /// Constructor arguments, if parenthesized.
+        args: Option<Vec<Arg>>,
+        /// Expression span.
+        span: Span,
+    },
+    /// Parenless selection `recv.name`.
+    Field {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Selected member.
+        name: String,
+        /// Expression span.
+        span: Span,
+    },
+    /// `recv.name(args)` or `recv.name { lambda-or-cases }`.
+    Method {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Arguments (a brace-block call has exactly one argument).
+        args: Vec<Arg>,
+        /// True when written with a brace block instead of parentheses.
+        brace: bool,
+        /// Expression span.
+        span: Span,
+    },
+    /// Plain application `f(args)` (`println(x)`, `fields(0)`, `Seq(1L)`).
+    Apply {
+        /// Callee.
+        f: Box<Expr>,
+        /// Arguments.
+        args: Vec<Arg>,
+        /// Expression span.
+        span: Span,
+    },
+    /// `p => body` or `(p, q) => body`.
+    Lambda {
+        /// Parameter patterns.
+        params: Vec<Pat>,
+        /// Body expression.
+        body: Box<Expr>,
+        /// Expression span.
+        span: Span,
+    },
+    /// `{ case p => e … }` partial-function literal.
+    Cases(Vec<Case>, Span),
+    /// `{ stmt; …; expr }` block.
+    Block(Vec<Stmt>, Span),
+    /// Tuple `(a, b, …)` (always ≥ 2 elements).
+    Tuple(Vec<Expr>, Span),
+    /// Binary operation.
+    Binary {
+        /// Operator text (`+`, `!=`, …).
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Expression span.
+        span: Span,
+    },
+    /// Prefix operation (`-x`, `!x`).
+    Unary {
+        /// Operator text.
+        op: String,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Expression span.
+        span: Span,
+    },
+    /// `scrutinee match { case … }`.
+    Match {
+        /// Matched expression.
+        scrutinee: Box<Expr>,
+        /// Clauses.
+        cases: Vec<Case>,
+        /// Expression span.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The expression's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Ident(_, s)
+            | Expr::Num(_, s)
+            | Expr::Str(_, s)
+            | Expr::Interp(_, s)
+            | Expr::Char(_, s)
+            | Expr::Under(s)
+            | Expr::Cases(_, s)
+            | Expr::Block(_, s)
+            | Expr::Tuple(_, s) => *s,
+            Expr::New { span, .. }
+            | Expr::Field { span, .. }
+            | Expr::Method { span, .. }
+            | Expr::Apply { span, .. }
+            | Expr::Lambda { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Match { span, .. } => *span,
+        }
+    }
+}
+
+/// Binding power of a binary operator (higher binds tighter); `None` for
+/// unknown operators.
+pub fn binop_power(op: &str) -> Option<u8> {
+    Some(match op {
+        "||" => 1,
+        "&&" => 2,
+        "==" | "!=" => 3,
+        "<" | ">" | "<=" | ">=" => 4,
+        "+" | "-" => 5,
+        "*" | "/" | "%" => 6,
+        _ => return None,
+    })
+}
+
+impl Program {
+    /// Canonical source text; `parse(pretty())` reproduces this AST up to
+    /// spans.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        for s in &self.stmts {
+            print_stmt(s, &mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Erase every span (for reparse-equality checks).
+    pub fn zero_spans(&mut self) {
+        for s in &mut self.stmts {
+            zero_stmt(s);
+        }
+    }
+}
+
+fn print_stmt(s: &Stmt, out: &mut String) {
+    match s {
+        Stmt::Val { pat, value, .. } => {
+            out.push_str("val ");
+            print_pat(pat, out);
+            out.push_str(" = ");
+            print_expr(value, 0, out);
+        }
+        Stmt::Expr(e) => print_expr(e, 0, out),
+    }
+}
+
+fn print_pat(p: &Pat, out: &mut String) {
+    match p {
+        Pat::Ident(n) => out.push_str(n),
+        Pat::Wild => out.push('_'),
+        Pat::Tuple(ps) => {
+            out.push('(');
+            for (i, q) in ps.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_pat(q, out);
+            }
+            out.push(')');
+        }
+        Pat::Ctor(n, ps) => {
+            out.push_str(n);
+            out.push('(');
+            for (i, q) in ps.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_pat(q, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn print_args(args: &[Arg], out: &mut String) {
+    out.push('(');
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        if let Some(n) = &a.name {
+            let _ = write!(out, "{n} = ");
+        }
+        print_expr(&a.value, 0, out);
+    }
+    out.push(')');
+}
+
+fn print_cases(cases: &[Case], out: &mut String) {
+    out.push('{');
+    for c in cases {
+        out.push_str(" case ");
+        print_pat(&c.pat, out);
+        out.push_str(" => ");
+        print_expr(&c.body, 0, out);
+    }
+    out.push_str(" }");
+}
+
+/// Print with a minimum binding power `min_bp`: operands whose own power is
+/// below it get parenthesized, so reparsing restores the original tree.
+fn print_expr(e: &Expr, min_bp: u8, out: &mut String) {
+    // Lambdas and matches extend maximally to the right; inside any binary
+    // context they need parentheses.
+    let own_bp = match e {
+        Expr::Binary { op, .. } => binop_power(op).unwrap_or(0),
+        Expr::Lambda { .. } | Expr::Match { .. } => 0,
+        _ => u8::MAX,
+    };
+    let paren = own_bp < min_bp;
+    if paren {
+        out.push('(');
+    }
+    match e {
+        Expr::Ident(n, _) => out.push_str(n),
+        Expr::Num(n, _) => out.push_str(n),
+        Expr::Str(s, _) => {
+            let _ = write!(out, "\"{s}\"");
+        }
+        Expr::Interp(s, _) => {
+            let _ = write!(out, "s\"{s}\"");
+        }
+        Expr::Char(s, _) => {
+            let _ = write!(out, "'{s}'");
+        }
+        Expr::Under(_) => out.push('_'),
+        Expr::New { path, args, .. } => {
+            out.push_str("new ");
+            out.push_str(&path.join("."));
+            if let Some(a) = args {
+                print_args(a, out);
+            }
+        }
+        Expr::Field { recv, name, .. } => {
+            print_recv(recv, out);
+            out.push('.');
+            out.push_str(name);
+        }
+        Expr::Method { recv, name, args, brace, .. } => {
+            print_recv(recv, out);
+            out.push('.');
+            out.push_str(name);
+            if *brace {
+                out.push(' ');
+                match args.first().map(|a| &a.value) {
+                    Some(Expr::Cases(cs, _)) => print_cases(cs, out),
+                    Some(other) => {
+                        out.push_str("{ ");
+                        print_expr(other, 0, out);
+                        out.push_str(" }");
+                    }
+                    None => out.push_str("{ }"),
+                }
+            } else {
+                print_args(args, out);
+            }
+        }
+        Expr::Apply { f, args, .. } => {
+            print_recv(f, out);
+            print_args(args, out);
+        }
+        Expr::Lambda { params, body, .. } => {
+            if params.len() == 1 && matches!(params[0], Pat::Ident(_) | Pat::Wild) {
+                print_pat(&params[0], out);
+            } else {
+                print_pat(&Pat::Tuple(params.clone()), out);
+            }
+            out.push_str(" => ");
+            print_expr(body, 0, out);
+        }
+        Expr::Cases(cs, _) => print_cases(cs, out),
+        Expr::Block(stmts, _) => {
+            out.push_str("{ ");
+            for (i, s) in stmts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("; ");
+                }
+                print_stmt(s, out);
+            }
+            out.push_str(" }");
+        }
+        Expr::Tuple(es, _) => {
+            out.push('(');
+            for (i, x) in es.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(x, 0, out);
+            }
+            out.push(')');
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let bp = binop_power(op).unwrap_or(0);
+            // Left-associative: the right operand needs strictly higher
+            // power to avoid regrouping.
+            print_expr(lhs, bp, out);
+            let _ = write!(out, " {op} ");
+            print_expr(rhs, bp + 1, out);
+        }
+        Expr::Unary { op, expr, .. } => {
+            out.push_str(op);
+            print_expr(expr, u8::MAX, out);
+        }
+        Expr::Match { scrutinee, cases, .. } => {
+            print_recv(scrutinee, out);
+            out.push_str(" match ");
+            print_cases(cases, out);
+        }
+    }
+    if paren {
+        out.push(')');
+    }
+}
+
+/// Print a receiver/callee position: postfix chains bind tighter than
+/// everything, so any non-postfix receiver is parenthesized.
+fn print_recv(e: &Expr, out: &mut String) {
+    let atomic = matches!(
+        e,
+        Expr::Ident(..)
+            | Expr::Num(..)
+            | Expr::Str(..)
+            | Expr::Interp(..)
+            | Expr::Char(..)
+            | Expr::Under(..)
+            | Expr::Field { .. }
+            | Expr::Method { .. }
+            | Expr::Apply { .. }
+            | Expr::Tuple(..)
+            | Expr::New { .. }
+    );
+    // `new T(..).m` parses back with `.m` attached to the New, so New is
+    // safe unparenthesized; a brace-block method receiver also reparses
+    // unambiguously.
+    if atomic {
+        print_expr(e, 0, out);
+    } else {
+        out.push('(');
+        print_expr(e, 0, out);
+        out.push(')');
+    }
+}
+
+fn zero_stmt(s: &mut Stmt) {
+    match s {
+        Stmt::Val { value, span, .. } => {
+            *span = Span::default();
+            zero_expr(value);
+        }
+        Stmt::Expr(e) => zero_expr(e),
+    }
+}
+
+fn zero_cases(cases: &mut [Case]) {
+    for c in cases {
+        zero_expr(&mut c.body);
+    }
+}
+
+fn zero_expr(e: &mut Expr) {
+    match e {
+        Expr::Ident(_, s)
+        | Expr::Num(_, s)
+        | Expr::Str(_, s)
+        | Expr::Interp(_, s)
+        | Expr::Char(_, s)
+        | Expr::Under(s) => *s = Span::default(),
+        Expr::New { args, span, .. } => {
+            *span = Span::default();
+            if let Some(args) = args {
+                for a in args {
+                    zero_expr(&mut a.value);
+                }
+            }
+        }
+        Expr::Field { recv, span, .. } => {
+            *span = Span::default();
+            zero_expr(recv);
+        }
+        Expr::Method { recv, args, span, .. } => {
+            *span = Span::default();
+            zero_expr(recv);
+            for a in args {
+                zero_expr(&mut a.value);
+            }
+        }
+        Expr::Apply { f, args, span } => {
+            *span = Span::default();
+            zero_expr(f);
+            for a in args {
+                zero_expr(&mut a.value);
+            }
+        }
+        Expr::Lambda { body, span, .. } => {
+            *span = Span::default();
+            zero_expr(body);
+        }
+        Expr::Cases(cs, s) => {
+            *s = Span::default();
+            zero_cases(cs);
+        }
+        Expr::Block(stmts, s) => {
+            *s = Span::default();
+            for st in stmts {
+                zero_stmt(st);
+            }
+        }
+        Expr::Tuple(es, s) => {
+            *s = Span::default();
+            for x in es {
+                zero_expr(x);
+            }
+        }
+        Expr::Binary { lhs, rhs, span, .. } => {
+            *span = Span::default();
+            zero_expr(lhs);
+            zero_expr(rhs);
+        }
+        Expr::Unary { expr, span, .. } => {
+            *span = Span::default();
+            zero_expr(expr);
+        }
+        Expr::Match { scrutinee, cases, span } => {
+            *span = Span::default();
+            zero_expr(scrutinee);
+            zero_cases(cases);
+        }
+    }
+}

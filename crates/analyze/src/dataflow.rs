@@ -1,0 +1,1020 @@
+//! RDD-lineage dataflow over the AST.
+//!
+//! Walks a parsed program statement by statement, tracking what every
+//! binding evaluates to (Spark context, configured algorithm, trained
+//! model, RDD lineage node, …) and recording three kinds of facts:
+//!
+//! * **nodes** — the RDD lineage graph, one node per transformation, with
+//!   caching, partitioner and trigger-site accounting,
+//! * **calls** — library API invocations (`KMeans.train`,
+//!   `graph.staticPageRank`, …) that expand into whole stage pipelines,
+//! * **actions** — job-triggering calls (`count`, `collect`, `take`,
+//!   `saveAsTextFile`, …).
+//!
+//! Interpolated-string contents are opaque: an action referenced only
+//! inside `s"${…}"` is invisible, matching the fact that the simulator's
+//! stage tables never materialize those driver-side chains either.
+
+use crate::ast::{Arg, Case, Expr, Pat, Program, Stmt};
+use crate::lex::Span;
+use std::collections::HashMap;
+
+/// Regression family (shared by train and predict sites).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegKind {
+    /// `LinearRegressionWithSGD`
+    Linear,
+    /// `LogisticRegressionWithLBFGS`
+    Logistic,
+    /// `SVMWithSGD`
+    Svm,
+}
+
+/// What a trained model value is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// `KMeans.train` result.
+    KMeans,
+    /// `<algorithm>.run` result.
+    Regression(RegKind),
+    /// `DecisionTree.train` result.
+    DecisionTree,
+    /// `ALS.train` result.
+    Als,
+}
+
+/// How an input RDD is loaded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// `sc.textFile`
+    TextFile,
+    /// `MLUtils.loadLibSVMFile`
+    LibSvm,
+    /// `MLUtils.loadLabeledPoints`
+    LabeledPoints,
+    /// `GraphLoader.edgeListFile`
+    EdgeList {
+        /// `canonicalOrientation = true` was passed.
+        canonical: bool,
+    },
+}
+
+/// A recognized library API call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiKind {
+    /// `KMeans.train`
+    KMeansTrain,
+    /// `model.computeCost`
+    ComputeCost,
+    /// `<algo>.run`
+    RegressionRun(RegKind),
+    /// model-applying `map` / `model.predict` over an RDD
+    PredictEval(RegKind),
+    /// `DecisionTree.train`
+    DecisionTreeTrain,
+    /// `ALS.train`
+    AlsTrain,
+    /// `SVDPlusPlus.run`
+    SvdPlusPlus,
+    /// `graph.staticPageRank`
+    StaticPageRank,
+    /// `graph.triangleCount`
+    TriangleCount,
+    /// `graph.connectedComponents`
+    ConnectedComponents,
+    /// `graph.stronglyConnectedComponents`
+    StronglyConnectedComponents,
+    /// `ShortestPaths.run`
+    ShortestPaths,
+    /// `LabelPropagation.run`
+    LabelPropagation,
+}
+
+impl ApiKind {
+    /// Whether the call re-evaluates its input lineage once per iteration.
+    pub fn iterative(self) -> bool {
+        !matches!(self, ApiKind::ComputeCost | ApiKind::PredictEval(_) | ApiKind::TriangleCount)
+    }
+}
+
+/// The transformation a lineage node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainOp {
+    /// Input load.
+    Source(SourceKind),
+    /// Output of a library call — a lineage barrier (`parent` is `None`).
+    LibResult(ApiKind),
+    /// `.map(f)` with what we learned about `f`.
+    Map {
+        /// `x => (key(x), x)` shape.
+        keyby: bool,
+        /// `_._2`-style projection.
+        value_proj: bool,
+        /// `case (k, v) => (k, f(v))` shape — keys flow through untouched.
+        key_preserving: bool,
+    },
+    /// `.flatMap`
+    FlatMap,
+    /// `.mapValues`
+    MapValues,
+    /// `.filter`
+    Filter,
+    /// `.distinct`
+    Distinct,
+    /// `.sample`
+    Sample,
+    /// `.groupByKey`
+    GroupByKey,
+    /// `.reduceByKey`
+    ReduceByKey,
+    /// `.aggregateByKey`
+    AggregateByKey,
+    /// `.sortByKey`
+    SortByKey,
+    /// `.sortBy`
+    SortBy,
+    /// `.repartitionAndSortWithinPartitions`
+    RepartitionAndSort {
+        /// Partitioner is a `TeraSortPartitioner`.
+        terasort: bool,
+    },
+    /// `.partitionBy`
+    PartitionBy,
+    /// `.repartition`
+    Repartition,
+    /// `.coalesce`
+    Coalesce,
+    /// `.keyBy`
+    KeyBy,
+    /// `.vertices` / `.edges` projection of a graph value.
+    Vertices,
+    /// `.join`
+    Join,
+    /// Unrecognized transformation (lineage preserved, shape unknown).
+    Opaque,
+}
+
+impl ChainOp {
+    /// Whether the op shuffles (a stage boundary in the generic cutter).
+    pub fn wide(self) -> bool {
+        matches!(
+            self,
+            ChainOp::GroupByKey
+                | ChainOp::ReduceByKey
+                | ChainOp::AggregateByKey
+                | ChainOp::SortByKey
+                | ChainOp::SortBy
+                | ChainOp::RepartitionAndSort { .. }
+                | ChainOp::PartitionBy
+                | ChainOp::Repartition
+                | ChainOp::Distinct
+                | ChainOp::Join
+        )
+    }
+
+    /// Whether the op combines/reduces data volume (for the collect lint).
+    pub fn reducing(self) -> bool {
+        matches!(
+            self,
+            ChainOp::GroupByKey
+                | ChainOp::ReduceByKey
+                | ChainOp::AggregateByKey
+                | ChainOp::Distinct
+                | ChainOp::Filter
+                | ChainOp::Sample
+        )
+    }
+}
+
+/// One RDD lineage node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RddNode {
+    /// Index in [`Flow::nodes`].
+    pub id: usize,
+    /// `val` name this node was bound to, if any.
+    pub var_name: Option<String>,
+    /// Span of the defining expression.
+    pub def_span: Span,
+    /// Upstream node (`None` for sources and library results).
+    pub parent: Option<usize>,
+    /// The transformation.
+    pub op: ChainOp,
+    /// `.cache()`/`.persist()` was called on this exact node.
+    pub cached: bool,
+    /// Number of job sites whose evaluation recomputes this node.
+    pub trigger_sites: usize,
+    /// Like `trigger_sites` but iterative library sites count double.
+    pub iter_weight: usize,
+    /// A partitioner is in effect at this node.
+    pub has_partitioner: bool,
+}
+
+/// A library call site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibCall {
+    /// Which API.
+    pub api: ApiKind,
+    /// Consumed lineage node.
+    pub input: usize,
+    /// Result lineage node, when the call yields a distributed value.
+    pub result: Option<usize>,
+    /// Call-site span.
+    pub span: Span,
+}
+
+/// Job-triggering action kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionKind {
+    /// `count`
+    Count,
+    /// `collect`
+    Collect,
+    /// `collectAsMap`
+    CollectAsMap,
+    /// `take(n)`
+    Take,
+    /// `first`
+    First,
+    /// `foreach`
+    Foreach,
+    /// `reduce`
+    Reduce,
+    /// `max`
+    Max,
+    /// `saveAsTextFile`
+    SaveAsTextFile,
+}
+
+/// One action site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Action {
+    /// Which action.
+    pub kind: ActionKind,
+    /// The node it runs on.
+    pub node: usize,
+    /// Call-site span.
+    pub span: Span,
+}
+
+/// Everything the dataflow pass learned about a program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Flow {
+    /// `setAppName` argument, if seen.
+    pub app_name: Option<String>,
+    /// Lineage nodes in creation order.
+    pub nodes: Vec<RddNode>,
+    /// Library call sites in source order.
+    pub calls: Vec<LibCall>,
+    /// Action sites in source order.
+    pub actions: Vec<Action>,
+}
+
+impl Flow {
+    /// Lineage chain of `id`, root first, ending at `id` itself.
+    pub fn lineage(&self, id: usize) -> Vec<usize> {
+        let mut chain = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.nodes[cur].parent {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Children of `id` in creation order.
+    pub fn children(&self, id: usize) -> Vec<usize> {
+        self.nodes.iter().filter(|n| n.parent == Some(id)).map(|n| n.id).collect()
+    }
+}
+
+/// Run the dataflow pass.
+pub fn analyze(prog: &Program) -> Flow {
+    let mut a = Analyzer { flow: Flow::default(), env: HashMap::new() };
+    for s in &prog.stmts {
+        a.stmt(s);
+    }
+    a.flow
+}
+
+#[derive(Debug, Clone)]
+enum AlgoKind {
+    Reg(RegKind),
+    Other,
+}
+
+#[derive(Debug, Clone)]
+enum Val {
+    Conf(Option<String>),
+    Context,
+    Algo(AlgoKind),
+    Model(ModelKind),
+    Rdd(usize),
+    TupleV(Vec<Val>),
+    Opaque,
+}
+
+struct Analyzer {
+    flow: Flow,
+    env: HashMap<String, Val>,
+}
+
+impl Analyzer {
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Val { pat, value, .. } => {
+                let v = self.eval(value);
+                self.bind(pat, v);
+            }
+            Stmt::Expr(e) => {
+                self.eval(e);
+            }
+        }
+    }
+
+    fn bind(&mut self, pat: &Pat, v: Val) {
+        match (pat, v) {
+            (Pat::Ident(n), v) => {
+                if let Val::Rdd(id) = v {
+                    if self.flow.nodes[id].var_name.is_none() {
+                        self.flow.nodes[id].var_name = Some(n.clone());
+                    }
+                }
+                self.env.insert(n.clone(), v);
+            }
+            (Pat::Tuple(ps), Val::TupleV(vs)) => {
+                for (p, x) in ps.iter().zip(vs) {
+                    self.bind(p, x);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn node(
+        &mut self,
+        parent: Option<usize>,
+        op: ChainOp,
+        span: Span,
+        has_partitioner: bool,
+    ) -> usize {
+        let id = self.flow.nodes.len();
+        self.flow.nodes.push(RddNode {
+            id,
+            var_name: None,
+            def_span: span,
+            parent,
+            op,
+            cached: false,
+            trigger_sites: 0,
+            iter_weight: 0,
+            has_partitioner,
+        });
+        id
+    }
+
+    /// Partitioner state for a derived node.
+    fn derived_partitioner(&self, parent: usize, op: &ChainOp) -> bool {
+        match op {
+            ChainOp::PartitionBy
+            | ChainOp::RepartitionAndSort { .. }
+            | ChainOp::GroupByKey
+            | ChainOp::ReduceByKey
+            | ChainOp::AggregateByKey
+            | ChainOp::SortByKey
+            | ChainOp::Join => true,
+            ChainOp::MapValues | ChainOp::Filter | ChainOp::Vertices => {
+                self.flow.nodes[parent].has_partitioner
+            }
+            ChainOp::Map { key_preserving, .. } => {
+                // A key-preserving `map` *logically* keeps the keys, but the
+                // partitioner is still dropped by Spark — that mismatch is
+                // exactly lint R4's business; lineage-wise we keep the flag
+                // so the lint can see the parent had one.
+                *key_preserving && self.flow.nodes[parent].has_partitioner
+            }
+            _ => false,
+        }
+    }
+
+    /// Register a job site rooted at `node`: walk the lineage upward
+    /// crediting every node, stopping after the first cached one (a cache
+    /// hit cuts off recomputation of anything above it).
+    fn touch(&mut self, node: usize, weight: usize) {
+        let mut cur = Some(node);
+        while let Some(id) = cur {
+            self.flow.nodes[id].trigger_sites += 1;
+            self.flow.nodes[id].iter_weight += weight;
+            if self.flow.nodes[id].cached {
+                break;
+            }
+            cur = self.flow.nodes[id].parent;
+        }
+    }
+
+    fn lib_call(&mut self, api: ApiKind, input: usize, span: Span, with_result: bool) -> Val {
+        let weight = if api.iterative() { 2 } else { 1 };
+        self.touch(input, weight);
+        let result = if with_result {
+            Some(self.node(None, ChainOp::LibResult(api), span, true))
+        } else {
+            None
+        };
+        self.flow.calls.push(LibCall { api, input, result, span });
+        match result {
+            Some(id) => Val::Rdd(id),
+            None => Val::Opaque,
+        }
+    }
+
+    fn action(&mut self, kind: ActionKind, node: usize, span: Span) -> Val {
+        self.touch(node, 1);
+        self.flow.actions.push(Action { kind, node, span });
+        Val::Opaque
+    }
+
+    fn eval_args(&mut self, args: &[Arg]) {
+        for a in args {
+            if !matches!(a.value, Expr::Lambda { .. } | Expr::Cases(..)) {
+                self.eval(&a.value);
+            }
+        }
+    }
+
+    fn eval(&mut self, e: &Expr) -> Val {
+        match e {
+            Expr::Ident(n, _) => self.env.get(n).cloned().unwrap_or(Val::Opaque),
+            Expr::Num(..) | Expr::Str(..) | Expr::Interp(..) | Expr::Char(..) | Expr::Under(..) => {
+                Val::Opaque
+            }
+            Expr::New { path, args, .. } => {
+                if let Some(a) = args {
+                    self.eval_args(a);
+                }
+                match path.last().map(String::as_str) {
+                    Some("SparkConf") => Val::Conf(None),
+                    Some("SparkContext") => {
+                        // Adopt the app name configured on the conf argument.
+                        if let Some(a) = args {
+                            for arg in a {
+                                if let Val::Conf(Some(name)) = self.eval(&arg.value) {
+                                    self.flow.app_name.get_or_insert(name);
+                                }
+                            }
+                        }
+                        Val::Context
+                    }
+                    Some("LinearRegressionWithSGD") => Val::Algo(AlgoKind::Reg(RegKind::Linear)),
+                    Some("LogisticRegressionWithLBFGS") => {
+                        Val::Algo(AlgoKind::Reg(RegKind::Logistic))
+                    }
+                    Some("SVMWithSGD") => Val::Algo(AlgoKind::Reg(RegKind::Svm)),
+                    Some("Strategy") => Val::Algo(AlgoKind::Other),
+                    _ => Val::Opaque,
+                }
+            }
+            Expr::Tuple(es, _) => {
+                let vs = es.iter().map(|x| self.eval(x)).collect();
+                Val::TupleV(vs)
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.eval(lhs);
+                self.eval(rhs);
+                Val::Opaque
+            }
+            Expr::Unary { expr, .. } => {
+                self.eval(expr);
+                Val::Opaque
+            }
+            Expr::Block(stmts, _) => {
+                for s in stmts {
+                    self.stmt(s);
+                }
+                Val::Opaque
+            }
+            Expr::Match { scrutinee, .. } => {
+                self.eval(scrutinee);
+                Val::Opaque
+            }
+            // Lambda/case bodies run with unbound parameters; their
+            // contents are analyzed structurally at the call sites that
+            // receive them, not evaluated here.
+            Expr::Lambda { .. } | Expr::Cases(..) => Val::Opaque,
+            Expr::Apply { f, args, .. } => {
+                self.eval_args(args);
+                self.eval(f);
+                Val::Opaque
+            }
+            Expr::Field { recv, name, span } => self.field(recv, name, *span),
+            Expr::Method { recv, name, args, span, .. } => self.method(recv, name, args, *span),
+        }
+    }
+
+    fn field(&mut self, recv: &Expr, name: &str, span: Span) -> Val {
+        let r = self.eval(recv);
+        match r {
+            Val::Rdd(id) => match name {
+                "vertices" | "edges" => {
+                    let hp = self.flow.nodes[id].has_partitioner;
+                    Val::Rdd(self.node(Some(id), ChainOp::Vertices, span, hp))
+                }
+                _ => match field_action(name) {
+                    Some(kind) => self.action(kind, id, span),
+                    None => Val::Opaque,
+                },
+            },
+            // `algorithm.optimizer.set…` chains configure in place.
+            Val::Algo(k) => Val::Algo(k),
+            _ => Val::Opaque,
+        }
+    }
+
+    fn method(&mut self, recv: &Expr, name: &str, args: &[Arg], span: Span) -> Val {
+        // Static library objects: an identifier receiver with no binding.
+        if let Expr::Ident(obj, _) = recv {
+            if !self.env.contains_key(obj) {
+                return self.static_call(obj, name, args, span);
+            }
+        }
+        let r = self.eval(recv);
+        match r {
+            Val::Context => match name {
+                "textFile" => {
+                    self.eval_args(args);
+                    Val::Rdd(self.node(None, ChainOp::Source(SourceKind::TextFile), span, false))
+                }
+                _ => {
+                    self.eval_args(args);
+                    Val::Opaque
+                }
+            },
+            Val::Conf(app) => {
+                if name == "setAppName" {
+                    if let Some(Arg { value: Expr::Str(s, _), .. }) = args.first() {
+                        return Val::Conf(Some(s.clone()));
+                    }
+                }
+                Val::Conf(app)
+            }
+            Val::Algo(AlgoKind::Reg(kind)) => {
+                if name == "run" {
+                    if let Some(input) = self.arg_rdd(args) {
+                        self.lib_call(ApiKind::RegressionRun(kind), input, span, false);
+                        return Val::Model(ModelKind::Regression(kind));
+                    }
+                }
+                self.eval_args(args);
+                Val::Algo(AlgoKind::Reg(kind))
+            }
+            Val::Algo(k) => {
+                self.eval_args(args);
+                Val::Algo(k)
+            }
+            Val::Model(kind) => self.model_call(kind, name, args, span),
+            Val::Rdd(id) => self.rdd_call(id, name, args, span),
+            _ => {
+                self.eval_args(args);
+                Val::Opaque
+            }
+        }
+    }
+
+    fn static_call(&mut self, obj: &str, name: &str, args: &[Arg], span: Span) -> Val {
+        match (obj, name) {
+            ("MLUtils", "loadLibSVMFile") => {
+                Val::Rdd(self.node(None, ChainOp::Source(SourceKind::LibSvm), span, false))
+            }
+            ("MLUtils", "loadLabeledPoints") => {
+                Val::Rdd(self.node(None, ChainOp::Source(SourceKind::LabeledPoints), span, false))
+            }
+            ("GraphLoader", "edgeListFile") => {
+                let canonical = args.iter().any(|a| {
+                    a.name.as_deref() == Some("canonicalOrientation")
+                        && matches!(&a.value, Expr::Ident(b, _) if b == "true")
+                });
+                let kind = SourceKind::EdgeList { canonical };
+                Val::Rdd(self.node(None, ChainOp::Source(kind), span, false))
+            }
+            ("KMeans", "train") => match self.arg_rdd(args) {
+                Some(input) => {
+                    self.lib_call(ApiKind::KMeansTrain, input, span, false);
+                    Val::Model(ModelKind::KMeans)
+                }
+                None => Val::Opaque,
+            },
+            ("ALS", "train") => match self.arg_rdd(args) {
+                Some(input) => {
+                    self.lib_call(ApiKind::AlsTrain, input, span, false);
+                    Val::Model(ModelKind::Als)
+                }
+                None => Val::Opaque,
+            },
+            ("DecisionTree", "train") => match self.arg_rdd(args) {
+                Some(input) => {
+                    self.lib_call(ApiKind::DecisionTreeTrain, input, span, false);
+                    Val::Model(ModelKind::DecisionTree)
+                }
+                None => Val::Opaque,
+            },
+            ("SVDPlusPlus", "run") => match self.arg_rdd(args) {
+                Some(input) => {
+                    let g = self.lib_call(ApiKind::SvdPlusPlus, input, span, true);
+                    Val::TupleV(vec![g, Val::Opaque])
+                }
+                None => Val::Opaque,
+            },
+            ("ShortestPaths", "run") => match self.arg_rdd(args) {
+                Some(input) => self.lib_call(ApiKind::ShortestPaths, input, span, true),
+                None => Val::Opaque,
+            },
+            ("LabelPropagation", "run") => match self.arg_rdd(args) {
+                Some(input) => self.lib_call(ApiKind::LabelPropagation, input, span, true),
+                None => Val::Opaque,
+            },
+            _ => {
+                self.eval_args(args);
+                Val::Opaque
+            }
+        }
+    }
+
+    fn model_call(&mut self, kind: ModelKind, name: &str, args: &[Arg], span: Span) -> Val {
+        match (kind, name) {
+            (ModelKind::KMeans, "computeCost") => {
+                if let Some(input) = self.arg_rdd(args) {
+                    self.lib_call(ApiKind::ComputeCost, input, span, false);
+                }
+                Val::Opaque
+            }
+            (ModelKind::Regression(r), "predict") => {
+                // `model.predict(rdd)` over a distributed argument is a
+                // predict-eval job; scalar predicts are driver-side.
+                if let Some(input) = self.arg_rdd(args) {
+                    self.lib_call(ApiKind::PredictEval(r), input, span, false);
+                }
+                Val::Opaque
+            }
+            // ALS / DecisionTree predictions are lazy or folded into the
+            // training pipeline by the simulator's stage tables: no job.
+            _ => {
+                self.eval_args(args);
+                Val::Opaque
+            }
+        }
+    }
+
+    fn rdd_call(&mut self, id: usize, name: &str, args: &[Arg], span: Span) -> Val {
+        match name {
+            "cache" | "persist" => {
+                self.flow.nodes[id].cached = true;
+                Val::Rdd(id)
+            }
+            "map" => {
+                let shape = args.first().map(|a| map_shape(&a.value, &self.env));
+                let shape = shape.unwrap_or_default();
+                let op = ChainOp::Map {
+                    keyby: shape.keyby,
+                    value_proj: shape.value_proj,
+                    key_preserving: shape.key_preserving,
+                };
+                let hp = self.derived_partitioner(id, &op);
+                let new = self.node(Some(id), op, span, hp);
+                if let Some(ModelKind::Regression(r)) = shape.uses_model {
+                    // The map applies a regression model: this is the
+                    // predict-eval job itself.
+                    self.lib_call(ApiKind::PredictEval(r), new, span, false);
+                }
+                Val::Rdd(new)
+            }
+            "flatMap" | "mapValues" | "filter" | "distinct" | "sample" | "groupByKey"
+            | "reduceByKey" | "aggregateByKey" | "sortByKey" | "sortBy" | "keyBy"
+            | "partitionBy" | "repartition" | "coalesce" | "join" => {
+                let op = match name {
+                    "flatMap" => ChainOp::FlatMap,
+                    "mapValues" => ChainOp::MapValues,
+                    "filter" => ChainOp::Filter,
+                    "distinct" => ChainOp::Distinct,
+                    "sample" => ChainOp::Sample,
+                    "groupByKey" => ChainOp::GroupByKey,
+                    "reduceByKey" => ChainOp::ReduceByKey,
+                    "aggregateByKey" => ChainOp::AggregateByKey,
+                    "sortByKey" => ChainOp::SortByKey,
+                    "sortBy" => ChainOp::SortBy,
+                    "keyBy" => ChainOp::KeyBy,
+                    "partitionBy" => ChainOp::PartitionBy,
+                    "repartition" => ChainOp::Repartition,
+                    "coalesce" => ChainOp::Coalesce,
+                    _ => ChainOp::Join,
+                };
+                let hp = self.derived_partitioner(id, &op);
+                Val::Rdd(self.node(Some(id), op, span, hp))
+            }
+            "repartitionAndSortWithinPartitions" => {
+                let terasort = matches!(
+                    args.first().map(|a| &a.value),
+                    Some(Expr::New { path, .. })
+                        if path.last().is_some_and(|s| s == "TeraSortPartitioner")
+                );
+                let op = ChainOp::RepartitionAndSort { terasort };
+                Val::Rdd(self.node(Some(id), op, span, true))
+            }
+            "staticPageRank" => self.lib_call(ApiKind::StaticPageRank, id, span, true),
+            "triangleCount" => self.lib_call(ApiKind::TriangleCount, id, span, true),
+            "connectedComponents" => self.lib_call(ApiKind::ConnectedComponents, id, span, true),
+            "stronglyConnectedComponents" => {
+                self.lib_call(ApiKind::StronglyConnectedComponents, id, span, true)
+            }
+            _ => match method_action(name) {
+                Some(kind) => {
+                    self.eval_args(args);
+                    self.action(kind, id, span)
+                }
+                None => {
+                    self.eval_args(args);
+                    let op = ChainOp::Opaque;
+                    let hp = self.derived_partitioner(id, &op);
+                    Val::Rdd(self.node(Some(id), op, span, hp))
+                }
+            },
+        }
+    }
+
+    /// First argument that evaluates to an RDD.
+    fn arg_rdd(&mut self, args: &[Arg]) -> Option<usize> {
+        let mut found = None;
+        for a in args {
+            match self.eval(&a.value) {
+                Val::Rdd(id) if found.is_none() => found = Some(id),
+                _ => {}
+            }
+        }
+        found
+    }
+}
+
+fn field_action(name: &str) -> Option<ActionKind> {
+    Some(match name {
+        "count" => ActionKind::Count,
+        "collect" => ActionKind::Collect,
+        "first" => ActionKind::First,
+        "max" => ActionKind::Max,
+        _ => return None,
+    })
+}
+
+fn method_action(name: &str) -> Option<ActionKind> {
+    Some(match name {
+        "count" => ActionKind::Count,
+        "collect" => ActionKind::Collect,
+        "collectAsMap" => ActionKind::CollectAsMap,
+        "take" => ActionKind::Take,
+        "first" => ActionKind::First,
+        "foreach" => ActionKind::Foreach,
+        "reduce" => ActionKind::Reduce,
+        "max" => ActionKind::Max,
+        "saveAsTextFile" => ActionKind::SaveAsTextFile,
+        _ => return None,
+    })
+}
+
+/// What a `map` argument's shape tells us.
+#[derive(Debug, Default)]
+struct MapShape {
+    keyby: bool,
+    value_proj: bool,
+    key_preserving: bool,
+    uses_model: Option<ModelKind>,
+}
+
+fn map_shape(arg: &Expr, env: &HashMap<String, Val>) -> MapShape {
+    let mut shape = MapShape::default();
+    match arg {
+        Expr::Lambda { params, body, .. } => {
+            shape.uses_model = body_model(body, env);
+            if let [Pat::Ident(p)] = params.as_slice() {
+                if let Expr::Tuple(es, _) = &**body {
+                    if es.len() == 2 {
+                        shape.keyby = matches!(&es[1], Expr::Ident(n, _) if n == p);
+                    }
+                }
+                if let Expr::Field { recv, name, .. } = &**body {
+                    shape.value_proj =
+                        matches!(&**recv, Expr::Ident(n, _) if n == p) && name == "_2";
+                }
+            }
+        }
+        Expr::Cases(cases, _) => {
+            if let [Case { pat: Pat::Tuple(ps), body }] = cases.as_slice() {
+                shape.uses_model = body_model(body, env);
+                if let (Some(Pat::Ident(k)), Expr::Tuple(es, _)) = (ps.first(), body) {
+                    if es.len() == 2 {
+                        shape.key_preserving = matches!(&es[0], Expr::Ident(n, _) if n == k);
+                    }
+                }
+            } else if let [Case { body, .. }] = cases.as_slice() {
+                shape.uses_model = body_model(body, env);
+            }
+        }
+        // Placeholder projection `_._2`.
+        Expr::Field { recv, name, .. } => {
+            shape.value_proj = matches!(&**recv, Expr::Under(_)) && name == "_2";
+        }
+        _ => {}
+    }
+    shape
+}
+
+/// Does the body call `.predict` on a bound model? Which model?
+fn body_model(e: &Expr, env: &HashMap<String, Val>) -> Option<ModelKind> {
+    let mut found = None;
+    walk(e, &mut |x| {
+        if let Expr::Method { recv, name, .. } = x {
+            if name == "predict" {
+                if let Expr::Ident(m, _) = &**recv {
+                    if let Some(Val::Model(k)) = env.get(m) {
+                        found.get_or_insert(*k);
+                    }
+                }
+            }
+        }
+    });
+    found
+}
+
+fn walk(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::New { args: Some(args), .. } => {
+            for a in args {
+                walk(&a.value, f);
+            }
+        }
+        Expr::Field { recv, .. } => walk(recv, f),
+        Expr::Method { recv, args, .. } => {
+            walk(recv, f);
+            for a in args {
+                walk(&a.value, f);
+            }
+        }
+        Expr::Apply { f: callee, args, .. } => {
+            walk(callee, f);
+            for a in args {
+                walk(&a.value, f);
+            }
+        }
+        Expr::Lambda { body, .. } => walk(body, f),
+        Expr::Cases(cases, _) => {
+            for c in cases {
+                walk(&c.body, f);
+            }
+        }
+        Expr::Block(stmts, _) => {
+            for s in stmts {
+                match s {
+                    Stmt::Val { value, .. } => walk(value, f),
+                    Stmt::Expr(x) => walk(x, f),
+                }
+            }
+        }
+        Expr::Tuple(es, _) => {
+            for x in es {
+                walk(x, f);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            walk(lhs, f);
+            walk(rhs, f);
+        }
+        Expr::Unary { expr, .. } => walk(expr, f),
+        Expr::Match { scrutinee, cases, .. } => {
+            walk(scrutinee, f);
+            for c in cases {
+                walk(&c.body, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn flow_of(src: &str) -> Flow {
+        analyze(&parse(src).expect("parse"))
+    }
+
+    #[test]
+    fn kmeans_flow_has_cached_input_and_two_lib_calls() {
+        let f = flow_of(
+            r#"
+val sparkConf = new SparkConf().setAppName("KMeans")
+val sc = new SparkContext(sparkConf)
+val data = sc.textFile(inputPath)
+val parsedData = data.map(s => Vectors.dense(s)).cache()
+val clusters = KMeans.train(parsedData, numClusters, numIterations)
+val WSSSE = clusters.computeCost(parsedData)
+"#,
+        );
+        assert_eq!(f.app_name.as_deref(), Some("KMeans"));
+        assert_eq!(f.calls.len(), 2);
+        assert_eq!(f.calls[0].api, ApiKind::KMeansTrain);
+        assert_eq!(f.calls[1].api, ApiKind::ComputeCost);
+        let parsed = &f.nodes[f.calls[0].input];
+        assert!(parsed.cached);
+        assert_eq!(parsed.trigger_sites, 2);
+        // The cache cuts recomputation: the raw textFile node is untouched.
+        let source = &f.nodes[parsed.parent.expect("parent")];
+        assert_eq!(source.trigger_sites, 0);
+    }
+
+    #[test]
+    fn sort_flow_classifies_keyby_and_value_projection() {
+        let f = flow_of(
+            r#"
+val sc = new SparkContext(sparkConf)
+val lines = sc.textFile(inputFile)
+val keyed = lines.map(line => (line.split(d)(0), line))
+val sorted = keyed.sortByKey(ascending = true, numPartitions = partitions)
+sorted.map(_._2).saveAsTextFile(outputFile)
+"#,
+        );
+        assert_eq!(f.actions.len(), 1);
+        assert_eq!(f.actions[0].kind, ActionKind::SaveAsTextFile);
+        let chain = f.lineage(f.actions[0].node);
+        let ops: Vec<_> = chain.iter().map(|&i| f.nodes[i].op).collect();
+        assert!(matches!(ops[0], ChainOp::Source(SourceKind::TextFile)));
+        assert!(matches!(ops[1], ChainOp::Map { keyby: true, .. }));
+        assert!(matches!(ops[2], ChainOp::SortByKey));
+        assert!(matches!(ops[3], ChainOp::Map { value_proj: true, .. }));
+        // Exactly one job: every chain node has one trigger site.
+        assert!(chain.iter().all(|&i| f.nodes[i].trigger_sites == 1));
+    }
+
+    #[test]
+    fn interp_contents_are_opaque_so_no_phantom_actions() {
+        let f = flow_of(
+            r#"
+val sc = new SparkContext(sparkConf)
+val cc = sc.textFile(p).map(x => x)
+println(s"${cc.count}")
+"#,
+        );
+        assert!(f.actions.is_empty());
+    }
+
+    #[test]
+    fn model_using_map_is_a_predict_eval_site_for_regressions_only() {
+        let f = flow_of(
+            r#"
+val sc = new SparkContext(sparkConf)
+val training = MLUtils.loadLibSVMFile(sc, inputPath).cache()
+val lr = new LogisticRegressionWithLBFGS().setNumClasses(numClasses)
+val model = lr.run(training)
+val pl = training.map { case (label, features) => (model.predict(features), label) }
+"#,
+        );
+        let apis: Vec<_> = f.calls.iter().map(|c| c.api).collect();
+        assert_eq!(
+            apis,
+            [ApiKind::RegressionRun(RegKind::Logistic), ApiKind::PredictEval(RegKind::Logistic)]
+        );
+        // ALS predictions are folded into training: no predict site.
+        let f = flow_of(
+            r#"
+val sc = new SparkContext(sparkConf)
+val ratings = sc.textFile(inputPath).map(x => x)
+val model = ALS.train(ratings, rank, numIterations, lambda)
+val up = ratings.map(x => x)
+val predictions = model.predict(up)
+"#,
+        );
+        assert_eq!(f.calls.len(), 1);
+        assert_eq!(f.calls[0].api, ApiKind::AlsTrain);
+        let ratings = &f.nodes[f.calls[0].input];
+        assert_eq!(ratings.trigger_sites, 1);
+    }
+
+    #[test]
+    fn graph_pipeline_results_are_lineage_barriers() {
+        let f = flow_of(
+            r#"
+val sc = new SparkContext(sparkConf)
+val graph = GraphLoader.edgeListFile(sc, inputPath).cache()
+val ranks = graph.staticPageRank(numIterations, resetProb = 0.15).vertices
+val top = ranks.sortBy(_._2, ascending = false).take(topK)
+"#,
+        );
+        assert_eq!(f.calls.len(), 1);
+        let result = f.calls[0].result.expect("graph result node");
+        assert!(f.nodes[result].parent.is_none());
+        let graph = &f.nodes[f.calls[0].input];
+        assert!(graph.cached);
+        // One library site only — the downstream take stops at the barrier.
+        assert_eq!(graph.trigger_sites, 1);
+        assert!(graph.iter_weight >= 2);
+        assert_eq!(f.actions.len(), 1);
+        assert_eq!(f.actions[0].kind, ActionKind::Take);
+    }
+}

@@ -1,0 +1,38 @@
+//! lite-analyze: static stage-code analysis for the Scala-like workload
+//! subset.
+//!
+//! LITE's cold-start step (paper §III-B, step 1) runs an application once
+//! on the smallest dataset to harvest stage templates, operator DAGs and
+//! stage source code from the event log. This crate recovers the same
+//! artifacts **without any run**:
+//!
+//! * [`lex`] — the workspace's one lexer (also backing
+//!   `lite-workloads::tokenize`), producing spanned tokens;
+//! * [`ast`] + [`parse`] — a typed AST and recursive-descent parser with a
+//!   canonical pretty-printer (`parse ∘ pretty = id` up to spans);
+//! * [`dataflow`] — RDD-lineage recovery: nodes, caching, partitioners,
+//!   library calls, actions, trigger-site accounting;
+//! * [`model`] — the library knowledge base mapping recognized API calls
+//!   to their internal stage pipelines;
+//! * [`extract`] — [`extract_stages`]: source text → stage templates,
+//!   cross-validated against the dynamic `instrument_app` path on all 15
+//!   workloads;
+//! * [`lint`] — five span-accurate semantic lints for tuning-relevant
+//!   anti-patterns.
+
+pub mod ast;
+pub mod dataflow;
+pub mod extract;
+pub mod lex;
+pub mod lint;
+pub mod model;
+pub mod parse;
+
+pub use extract::{extract_stages, AnalyzeError, ExtractOptions, Extraction, StageTemplate};
+pub use lint::{run_lints, Diagnostic};
+
+/// Convenience: lint source text directly (parse + dataflow + rules).
+pub fn lint_source(source: &str) -> Result<Vec<Diagnostic>, parse::ParseError> {
+    let prog = parse::parse(source)?;
+    Ok(lint::run_lints(&dataflow::analyze(&prog)))
+}

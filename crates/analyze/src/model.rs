@@ -1,0 +1,302 @@
+//! Library knowledge base: per-API stage pipelines.
+//!
+//! A recognized library call (`KMeans.train`, `graph.staticPageRank`, …)
+//! expands into the same stage templates the simulator's physical planner
+//! produces for it. Each pipeline has two parts: a *materialization* stage
+//! derived from the input's real lineage (what the first job computes on
+//! its way into the library), and the library's own internal stages, which
+//! are fixed per API — that is exactly the knowledge a static analyzer has
+//! to carry, because the library internals are not present in user source.
+
+use crate::dataflow::{ActionKind, ApiKind, ChainOp, Flow, LibCall, RegKind, SourceKind};
+use lite_sparksim::plan::OpKind;
+
+/// One stage emission: template name + operator chain (one instance).
+pub type StageEmit = (String, Vec<OpKind>);
+
+/// Expand a library call into stage emissions, in scheduler order.
+///
+/// `iters` is the iteration count the caller wants the expansion for
+/// (dataset-tier dependent, so it cannot come from the source text).
+pub fn lib_pipeline(flow: &Flow, call: &LibCall, iters: usize) -> Vec<StageEmit> {
+    let it = iters.max(1);
+    let mut out: Vec<StageEmit> = Vec::new();
+    match call.api {
+        ApiKind::KMeansTrain => {
+            out.push(ml_mat(flow, call.input));
+            push_n(&mut out, it, "km-assign", &[OpKind::MapPartitions, OpKind::TreeAggregate]);
+        }
+        ApiKind::ComputeCost => {
+            out.push(("compute-cost".into(), vec![OpKind::MapPartitions, OpKind::TreeReduce]));
+        }
+        ApiKind::RegressionRun(kind) => {
+            out.push(ml_mat(flow, call.input));
+            let name = match kind {
+                RegKind::Linear => "lir-gradient",
+                RegKind::Logistic => "lor-gradient",
+                RegKind::Svm => "svm-gradient",
+            };
+            push_n(&mut out, it, name, &[OpKind::MapPartitions, OpKind::TreeAggregate]);
+        }
+        ApiKind::PredictEval(_) => {
+            out.push(("predict-eval".into(), vec![OpKind::Map, OpKind::Count]));
+        }
+        ApiKind::DecisionTreeTrain => {
+            out.push(ml_mat(flow, call.input));
+            for _ in 0..it {
+                out.push((
+                    "dt-aggregate-stats".into(),
+                    vec![OpKind::MapPartitions, OpKind::AggregateByKey],
+                ));
+                out.push((
+                    "dt-best-split".into(),
+                    vec![OpKind::ShuffledRdd, OpKind::ReduceByKey, OpKind::CollectAsMap],
+                ));
+            }
+        }
+        ApiKind::AlsTrain => {
+            let mut ops = lineage_ops(flow, call.input);
+            ops.push(OpKind::KeyBy);
+            out.push(("parse-ratings".into(), ops));
+            let als =
+                [OpKind::ShuffledRdd, OpKind::Join, OpKind::AggregateByKey, OpKind::MapValues];
+            for _ in 0..it {
+                out.push(("als-update-users".into(), als.to_vec()));
+                out.push(("als-update-items".into(), als.to_vec()));
+            }
+        }
+        ApiKind::SvdPlusPlus => {
+            let mut ops = lineage_ops(flow, call.input);
+            ops.push(OpKind::PartitionBy);
+            out.push(("build-graph".into(), ops));
+            out.push((
+                "init-latent".into(),
+                vec![OpKind::ShuffledRdd, OpKind::MapValues, OpKind::Cache],
+            ));
+            push_n(
+                &mut out,
+                it,
+                "svdpp-gradient",
+                &[OpKind::AggregateMessages, OpKind::JoinVertices, OpKind::MapValues],
+            );
+        }
+        ApiKind::StaticPageRank => {
+            out.push(graph_mat(flow, call.input));
+            out.push(("init-ranks".into(), vec![OpKind::ShuffledRdd, OpKind::MapValues]));
+            for _ in 0..it {
+                out.push(("pr-contrib".into(), vec![OpKind::Join, OpKind::FlatMap]));
+                out.push((
+                    "pr-update".into(),
+                    vec![OpKind::ShuffledRdd, OpKind::ReduceByKey, OpKind::MapValues],
+                ));
+            }
+            if has_sorted_take_followup(flow, call) {
+                out.push(("top-ranks".into(), vec![OpKind::SortByKey, OpKind::Take]));
+            }
+        }
+        ApiKind::TriangleCount => {
+            out.push(graph_mat(flow, call.input));
+            out.push((
+                "build-adjacency".into(),
+                vec![OpKind::ShuffledRdd, OpKind::GroupByKey, OpKind::MapValues],
+            ));
+            out.push((
+                "join-neighbor-sets".into(),
+                vec![OpKind::ShuffledRdd, OpKind::Join, OpKind::FlatMap],
+            ));
+            out.push((
+                "count-triangles".into(),
+                vec![OpKind::ShuffledRdd, OpKind::TriangleCountOp, OpKind::Map, OpKind::TreeReduce],
+            ));
+        }
+        ApiKind::ConnectedComponents => {
+            out.push(graph_mat(flow, call.input));
+            for _ in 0..it {
+                out.push((
+                    "cc-min-label".into(),
+                    vec![
+                        OpKind::ConnectedComponentsOp,
+                        OpKind::AggregateMessages,
+                        OpKind::ReduceByKey,
+                    ],
+                ));
+                out.push((
+                    "cc-apply".into(),
+                    vec![OpKind::ShuffledRdd, OpKind::JoinVertices, OpKind::MapValues],
+                ));
+            }
+        }
+        ApiKind::StronglyConnectedComponents => {
+            out.push(graph_mat(flow, call.input));
+            let reach = [OpKind::Pregel, OpKind::AggregateMessages, OpKind::Join];
+            for _ in 0..it {
+                out.push((
+                    "scc-trim".into(),
+                    vec![OpKind::SubGraph, OpKind::Filter, OpKind::Count],
+                ));
+                for _ in 0..3 {
+                    out.push(("scc-forward-reach".into(), reach.to_vec()));
+                }
+                for _ in 0..3 {
+                    out.push(("scc-backward-reach".into(), reach.to_vec()));
+                }
+                out.push((
+                    "scc-label".into(),
+                    vec![OpKind::ShuffledRdd, OpKind::ReduceByKey, OpKind::JoinVertices],
+                ));
+            }
+        }
+        ApiKind::ShortestPaths => {
+            out.push(graph_mat(flow, call.input));
+            push_n(
+                &mut out,
+                it,
+                "sp-pregel-step",
+                &[OpKind::Pregel, OpKind::AggregateMessages, OpKind::Join, OpKind::MapValues],
+            );
+        }
+        ApiKind::LabelPropagation => {
+            out.push(graph_mat(flow, call.input));
+            for _ in 0..it {
+                out.push((
+                    "lp-send-labels".into(),
+                    vec![OpKind::AggregateMessages, OpKind::FlatMap],
+                ));
+                out.push((
+                    "lp-adopt-label".into(),
+                    vec![OpKind::ShuffledRdd, OpKind::ReduceByKey, OpKind::JoinVertices],
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn push_n(out: &mut Vec<StageEmit>, n: usize, name: &str, ops: &[OpKind]) {
+    for _ in 0..n {
+        out.push((name.into(), ops.to_vec()));
+    }
+}
+
+/// ML-style materialization: the input lineage parsed and cached
+/// ("parse-cache" in the physical planner).
+fn ml_mat(flow: &Flow, input: usize) -> StageEmit {
+    let mut ops = lineage_ops(flow, input);
+    if lineage_cached(flow, input) {
+        ops.push(OpKind::Cache);
+    }
+    ("parse-cache".into(), ops)
+}
+
+/// Graph materialization: edge-list loading is the library's own job, so
+/// its shape depends only on orientation and caching — explicit
+/// re-partitioning of the loaded graph is absorbed into it.
+fn graph_mat(flow: &Flow, input: usize) -> StageEmit {
+    let canonical = flow
+        .lineage(input)
+        .first()
+        .map(|&root| {
+            matches!(flow.nodes[root].op, ChainOp::Source(SourceKind::EdgeList { canonical: true }))
+        })
+        .unwrap_or(false);
+    if canonical {
+        ("canonical-edges".into(), vec![OpKind::TextFile, OpKind::Map, OpKind::Distinct])
+    } else {
+        let mut ops = vec![OpKind::TextFile, OpKind::Map, OpKind::PartitionBy];
+        if lineage_cached(flow, input) {
+            ops.push(OpKind::Cache);
+        }
+        ("load-edges".into(), ops)
+    }
+}
+
+/// Operator chain of a lineage, root first. Library load helpers expand to
+/// their physical shape (`loadLibSVMFile` parses, so `TextFile, Map`).
+pub fn lineage_ops(flow: &Flow, node: usize) -> Vec<OpKind> {
+    let mut ops = Vec::new();
+    for id in flow.lineage(node) {
+        match flow.nodes[id].op {
+            ChainOp::Source(SourceKind::TextFile) => ops.push(OpKind::TextFile),
+            ChainOp::Source(SourceKind::LibSvm | SourceKind::LabeledPoints) => {
+                ops.push(OpKind::TextFile);
+                ops.push(OpKind::Map);
+            }
+            ChainOp::Source(SourceKind::EdgeList { .. }) => {
+                ops.push(OpKind::TextFile);
+                ops.push(OpKind::Map);
+            }
+            ChainOp::Map { keyby: true, .. } => {
+                ops.push(OpKind::Map);
+                ops.push(OpKind::KeyBy);
+            }
+            ChainOp::Map { value_proj: true, .. } => ops.push(OpKind::MapValues),
+            ChainOp::Map { .. } => ops.push(OpKind::Map),
+            ChainOp::FlatMap => ops.push(OpKind::FlatMap),
+            ChainOp::MapValues => ops.push(OpKind::MapValues),
+            ChainOp::Filter => ops.push(OpKind::Filter),
+            ChainOp::Distinct => ops.push(OpKind::Distinct),
+            ChainOp::Sample => ops.push(OpKind::Sample),
+            ChainOp::GroupByKey => ops.push(OpKind::GroupByKey),
+            ChainOp::ReduceByKey => ops.push(OpKind::ReduceByKey),
+            ChainOp::AggregateByKey => ops.push(OpKind::AggregateByKey),
+            ChainOp::SortByKey | ChainOp::SortBy => ops.push(OpKind::SortByKey),
+            ChainOp::RepartitionAndSort { .. } => ops.push(OpKind::RepartitionAndSort),
+            ChainOp::PartitionBy => ops.push(OpKind::PartitionBy),
+            ChainOp::Repartition => ops.push(OpKind::Repartition),
+            ChainOp::Coalesce => ops.push(OpKind::Coalesce),
+            ChainOp::KeyBy => ops.push(OpKind::KeyBy),
+            ChainOp::Join => ops.push(OpKind::Join),
+            ChainOp::Vertices | ChainOp::LibResult(_) | ChainOp::Opaque => {}
+        }
+    }
+    ops
+}
+
+fn lineage_cached(flow: &Flow, node: usize) -> bool {
+    flow.lineage(node).iter().any(|&id| flow.nodes[id].cached)
+}
+
+/// Does any visible `take` action sort-then-sample this call's result?
+/// (PageRank's `ranks.sortBy(…).take(k)` follow-up job.)
+fn has_sorted_take_followup(flow: &Flow, call: &LibCall) -> bool {
+    let Some(result) = call.result else { return false };
+    flow.actions.iter().any(|a| {
+        if a.kind != ActionKind::Take {
+            return false;
+        }
+        let chain = flow.lineage(a.node);
+        chain.first() == Some(&result)
+            && chain.iter().any(|&id| matches!(flow.nodes[id].op, ChainOp::SortBy))
+    })
+}
+
+/// Stage-template names for the generic (library-free) stage cutter, per
+/// application. Returns `None` for unknown apps (caller falls back to
+/// positional names).
+pub fn generic_stage_name(app: Option<&str>, role: GenericRole) -> Option<&'static str> {
+    match (app?, role) {
+        ("TeraSort", GenericRole::PreSample) => Some("sample-bounds"),
+        ("TeraSort", GenericRole::PreCount) => Some("count-records"),
+        ("TeraSort", GenericRole::MapSide) => Some("partition-records"),
+        ("TeraSort", GenericRole::Sort) => Some("sort-partitions"),
+        ("Sort", GenericRole::MapSide) => Some("key-lines"),
+        ("Sort", GenericRole::Sort) => Some("sort-by-key"),
+        ("Sort", GenericRole::Result) => Some("save-output"),
+        _ => None,
+    }
+}
+
+/// Role a generically-cut stage plays in its job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenericRole {
+    /// Range-sampling pre-job (terasort).
+    PreSample,
+    /// Record-count pre-job (terasort).
+    PreCount,
+    /// Map side of the shuffle.
+    MapSide,
+    /// The shuffle/sort stage itself.
+    Sort,
+    /// Post-sort result stage.
+    Result,
+}

@@ -1,0 +1,619 @@
+//! Recursive-descent parser for the Scala-like workload subset.
+//!
+//! Grammar (whitespace-insensitive; `;` separates statements optionally):
+//!
+//! ```text
+//! program  := stmt*
+//! stmt     := "val" pat "=" expr | expr
+//! pat      := "_" | ident ["(" pat,* ")"] | "(" pat,* ")"
+//! expr     := binary ["=>" expr]            (lambda when lhs is a param list)
+//! binary   := postfix (binop postfix)*      (precedence-climbing)
+//! postfix  := primary ("." ident [args] | "(" arg,* ")" | "{" braceBody "}"
+//!              | "match" "{" case* "}")*
+//! primary  := num | str | char | "s"str | "_" | ident
+//!           | "new" ident ("." ident)* [args]
+//!           | "(" expr,* ")" | "{" braceBody "}" | ("-" | "!") postfix
+//! args     := "(" arg,* ")" | "{" braceBody "}"
+//! arg      := [ident "="] expr
+//! braceBody:= case+ | pat "=>" stmt* | stmt*
+//! ```
+
+use crate::ast::{binop_power, Arg, Case, Expr, Pat, Program, Stmt};
+use crate::lex::{lex, Span, Tok, TokKind};
+use std::fmt;
+
+/// A parse failure with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Location of the offending token (or EOF).
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.span.line, self.span.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a whole program.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let toks = lex(source);
+    let mut p = Parser { toks, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.at_end() {
+        if p.eat_punct(";") {
+            continue;
+        }
+        stmts.push(p.stmt()?);
+    }
+    Ok(Program { stmts })
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Tok> {
+        self.toks.get(self.pos + off)
+    }
+
+    fn eof_span(&self) -> Span {
+        self.toks.last().map(|t| t.span).unwrap_or_default()
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            msg: msg.into(),
+            span: self.peek().map(|t| t.span).unwrap_or_else(|| self.eof_span()),
+        })
+    }
+
+    fn is_ident(&self, text: &str) -> bool {
+        matches!(self.peek(), Some(t) if t.kind == TokKind::Ident && t.text == text)
+    }
+
+    fn is_punct(&self, text: &str) -> bool {
+        matches!(self.peek(), Some(t) if t.kind == TokKind::Punct && t.text == text)
+    }
+
+    fn eat_ident(&mut self, text: &str) -> bool {
+        if self.is_ident(text) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_punct(&mut self, text: &str) -> bool {
+        if self.is_punct(text) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, text: &str) -> Result<Span, ParseError> {
+        if self.is_punct(text) {
+            let s = self.toks[self.pos].span;
+            self.pos += 1;
+            Ok(s)
+        } else {
+            self.err(format!("expected `{text}`"))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), ParseError> {
+        match self.peek() {
+            Some(t) if t.kind == TokKind::Ident => {
+                let out = (t.text.clone(), t.span);
+                self.pos += 1;
+                Ok(out)
+            }
+            _ => self.err("expected identifier"),
+        }
+    }
+
+    /// Two-character operator lookahead: merges adjacent single-char punct
+    /// tokens (`=` `>` → `=>`) when they touch in the source.
+    fn peek_op2(&self) -> Option<(String, usize)> {
+        let a = self.peek()?;
+        if a.kind != TokKind::Punct {
+            return None;
+        }
+        if let Some(b) = self.peek_at(1) {
+            if b.kind == TokKind::Punct && b.span.start == a.span.end {
+                let two = format!("{}{}", a.text, b.text);
+                if matches!(two.as_str(), "=>" | "==" | "!=" | "<=" | ">=" | "&&" | "||" | "->") {
+                    return Some((two, 2));
+                }
+            }
+        }
+        Some((a.text.clone(), 1))
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if let Some((t, n)) = self.peek_op2() {
+            if t == op {
+                self.pos += n;
+                return true;
+            }
+        }
+        false
+    }
+
+    // ----- statements -----
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.is_ident("val") {
+            let start = self.toks[self.pos].span;
+            self.pos += 1;
+            let pat = self.pattern()?;
+            if !self.eat_op("=") {
+                return self.err("expected `=` after val pattern");
+            }
+            let value = self.expr()?;
+            let span = start.to(value.span());
+            return Ok(Stmt::Val { pat, value, span });
+        }
+        Ok(Stmt::Expr(self.expr()?))
+    }
+
+    // ----- patterns -----
+
+    fn pattern(&mut self) -> Result<Pat, ParseError> {
+        if self.eat_punct("(") {
+            let ps = self.pattern_list()?;
+            self.expect_punct(")")?;
+            return Ok(if ps.len() == 1 { ps.into_iter().next().unwrap() } else { Pat::Tuple(ps) });
+        }
+        let (name, _) = self.expect_ident()?;
+        if name == "_" {
+            return Ok(Pat::Wild);
+        }
+        if self.eat_punct("(") {
+            let ps = self.pattern_list()?;
+            self.expect_punct(")")?;
+            return Ok(Pat::Ctor(name, ps));
+        }
+        Ok(Pat::Ident(name))
+    }
+
+    fn pattern_list(&mut self) -> Result<Vec<Pat>, ParseError> {
+        let mut ps = vec![self.pattern()?];
+        while self.eat_punct(",") {
+            ps.push(self.pattern()?);
+        }
+        Ok(ps)
+    }
+
+    // ----- expressions -----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.binary(1)?;
+        if matches!(self.peek_op2(), Some((ref t, _)) if t == "=>") {
+            if let Some(params) = expr_as_params(&lhs) {
+                self.eat_op("=>");
+                let body = self.expr()?;
+                let span = lhs.span().to(body.span());
+                return Ok(Expr::Lambda { params, body: Box::new(body), span });
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn binary(&mut self, min_bp: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.postfix()?;
+        while let Some((op, n)) = self.peek_op2() {
+            if op == "=>" {
+                break;
+            }
+            let Some(bp) = binop_power(&op) else { break };
+            if bp < min_bp {
+                break;
+            }
+            self.pos += n;
+            let rhs = self.binary(bp + 1)?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.is_ident("match") && matches!(self.peek_at(1), Some(t) if t.text == "{") {
+                self.pos += 1;
+                self.expect_punct("{")?;
+                let cases = self.cases()?;
+                let end = self.expect_punct("}")?;
+                let span = e.span().to(end);
+                e = Expr::Match { scrutinee: Box::new(e), cases, span };
+                continue;
+            }
+            match self.peek().map(|t| (t.kind, t.text.clone())) {
+                Some((TokKind::Dot, _)) => {
+                    // Decimal literal split by the lexer: `0` `.` `15`.
+                    if let Expr::Num(ref n, s) = e {
+                        if let (Some(d), Some(f)) = (self.peek(), self.peek_at(1)) {
+                            if f.kind == TokKind::Num
+                                && d.span.start == s.end
+                                && f.span.start == d.span.end
+                            {
+                                let text = format!("{n}.{}", f.text);
+                                let span = s.to(f.span);
+                                self.pos += 2;
+                                e = Expr::Num(text, span);
+                                continue;
+                            }
+                        }
+                    }
+                    self.pos += 1;
+                    let (name, nspan) = self.expect_ident()?;
+                    if self.is_punct("(") {
+                        let (args, end) = self.paren_args()?;
+                        let span = e.span().to(end);
+                        e = Expr::Method { recv: Box::new(e), name, args, brace: false, span };
+                    } else if self.is_punct("{") {
+                        let (arg, end) = self.brace_arg()?;
+                        let span = e.span().to(end);
+                        e = Expr::Method {
+                            recv: Box::new(e),
+                            name,
+                            args: vec![Arg { name: None, value: arg }],
+                            brace: true,
+                            span,
+                        };
+                    } else {
+                        let span = e.span().to(nspan);
+                        e = Expr::Field { recv: Box::new(e), name, span };
+                    }
+                }
+                Some((TokKind::Punct, ref t)) if t == "(" => {
+                    let (args, end) = self.paren_args()?;
+                    let span = e.span().to(end);
+                    e = Expr::Apply { f: Box::new(e), args, span };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn paren_args(&mut self) -> Result<(Vec<Arg>, Span), ParseError> {
+        self.expect_punct("(")?;
+        let mut args = Vec::new();
+        if !self.is_punct(")") {
+            loop {
+                args.push(self.arg()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        let end = self.expect_punct(")")?;
+        Ok((args, end))
+    }
+
+    fn arg(&mut self) -> Result<Arg, ParseError> {
+        // Named argument: `ident = expr` where `=` is not `==`/`=>`.
+        if let Some(t) = self.peek() {
+            if t.kind == TokKind::Ident && t.text != "_" {
+                if let Some(eq) = self.peek_at(1) {
+                    let two_char = self
+                        .peek_at(2)
+                        .is_some_and(|c| c.kind == TokKind::Punct && c.span.start == eq.span.end);
+                    if eq.kind == TokKind::Punct && eq.text == "=" && !two_char {
+                        let name = t.text.clone();
+                        self.pos += 2;
+                        let value = self.expr()?;
+                        return Ok(Arg { name: Some(name), value });
+                    }
+                }
+            }
+        }
+        Ok(Arg { name: None, value: self.expr()? })
+    }
+
+    /// Parse `{ … }` used as a call argument: case clauses, a block
+    /// lambda, or a plain block.
+    fn brace_arg(&mut self) -> Result<(Expr, Span), ParseError> {
+        let start = self.expect_punct("{")?;
+        if self.is_ident("case") {
+            let cases = self.cases()?;
+            let end = self.expect_punct("}")?;
+            return Ok((Expr::Cases(cases, start.to(end)), start.to(end)));
+        }
+        // Block lambda `{ p => stmt* }`: detect `ident =>` / `(p, q) =>`.
+        let save = self.pos;
+        if let Ok(pat) = self.pattern() {
+            if self.eat_op("=>") {
+                let mut stmts = Vec::new();
+                while !self.is_punct("}") && !self.at_end() {
+                    if self.eat_punct(";") {
+                        continue;
+                    }
+                    stmts.push(self.stmt()?);
+                }
+                let end = self.expect_punct("}")?;
+                let span = start.to(end);
+                let body = match stmts.len() {
+                    1 => match stmts.into_iter().next().unwrap() {
+                        Stmt::Expr(e) => e,
+                        s => Expr::Block(vec![s], span),
+                    },
+                    _ => Expr::Block(stmts, span),
+                };
+                let params = match pat {
+                    Pat::Tuple(ps) => ps,
+                    p => vec![p],
+                };
+                return Ok((Expr::Lambda { params, body: Box::new(body), span }, span));
+            }
+        }
+        self.pos = save;
+        let mut stmts = Vec::new();
+        while !self.is_punct("}") && !self.at_end() {
+            if self.eat_punct(";") {
+                continue;
+            }
+            stmts.push(self.stmt()?);
+        }
+        let end = self.expect_punct("}")?;
+        Ok((Expr::Block(stmts, start.to(end)), start.to(end)))
+    }
+
+    fn cases(&mut self) -> Result<Vec<Case>, ParseError> {
+        let mut cases = Vec::new();
+        while self.eat_ident("case") {
+            let pat = self.pattern()?;
+            if !self.eat_op("=>") {
+                return self.err("expected `=>` in case clause");
+            }
+            let mut stmts = Vec::new();
+            while !self.is_punct("}") && !self.is_ident("case") && !self.at_end() {
+                if self.eat_punct(";") {
+                    continue;
+                }
+                stmts.push(self.stmt()?);
+            }
+            let body = match stmts.len() {
+                1 => match stmts.into_iter().next().unwrap() {
+                    Stmt::Expr(e) => e,
+                    s => Expr::Block(vec![s], Span::default()),
+                },
+                _ => Expr::Block(stmts, Span::default()),
+            };
+            cases.push(Case { pat, body });
+        }
+        if cases.is_empty() {
+            return self.err("expected `case` clause");
+        }
+        Ok(cases)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let Some(t) = self.peek().cloned() else {
+            return self.err("unexpected end of input");
+        };
+        match t.kind {
+            TokKind::Num => {
+                self.pos += 1;
+                Ok(Expr::Num(t.text, t.span))
+            }
+            TokKind::Str => {
+                self.pos += 1;
+                Ok(Expr::Str(t.text, t.span))
+            }
+            TokKind::Ident if t.text == "new" => {
+                self.pos += 1;
+                let (first, fs) = self.expect_ident()?;
+                let mut path = vec![first];
+                let mut span = t.span.to(fs);
+                while matches!(self.peek(), Some(d) if d.kind == TokKind::Dot)
+                    && matches!(self.peek_at(1), Some(i) if i.kind == TokKind::Ident)
+                {
+                    self.pos += 1;
+                    let (seg, ss) = self.expect_ident()?;
+                    path.push(seg);
+                    span = span.to(ss);
+                }
+                let args = if self.is_punct("(") {
+                    let (a, end) = self.paren_args()?;
+                    span = span.to(end);
+                    Some(a)
+                } else {
+                    None
+                };
+                Ok(Expr::New { path, args, span })
+            }
+            TokKind::Ident if t.text == "_" => {
+                self.pos += 1;
+                Ok(Expr::Under(t.span))
+            }
+            TokKind::Ident if t.text == "s" => {
+                // String interpolation `s"…"` — only when the quote touches
+                // the `s`.
+                if let Some(n) = self.peek_at(1) {
+                    if n.kind == TokKind::Str && n.span.start == t.span.end {
+                        let out = Expr::Interp(n.text.clone(), t.span.to(n.span));
+                        self.pos += 2;
+                        return Ok(out);
+                    }
+                }
+                self.pos += 1;
+                Ok(Expr::Ident(t.text, t.span))
+            }
+            TokKind::Ident => {
+                self.pos += 1;
+                Ok(Expr::Ident(t.text, t.span))
+            }
+            TokKind::Punct if t.text == "(" => {
+                self.pos += 1;
+                let mut es = vec![self.expr()?];
+                while self.eat_punct(",") {
+                    es.push(self.expr()?);
+                }
+                let end = self.expect_punct(")")?;
+                if es.len() == 1 {
+                    Ok(es.into_iter().next().unwrap())
+                } else {
+                    Ok(Expr::Tuple(es, t.span.to(end)))
+                }
+            }
+            TokKind::Punct if t.text == "{" => {
+                let (e, _) = self.brace_arg()?;
+                Ok(e)
+            }
+            TokKind::Punct if t.text == "'" => {
+                // Character literal: collect token texts to the closing
+                // quote (contents beyond identity are irrelevant here).
+                self.pos += 1;
+                let mut content = String::new();
+                let mut span = t.span;
+                while let Some(n) = self.peek() {
+                    if n.kind == TokKind::Punct && n.text == "'" {
+                        span = span.to(n.span);
+                        self.pos += 1;
+                        return Ok(Expr::Char(content, span));
+                    }
+                    content.push_str(&n.text);
+                    span = span.to(n.span);
+                    self.pos += 1;
+                }
+                Ok(Expr::Char(content, span))
+            }
+            TokKind::Punct if t.text == "-" || t.text == "!" => {
+                self.pos += 1;
+                let inner = self.postfix()?;
+                let span = t.span.to(inner.span());
+                Ok(Expr::Unary { op: t.text, expr: Box::new(inner), span })
+            }
+            _ => self.err(format!("unexpected token `{}`", t.text)),
+        }
+    }
+}
+
+/// Interpret an already-parsed expression as a lambda parameter list, if it
+/// has that shape (`x`, `_`, `(a, b)`).
+fn expr_as_params(e: &Expr) -> Option<Vec<Pat>> {
+    match e {
+        Expr::Ident(n, _) => Some(vec![Pat::Ident(n.clone())]),
+        Expr::Under(_) => Some(vec![Pat::Wild]),
+        Expr::Tuple(es, _) => {
+            let mut ps = Vec::new();
+            for x in es {
+                match x {
+                    Expr::Ident(n, _) => ps.push(Pat::Ident(n.clone())),
+                    Expr::Under(_) => ps.push(Pat::Wild),
+                    _ => return None,
+                }
+            }
+            Some(ps)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(src: &str) -> Program {
+        parse(src).unwrap_or_else(|e| panic!("{e}\nsource: {src}"))
+    }
+
+    #[test]
+    fn parses_val_and_method_chain() {
+        let prog = p("val x = rdd.map(f).reduceByKey(g)");
+        assert_eq!(prog.stmts.len(), 1);
+        let Stmt::Val { pat: Pat::Ident(n), value, .. } = &prog.stmts[0] else {
+            panic!("not a val")
+        };
+        assert_eq!(n, "x");
+        let Expr::Method { name, recv, .. } = value else { panic!("not a method") };
+        assert_eq!(name, "reduceByKey");
+        assert!(matches!(**recv, Expr::Method { ref name, .. } if name == "map"));
+    }
+
+    #[test]
+    fn parses_lambdas_and_underscores() {
+        let prog = p("rdd.map(s => s.toDouble).reduce(_ + _)");
+        let Stmt::Expr(Expr::Method { args, .. }) = &prog.stmts[0] else { panic!() };
+        assert!(matches!(args[0].value, Expr::Binary { .. }));
+        let prog = p("ranks.sortBy(_._2, ascending = false).take(topK)");
+        let Stmt::Expr(Expr::Method { name, recv, .. }) = &prog.stmts[0] else { panic!() };
+        assert_eq!(name, "take");
+        let Expr::Method { args, .. } = &**recv else { panic!() };
+        assert_eq!(args[1].name.as_deref(), Some("ascending"));
+    }
+
+    #[test]
+    fn parses_case_blocks_and_interp() {
+        let prog = p(r#"top.foreach { case (id, rank) => println(s"$id has rank $rank") }"#);
+        let Stmt::Expr(Expr::Method { args, brace, .. }) = &prog.stmts[0] else { panic!() };
+        assert!(brace);
+        let Expr::Cases(cases, _) = &args[0].value else { panic!("not cases") };
+        assert!(matches!(cases[0].pat, Pat::Tuple(_)));
+    }
+
+    #[test]
+    fn parses_match_and_new_with_path() {
+        let prog = p(
+            "val r = sc.textFile(p).map(_.split(d) match { case Array(a, b) => Rating(a, b) })\n\
+             val c = new SVDPlusPlus.Conf(rank)",
+        );
+        assert_eq!(prog.stmts.len(), 2);
+        let Stmt::Val { value: Expr::New { path, .. }, .. } = &prog.stmts[1] else { panic!() };
+        assert_eq!(path, &["SVDPlusPlus", "Conf"]);
+    }
+
+    #[test]
+    fn parses_decimals_chars_and_division() {
+        let prog = p("graph.staticPageRank(n, resetProb = 0.15)");
+        let Stmt::Expr(Expr::Method { args, .. }) = &prog.stmts[0] else { panic!() };
+        assert!(matches!(&args[1].value, Expr::Num(n, _) if n == "0.15"));
+        let prog = p("val t = counts.map(x => x).reduce(f) / 3");
+        assert!(matches!(
+            &prog.stmts[0],
+            Stmt::Val { value: Expr::Binary { op, .. }, .. } if op == "/"
+        ));
+        let prog = p("s.split(' ')");
+        let Stmt::Expr(Expr::Method { args, .. }) = &prog.stmts[0] else { panic!() };
+        assert!(matches!(&args[0].value, Expr::Char(c, _) if c.is_empty()));
+    }
+
+    #[test]
+    fn reports_errors_with_spans() {
+        let e = parse("val x = ").unwrap_err();
+        assert!(e.msg.contains("unexpected end"));
+        let e = parse("val = 3").unwrap_err();
+        assert_eq!(e.span.line, 1);
+    }
+
+    #[test]
+    fn block_lambda_with_statements() {
+        let prog = p("val e = sc.textFile(p).map { line =>\n  val f = line.split(d)\n  Edge(f) }");
+        let Stmt::Val { value: Expr::Method { args, brace: true, .. }, .. } = &prog.stmts[0] else {
+            panic!()
+        };
+        let Expr::Lambda { body, .. } = &args[0].value else { panic!("not a lambda") };
+        assert!(matches!(**body, Expr::Block(ref ss, _) if ss.len() == 2));
+    }
+}

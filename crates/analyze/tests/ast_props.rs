@@ -1,0 +1,204 @@
+//! Property tests for the analyzer front end.
+//!
+//! Two invariants the rest of the crate leans on:
+//!
+//! 1. the lexer never panics, on *any* input (documented on [`lex`]);
+//! 2. the pretty-printer is a right inverse of the parser on the
+//!    generated subset: `parse(pretty(p))` equals `p` up to spans.
+//!
+//! The AST generator is seed-driven (xorshift over a `u64` from proptest)
+//! rather than a strategy tree: it emits only shapes whose printed form is
+//! unambiguous under the grammar (e.g. `Apply` callees are bare idents,
+//! since `recv.name(args)` reparses as `Method`; lambdas appear only in
+//! argument position, where the corpus puts them).
+
+use lite_analyze::ast::{Arg, Expr, Pat, Program, Stmt};
+use lite_analyze::lex::{lex, Span};
+use lite_analyze::parse::parse;
+use proptest::prelude::*;
+
+/// Deterministic seed-driven source of choices (xorshift64*).
+struct Gen {
+    s: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        // Avoid the xorshift fixed point at zero.
+        Gen { s: seed | 1 }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.s;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.s = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn ident(&mut self) -> String {
+        const VOCAB: [&str; 10] = ["x", "y", "data", "acc", "foo", "bar", "tmp", "k", "v", "part"];
+        VOCAB[self.pick(VOCAB.len())].to_string()
+    }
+
+    fn method_name(&mut self) -> String {
+        const NAMES: [&str; 6] = ["map", "filter", "plus", "get", "combine", "select"];
+        NAMES[self.pick(NAMES.len())].to_string()
+    }
+
+    fn num(&mut self) -> Expr {
+        const NUMS: [&str; 6] = ["0", "1", "2", "10", "42", "0.5"];
+        Expr::Num(NUMS[self.pick(NUMS.len())].to_string(), Span::default())
+    }
+
+    fn string(&mut self) -> Expr {
+        const STRS: [&str; 5] = ["", "a", "ab c", "path.txt", "x1"];
+        Expr::Str(STRS[self.pick(STRS.len())].to_string(), Span::default())
+    }
+
+    fn atom(&mut self) -> Expr {
+        match self.pick(3) {
+            0 => Expr::Ident(self.ident(), Span::default()),
+            1 => self.num(),
+            _ => self.string(),
+        }
+    }
+
+    /// Arguments for a call; lambdas are legal only here (argument
+    /// position), matching where the workload corpus places them.
+    fn args(&mut self, depth: u32) -> Vec<Arg> {
+        let n = 1 + self.pick(2);
+        (0..n)
+            .map(|_| {
+                let value = if depth > 0 && self.pick(4) == 0 {
+                    Expr::Lambda {
+                        params: vec![Pat::Ident(self.ident())],
+                        body: Box::new(self.expr(depth - 1)),
+                        span: Span::default(),
+                    }
+                } else {
+                    self.expr(depth.saturating_sub(1))
+                };
+                Arg { name: None, value }
+            })
+            .collect()
+    }
+
+    /// A postfix-chain receiver: an ident optionally extended with field
+    /// selections and paren method calls (always unambiguous to reprint).
+    fn receiver(&mut self, depth: u32) -> Expr {
+        let mut e = Expr::Ident(self.ident(), Span::default());
+        for _ in 0..self.pick(depth as usize + 1) {
+            e = if self.pick(2) == 0 {
+                Expr::Field { recv: Box::new(e), name: self.method_name(), span: Span::default() }
+            } else {
+                Expr::Method {
+                    recv: Box::new(e),
+                    name: self.method_name(),
+                    args: self.args(depth.saturating_sub(1)),
+                    brace: false,
+                    span: Span::default(),
+                }
+            };
+        }
+        e
+    }
+
+    fn expr(&mut self, depth: u32) -> Expr {
+        if depth == 0 {
+            return self.atom();
+        }
+        match self.pick(7) {
+            0 | 1 => self.atom(),
+            2 => {
+                const OPS: [&str; 8] = ["+", "-", "*", "/", "==", "!=", "<", "&&"];
+                Expr::Binary {
+                    op: OPS[self.pick(OPS.len())].to_string(),
+                    lhs: Box::new(self.expr(depth - 1)),
+                    rhs: Box::new(self.expr(depth - 1)),
+                    span: Span::default(),
+                }
+            }
+            3 => self.receiver(depth),
+            4 => Expr::Tuple(
+                (0..2 + self.pick(2)).map(|_| self.expr(depth - 1)).collect(),
+                Span::default(),
+            ),
+            // `f(args)` with a bare-ident callee: any dotted callee would
+            // print as `recv.name(args)` and reparse as Method.
+            5 => Expr::Apply {
+                f: Box::new(Expr::Ident(self.ident(), Span::default())),
+                args: self.args(depth - 1),
+                span: Span::default(),
+            },
+            _ => Expr::Method {
+                recv: Box::new(self.receiver(depth - 1)),
+                name: self.method_name(),
+                args: self.args(depth - 1),
+                brace: false,
+                span: Span::default(),
+            },
+        }
+    }
+
+    fn program(&mut self) -> Program {
+        let n = 1 + self.pick(4);
+        let stmts = (0..n)
+            .map(|_| Stmt::Val {
+                pat: Pat::Ident(self.ident()),
+                value: self.expr(3),
+                span: Span::default(),
+            })
+            .collect();
+        Program { stmts }
+    }
+}
+
+// `parse(pretty(p))` reproduces `p` exactly, up to spans; the lexer is
+// total and its spans always slice the input on char boundaries.
+proptest! {
+    #[test]
+    fn generated_asts_round_trip_through_pretty_print(seed in any::<u64>()) {
+        let original = Gen::new(seed).program();
+        let source = original.pretty();
+        let mut reparsed = parse(&source)
+            .unwrap_or_else(|e| panic!("pretty output failed to parse: {e}\n{source}"));
+        reparsed.zero_spans();
+        prop_assert_eq!(reparsed, original, "diverged on:\n{}", source);
+    }
+
+    #[test]
+    fn lexer_total_on_arbitrary_input(src in ".*") {
+        for t in lex(&src) {
+            prop_assert!(t.span.start <= t.span.end && t.span.end <= src.len());
+            prop_assert!(src.is_char_boundary(t.span.start));
+            prop_assert!(src.is_char_boundary(t.span.end));
+        }
+        // Parsing may fail, but must fail by returning Err, not panicking.
+        let _ = parse(&src);
+    }
+}
+
+/// Deterministic fuzz over the characters that historically broke the
+/// ad-hoc scanner: quotes, escapes, comment slashes, newlines, multi-byte
+/// unicode. Complements the proptest string strategy, whose alphabet is
+/// tamer.
+#[test]
+fn lexer_total_on_nasty_alphabet() {
+    const ALPHABET: [char; 14] =
+        ['"', '\\', '/', '\n', 's', '(', ')', '{', '}', '\'', '.', '=', '>', 'λ'];
+    let mut g = Gen::new(0x5eed);
+    for _ in 0..500 {
+        let len = g.pick(24);
+        let src: String = (0..len).map(|_| ALPHABET[g.pick(ALPHABET.len())]).collect();
+        for t in lex(&src) {
+            assert!(t.span.end <= src.len(), "span out of bounds on {src:?}");
+        }
+        let _ = parse(&src);
+    }
+}

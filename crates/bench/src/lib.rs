@@ -9,6 +9,10 @@
 //! Set `LITE_BENCH_QUICK=1` to shrink every experiment (fewer sampled
 //! configurations, fewer epochs) for smoke runs.
 
+// The table printers below are a legitimate stdout owner (bench output is
+// the deliverable), exempted from the workspace print_stdout deny.
+#![allow(clippy::print_stdout)]
+
 pub mod tuning;
 
 use lite_core::baselines::AnyModel;

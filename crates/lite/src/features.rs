@@ -18,7 +18,7 @@ use lite_sparksim::conf::{ConfSpace, SparkConf, NUM_KNOBS};
 use lite_sparksim::plan::OpKind;
 use lite_workloads::apps::AppId;
 use lite_workloads::data::DataSpec;
-use lite_workloads::instrument::{instrument_app, StageCode};
+use lite_workloads::instrument::{instrument_app, static_stage_codes, StageCode};
 use lite_workloads::tokenize::{tokenize, Vocab, OOV_TOKEN_ID};
 use std::collections::HashMap;
 
@@ -63,9 +63,20 @@ impl TemplateRegistry {
     /// cold-start applications added later exercise the `<oov>` paths
     /// exactly as in the paper.
     pub fn build(apps: &[AppId]) -> TemplateRegistry {
-        let instrumented: Vec<(AppId, Vec<StageCode>)> =
-            apps.iter().map(|&a| (a, instrument_app(a))).collect();
+        Self::build_from(apps.iter().map(|&a| (a, instrument_app(a))).collect())
+    }
 
+    /// Build a registry from *static* stage-code extraction — zero
+    /// simulator runs. Since [`static_stage_codes`] is asserted equivalent
+    /// to [`instrument_app`] on every workload, this produces the same
+    /// registry as [`TemplateRegistry::build`] without paying for the
+    /// cold-start instrumentation run.
+    pub fn build_static(apps: &[AppId]) -> TemplateRegistry {
+        Self::build_from(apps.iter().map(|&a| (a, static_stage_codes(a))).collect())
+    }
+
+    /// Shared registry construction over already-extracted stage codes.
+    fn build_from(instrumented: Vec<(AppId, Vec<StageCode>)>) -> TemplateRegistry {
         // Token vocabulary over all training stage codes.
         let token_streams: Vec<Vec<String>> = instrumented
             .iter()
@@ -333,6 +344,32 @@ mod tests {
         assert!(reg.key_of(AppId::Terasort, "sort-partitions").is_some());
         assert!(reg.key_of(AppId::PageRank, "pr-contrib").is_some());
         assert!(reg.key_of(AppId::KMeans, "km-assign").is_none());
+    }
+
+    #[test]
+    fn static_build_matches_instrumented_build() {
+        // The static cold-start provider must be a drop-in replacement:
+        // identical vocabulary, op index, and per-template features.
+        let apps = AppId::all();
+        let dynamic = TemplateRegistry::build(&apps);
+        let statik = TemplateRegistry::build_static(&apps);
+        assert_eq!(statik.len(), dynamic.len());
+        assert_eq!(statik.vocab.len(), dynamic.vocab.len());
+        assert_eq!(statik.op_onehot_width(), dynamic.op_onehot_width());
+        for id in 0..dynamic.vocab.len() {
+            assert_eq!(statik.vocab.token(id), dynamic.vocab.token(id), "vocab id {id}");
+        }
+        for i in 0..dynamic.len() {
+            let (s, d) = (statik.get(TemplateKey(i)), dynamic.get(TemplateKey(i)));
+            assert_eq!(s.app, d.app);
+            assert_eq!(s.name, d.name);
+            assert_eq!(s.token_ids, d.token_ids, "{}/{}", d.app, d.name);
+            assert_eq!(s.dag_ops, d.dag_ops, "{}/{}", d.app, d.name);
+            assert_eq!(s.a_hat.rows(), d.a_hat.rows());
+            for r in 0..d.a_hat.rows() {
+                assert_eq!(s.a_hat.row(r), d.a_hat.row(r), "{}/{} row {r}", d.app, d.name);
+            }
+        }
     }
 
     #[test]

@@ -35,6 +35,13 @@
 //!   frame the oldest spans are shed and counted in `dropped_spans`.
 //! * `{"op":"health"}` → `{"ok":true,"status":"ok","version":v,
 //!   "uptime_s":u}` — liveness for probes.
+//! * `{"op":"analyze","app":"KMeans"}` (or `"source":"...",`
+//!   `"iterations":n` for submitted text) → `{"ok":true,"app_name":...,
+//!   "stages":[{"template":...,"ops":["textFile",...],
+//!   "instances_per_run":n},...],"diagnostics":[{"rule":...,
+//!   "message":...,"line":l,"col":c},...]}` — the `lite-analyze` static
+//!   extractor over the wire: stage templates and lint findings without
+//!   running the application (cold-start onboarding).
 //!
 //! `cluster` is either a preset name (`"cluster-a"`/`"cluster-b"`/
 //! `"cluster-c"`) or a full object with the Table III fields.
@@ -94,11 +101,13 @@ pub enum OpCode {
     Health = 6,
     /// Version negotiation (valid from v1 too, by name).
     Hello = 7,
+    /// Static stage extraction + lints for cold-start onboarding.
+    Analyze = 8,
 }
 
 impl OpCode {
     /// All operations, for exhaustive round-trip tests.
-    pub const ALL: [OpCode; 8] = [
+    pub const ALL: [OpCode; 9] = [
         OpCode::Ping,
         OpCode::Recommend,
         OpCode::Observe,
@@ -107,6 +116,7 @@ impl OpCode {
         OpCode::Trace,
         OpCode::Health,
         OpCode::Hello,
+        OpCode::Analyze,
     ];
 
     /// The numeric wire code.
@@ -125,6 +135,7 @@ impl OpCode {
             OpCode::Trace => "trace",
             OpCode::Health => "health",
             OpCode::Hello => "hello",
+            OpCode::Analyze => "analyze",
         }
     }
 
@@ -275,7 +286,7 @@ impl TcpServer {
         // Unblock the accept call with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(t) = self.accept_thread.take() {
-            t.join().expect("accept thread panicked");
+            t.join().expect("accept thread panicked"); // gate: allow(expect)
         }
     }
 }
@@ -312,7 +323,7 @@ pub fn serve_tcp<A: ToSocketAddrs>(handle: ServiceHandle, addr: A) -> std::io::R
                     .spawn(move || connection_loop(stream, handle));
             }
         })
-        .expect("spawn accept thread");
+        .expect("spawn accept thread"); // gate: allow(expect)
     Ok(TcpServer { local_addr, stop, accept_thread: Some(accept_thread) })
 }
 
@@ -403,6 +414,7 @@ fn dispatch(handle: &ServiceHandle, space: &ConfSpace, request: &Json) -> Json {
                 ("v", Json::from(max.clamp(1, PROTOCOL_VERSION))),
             ]))
         }
+        Some(OpCode::Analyze) => wire_analyze(request),
         None => Err((ErrorCode::BadRequest, "unknown op".to_string())),
     };
     match outcome {
@@ -449,6 +461,71 @@ fn wire_observe(handle: &ServiceHandle, space: &ConfSpace, request: &Json) -> Wi
         }
         Err(err) => Err((error_code(&err), err.to_string())),
     }
+}
+
+fn wire_analyze(request: &Json) -> WireResult {
+    let (source, default_iters) = match request.get("app") {
+        Some(app_field) => {
+            let app = parse_app(Some(app_field))?;
+            let iters = app.dataset(lite_workloads::data::SizeTier::Train(0)).iterations;
+            (app.main_source().to_string(), iters.max(1))
+        }
+        None => {
+            let src = request.get("source").and_then(Json::as_str).ok_or_else(|| {
+                (ErrorCode::BadRequest, "analyze needs \"app\" or \"source\"".to_string())
+            })?;
+            (src.to_string(), 1)
+        }
+    };
+    let iterations = request
+        .get("iterations")
+        .and_then(Json::as_u64)
+        .map_or(default_iters, |i| i.min(u64::from(u32::MAX)) as u32);
+    match lite_analyze::extract_stages(&source, lite_analyze::ExtractOptions { iterations }) {
+        Ok(ex) => Ok(extraction_to_json(&ex)),
+        Err(e) => Err((ErrorCode::BadRequest, e.to_string())),
+    }
+}
+
+fn extraction_to_json(ex: &lite_analyze::Extraction) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("app_name", ex.app_name.as_deref().map_or(Json::Null, Json::from)),
+        (
+            "stages",
+            Json::Arr(
+                ex.stages
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("template", Json::from(s.template.as_str())),
+                            (
+                                "ops",
+                                Json::Arr(s.ops.iter().map(|o| Json::from(o.label())).collect()),
+                            ),
+                            ("instances_per_run", Json::from(s.instances_per_run)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "diagnostics",
+            Json::Arr(
+                ex.diagnostics
+                    .iter()
+                    .map(|d| {
+                        Json::obj(vec![
+                            ("rule", Json::from(d.rule)),
+                            ("message", Json::from(d.message.as_str())),
+                            ("line", Json::from(u64::from(d.span.line))),
+                            ("col", Json::from(u64::from(d.span.col))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn error_code(err: &ServeError) -> ErrorCode {
@@ -807,6 +884,21 @@ impl Client {
         resp.get("trace").cloned().ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "trace response missing trace")
         })
+    }
+
+    /// `analyze`: statically extract a named workload's stage templates
+    /// and lint diagnostics — the zero-run cold-start onboarding probe.
+    pub fn analyze(&mut self, app: AppId) -> std::io::Result<Json> {
+        self.request_op(OpCode::Analyze, vec![("app", Json::from(app.name()))])
+    }
+
+    /// `analyze` submitted source text directly, with an explicit
+    /// iteration count for iterative pipelines.
+    pub fn analyze_source(&mut self, source: &str, iterations: u32) -> std::io::Result<Json> {
+        self.request_op(
+            OpCode::Analyze,
+            vec![("source", Json::from(source)), ("iterations", Json::from(u64::from(iterations)))],
+        )
     }
 
     /// `health`: `Ok(version)` when the server answers `status: "ok"`.

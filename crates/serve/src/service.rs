@@ -29,7 +29,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -309,7 +309,7 @@ pub(crate) fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
 
 impl<T> OneshotSender<T> {
     pub(crate) fn send(self, value: T) {
-        let mut state = self.inner.state.lock().expect("oneshot poisoned");
+        let mut state = self.inner.state.lock().unwrap_or_else(PoisonError::into_inner);
         state.0 = Some(value);
         // Drop (below) flips the closed flag and notifies.
     }
@@ -317,7 +317,7 @@ impl<T> OneshotSender<T> {
 
 impl<T> Drop for OneshotSender<T> {
     fn drop(&mut self) {
-        let mut state = self.inner.state.lock().expect("oneshot poisoned");
+        let mut state = self.inner.state.lock().unwrap_or_else(PoisonError::into_inner);
         state.1 = true;
         drop(state);
         self.inner.cv.notify_all();
@@ -328,9 +328,9 @@ impl<T> OneshotReceiver<T> {
     /// Block until the worker replies. `None` means the sender was dropped
     /// without replying.
     pub(crate) fn recv(self) -> Option<T> {
-        let mut state = self.inner.state.lock().expect("oneshot poisoned");
+        let mut state = self.inner.state.lock().unwrap_or_else(PoisonError::into_inner);
         while state.0.is_none() && !state.1 {
-            state = self.inner.cv.wait(state).expect("oneshot poisoned");
+            state = self.inner.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
         state.0.take()
     }
@@ -367,7 +367,7 @@ impl<T> BoundedQueue<T> {
     /// Non-blocking push: admission control happens here, not by blocking
     /// the producer.
     fn try_push(&self, item: T) -> Result<usize, PushError> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if inner.closed {
             return Err(PushError::Closed);
         }
@@ -383,7 +383,7 @@ impl<T> BoundedQueue<T> {
 
     /// Blocking pop; `None` once the queue is closed and drained.
     fn pop(&self) -> Option<(T, usize)> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
                 let depth = inner.items.len();
@@ -392,18 +392,18 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.cv.wait(inner).expect("queue poisoned");
+            inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).items.len()
     }
 
     /// Close the queue, wake all waiters, and return whatever was still
     /// queued so the caller can answer it.
     fn close(&self) -> Vec<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.closed = true;
         let drained = inner.items.drain(..).collect();
         drop(inner);
@@ -587,8 +587,10 @@ fn worker_loop(shared: Arc<Shared>) {
                 let mut span = shared.tracer.span("serve.request");
                 let outcome = match &shared.backend {
                     Backend::Snapshot(core) => {
-                        let snapshot =
-                            core.slot.load_with(reader.as_mut().expect("snapshot reader")).clone();
+                        let snapshot = match reader.as_mut() {
+                            Some(r) => core.slot.load_with(r).clone(),
+                            None => core.slot.load(),
+                        };
                         let outcome = serve_recommend(
                             &shared, core, &snapshot, app, &data, &cluster, k, seed,
                         );
@@ -623,8 +625,10 @@ fn worker_loop(shared: Arc<Shared>) {
             Request::Observe { app, data, cluster, conf, result, reply } => {
                 let outcome = match &shared.backend {
                     Backend::Snapshot(core) => {
-                        let snapshot =
-                            core.slot.load_with(reader.as_mut().expect("snapshot reader")).clone();
+                        let snapshot = match reader.as_mut() {
+                            Some(r) => core.slot.load_with(r).clone(),
+                            None => core.slot.load(),
+                        };
                         // Feed the drift monitor: what did *this* model
                         // version predict for the configuration that just
                         // ran? Failed runs carry no meaningful runtime and
@@ -656,7 +660,8 @@ fn worker_loop(shared: Arc<Shared>) {
                             &mut extracted,
                         );
                         let total = {
-                            let mut feedback = core.feedback.lock().expect("feedback poisoned");
+                            let mut feedback =
+                                core.feedback.lock().unwrap_or_else(PoisonError::into_inner);
                             feedback.extend(extracted);
                             feedback.len()
                         };
@@ -667,7 +672,7 @@ fn worker_loop(shared: Arc<Shared>) {
                     }
                     Backend::Tuner(core) => {
                         let fb = TunerFeedback { app, data, cluster, conf, result: *result };
-                        core.tuner.write().expect("tuner poisoned").observe(fb);
+                        core.tuner.write().unwrap_or_else(PoisonError::into_inner).observe(fb);
                         Ok(core.observed.fetch_add(1, Ordering::AcqRel) as usize + 1)
                     }
                 };
@@ -693,7 +698,7 @@ fn tuner_recommend(
     seed: u64,
 ) -> Result<RecommendResponse, ServeError> {
     let req = TuneRequest { app, data: *data, cluster: cluster.clone(), k, seed };
-    let outcome = core.tuner.read().expect("tuner poisoned").recommend(&req);
+    let outcome = core.tuner.read().unwrap_or_else(PoisonError::into_inner).recommend(&req);
     match outcome {
         Ok(result) => Ok(RecommendResponse {
             // Tuners have no snapshot version; expose the learning
@@ -842,20 +847,19 @@ fn score_ranked(
             &miss_confs,
             &shared.tracer,
         );
-        let mut fresh = fresh.into_iter();
-        for (slot, key) in scores.iter_mut().zip(keys.iter()) {
-            if slot.is_none() {
-                let v = fresh.next().expect("one score per miss");
-                core.cache.insert(*key, snapshot.version, v);
-                *slot = Some(v);
-            }
+        // One fresh score per miss, in order; zipping the miss slots with
+        // the fresh scores pairs them without asserting on the lengths.
+        let miss_slots = scores.iter_mut().zip(keys.iter()).filter(|(slot, _)| slot.is_none());
+        for ((slot, key), v) in miss_slots.zip(fresh) {
+            core.cache.insert(*key, snapshot.version, v);
+            *slot = Some(v);
         }
     }
 
     let ranked: Vec<RankedCandidate> = confs
         .into_iter()
         .zip(scores)
-        .map(|(conf, s)| RankedCandidate { conf, predicted_s: s.expect("every candidate scored") })
+        .filter_map(|(conf, s)| s.map(|predicted_s| RankedCandidate { conf, predicted_s }))
         .collect();
     (ranked, cached, scored)
 }
@@ -873,7 +877,7 @@ fn updater_loop(shared: Arc<Shared>) {
         // detected prediction drift with any feedback at all — or shutdown.
         let mut trigger = "batch";
         let batch: Vec<StageInstance> = {
-            let mut feedback = core.feedback.lock().expect("feedback poisoned");
+            let mut feedback = core.feedback.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
@@ -897,7 +901,7 @@ fn updater_loop(shared: Arc<Shared>) {
                 let (guard, _timeout) = core
                     .feedback_cv
                     .wait_timeout(feedback, Duration::from_millis(100))
-                    .expect("feedback poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
                 feedback = guard;
             }
         };
@@ -1068,7 +1072,7 @@ impl Service {
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
                     .spawn(move || worker_loop(shared))
-                    .expect("spawn worker"),
+                    .expect("spawn worker"), // gate: allow(expect)
             );
         }
         if updater {
@@ -1077,7 +1081,7 @@ impl Service {
                 std::thread::Builder::new()
                     .name("serve-updater".into())
                     .spawn(move || updater_loop(shared))
-                    .expect("spawn updater"),
+                    .expect("spawn updater"), // gate: allow(expect)
             );
         }
         Service { shared, threads }
@@ -1105,7 +1109,7 @@ impl Service {
             core.feedback_cv.notify_all();
         }
         for t in self.threads.drain(..) {
-            t.join().expect("serve thread panicked");
+            t.join().expect("serve thread panicked"); // gate: allow(expect)
         }
     }
 }
@@ -1241,7 +1245,9 @@ impl ServiceHandle {
     /// backends: they consume feedback inline).
     pub fn feedback_len(&self) -> usize {
         match &self.shared.backend {
-            Backend::Snapshot(core) => core.feedback.lock().expect("feedback poisoned").len(),
+            Backend::Snapshot(core) => {
+                core.feedback.lock().unwrap_or_else(PoisonError::into_inner).len()
+            }
             Backend::Tuner(_) => 0,
         }
     }

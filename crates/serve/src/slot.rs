@@ -8,7 +8,7 @@
 //! threads never contend with each other or with an in-flight update.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A slot holding an immutable snapshot behind an atomic change stamp.
 pub struct VersionedSlot<T> {
@@ -36,14 +36,14 @@ impl<T> VersionedSlot<T> {
     /// Clone the current snapshot (takes the lock briefly; use a
     /// [`SlotReader`] on hot paths).
     pub fn load(&self) -> Arc<T> {
-        self.value.lock().expect("slot poisoned").clone()
+        self.value.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 
     /// Publish a new snapshot. Readers observe it at their next
     /// [`load_with`](Self::load_with) after the stamp moves.
     pub fn swap(&self, next: Arc<T>) {
         {
-            let mut guard = self.value.lock().expect("slot poisoned");
+            let mut guard = self.value.lock().unwrap_or_else(PoisonError::into_inner);
             *guard = next;
         }
         // Release-store after the value is in place: a reader that sees

@@ -100,6 +100,59 @@ fn admin_ops_answer_over_tcp() {
 }
 
 #[test]
+fn analyze_op_extracts_stages_and_lints_over_tcp() {
+    let (ds, snapshot) = trained();
+    let registry = Registry::new();
+    let service = Service::start(snapshot, ds, quick_config(), &registry, Tracer::disabled());
+    let server = lite_serve::net::serve_tcp(service.handle(), "127.0.0.1:0").expect("bind");
+    let mut client = lite_serve::Client::connect(server.local_addr()).expect("connect");
+    client.negotiate().expect("negotiate");
+
+    // Named workload: static extraction matches the instrumented run's
+    // template set without the server executing anything.
+    let resp = client.analyze(AppId::KMeans).expect("analyze");
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    let stages = resp.get("stages").and_then(Json::as_arr).expect("stages");
+    let templates: Vec<&str> =
+        stages.iter().filter_map(|s| s.get("template").and_then(Json::as_str)).collect();
+    assert_eq!(templates, ["parse-cache", "km-assign", "compute-cost"]);
+    let assign = &stages[1];
+    assert_eq!(assign.get("instances_per_run").and_then(Json::as_u64), Some(8));
+    let ops = assign.get("ops").and_then(Json::as_arr).expect("ops");
+    assert!(ops.iter().any(|o| o.as_str() == Some("treeAggregate")), "{ops:?}");
+    let diags = resp.get("diagnostics").and_then(Json::as_arr).expect("diagnostics");
+    assert!(diags.is_empty(), "clean corpus source must lint clean: {diags:?}");
+
+    // Submitted source with a seeded defect: the lint travels the wire
+    // with its span.
+    let defective = r#"
+        val conf = new SparkConf().setAppName("WordCount")
+        val sc = new SparkContext(conf)
+        val lines = sc.textFile("in.txt")
+        val pairs = lines.map(l => (l, 1))
+        val a = pairs.reduceByKey(_ + _).count()
+        val b = pairs.reduceByKey(_ + _).count()
+    "#;
+    let resp = client.analyze_source(defective, 1).expect("analyze_source");
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    let diags = resp.get("diagnostics").and_then(Json::as_arr).expect("diagnostics");
+    assert!(
+        diags.iter().any(|d| d.get("rule").and_then(Json::as_str) == Some("uncached-reuse")),
+        "{diags:?}"
+    );
+    assert!(diags.iter().all(|d| d.get("line").and_then(Json::as_u64).unwrap_or(0) >= 1));
+
+    // Unparseable source is a bad request, not a hang or a panic.
+    let resp = client.analyze_source("val = = =", 1).expect("request survives");
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(resp.get("code").and_then(Json::as_str), Some("bad_request"));
+
+    drop(client);
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
 fn induced_drift_triggers_swap_before_batch_count() {
     let (ds, snapshot) = trained();
     let cluster = ds.clusters[0].clone();

@@ -74,6 +74,36 @@ pub fn instrument_app(app: AppId) -> Vec<StageCode> {
     templates
 }
 
+/// Statically recover the same stage templates [`instrument_app`] gets
+/// from an instrumented run — zero simulator runs.
+///
+/// The `lite-analyze` crate parses the application's main source, walks
+/// RDD lineage, and expands recognized library calls through its stage
+/// knowledge base. Only the iteration count (a property of the dataset
+/// tier, not of the code) is passed in from the dynamic side. Equivalence
+/// against [`instrument_app`] on all 15 workloads is asserted by the
+/// `static_equivalence` integration test.
+pub fn static_stage_codes(app: AppId) -> Vec<StageCode> {
+    let data = app.dataset(SizeTier::Train(0));
+    let opts = lite_analyze::ExtractOptions { iterations: data.iterations.max(1) };
+    let extraction = lite_analyze::extract_stages(app.main_source(), opts)
+        .unwrap_or_else(|e| panic!("{app}: static extraction failed: {e}"));
+    extraction
+        .stages
+        .into_iter()
+        .map(|s| {
+            let dag = OpDag::chain(&s.ops);
+            let closure = app.stage_closure(&s.template);
+            StageCode {
+                source: expand_stage_source(&dag, closure),
+                template: s.template,
+                dag,
+                instances_per_run: s.instances_per_run,
+            }
+        })
+        .collect()
+}
+
 /// Total stage instances per application run (the augmentation factor of
 /// paper Figure 9: one application instance yields this many stage-level
 /// training instances).

@@ -16,46 +16,14 @@ pub const OOV_TOKEN_ID: usize = 1;
 
 /// Split source code into tokens: identifiers (with `.`-separated parts
 /// split), numbers, and single-character operators. Whitespace and string
-/// literal contents are dropped; comments are not expected in generated
-/// sources.
+/// literal contents are dropped.
+///
+/// Delegates to the workspace's one lexer in `lite-analyze`, which also
+/// handles `//` line comments, `\"` escapes inside string literals, and
+/// unterminated strings at EOF (the historical ad-hoc scanner mishandled
+/// all three).
 pub fn tokenize(source: &str) -> Vec<String> {
-    let mut tokens = Vec::new();
-    let mut cur = String::new();
-    let mut in_string = false;
-    for ch in source.chars() {
-        if in_string {
-            if ch == '"' {
-                in_string = false;
-                tokens.push("\"str\"".to_string());
-            }
-            continue;
-        }
-        match ch {
-            '"' => {
-                flush(&mut cur, &mut tokens);
-                in_string = true;
-            }
-            c if c.is_alphanumeric() || c == '_' => cur.push(c),
-            c if c.is_whitespace() => flush(&mut cur, &mut tokens),
-            '.' => {
-                // Keep method-chain structure by emitting the dot.
-                flush(&mut cur, &mut tokens);
-                tokens.push(".".to_string());
-            }
-            c => {
-                flush(&mut cur, &mut tokens);
-                tokens.push(c.to_string());
-            }
-        }
-    }
-    flush(&mut cur, &mut tokens);
-    tokens
-}
-
-fn flush(cur: &mut String, tokens: &mut Vec<String>) {
-    if !cur.is_empty() {
-        tokens.push(std::mem::take(cur));
-    }
+    lite_analyze::lex::flat_tokens(source)
 }
 
 /// A token vocabulary with reserved `<pad>` / `<oov>` entries.
@@ -149,6 +117,27 @@ mod tests {
         let toks = tokenize(r#"setAppName("TeraSort")"#);
         assert!(toks.contains(&"\"str\"".to_string()));
         assert!(!toks.iter().any(|t| t.contains("TeraSort")));
+    }
+
+    #[test]
+    fn tokenize_skips_line_comments() {
+        assert_eq!(tokenize("a // comment with val x = 1\nb"), ["a", "b"].map(String::from));
+        // A lone slash is still an operator token.
+        assert_eq!(tokenize("a / b"), ["a", "/", "b"].map(String::from));
+    }
+
+    #[test]
+    fn tokenize_handles_escaped_quotes_in_strings() {
+        // The escaped quote stays inside: one literal, not two.
+        assert_eq!(
+            tokenize(r#"f("a\"b") + g"#),
+            ["f", "(", "\"str\"", ")", "+", "g"].map(String::from)
+        );
+    }
+
+    #[test]
+    fn tokenize_keeps_unterminated_string_at_eof() {
+        assert_eq!(tokenize(r#"x = "never closed"#), ["x", "=", "\"str\""].map(String::from));
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! environment features let NECS transfer across hardware, and that
 //! training-environment variety helps.
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use lite_repro::lite::baselines::AnyModel;
 use lite_repro::lite::experiment::{gold_times, DatasetBuilder, PredictionContext};
 use lite_repro::lite::features::StageInstance;

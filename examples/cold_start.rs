@@ -6,6 +6,9 @@
 //! `<oov>` token / oov operation for unseen vocabulary, and still
 //! recommends a competitive configuration.
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use lite_repro::lite::experiment::DatasetBuilder;
 use lite_repro::lite::necs::NecsConfig;
 use lite_repro::lite::recommend::LiteTuner;

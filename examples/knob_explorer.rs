@@ -8,6 +8,9 @@
 //! cargo run --release --example knob_explorer -- PageRank spark.executor.cores
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use lite_repro::sparksim::cluster::ClusterSpec;
 use lite_repro::sparksim::conf::{ConfSpace, Knob, KnobDomain, ALL_KNOBS};
 use lite_repro::sparksim::exec::simulate;

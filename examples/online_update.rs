@@ -6,6 +6,9 @@
 //! domain feedback, and once a batch accumulates NECS is fine-tuned via
 //! the adversarial Adaptive Model Update.
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use lite_repro::lite::amu::AmuConfig;
 use lite_repro::lite::experiment::DatasetBuilder;
 use lite_repro::lite::necs::NecsConfig;

@@ -9,6 +9,9 @@
 //! Generation, then recommend a configuration for a 16 GB TeraSort on
 //! cluster C and compare it against the Spark defaults.
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use lite_repro::lite::experiment::DatasetBuilder;
 use lite_repro::lite::necs::NecsConfig;
 use lite_repro::lite::recommend::LiteTuner;

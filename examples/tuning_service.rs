@@ -6,6 +6,9 @@
 //! and shows the resulting hot-swap: same request, new model version,
 //! cache transparently invalidated.
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

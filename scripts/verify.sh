@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> scripts/lint.sh (workspace invariant gate)"
+./scripts/lint.sh
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
