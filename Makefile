@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the full pre-merge gate.
 
-.PHONY: verify fmt lint build test bench quick loadtest chaos scrape demo analyze
+.PHONY: verify fmt lint build test bench quick loadtest chaos scrape tail demo analyze
 
 verify:
 	./scripts/verify.sh
@@ -43,6 +43,13 @@ chaos:
 # hot-swap; writes results/telemetry_scrape.{manifest.jsonl,prom,trace.json}.
 scrape:
 	cargo run --release -p lite-bench --bin telemetry_scrape
+
+# Tail-forensics scenario: traced load against the serve plane, per-phase
+# latency attribution, slow-request exemplar capture, and the tracing
+# overhead gate (<5% vs an untraced server); writes
+# results/tail_forensics.{manifest.jsonl,trace.json}.
+tail:
+	cargo run --release -p lite-bench --bin tail_forensics
 
 # Static vs dynamic cold-start extraction: wall-time and StageCode
 # equivalence across all 15 workloads; manifest goes to

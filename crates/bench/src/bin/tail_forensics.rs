@@ -1,0 +1,340 @@
+//! Tail forensics for lite-serve: traced TCP load against a live service,
+//! per-phase latency attribution, slow-request exemplar capture, and the
+//! tracing-overhead budget check.
+//!
+//! Reported into `results/tail_forensics.manifest.jsonl`:
+//! * per-phase p50/p99 latency attribution from the `serve.phase.*_ns`
+//!   histograms, with each phase's share of attributed time,
+//! * the slowest captured exemplar: how many distinct phases it spans and
+//!   what fraction of its end-to-end time the phase spans account for
+//!   (asserted ≥ 95 %),
+//! * the `tailtrace` admin op answering over TCP with the same exemplars,
+//! * measured tracing overhead vs an identical untraced server, as a
+//!   median paired-batch ratio (asserted < 5 %, the same robust-minimum
+//!   idiom as the simulator's `obs_overhead` gate).
+//!
+//! The captured exemplars are also written as Chrome trace-event JSON
+//! (`results/tail_forensics.trace.json`, Perfetto-loadable).
+//!
+//! `LITE_BENCH_QUICK=1` shrinks the run for smoke testing.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lite_bench::finish_report;
+use lite_core::amu::AmuConfig;
+use lite_core::experiment::DatasetBuilder;
+use lite_core::necs::NecsConfig;
+use lite_core::recommend::LiteTuner;
+use lite_obs::trace::Phase;
+use lite_obs::{Json, Registry, Report, Tracer};
+use lite_serve::{ModelSnapshot, ServeConfig, Service, TraceConfig};
+use lite_sparksim::cluster::ClusterSpec;
+use lite_workloads::apps::AppId;
+use lite_workloads::data::SizeTier;
+
+const SERVED_APPS: [AppId; 3] = [AppId::Sort, AppId::KMeans, AppId::PageRank];
+
+fn main() {
+    let t0 = Instant::now();
+    let quick = lite_bench::quick_mode();
+    let report = Report::new("tail_forensics");
+    report.field("quick_mode", quick);
+
+    let client_threads: usize = 3;
+    let min_reqs_per_thread: usize = if quick { 40 } else { 200 };
+    report.field("client_threads", client_threads);
+    report.field("min_reqs_per_thread", min_reqs_per_thread);
+
+    // ---- offline phase: dataset + model ---------------------------------
+    let ds = report.phase("dataset", || {
+        Arc::new(
+            DatasetBuilder {
+                apps: SERVED_APPS.to_vec(),
+                clusters: vec![ClusterSpec::cluster_a()],
+                tiers: vec![SizeTier::Train(0), SizeTier::Train(2)],
+                confs_per_cell: if quick { 2 } else { 3 },
+                seed: 4711,
+            }
+            .build(),
+        )
+    });
+    let tuner = report.phase("train", || {
+        LiteTuner::from_dataset(
+            &ds,
+            NecsConfig { epochs: if quick { 2 } else { 6 }, ..Default::default() },
+            4711,
+        )
+    });
+    eprintln!("[tail] model ready ({:.0}s)", t0.elapsed().as_secs_f64());
+
+    let config = |trace: Option<TraceConfig>| ServeConfig {
+        workers: 2,
+        queue_capacity: 64,
+        update_batch: 1_000_000,
+        amu: AmuConfig { epochs: 1, half_batch: 64, ..Default::default() },
+        trace,
+        ..Default::default()
+    };
+    let trace_cfg = TraceConfig { capture_threshold: Duration::ZERO, exemplar_top_k: 16 };
+    let registry = Registry::new();
+    let service = Service::start(
+        ModelSnapshot::from_tuner(&tuner),
+        ds.clone(),
+        config(Some(trace_cfg.clone())),
+        &registry,
+        Tracer::disabled(),
+    );
+    let handle = service.handle();
+    let server = lite_serve::net::serve_tcp(service.handle(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    // ---- traced load over TCP -------------------------------------------
+    let latencies_s = report.phase("load", || {
+        let clients: Vec<_> = (0..client_threads)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut client = lite_serve::Client::connect(addr).expect("connect");
+                    assert_eq!(client.negotiate().expect("hello"), 2, "server must speak v2");
+                    let mut lat = Vec::with_capacity(min_reqs_per_thread);
+                    for i in 0..min_reqs_per_thread {
+                        let app = SERVED_APPS[(t + i) % SERVED_APPS.len()];
+                        let data = app.dataset(SizeTier::Valid);
+                        let seed = (i % 8) as u64;
+                        let id = ((t as u64 + 1) << 32) | (i as u64 + 1);
+                        let t_req = Instant::now();
+                        let resp = client
+                            .recommend_traced(app, &data, "cluster-a", 5, seed, id)
+                            .expect("recommend");
+                        if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                            lat.push(t_req.elapsed().as_secs_f64());
+                            assert_eq!(
+                                resp.get("t").and_then(Json::as_u64),
+                                Some(id),
+                                "traced response must echo its id"
+                            );
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let mut lat: Vec<f64> =
+            clients.into_iter().flat_map(|c| c.join().expect("client thread")).collect();
+        lat.sort_by(f64::total_cmp);
+        lat
+    });
+    let pct = |samples: &[f64], q: f64| -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples[((samples.len() - 1) as f64 * q).round() as usize]
+    };
+    let (e2e_p50_ms, e2e_p99_ms) = (pct(&latencies_s, 0.50) * 1e3, pct(&latencies_s, 0.99) * 1e3);
+    report.field("requests_ok", latencies_s.len());
+    report.field("e2e_p50_ms", e2e_p50_ms);
+    report.field("e2e_p99_ms", e2e_p99_ms);
+
+    // ---- the tailtrace op answers over TCP ------------------------------
+    let mut admin = lite_serve::Client::connect(addr).expect("connect");
+    let tail = admin.tailtrace().expect("tailtrace");
+    assert_eq!(tail.get("ok").and_then(Json::as_bool), Some(true), "{tail:?}");
+    let wire_exemplars = tail.get("exemplars").and_then(Json::as_arr).expect("exemplars").len();
+    assert!(wire_exemplars >= 1, "tailtrace must return captured exemplars");
+    drop(admin);
+
+    let (completed, captured) = handle.tail_totals();
+    let exemplars = handle.tail_exemplars();
+    report.field("completed", completed);
+    report.field("captured", captured);
+    report.field("exemplars", exemplars.len());
+    report.field("tailtrace_wire_exemplars", wire_exemplars);
+
+    // ---- per-phase attribution ------------------------------------------
+    let snapshot = registry.snapshot();
+    // Accept is the idle wait for the next request frame — real time, but
+    // outside the request's end-to-end window, so it is excluded from
+    // attribution shares.
+    let attributed_sum: u64 = Phase::ALL
+        .iter()
+        .filter(|p| **p != Phase::Accept)
+        .filter_map(|p| snapshot.histogram(p.metric_name()))
+        .map(|h| h.sum)
+        .sum();
+    let widths = [14usize, 8, 10, 10, 9];
+    let mut table = report.table(
+        "tail forensics — per-phase latency attribution",
+        &["phase", "count", "p50_us", "p99_us", "share_pct"],
+        &widths,
+    );
+    for phase in Phase::ALL {
+        let h = snapshot.histogram(phase.metric_name()).cloned().unwrap_or_else(|| {
+            panic!("phase {} has no histogram {}", phase.name(), phase.metric_name())
+        });
+        let share = if phase == Phase::Accept || attributed_sum == 0 {
+            0.0
+        } else {
+            h.sum as f64 / attributed_sum as f64 * 100.0
+        };
+        table.row(&[
+            phase.name().to_string(),
+            format!("{}", h.count),
+            format!("{:.1}", h.p50 as f64 / 1e3),
+            format!("{:.1}", h.p99 as f64 / 1e3),
+            format!("{share:.1}"),
+        ]);
+    }
+    drop(table);
+
+    // ---- the slowest exemplar accounts for its own tail ------------------
+    let top = exemplars.first().expect("at least one exemplar");
+    let distinct: BTreeSet<usize> = top.spans.iter().map(|s| s.phase as usize).collect();
+    let span_sum: u64 =
+        top.spans.iter().filter(|s| s.phase != Phase::Accept).map(|s| s.duration_ns()).sum();
+    let attribution_pct = span_sum as f64 / top.total_ns.max(1) as f64 * 100.0;
+    report.field("top_exemplar_total_ms", top.total_ns as f64 / 1e6);
+    report.field("top_exemplar_distinct_phases", distinct.len());
+    report.field("top_exemplar_attribution_pct", attribution_pct);
+    report.note(&format!(
+        "slowest request ({:.2} ms end to end) spans {} distinct phases covering {:.1}% of it.",
+        top.total_ns as f64 / 1e6,
+        distinct.len(),
+        attribution_pct
+    ));
+    assert!(
+        distinct.len() >= 8,
+        "a slow TCP request must cross >= 8 distinct phases, saw {distinct:?}"
+    );
+    assert!(
+        attribution_pct >= 95.0,
+        "phase spans must account for >= 95% of the slowest request's end-to-end time, \
+         got {attribution_pct:.1}%"
+    );
+
+    // ---- Chrome trace artifact ------------------------------------------
+    let trace_doc = lite_obs::chrome_trace_exemplars(&exemplars);
+    let dir = lite_bench::results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let trace_path = dir.join("tail_forensics.trace.json");
+    match std::fs::write(&trace_path, trace_doc.render()) {
+        Ok(()) => eprintln!("[tail] chrome trace written to {}", trace_path.display()),
+        Err(e) => eprintln!("[tail] could not write chrome trace: {e}"),
+    }
+
+    server.shutdown();
+    report.metrics(&registry);
+
+    // ---- overhead: traced vs untraced server, paired batches ------------
+    let plain_registry = Registry::new();
+    let plain_service = Service::start(
+        ModelSnapshot::from_tuner(&tuner),
+        ds.clone(),
+        config(None),
+        &plain_registry,
+        Tracer::disabled(),
+    );
+    let plain_server =
+        lite_serve::net::serve_tcp(plain_service.handle(), "127.0.0.1:0").expect("bind");
+    // A second traced server so both sides start with a cold cache.
+    let probe_registry = Registry::new();
+    let probe_service = Service::start(
+        ModelSnapshot::from_tuner(&tuner),
+        ds.clone(),
+        config(Some(trace_cfg)),
+        &probe_registry,
+        Tracer::disabled(),
+    );
+    let probe_server =
+        lite_serve::net::serve_tcp(probe_service.handle(), "127.0.0.1:0").expect("bind");
+
+    let ratio = report.phase("overhead", || {
+        let mut base = lite_serve::Client::connect(plain_server.local_addr()).expect("connect");
+        let mut probe = lite_serve::Client::connect(probe_server.local_addr()).expect("connect");
+        assert_eq!(base.negotiate().expect("hello"), 2);
+        assert_eq!(probe.negotiate().expect("hello"), 2);
+        let data = AppId::KMeans.dataset(SizeTier::Valid);
+        // Warm up both paths (and both caches) identically.
+        for i in 0..16 {
+            let _ = base.recommend(AppId::KMeans, &data, "cluster-a", 3, i % 8);
+            let _ = probe.recommend_traced(AppId::KMeans, &data, "cluster-a", 3, i % 8, i + 1);
+        }
+        let base = RefCell::new(base);
+        let probe = RefCell::new(probe);
+        robust_ratio(
+            quick,
+            &|seed| {
+                let resp = base
+                    .borrow_mut()
+                    .recommend(AppId::KMeans, &data, "cluster-a", 3, seed % 8)
+                    .expect("recommend");
+                std::hint::black_box(resp);
+            },
+            &|seed| {
+                let resp = probe
+                    .borrow_mut()
+                    .recommend_traced(AppId::KMeans, &data, "cluster-a", 3, seed % 8, seed + 17)
+                    .expect("recommend");
+                std::hint::black_box(resp);
+            },
+        )
+    });
+    plain_server.shutdown();
+    probe_server.shutdown();
+    plain_service.shutdown();
+    probe_service.shutdown();
+    service.shutdown();
+
+    report.field("overhead_ratio", ratio);
+    report.note(&format!(
+        "tracing overhead vs an untraced server: {:+.1}% (median paired-batch ratio {ratio:.4}).",
+        (ratio - 1.0) * 100.0
+    ));
+    assert!(
+        ratio < 1.05,
+        "tracing adds {:.1}% to request latency (ratio {ratio:.4}); the budget is 5%",
+        (ratio - 1.0) * 100.0
+    );
+
+    finish_report(&report);
+    eprintln!("[tail] total {:.0}s", t0.elapsed().as_secs_f64());
+}
+
+/// Median of per-batch wall-clock ratios `probe / base` — the two closures
+/// run back to back inside every batch so machine-speed drift cancels out
+/// of each ratio (the `obs_overhead` idiom).
+fn median_paired_ratio(quick: bool, attempt: u64, base: &dyn Fn(u64), probe: &dyn Fn(u64)) -> f64 {
+    let batches: usize = if quick { 15 } else { 41 };
+    let runs_per_batch: u64 = if quick { 6 } else { 10 };
+    let mut ratios = Vec::with_capacity(batches);
+    for b in 0..batches as u64 {
+        let seed0 = (attempt * batches as u64 + b) * runs_per_batch;
+        let t0 = Instant::now();
+        for i in 0..runs_per_batch {
+            base(seed0 + i);
+        }
+        let base_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        for i in 0..runs_per_batch {
+            probe(seed0 + i);
+        }
+        ratios.push(t1.elapsed().as_secs_f64() / base_s.max(1e-12));
+    }
+    ratios.sort_by(f64::total_cmp);
+    ratios[batches / 2]
+}
+
+/// Smallest paired-ratio median over up to three attempts: noise can
+/// inflate one attempt, but it cannot make a genuinely slow path measure
+/// fast three times in a row.
+fn robust_ratio(quick: bool, base: &dyn Fn(u64), probe: &dyn Fn(u64)) -> f64 {
+    let mut best = f64::INFINITY;
+    for attempt in 0..3 {
+        best = best.min(median_paired_ratio(quick, attempt, base, probe));
+        if best < 1.04 {
+            break;
+        }
+    }
+    best
+}

@@ -15,10 +15,17 @@
 //! (`{"traceEvents": [...]}`) loadable in Perfetto / `chrome://tracing`:
 //! every span becomes a `B`/`E` duration pair, nested via the span's
 //! parent chain, with attributes as `args`.
+//!
+//! Two tail-forensics companions: [`prometheus_text_with_exemplars`]
+//! annotates histogram series with `# trace_id` comment lines linking a
+//! latency bucket back to the slow request that fed it, and
+//! [`chrome_trace_exemplars`] renders captured [`Exemplar`]s as one
+//! Perfetto track per slow request.
 
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 use crate::span::{AttrValue, SpanRecord};
+use crate::trace::Exemplar;
 use std::fmt::Write as _;
 
 /// Sanitize a registry metric name into a valid Prometheus metric name
@@ -81,6 +88,24 @@ fn render_value(v: f64) -> String {
 /// both report the bucket total so the series is internally consistent
 /// even when racing writers make the shard count differ transiently.
 pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    prometheus_text_with_exemplars(snapshot, &[])
+}
+
+/// A tail-forensics exemplar annotation for one metric: `(metric name,
+/// trace id, observed value)`. The metric name is sanitized the same way
+/// as registry names before matching.
+pub type PromExemplar = (String, u64, u64);
+
+/// [`prometheus_text`] plus `# trace_id <metric> <id> <value>` annotation
+/// comment lines after the histogram series each exemplar belongs to —
+/// exemplar-style links from a latency histogram back to the slow request
+/// that fed it. They are plain comments, so any 0.0.4 scraper ignores
+/// them; exemplars naming a metric absent from the snapshot are appended
+/// at the end rather than silently dropped.
+pub fn prometheus_text_with_exemplars(
+    snapshot: &MetricsSnapshot,
+    exemplars: &[PromExemplar],
+) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
         let n = sanitize_metric_name(name);
@@ -92,6 +117,7 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "# TYPE {n} gauge");
         let _ = writeln!(out, "{n} {}", render_value(*value));
     }
+    let mut matched = vec![false; exemplars.len()];
     for (name, h) in &snapshot.histograms {
         let n = sanitize_metric_name(name);
         let _ = writeln!(out, "# TYPE {n} histogram");
@@ -103,6 +129,17 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cumulative}");
         let _ = writeln!(out, "{n}_sum {}", h.sum);
         let _ = writeln!(out, "{n}_count {cumulative}");
+        for (i, (metric, trace_id, value)) in exemplars.iter().enumerate() {
+            if !matched[i] && sanitize_metric_name(metric) == n {
+                matched[i] = true;
+                let _ = writeln!(out, "# trace_id {n} {trace_id} {value}");
+            }
+        }
+    }
+    for (i, (metric, trace_id, value)) in exemplars.iter().enumerate() {
+        if !matched[i] {
+            let _ = writeln!(out, "# trace_id {} {trace_id} {value}", sanitize_metric_name(metric));
+        }
     }
     out
 }
@@ -211,6 +248,49 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> Json {
     ])
 }
 
+/// Render tail-forensics [`Exemplar`]s as a Chrome trace-event JSON
+/// object. Each exemplar's phase spans become `X` (complete) events on a
+/// track keyed by the trace id, so one slow request reads as one lane in
+/// Perfetto with its phases laid end to end. Queue depth and the
+/// swap-in-progress flag ride along as `args`.
+pub fn chrome_trace_exemplars(exemplars: &[Exemplar]) -> Json {
+    // Nanoseconds as (possibly fractional) trace-event microseconds, in
+    // the parser's preferred representation so documents round-trip:
+    // whole microseconds render as integers, sub-µs remainders as floats.
+    fn us_json(ns: u64) -> Json {
+        if ns.is_multiple_of(1_000) {
+            uint_json(ns / 1_000)
+        } else {
+            Json::Num(ns as f64 / 1_000.0)
+        }
+    }
+    let mut events: Vec<Json> = Vec::new();
+    for e in exemplars {
+        for s in &e.spans {
+            let mut args = vec![
+                ("trace_id".to_string(), uint_json(s.trace_id)),
+                ("queue_depth".to_string(), uint_json(u64::from(s.queue_depth))),
+            ];
+            if s.swap_in_progress {
+                args.push(("swap_in_progress".to_string(), Json::Bool(true)));
+            }
+            events.push(Json::obj(vec![
+                ("name", Json::Str(s.phase.name().to_string())),
+                ("ph", Json::Str("X".to_string())),
+                ("ts", us_json(s.start_ns)),
+                ("dur", us_json(s.duration_ns())),
+                ("pid", Json::Int(1)),
+                ("tid", uint_json(e.trace_id)),
+                ("args", Json::Obj(args)),
+            ]));
+        }
+    }
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ms".to_string())),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +390,70 @@ mod tests {
         let tids: Vec<u64> =
             events.iter().map(|e| e.get("tid").and_then(|t| t.as_u64()).unwrap()).collect();
         assert_eq!(tids, [3, 3, 7, 7]);
+    }
+
+    #[test]
+    fn exemplar_comments_follow_their_histogram() {
+        let reg = Registry::new();
+        let h = reg.histogram("serve.phase.score_ns");
+        h.record(1_000);
+        let text = prometheus_text_with_exemplars(
+            &reg.snapshot(),
+            &[
+                ("serve.phase.score_ns".to_string(), 0xABCD, 1_000),
+                ("serve.phase.write_ns".to_string(), 7, 9), // no such histogram
+            ],
+        );
+        // The matching exemplar sits inside the exposition, after its block.
+        let lines: Vec<&str> = text.lines().collect();
+        let hist = lines.iter().position(|l| l.starts_with("# TYPE serve_phase_score_ns"));
+        let ex = lines.iter().position(|l| *l == "# trace_id serve_phase_score_ns 43981 1000");
+        assert!(hist.unwrap() < ex.unwrap(), "{text}");
+        // The unmatched one still surfaces, at the end.
+        assert_eq!(*lines.last().unwrap(), "# trace_id serve_phase_write_ns 7 9");
+        // Annotations never perturb the plain exposition.
+        let plain = prometheus_text(&reg.snapshot());
+        let stripped: String = text.lines().filter(|l| !l.starts_with("# trace_id")).fold(
+            String::new(),
+            |mut s, l| {
+                s.push_str(l);
+                s.push('\n');
+                s
+            },
+        );
+        assert_eq!(stripped, plain);
+    }
+
+    #[test]
+    fn exemplars_render_as_complete_events_per_trace() {
+        use crate::trace::{Phase, PhaseSpan};
+        let span = |phase, start_ns, end_ns| PhaseSpan {
+            trace_id: 99,
+            phase,
+            start_ns,
+            end_ns,
+            queue_depth: 4,
+            swap_in_progress: phase == Phase::Score,
+        };
+        let ex = Exemplar {
+            trace_id: 99,
+            total_ns: 5_000,
+            spans: vec![span(Phase::Parse, 0, 1_500), span(Phase::Score, 1_500, 5_000)],
+        };
+        let trace = chrome_trace_exemplars(&[ex]);
+        let events = trace.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        assert_eq!(events.len(), 2);
+        for ev in events {
+            assert_eq!(ev.get("ph").and_then(|p| p.as_str()), Some("X"));
+            assert_eq!(ev.get("tid").and_then(|t| t.as_u64()), Some(99));
+        }
+        assert_eq!(events[0].get("name").and_then(|n| n.as_str()), Some("parse"));
+        assert_eq!(
+            events[1].get("args").and_then(|a| a.get("swap_in_progress")),
+            Some(&Json::Bool(true))
+        );
+        // The rendered document parses back.
+        assert_eq!(Json::parse(&trace.render()).unwrap(), trace);
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //! renders snapshots as Prometheus text exposition and finished spans as
 //! Chrome trace-event JSON (Perfetto-loadable).
 //!
+//! On top of those sits [`trace`] — request-scoped tail forensics: phase
+//! spans keyed by a [`trace::TraceId`], recorded into lock-free per-thread
+//! rings, attributed into per-phase histograms, and retained in full for
+//! the slowest requests as [`trace::Exemplar`]s.
+//!
 //! ```
 //! use lite_obs::span::Tracer;
 //! use lite_obs::metrics::Registry;
@@ -49,11 +54,16 @@ pub mod metrics;
 pub mod report;
 pub mod sketch;
 pub mod span;
+pub mod trace;
 
-pub use export::{chrome_trace, prometheus_text};
+pub use export::{
+    chrome_trace, chrome_trace_exemplars, prometheus_text, prometheus_text_with_exemplars,
+    PromExemplar,
+};
 pub use json::{Json, JsonError};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramBatch, HistogramSummary, MetricsSnapshot, Registry,
 };
 pub use report::Report;
 pub use span::{AttrValue, SpanGuard, SpanRecord, SynthSpan, Tracer};
+pub use trace::{Exemplar, Phase, PhaseHistograms, PhaseSpan, TraceId, TraceSink};

@@ -19,8 +19,32 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+/// The single monotonic epoch every span (and request-path phase span, see
+/// [`crate::trace`]) is stamped against. Spans from different tracers and
+/// different threads are directly comparable: a request accepted on the
+/// listener thread and scored on a worker thread carry timestamps on one
+/// axis. Fixed at first use, which is "process start" for any program that
+/// creates a tracer early; the absolute origin is irrelevant, only that it
+/// is shared.
+fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process trace epoch. Shared timestamp source for
+/// every tracer in the process.
+pub fn epoch_us() -> u64 {
+    process_epoch().elapsed().as_micros() as u64
+}
+
+/// Nanoseconds since the process trace epoch (the request-path phase
+/// clock; phase spans need sub-microsecond resolution).
+pub fn epoch_ns() -> u64 {
+    process_epoch().elapsed().as_nanos() as u64
+}
 
 /// A span attribute value.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,9 +70,9 @@ pub struct SpanRecord {
     pub parent: Option<u64>,
     /// Static span name (dynamic context goes into `attrs`).
     pub name: &'static str,
-    /// Microseconds since the tracer was created when the span opened.
+    /// Microseconds since the process trace epoch when the span opened.
     pub start_us: u64,
-    /// Microseconds since the tracer was created when the span closed.
+    /// Microseconds since the process trace epoch when the span closed.
     pub end_us: u64,
     /// Key/value attributes in insertion order.
     pub attrs: Vec<(&'static str, AttrValue)>,
@@ -78,7 +102,6 @@ thread_local! {
 
 struct TracerInner {
     tracer_id: usize,
-    epoch: Instant,
     fine: bool,
     next_span_id: AtomicU64,
     finished: Mutex<Vec<SpanRecord>>,
@@ -92,10 +115,12 @@ pub struct Tracer {
 }
 
 impl Tracer {
-    /// An enabled tracer with its clock epoch at "now", recording at
-    /// standard detail: call sites gate their highest-volume spans (e.g.
-    /// the simulator's per-wave spans) behind [`Tracer::is_fine`], the
-    /// span analogue of a DEBUG log level.
+    /// An enabled tracer recording at standard detail: call sites gate
+    /// their highest-volume spans (e.g. the simulator's per-wave spans)
+    /// behind [`Tracer::is_fine`], the span analogue of a DEBUG log level.
+    /// Timestamps are relative to the shared process epoch (see
+    /// [`epoch_us`]), so spans from distinct tracers and threads order
+    /// against each other.
     pub fn new() -> Tracer {
         Tracer::with_detail(false)
     }
@@ -109,10 +134,12 @@ impl Tracer {
     }
 
     fn with_detail(fine: bool) -> Tracer {
+        // Pin the shared epoch no later than first tracer creation so
+        // `start_us` stays small and `as u64` casts never saturate.
+        let _ = process_epoch();
         Tracer {
             inner: Some(Arc::new(TracerInner {
                 tracer_id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
-                epoch: Instant::now(),
                 fine,
                 next_span_id: AtomicU64::new(1),
                 finished: Mutex::new(Vec::new()),
@@ -157,7 +184,7 @@ impl Tracer {
                     id,
                     parent,
                     name,
-                    start_us: inner.epoch.elapsed().as_micros() as u64,
+                    start_us: epoch_us(),
                     end_us: 0,
                     attrs: Vec::new(),
                 },
@@ -201,11 +228,12 @@ impl Tracer {
         self.finished().into_iter().filter(|s| s.name == name).collect()
     }
 
-    /// Microseconds since the tracer's epoch (0 when disabled). One clock
-    /// read; lets hot paths stamp many [`SynthSpan`]s from one reading.
+    /// Microseconds since the process trace epoch (0 when disabled). One
+    /// clock read; lets hot paths stamp many [`SynthSpan`]s from one
+    /// reading.
     pub fn now_us(&self) -> u64 {
         match &self.inner {
-            Some(inner) => inner.epoch.elapsed().as_micros() as u64,
+            Some(_) => epoch_us(),
             None => 0,
         }
     }
@@ -251,9 +279,10 @@ pub struct SynthSpan {
     pub parent: Option<u64>,
     /// Static span name.
     pub name: &'static str,
-    /// Microseconds since the tracer epoch at open ([`Tracer::now_us`]).
+    /// Microseconds since the process trace epoch at open
+    /// ([`Tracer::now_us`]).
     pub start_us: u64,
-    /// Microseconds since the tracer epoch at close.
+    /// Microseconds since the process trace epoch at close.
     pub end_us: u64,
     /// Key/value attributes in insertion order.
     pub attrs: Vec<(&'static str, AttrValue)>,
@@ -328,7 +357,7 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(mut active) = self.active.take() else { return };
-        active.record.end_us = active.tracer.epoch.elapsed().as_micros() as u64;
+        active.record.end_us = epoch_us();
         OPEN_STACK.with(|s| {
             let mut s = s.borrow_mut();
             // Guards normally drop in LIFO order; be robust if not.
@@ -492,6 +521,35 @@ mod tests {
         assert_eq!(Tracer::disabled().current_span_id(), None);
         assert_eq!(Tracer::disabled().now_us(), 0);
         t.record_batch(vec![]);
+    }
+
+    #[test]
+    fn timestamps_order_across_tracers_and_threads() {
+        // A tracer created *later* must not reset the clock: spans recorded
+        // after another tracer's spans carry larger timestamps even though
+        // the second tracer is younger, and the same holds when the later
+        // span runs on a different thread.
+        let early = Tracer::new();
+        drop(early.span("first"));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let late = Tracer::new();
+        let first = &early.finished()[0];
+        let second = std::thread::spawn(move || {
+            drop(late.span("second"));
+            late.finished()[0].clone()
+        })
+        .join()
+        .unwrap();
+        assert!(
+            second.start_us >= first.end_us,
+            "younger tracer's span ({} us) predates older tracer's finished span ({} us)",
+            second.start_us,
+            first.end_us,
+        );
+        // The nanosecond phase clock shares the same epoch.
+        let us = epoch_us();
+        let ns = epoch_ns();
+        assert!(ns / 1000 >= us && ns / 1000 - us < 100_000, "epoch_ns and epoch_us diverge");
     }
 
     #[test]

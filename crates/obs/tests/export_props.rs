@@ -4,7 +4,7 @@
 //! shaped registries and span forests (including orphaned parents and
 //! inverted/out-of-parent timestamp edges, which the renderer must clamp).
 
-use lite_obs::export::{chrome_trace, prometheus_text};
+use lite_obs::export::{chrome_trace, prometheus_text, prometheus_text_with_exemplars};
 use lite_obs::span::AttrValue;
 use lite_obs::{Json, Registry, SpanRecord};
 use proptest::prelude::*;
@@ -63,6 +63,7 @@ fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
 enum Line {
     Type { name: String, kind: String },
     Sample { name: String, labels: Vec<(String, String)>, value: String },
+    Exemplar { name: String },
 }
 
 fn parse_line(line: &str) -> Result<Line, String> {
@@ -80,6 +81,22 @@ fn parse_line(line: &str) -> Result<Line, String> {
             return Err(format!("unknown TYPE kind {kind:?}"));
         }
         return Ok(Line::Type { name: name.to_string(), kind: kind.to_string() });
+    }
+    if let Some(rest) = line.strip_prefix("# trace_id ") {
+        // Tail-forensics exemplar annotation: `# trace_id <metric> <id> <value>`.
+        let parts: Vec<&str> = rest.split(' ').collect();
+        if parts.len() != 3 {
+            return Err(format!("malformed trace_id comment {rest:?}"));
+        }
+        if !is_valid_metric_name(parts[0]) {
+            return Err(format!("invalid exemplar metric {:?}", parts[0]));
+        }
+        for tok in &parts[1..] {
+            if tok.parse::<u64>().is_err() {
+                return Err(format!("non-integer exemplar token {tok:?}"));
+            }
+        }
+        return Ok(Line::Exemplar { name: parts[0].to_string() });
     }
     if line.starts_with('#') {
         return Err("unexpected comment line".into());
@@ -130,6 +147,10 @@ proptest! {
             ("[a-z .-]{0,24}", prop::collection::vec(any::<u64>(), 0..32usize)),
             0..4usize,
         ),
+        exemplars in prop::collection::vec(
+            ("[a-z .-]{0,24}", any::<u64>(), any::<u64>()),
+            0..4usize,
+        ),
     ) {
         let reg = Registry::new();
         for (name, v) in &counters {
@@ -144,7 +165,17 @@ proptest! {
                 h.record(v);
             }
         }
-        let text = prometheus_text(&reg.snapshot());
+        let snapshot = reg.snapshot();
+        let text = prometheus_text_with_exemplars(&snapshot, &exemplars);
+        // The `# trace_id` annotations are pure comments: stripping them
+        // recovers the plain exposition byte-for-byte.
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("# trace_id"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        prop_assert_eq!(&stripped, &prometheus_text(&snapshot));
+        let mut exemplar_lines = 0usize;
 
         let mut declared: BTreeMap<String, String> = BTreeMap::new();
         // Per histogram family: cumulative bucket counts and le bounds as
@@ -156,6 +187,10 @@ proptest! {
             match line {
                 Line::Type { name, kind } => {
                     declared.insert(name, kind);
+                }
+                Line::Exemplar { name } => {
+                    prop_assert!(is_valid_metric_name(&name));
+                    exemplar_lines += 1;
                 }
                 Line::Sample { name, labels, value } => {
                     // Every sample belongs to a declared family.
@@ -203,6 +238,8 @@ proptest! {
                 prop_assert!(bucket_series.contains_key(base), "{base}: no buckets");
             }
         }
+        // No exemplar annotation is silently dropped.
+        prop_assert_eq!(exemplar_lines, exemplars.len());
     }
 }
 

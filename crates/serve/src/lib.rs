@@ -32,7 +32,15 @@
 //! length-prefixed TCP front-end in [`net`], which reuses
 //! [`lite_obs::Json`] for wire encoding and also answers the admin ops
 //! (`stats`, `metrics` as Prometheus text, `trace` as Chrome trace JSON,
-//! `health`). Everything is `std`-only on top of the workspace crates.
+//! `health`, `tailtrace` for slow-request exemplars). Everything is
+//! `std`-only on top of the workspace crates.
+//!
+//! With [`service::TraceConfig`] enabled, every v2 `recommend` is traced
+//! end to end: each hop — frame read, parse, enqueue, queue wait, dequeue,
+//! snapshot load, cache lookup, scoring, serialization, socket write —
+//! records a [`lite_obs::PhaseSpan`] into lock-free per-thread rings and a
+//! per-phase latency histogram, and the slowest requests are retained in
+//! full as [`lite_obs::Exemplar`]s served by the `tailtrace` admin op.
 
 pub mod cache;
 pub mod monitor;
@@ -51,7 +59,7 @@ pub use resilience::{
 };
 pub use service::{
     ConfigError, RecommendResponse, ServeConfig, ServeConfigBuilder, ServeError, Service,
-    ServiceHandle, ServiceStats,
+    ServiceHandle, ServiceStats, TraceConfig,
 };
 pub use slot::{SlotReader, VersionedSlot};
 pub use snapshot::ModelSnapshot;

@@ -35,6 +35,13 @@
 //!   frame the oldest spans are shed and counted in `dropped_spans`.
 //! * `{"op":"health"}` → `{"ok":true,"status":"ok","version":v,
 //!   "uptime_s":u}` — liveness for probes.
+//! * `{"op":"tailtrace"}` → `{"ok":true,"completed":n,"captured":m,
+//!   "threshold_ns":t,"exemplars":[{"trace_id":id,"total_ns":t,
+//!   "spans":[{"phase":"queue_wait","start_ns":a,"end_ns":b,
+//!   "queue_depth":d,"swap":false},...]},...]}` — the slowest captured
+//!   requests in full, phase by phase, slowest first. Empty when tail
+//!   forensics is disabled. When the document would overflow the response
+//!   frame the fastest exemplars are shed first.
 //! * `{"op":"analyze","app":"KMeans"}` (or `"source":"...",`
 //!   `"iterations":n` for submitted text) → `{"ok":true,"app_name":...,
 //!   "stages":[{"template":...,"ops":["textFile",...],
@@ -56,6 +63,18 @@
 //! `min(client max, server max)`). Payload field names are shared with v1,
 //! so v2 costs no second parser; requests without `"v"` keep decoding as
 //! v1 byte-for-byte. Success responses under v2 are stamped `"v":2`.
+//!
+//! ## Trace header (`"t"`)
+//!
+//! v2 `recommend` requests may carry an optional `"t"` field — a nonzero
+//! u64 trace id. When the server runs with tail forensics enabled, the
+//! request's path through the server (frame read, parse, queueing,
+//! scoring, serialization, write) is recorded under that id, the id is
+//! echoed as `"t"` in the v2 success response, and a request without the
+//! field is assigned a server-generated id at accept. The field is
+//! strictly additive: requests without it are decoded byte-for-byte as
+//! before, v1 peers are served unchanged, and with forensics disabled the
+//! field is ignored and responses carry no `"t"`.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -63,6 +82,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use lite_obs::span::epoch_ns;
+use lite_obs::trace::{Exemplar, Phase, TraceId};
 use lite_obs::Json;
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::conf::{ConfSpace, SparkConf, NUM_KNOBS};
@@ -103,11 +124,13 @@ pub enum OpCode {
     Hello = 7,
     /// Static stage extraction + lints for cold-start onboarding.
     Analyze = 8,
+    /// Slow-request exemplars from the tail-forensics reservoir.
+    Tailtrace = 9,
 }
 
 impl OpCode {
     /// All operations, for exhaustive round-trip tests.
-    pub const ALL: [OpCode; 9] = [
+    pub const ALL: [OpCode; 10] = [
         OpCode::Ping,
         OpCode::Recommend,
         OpCode::Observe,
@@ -117,6 +140,7 @@ impl OpCode {
         OpCode::Health,
         OpCode::Hello,
         OpCode::Analyze,
+        OpCode::Tailtrace,
     ];
 
     /// The numeric wire code.
@@ -136,6 +160,7 @@ impl OpCode {
             OpCode::Health => "health",
             OpCode::Hello => "hello",
             OpCode::Analyze => "analyze",
+            OpCode::Tailtrace => "tailtrace",
         }
     }
 
@@ -241,19 +266,28 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
 
 /// Read one frame; `None` on a clean EOF before the length prefix.
 pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
+    Ok(read_frame_timed(r)?.map(|(payload, _)| payload))
+}
+
+/// [`read_frame`], also reporting the epoch-ns instant the length prefix
+/// finished arriving — the boundary between waiting for a request and
+/// transferring it, which tail forensics uses to split the idle `Accept`
+/// wait from the `FrameRead` transfer.
+fn read_frame_timed<R: Read>(r: &mut R) -> std::io::Result<Option<(Vec<u8>, u64)>> {
     let mut len_buf = [0u8; 4];
     match r.read_exact(&mut len_buf) {
         Ok(()) => {}
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e),
     }
+    let arrived_ns = epoch_ns();
     let len = u32::from_be_bytes(len_buf);
     if len > MAX_FRAME {
         return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"));
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+    Ok(Some((payload, arrived_ns)))
 }
 
 // ---------------------------------------------------------------------------
@@ -330,25 +364,48 @@ pub fn serve_tcp<A: ToSocketAddrs>(handle: ServiceHandle, addr: A) -> std::io::R
 fn connection_loop(mut stream: TcpStream, handle: ServiceHandle) {
     let space = ConfSpace::table_iv();
     let faults = handle.fault_injector();
+    let tracing = handle.trace_enabled();
     loop {
-        let payload = match read_frame(&mut stream) {
+        let ready_ns = if tracing { epoch_ns() } else { 0 };
+        let (payload, arrived_ns) = match read_frame_timed(&mut stream) {
             Ok(Some(p)) => p,
             Ok(None) | Err(_) => return, // client gone
         };
-        let response = match std::str::from_utf8(&payload)
+        let read_done_ns = if tracing { epoch_ns() } else { 0 };
+        let parsed = std::str::from_utf8(&payload)
             .map_err(|_| "frame is not utf-8".to_string())
-            .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
-        {
-            Ok(request) => dispatch(&handle, &space, &request),
+            .and_then(|text| Json::parse(text).map_err(|e| e.to_string()));
+        // The trace id lives inside the frame, so the socket-side phases
+        // that precede parsing are recorded retroactively once it is known.
+        // Accept covers the idle wait for the length prefix (kept out of
+        // the request's end-to-end total); FrameRead covers the payload
+        // transfer itself.
+        let mut trace = None;
+        if tracing {
+            if let Ok(request) = &parsed {
+                if let Some(id) = request_trace(request) {
+                    handle.trace_phase(id, Phase::Accept, ready_ns, arrived_ns);
+                    handle.trace_phase(id, Phase::FrameRead, arrived_ns, read_done_ns);
+                    handle.trace_phase(id, Phase::Parse, read_done_ns, epoch_ns());
+                    trace = Some(id);
+                }
+            }
+        }
+        let response = match parsed {
+            Ok(request) => dispatch(&handle, &space, &request, trace),
             Err(msg) => wire_error(false, ErrorCode::BadRequest, &msg),
         };
+        let serialize_start_ns = if trace.is_some() { epoch_ns() } else { 0 };
+        let rendered = response.render();
+        if let Some(id) = trace {
+            handle.trace_phase(id, Phase::Serialize, serialize_start_ns, epoch_ns());
+        }
         // Injected torn frame: the length prefix promises a full payload
         // but the connection dies halfway through writing it. Clients must
         // treat the connection as dead and reconnect (resilient clients
         // retry the request on a fresh one).
         if let Some(f) = faults.as_deref() {
             if f.fires(FaultKind::TornFrame, f.next_key()) {
-                let rendered = response.render();
                 let bytes = rendered.as_bytes();
                 if let Ok(len) = u32::try_from(bytes.len()) {
                     let _ = stream.write_all(&len.to_be_bytes());
@@ -358,13 +415,42 @@ fn connection_loop(mut stream: TcpStream, handle: ServiceHandle) {
                 return;
             }
         }
-        if write_frame(&mut stream, response.render().as_bytes()).is_err() {
+        let write_start_ns = if trace.is_some() { epoch_ns() } else { 0 };
+        if write_frame(&mut stream, rendered.as_bytes()).is_err() {
             return;
+        }
+        if let Some(id) = trace {
+            let done_ns = epoch_ns();
+            handle.trace_phase(id, Phase::Write, write_start_ns, done_ns);
+            // End-to-end as the server observed it: from the request frame
+            // arriving to the response flushed. This is the latency the
+            // exemplar reservoir ranks by.
+            handle.trace_complete(id, done_ns.saturating_sub(arrived_ns));
         }
     }
 }
 
-fn dispatch(handle: &ServiceHandle, space: &ConfSpace, request: &Json) -> Json {
+/// The trace id a parsed request should be recorded under, when the
+/// request-path phases apply: a v2 `recommend` with the caller's `"t"` id,
+/// or a fresh server-generated id when the field is absent. `None` for v1
+/// peers and non-recommend operations.
+fn request_trace(request: &Json) -> Option<TraceId> {
+    if request.get("v").and_then(Json::as_u64) != Some(2) {
+        return None;
+    }
+    if request.get("o").and_then(Json::as_u64) != Some(u64::from(OpCode::Recommend.code())) {
+        return None;
+    }
+    let wire = request.get("t").and_then(Json::as_u64).and_then(TraceId::from_wire);
+    Some(wire.unwrap_or_else(TraceId::generate))
+}
+
+fn dispatch(
+    handle: &ServiceHandle,
+    space: &ConfSpace,
+    request: &Json,
+    trace: Option<TraceId>,
+) -> Json {
     let v2 = match request.get("v").and_then(Json::as_u64) {
         Some(2) => true,
         Some(v) => {
@@ -383,7 +469,7 @@ fn dispatch(handle: &ServiceHandle, space: &ConfSpace, request: &Json) -> Json {
             ("version", Json::from(handle.version())),
             ("swaps", Json::from(handle.swap_count())),
         ])),
-        Some(OpCode::Recommend) => wire_recommend(handle, request),
+        Some(OpCode::Recommend) => wire_recommend(handle, request, trace),
         Some(OpCode::Observe) => wire_observe(handle, space, request),
         Some(OpCode::Stats) => Ok(stats_to_json(&handle.stats())),
         Some(OpCode::Metrics) => Ok(Json::obj(vec![
@@ -415,20 +501,36 @@ fn dispatch(handle: &ServiceHandle, space: &ConfSpace, request: &Json) -> Json {
             ]))
         }
         Some(OpCode::Analyze) => wire_analyze(request),
+        Some(OpCode::Tailtrace) => {
+            let (completed, captured) = handle.tail_totals();
+            // Leave half the frame for the envelope and escaping overhead;
+            // the fastest exemplars are shed first when the document
+            // outgrows it.
+            Ok(tailtrace_to_json(
+                handle.tail_exemplars(),
+                completed,
+                captured,
+                MAX_FRAME as usize / 2,
+            ))
+        }
         None => Err((ErrorCode::BadRequest, "unknown op".to_string())),
     };
     match outcome {
-        Ok(json) if v2 => stamp_v2(json),
+        Ok(json) if v2 => stamp_v2(json, trace),
         Ok(json) => json,
         Err((code, msg)) => wire_error(v2, code, &msg),
     }
 }
 
-/// Mark a success response as a v2 frame.
-fn stamp_v2(json: Json) -> Json {
+/// Mark a success response as a v2 frame, echoing the trace id when the
+/// request was traced.
+fn stamp_v2(json: Json, trace: Option<TraceId>) -> Json {
     match json {
         Json::Obj(mut pairs) => {
             pairs.insert(0, ("v".to_string(), Json::from(PROTOCOL_VERSION)));
+            if let Some(id) = trace {
+                pairs.insert(1, ("t".to_string(), Json::from(id.raw())));
+            }
             Json::Obj(pairs)
         }
         other => other,
@@ -437,16 +539,68 @@ fn stamp_v2(json: Json) -> Json {
 
 type WireResult = Result<Json, (ErrorCode, String)>;
 
-fn wire_recommend(handle: &ServiceHandle, request: &Json) -> WireResult {
+fn wire_recommend(handle: &ServiceHandle, request: &Json, trace: Option<TraceId>) -> WireResult {
     let app = parse_app(request.get("app"))?;
     let data = parse_data(request.get("data"))?;
     let cluster = parse_cluster(request.get("cluster"))?;
     let k = request.get("k").and_then(Json::as_u64).unwrap_or(1) as usize;
     let seed = request.get("seed").and_then(Json::as_u64).unwrap_or(0);
-    match handle.recommend(app, &data, &cluster, k, seed) {
+    let deadline = handle.default_deadline();
+    let outcome = match trace {
+        Some(id) => handle.recommend_traced(app, &data, &cluster, k, seed, deadline, id),
+        None => handle.recommend(app, &data, &cluster, k, seed),
+    };
+    match outcome {
         Ok(resp) => Ok(recommend_to_json(&resp)),
         Err(err) => Err((error_code(&err), err.to_string())),
     }
+}
+
+/// Encode the tail-forensics reservoir, shedding the fastest exemplars
+/// until the document fits `max_bytes`.
+fn tailtrace_to_json(
+    mut exemplars: Vec<Exemplar>,
+    completed: u64,
+    captured: u64,
+    max_bytes: usize,
+) -> Json {
+    loop {
+        let doc = Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("completed", Json::from(completed)),
+            ("captured", Json::from(captured)),
+            ("exemplars", Json::Arr(exemplars.iter().map(exemplar_to_json).collect())),
+        ]);
+        if doc.render().len() <= max_bytes || exemplars.is_empty() {
+            return doc;
+        }
+        exemplars.pop();
+    }
+}
+
+/// Encode one captured exemplar for the wire.
+pub fn exemplar_to_json(e: &Exemplar) -> Json {
+    Json::obj(vec![
+        ("trace_id", Json::from(e.trace_id)),
+        ("total_ns", Json::from(e.total_ns)),
+        (
+            "spans",
+            Json::Arr(
+                e.spans
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("phase", Json::from(s.phase.name())),
+                            ("start_ns", Json::from(s.start_ns)),
+                            ("end_ns", Json::from(s.end_ns)),
+                            ("queue_depth", Json::from(u64::from(s.queue_depth))),
+                            ("swap", Json::Bool(s.swap_in_progress)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn wire_observe(handle: &ServiceHandle, space: &ConfSpace, request: &Json) -> WireResult {
@@ -842,6 +996,33 @@ impl Client {
         )
     }
 
+    /// `recommend` under a client-chosen trace id (v2 only; requires a
+    /// prior [`negotiate`](Client::negotiate)). The server records the
+    /// request's path under `trace_id` when tail forensics is enabled and
+    /// echoes the id as `"t"` in the response.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recommend_traced(
+        &mut self,
+        app: AppId,
+        data: &DataSpec,
+        cluster: &str,
+        k: usize,
+        seed: u64,
+        trace_id: u64,
+    ) -> std::io::Result<Json> {
+        self.request_op(
+            OpCode::Recommend,
+            vec![
+                ("t", Json::from(trace_id)),
+                ("app", Json::from(app.name())),
+                ("data", data_to_json(data)),
+                ("cluster", Json::from(cluster)),
+                ("k", Json::from(k)),
+                ("seed", Json::from(seed)),
+            ],
+        )
+    }
+
     /// `observe` an executed configuration's outcome against a preset
     /// cluster; returns the raw response document.
     pub fn observe(
@@ -884,6 +1065,12 @@ impl Client {
         resp.get("trace").cloned().ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "trace response missing trace")
         })
+    }
+
+    /// `tailtrace`: the slow-request exemplar reservoir (check `"ok"`;
+    /// `"exemplars"` is the slowest-first list with per-phase spans).
+    pub fn tailtrace(&mut self) -> std::io::Result<Json> {
+        self.request_op(OpCode::Tailtrace, Vec::new())
     }
 
     /// `analyze`: statically extract a named workload's stage templates

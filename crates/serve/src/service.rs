@@ -38,6 +38,8 @@ use lite_core::experiment::{extract_stage_instances, Dataset};
 use lite_core::features::StageInstance;
 use lite_core::recommend::{score_candidates, RankedCandidate};
 use lite_core::tuner::{Feedback as TunerFeedback, TuneError, TuneRequest, Tuner};
+use lite_obs::span::epoch_ns;
+use lite_obs::trace::{Exemplar, Phase, PhaseHistograms, PhaseSpan, TraceId, TraceSink};
 use lite_obs::{Counter, Gauge, Histogram, Registry, Tracer};
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::conf::SparkConf;
@@ -135,6 +137,28 @@ pub struct ServeConfig {
     /// Fault-injection hooks for chaos testing. `None` disables every
     /// hook; each disabled hook costs one branch on this option.
     pub faults: Option<Arc<FaultInjector>>,
+    /// Tail-forensics tracing. `None` disables it entirely: no rings, no
+    /// phase histograms, and every request-path hook is one branch on this
+    /// option (the same zero-cost-when-off discipline as `faults`).
+    pub trace: Option<TraceConfig>,
+}
+
+/// Tail-forensics knobs: when tracing is on, every request records phase
+/// spans and per-phase histograms; requests slower than the threshold
+/// compete for the exemplar reservoir.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Minimum end-to-end latency before a request is considered for
+    /// exemplar capture. `ZERO` means pure top-K (every request competes).
+    pub capture_threshold: Duration,
+    /// How many of the slowest requests to retain in full.
+    pub exemplar_top_k: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { capture_threshold: Duration::ZERO, exemplar_top_k: 16 }
+    }
 }
 
 impl Default for ServeConfig {
@@ -150,6 +174,7 @@ impl Default for ServeConfig {
             amu: AmuConfig::default(),
             drift: DriftConfig::default(),
             faults: None,
+            trace: None,
         }
     }
 }
@@ -276,6 +301,12 @@ impl ServeConfigBuilder {
     /// Arm the fault-injection hooks.
     pub fn faults(mut self, faults: Arc<FaultInjector>) -> Self {
         self.config.faults = Some(faults);
+        self
+    }
+
+    /// Enable tail-forensics tracing.
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.config.trace = Some(trace);
         self
     }
 
@@ -415,6 +446,15 @@ impl<T> BoundedQueue<T> {
 // ---------------------------------------------------------------------------
 // Requests
 
+/// Trace context riding with a request through the queue: the id plus the
+/// epoch timestamp the submitter stamped at admission, which becomes the
+/// start of the worker's `QueueWait` span.
+#[derive(Clone, Copy)]
+struct TraceMeta {
+    id: TraceId,
+    enqueued_ns: u64,
+}
+
 enum Request {
     Recommend {
         app: AppId,
@@ -422,7 +462,11 @@ enum Request {
         cluster: ClusterSpec,
         k: usize,
         seed: u64,
-        reply: OneshotSender<Result<RecommendResponse, ServeError>>,
+        trace: Option<TraceMeta>,
+        /// Carries the outcome plus the epoch-ns instant the worker sent
+        /// it (0 when untraced), so the submitter can close a `Respond`
+        /// span over the reply-channel handoff.
+        reply: OneshotSender<(Result<RecommendResponse, ServeError>, u64)>,
     },
     Observe {
         app: AppId,
@@ -441,7 +485,7 @@ impl Request {
     /// Answer a request that will never reach a worker.
     fn reject(self, err: ServeError) {
         match self {
-            Request::Recommend { reply, .. } => reply.send(Err(err)),
+            Request::Recommend { reply, .. } => reply.send((Err(err), 0)),
             Request::Observe { reply, .. } => reply.send(Err(err)),
             Request::Stall { reply, .. } => reply.send(Err(err)),
         }
@@ -542,6 +586,13 @@ impl Backend {
     }
 }
 
+/// The live tracing plane: the exemplar sink plus the per-phase latency
+/// histograms, built once at service start when tracing is configured.
+struct TraceState {
+    sink: TraceSink,
+    hists: PhaseHistograms,
+}
+
 struct Shared {
     backend: Backend,
     queue: BoundedQueue<Job>,
@@ -557,6 +608,40 @@ struct Shared {
     /// Set while serving from a pinned stale snapshot after an updater
     /// failure; cleared by the next successful swap.
     degraded: AtomicBool,
+    /// Tail-forensics plane; `None` when tracing is disabled.
+    trace: Option<TraceState>,
+    /// True while the updater is inside its clone-update-swap section.
+    /// Phase spans snapshot it so exemplars show whether a slow request
+    /// overlapped a model swap.
+    swap_active: AtomicBool,
+}
+
+impl Shared {
+    /// Record one phase span (ring + histogram), stamping the live
+    /// swap-in-progress flag. A no-op branch when tracing is off.
+    fn trace_phase(&self, id: TraceId, phase: Phase, start_ns: u64, end_ns: u64, queue_depth: u32) {
+        if let Some(tr) = &self.trace {
+            let span = PhaseSpan {
+                trace_id: id.raw(),
+                phase,
+                start_ns,
+                end_ns,
+                queue_depth,
+                swap_in_progress: self.swap_active.load(Ordering::Relaxed),
+            };
+            tr.sink.record(span);
+            tr.hists.record(&span);
+        }
+    }
+
+    /// `Some(now)` only when this request is traced — the request-path
+    /// pattern for taking a timestamp without paying for it untraced.
+    fn trace_now(&self, trace: Option<TraceMeta>) -> Option<(TraceId, u64)> {
+        match (trace, &self.trace) {
+            (Some(meta), Some(_)) => Some((meta.id, epoch_ns())),
+            _ => None,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -568,6 +653,7 @@ fn worker_loop(shared: Arc<Shared>) {
         Backend::Tuner(_) => None,
     };
     while let Some((job, depth)) = shared.queue.pop() {
+        let picked_ns = if shared.trace.is_some() { epoch_ns() } else { 0 };
         shared.metrics.queue_depth.set(depth as f64);
         let now = Instant::now();
         if now > job.deadline {
@@ -583,16 +669,43 @@ fn worker_loop(shared: Arc<Shared>) {
             }
         }
         match job.request {
-            Request::Recommend { app, data, cluster, k, seed, reply } => {
+            Request::Recommend { app, data, cluster, k, seed, trace, reply } => {
+                if let Some((id, t)) = shared.trace_now(trace) {
+                    // QueueWait runs from the submitter's admission stamp to
+                    // pickup; Dequeue covers the deadline check and any
+                    // injected handling delay that already ran above.
+                    if let Some(meta) = trace {
+                        shared.trace_phase(
+                            id,
+                            Phase::QueueWait,
+                            meta.enqueued_ns,
+                            picked_ns,
+                            depth as u32,
+                        );
+                    }
+                    shared.trace_phase(id, Phase::Dequeue, picked_ns, t, 0);
+                }
                 let mut span = shared.tracer.span("serve.request");
                 let outcome = match &shared.backend {
                     Backend::Snapshot(core) => {
+                        let load_t = shared.trace_now(trace);
                         let snapshot = match reader.as_mut() {
                             Some(r) => core.slot.load_with(r).clone(),
                             None => core.slot.load(),
                         };
+                        if let Some((id, t0)) = load_t {
+                            shared.trace_phase(id, Phase::SnapshotLoad, t0, epoch_ns(), 0);
+                        }
                         let outcome = serve_recommend(
-                            &shared, core, &snapshot, app, &data, &cluster, k, seed,
+                            &shared,
+                            core,
+                            &snapshot,
+                            app,
+                            &data,
+                            &cluster,
+                            k,
+                            seed,
+                            trace.map(|m| m.id),
                         );
                         if span.is_recording() {
                             span.attr_u64("version", snapshot.version);
@@ -620,7 +733,9 @@ fn worker_loop(shared: Arc<Shared>) {
                 drop(span);
                 shared.metrics.requests.inc();
                 shared.metrics.latency.record_secs(job.enqueued.elapsed().as_secs_f64());
-                reply.send(outcome);
+                let sent_ns =
+                    if trace.is_some() && shared.trace.is_some() { epoch_ns() } else { 0 };
+                reply.send((outcome, sent_ns));
             }
             Request::Observe { app, data, cluster, conf, result, reply } => {
                 let outcome = match &shared.backend {
@@ -755,6 +870,7 @@ fn serve_recommend(
     cluster: &ClusterSpec,
     k: usize,
     seed: u64,
+    trace: Option<TraceId>,
 ) -> Result<RecommendResponse, ServeError> {
     let Some(ctx) = snapshot.warm_context(app, data, cluster) else {
         return Err(ServeError::ColdApp(app));
@@ -771,7 +887,7 @@ fn serve_recommend(
         // a panic or a non-finite score degrades to the fallback below
         // instead of killing the worker.
         catch_unwind(AssertUnwindSafe(|| {
-            score_ranked(shared, core, snapshot, &ctx, app, data, cluster, seed)
+            score_ranked(shared, core, snapshot, &ctx, app, data, cluster, seed, trace)
         }))
         .ok()
         .filter(|(ranked, _, _)| ranked.iter().all(|r| r.predicted_s.is_finite()))
@@ -818,18 +934,30 @@ fn score_ranked(
     data: &DataSpec,
     cluster: &ClusterSpec,
     seed: u64,
+    trace: Option<TraceId>,
 ) -> (Vec<RankedCandidate>, usize, usize) {
+    let trace = match (trace, &shared.trace) {
+        (Some(id), Some(_)) => Some(id),
+        _ => None,
+    };
     let confs = snapshot.acg.candidates_seeded(app, data, &ctx.env, snapshot.num_candidates, seed);
 
     // Cache pass: answer what this model version already predicted.
+    let cache_t0 = trace.map(|id| (id, epoch_ns()));
     let keys: Vec<CacheKey> = confs.iter().map(|c| CacheKey::new(app, data, cluster, c)).collect();
     let mut scores: Vec<Option<f64>> =
         keys.iter().map(|key| core.cache.get(key, snapshot.version)).collect();
     let cached = scores.iter().filter(|s| s.is_some()).count();
+    if let Some((id, t0)) = cache_t0 {
+        shared.trace_phase(id, Phase::CacheLookup, t0, epoch_ns(), 0);
+    }
 
     // Batched NECS pass over the misses only. Batched scoring is
     // bit-identical to per-candidate scoring, so mixing cached and fresh
-    // values cannot perturb the ranking.
+    // values cannot perturb the ranking. The Score phase is recorded even
+    // on a full cache hit (a ~zero-length span) so every traced request
+    // carries the complete phase set.
+    let score_t0 = trace.map(|id| (id, epoch_ns()));
     let miss_confs: Vec<SparkConf> = confs
         .iter()
         .zip(scores.iter())
@@ -854,6 +982,9 @@ fn score_ranked(
             core.cache.insert(*key, snapshot.version, v);
             *slot = Some(v);
         }
+    }
+    if let Some((id, t0)) = score_t0 {
+        shared.trace_phase(id, Phase::Score, t0, epoch_ns(), 0);
     }
 
     let ranked: Vec<RankedCandidate> = confs
@@ -910,7 +1041,10 @@ fn updater_loop(shared: Arc<Shared>) {
         }
 
         // Clone-update-swap: readers keep serving the old version while the
-        // fine-tune runs; the swap is the only synchronized step.
+        // fine-tune runs; the swap is the only synchronized step. Phase
+        // spans recorded while the flag is up are stamped
+        // `swap_in_progress`, so exemplars show swap-convoy tails.
+        shared.swap_active.store(true, Ordering::Relaxed);
         let started = Instant::now();
         let old = core.slot.load();
         let next_version = old.version + 1;
@@ -947,6 +1081,7 @@ fn updater_loop(shared: Arc<Shared>) {
                     span.attr_str("outcome", "degraded");
                 }
                 drop(span);
+                shared.swap_active.store(false, Ordering::Relaxed);
                 continue;
             }
         };
@@ -966,6 +1101,7 @@ fn updater_loop(shared: Arc<Shared>) {
         }
         drop(span);
         core.slot.swap(Arc::new(next));
+        shared.swap_active.store(false, Ordering::Relaxed);
         shared.swap_count.fetch_add(1, Ordering::Release);
         shared.metrics.swaps.inc();
         // A successful swap ends any degradation: the serving model is
@@ -1053,6 +1189,10 @@ impl Service {
         updater: bool,
     ) -> Service {
         let metrics = ServeMetrics::new(registry);
+        let trace = config.trace.as_ref().map(|t| TraceState {
+            sink: TraceSink::new(t.capture_threshold.as_nanos() as u64, t.exemplar_top_k),
+            hists: PhaseHistograms::register(registry),
+        });
         let shared = Arc::new(Shared {
             backend,
             queue: BoundedQueue::new(config.queue_capacity),
@@ -1064,6 +1204,8 @@ impl Service {
             started: Instant::now(),
             swap_count: AtomicU64::new(0),
             degraded: AtomicBool::new(false),
+            trace,
+            swap_active: AtomicBool::new(false),
         });
         let mut threads = Vec::new();
         for i in 0..shared.config.workers {
@@ -1165,9 +1307,130 @@ impl ServiceHandle {
         deadline: Duration,
     ) -> Result<RecommendResponse, ServeError> {
         let (tx, rx) = oneshot();
-        let request =
-            Request::Recommend { app, data: *data, cluster: cluster.clone(), k, seed, reply: tx };
-        self.submit(request, rx, deadline)
+        let request = Request::Recommend {
+            app,
+            data: *data,
+            cluster: cluster.clone(),
+            k,
+            seed,
+            trace: None,
+            reply: tx,
+        };
+        let now = Instant::now();
+        let deadline = deadline.min(self.shared.config.max_deadline);
+        let job = Job { request, enqueued: now, deadline: now + deadline };
+        match self.shared.queue.try_push(job) {
+            Ok(depth) => self.shared.metrics.queue_depth.set(depth as f64),
+            Err(PushError::Full) => {
+                self.shared.metrics.shed.inc();
+                return Err(ServeError::Overloaded);
+            }
+            Err(PushError::Closed) => return Err(ServeError::ShuttingDown),
+        }
+        let (outcome, _) =
+            rx.recv().unwrap_or((Err(ServeError::Internal("worker dropped reply")), 0));
+        outcome
+    }
+
+    /// Recommend under a trace id: phase spans (enqueue, queue wait,
+    /// dequeue, snapshot load, cache lookup, scoring, reply handoff) are
+    /// recorded against
+    /// `trace` when tracing is enabled, and the enqueue span carries the
+    /// observed queue depth. Behaves exactly like
+    /// [`recommend_deadline`](ServiceHandle::recommend_deadline) when
+    /// tracing is off. The caller owns request completion: call
+    /// [`trace_complete`](ServiceHandle::trace_complete) with the
+    /// end-to-end latency once the response has been delivered.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recommend_traced(
+        &self,
+        app: AppId,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+        k: usize,
+        seed: u64,
+        deadline: Duration,
+        trace: TraceId,
+    ) -> Result<RecommendResponse, ServeError> {
+        let meta =
+            self.shared.trace.as_ref().map(|_| TraceMeta { id: trace, enqueued_ns: epoch_ns() });
+        let (tx, rx) = oneshot();
+        let request = Request::Recommend {
+            app,
+            data: *data,
+            cluster: cluster.clone(),
+            k,
+            seed,
+            trace: meta,
+            reply: tx,
+        };
+        let now = Instant::now();
+        let deadline = deadline.min(self.shared.config.max_deadline);
+        let job = Job { request, enqueued: now, deadline: now + deadline };
+        match self.shared.queue.try_push(job) {
+            Ok(depth) => {
+                self.shared.metrics.queue_depth.set(depth as f64);
+                if let Some(meta) = meta {
+                    self.shared.trace_phase(
+                        meta.id,
+                        Phase::Enqueue,
+                        meta.enqueued_ns,
+                        epoch_ns(),
+                        depth as u32,
+                    );
+                }
+            }
+            Err(PushError::Full) => {
+                self.shared.metrics.shed.inc();
+                return Err(ServeError::Overloaded);
+            }
+            Err(PushError::Closed) => return Err(ServeError::ShuttingDown),
+        }
+        let (outcome, sent_ns) =
+            rx.recv().unwrap_or((Err(ServeError::Internal("worker dropped reply")), 0));
+        if sent_ns != 0 {
+            if let Some(meta) = meta {
+                self.shared.trace_phase(meta.id, Phase::Respond, sent_ns, epoch_ns(), 0);
+            }
+        }
+        outcome
+    }
+
+    /// The configured default per-request deadline.
+    pub fn default_deadline(&self) -> Duration {
+        self.shared.config.default_deadline
+    }
+
+    /// Whether tail-forensics tracing is enabled on this service.
+    pub fn trace_enabled(&self) -> bool {
+        self.shared.trace.is_some()
+    }
+
+    /// Record a request-path phase span against `trace` from the calling
+    /// thread (the TCP front-end records its socket-side phases — accept,
+    /// frame read, parse, serialize, write — through this). A no-op when
+    /// tracing is disabled.
+    pub fn trace_phase(&self, trace: TraceId, phase: Phase, start_ns: u64, end_ns: u64) {
+        self.shared.trace_phase(trace, phase, start_ns, end_ns, 0);
+    }
+
+    /// Declare a traced request finished with the given end-to-end latency;
+    /// it is captured as a tail exemplar when it clears the configured
+    /// threshold and the top-K floor. Returns whether it was captured
+    /// (always `false` with tracing disabled).
+    pub fn trace_complete(&self, trace: TraceId, total_ns: u64) -> bool {
+        self.shared.trace.as_ref().is_some_and(|t| t.sink.complete(trace, total_ns))
+    }
+
+    /// Captured slow-request exemplars, slowest first (what the
+    /// `tailtrace` admin op serves). Empty when tracing is disabled.
+    pub fn tail_exemplars(&self) -> Vec<Exemplar> {
+        self.shared.trace.as_ref().map(|t| t.sink.exemplars()).unwrap_or_default()
+    }
+
+    /// Lifetime `(completed, captured)` traced-request counts.
+    pub fn tail_totals(&self) -> (u64, u64) {
+        self.shared.trace.as_ref().map(|t| t.sink.totals()).unwrap_or((0, 0))
     }
 
     /// Report an executed configuration's outcome (paper Step 4a). Returns
@@ -1316,9 +1579,32 @@ impl ServiceHandle {
 
     /// Prometheus text exposition of the service's metrics registry (what
     /// the `metrics` admin op serves). Includes every metric registered in
-    /// the registry the service was started with.
+    /// the registry the service was started with. With tracing enabled,
+    /// each `serve.phase.*_ns` histogram is annotated with a `# trace_id`
+    /// comment naming the captured exemplar whose span in that phase was
+    /// slowest — the scrape-side link from a latency bucket back to a full
+    /// slow-request trace.
     pub fn prometheus(&self) -> String {
-        lite_obs::prometheus_text(&self.shared.registry.snapshot())
+        let snapshot = self.shared.registry.snapshot();
+        let Some(tr) = &self.shared.trace else {
+            return lite_obs::prometheus_text(&snapshot);
+        };
+        // Slowest captured span per phase, as (metric, trace id, ns).
+        let mut worst: [Option<(u64, u64)>; Phase::COUNT] = [None; Phase::COUNT];
+        for ex in tr.sink.exemplars() {
+            for span in &ex.spans {
+                let slot = &mut worst[span.phase as usize];
+                let d = span.duration_ns();
+                if slot.is_none_or(|(_, best)| d > best) {
+                    *slot = Some((span.trace_id, d));
+                }
+            }
+        }
+        let exemplars: Vec<lite_obs::PromExemplar> = Phase::ALL
+            .iter()
+            .filter_map(|p| worst[*p as usize].map(|(id, d)| (p.metric_name().to_string(), id, d)))
+            .collect();
+        lite_obs::prometheus_text_with_exemplars(&snapshot, &exemplars)
     }
 
     /// Finished spans rendered as Chrome trace-event JSON (what the

@@ -1,0 +1,175 @@
+//! Wire-compatibility tests for the optional trace header: a v2
+//! `recommend` frame round-trips byte-compatibly with and without the
+//! `"t"` field, a tracing-disabled server answers traced and untraced
+//! requests identically, and v1 peers are served unchanged by a traced
+//! server — while a traced v2 peer gets its id echoed and can pull the
+//! captured exemplars back over the `tailtrace` op.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lite_core::amu::AmuConfig;
+use lite_core::experiment::{Dataset, DatasetBuilder};
+use lite_core::necs::NecsConfig;
+use lite_core::recommend::LiteTuner;
+use lite_obs::{Json, Registry, Tracer};
+use lite_serve::net::{read_frame, write_frame};
+use lite_serve::{ModelSnapshot, OpCode, ServeConfig, Service, TraceConfig};
+use lite_sparksim::cluster::ClusterSpec;
+use lite_workloads::apps::AppId;
+use lite_workloads::data::SizeTier;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Frame-level byte compatibility
+
+/// A v2 `recommend` request document exactly as [`lite_serve::Client`]
+/// encodes it, with the trace header optionally present.
+fn v2_recommend_doc(trace: Option<u64>, k: u64, seed: u64) -> Json {
+    let mut pairs =
+        vec![("v", Json::from(2u64)), ("o", Json::from(u64::from(OpCode::Recommend.code())))];
+    if let Some(t) = trace {
+        pairs.push(("t", Json::from(t)));
+    }
+    pairs.push(("app", Json::from("kmeans")));
+    pairs.push(("k", Json::from(k)));
+    pairs.push(("seed", Json::from(seed)));
+    Json::obj(pairs)
+}
+
+proptest! {
+    #[test]
+    fn v2_frames_roundtrip_byte_compatibly_with_and_without_trace_header(
+        trace in prop::option::of(any::<u64>()),
+        k in 1u64..8,
+        seed in any::<u64>(),
+    ) {
+        let doc = v2_recommend_doc(trace, k, seed);
+        let bytes = doc.render().into_bytes();
+        // Length-prefixed framing is transparent.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &bytes).expect("write");
+        let back = read_frame(&mut wire.as_slice()).expect("read").expect("frame");
+        prop_assert_eq!(&back, &bytes);
+        // Parse → render is the identity on the wire bytes, so the header
+        // survives any reframing hop unchanged.
+        let parsed = Json::parse(std::str::from_utf8(&back).unwrap()).expect("parse");
+        prop_assert_eq!(parsed.render().into_bytes(), bytes);
+        // The header is purely additive: stripping `"t"` yields exactly
+        // the untraced encoding.
+        let stripped = match &parsed {
+            Json::Obj(pairs) => {
+                Json::Obj(pairs.iter().filter(|(key, _)| key != "t").cloned().collect())
+            }
+            other => other.clone(),
+        };
+        prop_assert_eq!(stripped.render(), v2_recommend_doc(None, k, seed).render());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live-server compatibility
+
+fn trained() -> (Arc<Dataset>, LiteTuner) {
+    let ds = DatasetBuilder {
+        apps: vec![AppId::Sort, AppId::KMeans],
+        clusters: vec![ClusterSpec::cluster_a()],
+        tiers: vec![SizeTier::Train(0), SizeTier::Train(2)],
+        confs_per_cell: 3,
+        seed: 41,
+    }
+    .build();
+    let tuner = LiteTuner::from_dataset(
+        &ds,
+        NecsConfig { epochs: 2, batch_size: 256, ..Default::default() },
+        41,
+    );
+    (Arc::new(ds), tuner)
+}
+
+fn quick_config(trace: Option<TraceConfig>) -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_capacity: 32,
+        update_batch: 1_000_000,
+        amu: AmuConfig { epochs: 1, half_batch: 32, ..Default::default() },
+        trace,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn trace_header_and_traced_servers_leave_untraced_peers_byte_identical() {
+    let (ds, tuner) = trained();
+    let cluster_name = ds.clusters[0].name.clone();
+    let start = |trace: Option<TraceConfig>| {
+        let registry = Registry::new();
+        let service = Service::start(
+            ModelSnapshot::from_tuner(&tuner),
+            ds.clone(),
+            quick_config(trace),
+            &registry,
+            Tracer::disabled(),
+        );
+        let server = lite_serve::net::serve_tcp(service.handle(), "127.0.0.1:0").expect("bind");
+        (service, server)
+    };
+    let (svc_plain_a, srv_plain_a) = start(None);
+    let (svc_plain_b, srv_plain_b) = start(None);
+    let traced_cfg = TraceConfig { capture_threshold: Duration::ZERO, exemplar_top_k: 8 };
+    let (svc_traced, srv_traced) = start(Some(traced_cfg));
+
+    let data = AppId::KMeans.dataset(SizeTier::Valid);
+
+    // A tracing-disabled server answers a traced and an untraced v2
+    // request byte-identically: the header changes nothing.
+    let mut a = lite_serve::Client::connect(srv_plain_a.local_addr()).expect("connect");
+    let mut b = lite_serve::Client::connect(srv_plain_b.local_addr()).expect("connect");
+    assert_eq!(a.negotiate().expect("hello"), 2);
+    assert_eq!(b.negotiate().expect("hello"), 2);
+    let plain = a.recommend(AppId::KMeans, &data, &cluster_name, 2, 7).expect("recommend");
+    let traced = b
+        .recommend_traced(AppId::KMeans, &data, &cluster_name, 2, 7, 0xDEAD_BEEF)
+        .expect("recommend traced");
+    assert_eq!(plain.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(plain.render(), traced.render(), "trace header must be inert when tracing is off");
+    assert!(traced.get("t").is_none(), "disabled server must not echo a trace id");
+
+    // A v1 peer (no negotiation) is served by a traced server exactly as
+    // by a plain one — same bytes, no version or trace fields smuggled in.
+    let mut v1_plain = lite_serve::Client::connect(srv_plain_a.local_addr()).expect("connect");
+    let mut v1_traced = lite_serve::Client::connect(srv_traced.local_addr()).expect("connect");
+    let data_v1 = AppId::Sort.dataset(SizeTier::Valid);
+    let from_plain =
+        v1_plain.recommend(AppId::Sort, &data_v1, &cluster_name, 1, 9).expect("v1 recommend");
+    let from_traced =
+        v1_traced.recommend(AppId::Sort, &data_v1, &cluster_name, 1, 9).expect("v1 recommend");
+    assert_eq!(from_plain.render(), from_traced.render(), "v1 peer must be served unchanged");
+    assert!(from_traced.get("t").is_none());
+    assert!(from_traced.get("v").is_none());
+
+    // A traced v2 peer gets its id echoed and its request captured.
+    let mut v2 = lite_serve::Client::connect(srv_traced.local_addr()).expect("connect");
+    assert_eq!(v2.negotiate().expect("hello"), 2);
+    let resp = v2
+        .recommend_traced(AppId::KMeans, &data, &cluster_name, 2, 11, 42)
+        .expect("traced recommend");
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(resp.get("t").and_then(Json::as_u64), Some(42));
+    let tail = v2.tailtrace().expect("tailtrace");
+    assert_eq!(tail.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(tail.get("completed").and_then(Json::as_u64).unwrap_or(0) >= 1);
+    let exemplars = tail.get("exemplars").and_then(Json::as_arr).expect("exemplars");
+    assert!(
+        exemplars.iter().any(|e| e.get("trace_id").and_then(Json::as_u64) == Some(42)),
+        "the traced request must be retrievable by its id: {tail:?}"
+    );
+
+    drop((a, b, v1_plain, v1_traced, v2));
+    srv_plain_a.shutdown();
+    srv_plain_b.shutdown();
+    srv_traced.shutdown();
+    svc_plain_a.shutdown();
+    svc_plain_b.shutdown();
+    svc_traced.shutdown();
+}

@@ -12,7 +12,7 @@
 //! | magic | version | records |
 //! |---|---|---|
 //! | `SLOG` | v1 | tags 1–4 (app/stage granularity) |
-//! | `SLG2` | v2 | tags 1–6 (v1 plus task granularity) |
+//! | `SLG2` | v2 | tags 1–7 (v1 plus task granularity and trace ids) |
 //!
 //! | tag | record | payload (little-endian) |
 //! |---|---|---|
@@ -22,6 +22,7 @@
 //! | 4 | `AppEnd` | u8 success, f64 total_time_s |
 //! | 5 | `TaskStart` | u32 stage_id, u32 index, u32 wave, f64 start_s |
 //! | 6 | `TaskEnd` | u32 stage_id, u32 index, u32 wave, f64 duration_s, u64 spill, f64 gc_s, u64 shuffle_read, u64 shuffle_write |
+//! | 7 | `TraceId` | u64 trace_id |
 //!
 //! `str` is `u32` length + UTF-8 bytes. [`decode`] dispatches on the magic,
 //! so every v1 buffer ever written keeps decoding unchanged, and a v1
@@ -66,12 +67,19 @@ pub enum Event {
         /// Shuffle bytes written.
         shuffle_write_bytes: u64,
     },
+    /// The serve-plane request trace id this log was produced under (v2
+    /// only). Lets tail-forensics exemplars be joined against the task
+    /// logs of the run that answered them.
+    TraceId {
+        /// The nonzero tail-forensics trace id.
+        trace_id: u64,
+    },
 }
 
 impl Event {
     /// Whether this record requires the v2 format.
     pub fn is_v2_only(&self) -> bool {
-        matches!(self, Event::TaskStart { .. } | Event::TaskEnd { .. })
+        matches!(self, Event::TaskStart { .. } | Event::TaskEnd { .. } | Event::TraceId { .. })
     }
 }
 
@@ -81,6 +89,7 @@ const TAG_STAGE_COMPLETED: u8 = 3;
 const TAG_APP_END: u8 = 4;
 const TAG_TASK_START: u8 = 5;
 const TAG_TASK_END: u8 = 6;
+const TAG_TRACE_ID: u8 = 7;
 
 const MAGIC_V1: &[u8; 4] = b"SLOG";
 const MAGIC_V2: &[u8; 4] = b"SLG2";
@@ -188,6 +197,16 @@ pub fn encode_v2(events: &[Event]) -> Bytes {
     encode_with_magic(events, MAGIC_V2)
 }
 
+/// [`emit_v2`] stamped with the serve-plane trace id that triggered the
+/// run: the `TraceId` record leads the log, so a tail exemplar can be
+/// joined to the task-level view of the run behind it.
+pub fn emit_v2_traced(plan: &JobPlan, result: &RunResult, trace_id: u64) -> Vec<Event> {
+    let mut events = Vec::with_capacity(1);
+    events.push(Event::TraceId { trace_id });
+    events.extend(emit_v2(plan, result));
+    events
+}
+
 fn encode_with_magic(events: &[Event], magic: &[u8; 4]) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_slice(magic);
@@ -252,6 +271,10 @@ fn encode_with_magic(events: &[Event], magic: &[u8; 4]) -> Bytes {
                 buf.put_f64_le(*gc_time_s);
                 buf.put_u64_le(*shuffle_read_bytes);
                 buf.put_u64_le(*shuffle_write_bytes);
+            }
+            Event::TraceId { trace_id } => {
+                buf.put_u8(TAG_TRACE_ID);
+                buf.put_u64_le(*trace_id);
             }
         }
     }
@@ -379,6 +402,12 @@ pub fn decode(mut buf: Bytes) -> Result<Vec<Event>, DecodeError> {
                     shuffle_read_bytes: buf.get_u64_le(),
                     shuffle_write_bytes: buf.get_u64_le(),
                 }
+            }
+            TAG_TRACE_ID if v2 => {
+                if buf.remaining() < 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                Event::TraceId { trace_id: buf.get_u64_le() }
             }
             t => return Err(DecodeError::BadTag(t)),
         };
@@ -527,6 +556,34 @@ mod tests {
         buf.put_u32_le(0);
         buf.put_f64_le(0.0);
         assert_eq!(decode(buf.freeze()), Err(DecodeError::BadTag(5)));
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_trace_id_records() {
+        let (plan, result) = task_level_result();
+        let events = emit_v2_traced(&plan, &result, 0x9E3779B97F4A7C15);
+        assert_eq!(events[0], Event::TraceId { trace_id: 0x9E3779B97F4A7C15 });
+        let bytes = encode(&events);
+        assert_eq!(&bytes[..4], b"SLG2");
+        assert_eq!(decode(bytes).unwrap(), events);
+    }
+
+    #[test]
+    fn v1_decoder_rejects_trace_id_tag() {
+        // A trace-id record smuggled under the v1 magic must not parse.
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"SLOG");
+        buf.put_u32_le(1);
+        buf.put_u8(7); // TAG_TRACE_ID
+        buf.put_u64_le(42);
+        assert_eq!(decode(buf.freeze()), Err(DecodeError::BadTag(7)));
+        // And a truncated payload under v2 is Truncated, not a partial parse.
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"SLG2");
+        buf.put_u32_le(1);
+        buf.put_u8(7);
+        buf.put_u32_le(42);
+        assert_eq!(decode(buf.freeze()), Err(DecodeError::Truncated));
     }
 
     #[test]

@@ -53,6 +53,7 @@ fn arb_event() -> impl Strategy<Value = Event> {
                     shuffle_write_bytes,
                 }
             ),
+        any::<u64>().prop_map(|trace_id| Event::TraceId { trace_id }),
     ]
 }
 

@@ -16,6 +16,10 @@
 #   3. No `dbg!(` / `todo!(` anywhere in workspace sources. These are also
 #      clippy-denied (dbg_macro, todo), but clippy only sees compiled
 #      cfgs; the textual gate holds everywhere.
+#   4. Every request phase in crates/obs/src/trace.rs pairs with a
+#      `serve.phase.<name>_ns` histogram literal in the same file. A phase
+#      without a histogram (or the reverse) silently drops its latency
+#      attribution from the tail-forensics breakdown.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,6 +50,19 @@ debris=$(grep -rnE '(^|[^a-zA-Z0-9_!."])(dbg!|todo!)\(' crates src --include='*.
 if [ -n "$debris" ]; then
     echo "lint: dbg!/todo! must not ship:"
     echo "$debris"
+    fail=1
+fi
+
+# -- 4. phase ↔ histogram pairing -------------------------------------------
+trace_rs=crates/obs/src/trace.rs
+phase_names=$(grep -oE 'Phase::[A-Za-z]+ => "[a-z_]+"' "$trace_rs" \
+    | sed -E 's/.*"([a-z_]+)".*/\1/' | sort)
+metric_names=$(grep -oE 'Phase::[A-Za-z]+ => "serve\.phase\.[a-z_]+_ns"' "$trace_rs" \
+    | sed -E 's/.*serve\.phase\.([a-z_]+)_ns.*/\1/' | sort)
+if [ -z "$phase_names" ] || [ "$phase_names" != "$metric_names" ]; then
+    echo "lint: Phase::name() and Phase::metric_name() out of sync in $trace_rs"
+    echo "      (every phase needs a serve.phase.<name>_ns histogram literal):"
+    diff <(echo "$phase_names") <(echo "$metric_names") | sed 's/^/  /' || true
     fail=1
 fi
 

@@ -27,6 +27,12 @@ echo "==> chaos smoke (lost/Internal requests fail the gate)"
 # forever or any Internal error reaches a client.
 LITE_BENCH_QUICK=1 cargo run --release -q -p lite-bench --bin chaos_loadtest -- --smoke
 
+echo "==> tail-forensics smoke (attribution + overhead gates)"
+# Quick traced load over TCP: asserts per-phase spans cover >=95% of the
+# slowest request's end-to-end time and tracing costs <5% of throughput
+# versus an untraced server.
+LITE_BENCH_QUICK=1 cargo run --release -q -p lite-bench --bin tail_forensics
+
 # Non-fatal reminder: flag run manifests that predate the current commit,
 # so stale benchmark evidence is not mistaken for fresh results.
 head_ts=$(git log -1 --format=%ct 2>/dev/null || echo 0)

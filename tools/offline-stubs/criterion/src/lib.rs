@@ -1,0 +1,80 @@
+//! Offline stub for the subset of `criterion` 0.5 the workspace uses. Runs
+//! each benchmark body a handful of timed iterations and prints a one-line
+//! mean — enough to smoke the bench binaries offline; real statistics need
+//! the real crate on a networked machine.
+
+use std::time::Instant;
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: self.sample_size as u64, total_ns: 0, runs: 0 };
+        f(&mut b);
+        let mean = if b.runs == 0 { 0.0 } else { b.total_ns as f64 / b.runs as f64 };
+        // Stub report line; allowed stdout since bench bins own their output.
+        #[allow(clippy::print_stdout)]
+        {
+            println!("bench {id}: mean {:.1} ns/iter over {} iters (offline stub)", mean, b.runs);
+        }
+        self
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    total_ns: u64,
+    runs: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup, then timed iterations.
+        std::hint::black_box(f());
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.total_ns += t0.elapsed().as_nanos() as u64;
+        self.runs += self.iters;
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

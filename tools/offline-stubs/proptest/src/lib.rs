@@ -1,0 +1,550 @@
+//! Offline stub for the subset of `proptest` 1.x the workspace uses.
+//!
+//! This is a real randomized property-test runner, not a compile-only shim:
+//! `proptest!` runs the configured number of cases (default 256) with
+//! deterministically seeded inputs, so properties genuinely explore their
+//! input space on every `cargo test`. What it does NOT do is shrink — a
+//! failing case panics immediately with its case index; rerunning is
+//! deterministic, so the index is a stable repro handle.
+
+pub mod test_runner {
+    /// Runner configuration. Only `cases` matters to this stub.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic per-case RNG (SplitMix64). Seeded from the test's
+    /// module path + name + case index so every test gets an independent,
+    /// reproducible stream.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn for_case(test_id: &str, case: u32) -> Self {
+            // FNV-1a over the id, mixed with the case index.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in test_id.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`; `n > 0`.
+        pub fn below(&mut self, n: usize) -> usize {
+            ((self.next_u64() as u128 * n as u128) >> 64) as usize
+        }
+
+        /// 53-bit uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Value generator. Object-safe: `generate` is the only required
+    /// method, so `Box<dyn Strategy<Value = T>>` works (see `prop_oneof!`).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Helper for `prop_oneof!`: unifies heterogeneous arm types.
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    /// Constant strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between arms (real proptest weights arms; every
+    /// workspace call site uses unweighted arms).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128 * span) >> 64;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty inclusive range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128 * span) >> 64;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    /// String strategies from a regex-ish pattern. Supported subset:
+    /// `".*"` (arbitrary short strings over a stress alphabet) and
+    /// `"[class]{m,n}"` with literal chars and `a-z` ranges in the class.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            pattern_string(self, rng)
+        }
+    }
+
+    fn pattern_string(pattern: &str, rng: &mut TestRng) -> String {
+        if pattern == ".*" {
+            // Arbitrary strings, deliberately including the characters that
+            // break naive scanners: quotes, escapes, newlines, multi-byte.
+            const NASTY: &[char] = &[
+                'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '\t', '\n', '"', '\\', '/', '\'', '(',
+                ')', '{', '}', '[', ']', '.', ',', '=', '>', '<', '-', '_', 'é', 'λ', '中', '🦀',
+            ];
+            let len = rng.below(33);
+            return (0..len).map(|_| NASTY[rng.below(NASTY.len())]).collect();
+        }
+        let (class, rep) = pattern
+            .strip_prefix('[')
+            .and_then(|rest| rest.split_once(']'))
+            .unwrap_or_else(|| panic!("stub proptest: unsupported string pattern {pattern:?}"));
+        let alphabet = expand_class(class);
+        let (lo, hi) = rep
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .and_then(|r| r.split_once(','))
+            .and_then(|(a, b)| Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?)))
+            .unwrap_or_else(|| panic!("stub proptest: unsupported repetition in {pattern:?}"));
+        let len = lo + rng.below(hi - lo + 1);
+        (0..len).map(|_| alphabet[rng.below(alphabet.len())]).collect()
+    }
+
+    fn expand_class(class: &str) -> Vec<char> {
+        let chars: Vec<char> = class.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // `a-z` range when '-' sits between two chars; trailing or
+            // leading '-' is a literal, per regex convention.
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                for c in chars[i]..=chars[i + 2] {
+                    out.push(c);
+                }
+                i += 3;
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        assert!(!out.is_empty(), "empty character class");
+        out
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Size specification for [`vec`]: exact, `lo..hi`, or `lo..=hi`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below(self.size.hi - self.size.lo + 1);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `prop::option::of(s)`: `None` about a quarter of the time (the
+    /// real crate's default weighting), `Some(s)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Mirror real proptest: the full f64 surface, specials
+            // included, so exporters meet NaN and infinities in tests.
+            match rng.next_u64() % 8 {
+                0 => {
+                    const SPECIAL: &[f64] = &[
+                        f64::NAN,
+                        f64::INFINITY,
+                        f64::NEG_INFINITY,
+                        0.0,
+                        -0.0,
+                        f64::MIN,
+                        f64::MAX,
+                        f64::EPSILON,
+                        f64::MIN_POSITIVE,
+                    ];
+                    SPECIAL[rng.below(SPECIAL.len())]
+                }
+                _ => f64::from_bits(rng.next_u64()),
+            }
+        }
+    }
+
+    pub struct AnyStrategy<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy { _marker: std::marker::PhantomData }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// `prop_assert!` — panics on failure (no shrinking, so plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `prop_assert_eq!` — panics on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Uniform choice across strategy arms of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                // A failing body panics out of the loop; the deterministic
+                // seeding makes `__case` a stable repro handle.
+                $body
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// The `proptest!` block: optional inner `#![proptest_config(..)]`, then
+/// one or more `#[test] fn name(pat in strategy, ...) { .. }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// `prop::collection::vec(...)` paths used by the test suite.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|n| n * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3usize..9, b in -2.0f64..2.0, c in 0u64..=5) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&b));
+            prop_assert!(c <= 5);
+        }
+
+        #[test]
+        fn mapped_and_oneof_strategies_compose(
+            v in prop::collection::vec((arb_even(), Just(7u8)), 0..5),
+            s in "[a-z .-]{0,24}",
+            t in prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|x| x)],
+        ) {
+            prop_assert!(v.len() < 5);
+            for (e, seven) in &v {
+                prop_assert_eq!(e % 2, 0);
+                prop_assert_eq!(*seven, 7u8);
+            }
+            prop_assert!(s.len() <= 24);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || " .-".contains(c)));
+            prop_assert!(matches!(t, 1 | 2 | 5 | 6));
+        }
+    }
+
+    #[test]
+    fn cases_vary_and_reruns_are_deterministic() {
+        let strat = (0u64..1_000_000, "[a-zA-Z0-9 _.-]{0,24}");
+        let mut first: Vec<(u64, String)> = Vec::new();
+        for case in 0..32 {
+            let mut rng = crate::test_runner::TestRng::for_case("det", case);
+            first.push(Strategy::generate(&strat, &mut rng));
+        }
+        let distinct: std::collections::BTreeSet<_> =
+            first.iter().map(|(n, _)| *n).collect();
+        assert!(distinct.len() > 20, "degenerate exploration: {distinct:?}");
+        for case in 0..32 {
+            let mut rng = crate::test_runner::TestRng::for_case("det", case);
+            assert_eq!(Strategy::generate(&strat, &mut rng), first[case as usize]);
+        }
+    }
+
+    #[test]
+    fn exact_size_vec_matches() {
+        let mut rng = crate::test_runner::TestRng::for_case("sz", 0);
+        let v = Strategy::generate(&crate::collection::vec(0.0f64..1.0, 13usize), &mut rng);
+        assert_eq!(v.len(), 13);
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stub for `serde`. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` field attributes —
+//! never actual serialization — so the traits are inert markers and the
+//! derives (re-exported from the stub `serde_derive`) expand to nothing.
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

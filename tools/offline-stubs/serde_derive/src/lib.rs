@@ -1,0 +1,15 @@
+//! Inert `Serialize`/`Deserialize` derives. Registering `serde` as a helper
+//! attribute makes `#[serde(default, skip_serializing_if = "...")]` and
+//! friends parse without expanding to any code.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
