@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the full pre-merge gate.
 
-.PHONY: verify fmt lint build test bench quick loadtest chaos scrape tail demo analyze
+.PHONY: verify fmt lint build test bench quick loadtest chaos scrape tail demo analyze rag
 
 verify:
 	./scripts/verify.sh
@@ -56,6 +56,13 @@ tail:
 # results/analyze_bench.manifest.jsonl.
 analyze:
 	cargo run --release -p lite-bench --bin analyze_bench
+
+# ANN retrieval benchmark: 120k-point index recall/latency/serde gates,
+# then the leave-one-app-out cold-start head-to-head (zero-execution RAG
+# vs default conf, RAG-seeded vs full-budget ACG); manifest goes to
+# results/rag_bench.manifest.jsonl.
+rag:
+	cargo run --release -p lite-bench --bin rag_bench
 
 # Interactive end-to-end demo of the tuning service example.
 demo:

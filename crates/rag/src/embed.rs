@@ -1,0 +1,210 @@
+//! Static app/stage-code embeddings for retrieval.
+//!
+//! The retrieval key must be computable with **zero executions** of the
+//! target application, so the code part of the embedding comes from
+//! `lite_workloads::instrument::static_stage_codes` (backed by the
+//! `lite-analyze` parser, proven StageCode-equal to instrumented runs) —
+//! never from running the simulator. Tokens of every stage's expanded
+//! source plus the operator kinds of its DAG are feature-hashed (FNV-1a)
+//! into [`CODE_DIMS`] buckets, log-squashed and L2-normalized: two
+//! applications sharing shuffle structure and operator mix land close even
+//! when no token matches exactly (the hashed analogue of NECS's learned
+//! stage-code encoder).
+//!
+//! The remaining [`SCALE_DIMS`] components carry the data-scale and
+//! cluster-environment features (same pre-scaling as
+//! `lite::features::env_features`), down-weighted by [`SCALE_WEIGHT`] so
+//! code similarity dominates but, among equal codes, neighbors at a similar
+//! scale win.
+
+use lite_sparksim::cluster::ClusterSpec;
+use lite_workloads::instrument::static_stage_codes;
+use lite_workloads::{tokenize, AppId, DataSpec};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Hashed stage-code buckets.
+pub const CODE_DIMS: usize = 48;
+/// Data + environment feature slots.
+pub const SCALE_DIMS: usize = 16;
+/// Total embedding dimensionality.
+pub const EMBED_DIM: usize = CODE_DIMS + SCALE_DIMS;
+/// Norm of the scale block relative to the (unit-norm) code block.
+pub const SCALE_WEIGHT: f32 = 0.5;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn l2_normalize(v: &mut [f32]) {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 && norm.is_finite() {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Hash one stage's tokens and DAG operators into the code buckets.
+fn hash_stage(buckets: &mut [f32; CODE_DIMS], source: &str, ops: &[&str], weight: f32) {
+    for tok in tokenize(source) {
+        let slot = (fnv1a64(tok.as_bytes()) % CODE_DIMS as u64) as usize;
+        buckets[slot] += weight;
+    }
+    for op in ops {
+        // Salt op-kind hashes so an operator label colliding with a source
+        // token still lands in its own bucket distribution.
+        let h = fnv1a64(op.as_bytes()) ^ 0x9e37_79b9_7f4a_7c15;
+        buckets[(h % CODE_DIMS as u64) as usize] += 4.0 * weight;
+    }
+}
+
+fn finish_code(mut buckets: [f32; CODE_DIMS]) -> [f32; CODE_DIMS] {
+    for x in buckets.iter_mut() {
+        *x = (1.0 + *x).ln();
+    }
+    l2_normalize(&mut buckets);
+    buckets
+}
+
+fn scale_block(data: &DataSpec, cluster: &ClusterSpec) -> [f32; SCALE_DIMS] {
+    let d = data.log_features();
+    let e = cluster.env_features();
+    let mut s = [0.0f32; SCALE_DIMS];
+    s[0] = d[0] as f32; // ln rows
+    s[1] = d[1] as f32; // cols
+    s[2] = d[2] as f32; // iterations
+    s[3] = d[3] as f32; // ln partitions
+    s[4] = (1.0 + data.bytes as f64 / (1 << 20) as f64).ln() as f32;
+    s[5] = e[0] as f32; // nodes
+    s[6] = e[1] as f32; // cores per node
+    s[7] = e[2] as f32; // GHz
+    s[8] = (e[3] / 8.0) as f32; // mem GB, same pre-scaling as lite::features
+    s[9] = (e[4] / 1000.0) as f32; // MT/s
+    s[10] = e[5] as f32; // net Gbps
+    s[11] = (cluster.total_cores() as f32).ln();
+    l2_normalize(&mut s);
+    for x in s.iter_mut() {
+        *x *= SCALE_WEIGHT;
+    }
+    s
+}
+
+fn assemble(code: &[f32; CODE_DIMS], scale: &[f32; SCALE_DIMS]) -> Vec<f32> {
+    let mut v = Vec::with_capacity(EMBED_DIM);
+    v.extend_from_slice(code);
+    v.extend_from_slice(scale);
+    v
+}
+
+/// Embeds applications (by id or by raw source) together with their data
+/// and cluster scale. Per-app code blocks are cached: static extraction
+/// parses the app's main source, which is worth doing once, not per query.
+#[derive(Debug, Default)]
+pub struct CodeEmbedder {
+    cache: Mutex<HashMap<AppId, [f32; CODE_DIMS]>>,
+}
+
+impl CodeEmbedder {
+    /// New embedder with an empty cache.
+    pub fn new() -> CodeEmbedder {
+        CodeEmbedder::default()
+    }
+
+    fn code_block(&self, app: AppId) -> [f32; CODE_DIMS] {
+        let mut cache = self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(hit) = cache.get(&app) {
+            return *hit;
+        }
+        let mut buckets = [0.0f32; CODE_DIMS];
+        for stage in static_stage_codes(app) {
+            let ops: Vec<&str> = stage.dag.nodes.iter().map(|op| op.label()).collect();
+            hash_stage(&mut buckets, &stage.source, &ops, stage.instances_per_run as f32);
+        }
+        let code = finish_code(buckets);
+        cache.insert(app, code);
+        code
+    }
+
+    /// Embed a known application at a given data/cluster scale. Always
+    /// returns exactly [`EMBED_DIM`] components.
+    pub fn embed(&self, app: AppId, data: &DataSpec, cluster: &ClusterSpec) -> Vec<f32> {
+        assemble(&self.code_block(app), &scale_block(data, cluster))
+    }
+
+    /// Embed raw application source (the wire path for apps the server has
+    /// never seen). Fails only when `lite-analyze` cannot extract stages.
+    pub fn embed_source(
+        &self,
+        source: &str,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+    ) -> Result<Vec<f32>, lite_analyze::AnalyzeError> {
+        let opts = lite_analyze::ExtractOptions { iterations: data.iterations.max(1) };
+        let extraction = lite_analyze::extract_stages(source, opts)?;
+        let mut buckets = [0.0f32; CODE_DIMS];
+        for stage in &extraction.stages {
+            let ops: Vec<&str> = stage.ops.iter().map(|op| op.label()).collect();
+            // Stage sources from raw extraction are not expanded through
+            // srcgen; hash the template name next to the shared main
+            // source so per-stage structure still differentiates.
+            hash_stage(&mut buckets, &stage.template, &ops, stage.instances_per_run as f32);
+        }
+        hash_stage(&mut buckets, source, &[], 1.0);
+        Ok(assemble(&finish_code(buckets), &scale_block(data, cluster)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lite_workloads::SizeTier;
+
+    #[test]
+    fn embedding_is_deterministic_and_sized() {
+        let e = CodeEmbedder::new();
+        let data = AppId::KMeans.dataset(SizeTier::Train(0));
+        let c = ClusterSpec::cluster_a();
+        let a = e.embed(AppId::KMeans, &data, &c);
+        let b = e.embed(AppId::KMeans, &data, &c);
+        assert_eq!(a.len(), EMBED_DIM);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn different_apps_are_farther_than_different_scales() {
+        let e = CodeEmbedder::new();
+        let c = ClusterSpec::cluster_a();
+        let small = AppId::KMeans.dataset(SizeTier::Train(0));
+        let big = AppId::KMeans.dataset(SizeTier::Test);
+        let same_app = crate::vecs::l2_sq(
+            &e.embed(AppId::KMeans, &small, &c),
+            &e.embed(AppId::KMeans, &big, &c),
+        );
+        let other_app = crate::vecs::l2_sq(
+            &e.embed(AppId::KMeans, &small, &c),
+            &e.embed(AppId::Terasort, &small, &c),
+        );
+        assert!(
+            same_app < other_app,
+            "scale change ({same_app}) must cost less than code change ({other_app})"
+        );
+    }
+
+    #[test]
+    fn source_embedding_matches_dim() {
+        let e = CodeEmbedder::new();
+        let data = AppId::Sort.dataset(SizeTier::Train(0));
+        let c = ClusterSpec::cluster_b();
+        let v = e
+            .embed_source(AppId::Sort.main_source(), &data, &c)
+            .expect("known-good source extracts");
+        assert_eq!(v.len(), EMBED_DIM);
+    }
+}

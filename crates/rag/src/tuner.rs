@@ -1,0 +1,464 @@
+//! [`RagTuner`]: retrieval-augmented configuration tuning.
+//!
+//! The zero-execution cold-start path: embed the target application
+//! *statically* (no simulator run, no instrumentation run), retrieve the
+//! top-k most similar historical runs from the [`RunStore`], **adapt**
+//! each neighbor's configuration to the target data/cluster scale, and
+//! rank the adapted candidates — either by scaled neighbor runtime (pure
+//! retrieval) or, when a NECS model is attached, by batched NECS scoring
+//! with templates interned from static extraction.
+//!
+//! The adaptation rule is deliberately first-order (ratios, then clamped
+//! into the knob domains by [`SparkConf::from_values`]):
+//!
+//! * `spark.default.parallelism` scales with the core ratio times the
+//!   square root of the data ratio (more data wants more, but sublinearly
+//!   more, partitions per core);
+//! * `executor.instances` scales with the node ratio,
+//!   `executor.cores` with the cores-per-node ratio,
+//! * executor/driver memory with the per-node memory ratio;
+//! * every remaining knob (compression flags, fractions, buffers) carries
+//!   over unchanged — these encode workload shape, not scale.
+//!
+//! [`RagTuner::warm_start`] exposes the adapted neighbor confs as seeds
+//! for ACG/BO so an execution-driven tuner can start from retrieved
+//! optima instead of from scratch, cutting its candidate budget.
+
+use crate::embed::CodeEmbedder;
+use crate::hnsw::HnswConfig;
+use crate::store::{RunRecord, RunStore};
+use lite_core::experiment::{Dataset, PredictionContext};
+use lite_core::features::TemplateRegistry;
+use lite_core::necs::Necs;
+use lite_core::recommend::{score_candidates, RankedCandidate};
+use lite_core::tuner::{Feedback, TuneError, TuneRequest, TuneResult, Tuner};
+use lite_metrics::ranking::EXECUTION_CAP_S;
+use lite_obs::{Registry, Tracer};
+use lite_sparksim::cluster::ClusterSpec;
+use lite_sparksim::conf::{ConfSpace, Knob, SparkConf};
+use lite_workloads::instrument::static_stage_codes;
+use lite_workloads::{AppId, DataSpec};
+use std::sync::Mutex;
+
+/// Retrieval parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RagConfig {
+    /// Neighbors retrieved per recommendation (candidates before dedup).
+    pub neighbors: usize,
+    /// Index build/search parameters.
+    pub hnsw: HnswConfig,
+}
+
+impl Default for RagConfig {
+    fn default() -> Self {
+        RagConfig { neighbors: 8, hnsw: HnswConfig::default() }
+    }
+}
+
+/// One retrieval hit after adaptation to the target scale.
+#[derive(Debug, Clone)]
+pub struct Retrieved {
+    /// Application of the historical run.
+    pub app: AppId,
+    /// Embedding distance (squared L2) to the target.
+    pub distance: f32,
+    /// Historical failure-capped runtime in seconds.
+    pub runtime_s: f64,
+    /// The neighbor's conf adapted to the target data/cluster scale.
+    pub conf: SparkConf,
+    /// First-order runtime estimate of the adapted conf on the target.
+    pub estimate_s: f64,
+}
+
+/// Optional NECS reranker: model + registry. The registry sits behind a
+/// mutex so cold apps can be interned from *static* stage codes inside
+/// `&self` recommendation calls — still zero executions.
+struct NecsRanker {
+    model: Necs,
+    registry: Mutex<TemplateRegistry>,
+}
+
+/// Retrieval-augmented tuner over a [`RunStore`].
+pub struct RagTuner {
+    store: RunStore,
+    embedder: CodeEmbedder,
+    cfg: RagConfig,
+    space: ConfSpace,
+    ranker: Option<NecsRanker>,
+}
+
+impl std::fmt::Debug for RagTuner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RagTuner")
+            .field("records", &self.store.len())
+            .field("neighbors", &self.cfg.neighbors)
+            .field("necs", &self.ranker.is_some())
+            .finish()
+    }
+}
+
+impl RagTuner {
+    /// Pure-retrieval tuner over an existing store.
+    pub fn new(store: RunStore, space: ConfSpace, cfg: RagConfig) -> RagTuner {
+        RagTuner { store, embedder: CodeEmbedder::new(), cfg, space, ranker: None }
+    }
+
+    /// Build the store from a training dataset's run history.
+    pub fn from_dataset(ds: &Dataset, cfg: RagConfig) -> RagTuner {
+        let embedder = CodeEmbedder::new();
+        let store = RunStore::from_dataset(ds, &embedder, cfg.hnsw);
+        RagTuner { store, embedder, cfg, space: ds.space.clone(), ranker: None }
+    }
+
+    /// Attach a NECS model: adapted candidates are re-ranked by batched
+    /// NECS scoring instead of scaled neighbor runtimes.
+    pub fn with_necs(mut self, model: Necs, registry: TemplateRegistry) -> RagTuner {
+        self.ranker = Some(NecsRanker { model, registry: Mutex::new(registry) });
+        self
+    }
+
+    /// Register `rag.` metrics on `registry`.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.store.attach_metrics(registry);
+    }
+
+    /// Borrow the run store.
+    pub fn store(&self) -> &RunStore {
+        &self.store
+    }
+
+    /// Number of indexed historical runs.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    fn retrieve_embedded(
+        &self,
+        q: &[f32],
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+        k: usize,
+    ) -> Result<Vec<Retrieved>, TuneError> {
+        if self.store.is_empty() {
+            return Err(TuneError::Unavailable("retrieval store is empty"));
+        }
+        let hits = self.store.search(q, k.max(1));
+        if hits.is_empty() {
+            return Err(TuneError::Unavailable("retrieval returned no neighbors"));
+        }
+        Ok(hits
+            .into_iter()
+            .map(|h| {
+                let conf = adapt_conf(&self.space, h.record, data, cluster);
+                Retrieved {
+                    app: h.record.app,
+                    distance: h.distance,
+                    runtime_s: h.record.runtime_s,
+                    estimate_s: scale_runtime(h.record, data, cluster),
+                    conf,
+                }
+            })
+            .collect())
+    }
+
+    /// Retrieve the top-k most similar historical runs for a known app,
+    /// adapted to the target scale. Nearest first.
+    pub fn retrieve(
+        &self,
+        app: AppId,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+        k: usize,
+    ) -> Result<Vec<Retrieved>, TuneError> {
+        let q = self.embedder.embed(app, data, cluster);
+        self.retrieve_embedded(&q, data, cluster, k)
+    }
+
+    /// Retrieve for raw application source the server has never seen.
+    pub fn retrieve_source(
+        &self,
+        source: &str,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+        k: usize,
+    ) -> Result<Vec<Retrieved>, TuneError> {
+        let q = self
+            .embedder
+            .embed_source(source, data, cluster)
+            .map_err(|_| TuneError::Unavailable("source analysis failed"))?;
+        self.retrieve_embedded(&q, data, cluster, k)
+    }
+
+    /// Rank retrieved candidates: dedup adapted confs (keeping the best
+    /// estimate per distinct conf), then order by NECS prediction when a
+    /// model is attached and the app is known, else by the first-order
+    /// runtime estimate (`app: None` — e.g. raw-source queries — always
+    /// ranks by estimate).
+    pub fn rank(
+        &self,
+        app: Option<AppId>,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+        retrieved: &[Retrieved],
+        k: usize,
+    ) -> Vec<RankedCandidate> {
+        let mut seen: Vec<[u64; lite_sparksim::conf::NUM_KNOBS]> = Vec::new();
+        let mut unique: Vec<&Retrieved> = Vec::new();
+        for r in retrieved {
+            let bits = r.conf.values().map(f64::to_bits);
+            if !seen.contains(&bits) {
+                seen.push(bits);
+                unique.push(r);
+            }
+        }
+        let confs: Vec<SparkConf> = unique.iter().map(|r| r.conf.clone()).collect();
+        let scores: Vec<f64> = match app.and_then(|a| self.necs_scores(a, data, cluster, &confs)) {
+            Some(s) => s,
+            None => unique.iter().map(|r| r.estimate_s).collect(),
+        };
+        let mut ranked: Vec<RankedCandidate> = confs
+            .into_iter()
+            .zip(scores)
+            .map(|(conf, predicted_s)| RankedCandidate { conf, predicted_s })
+            .collect();
+        ranked.sort_by(|a, b| a.predicted_s.total_cmp(&b.predicted_s));
+        ranked.truncate(k.max(1));
+        ranked
+    }
+
+    /// Batched NECS scores for the adapted candidates, interning the
+    /// target app's templates from static extraction when it is cold.
+    /// `None` when no model is attached.
+    fn necs_scores(
+        &self,
+        app: AppId,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+        confs: &[SparkConf],
+    ) -> Option<Vec<f64>> {
+        let ranker = self.ranker.as_ref()?;
+        let mut registry =
+            ranker.registry.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let ctx = match PredictionContext::warm(&registry, app, data, cluster) {
+            Some(ctx) => ctx,
+            None => {
+                for stage in static_stage_codes(app) {
+                    registry.intern(app, &stage);
+                }
+                PredictionContext::warm(&registry, app, data, cluster)?
+            }
+        };
+        Some(score_candidates(&ranker.model, &registry, &ctx, cluster, confs, &Tracer::disabled()))
+    }
+
+    /// Adapted neighbor confs as warm-start seeds for ACG/BO (deduped,
+    /// best-estimate first). Empty when the store cannot answer.
+    pub fn warm_start(
+        &self,
+        app: AppId,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+        n: usize,
+    ) -> Vec<SparkConf> {
+        let Ok(mut retrieved) = self.retrieve(app, data, cluster, n.max(1) * 2) else {
+            return Vec::new();
+        };
+        retrieved.sort_by(|a, b| a.estimate_s.total_cmp(&b.estimate_s));
+        let mut seen: Vec<[u64; lite_sparksim::conf::NUM_KNOBS]> = Vec::new();
+        let mut out = Vec::new();
+        for r in retrieved {
+            let bits = r.conf.values().map(f64::to_bits);
+            if seen.contains(&bits) {
+                continue;
+            }
+            seen.push(bits);
+            out.push(r.conf);
+            if out.len() >= n {
+                break;
+            }
+        }
+        out
+    }
+}
+
+impl Tuner for RagTuner {
+    fn name(&self) -> &'static str {
+        "rag"
+    }
+
+    fn recommend(&self, req: &TuneRequest) -> Result<TuneResult, TuneError> {
+        let k = self.cfg.neighbors.max(req.k).max(1);
+        let retrieved = self.retrieve(req.app, &req.data, &req.cluster, k)?;
+        let ranked = self.rank(Some(req.app), &req.data, &req.cluster, &retrieved, req.k.max(1));
+        if ranked.is_empty() {
+            return Err(TuneError::Unavailable("no candidates after dedup"));
+        }
+        Ok(TuneResult { ranked, degraded: false })
+    }
+
+    fn observe(&mut self, fb: Feedback) {
+        let embedding = self.embedder.embed(fb.app, &fb.data, &fb.cluster);
+        self.store.push(
+            &embedding,
+            RunRecord {
+                app: fb.app,
+                data: fb.data,
+                cluster: fb.cluster,
+                conf: fb.conf,
+                runtime_s: fb.result.capped_time(EXECUTION_CAP_S),
+            },
+        );
+    }
+}
+
+/// Adapt a neighbor's conf to the target data/cluster scale (see the
+/// module docs for the rule). Out-of-domain results clamp via
+/// [`SparkConf::from_values`].
+pub fn adapt_conf(
+    space: &ConfSpace,
+    rec: &RunRecord,
+    data: &DataSpec,
+    cluster: &ClusterSpec,
+) -> SparkConf {
+    let mut v = *rec.conf.values();
+    let core_ratio = cluster.total_cores() as f64 / rec.cluster.total_cores().max(1) as f64;
+    let node_ratio = cluster.nodes as f64 / rec.cluster.nodes.max(1) as f64;
+    let cores_ratio = cluster.cores_per_node as f64 / rec.cluster.cores_per_node.max(1) as f64;
+    let mem_ratio = cluster.mem_gb_per_node / rec.cluster.mem_gb_per_node.max(1e-6);
+    let data_ratio = data.bytes.max(1) as f64 / rec.data.bytes.max(1) as f64;
+
+    let scale = |v: &mut f64, r: f64| *v *= r;
+    scale(&mut v[Knob::DefaultParallelism.index()], core_ratio * data_ratio.sqrt());
+    scale(&mut v[Knob::ExecutorInstances.index()], node_ratio);
+    scale(&mut v[Knob::ExecutorCores.index()], cores_ratio);
+    scale(&mut v[Knob::ExecutorMemoryGb.index()], mem_ratio);
+    scale(&mut v[Knob::DriverMemoryGb.index()], mem_ratio);
+    SparkConf::from_values(space, v)
+}
+
+/// First-order runtime estimate of a neighbor's conf on the target:
+/// neighbor runtime scaled by data volume and iteration count, inversely
+/// by total cores. Capped at [`EXECUTION_CAP_S`].
+pub fn scale_runtime(rec: &RunRecord, data: &DataSpec, cluster: &ClusterSpec) -> f64 {
+    let data_ratio = data.bytes.max(1) as f64 / rec.data.bytes.max(1) as f64;
+    let iter_ratio = data.iterations.max(1) as f64 / rec.data.iterations.max(1) as f64;
+    let core_ratio = cluster.total_cores().max(1) as f64 / rec.cluster.total_cores().max(1) as f64;
+    (rec.runtime_s * data_ratio * iter_ratio / core_ratio).min(EXECUTION_CAP_S)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lite_workloads::SizeTier;
+
+    fn record(app: AppId, tier: SizeTier, cluster: ClusterSpec, runtime_s: f64) -> RunRecord {
+        let space = ConfSpace::table_iv();
+        RunRecord { app, data: app.dataset(tier), cluster, conf: space.default_conf(), runtime_s }
+    }
+
+    fn small_tuner() -> RagTuner {
+        let space = ConfSpace::table_iv();
+        let embedder = CodeEmbedder::new();
+        let mut store = RunStore::new(crate::embed::EMBED_DIM, HnswConfig::default());
+        for app in [AppId::Sort, AppId::Terasort, AppId::KMeans, AppId::Svm, AppId::PageRank] {
+            for tier in [SizeTier::Train(0), SizeTier::Train(2)] {
+                let rec = record(app, tier, ClusterSpec::cluster_a(), 20.0);
+                let v = embedder.embed(rec.app, &rec.data, &rec.cluster);
+                store.push(&v, rec);
+            }
+        }
+        RagTuner::new(store, space, RagConfig::default())
+    }
+
+    #[test]
+    fn adaptation_scales_parallelism_with_cores_and_data() {
+        let space = ConfSpace::table_iv();
+        let rec = record(AppId::Sort, SizeTier::Train(0), ClusterSpec::cluster_a(), 10.0);
+        let big = AppId::Sort.dataset(SizeTier::Test);
+        let adapted = adapt_conf(&space, &rec, &big, &ClusterSpec::cluster_c());
+        assert!(
+            adapted.get(Knob::DefaultParallelism) > rec.conf.get(Knob::DefaultParallelism),
+            "8x cores and 400x data must raise parallelism"
+        );
+        assert_eq!(
+            adapted.get(Knob::ShuffleCompress),
+            rec.conf.get(Knob::ShuffleCompress),
+            "shape knobs carry over"
+        );
+    }
+
+    #[test]
+    fn recommend_prefers_same_app_neighbors() {
+        let tuner = small_tuner();
+        let req = TuneRequest {
+            app: AppId::KMeans,
+            data: AppId::KMeans.dataset(SizeTier::Valid),
+            cluster: ClusterSpec::cluster_a(),
+            k: 3,
+            seed: 7,
+        };
+        let retrieved =
+            tuner.retrieve(req.app, &req.data, &req.cluster, 4).expect("non-empty store answers");
+        assert_eq!(retrieved[0].app, AppId::KMeans, "nearest neighbor shares stage code");
+        let result = tuner.recommend(&req).expect("recommendation succeeds");
+        assert!(!result.ranked.is_empty() && !result.degraded);
+        assert!(result
+            .ranked
+            .windows(2)
+            .all(|w| w[0].predicted_s <= w[1].predicted_s || w[1].predicted_s.is_nan()));
+    }
+
+    #[test]
+    fn empty_store_is_unavailable() {
+        let space = ConfSpace::table_iv();
+        let store = RunStore::new(crate::embed::EMBED_DIM, HnswConfig::default());
+        let tuner = RagTuner::new(store, space, RagConfig::default());
+        let req = TuneRequest {
+            app: AppId::Sort,
+            data: AppId::Sort.dataset(SizeTier::Valid),
+            cluster: ClusterSpec::cluster_a(),
+            k: 1,
+            seed: 1,
+        };
+        assert!(matches!(tuner.recommend(&req), Err(TuneError::Unavailable(_))));
+    }
+
+    #[test]
+    fn observe_grows_the_store() {
+        let mut tuner = small_tuner();
+        let before = tuner.len();
+        let conf = ConfSpace::table_iv().default_conf();
+        let data = AppId::Sort.dataset(SizeTier::Valid);
+        let cluster = ClusterSpec::cluster_b();
+        let result = lite_sparksim::exec::simulate(
+            &cluster,
+            &conf,
+            &lite_workloads::build_job(AppId::Sort, &data),
+            42,
+        );
+        tuner.observe(Feedback { app: AppId::Sort, data, cluster, conf, result });
+        assert_eq!(tuner.len(), before + 1);
+    }
+
+    #[test]
+    fn warm_start_yields_deduped_confs() {
+        let tuner = small_tuner();
+        let seeds = tuner.warm_start(
+            AppId::Svm,
+            &AppId::Svm.dataset(SizeTier::Test),
+            &ClusterSpec::cluster_c(),
+            4,
+        );
+        assert!(!seeds.is_empty());
+        for (i, a) in seeds.iter().enumerate() {
+            for b in &seeds[i + 1..] {
+                assert_ne!(a.values(), b.values(), "warm-start seeds are distinct");
+            }
+        }
+    }
+}

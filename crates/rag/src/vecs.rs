@@ -1,0 +1,196 @@
+//! Flat f32 vector storage and the brute-force exact k-NN oracle.
+//!
+//! [`VecSet`] stores all points of one index contiguously (`n × dim` f32,
+//! row-major) so distance kernels stream cache lines instead of chasing
+//! per-point allocations; [`l2_sq`] is written over 4-lane chunks so the
+//! auto-vectorizer emits SIMD on every release build. [`exact_knn`] is the
+//! ground-truth oracle the HNSW recall gate and the property tests compare
+//! against.
+//!
+//! All comparisons go through [`f32::total_cmp`] (the workspace-wide
+//! NaN-safe ranking convention): non-finite distances order deterministically
+//! after every finite one instead of poisoning a `partial_cmp` unwrap.
+
+use std::cmp::Ordering;
+
+/// A candidate neighbor: distance plus point id, totally ordered.
+///
+/// Ordering is by distance via `total_cmp` first (so `NaN` sorts after
+/// `+inf`, never panics) and by id second, which makes every heap and sort
+/// in the crate fully deterministic even under distance ties.
+#[derive(Debug, Clone, Copy)]
+pub struct Neighbor {
+    /// Squared L2 distance to the query.
+    pub dist: f32,
+    /// Index of the point in its [`VecSet`].
+    pub id: u32,
+}
+
+impl PartialEq for Neighbor {
+    fn eq(&self, other: &Self) -> bool {
+        // Consistent with `Ord`: bitwise on the distance, so NaN == NaN
+        // and result lists containing non-finite hits still compare equal.
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist.total_cmp(&other.dist).then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Squared L2 distance between two equal-length slices.
+///
+/// Four independent accumulator lanes keep the loop free of a serial
+/// dependency chain; on x86-64 release builds this compiles to packed SSE.
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        for l in 0..4 {
+            let d = a[j + l] - b[j + l];
+            lanes[l] += d * d;
+        }
+    }
+    let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for i in chunks * 4..a.len() {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Flat row-major f32 vector storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VecSet {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl VecSet {
+    /// Empty set of `dim`-dimensional vectors.
+    pub fn new(dim: usize) -> VecSet {
+        assert!(dim > 0, "vector dimension must be positive");
+        VecSet { dim, data: Vec::new() }
+    }
+
+    /// Dimensionality of every stored vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append one vector, returning its id. Panics on a dimension
+    /// mismatch — that is a programming error, not input data.
+    pub fn push(&mut self, v: &[f32]) -> u32 {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let id = self.len() as u32;
+        self.data.extend_from_slice(v);
+        id
+    }
+
+    /// Borrow vector `id`.
+    pub fn get(&self, id: u32) -> &[f32] {
+        let start = id as usize * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// Squared L2 distance between stored vector `id` and `q`.
+    pub fn dist(&self, id: u32, q: &[f32]) -> f32 {
+        l2_sq(self.get(id), q)
+    }
+
+    /// Raw flat storage (for serialization).
+    pub fn raw(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Rebuild from flat storage (inverse of [`VecSet::raw`]).
+    pub fn from_raw(dim: usize, data: Vec<f32>) -> Option<VecSet> {
+        if dim == 0 || !data.len().is_multiple_of(dim) {
+            return None;
+        }
+        Some(VecSet { dim, data })
+    }
+}
+
+/// Brute-force exact k-nearest-neighbors: full scan, ascending by
+/// `(distance, id)`. This is the oracle the HNSW recall gate compares
+/// against; O(n·dim) per query.
+pub fn exact_knn(vecs: &VecSet, q: &[f32], k: usize) -> Vec<Neighbor> {
+    let mut heap: std::collections::BinaryHeap<Neighbor> = std::collections::BinaryHeap::new();
+    for id in 0..vecs.len() as u32 {
+        let n = Neighbor { dist: vecs.dist(id, q), id };
+        if heap.len() < k {
+            heap.push(n);
+        } else if let Some(worst) = heap.peek() {
+            if n < *worst {
+                heap.pop();
+                heap.push(n);
+            }
+        }
+    }
+    let mut out = heap.into_vec();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_matches_naive() {
+        let a: Vec<f32> = (0..13).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..13).map(|i| 6.0 - i as f32).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        assert!((l2_sq(&a, &b) - naive).abs() < 1e-3);
+    }
+
+    #[test]
+    fn exact_knn_orders_by_distance_then_id() {
+        let mut vs = VecSet::new(2);
+        vs.push(&[0.0, 0.0]);
+        vs.push(&[1.0, 0.0]);
+        vs.push(&[0.0, 1.0]); // tie with id 1 at distance 1
+        vs.push(&[3.0, 0.0]);
+        let got = exact_knn(&vs, &[0.0, 0.0], 3);
+        let ids: Vec<u32> = got.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn non_finite_distances_sort_last_and_deterministically() {
+        let mut vs = VecSet::new(2);
+        vs.push(&[f32::NAN, 0.0]);
+        vs.push(&[1.0, 0.0]);
+        vs.push(&[f32::INFINITY, 0.0]);
+        vs.push(&[0.5, 0.0]);
+        let a = exact_knn(&vs, &[0.0, 0.0], 4);
+        let b = exact_knn(&vs, &[0.0, 0.0], 4);
+        assert_eq!(a, b, "ordering must be deterministic");
+        let ids: Vec<u32> = a.iter().map(|n| n.id).collect();
+        // Finite distances first (0.25 then 1.0), then +inf, then NaN.
+        assert_eq!(ids, vec![3, 1, 2, 0]);
+    }
+}

@@ -58,8 +58,8 @@ pub use resilience::{
     RetryPolicy,
 };
 pub use service::{
-    ConfigError, RecommendResponse, ServeConfig, ServeConfigBuilder, ServeError, Service,
-    ServiceHandle, ServiceStats, TraceConfig,
+    ConfigError, RecommendResponse, RetrieveResponse, ServeConfig, ServeConfigBuilder, ServeError,
+    Service, ServiceHandle, ServiceStats, TraceConfig,
 };
 pub use slot::{SlotReader, VersionedSlot};
 pub use snapshot::ModelSnapshot;

@@ -49,6 +49,16 @@
 //!   "message":...,"line":l,"col":c},...]}` — the `lite-analyze` static
 //!   extractor over the wire: stage templates and lint findings without
 //!   running the application (cold-start onboarding).
+//! * `{"v":2,"o":10,"app":"KMeans","data":{...},"cluster":"cluster-a",
+//!   "k":5}` (or `"source":"..."` for submitted text) →
+//!   `{"ok":true,"index":n,"search_ns":t,"neighbors":[{"app":...,
+//!   "distance":d,"runtime_s":r,"estimate_s":e,"conf":[16 values]},...],
+//!   "ranked":[{"conf":[...],"predicted_s":t},...]}` — `retrieve` is the
+//!   v2-only ANN cold-start op: nearest historical runs by static code
+//!   embedding, scale-adapted to the target data/cluster and re-ranked.
+//!   v1 peers asking for `"op":"retrieve"` are refused with
+//!   `bad_request`; servers without a configured retrieval store refuse
+//!   likewise.
 //!
 //! `cluster` is either a preset name (`"cluster-a"`/`"cluster-b"`/
 //! `"cluster-c"`) or a full object with the Table III fields.
@@ -93,7 +103,9 @@ use lite_workloads::apps::AppId;
 use lite_workloads::data::DataSpec;
 
 use crate::monitor::DriftSummary;
-use crate::service::{RecommendResponse, ServeError, ServiceHandle, ServiceStats};
+use crate::service::{
+    RecommendResponse, RetrieveResponse, ServeError, ServiceHandle, ServiceStats,
+};
 
 /// Largest accepted frame payload; recommendation traffic is tiny, so
 /// anything bigger is a protocol error, not a workload.
@@ -126,11 +138,15 @@ pub enum OpCode {
     Analyze = 8,
     /// Slow-request exemplars from the tail-forensics reservoir.
     Tailtrace = 9,
+    /// Zero-execution cold-start retrieval from the historical run index
+    /// (v2 only: the op postdates v1, so v1 peers get a clean
+    /// `bad_request` instead of a silently different answer).
+    Retrieve = 10,
 }
 
 impl OpCode {
     /// All operations, for exhaustive round-trip tests.
-    pub const ALL: [OpCode; 10] = [
+    pub const ALL: [OpCode; 11] = [
         OpCode::Ping,
         OpCode::Recommend,
         OpCode::Observe,
@@ -141,6 +157,7 @@ impl OpCode {
         OpCode::Hello,
         OpCode::Analyze,
         OpCode::Tailtrace,
+        OpCode::Retrieve,
     ];
 
     /// The numeric wire code.
@@ -161,6 +178,7 @@ impl OpCode {
             OpCode::Hello => "hello",
             OpCode::Analyze => "analyze",
             OpCode::Tailtrace => "tailtrace",
+            OpCode::Retrieve => "retrieve",
         }
     }
 
@@ -431,14 +449,17 @@ fn connection_loop(mut stream: TcpStream, handle: ServiceHandle) {
 }
 
 /// The trace id a parsed request should be recorded under, when the
-/// request-path phases apply: a v2 `recommend` with the caller's `"t"` id,
-/// or a fresh server-generated id when the field is absent. `None` for v1
-/// peers and non-recommend operations.
+/// request-path phases apply: a v2 `recommend` or `retrieve` with the
+/// caller's `"t"` id, or a fresh server-generated id when the field is
+/// absent. `None` for v1 peers and other operations.
 fn request_trace(request: &Json) -> Option<TraceId> {
     if request.get("v").and_then(Json::as_u64) != Some(2) {
         return None;
     }
-    if request.get("o").and_then(Json::as_u64) != Some(u64::from(OpCode::Recommend.code())) {
+    let op = request.get("o").and_then(Json::as_u64);
+    let traced = op == Some(u64::from(OpCode::Recommend.code()))
+        || op == Some(u64::from(OpCode::Retrieve.code()));
+    if !traced {
         return None;
     }
     let wire = request.get("t").and_then(Json::as_u64).and_then(TraceId::from_wire);
@@ -513,6 +534,13 @@ fn dispatch(
                 MAX_FRAME as usize / 2,
             ))
         }
+        Some(OpCode::Retrieve) if !v2 => {
+            // The op postdates v1. A v1 `{"op":"retrieve"}` would resolve
+            // by name, so reject explicitly: v1 byte behavior must not
+            // grow a new success shape.
+            Err((ErrorCode::BadRequest, "retrieve requires protocol v2".to_string()))
+        }
+        Some(OpCode::Retrieve) => wire_retrieve(handle, request, trace),
         None => Err((ErrorCode::BadRequest, "unknown op".to_string())),
     };
     match outcome {
@@ -674,6 +702,79 @@ fn extraction_to_json(ex: &lite_analyze::Extraction) -> Json {
                             ("message", Json::from(d.message.as_str())),
                             ("line", Json::from(u64::from(d.span.line))),
                             ("col", Json::from(u64::from(d.span.col))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn wire_retrieve(handle: &ServiceHandle, request: &Json, trace: Option<TraceId>) -> WireResult {
+    if !handle.retrieval_enabled() {
+        return Err((ErrorCode::BadRequest, "retrieval not enabled on this server".to_string()));
+    }
+    let data = parse_data(request.get("data"))?;
+    let cluster = parse_cluster(request.get("cluster"))?;
+    let k = request.get("k").and_then(Json::as_u64).unwrap_or(1).clamp(1, 64) as usize;
+    let outcome = match request.get("app") {
+        Some(app_field) => {
+            let app = parse_app(Some(app_field))?;
+            match trace {
+                Some(id) => handle.retrieve_traced(app, &data, &cluster, k, id),
+                None => handle.retrieve(app, &data, &cluster, k),
+            }
+        }
+        None => {
+            let src = request.get("source").and_then(Json::as_str).ok_or_else(|| {
+                (ErrorCode::BadRequest, "retrieve needs \"app\" or \"source\"".to_string())
+            })?;
+            handle.retrieve_source(src, &data, &cluster, k, trace)
+        }
+    };
+    match outcome {
+        Ok(resp) => Ok(retrieve_to_json(&resp)),
+        Err(err) => Err((error_code(&err), err.to_string())),
+    }
+}
+
+fn retrieve_to_json(resp: &RetrieveResponse) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("index", Json::from(resp.index_len)),
+        ("search_ns", Json::from(resp.search_ns)),
+        (
+            "neighbors",
+            Json::Arr(
+                resp.neighbors
+                    .iter()
+                    .map(|n| {
+                        Json::obj(vec![
+                            ("app", Json::from(n.app.name())),
+                            ("distance", Json::Num(f64::from(n.distance))),
+                            ("runtime_s", Json::Num(n.runtime_s)),
+                            ("estimate_s", Json::Num(n.estimate_s)),
+                            (
+                                "conf",
+                                Json::Arr(n.conf.values().iter().map(|&v| Json::Num(v)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "ranked",
+            Json::Arr(
+                resp.ranked
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            (
+                                "conf",
+                                Json::Arr(r.conf.values().iter().map(|&v| Json::Num(v)).collect()),
+                            ),
+                            ("predicted_s", Json::Num(r.predicted_s)),
                         ])
                     })
                     .collect(),
@@ -1085,6 +1186,49 @@ impl Client {
         self.request_op(
             OpCode::Analyze,
             vec![("source", Json::from(source)), ("iterations", Json::from(u64::from(iterations)))],
+        )
+    }
+
+    /// `retrieve`: nearest historical runs for a named workload at a
+    /// target data/cluster scale, with scale-adapted candidate confs
+    /// (v2 only — v1 peers are refused with `BadRequest`). Returns the
+    /// raw response document (check `"ok"`).
+    pub fn retrieve(
+        &mut self,
+        app: AppId,
+        data: &DataSpec,
+        cluster: &str,
+        k: usize,
+    ) -> std::io::Result<Json> {
+        self.request_op(
+            OpCode::Retrieve,
+            vec![
+                ("app", Json::from(app.name())),
+                ("data", data_to_json(data)),
+                ("cluster", Json::from(cluster)),
+                ("k", Json::from(k)),
+            ],
+        )
+    }
+
+    /// `retrieve` for submitted source text: the zero-execution cold-start
+    /// path — the server embeds the source statically and searches the
+    /// run index without ever running the job.
+    pub fn retrieve_source(
+        &mut self,
+        source: &str,
+        data: &DataSpec,
+        cluster: &str,
+        k: usize,
+    ) -> std::io::Result<Json> {
+        self.request_op(
+            OpCode::Retrieve,
+            vec![
+                ("source", Json::from(source)),
+                ("data", data_to_json(data)),
+                ("cluster", Json::from(cluster)),
+                ("k", Json::from(k)),
+            ],
         )
     }
 

@@ -41,6 +41,7 @@ use lite_core::tuner::{Feedback as TunerFeedback, TuneError, TuneRequest, Tuner}
 use lite_obs::span::epoch_ns;
 use lite_obs::trace::{Exemplar, Phase, PhaseHistograms, PhaseSpan, TraceId, TraceSink};
 use lite_obs::{Counter, Gauge, Histogram, Registry, Tracer};
+use lite_rag::{RagTuner, Retrieved};
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::conf::SparkConf;
 use lite_sparksim::fault::{FaultInjector, FaultKind};
@@ -102,6 +103,22 @@ pub struct RecommendResponse {
     pub degraded: bool,
 }
 
+/// A served retrieval: the zero-execution cold-start answer.
+#[derive(Debug, Clone)]
+pub struct RetrieveResponse {
+    /// Raw retrieval hits, nearest first, confs already adapted to the
+    /// target data/cluster scale.
+    pub neighbors: Vec<Retrieved>,
+    /// Adapted candidates ranked best-first (NECS-scored when the
+    /// retrieval tuner carries a model, else by scaled neighbor runtime).
+    pub ranked: Vec<RankedCandidate>,
+    /// Historical runs in the index at answer time.
+    pub index_len: usize,
+    /// Index search time (the `index_search` cost, folded under the
+    /// `score` phase in trace taxonomy terms).
+    pub search_ns: u64,
+}
+
 // ---------------------------------------------------------------------------
 // Configuration
 
@@ -141,6 +158,10 @@ pub struct ServeConfig {
     /// phase histograms, and every request-path hook is one branch on this
     /// option (the same zero-cost-when-off discipline as `faults`).
     pub trace: Option<TraceConfig>,
+    /// Retrieval plane serving the `retrieve` op: a shared [`RagTuner`]
+    /// over historical runs. `None` (the default) rejects retrieval
+    /// requests; everything else is untouched.
+    pub retrieval: Option<Arc<RagTuner>>,
 }
 
 /// Tail-forensics knobs: when tracing is on, every request records phase
@@ -175,6 +196,7 @@ impl Default for ServeConfig {
             drift: DriftConfig::default(),
             faults: None,
             trace: None,
+            retrieval: None,
         }
     }
 }
@@ -307,6 +329,12 @@ impl ServeConfigBuilder {
     /// Enable tail-forensics tracing.
     pub fn trace(mut self, trace: TraceConfig) -> Self {
         self.config.trace = Some(trace);
+        self
+    }
+
+    /// Serve the `retrieve` op from this retrieval tuner.
+    pub fn retrieval(mut self, rag: Arc<RagTuner>) -> Self {
+        self.config.retrieval = Some(rag);
         self
     }
 
@@ -522,6 +550,14 @@ struct ServeMetrics {
     updater_failures: Counter,
     /// Recommendations answered by the default-configuration fallback.
     fallbacks: Counter,
+    /// Retrieval requests served (the `retrieve` op).
+    retrieve_requests: Counter,
+    /// Retrieval requests that failed (empty store, unparsable source).
+    retrieve_errors: Counter,
+    /// End-to-end retrieval latency (search + adaptation + ranking).
+    retrieve_latency: Histogram,
+    /// Neighbors returned per retrieval.
+    retrieve_neighbors: Histogram,
 }
 
 impl ServeMetrics {
@@ -543,6 +579,10 @@ impl ServeMetrics {
             degraded: registry.gauge("serve.degraded"),
             updater_failures: registry.counter("serve.updater_failures"),
             fallbacks: registry.counter("serve.fallbacks"),
+            retrieve_requests: registry.counter("serve.retrieve.requests"),
+            retrieve_errors: registry.counter("serve.retrieve.errors"),
+            retrieve_latency: registry.histogram("serve.retrieve.latency_ns"),
+            retrieve_neighbors: registry.histogram("serve.retrieve.neighbors"),
         }
     }
 }
@@ -1431,6 +1471,99 @@ impl ServiceHandle {
     /// Lifetime `(completed, captured)` traced-request counts.
     pub fn tail_totals(&self) -> (u64, u64) {
         self.shared.trace.as_ref().map(|t| t.sink.totals()).unwrap_or((0, 0))
+    }
+
+    /// Whether a retrieval plane is configured (the `retrieve` op).
+    pub fn retrieval_enabled(&self) -> bool {
+        self.shared.config.retrieval.is_some()
+    }
+
+    /// Retrieve the top-`k` most similar historical runs for `app` and
+    /// rank their scale-adapted configurations — the zero-execution
+    /// cold-start path. Runs inline on the calling thread (an index
+    /// search, not a scoring job; it never competes for the worker queue).
+    pub fn retrieve(
+        &self,
+        app: AppId,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+        k: usize,
+    ) -> Result<RetrieveResponse, ServeError> {
+        self.retrieve_inner(Some(app), None, data, cluster, k, None)
+    }
+
+    /// [`retrieve`](ServiceHandle::retrieve) under a trace id: the index
+    /// search and candidate ranking are recorded as one `score` phase span
+    /// (the `index_search` cost folds under `score` in the taxonomy).
+    pub fn retrieve_traced(
+        &self,
+        app: AppId,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+        k: usize,
+        trace: TraceId,
+    ) -> Result<RetrieveResponse, ServeError> {
+        self.retrieve_inner(Some(app), None, data, cluster, k, Some(trace))
+    }
+
+    /// Retrieve for raw application source the server has never seen
+    /// (embedded through static analysis; ranked by scaled neighbor
+    /// runtime since NECS has no templates for an anonymous app).
+    pub fn retrieve_source(
+        &self,
+        source: &str,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+        k: usize,
+        trace: Option<TraceId>,
+    ) -> Result<RetrieveResponse, ServeError> {
+        self.retrieve_inner(None, Some(source), data, cluster, k, trace)
+    }
+
+    fn retrieve_inner(
+        &self,
+        app: Option<AppId>,
+        source: Option<&str>,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+        k: usize,
+        trace: Option<TraceId>,
+    ) -> Result<RetrieveResponse, ServeError> {
+        let Some(rag) = &self.shared.config.retrieval else {
+            return Err(ServeError::Internal("retrieval not enabled on this server"));
+        };
+        let metrics = &self.shared.metrics;
+        metrics.retrieve_requests.inc();
+        let t0 = Instant::now();
+        let span_start = trace.and(self.shared.trace.as_ref()).map(|_| epoch_ns());
+        let outcome = match (app, source) {
+            (Some(app), _) => rag.retrieve(app, data, cluster, k),
+            (None, Some(src)) => rag.retrieve_source(src, data, cluster, k),
+            (None, None) => Err(TuneError::Unavailable("retrieve needs an app or source")),
+        };
+        let search_ns = t0.elapsed().as_nanos() as u64;
+        let response = outcome.map(|neighbors| {
+            let ranked = rag.rank(app, data, cluster, &neighbors, k.max(1));
+            RetrieveResponse { ranked, index_len: rag.len(), search_ns, neighbors }
+        });
+        if let (Some(id), Some(start)) = (trace, span_start) {
+            self.shared.trace_phase(id, Phase::Score, start, epoch_ns(), 0);
+        }
+        metrics.retrieve_latency.record(t0.elapsed().as_nanos() as u64);
+        match response {
+            Ok(resp) => {
+                metrics.retrieve_neighbors.record(resp.neighbors.len() as u64);
+                Ok(resp)
+            }
+            Err(TuneError::ColdApp(app)) => {
+                metrics.retrieve_errors.inc();
+                Err(ServeError::ColdApp(app))
+            }
+            Err(TuneError::Unavailable(why)) => {
+                metrics.retrieve_errors.inc();
+                Err(ServeError::Internal(why))
+            }
+        }
     }
 
     /// Report an executed configuration's outcome (paper Step 4a). Returns

@@ -1,0 +1,187 @@
+//! Wire-compatibility tests for the v2-only `retrieve` op (opcode 10):
+//! the opcode table gains exactly one entry, v1 peers asking for
+//! `"op":"retrieve"` are refused with the existing `bad_request` code
+//! (no new v1 success shape), servers without a retrieval store refuse
+//! v2 peers the same way, and a retrieval-enabled server answers the
+//! pre-existing v1 ops byte-identically to a plain one.
+
+use std::sync::Arc;
+
+use lite_core::amu::AmuConfig;
+use lite_core::experiment::{Dataset, DatasetBuilder};
+use lite_core::necs::NecsConfig;
+use lite_core::recommend::LiteTuner;
+use lite_obs::{Json, Registry, Tracer};
+use lite_rag::{RagConfig, RagTuner};
+use lite_serve::{ErrorCode, ModelSnapshot, OpCode, ServeConfig, Service, TcpServer};
+use lite_sparksim::cluster::ClusterSpec;
+use lite_sparksim::conf::NUM_KNOBS;
+use lite_workloads::apps::AppId;
+use lite_workloads::data::SizeTier;
+
+// ---------------------------------------------------------------------------
+// Opcode-table pinning
+
+/// The opcode table is append-only: adding `retrieve` must not renumber
+/// or rename any existing op. These constants are the wire contract.
+#[test]
+fn opcode_table_is_append_only() {
+    let expected: [(u8, &str); 11] = [
+        (0, "ping"),
+        (1, "recommend"),
+        (2, "observe"),
+        (3, "stats"),
+        (4, "metrics"),
+        (5, "trace"),
+        (6, "health"),
+        (7, "hello"),
+        (8, "analyze"),
+        (9, "tailtrace"),
+        (10, "retrieve"),
+    ];
+    // Order-insensitive: every (code, name) pair must be present exactly once.
+    assert_eq!(OpCode::ALL.len(), expected.len());
+    for (code, name) in expected {
+        let op =
+            OpCode::from_code(u64::from(code)).unwrap_or_else(|| panic!("opcode {code} missing"));
+        assert_eq!(op.name(), name, "opcode {code}");
+        assert_eq!(OpCode::from_name(name), Some(op));
+    }
+    assert_eq!(OpCode::Retrieve.code(), 10);
+}
+
+// ---------------------------------------------------------------------------
+// Live-server compatibility
+
+fn trained() -> (Arc<Dataset>, LiteTuner) {
+    let ds = DatasetBuilder {
+        apps: vec![AppId::Sort, AppId::KMeans],
+        clusters: vec![ClusterSpec::cluster_a()],
+        tiers: vec![SizeTier::Train(0), SizeTier::Train(2)],
+        confs_per_cell: 3,
+        seed: 43,
+    }
+    .build();
+    let tuner = LiteTuner::from_dataset(
+        &ds,
+        NecsConfig { epochs: 2, batch_size: 256, ..Default::default() },
+        43,
+    );
+    (Arc::new(ds), tuner)
+}
+
+fn quick_config(retrieval: Option<Arc<RagTuner>>) -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_capacity: 32,
+        update_batch: 1_000_000,
+        amu: AmuConfig { epochs: 1, half_batch: 32, ..Default::default() },
+        retrieval,
+        ..Default::default()
+    }
+}
+
+fn start(
+    ds: &Arc<Dataset>,
+    tuner: &LiteTuner,
+    retrieval: Option<Arc<RagTuner>>,
+) -> (Service, TcpServer) {
+    let registry = Registry::new();
+    let service = Service::start(
+        ModelSnapshot::from_tuner(tuner),
+        ds.clone(),
+        quick_config(retrieval),
+        &registry,
+        Tracer::disabled(),
+    );
+    let server = lite_serve::net::serve_tcp(service.handle(), "127.0.0.1:0").expect("bind");
+    (service, server)
+}
+
+#[test]
+fn retrieve_is_v2_only_and_leaves_v1_ops_byte_identical() {
+    let (ds, tuner) = trained();
+    let cluster_name = ds.clusters[0].name.clone();
+    let rag = Arc::new(RagTuner::from_dataset(&ds, RagConfig::default()));
+    assert!(!rag.is_empty(), "training dataset must seed the run store");
+
+    let (svc_plain, srv_plain) = start(&ds, &tuner, None);
+    let (svc_rag, srv_rag) = start(&ds, &tuner, Some(rag));
+
+    let data = AppId::KMeans.dataset(SizeTier::Valid);
+
+    // A v1 peer asking for retrieve by name is refused with the existing
+    // bad_request code — same bytes from a retrieval-enabled server as
+    // from a plain one, and never a v1 success shape.
+    let v1_doc = Json::obj(vec![
+        ("op", Json::from("retrieve")),
+        ("app", Json::from("kmeans")),
+        ("data", lite_serve::net::data_to_json(&data)),
+        ("cluster", Json::from(cluster_name.as_str())),
+        ("k", Json::from(3u64)),
+    ]);
+    let mut v1_a = lite_serve::Client::connect(srv_plain.local_addr()).expect("connect");
+    let mut v1_b = lite_serve::Client::connect(srv_rag.local_addr()).expect("connect");
+    let resp_a = v1_a.request(&v1_doc).expect("v1 retrieve");
+    let resp_b = v1_b.request(&v1_doc).expect("v1 retrieve");
+    assert_eq!(resp_a.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(ErrorCode::from_response(&resp_a), Some(ErrorCode::BadRequest));
+    assert_eq!(resp_a.render(), resp_b.render(), "v1 refusal must not depend on server config");
+    assert!(resp_a.get("v").is_none(), "v1 errors must not carry a version stamp");
+
+    // Pre-existing v1 ops are served byte-identically by both servers:
+    // wiring in retrieval must not perturb ops 1–9.
+    let from_plain =
+        v1_a.recommend(AppId::KMeans, &data, &cluster_name, 2, 7).expect("v1 recommend");
+    let from_rag = v1_b.recommend(AppId::KMeans, &data, &cluster_name, 2, 7).expect("v1 recommend");
+    assert_eq!(from_plain.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(from_plain.render(), from_rag.render(), "v1 recommend must be unchanged");
+    assert_eq!(v1_a.ping().expect("ping"), v1_b.ping().expect("ping"));
+    let analyze_plain = v1_a.analyze(AppId::Sort).expect("analyze");
+    let analyze_rag = v1_b.analyze(AppId::Sort).expect("analyze");
+    assert_eq!(analyze_plain.render(), analyze_rag.render(), "v1 analyze must be unchanged");
+
+    // A v2 peer of a server without a retrieval store is refused with
+    // bad_request — not internal, not a crash.
+    let mut v2_plain = lite_serve::Client::connect(srv_plain.local_addr()).expect("connect");
+    assert_eq!(v2_plain.negotiate().expect("hello"), 2);
+    let refused = v2_plain.retrieve(AppId::KMeans, &data, &cluster_name, 3).expect("retrieve");
+    assert_eq!(refused.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(ErrorCode::from_response(&refused), Some(ErrorCode::BadRequest));
+
+    // The v2 happy path: neighbors with full adapted confs, a non-empty
+    // ranked list, and the index size echoed.
+    let mut v2 = lite_serve::Client::connect(srv_rag.local_addr()).expect("connect");
+    assert_eq!(v2.negotiate().expect("hello"), 2);
+    let resp = v2.retrieve(AppId::KMeans, &data, &cluster_name, 3).expect("retrieve");
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp:?}");
+    assert!(resp.get("index").and_then(Json::as_u64).unwrap_or(0) > 0);
+    let neighbors = resp.get("neighbors").and_then(Json::as_arr).expect("neighbors");
+    assert!(!neighbors.is_empty() && neighbors.len() <= 3);
+    for n in neighbors {
+        let conf = n.get("conf").and_then(Json::as_arr).expect("conf");
+        assert_eq!(conf.len(), NUM_KNOBS);
+        assert!(n.get("distance").and_then(Json::as_f64).unwrap_or(-1.0) >= 0.0);
+        assert!(n.get("estimate_s").and_then(Json::as_f64).unwrap_or(0.0) > 0.0);
+    }
+    let ranked = resp.get("ranked").and_then(Json::as_arr).expect("ranked");
+    assert!(!ranked.is_empty());
+
+    // Source-text retrieval: the zero-execution path — no AppId anywhere
+    // in the request, the server embeds the submitted code statically.
+    let src = resp_source();
+    let by_source = v2.retrieve_source(&src, &data, &cluster_name, 2).expect("retrieve_source");
+    assert_eq!(by_source.get("ok").and_then(Json::as_bool), Some(true), "{by_source:?}");
+    assert!(!by_source.get("neighbors").and_then(Json::as_arr).expect("neighbors").is_empty());
+
+    drop((v1_a, v1_b, v2_plain, v2));
+    srv_plain.shutdown();
+    srv_rag.shutdown();
+    svc_plain.shutdown();
+    svc_rag.shutdown();
+}
+
+/// A small sort-like pipeline in the subset `lite-analyze` parses.
+fn resp_source() -> String {
+    AppId::Sort.main_source().to_string()
+}

@@ -20,6 +20,11 @@
 #      `serve.phase.<name>_ns` histogram literal in the same file. A phase
 #      without a histogram (or the reverse) silently drops its latency
 #      attribution from the tail-forensics breakdown.
+#   5. The retrieval metric namespace is closed: every registered series
+#      under `rag.` or `serve.retrieve.` must be one of the canonical
+#      names listed below, and all canonical names must be registered
+#      somewhere. A typo'd or ad-hoc series would silently fork the
+#      dashboards that key on these families.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,6 +68,24 @@ if [ -z "$phase_names" ] || [ "$phase_names" != "$metric_names" ]; then
     echo "lint: Phase::name() and Phase::metric_name() out of sync in $trace_rs"
     echo "      (every phase needs a serve.phase.<name>_ns histogram literal):"
     diff <(echo "$phase_names") <(echo "$metric_names") | sed 's/^/  /' || true
+    fail=1
+fi
+
+# -- 5. retrieval metric namespace is closed --------------------------------
+canonical_retrieval='rag.index_size
+rag.inserts
+rag.search_ns
+rag.searches
+serve.retrieve.errors
+serve.retrieve.latency_ns
+serve.retrieve.neighbors
+serve.retrieve.requests'
+registered_retrieval=$(grep -rhoE '\.(counter|gauge|histogram)\("(rag\.|serve\.retrieve\.)[^"]*"' \
+    crates --include='*.rs' | sed -E 's/.*"([^"]+)"/\1/' | sort -u)
+if [ "$registered_retrieval" != "$canonical_retrieval" ]; then
+    echo "lint: retrieval metric series diverge from the canonical list"
+    echo "      (update scripts/lint.sh rule 5 together with any rag.*/serve.retrieve.* rename):"
+    diff <(echo "$canonical_retrieval") <(echo "$registered_retrieval") | sed 's/^/  /' || true
     fail=1
 fi
 

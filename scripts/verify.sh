@@ -33,6 +33,12 @@ echo "==> tail-forensics smoke (attribution + overhead gates)"
 # versus an untraced server.
 LITE_BENCH_QUICK=1 cargo run --release -q -p lite-bench --bin tail_forensics
 
+echo "==> rag smoke (index recall/latency/serde gates)"
+# Quick ANN index build: recall@10 >= 0.95 vs the brute-force oracle,
+# single-query p99 < 1 ms, and byte-identical serialize/deserialize, plus
+# a two-app cold-start smoke of the retrieval tuner.
+LITE_BENCH_QUICK=1 cargo run --release -q -p lite-bench --bin rag_bench
+
 # Non-fatal reminder: flag run manifests that predate the current commit,
 # so stale benchmark evidence is not mistaken for fresh results.
 head_ts=$(git log -1 --format=%ct 2>/dev/null || echo 0)
