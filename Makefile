@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the full pre-merge gate.
 
-.PHONY: verify fmt lint build test bench quick loadtest chaos scrape tail demo analyze rag
+.PHONY: verify fmt lint build test bench quick loadtest chaos scrape tail demo analyze rag prof benchdiff
 
 verify:
 	./scripts/verify.sh
@@ -63,6 +63,22 @@ analyze:
 # results/rag_bench.manifest.jsonl.
 rag:
 	cargo run --release -p lite-bench --bin rag_bench
+
+# Profiling plane: run the <5% overhead gate for the sampling profiler,
+# then refresh the loadtest flamegraph artifacts
+# (results/serve_loadtest.{flame.svg,folded}).
+prof:
+	cargo test --release -p lite-obs --test prof_overhead
+	cargo run --release -p lite-bench --bin serve_loadtest
+
+# Compare the two newest states of a manifest: BASE/CAND default to the
+# loadtest manifest compared against itself (a smoke of the tool);
+# override on the command line, e.g.
+#   make benchdiff BASE=old.jsonl CAND=results/serve_loadtest.manifest.jsonl
+BASE ?= results/serve_loadtest.manifest.jsonl
+CAND ?= results/serve_loadtest.manifest.jsonl
+benchdiff:
+	cargo run --release -p benchdiff -- $(BASE) $(CAND)
 
 # Interactive end-to-end demo of the tuning service example.
 demo:

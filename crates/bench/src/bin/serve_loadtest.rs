@@ -5,9 +5,16 @@
 //! Reported into `results/serve_loadtest.manifest.jsonl`:
 //! * throughput and precise p50/p95/p99 request latencies (computed from
 //!   the raw sorted samples, not histogram buckets),
+//! * steady-state (post-warmup) window percentiles from the SLO rollup
+//!   ring — the last few seconds of the run, after caches and the
+//!   allocator have settled — alongside the whole-run aggregates,
 //! * cache hit rate and shed/error counts,
 //! * the number of hot-swaps and distinct model versions clients saw,
 //! * batched vs per-candidate NECS scoring time on a 30-candidate request.
+//!
+//! The run is continuously profiled (tag-stack sampling profiler); the
+//! flamegraph lands in `results/serve_loadtest.flame.svg` with the
+//! collapsed stacks next to it as `results/serve_loadtest.folded`.
 //!
 //! `LITE_BENCH_QUICK=1` shrinks the run for smoke testing.
 
@@ -20,7 +27,7 @@ use lite_core::amu::AmuConfig;
 use lite_core::experiment::{Dataset, DatasetBuilder, PredictionContext};
 use lite_core::necs::NecsConfig;
 use lite_core::recommend::LiteTuner;
-use lite_obs::{Registry, Report, Tracer};
+use lite_obs::{Profiler, Registry, Report, SloConfig, Tracer};
 use lite_serve::{ModelSnapshot, ServeConfig, ServeError, Service, ServiceHandle};
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::exec::simulate;
@@ -75,11 +82,20 @@ fn main() {
 
     // ---- serving phase --------------------------------------------------
     let registry = Registry::new();
+    // Continuous profiling (1 ms sampling) and a burn-rate SLO with 1 s
+    // rollup buckets run for the whole serving phase; the SLO ring is
+    // also where the steady-state window percentiles come from.
+    let profiler = Profiler::new(Duration::from_millis(1));
     let config = ServeConfig {
         workers: 4,
         queue_capacity: 64,
         update_batch: if quick { 16 } else { 24 },
         amu: AmuConfig { epochs: 1, half_batch: 64, ..Default::default() },
+        // 25 ms objective: generous against the ~5 ms p99 this load
+        // profile produces, so `slo_alert` in the manifest means a real
+        // regression and not a default objective tuned for other loads.
+        slo: Some(SloConfig { objective_ns: 25_000_000, ..SloConfig::default() }),
+        profiler: Some(profiler.clone()),
         ..Default::default()
     };
     let snapshot = ModelSnapshot::from_tuner(&tuner);
@@ -146,6 +162,36 @@ fn main() {
     server.shutdown();
     let hit_rate = handle.cache_hit_rate();
     let (cache_hits, cache_misses) = handle.cache_counts();
+
+    // Steady-state view: close the final (partial) rollup bucket and read
+    // the fast window — the last few seconds of the run, after warmup.
+    let slo_status = handle.slo_tick().expect("SLO configured for the loadtest");
+    let steady = slo_status.fast;
+    report.field("steady_span_s", steady.span_s);
+    report.field("steady_throughput_rps", steady.rate);
+    report.field("steady_p50_ms", steady.p50 as f64 / 1e6);
+    report.field("steady_p99_ms", steady.p99 as f64 / 1e6);
+    report.field("slo_burn_fast", slo_status.burn_fast);
+    report.field("slo_alert", slo_status.alert);
+
+    // Profile artifacts: flamegraph + collapsed stacks for the whole run.
+    let prof_report = profiler.report(10);
+    report.field("prof_samples", prof_report.samples);
+    report.field("prof_distinct_stacks", prof_report.distinct_stacks);
+    report.field("prof_threads", prof_report.threads);
+    let dir = lite_bench::results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    for (name, content) in [
+        ("serve_loadtest.flame.svg", profiler.flame_svg("serve_loadtest — tag-stack CPU profile")),
+        ("serve_loadtest.folded", profiler.folded()),
+    ] {
+        let path = dir.join(name);
+        match std::fs::write(&path, content) {
+            Ok(()) => eprintln!("[loadtest] profile artifact written to {}", path.display()),
+            Err(e) => eprintln!("[loadtest] could not write {}: {e}", path.display()),
+        }
+    }
+
     service.shutdown();
 
     // ---- aggregate ------------------------------------------------------
@@ -189,6 +235,8 @@ fn main() {
     table.row(&["p50_ms".into(), format!("{:.2}", p50 * 1e3)]);
     table.row(&["p95_ms".into(), format!("{:.2}", p95 * 1e3)]);
     table.row(&["p99_ms".into(), format!("{:.2}", p99 * 1e3)]);
+    table.row(&["steady_p50_ms".into(), format!("{:.2}", steady.p50 as f64 / 1e6)]);
+    table.row(&["steady_p99_ms".into(), format!("{:.2}", steady.p99 as f64 / 1e6)]);
     table.row(&["cache_hit_rate".into(), format!("{hit_rate:.3}")]);
     table.row(&["hot_swaps".into(), format!("{swaps}")]);
     drop(table);
@@ -202,6 +250,17 @@ fn main() {
     if swaps == 0 {
         report.note("WARNING: no hot-swap observed — acceptance criterion not met this run.");
     }
+    report.note(&format!(
+        "steady-state window ({:.1}s): {:.1} rps, p50 {:.2} ms, p99 {:.2} ms; \
+         profiler captured {} samples over {} distinct stacks \
+         (flamegraph: results/serve_loadtest.flame.svg).",
+        steady.span_s,
+        steady.rate,
+        steady.p50 as f64 / 1e6,
+        steady.p99 as f64 / 1e6,
+        prof_report.samples,
+        prof_report.distinct_stacks
+    ));
     finish_report(&report);
     eprintln!("[loadtest] total {:.0}s", t0.elapsed().as_secs_f64());
 }

@@ -14,7 +14,11 @@
 //!   idiom as the simulator's `obs_overhead` gate).
 //!
 //! The captured exemplars are also written as Chrome trace-event JSON
-//! (`results/tail_forensics.trace.json`, Perfetto-loadable).
+//! (`results/tail_forensics.trace.json`, Perfetto-loadable), and the
+//! traced server runs under the sampling profiler, producing a tag-stack
+//! flamegraph (`results/tail_forensics.flame.svg`). The overhead
+//! comparison servers run without the profiler — that gate measures
+//! tracing alone, unchanged.
 //!
 //! `LITE_BENCH_QUICK=1` shrinks the run for smoke testing.
 
@@ -29,7 +33,7 @@ use lite_core::experiment::DatasetBuilder;
 use lite_core::necs::NecsConfig;
 use lite_core::recommend::LiteTuner;
 use lite_obs::trace::Phase;
-use lite_obs::{Json, Registry, Report, Tracer};
+use lite_obs::{Json, Profiler, Registry, Report, Tracer};
 use lite_serve::{ModelSnapshot, ServeConfig, Service, TraceConfig};
 use lite_sparksim::cluster::ClusterSpec;
 use lite_workloads::apps::AppId;
@@ -80,10 +84,13 @@ fn main() {
     };
     let trace_cfg = TraceConfig { capture_threshold: Duration::ZERO, exemplar_top_k: 16 };
     let registry = Registry::new();
+    // The forensic server also runs the sampling profiler, so the same
+    // run yields phase attribution AND a tag-stack flamegraph.
+    let profiler = Profiler::new(Duration::from_millis(1));
     let service = Service::start(
         ModelSnapshot::from_tuner(&tuner),
         ds.clone(),
-        config(Some(trace_cfg.clone())),
+        ServeConfig { profiler: Some(profiler.clone()), ..config(Some(trace_cfg.clone())) },
         &registry,
         Tracer::disabled(),
     );
@@ -221,6 +228,17 @@ fn main() {
     match std::fs::write(&trace_path, trace_doc.render()) {
         Ok(()) => eprintln!("[tail] chrome trace written to {}", trace_path.display()),
         Err(e) => eprintln!("[tail] could not write chrome trace: {e}"),
+    }
+
+    // ---- flamegraph artifact from the same profiled run ------------------
+    let prof_report = profiler.report(10);
+    report.field("prof_samples", prof_report.samples);
+    report.field("prof_distinct_stacks", prof_report.distinct_stacks);
+    let flame_path = dir.join("tail_forensics.flame.svg");
+    match std::fs::write(&flame_path, profiler.flame_svg("tail_forensics — tag-stack CPU profile"))
+    {
+        Ok(()) => eprintln!("[tail] flamegraph written to {}", flame_path.display()),
+        Err(e) => eprintln!("[tail] could not write flamegraph: {e}"),
     }
 
     server.shutdown();

@@ -27,6 +27,13 @@
 //! rings, attributed into per-phase histograms, and retained in full for
 //! the slowest requests as [`trace::Exemplar`]s.
 //!
+//! The continuous-profiling and SLO plane completes the picture: [`prof`]
+//! is a cooperative sampling profiler over seqlock-published per-thread
+//! tag stacks (flamegraphs plus allocation attribution via an opt-in
+//! `GlobalAlloc` wrapper), and [`slo`] turns cumulative histograms into
+//! windowed rollups (true `rate()`, windowed p50–p999) with a
+//! multi-window burn-rate evaluator over an error budget.
+//!
 //! ```
 //! use lite_obs::span::Tracer;
 //! use lite_obs::metrics::Registry;
@@ -51,8 +58,10 @@
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod report;
 pub mod sketch;
+pub mod slo;
 pub mod span;
 pub mod trace;
 
@@ -64,6 +73,8 @@ pub use json::{Json, JsonError};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramBatch, HistogramSummary, MetricsSnapshot, Registry,
 };
+pub use prof::{ProfReport, Profiler, TagAlloc, TagGuard, TagStat};
 pub use report::Report;
+pub use slo::{RollupRing, Slo, SloConfig, SloStatus, TimeBucket, WindowStats};
 pub use span::{AttrValue, SpanGuard, SpanRecord, SynthSpan, Tracer};
 pub use trace::{Exemplar, Phase, PhaseHistograms, PhaseSpan, TraceId, TraceSink};

@@ -265,6 +265,18 @@ impl Histogram {
             buckets,
         }
     }
+
+    /// Raw cumulative sketch counts plus `(count, sum)` totals — the input
+    /// windowed rollups ([`crate::slo`]) difference against their previous
+    /// tick. The sum recomputed from buckets is intentionally *not* used:
+    /// rollups need the exact sharded totals.
+    pub fn cumulative(&self) -> (Vec<u64>, u64, u64) {
+        let counts: Vec<u64> =
+            self.inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count: u64 = self.inner.count.iter().map(|s| s.0.load(Ordering::Relaxed)).sum();
+        let sum: u64 = self.inner.sum.iter().map(|s| s.0.load(Ordering::Relaxed)).sum();
+        (counts, count, sum)
+    }
 }
 
 /// Thread-local histogram accumulation for hot loops: plain integer adds

@@ -1,0 +1,549 @@
+//! Windowed metric rollups and burn-rate SLO evaluation.
+//!
+//! Every histogram in the registry is cumulative-since-start, which is the
+//! right shape for Prometheus but useless for answering "what is p99 *right
+//! now*" or "are we burning the error budget *this minute*". This module
+//! adds:
+//!
+//! - [`RollupRing`] — a ring of fixed-width **time buckets** derived by
+//!   differencing successive cumulative snapshots of one histogram. Each
+//!   bucket carries `count/sum/min/max` plus the delta quantile-sketch
+//!   counts, so any window of buckets merges by element-wise addition
+//!   ([`TimeBucket::merge`] is associative and commutative — property-tested)
+//!   into true windowed `rate()` and p50–p999.
+//! - [`Slo`] — a multi-window burn-rate evaluator over one latency
+//!   objective: observations above `objective_ns` spend error budget
+//!   `(1 - target)`; the alert fires when **both** the fast and the slow
+//!   window burn faster than their thresholds (the standard multi-window
+//!   rule, which is robust to both blips and slow leaks).
+//!
+//! The evaluator is a pure state machine driven by [`Slo::tick`]; callers
+//! own the cadence (the serve plane runs it on a thread at one tick per
+//! bucket; tests drive it synchronously with injected observations).
+
+use std::time::Duration;
+
+use crate::metrics::Histogram;
+use crate::sketch::{bucket_index, bucket_upper, quantile_from_counts, SKETCH_BUCKETS};
+
+// ---------------------------------------------------------------------------
+// Time buckets and the rollup ring
+
+/// One fixed-width window of observations: scalar aggregates plus the
+/// delta sketch counts for quantiles. Mergeable (element-wise).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimeBucket {
+    pub count: u64,
+    pub sum: u64,
+    /// Lower bound of the smallest non-empty sketch bucket (0 when empty).
+    pub min: u64,
+    /// Upper bound of the largest non-empty sketch bucket (0 when empty).
+    pub max: u64,
+    counts: Box<[u64]>,
+}
+
+impl TimeBucket {
+    /// An empty bucket.
+    pub fn empty() -> TimeBucket {
+        TimeBucket { count: 0, sum: 0, min: 0, max: 0, counts: vec![0; SKETCH_BUCKETS].into() }
+    }
+
+    /// Build a bucket from delta sketch counts plus exact count/sum deltas.
+    pub fn from_deltas(counts: Box<[u64]>, count: u64, sum: u64) -> TimeBucket {
+        assert_eq!(counts.len(), SKETCH_BUCKETS, "delta array must span the sketch");
+        let mut min = 0;
+        let mut max = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                if min == 0 {
+                    min = crate::sketch::bucket_bounds(i).0;
+                }
+                max = bucket_upper(i);
+            }
+        }
+        TimeBucket { count, sum, min, max, counts }
+    }
+
+    /// Record one observation directly (test/synthetic input path).
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        let (lo, _) = crate::sketch::bucket_bounds(bucket_index(v));
+        let up = bucket_upper(bucket_index(v));
+        if self.count == 1 || lo < self.min {
+            self.min = lo;
+        }
+        if up > self.max {
+            self.max = up;
+        }
+    }
+
+    /// Element-wise merge: counts add, min/max widen. Associative and
+    /// commutative with [`TimeBucket::empty`] as identity (property-tested
+    /// in `tests/slo_prop.rs`), which is what makes window queries exact
+    /// regardless of evaluation order.
+    pub fn merge(&self, other: &TimeBucket) -> TimeBucket {
+        let counts: Box<[u64]> =
+            self.counts.iter().zip(other.counts.iter()).map(|(a, b)| a + b).collect();
+        let min = match (self.count, other.count) {
+            (0, _) => other.min,
+            (_, 0) => self.min,
+            _ => self.min.min(other.min),
+        };
+        TimeBucket {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            min,
+            max: self.max.max(other.max),
+            counts,
+        }
+    }
+
+    /// Sketch quantile over this bucket's observations.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total: u64 = self.counts.iter().sum();
+        quantile_from_counts(&self.counts, total, q)
+    }
+
+    /// Observations strictly above the sketch bucket containing `v` —
+    /// the "bad event" count for an objective of `v` (resolution is one
+    /// sketch bucket, ≈3% relative, same as every quantile here).
+    pub fn count_over(&self, v: u64) -> u64 {
+        let cut = bucket_index(v);
+        self.counts.iter().skip(cut + 1).sum()
+    }
+}
+
+/// Aggregates of one merged window.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WindowStats {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub mean: f64,
+    /// Events per second over the covered window span.
+    pub rate: f64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub p999: u64,
+    /// Seconds actually covered (fewer buckets early in a run).
+    pub span_s: f64,
+}
+
+/// Ring of [`TimeBucket`]s over one cumulative histogram. `tick` once per
+/// bucket width with the current cumulative state; query any suffix window.
+#[derive(Debug)]
+pub struct RollupRing {
+    bucket_width: Duration,
+    capacity: usize,
+    buckets: std::collections::VecDeque<TimeBucket>,
+    prev_counts: Vec<u64>,
+    prev_count: u64,
+    prev_sum: u64,
+}
+
+impl RollupRing {
+    /// A ring holding `capacity` buckets of `bucket_width` each.
+    pub fn new(bucket_width: Duration, capacity: usize) -> RollupRing {
+        assert!(capacity > 0, "rollup ring needs at least one bucket");
+        assert!(bucket_width > Duration::ZERO, "bucket width must be positive");
+        RollupRing {
+            bucket_width,
+            capacity,
+            buckets: std::collections::VecDeque::with_capacity(capacity),
+            prev_counts: vec![0; SKETCH_BUCKETS],
+            prev_count: 0,
+            prev_sum: 0,
+        }
+    }
+
+    pub fn bucket_width(&self) -> Duration {
+        self.bucket_width
+    }
+
+    /// Buckets currently held.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Close the current bucket from a cumulative snapshot: the delta
+    /// since the previous tick becomes the newest [`TimeBucket`].
+    /// Saturating against counter resets (which the registry never does,
+    /// but a torn read across shards can transiently look like).
+    pub fn tick_raw(&mut self, counts: &[u64], count: u64, sum: u64) {
+        assert_eq!(counts.len(), SKETCH_BUCKETS, "cumulative array must span the sketch");
+        let delta: Box<[u64]> = counts
+            .iter()
+            .zip(self.prev_counts.iter())
+            .map(|(&cur, &prev)| cur.saturating_sub(prev))
+            .collect();
+        let bucket = TimeBucket::from_deltas(
+            delta,
+            count.saturating_sub(self.prev_count),
+            sum.saturating_sub(self.prev_sum),
+        );
+        self.prev_counts.copy_from_slice(counts);
+        self.prev_count = count;
+        self.prev_sum = sum;
+        if self.buckets.len() == self.capacity {
+            self.buckets.pop_front();
+        }
+        self.buckets.push_back(bucket);
+    }
+
+    /// [`RollupRing::tick_raw`] fed from a live histogram handle.
+    pub fn tick(&mut self, histogram: &Histogram) {
+        let (counts, count, sum) = histogram.cumulative();
+        self.tick_raw(&counts, count, sum);
+    }
+
+    /// Merge the newest `buckets` buckets (clamped to what exists) into
+    /// one window. An empty ring yields all-zero stats.
+    pub fn window(&self, buckets: usize) -> WindowStats {
+        let n = buckets.min(self.buckets.len());
+        let mut merged = TimeBucket::empty();
+        for b in self.buckets.iter().rev().take(n) {
+            merged = merged.merge(b);
+        }
+        let span_s = self.bucket_width.as_secs_f64() * n as f64;
+        WindowStats {
+            count: merged.count,
+            sum: merged.sum,
+            min: merged.min,
+            max: merged.max,
+            mean: if merged.count == 0 { 0.0 } else { merged.sum as f64 / merged.count as f64 },
+            rate: if span_s > 0.0 { merged.count as f64 / span_s } else { 0.0 },
+            p50: merged.quantile(0.50),
+            p90: merged.quantile(0.90),
+            p99: merged.quantile(0.99),
+            p999: merged.quantile(0.999),
+            span_s,
+        }
+    }
+
+    /// Bad-event count and total count over the newest `buckets` buckets,
+    /// for an objective of `objective_ns`.
+    pub fn over_objective(&self, objective_ns: u64, buckets: usize) -> (u64, u64) {
+        let n = buckets.min(self.buckets.len());
+        let mut bad = 0;
+        let mut total = 0;
+        for b in self.buckets.iter().rev().take(n) {
+            bad += b.count_over(objective_ns);
+            total += b.count;
+        }
+        (bad, total)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Burn-rate SLO evaluation
+
+/// One latency SLO: `target` fraction of observations must land at or
+/// under `objective_ns`, evaluated over a fast and a slow window.
+#[derive(Clone, Debug)]
+pub struct SloConfig {
+    /// Latency objective in nanoseconds; above it an event is "bad".
+    pub objective_ns: u64,
+    /// Target good fraction in `(0, 1)`, e.g. `0.999`.
+    pub target: f64,
+    /// Rollup tick width — one [`Slo::tick`] per bucket.
+    pub bucket: Duration,
+    /// Fast window length in buckets (catches sharp burns).
+    pub fast_buckets: usize,
+    /// Slow window length in buckets (catches slow leaks); also the ring
+    /// capacity.
+    pub slow_buckets: usize,
+    /// Burn-rate alert threshold for the fast window (e.g. `14.4` = the
+    /// budget would be gone in 1/14.4 of the SLO period).
+    pub fast_burn: f64,
+    /// Burn-rate alert threshold for the slow window (e.g. `6.0`).
+    pub slow_burn: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            objective_ns: Duration::from_millis(1).as_nanos() as u64,
+            target: 0.999,
+            bucket: Duration::from_secs(1),
+            fast_buckets: 5,
+            slow_buckets: 60,
+            fast_burn: 14.4,
+            slow_burn: 6.0,
+        }
+    }
+}
+
+impl SloConfig {
+    /// Validate field ranges; returns a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.objective_ns == 0 {
+            return Err("slo objective_ns must be positive".into());
+        }
+        if !(self.target > 0.0 && self.target < 1.0) {
+            return Err(format!("slo target must be in (0,1), got {}", self.target));
+        }
+        if self.bucket == Duration::ZERO {
+            return Err("slo bucket width must be positive".into());
+        }
+        if self.fast_buckets == 0 || self.slow_buckets < self.fast_buckets {
+            return Err(format!(
+                "slo windows must satisfy 0 < fast ({}) <= slow ({})",
+                self.fast_buckets, self.slow_buckets
+            ));
+        }
+        if self.fast_burn <= 0.0 || self.slow_burn <= 0.0 {
+            return Err("slo burn thresholds must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Evaluator output after a tick — everything the gauges and admin ops
+/// expose.
+#[derive(Clone, Debug, Default)]
+pub struct SloStatus {
+    /// Budget burn rate over the fast window (1.0 = burning exactly at
+    /// the rate that exhausts the budget in one SLO period).
+    pub burn_fast: f64,
+    /// Budget burn rate over the slow window.
+    pub burn_slow: f64,
+    /// Good fraction over the slow window (1.0 when idle).
+    pub good_fraction: f64,
+    /// Both windows above their burn thresholds.
+    pub alert: bool,
+    /// Ticks the alert has been continuously firing (0 when clear).
+    pub alert_ticks: u64,
+    /// Windowed aggregates over the fast window.
+    pub fast: WindowStats,
+    /// Windowed aggregates over the slow window.
+    pub slow: WindowStats,
+}
+
+/// Multi-window burn-rate evaluator over one histogram-backed objective.
+#[derive(Debug)]
+pub struct Slo {
+    config: SloConfig,
+    ring: RollupRing,
+    status: SloStatus,
+}
+
+impl Slo {
+    /// Build from a validated config (panics on an invalid one — validate
+    /// at the config boundary for a recoverable error).
+    pub fn new(config: SloConfig) -> Slo {
+        if let Err(e) = config.validate() {
+            panic!("invalid SloConfig: {e}");
+        }
+        let ring = RollupRing::new(config.bucket, config.slow_buckets);
+        Slo { config, ring, status: SloStatus { good_fraction: 1.0, ..SloStatus::default() } }
+    }
+
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Latest evaluation (identity values before the first tick).
+    pub fn status(&self) -> &SloStatus {
+        &self.status
+    }
+
+    /// Close a bucket from raw cumulative sketch state and re-evaluate.
+    pub fn tick_raw(&mut self, counts: &[u64], count: u64, sum: u64) -> &SloStatus {
+        self.ring.tick_raw(counts, count, sum);
+        self.evaluate()
+    }
+
+    /// Close a bucket from a live histogram and re-evaluate.
+    pub fn tick(&mut self, histogram: &Histogram) -> &SloStatus {
+        self.ring.tick(histogram);
+        self.evaluate()
+    }
+
+    fn evaluate(&mut self) -> &SloStatus {
+        let budget = 1.0 - self.config.target;
+        let burn = |bad: u64, total: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                (bad as f64 / total as f64) / budget
+            }
+        };
+        let (bad_fast, total_fast) =
+            self.ring.over_objective(self.config.objective_ns, self.config.fast_buckets);
+        let (bad_slow, total_slow) =
+            self.ring.over_objective(self.config.objective_ns, self.config.slow_buckets);
+        let burn_fast = burn(bad_fast, total_fast);
+        let burn_slow = burn(bad_slow, total_slow);
+        let alert = burn_fast >= self.config.fast_burn && burn_slow >= self.config.slow_burn;
+        self.status = SloStatus {
+            burn_fast,
+            burn_slow,
+            good_fraction: if total_slow == 0 {
+                1.0
+            } else {
+                1.0 - bad_slow as f64 / total_slow as f64
+            },
+            alert,
+            alert_ticks: if alert { self.status.alert_ticks + 1 } else { 0 },
+            fast: self.ring.window(self.config.fast_buckets),
+            slow: self.ring.window(self.config.slow_buckets),
+        };
+        &self.status
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    const MS: u64 = 1_000_000;
+
+    fn bucket_of(values: &[u64]) -> TimeBucket {
+        let mut b = TimeBucket::empty();
+        for &v in values {
+            b.record(v);
+        }
+        b
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let a = bucket_of(&[10, 2 * MS, 30 * MS]);
+        let b = bucket_of(&[500, 7 * MS]);
+        let merged = a.merge(&b);
+        let direct = bucket_of(&[10, 2 * MS, 30 * MS, 500, 7 * MS]);
+        assert_eq!(merged, direct);
+        assert_eq!(merged.merge(&TimeBucket::empty()), merged);
+    }
+
+    #[test]
+    fn window_rate_and_quantiles_over_ring() {
+        let registry = Registry::new();
+        let hist = registry.histogram("slo.test.latency_ns");
+        let mut ring = RollupRing::new(Duration::from_secs(1), 4);
+        // Three ticks: 100 fast, 100 fast, 100 slow observations.
+        for _ in 0..100 {
+            hist.record(MS / 2);
+        }
+        ring.tick(&hist);
+        for _ in 0..100 {
+            hist.record(MS / 2);
+        }
+        ring.tick(&hist);
+        for _ in 0..100 {
+            hist.record(20 * MS);
+        }
+        ring.tick(&hist);
+        let last = ring.window(1);
+        assert_eq!(last.count, 100);
+        assert!((last.rate - 100.0).abs() < 1e-9, "rate {}", last.rate);
+        assert!(last.p50 > 10 * MS, "windowed p50 sees only the slow bucket: {}", last.p50);
+        let all = ring.window(3);
+        assert_eq!(all.count, 300);
+        assert!(all.p50 < MS, "whole-window p50 is fast: {}", all.p50);
+        assert!(all.p999 > 10 * MS);
+        assert!((all.span_s - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_caps_at_capacity() {
+        let mut ring = RollupRing::new(Duration::from_millis(10), 3);
+        let mut counts = vec![0u64; SKETCH_BUCKETS];
+        for i in 1..=5u64 {
+            counts[bucket_index(i * MS)] += 1;
+            ring.tick_raw(&counts, i, i * MS);
+        }
+        assert_eq!(ring.len(), 3);
+        // The 5-tick cumulative count is 5, but the 3-bucket window only
+        // holds the last 3 deltas (one observation each).
+        assert_eq!(ring.window(3).count, 3);
+        assert_eq!(ring.window(usize::MAX).count, 3);
+    }
+
+    #[test]
+    fn burn_rate_alert_fires_and_clears() {
+        let registry = Registry::new();
+        let hist = registry.histogram("slo.test.burn_ns");
+        let mut slo = Slo::new(SloConfig {
+            objective_ns: MS,
+            target: 0.99,
+            bucket: Duration::from_millis(10),
+            fast_buckets: 2,
+            slow_buckets: 4,
+            fast_burn: 10.0,
+            slow_burn: 5.0,
+        });
+        assert!(!slo.status().alert);
+        // Healthy traffic: everything under the objective.
+        for _ in 0..4 {
+            for _ in 0..50 {
+                hist.record(MS / 10);
+            }
+            let s = slo.tick(&hist).clone();
+            assert!(!s.alert, "healthy traffic must not alert: {s:?}");
+            assert!(s.burn_fast < 1.0);
+            assert!(s.good_fraction > 0.99);
+        }
+        // Injected latency: every request blows the objective → bad
+        // fraction 1.0 → burn 1/(1-0.99) = 100 on both windows.
+        for i in 0..4 {
+            for _ in 0..50 {
+                hist.record(50 * MS);
+            }
+            let s = slo.tick(&hist).clone();
+            if i >= 1 {
+                assert!(s.alert, "sustained burn must alert by tick {i}: {s:?}");
+                assert!(s.burn_fast > 50.0);
+                assert!(s.burn_slow >= 5.0);
+            }
+        }
+        assert!(slo.status().alert_ticks >= 2);
+        // Recovery: fast window clears first, then the alert.
+        for _ in 0..6 {
+            for _ in 0..50 {
+                hist.record(MS / 10);
+            }
+            slo.tick(&hist);
+        }
+        let s = slo.status();
+        assert!(!s.alert, "recovered traffic must clear the alert: {s:?}");
+        assert_eq!(s.alert_ticks, 0);
+    }
+
+    #[test]
+    fn idle_windows_do_not_alert() {
+        let mut slo = Slo::new(SloConfig {
+            bucket: Duration::from_millis(1),
+            fast_buckets: 1,
+            slow_buckets: 2,
+            ..Default::default()
+        });
+        let counts = vec![0u64; SKETCH_BUCKETS];
+        for _ in 0..5 {
+            let s = slo.tick_raw(&counts, 0, 0).clone();
+            assert!(!s.alert);
+            assert_eq!(s.burn_fast, 0.0);
+            assert_eq!(s.good_fraction, 1.0);
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        assert!(SloConfig::default().validate().is_ok());
+        assert!(SloConfig { target: 1.0, ..Default::default() }.validate().is_err());
+        assert!(SloConfig { objective_ns: 0, ..Default::default() }.validate().is_err());
+        assert!(SloConfig { fast_buckets: 9, slow_buckets: 3, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(SloConfig { fast_burn: 0.0, ..Default::default() }.validate().is_err());
+    }
+}

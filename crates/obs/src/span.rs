@@ -105,6 +105,10 @@ struct TracerInner {
     fine: bool,
     next_span_id: AtomicU64,
     finished: Mutex<Vec<SpanRecord>>,
+    /// Optional sampling-profiler hookup: every span enter/exit also
+    /// pushes/pops a tag frame, so span-instrumented code profiles for
+    /// free (set once via [`Tracer::attach_profiler`]).
+    profiler: OnceLock<crate::prof::Profiler>,
 }
 
 /// A thread-safe span collector. Cheap to clone (shared handle).
@@ -143,7 +147,21 @@ impl Tracer {
                 fine,
                 next_span_id: AtomicU64::new(1),
                 finished: Mutex::new(Vec::new()),
+                profiler: OnceLock::new(),
             })),
+        }
+    }
+
+    /// Attach a sampling profiler: from now on every span enter/exit on
+    /// this tracer also pushes/pops a [`crate::prof`] tag frame named after
+    /// the span, so anything span-instrumented shows up in flamegraphs
+    /// without separate tagging. First attachment wins; no-op on a
+    /// disabled tracer or a disabled profiler.
+    pub fn attach_profiler(&self, profiler: crate::prof::Profiler) {
+        if let Some(inner) = &self.inner {
+            if profiler.is_enabled() {
+                let _ = inner.profiler.set(profiler);
+            }
         }
     }
 
@@ -167,7 +185,7 @@ impl Tracer {
     /// further spans opened on the same thread become its children.
     pub fn span(&self, name: &'static str) -> SpanGuard {
         let Some(inner) = &self.inner else {
-            return SpanGuard { active: None };
+            return SpanGuard { active: None, _tag: None };
         };
         let id = inner.next_span_id.fetch_add(1, Ordering::Relaxed);
         let parent = OPEN_STACK.with(|s| {
@@ -189,6 +207,7 @@ impl Tracer {
                     attrs: Vec::new(),
                 },
             }),
+            _tag: inner.profiler.get().map(|p| p.enter(name)),
         }
     }
 
@@ -309,6 +328,9 @@ struct ActiveSpan {
 /// moves the record into the tracer.
 pub struct SpanGuard {
     active: Option<ActiveSpan>,
+    /// Piggybacked profiler tag frame (inert unless a profiler is
+    /// attached); pops when the span closes.
+    _tag: Option<crate::prof::TagGuard>,
 }
 
 impl SpanGuard {

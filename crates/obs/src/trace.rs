@@ -453,6 +453,13 @@ impl PhaseHistograms {
     pub fn record(&self, span: &PhaseSpan) {
         self.hists[span.phase as usize].record(span.duration_ns());
     }
+
+    /// Per-phase aggregate summaries in phase order — what the `stats`
+    /// admin op serves so operators get the attribution without a
+    /// Prometheus scrape.
+    pub fn summaries(&self) -> Vec<(Phase, crate::metrics::HistogramSummary)> {
+        Phase::ALL.iter().map(|&p| (p, self.hists[p as usize].summary())).collect()
+    }
 }
 
 #[cfg(test)]

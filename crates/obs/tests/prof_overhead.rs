@@ -1,0 +1,104 @@
+//! Pins the cost of the sampling profiler on an instrumented hot path:
+//! entering/leaving tag frames while the sampler thread sweeps must stay
+//! within 5% of the same code running against a disabled profiler (whose
+//! guards are a single branch).
+//!
+//! Wall-clock comparisons are noisy, so the test interleaves the two
+//! paths batch by batch and compares the *median of per-batch ratios*
+//! (clock drift and scheduler hiccups hit adjacent batches equally and
+//! cancel out), then takes the smallest median over up to three attempts
+//! — noise can inflate one attempt, but it cannot make a genuinely slow
+//! path measure fast repeatedly.
+
+use lite_obs::Profiler;
+use std::time::{Duration, Instant};
+
+const BATCHES: usize = 41;
+const RUNS_PER_BATCH: u64 = 10;
+
+/// ~10 µs of register-only arithmetic: enough that one enter/exit pair
+/// (a handful of relaxed/release stores) is a rounding error, small
+/// enough that a sampler sweep lands inside it regularly.
+fn work(seed: u64) -> u64 {
+    let mut z = seed;
+    let mut acc = 0u64;
+    for _ in 0..8_000 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        acc ^= x ^ (x >> 31);
+    }
+    acc
+}
+
+/// Median of per-batch wall-clock ratios `probe / base`; the closures run
+/// back to back inside every batch so machine-speed drift cancels.
+fn median_paired_ratio(attempt: u64, base: &dyn Fn(u64), probe: &dyn Fn(u64)) -> f64 {
+    let mut ratios = Vec::with_capacity(BATCHES);
+    for b in 0..BATCHES as u64 {
+        let seed0 = (attempt * BATCHES as u64 + b) * RUNS_PER_BATCH;
+        let t0 = Instant::now();
+        for i in 0..RUNS_PER_BATCH {
+            base(seed0 + i);
+        }
+        let base_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        for i in 0..RUNS_PER_BATCH {
+            probe(seed0 + i);
+        }
+        ratios.push(t1.elapsed().as_secs_f64() / base_s);
+    }
+    ratios.sort_by(f64::total_cmp);
+    ratios[BATCHES / 2]
+}
+
+/// Smallest paired-ratio median over up to three attempts.
+fn robust_ratio(base: &dyn Fn(u64), probe: &dyn Fn(u64)) -> f64 {
+    let mut best = f64::INFINITY;
+    for attempt in 0..3 {
+        best = best.min(median_paired_ratio(attempt, base, probe));
+        if best < 1.04 {
+            break;
+        }
+    }
+    best
+}
+
+#[test]
+fn profiler_overhead_is_below_five_percent() {
+    let disabled = Profiler::disabled();
+    let enabled = Profiler::new(Duration::from_micros(250));
+    enabled.start();
+
+    // Warm both paths (interning, thread-slot registration, caches).
+    for i in 0..50 {
+        let _t = disabled.enter("prof.bench.outer");
+        std::hint::black_box(work(i));
+        let _u = enabled.enter("prof.bench.outer");
+        std::hint::black_box(work(i));
+    }
+
+    let ratio = robust_ratio(
+        &|seed| {
+            let _outer = disabled.enter("prof.bench.outer");
+            let _inner = disabled.enter("prof.bench.inner");
+            std::hint::black_box(work(seed));
+        },
+        &|seed| {
+            let _outer = enabled.enter("prof.bench.outer");
+            let _inner = enabled.enter("prof.bench.inner");
+            std::hint::black_box(work(seed));
+        },
+    );
+    enabled.stop();
+    assert!(
+        ratio < 1.05,
+        "profiled path is {:.1}% slower than disabled guards (median paired batch ratio \
+         {ratio:.4}); the budget is 5%",
+        (ratio - 1.0) * 100.0,
+    );
+    // Sanity: the sampler actually swept while the probe ran.
+    let report = enabled.report(4);
+    assert!(report.sweeps > 0, "sampler never swept: {report:?}");
+}

@@ -1,0 +1,129 @@
+//! Property tests for the SLO rollup plane: [`TimeBucket::merge`] is a
+//! commutative monoid (associative, commutative, `empty` as identity) and
+//! agrees exactly with recording into one bucket, so windowed quantiles
+//! from a [`RollupRing`] match the whole-sketch answer no matter how the
+//! observations were split across buckets — and both stay within the
+//! sketch's documented relative error of the true order statistic.
+
+use lite_obs::{Registry, RollupRing, Slo, SloConfig, TimeBucket};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Sketch sub-bucket resolution: quantiles are conservative (never below
+/// the true value) and within `1/32` relative error above it.
+const REL_ERR: f64 = 1.0 / 32.0;
+
+fn bucket_of(values: &[u64]) -> TimeBucket {
+    let mut b = TimeBucket::empty();
+    for &v in values {
+        b.record(v);
+    }
+    b
+}
+
+/// True order statistic with the sketch's rounding rule (index by
+/// `ceil(q * count)`, clamped).
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    // Nanosecond-ish magnitudes spanning the exact region (< 64) through
+    // seven octaves of the log-linear region.
+    prop::collection::vec(1u64..100_000_000, 0..120)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_a_commutative_monoid(a in values(), b in values(), c in values()) {
+        let (ba, bb, bc) = (bucket_of(&a), bucket_of(&b), bucket_of(&c));
+        prop_assert_eq!(ba.merge(&bb), bb.merge(&ba));
+        prop_assert_eq!(ba.merge(&bb).merge(&bc), ba.merge(&bb.merge(&bc)));
+        prop_assert_eq!(ba.merge(&TimeBucket::empty()), ba.clone());
+        prop_assert_eq!(TimeBucket::empty().merge(&ba), ba);
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one_bucket(a in values(), b in values()) {
+        let merged = bucket_of(&a).merge(&bucket_of(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, bucket_of(&all));
+    }
+
+    /// Split a stream across ring buckets arbitrarily: the windowed
+    /// quantile must equal the whole-sketch quantile exactly, and both
+    /// must sit in `[true_q, true_q * (1 + 1/32)]` (plus one count of
+    /// integer-rounding slack).
+    #[test]
+    fn windowed_quantiles_agree_with_whole_sketch(
+        chunks in prop::collection::vec(values(), 1..6),
+    ) {
+        let registry = Registry::new();
+        let hist = registry.histogram("prop.latency_ns");
+        let mut ring = RollupRing::new(Duration::from_secs(1), chunks.len());
+        let mut all: Vec<u64> = Vec::new();
+        for chunk in &chunks {
+            for &v in chunk {
+                hist.record(v);
+                all.push(v);
+            }
+            ring.tick(&hist);
+        }
+        all.sort_unstable();
+
+        let window = ring.window(chunks.len());
+        prop_assert_eq!(window.count, all.len() as u64);
+        prop_assert_eq!(window.sum, all.iter().sum::<u64>());
+
+        let whole = bucket_of(&all);
+        for (q, got) in [(0.5, window.p50), (0.9, window.p90), (0.99, window.p99)] {
+            prop_assert_eq!(got, whole.quantile(q), "window vs whole sketch at q={}", q);
+            let truth = true_quantile(&all, q);
+            prop_assert!(got >= truth, "q={}: sketch {} below true {}", q, got, truth);
+            let bound = (truth as f64 * (1.0 + REL_ERR)).ceil() + 1.0;
+            prop_assert!(
+                (got as f64) <= bound,
+                "q={}: sketch {} above error bound {} (true {})", q, got, bound, truth
+            );
+        }
+    }
+
+    /// Burn-rate evaluation is a pure function of how traffic splits over
+    /// the objective: all-bad buckets must alert, all-good must not.
+    #[test]
+    fn alert_iff_burn_exceeds_both_windows(
+        bad in 1u64..40,
+        good in 1u64..40,
+    ) {
+        let config = SloConfig {
+            objective_ns: 1_000_000,
+            target: 0.999,
+            bucket: Duration::from_secs(1),
+            fast_buckets: 1,
+            slow_buckets: 2,
+            ..Default::default()
+        };
+        let registry = Registry::new();
+        let hist = registry.histogram("prop.slo_latency_ns");
+        let mut slo = Slo::new(config.clone());
+        // One bucket of all-bad traffic (10x the objective).
+        for _ in 0..bad {
+            hist.record(10_000_000);
+        }
+        let fired = slo.tick(&hist).clone();
+        prop_assert!(fired.alert, "all-bad bucket must alert: {:?}", fired);
+        prop_assert!(fired.burn_fast >= config.fast_burn);
+        // One bucket of all-good traffic clears the fast window.
+        for _ in 0..good {
+            hist.record(1_000);
+        }
+        let cleared = slo.tick(&hist).clone();
+        prop_assert!(!cleared.alert, "all-good bucket must clear: {:?}", cleared);
+        prop_assert_eq!(cleared.alert_ticks, 0);
+    }
+}

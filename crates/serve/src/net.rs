@@ -59,6 +59,29 @@
 //!   v1 peers asking for `"op":"retrieve"` are refused with
 //!   `bad_request`; servers without a configured retrieval store refuse
 //!   likewise.
+//! * `{"v":2,"o":11,"k":10}` → `{"ok":true,"samples":n,"sweeps":s,
+//!   "torn":0,"truncated":0,"threads":t,"distinct_stacks":d,
+//!   "top":[{"tag":"serve.recommend","self":a,"total":b},...],
+//!   "alloc":[{"tag":...,"bytes":...,"allocs":...},...],
+//!   "folded":"serve.recommend;serve.score 42\n..."}` — `profile` is the
+//!   v2-only sampling-profiler report: the top-`k` tags by self samples,
+//!   allocation attribution from the opt-in allocator wrapper, and the
+//!   collapsed-stack text a flamegraph renders from. Refused with
+//!   `bad_request` by v1 peers and by servers running no profiler.
+//! * `{"v":2,"o":12}` → `{"ok":true,"objective_ns":o,"target":0.999,
+//!   "bucket_s":1,"burn_fast":b,"burn_slow":c,"good_fraction":g,
+//!   "alert":false,"alert_ticks":0,"fast":{"count":...,"rate":...,
+//!   "p50_ns":...,"p99_ns":...,"p999_ns":...,"span_s":...},"slow":{...}}`
+//!   — `slo` is the v2-only burn-rate SLO status over windowed rollups of
+//!   `serve.latency_ns`. Refused with `bad_request` by v1 peers and by
+//!   servers with no SLO configured.
+//!
+//! With tracing enabled the `stats` response additionally carries
+//! `"phases":[{"phase":"queue_wait","count":...,"p50_ns":...,...},...]`
+//! (the `serve.phase.*` breakdown), and with an SLO configured a
+//! `"slo":{"alert":...,"burn_fast":...,"window":{...}}` summary — both
+//! strictly additive keys; servers without those planes answer
+//! byte-identically to before.
 //!
 //! `cluster` is either a preset name (`"cluster-a"`/`"cluster-b"`/
 //! `"cluster-c"`) or a full object with the Table III fields.
@@ -142,11 +165,18 @@ pub enum OpCode {
     /// (v2 only: the op postdates v1, so v1 peers get a clean
     /// `bad_request` instead of a silently different answer).
     Retrieve = 10,
+    /// Sampling-profiler report: top-K self/total tag tables, folded
+    /// stacks, and allocation attribution (v2 only, same refusal
+    /// discipline as `retrieve`).
+    Profile = 11,
+    /// Burn-rate SLO status: windowed quantiles, burn rates, and the
+    /// alert state (v2 only).
+    Slo = 12,
 }
 
 impl OpCode {
     /// All operations, for exhaustive round-trip tests.
-    pub const ALL: [OpCode; 11] = [
+    pub const ALL: [OpCode; 13] = [
         OpCode::Ping,
         OpCode::Recommend,
         OpCode::Observe,
@@ -158,6 +188,8 @@ impl OpCode {
         OpCode::Analyze,
         OpCode::Tailtrace,
         OpCode::Retrieve,
+        OpCode::Profile,
+        OpCode::Slo,
     ];
 
     /// The numeric wire code.
@@ -179,6 +211,8 @@ impl OpCode {
             OpCode::Analyze => "analyze",
             OpCode::Tailtrace => "tailtrace",
             OpCode::Retrieve => "retrieve",
+            OpCode::Profile => "profile",
+            OpCode::Slo => "slo",
         }
     }
 
@@ -492,7 +526,7 @@ fn dispatch(
         ])),
         Some(OpCode::Recommend) => wire_recommend(handle, request, trace),
         Some(OpCode::Observe) => wire_observe(handle, space, request),
-        Some(OpCode::Stats) => Ok(stats_to_json(&handle.stats())),
+        Some(OpCode::Stats) => Ok(stats_with_planes(handle)),
         Some(OpCode::Metrics) => Ok(Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("content_type", Json::from("text/plain; version=0.0.4")),
@@ -541,6 +575,16 @@ fn dispatch(
             Err((ErrorCode::BadRequest, "retrieve requires protocol v2".to_string()))
         }
         Some(OpCode::Retrieve) => wire_retrieve(handle, request, trace),
+        Some(OpCode::Profile) if !v2 => {
+            // Same discipline as retrieve: the op postdates v1, so v1
+            // peers get a clean refusal, never a new v1 success shape.
+            Err((ErrorCode::BadRequest, "profile requires protocol v2".to_string()))
+        }
+        Some(OpCode::Profile) => wire_profile(handle, request),
+        Some(OpCode::Slo) if !v2 => {
+            Err((ErrorCode::BadRequest, "slo requires protocol v2".to_string()))
+        }
+        Some(OpCode::Slo) => wire_slo(handle),
         None => Err((ErrorCode::BadRequest, "unknown op".to_string())),
     };
     match outcome {
@@ -781,6 +825,131 @@ fn retrieve_to_json(resp: &RetrieveResponse) -> Json {
             ),
         ),
     ])
+}
+
+fn wire_profile(handle: &ServiceHandle, request: &Json) -> WireResult {
+    let k = request.get("k").and_then(Json::as_u64).unwrap_or(10).clamp(1, 64) as usize;
+    let Some(report) = handle.profile_report(k) else {
+        return Err((ErrorCode::BadRequest, "profiling not enabled on this server".to_string()));
+    };
+    let folded = handle.profile_folded().unwrap_or_default();
+    Ok(Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("samples", Json::from(report.samples)),
+        ("sweeps", Json::from(report.sweeps)),
+        ("torn", Json::from(report.torn)),
+        ("truncated", Json::from(report.truncated)),
+        ("threads", Json::from(report.threads)),
+        ("distinct_stacks", Json::from(report.distinct_stacks)),
+        (
+            "top",
+            Json::Arr(
+                report
+                    .top
+                    .iter()
+                    .map(|t| {
+                        Json::obj(vec![
+                            ("tag", Json::from(t.tag.as_str())),
+                            ("self", Json::from(t.self_samples)),
+                            ("total", Json::from(t.total_samples)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "alloc",
+            Json::Arr(
+                lite_obs::prof::alloc_table()
+                    .iter()
+                    .map(|(tag, bytes, allocs)| {
+                        Json::obj(vec![
+                            ("tag", Json::from(tag.as_str())),
+                            ("bytes", Json::from(*bytes)),
+                            ("allocs", Json::from(*allocs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("folded", Json::from(folded.as_str())),
+    ]))
+}
+
+/// Encode one [`lite_obs::WindowStats`] for the wire.
+fn window_to_json(w: &lite_obs::WindowStats) -> Json {
+    Json::obj(vec![
+        ("count", Json::from(w.count)),
+        ("rate", Json::Num(w.rate)),
+        ("mean_ns", Json::Num(w.mean)),
+        ("min_ns", Json::from(w.min)),
+        ("max_ns", Json::from(w.max)),
+        ("p50_ns", Json::from(w.p50)),
+        ("p90_ns", Json::from(w.p90)),
+        ("p99_ns", Json::from(w.p99)),
+        ("p999_ns", Json::from(w.p999)),
+        ("span_s", Json::Num(w.span_s)),
+    ])
+}
+
+fn wire_slo(handle: &ServiceHandle) -> WireResult {
+    let (Some(config), Some(status)) = (handle.slo_config(), handle.slo_status()) else {
+        return Err((ErrorCode::BadRequest, "slo not configured on this server".to_string()));
+    };
+    Ok(Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("objective_ns", Json::from(config.objective_ns)),
+        ("target", Json::Num(config.target)),
+        ("bucket_s", Json::Num(config.bucket.as_secs_f64())),
+        ("burn_fast", Json::Num(status.burn_fast)),
+        ("burn_slow", Json::Num(status.burn_slow)),
+        ("good_fraction", Json::Num(status.good_fraction)),
+        ("alert", Json::Bool(status.alert)),
+        ("alert_ticks", Json::from(status.alert_ticks)),
+        ("fast", window_to_json(&status.fast)),
+        ("slow", window_to_json(&status.slow)),
+    ]))
+}
+
+/// The `stats` response: the point-in-time summary plus, additively, the
+/// per-phase latency breakdown (tracing enabled) and the windowed SLO
+/// view (SLO configured) — so operators get both without a Prometheus
+/// scrape. Servers without those planes answer exactly as before.
+fn stats_with_planes(handle: &ServiceHandle) -> Json {
+    let mut doc = stats_to_json(&handle.stats());
+    let Json::Obj(pairs) = &mut doc else { return doc };
+    let phases = handle.phase_summaries();
+    if !phases.is_empty() {
+        let arr = phases
+            .iter()
+            .map(|(name, s)| {
+                Json::obj(vec![
+                    ("phase", Json::from(*name)),
+                    ("count", Json::from(s.count)),
+                    ("mean_ns", Json::Num(s.mean)),
+                    ("p50_ns", Json::from(s.p50)),
+                    ("p90_ns", Json::from(s.p90)),
+                    ("p99_ns", Json::from(s.p99)),
+                    ("p999_ns", Json::from(s.p999)),
+                    ("max_ns", Json::from(s.max)),
+                ])
+            })
+            .collect();
+        pairs.push(("phases".to_string(), Json::Arr(arr)));
+    }
+    if let Some(status) = handle.slo_status() {
+        pairs.push((
+            "slo".to_string(),
+            Json::obj(vec![
+                ("alert", Json::Bool(status.alert)),
+                ("burn_fast", Json::Num(status.burn_fast)),
+                ("burn_slow", Json::Num(status.burn_slow)),
+                ("good_fraction", Json::Num(status.good_fraction)),
+                ("window", window_to_json(&status.fast)),
+            ]),
+        ));
+    }
+    doc
 }
 
 fn error_code(err: &ServeError) -> ErrorCode {
@@ -1230,6 +1399,20 @@ impl Client {
                 ("k", Json::from(k)),
             ],
         )
+    }
+
+    /// `profile`: the sampling-profiler report — top-`k` self/total tag
+    /// table, folded stacks, allocation attribution (v2 only — v1 peers
+    /// are refused with `BadRequest`). Returns the raw response document
+    /// (check `"ok"`).
+    pub fn profile(&mut self, k: usize) -> std::io::Result<Json> {
+        self.request_op(OpCode::Profile, vec![("k", Json::from(k))])
+    }
+
+    /// `slo`: the burn-rate SLO status — windowed quantiles, burn rates,
+    /// alert state (v2 only). Returns the raw response document.
+    pub fn slo(&mut self) -> std::io::Result<Json> {
+        self.request_op(OpCode::Slo, Vec::new())
     }
 
     /// `health`: `Ok(version)` when the server answers `status: "ok"`.

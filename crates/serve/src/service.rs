@@ -40,7 +40,10 @@ use lite_core::recommend::{score_candidates, RankedCandidate};
 use lite_core::tuner::{Feedback as TunerFeedback, TuneError, TuneRequest, Tuner};
 use lite_obs::span::epoch_ns;
 use lite_obs::trace::{Exemplar, Phase, PhaseHistograms, PhaseSpan, TraceId, TraceSink};
-use lite_obs::{Counter, Gauge, Histogram, Registry, Tracer};
+use lite_obs::{
+    Counter, Gauge, Histogram, HistogramSummary, ProfReport, Profiler, Registry, Slo, SloConfig,
+    SloStatus, Tracer,
+};
 use lite_rag::{RagTuner, Retrieved};
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::conf::SparkConf;
@@ -162,6 +165,16 @@ pub struct ServeConfig {
     /// over historical runs. `None` (the default) rejects retrieval
     /// requests; everything else is untouched.
     pub retrieval: Option<Arc<RagTuner>>,
+    /// Windowed burn-rate SLO over request latency (`serve.latency_ns`).
+    /// `Some` starts the evaluator thread, publishes `serve.slo.*` gauges,
+    /// and serves the `slo` admin op; `None` (the default) disables all
+    /// three.
+    pub slo: Option<SloConfig>,
+    /// Sampling profiler for tag-stack CPU attribution. An enabled
+    /// profiler is started with the service (sampler thread, `obs.prof.*`
+    /// metrics, worker tag frames) and stopped at shutdown; `None` or a
+    /// [`Profiler::disabled`] handle costs one branch per request.
+    pub profiler: Option<Profiler>,
 }
 
 /// Tail-forensics knobs: when tracing is on, every request records phase
@@ -197,6 +210,8 @@ impl Default for ServeConfig {
             faults: None,
             trace: None,
             retrieval: None,
+            slo: None,
+            profiler: None,
         }
     }
 }
@@ -222,6 +237,9 @@ impl ServeConfig {
         if self.drift.mape_threshold <= 0.0 || self.drift.inversion_threshold <= 0.0 {
             return Err(ConfigError::NonPositiveDriftThreshold);
         }
+        if self.slo.as_ref().is_some_and(|s| s.validate().is_err()) {
+            return Err(ConfigError::InvalidSlo);
+        }
         Ok(())
     }
 }
@@ -239,6 +257,9 @@ pub enum ConfigError {
     /// A drift threshold `<= 0` declares permanent drift and retrains on
     /// every feedback instance.
     NonPositiveDriftThreshold,
+    /// The SLO config fails [`SloConfig::validate`] (zero objective,
+    /// target outside `(0,1)`, inverted windows, or non-positive burns).
+    InvalidSlo,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -251,6 +272,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::NonPositiveDriftThreshold => {
                 write!(f, "drift thresholds must be > 0")
+            }
+            ConfigError::InvalidSlo => {
+                write!(f, "slo config invalid (objective, target, windows, or burn thresholds)")
             }
         }
     }
@@ -335,6 +359,19 @@ impl ServeConfigBuilder {
     /// Serve the `retrieve` op from this retrieval tuner.
     pub fn retrieval(mut self, rag: Arc<RagTuner>) -> Self {
         self.config.retrieval = Some(rag);
+        self
+    }
+
+    /// Evaluate a windowed burn-rate SLO over request latency (must pass
+    /// [`SloConfig::validate`]).
+    pub fn slo(mut self, slo: SloConfig) -> Self {
+        self.config.slo = Some(slo);
+        self
+    }
+
+    /// Run this sampling profiler for the service's lifetime.
+    pub fn profiler(mut self, profiler: Profiler) -> Self {
+        self.config.profiler = Some(profiler);
         self
     }
 
@@ -633,6 +670,49 @@ struct TraceState {
     hists: PhaseHistograms,
 }
 
+/// The `serve.slo.*` gauge family: the closed namespace the burn-rate
+/// evaluator publishes after every tick (scripts/lint.sh rule 6 pins it).
+struct SloMetrics {
+    ticks: Counter,
+    burn_fast: Gauge,
+    burn_slow: Gauge,
+    good_fraction: Gauge,
+    alert: Gauge,
+    alert_ticks: Gauge,
+    window_rate: Gauge,
+    window_p50: Gauge,
+    window_p99: Gauge,
+    window_p999: Gauge,
+}
+
+impl SloMetrics {
+    fn new(registry: &Registry) -> SloMetrics {
+        SloMetrics {
+            ticks: registry.counter("serve.slo.ticks"),
+            burn_fast: registry.gauge("serve.slo.burn_fast"),
+            burn_slow: registry.gauge("serve.slo.burn_slow"),
+            good_fraction: registry.gauge("serve.slo.good_fraction"),
+            alert: registry.gauge("serve.slo.alert"),
+            alert_ticks: registry.gauge("serve.slo.alert_ticks"),
+            window_rate: registry.gauge("serve.slo.window_rate"),
+            window_p50: registry.gauge("serve.slo.window_p50_ns"),
+            window_p99: registry.gauge("serve.slo.window_p99_ns"),
+            window_p999: registry.gauge("serve.slo.window_p999_ns"),
+        }
+    }
+}
+
+/// The live SLO plane: the evaluator over `serve.latency_ns` plus its
+/// gauge family and the condvar that wakes the tick thread at shutdown.
+struct SloState {
+    slo: Mutex<Slo>,
+    metrics: SloMetrics,
+    /// Wakes the evaluator thread out of its bucket-width sleep early
+    /// (shutdown would otherwise block on the sleep).
+    wake: Condvar,
+    gate: Mutex<()>,
+}
+
 struct Shared {
     backend: Backend,
     queue: BoundedQueue<Job>,
@@ -650,6 +730,10 @@ struct Shared {
     degraded: AtomicBool,
     /// Tail-forensics plane; `None` when tracing is disabled.
     trace: Option<TraceState>,
+    /// Burn-rate SLO plane; `None` when no SLO is configured.
+    slo: Option<SloState>,
+    /// Sampling profiler; `None` when disabled (requests pay one branch).
+    profiler: Option<Profiler>,
     /// True while the updater is inside its clone-update-swap section.
     /// Phase spans snapshot it so exemplars show whether a slow request
     /// overlapped a model swap.
@@ -682,6 +766,57 @@ impl Shared {
             _ => None,
         }
     }
+
+    /// Push a profiler tag frame for the current scope; inert (`None`)
+    /// when no profiler is configured.
+    fn prof_enter(&self, tag: &'static str) -> Option<lite_obs::TagGuard> {
+        self.profiler.as_ref().map(|p| p.enter(tag))
+    }
+
+    /// Close one SLO rollup bucket from the live latency histogram,
+    /// re-evaluate the burn-rate windows, and publish the `serve.slo.*`
+    /// gauges. Called by the evaluator thread once per bucket width;
+    /// tests drive it manually through [`ServiceHandle::slo_tick`].
+    fn slo_tick(&self) -> Option<SloStatus> {
+        let state = self.slo.as_ref()?;
+        let status = {
+            let mut slo = state.slo.lock().unwrap_or_else(PoisonError::into_inner);
+            slo.tick(&self.metrics.latency).clone()
+        };
+        let m = &state.metrics;
+        m.ticks.inc();
+        m.burn_fast.set(status.burn_fast);
+        m.burn_slow.set(status.burn_slow);
+        m.good_fraction.set(status.good_fraction);
+        m.alert.set(if status.alert { 1.0 } else { 0.0 });
+        m.alert_ticks.set(status.alert_ticks as f64);
+        // Window stats come from the fast window: the freshest view an
+        // operator dashboard wants next to the cumulative histogram.
+        m.window_rate.set(status.fast.rate);
+        m.window_p50.set(status.fast.p50 as f64);
+        m.window_p99.set(status.fast.p99 as f64);
+        m.window_p999.set(status.fast.p999 as f64);
+        Some(status)
+    }
+}
+
+/// The SLO evaluator thread: one [`Shared::slo_tick`] per bucket width.
+/// The sleep comes *first* so services configured with wide buckets (tests
+/// that drive ticks manually) never race an automatic tick at startup.
+fn slo_loop(shared: Arc<Shared>) {
+    let Some(state) = &shared.slo else { return };
+    let bucket = {
+        let slo = state.slo.lock().unwrap_or_else(PoisonError::into_inner);
+        slo.config().bucket
+    };
+    loop {
+        let gate = state.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        let _unused = state.wake.wait_timeout(gate, bucket).unwrap_or_else(PoisonError::into_inner);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        shared.slo_tick();
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -710,6 +845,7 @@ fn worker_loop(shared: Arc<Shared>) {
         }
         match job.request {
             Request::Recommend { app, data, cluster, k, seed, trace, reply } => {
+                let _tag = shared.prof_enter("serve.recommend");
                 if let Some((id, t)) = shared.trace_now(trace) {
                     // QueueWait runs from the submitter's admission stamp to
                     // pickup; Dequeue covers the deadline check and any
@@ -778,6 +914,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 reply.send((outcome, sent_ns));
             }
             Request::Observe { app, data, cluster, conf, result, reply } => {
+                let _tag = shared.prof_enter("serve.observe");
                 let outcome = match &shared.backend {
                     Backend::Snapshot(core) => {
                         let snapshot = match reader.as_mut() {
@@ -983,6 +1120,7 @@ fn score_ranked(
     let confs = snapshot.acg.candidates_seeded(app, data, &ctx.env, snapshot.num_candidates, seed);
 
     // Cache pass: answer what this model version already predicted.
+    let _tag = shared.prof_enter("serve.score");
     let cache_t0 = trace.map(|id| (id, epoch_ns()));
     let keys: Vec<CacheKey> = confs.iter().map(|c| CacheKey::new(app, data, cluster, c)).collect();
     let mut scores: Vec<Option<f64>> =
@@ -1085,6 +1223,7 @@ fn updater_loop(shared: Arc<Shared>) {
         // spans recorded while the flag is up are stamped
         // `swap_in_progress`, so exemplars show swap-convoy tails.
         shared.swap_active.store(true, Ordering::Relaxed);
+        let _tag = shared.prof_enter("serve.swap");
         let started = Instant::now();
         let old = core.slot.load();
         let next_version = old.version + 1;
@@ -1233,6 +1372,22 @@ impl Service {
             sink: TraceSink::new(t.capture_threshold.as_nanos() as u64, t.exemplar_top_k),
             hists: PhaseHistograms::register(registry),
         });
+        let slo = config.slo.clone().map(|c| SloState {
+            slo: Mutex::new(Slo::new(c)),
+            metrics: SloMetrics::new(registry),
+            wake: Condvar::new(),
+            gate: Mutex::new(()),
+        });
+        // An enabled profiler runs for the service's lifetime: sampler
+        // thread, obs.prof.* metrics, span-piggybacked tag frames, and the
+        // explicit worker tags below (which keep flamegraphs meaningful
+        // even when the service runs with a disabled tracer).
+        let profiler = config.profiler.clone().filter(Profiler::is_enabled);
+        if let Some(p) = &profiler {
+            p.attach_metrics(registry);
+            tracer.attach_profiler(p.clone());
+            p.start();
+        }
         let shared = Arc::new(Shared {
             backend,
             queue: BoundedQueue::new(config.queue_capacity),
@@ -1245,6 +1400,8 @@ impl Service {
             swap_count: AtomicU64::new(0),
             degraded: AtomicBool::new(false),
             trace,
+            slo,
+            profiler,
             swap_active: AtomicBool::new(false),
         });
         let mut threads = Vec::new();
@@ -1264,6 +1421,15 @@ impl Service {
                     .name("serve-updater".into())
                     .spawn(move || updater_loop(shared))
                     .expect("spawn updater"), // gate: allow(expect)
+            );
+        }
+        if shared.slo.is_some() {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-slo".into())
+                    .spawn(move || slo_loop(shared))
+                    .expect("spawn slo evaluator"), // gate: allow(expect)
             );
         }
         Service { shared, threads }
@@ -1290,8 +1456,14 @@ impl Service {
         if let Backend::Snapshot(core) = &self.shared.backend {
             core.feedback_cv.notify_all();
         }
+        if let Some(state) = &self.shared.slo {
+            state.wake.notify_all();
+        }
         for t in self.threads.drain(..) {
             t.join().expect("serve thread panicked"); // gate: allow(expect)
+        }
+        if let Some(p) = &self.shared.profiler {
+            p.stop();
         }
     }
 }
@@ -1471,6 +1643,63 @@ impl ServiceHandle {
     /// Lifetime `(completed, captured)` traced-request counts.
     pub fn tail_totals(&self) -> (u64, u64) {
         self.shared.trace.as_ref().map(|t| t.sink.totals()).unwrap_or((0, 0))
+    }
+
+    /// Per-phase latency summaries (`serve.phase.*`), in phase order.
+    /// Empty when tracing is disabled.
+    pub fn phase_summaries(&self) -> Vec<(&'static str, HistogramSummary)> {
+        self.shared
+            .trace
+            .as_ref()
+            .map(|t| t.hists.summaries().into_iter().map(|(p, s)| (p.name(), s)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether a burn-rate SLO is configured (the `slo` admin op).
+    pub fn slo_enabled(&self) -> bool {
+        self.shared.slo.is_some()
+    }
+
+    /// The configured SLO, if any.
+    pub fn slo_config(&self) -> Option<SloConfig> {
+        self.shared
+            .slo
+            .as_ref()
+            .map(|s| s.slo.lock().unwrap_or_else(PoisonError::into_inner).config().clone())
+    }
+
+    /// The latest SLO evaluation (identity values before the first tick);
+    /// `None` when no SLO is configured.
+    pub fn slo_status(&self) -> Option<SloStatus> {
+        self.shared
+            .slo
+            .as_ref()
+            .map(|s| s.slo.lock().unwrap_or_else(PoisonError::into_inner).status().clone())
+    }
+
+    /// Close one SLO rollup bucket now and re-evaluate (what the
+    /// evaluator thread does once per bucket width — tests configure a
+    /// wide bucket and drive ticks through this instead of sleeping).
+    pub fn slo_tick(&self) -> Option<SloStatus> {
+        self.shared.slo_tick()
+    }
+
+    /// Whether an enabled sampling profiler runs with this service (the
+    /// `profile` admin op).
+    pub fn profiler_enabled(&self) -> bool {
+        self.shared.profiler.is_some()
+    }
+
+    /// Profile summary with the `k` hottest tags; `None` when no profiler
+    /// is configured.
+    pub fn profile_report(&self, k: usize) -> Option<ProfReport> {
+        self.shared.profiler.as_ref().map(|p| p.report(k))
+    }
+
+    /// Collapsed-stack ("folded") profile output; `None` when no profiler
+    /// is configured.
+    pub fn profile_folded(&self) -> Option<String> {
+        self.shared.profiler.as_ref().map(|p| p.folded())
     }
 
     /// Whether a retrieval plane is configured (the `retrieve` op).

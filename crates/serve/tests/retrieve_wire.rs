@@ -26,7 +26,7 @@ use lite_workloads::data::SizeTier;
 /// or rename any existing op. These constants are the wire contract.
 #[test]
 fn opcode_table_is_append_only() {
-    let expected: [(u8, &str); 11] = [
+    let expected: [(u8, &str); 13] = [
         (0, "ping"),
         (1, "recommend"),
         (2, "observe"),
@@ -38,6 +38,8 @@ fn opcode_table_is_append_only() {
         (8, "analyze"),
         (9, "tailtrace"),
         (10, "retrieve"),
+        (11, "profile"),
+        (12, "slo"),
     ];
     // Order-insensitive: every (code, name) pair must be present exactly once.
     assert_eq!(OpCode::ALL.len(), expected.len());
@@ -48,6 +50,8 @@ fn opcode_table_is_append_only() {
         assert_eq!(OpCode::from_name(name), Some(op));
     }
     assert_eq!(OpCode::Retrieve.code(), 10);
+    assert_eq!(OpCode::Profile.code(), 11);
+    assert_eq!(OpCode::Slo.code(), 12);
 }
 
 // ---------------------------------------------------------------------------

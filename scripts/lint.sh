@@ -25,6 +25,11 @@
 #      names listed below, and all canonical names must be registered
 #      somewhere. A typo'd or ad-hoc series would silently fork the
 #      dashboards that key on these families.
+#   6. The profiling/SLO metric namespace is closed the same way: every
+#      series under `obs.prof.` or `serve.slo.` must match the canonical
+#      list, and every canonical name must be registered. Burn-rate
+#      alerting keys on `serve.slo.alert`; a renamed gauge would mute
+#      the alert without failing any test.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -86,6 +91,33 @@ if [ "$registered_retrieval" != "$canonical_retrieval" ]; then
     echo "lint: retrieval metric series diverge from the canonical list"
     echo "      (update scripts/lint.sh rule 5 together with any rag.*/serve.retrieve.* rename):"
     diff <(echo "$canonical_retrieval") <(echo "$registered_retrieval") | sed 's/^/  /' || true
+    fail=1
+fi
+
+# -- 6. profiling/SLO metric namespace is closed ----------------------------
+canonical_slo='obs.prof.alloc_bytes
+obs.prof.allocs
+obs.prof.samples
+obs.prof.stacks
+obs.prof.threads
+obs.prof.torn
+obs.prof.truncated
+serve.slo.alert
+serve.slo.alert_ticks
+serve.slo.burn_fast
+serve.slo.burn_slow
+serve.slo.good_fraction
+serve.slo.ticks
+serve.slo.window_p50_ns
+serve.slo.window_p999_ns
+serve.slo.window_p99_ns
+serve.slo.window_rate'
+registered_slo=$(grep -rhoE '\.(counter|gauge|histogram)\("(obs\.prof\.|serve\.slo\.)[^"]*"' \
+    crates --include='*.rs' | sed -E 's/.*"([^"]+)"/\1/' | sort -u)
+if [ "$registered_slo" != "$canonical_slo" ]; then
+    echo "lint: profiling/SLO metric series diverge from the canonical list"
+    echo "      (update scripts/lint.sh rule 6 together with any obs.prof.*/serve.slo.* rename):"
+    diff <(echo "$canonical_slo") <(echo "$registered_slo") | sed 's/^/  /' || true
     fail=1
 fi
 

@@ -33,6 +33,33 @@ echo "==> tail-forensics smoke (attribution + overhead gates)"
 # versus an untraced server.
 LITE_BENCH_QUICK=1 cargo run --release -q -p lite-bench --bin tail_forensics
 
+echo "==> profiler overhead gate (<5% vs disabled guards)"
+# Paired-batch median timing of tag enter/exit under a live sampler
+# thread versus disabled-profiler guards; release mode so the gate
+# measures the shipped code, not debug-assert overhead.
+cargo test --release -q -p lite-obs --test prof_overhead
+
+echo "==> benchdiff gates (self-compare clean; seeded regression caught)"
+# The diff tool itself is part of the contract: a manifest compared
+# against itself must be clean, and a seeded throughput collapse must
+# exit non-zero — otherwise regressions would sail through CI silently.
+cargo build --release -q -p benchdiff
+bd=target/release/benchdiff
+manifest=results/serve_loadtest.manifest.jsonl
+if [ -e "$manifest" ]; then
+    "$bd" "$manifest" "$manifest" > /dev/null
+    seeded=$(mktemp)
+    sed -E 's/"throughput_rps":[0-9.eE+-]+/"throughput_rps":1.0/' "$manifest" > "$seeded"
+    if "$bd" "$manifest" "$seeded" > /dev/null; then
+        echo "benchdiff: FAILED to flag a seeded throughput regression"
+        rm -f "$seeded"
+        exit 1
+    fi
+    rm -f "$seeded"
+else
+    echo "note: $manifest missing — run 'make loadtest' to enable the benchdiff gate"
+fi
+
 echo "==> rag smoke (index recall/latency/serde gates)"
 # Quick ANN index build: recall@10 >= 0.95 vs the brute-force oracle,
 # single-query p99 < 1 ms, and byte-identical serialize/deserialize, plus

@@ -1,0 +1,418 @@
+//! benchdiff: regression gate over `results/*.manifest.jsonl` snapshots.
+//!
+//! Compares two manifest files (baseline vs candidate). Each manifest is
+//! JSONL with one object per line; the `"run"` key names the scenario and
+//! the *last* line per scenario wins (manifests are append-only logs).
+//! Top-level numeric metrics with a known direction rule are compared;
+//! nested objects (phases, tables, notes) are skipped — they carry
+//! attribution detail, not gate-worthy aggregates.
+//!
+//! A metric regresses when it moves in the bad direction by more than the
+//! tolerance (default 10%). Exit codes: 0 clean, 1 regression(s), 2 usage
+//! or parse error.
+//!
+//! ```text
+//! benchdiff [--tolerance PCT] [--rule NAME=higher|lower[:PCT]] BASE CAND
+//! ```
+
+#![allow(clippy::print_stdout)]
+
+use lite_obs::Json;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Default per-metric direction rules, matched by exact field name.
+/// Metrics absent from both lists are reported as informational only.
+const HIGHER_BETTER: &[&str] = &[
+    "throughput_rps",
+    "requests_ok",
+    "cache_hit_rate",
+    "batch30_speedup",
+    "recall_at_10",
+    "avg_rag_etr",
+    "avg_full_budget_etr",
+    "avg_seeded_etr",
+    "top_exemplar_attribution_pct",
+    "steady_throughput_rps",
+];
+
+const LOWER_BETTER: &[&str] = &[
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "e2e_p50_ms",
+    "e2e_p99_ms",
+    "query_p50_us",
+    "query_p99_us",
+    "overhead_ratio",
+    "baseline_p99_ms",
+    "chaos_p99_ms",
+    "scrape_stats_p50_ms",
+    "scrape_stats_p99_ms",
+    "steady_p50_ms",
+    "steady_p99_ms",
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Higher,
+    Lower,
+}
+
+#[derive(Debug, Clone)]
+struct Rule {
+    direction: Direction,
+    /// Allowed relative move in the bad direction, as a fraction (0.10 = 10%).
+    tolerance: f64,
+}
+
+#[derive(Debug, Default)]
+struct Config {
+    /// Per-metric overrides from `--rule`, consulted before the built-ins.
+    overrides: BTreeMap<String, Rule>,
+    /// Tolerance applied to built-in rules (fraction).
+    tolerance: f64,
+    baseline: String,
+    candidate: String,
+}
+
+#[derive(Debug, PartialEq)]
+enum Verdict {
+    Ok,
+    Improved,
+    Regressed,
+    Info,
+}
+
+#[derive(Debug)]
+struct MetricDiff {
+    run: String,
+    metric: String,
+    base: f64,
+    cand: f64,
+    /// Relative change (cand - base) / |base|; `None` when base == 0.
+    delta: Option<f64>,
+    verdict: Verdict,
+}
+
+fn usage() -> String {
+    "usage: benchdiff [--tolerance PCT] [--rule NAME=higher|lower[:PCT]] BASELINE CANDIDATE"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Config, String> {
+    let mut cfg = Config { tolerance: 0.10, ..Config::default() };
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let v = it.next().ok_or_else(|| "--tolerance needs a value".to_string())?;
+                let pct: f64 = v.parse().map_err(|_| format!("--tolerance: bad percent {v:?}"))?;
+                if !(0.0..=100.0).contains(&pct) {
+                    return Err(format!("--tolerance out of range: {pct}"));
+                }
+                cfg.tolerance = pct / 100.0;
+            }
+            "--rule" => {
+                let v = it.next().ok_or_else(|| "--rule needs NAME=DIR[:PCT]".to_string())?;
+                let (name, rule) = parse_rule(v)?;
+                cfg.overrides.insert(name, rule);
+            }
+            "--help" | "-h" => return Err(usage()),
+            _ if arg.starts_with("--") => return Err(format!("unknown flag {arg:?}")),
+            _ => positional.push(arg.clone()),
+        }
+    }
+    if positional.len() != 2 {
+        return Err(usage());
+    }
+    cfg.baseline = positional[0].clone();
+    cfg.candidate = positional[1].clone();
+    Ok(cfg)
+}
+
+fn parse_rule(spec: &str) -> Result<(String, Rule), String> {
+    let (name, rest) =
+        spec.split_once('=').ok_or_else(|| format!("--rule {spec:?}: expected NAME=DIR"))?;
+    let (dir, tol) = match rest.split_once(':') {
+        Some((d, t)) => {
+            let pct: f64 = t.parse().map_err(|_| format!("--rule {spec:?}: bad percent {t:?}"))?;
+            (d, pct / 100.0)
+        }
+        None => (rest, 0.10),
+    };
+    let direction = match dir {
+        "higher" => Direction::Higher,
+        "lower" => Direction::Lower,
+        _ => return Err(format!("--rule {spec:?}: direction must be higher|lower")),
+    };
+    if !(0.0..=1.0).contains(&tol) {
+        return Err(format!("--rule {spec:?}: tolerance out of range"));
+    }
+    Ok((name.to_string(), Rule { direction, tolerance: tol }))
+}
+
+fn rule_for(cfg: &Config, metric: &str) -> Option<Rule> {
+    if let Some(r) = cfg.overrides.get(metric) {
+        return Some(r.clone());
+    }
+    if HIGHER_BETTER.contains(&metric) {
+        return Some(Rule { direction: Direction::Higher, tolerance: cfg.tolerance });
+    }
+    if LOWER_BETTER.contains(&metric) {
+        return Some(Rule { direction: Direction::Lower, tolerance: cfg.tolerance });
+    }
+    None
+}
+
+/// Parse a manifest: last object per `"run"` key, insertion-ordered by
+/// first appearance so output is stable across runs.
+fn load_manifest(text: &str, path: &str) -> Result<Vec<(String, Json)>, String> {
+    let mut order = Vec::new();
+    let mut latest: BTreeMap<String, Json> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let obj = Json::parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        let run = obj
+            .get("run")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}:{}: missing \"run\" key", i + 1))?
+            .to_string();
+        if !latest.contains_key(&run) {
+            order.push(run.clone());
+        }
+        latest.insert(run, obj);
+    }
+    Ok(order
+        .into_iter()
+        .map(|r| {
+            let obj = latest.remove(&r).expect("ordered key present");
+            (r, obj)
+        })
+        .collect())
+}
+
+/// Compare the snapshots and produce one diff row per shared numeric metric.
+fn diff(cfg: &Config, base: &[(String, Json)], cand: &[(String, Json)]) -> Vec<MetricDiff> {
+    let cand_map: BTreeMap<&str, &Json> = cand.iter().map(|(r, o)| (r.as_str(), o)).collect();
+    let mut out = Vec::new();
+    for (run, base_obj) in base {
+        let Some(cand_obj) = cand_map.get(run.as_str()) else { continue };
+        let Json::Obj(pairs) = base_obj else { continue };
+        for (metric, base_val) in pairs {
+            if metric == "run" {
+                continue;
+            }
+            let Some(b) = base_val.as_f64() else { continue };
+            let Some(c) = cand_obj.get(metric).and_then(Json::as_f64) else { continue };
+            let delta = if b != 0.0 { Some((c - b) / b.abs()) } else { None };
+            let verdict = match (rule_for(cfg, metric), delta) {
+                (None, _) => Verdict::Info,
+                (Some(_), None) => Verdict::Info,
+                (Some(rule), Some(d)) => {
+                    let bad = match rule.direction {
+                        Direction::Higher => -d,
+                        Direction::Lower => d,
+                    };
+                    if bad > rule.tolerance {
+                        Verdict::Regressed
+                    } else if bad < -rule.tolerance {
+                        Verdict::Improved
+                    } else {
+                        Verdict::Ok
+                    }
+                }
+            };
+            out.push(MetricDiff {
+                run: run.clone(),
+                metric: metric.clone(),
+                base: b,
+                cand: c,
+                delta,
+                verdict,
+            });
+        }
+    }
+    out
+}
+
+fn render(diffs: &[MetricDiff]) -> String {
+    let mut out = String::new();
+    let mut current_run = "";
+    for d in diffs {
+        if d.run != current_run {
+            current_run = &d.run;
+            out.push_str(&format!("{current_run}\n"));
+        }
+        let delta = match d.delta {
+            Some(v) => format!("{:+.2}%", v * 100.0),
+            None => "n/a".to_string(),
+        };
+        let tag = match d.verdict {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Info => "info",
+        };
+        out.push_str(&format!(
+            "  {:<32} {:>14.4} -> {:>14.4}  {:>9}  {}\n",
+            d.metric, d.base, d.cand, delta, tag
+        ));
+    }
+    out
+}
+
+fn run(cfg: &Config) -> Result<usize, String> {
+    let base_text = std::fs::read_to_string(&cfg.baseline)
+        .map_err(|e| format!("read {}: {e}", cfg.baseline))?;
+    let cand_text = std::fs::read_to_string(&cfg.candidate)
+        .map_err(|e| format!("read {}: {e}", cfg.candidate))?;
+    let base = load_manifest(&base_text, &cfg.baseline)?;
+    let cand = load_manifest(&cand_text, &cfg.candidate)?;
+    let diffs = diff(cfg, &base, &cand);
+    if diffs.is_empty() {
+        return Err(format!(
+            "no overlapping runs/metrics between {} and {}",
+            cfg.baseline, cfg.candidate
+        ));
+    }
+    print!("{}", render(&diffs));
+    let regressions: Vec<&MetricDiff> =
+        diffs.iter().filter(|d| d.verdict == Verdict::Regressed).collect();
+    let compared = diffs.iter().filter(|d| d.verdict != Verdict::Info).count();
+    println!(
+        "benchdiff: {} metrics gated, {} informational, {} regression(s)",
+        compared,
+        diffs.len() - compared,
+        regressions.len()
+    );
+    Ok(regressions.len())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&cfg) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("benchdiff: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config { tolerance: 0.10, ..Config::default() }
+    }
+
+    fn manifest(lines: &[&str]) -> Vec<(String, Json)> {
+        load_manifest(&lines.join("\n"), "test").expect("manifest parses")
+    }
+
+    #[test]
+    fn identical_snapshots_are_clean() {
+        let m = manifest(&[r#"{"run":"serve_loadtest","throughput_rps":100.0,"p99_ms":5.0}"#]);
+        let d = diff(&cfg(), &m, &m);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|x| x.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn detects_throughput_drop_and_latency_rise() {
+        let base = manifest(&[r#"{"run":"serve_loadtest","throughput_rps":100.0,"p99_ms":5.0}"#]);
+        let cand = manifest(&[r#"{"run":"serve_loadtest","throughput_rps":80.0,"p99_ms":7.0}"#]);
+        let d = diff(&cfg(), &base, &cand);
+        assert!(d.iter().all(|x| x.verdict == Verdict::Regressed), "{d:?}");
+    }
+
+    #[test]
+    fn tolerance_absorbs_noise_and_flags_improvements() {
+        let base = manifest(&[r#"{"run":"rag_bench","recall_at_10":0.90,"query_p99_us":100.0}"#]);
+        let cand = manifest(&[r#"{"run":"rag_bench","recall_at_10":0.88,"query_p99_us":50.0}"#]);
+        let d = diff(&cfg(), &base, &cand);
+        assert_eq!(d[0].verdict, Verdict::Ok, "2% recall drop within 10% tolerance");
+        assert_eq!(d[1].verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn unknown_metrics_are_informational() {
+        let base = manifest(&[r#"{"run":"x","wall_s":10.0}"#]);
+        let cand = manifest(&[r#"{"run":"x","wall_s":99.0}"#]);
+        let d = diff(&cfg(), &base, &cand);
+        assert_eq!(d[0].verdict, Verdict::Info);
+    }
+
+    #[test]
+    fn rule_override_beats_builtin() {
+        let mut c = cfg();
+        c.overrides
+            .insert("wall_s".to_string(), Rule { direction: Direction::Lower, tolerance: 0.05 });
+        let base = manifest(&[r#"{"run":"x","wall_s":10.0}"#]);
+        let cand = manifest(&[r#"{"run":"x","wall_s":11.0}"#]);
+        let d = diff(&c, &base, &cand);
+        assert_eq!(d[0].verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn last_line_per_run_wins() {
+        let m = manifest(&[r#"{"run":"a","p99_ms":9.0}"#, r#"{"run":"a","p99_ms":5.0}"#]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].1.get("p99_ms").and_then(Json::as_f64), Some(5.0));
+    }
+
+    #[test]
+    fn zero_baseline_is_informational_not_a_panic() {
+        let base = manifest(&[r#"{"run":"x","p99_ms":0.0}"#]);
+        let cand = manifest(&[r#"{"run":"x","p99_ms":3.0}"#]);
+        let d = diff(&cfg(), &base, &cand);
+        assert_eq!(d[0].verdict, Verdict::Info);
+        assert!(d[0].delta.is_none());
+    }
+
+    #[test]
+    fn nested_objects_and_missing_runs_are_skipped() {
+        let base = manifest(&[
+            r#"{"run":"a","p99_ms":5.0,"phases":{"x":1.0},"gone":1.0}"#,
+            r#"{"run":"only_base","p99_ms":1.0}"#,
+        ]);
+        let cand = manifest(&[r#"{"run":"a","p99_ms":5.0,"phases":{"x":2.0}}"#]);
+        let d = diff(&cfg(), &base, &cand);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].metric, "p99_ms");
+    }
+
+    #[test]
+    fn parse_rule_accepts_direction_and_tolerance() {
+        let (name, rule) = parse_rule("etr=higher:25").expect("parses");
+        assert_eq!(name, "etr");
+        assert_eq!(rule.direction, Direction::Higher);
+        assert!((rule.tolerance - 0.25).abs() < 1e-12);
+        assert!(parse_rule("etr=sideways").is_err());
+        assert!(parse_rule("noequals").is_err());
+    }
+
+    #[test]
+    fn parse_args_rejects_bad_input() {
+        let a = |v: &[&str]| parse_args(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        assert!(a(&["one.jsonl"]).is_err());
+        assert!(a(&["--tolerance", "woof", "a", "b"]).is_err());
+        assert!(a(&["--bogus", "a", "b"]).is_err());
+        let cfg = a(&["--tolerance", "5", "a", "b"]).expect("valid");
+        assert!((cfg.tolerance - 0.05).abs() < 1e-12);
+    }
+}
