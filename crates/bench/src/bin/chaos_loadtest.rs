@@ -30,11 +30,11 @@ use lite_core::experiment::{Dataset, DatasetBuilder};
 use lite_core::necs::NecsConfig;
 use lite_core::recommend::LiteTuner;
 use lite_core::tuner::Tuner;
-use lite_obs::{Json, Registry, Report, Tracer};
-use lite_serve::net::{data_to_json, serve_tcp};
+use lite_obs::{Registry, Report, Tracer};
+use lite_serve::net::serve_tcp;
 use lite_serve::{
-    BreakerConfig, BreakerState, ErrorCode, ModelSnapshot, OpCode, ResilientClient, RetryPolicy,
-    ServeConfig, Service, ServiceHandle,
+    BreakerConfig, BreakerState, ClusterRef, ErrorCode, ModelSnapshot, Request, ResilientClient,
+    RetryPolicy, ServeConfig, Service, ServiceHandle,
 };
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::conf::ConfSpace;
@@ -247,17 +247,16 @@ fn run_phase(
                     // per round; only full exhaustion of every round
                     // counts as lost.
                     let mut served = false;
+                    let request = Request::Recommend {
+                        app,
+                        data,
+                        cluster: ClusterRef::Preset("cluster-a".to_string()),
+                        k: 3,
+                        seed: (i % 8) as u64,
+                        trace: None,
+                    };
                     for _round in 0..5 {
-                        match client.request_op(
-                            OpCode::Recommend,
-                            vec![
-                                ("app", Json::from(app.name())),
-                                ("data", data_to_json(&data)),
-                                ("cluster", Json::from("cluster-a")),
-                                ("k", Json::from(3u64)),
-                                ("seed", Json::from((i % 8) as u64)),
-                            ],
-                        ) {
+                        match client.call(&request) {
                             Ok(_) => {
                                 latencies.push(started.elapsed().as_secs_f64());
                                 served = true;
@@ -395,13 +394,13 @@ fn breaker_drill(report: &Report, ds: &Arc<Dataset>, tuner: &LiteTuner) -> bool 
     );
 
     // Storm: every response torn, the breaker must trip.
-    let _ = client.request_op(OpCode::Ping, Vec::new());
+    let _ = client.call(&Request::Ping);
     let opened = client.breaker_transitions().opened;
     // Recovery: faults off, cooldown passes, probe succeeds, breaker
     // closes.
     faults.disarm();
     std::thread::sleep(Duration::from_millis(30));
-    let recovered = client.request_op(OpCode::Ping, Vec::new()).is_ok();
+    let recovered = client.call(&Request::Ping).is_ok();
     let tr = client.breaker_transitions();
     let closed_state = client.breaker_states()[0].1 == BreakerState::Closed;
     report.field("breaker_opened", tr.opened);

@@ -1,6 +1,7 @@
 //! Load test for lite-serve: N client threads (in-process and TCP) hammer
 //! a running tuning service while observed feedback forces at least one
-//! background model hot-swap mid-run.
+//! background model hot-swap mid-run, then dedicated hot-path phases
+//! measure the protocol-v3 serving ceiling.
 //!
 //! Reported into `results/serve_loadtest.manifest.jsonl`:
 //! * throughput and precise p50/p95/p99 request latencies (computed from
@@ -8,6 +9,10 @@
 //! * steady-state (post-warmup) window percentiles from the SLO rollup
 //!   ring — the last few seconds of the run, after caches and the
 //!   allocator have settled — alongside the whole-run aggregates,
+//! * `inproc_hit_rps` — repeat recommends answered by the inline
+//!   whole-response fast path, no queue hop,
+//! * `tcp_v3_rps` — the same mix over loopback TCP as pipelined v3
+//!   binary frames, plus a v1/v2 JSON serial-client sanity check,
 //! * cache hit rate and shed/error counts,
 //! * the number of hot-swaps and distinct model versions clients saw,
 //! * batched vs per-candidate NECS scoring time on a 30-candidate request.
@@ -28,7 +33,10 @@ use lite_core::experiment::{Dataset, DatasetBuilder, PredictionContext};
 use lite_core::necs::NecsConfig;
 use lite_core::recommend::LiteTuner;
 use lite_obs::{Profiler, Registry, Report, SloConfig, Tracer};
-use lite_serve::{ModelSnapshot, ServeConfig, ServeError, Service, ServiceHandle};
+use lite_serve::{
+    ClientBuilder, ClusterRef, ModelSnapshot, ProtocolConfig, Request, Response, ServeConfig,
+    ServeError, Service, ServiceHandle,
+};
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::exec::simulate;
 use lite_workloads::apps::{build_job, AppId};
@@ -96,6 +104,14 @@ fn main() {
         // regression and not a default objective tuned for other loads.
         slo: Some(SloConfig { objective_ns: 25_000_000, ..SloConfig::default() }),
         profiler: Some(profiler.clone()),
+        // Protocol v3 serving shape: two shards, deep pipelining, and the
+        // inline whole-response cache that backs the hot-path phases.
+        protocol: ProtocolConfig {
+            shards: 2,
+            max_pipeline: 128,
+            response_cache: 4096,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let snapshot = ModelSnapshot::from_tuner(&tuner);
@@ -159,7 +175,6 @@ fn main() {
         .collect();
     let serve_wall_s = serve_t0.elapsed().as_secs_f64();
     report.phase_s("serve", serve_wall_s);
-    server.shutdown();
     let hit_rate = handle.cache_hit_rate();
     let (cache_hits, cache_misses) = handle.cache_counts();
 
@@ -173,6 +188,28 @@ fn main() {
     report.field("steady_p99_ms", steady.p99 as f64 / 1e6);
     report.field("slo_burn_fast", slo_status.burn_fast);
     report.field("slo_alert", slo_status.alert);
+
+    // ---- hot-path phases: inline fast path + pipelined v3 wire ----------
+    let (inproc_rps, inproc_ok) = report.phase("inproc_hit", || inproc_hit_phase(&handle, quick));
+    report.field("inproc_hit_rps", inproc_rps);
+    report.field("inproc_hit_ok", inproc_ok);
+    eprintln!("[loadtest] in-process hit path: {inproc_rps:.0} rps ({inproc_ok} requests)");
+
+    let (tcp_v3_rps, tcp_v3_ok, pipeline_depth) =
+        report.phase("tcp_v3", || tcp_v3_phase(addr, quick));
+    report.field("tcp_v3_rps", tcp_v3_rps);
+    report.field("tcp_v3_ok", tcp_v3_ok);
+    report.field("tcp_v3_pipeline_depth", pipeline_depth);
+    eprintln!(
+        "[loadtest] pipelined v3 loopback: {tcp_v3_rps:.0} rps \
+         ({tcp_v3_ok} requests, depth {pipeline_depth})"
+    );
+
+    let (v1_ok, v2_ok) = legacy_sanity(addr);
+    report.field("legacy_v1_ok", v1_ok);
+    report.field("legacy_v2_ok", v2_ok);
+    assert!(v1_ok && v2_ok, "legacy JSON clients must keep working (v1={v1_ok} v2={v2_ok})");
+    server.shutdown();
 
     // Profile artifacts: flamegraph + collapsed stacks for the whole run.
     let prof_report = profiler.report(10);
@@ -237,6 +274,8 @@ fn main() {
     table.row(&["p99_ms".into(), format!("{:.2}", p99 * 1e3)]);
     table.row(&["steady_p50_ms".into(), format!("{:.2}", steady.p50 as f64 / 1e6)]);
     table.row(&["steady_p99_ms".into(), format!("{:.2}", steady.p99 as f64 / 1e6)]);
+    table.row(&["inproc_hit_rps".into(), format!("{inproc_rps:.0}")]);
+    table.row(&["tcp_v3_rps".into(), format!("{tcp_v3_rps:.0}")]);
     table.row(&["cache_hit_rate".into(), format!("{hit_rate:.3}")]);
     table.row(&["hot_swaps".into(), format!("{swaps}")]);
     drop(table);
@@ -250,6 +289,10 @@ fn main() {
     if swaps == 0 {
         report.note("WARNING: no hot-swap observed — acceptance criterion not met this run.");
     }
+    report.note(&format!(
+        "hot paths: inline in-process {inproc_rps:.0} rps, pipelined v3 loopback \
+         {tcp_v3_rps:.0} rps (depth {pipeline_depth}); v1/v2 JSON clients still served."
+    ));
     report.note(&format!(
         "steady-state window ({:.1}s): {:.1} rps, p50 {:.2} ms, p99 {:.2} ms; \
          profiler captured {} samples over {} distinct stacks \
@@ -295,14 +338,16 @@ fn inproc_client(
     stats
 }
 
-/// TCP client: same request mix through the framed JSON front-end.
+/// TCP client: same request mix through the typed v3 binary front-end,
+/// one request per round trip.
 fn tcp_client(
     addr: std::net::SocketAddr,
     thread_id: usize,
     min_reqs: usize,
     stop: &AtomicBool,
 ) -> ClientStats {
-    let mut client = lite_serve::Client::connect(addr).expect("tcp connect");
+    let mut client = ClientBuilder::new().connect(addr).expect("tcp connect");
+    assert_eq!(client.protocol_version(), 3, "server must speak v3");
     let mut stats =
         ClientStats { latencies_s: Vec::new(), versions: Vec::new(), shed: 0, errors: 0 };
     let mut i = 0usize;
@@ -310,26 +355,115 @@ fn tcp_client(
         let app = SERVED_APPS[(thread_id + i) % SERVED_APPS.len()];
         let data = app.dataset(SizeTier::Valid);
         let seed = (i % 8) as u64;
+        let request = Request::Recommend {
+            app,
+            data,
+            cluster: ClusterRef::Preset("cluster-a".to_string()),
+            k: 5,
+            seed,
+            trace: None,
+        };
         let t = Instant::now();
-        match client.recommend(app, &data, "cluster-a", 5, seed) {
-            Ok(resp) if resp.get("ok").and_then(lite_obs::Json::as_bool) == Some(true) => {
+        match client.call(&request) {
+            Ok(Response::Recommend { version, .. }) => {
                 stats.latencies_s.push(t.elapsed().as_secs_f64());
-                if let Some(v) = resp.get("version").and_then(lite_obs::Json::as_u64) {
-                    stats.versions.push(v);
-                }
+                stats.versions.push(version);
             }
-            Ok(resp) => {
-                if resp.get("code").and_then(lite_obs::Json::as_str) == Some("overloaded") {
+            Ok(Response::Error { code, .. }) => {
+                if code == lite_serve::ErrorCode::Overloaded {
                     stats.shed += 1;
                 } else {
                     stats.errors += 1;
                 }
             }
-            Err(_) => stats.errors += 1,
+            Ok(_) | Err(_) => stats.errors += 1,
         }
         i += 1;
     }
     stats
+}
+
+/// Hot-path phase 1: repeat recommends against the in-process handle. The
+/// seed range keeps every request inside the warmed whole-response cache,
+/// so this measures the inline fast path (one atomic stamp load + cache
+/// clone), not the queue.
+fn inproc_hit_phase(handle: &ServiceHandle, quick: bool) -> (f64, usize) {
+    let cluster = ClusterSpec::cluster_a();
+    let total: usize = if quick { 20_000 } else { 400_000 };
+    // Warm every key once (and once more after any in-flight swap).
+    for i in 0..(2 * SERVED_APPS.len() * 8) {
+        let app = SERVED_APPS[i % SERVED_APPS.len()];
+        let data = app.dataset(SizeTier::Valid);
+        let _ = handle.recommend(app, &data, &cluster, 5, (i % 8) as u64);
+    }
+    let datas: Vec<_> = SERVED_APPS.iter().map(|a| a.dataset(SizeTier::Valid)).collect();
+    let t = Instant::now();
+    let mut ok = 0usize;
+    for i in 0..total {
+        let which = i % SERVED_APPS.len();
+        let seed = (i % 8) as u64;
+        if handle.recommend(SERVED_APPS[which], &datas[which], &cluster, 5, seed).is_ok() {
+            ok += 1;
+        }
+    }
+    let rps = ok as f64 / t.elapsed().as_secs_f64().max(1e-9);
+    (rps, ok)
+}
+
+/// Hot-path phase 2: the same repeat mix over loopback TCP as pipelined
+/// v3 binary frames. The reactor answers straight from the inline
+/// response cache, so one connection saturates the wire path.
+fn tcp_v3_phase(addr: std::net::SocketAddr, quick: bool) -> (f64, usize, usize) {
+    let depth = 128usize;
+    let mut client = ClientBuilder::new().pipeline_depth(depth).connect(addr).expect("v3 connect");
+    assert_eq!(client.protocol_version(), 3, "server must speak v3");
+    let batch: Vec<Request> = (0..512)
+        .map(|i| {
+            let which = i % SERVED_APPS.len();
+            Request::Recommend {
+                app: SERVED_APPS[which],
+                data: SERVED_APPS[which].dataset(SizeTier::Valid),
+                cluster: ClusterRef::Preset("cluster-a".to_string()),
+                k: 5,
+                seed: (i % 8) as u64,
+                trace: None,
+            }
+        })
+        .collect();
+    // Warm the wire path and the response cache.
+    let _ = client.pipeline(&batch).expect("warmup batch");
+    let total: usize = if quick { 10_000 } else { 200_000 };
+    let rounds = total.div_ceil(batch.len());
+    let t = Instant::now();
+    let mut ok = 0usize;
+    for _ in 0..rounds {
+        let responses = client.pipeline(&batch).expect("pipelined batch");
+        ok += responses.iter().filter(|r| r.is_ok()).count();
+    }
+    let rps = ok as f64 / t.elapsed().as_secs_f64().max(1e-9);
+    (rps, ok, depth)
+}
+
+/// Legacy-client sanity: v1 and v2 JSON serial clients still get answers
+/// from the same server, byte-compatible negotiation included.
+fn legacy_sanity(addr: std::net::SocketAddr) -> (bool, bool) {
+    let request = Request::Recommend {
+        app: AppId::Sort,
+        data: AppId::Sort.dataset(SizeTier::Valid),
+        cluster: ClusterRef::Preset("cluster-a".to_string()),
+        k: 3,
+        seed: 1,
+        trace: None,
+    };
+    let check = |version: u64| -> bool {
+        let Ok(mut client) = ClientBuilder::new().protocol(version).connect(addr) else {
+            return false;
+        };
+        client.protocol_version() == version
+            && matches!(client.call(&request), Ok(Response::Recommend { .. }))
+            && matches!(client.call(&Request::Ping), Ok(Response::Pong { .. }))
+    };
+    (check(1), check(2))
 }
 
 /// Time one 30-candidate request scored per-candidate (30 single-row NECS

@@ -34,7 +34,9 @@ use lite_core::necs::NecsConfig;
 use lite_core::recommend::LiteTuner;
 use lite_obs::trace::Phase;
 use lite_obs::{Json, Profiler, Registry, Report, Tracer};
-use lite_serve::{ModelSnapshot, ServeConfig, Service, TraceConfig};
+use lite_serve::{
+    ClientBuilder, ClusterRef, ModelSnapshot, Request, Response, ServeConfig, Service, TraceConfig,
+};
 use lite_sparksim::cluster::ClusterSpec;
 use lite_workloads::apps::AppId;
 use lite_workloads::data::SizeTier;
@@ -103,8 +105,11 @@ fn main() {
         let clients: Vec<_> = (0..client_threads)
             .map(|t| {
                 std::thread::spawn(move || {
-                    let mut client = lite_serve::Client::connect(addr).expect("connect");
-                    assert_eq!(client.negotiate().expect("hello"), 2, "server must speak v2");
+                    // Pin protocol v2: this bench measures the JSON trace
+                    // plane, not the v3 binary fast path.
+                    let mut client =
+                        ClientBuilder::new().protocol(2).connect(addr).expect("connect");
+                    assert_eq!(client.protocol_version(), 2, "server must speak v2");
                     let mut lat = Vec::with_capacity(min_reqs_per_thread);
                     for i in 0..min_reqs_per_thread {
                         let app = SERVED_APPS[(t + i) % SERVED_APPS.len()];
@@ -113,15 +118,18 @@ fn main() {
                         let id = ((t as u64 + 1) << 32) | (i as u64 + 1);
                         let t_req = Instant::now();
                         let resp = client
-                            .recommend_traced(app, &data, "cluster-a", 5, seed, id)
+                            .call(&Request::Recommend {
+                                app,
+                                data,
+                                cluster: ClusterRef::Preset("cluster-a".to_string()),
+                                k: 5,
+                                seed,
+                                trace: Some(id),
+                            })
                             .expect("recommend");
-                        if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                        if let Response::Recommend { trace, .. } = resp {
                             lat.push(t_req.elapsed().as_secs_f64());
-                            assert_eq!(
-                                resp.get("t").and_then(Json::as_u64),
-                                Some(id),
-                                "traced response must echo its id"
-                            );
+                            assert_eq!(trace, Some(id), "traced response must echo its id");
                         }
                     }
                     lat
@@ -145,8 +153,9 @@ fn main() {
     report.field("e2e_p99_ms", e2e_p99_ms);
 
     // ---- the tailtrace op answers over TCP ------------------------------
-    let mut admin = lite_serve::Client::connect(addr).expect("connect");
-    let tail = admin.tailtrace().expect("tailtrace");
+    let mut admin = ClientBuilder::new().connect(addr).expect("connect");
+    let tail =
+        admin.call(&Request::Tailtrace).expect("tailtrace").into_admin().expect("tailtrace doc");
     assert_eq!(tail.get("ok").and_then(Json::as_bool), Some(true), "{tail:?}");
     let wire_exemplars = tail.get("exemplars").and_then(Json::as_arr).expect("exemplars").len();
     assert!(wire_exemplars >= 1, "tailtrace must return captured exemplars");
@@ -268,31 +277,38 @@ fn main() {
         lite_serve::net::serve_tcp(probe_service.handle(), "127.0.0.1:0").expect("bind");
 
     let ratio = report.phase("overhead", || {
-        let mut base = lite_serve::Client::connect(plain_server.local_addr()).expect("connect");
-        let mut probe = lite_serve::Client::connect(probe_server.local_addr()).expect("connect");
-        assert_eq!(base.negotiate().expect("hello"), 2);
-        assert_eq!(probe.negotiate().expect("hello"), 2);
+        let mut base =
+            ClientBuilder::new().protocol(2).connect(plain_server.local_addr()).expect("connect");
+        let mut probe =
+            ClientBuilder::new().protocol(2).connect(probe_server.local_addr()).expect("connect");
+        assert_eq!(base.protocol_version(), 2);
+        assert_eq!(probe.protocol_version(), 2);
         let data = AppId::KMeans.dataset(SizeTier::Valid);
+        let recommend = |seed: u64, trace: Option<u64>| Request::Recommend {
+            app: AppId::KMeans,
+            data,
+            cluster: ClusterRef::Preset("cluster-a".to_string()),
+            k: 3,
+            seed,
+            trace,
+        };
         // Warm up both paths (and both caches) identically.
         for i in 0..16 {
-            let _ = base.recommend(AppId::KMeans, &data, "cluster-a", 3, i % 8);
-            let _ = probe.recommend_traced(AppId::KMeans, &data, "cluster-a", 3, i % 8, i + 1);
+            let _ = base.call(&recommend(i % 8, None));
+            let _ = probe.call(&recommend(i % 8, Some(i + 1)));
         }
         let base = RefCell::new(base);
         let probe = RefCell::new(probe);
         robust_ratio(
             quick,
             &|seed| {
-                let resp = base
-                    .borrow_mut()
-                    .recommend(AppId::KMeans, &data, "cluster-a", 3, seed % 8)
-                    .expect("recommend");
+                let resp = base.borrow_mut().call(&recommend(seed % 8, None)).expect("recommend");
                 std::hint::black_box(resp);
             },
             &|seed| {
                 let resp = probe
                     .borrow_mut()
-                    .recommend_traced(AppId::KMeans, &data, "cluster-a", 3, seed % 8, seed + 17)
+                    .call(&recommend(seed % 8, Some(seed + 17)))
                     .expect("recommend");
                 std::hint::black_box(resp);
             },

@@ -25,7 +25,9 @@ use lite_core::experiment::DatasetBuilder;
 use lite_core::necs::NecsConfig;
 use lite_core::recommend::LiteTuner;
 use lite_obs::{Json, Registry, Report, Tracer};
-use lite_serve::{DriftConfig, ModelSnapshot, ServeConfig, ServeError, Service, ServiceHandle};
+use lite_serve::{
+    DriftConfig, ModelSnapshot, Request, ServeConfig, ServeError, Service, ServiceHandle,
+};
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::exec::simulate;
 use lite_workloads::apps::{build_job, AppId};
@@ -247,10 +249,20 @@ fn main() {
     report.field("scrape_errors", scrape.errors);
 
     // ---- final scrape -> artifacts --------------------------------------
-    let mut client = lite_serve::Client::connect(addr).expect("tcp connect");
-    let prom = client.metrics_text().expect("final metrics scrape");
+    let mut client = lite_serve::ClientBuilder::new().connect(addr).expect("tcp connect");
+    let metrics = client
+        .call(&Request::Metrics)
+        .expect("final metrics scrape")
+        .into_admin()
+        .expect("metrics doc");
+    let prom = metrics.get("body").and_then(Json::as_str).expect("metrics body").to_string();
     assert!(prom.contains("# TYPE serve_drift_alerts counter"), "exposition incomplete");
-    let trace = client.trace().expect("final trace scrape");
+    let trace = client
+        .call(&Request::Trace)
+        .expect("final trace scrape")
+        .into_admin()
+        .and_then(|doc| doc.get("trace").cloned())
+        .expect("trace doc");
     let events = trace.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
     assert!(!events.is_empty(), "enabled tracer must export spans");
     drop(client);
@@ -334,18 +346,19 @@ fn recommend_client(handle: &ServiceHandle, thread_id: usize, stop: &AtomicBool)
 /// Scraper: cycles `stats`/`metrics`/`health`/`trace` over one framed-JSON
 /// TCP connection, timing each round trip.
 fn scrape_client(addr: std::net::SocketAddr, stop: &AtomicBool) -> ScrapeStats {
-    let mut client = lite_serve::Client::connect(addr).expect("scraper connect");
+    let mut client = lite_serve::ClientBuilder::new().connect(addr).expect("scraper connect");
     let mut stats = ScrapeStats { latencies_s: Default::default(), errors: 0 };
     let mut i = 0usize;
     while !stop.load(Ordering::Acquire) {
         let op = i % SCRAPE_OPS.len();
-        let t = Instant::now();
-        let ok = match op {
-            0 => client.stats().is_ok(),
-            1 => client.metrics_text().is_ok(),
-            2 => client.health().is_ok(),
-            _ => client.trace().is_ok(),
+        let request = match op {
+            0 => Request::Stats,
+            1 => Request::Metrics,
+            2 => Request::Health,
+            _ => Request::Trace,
         };
+        let t = Instant::now();
+        let ok = matches!(client.call(&request), Ok(resp) if resp.is_ok());
         if ok {
             stats.latencies_s[op].push(t.elapsed().as_secs_f64());
         } else {

@@ -21,7 +21,7 @@ use lite_workloads::apps::AppId;
 use lite_workloads::data::DataSpec;
 
 /// A ranked candidate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankedCandidate {
     /// The configuration.
     pub conf: SparkConf,

@@ -50,29 +50,32 @@ pub enum Phase {
     Parse = 2,
     /// Admission into the bounded request queue.
     Enqueue = 3,
+    /// Shard routing: picking the worker shard a request hashes to and
+    /// handing the job to its queue (the sharded-dispatch hop).
+    Dispatch = 4,
     /// Time spent queued before a worker picked the job up.
-    QueueWait = 4,
+    QueueWait = 5,
     /// Worker-side dequeue + deadline check.
-    Dequeue = 5,
+    Dequeue = 6,
     /// Loading the current model snapshot (arc-swap read + clone).
-    SnapshotLoad = 6,
+    SnapshotLoad = 7,
     /// Recommendation cache probe.
-    CacheLookup = 7,
+    CacheLookup = 8,
     /// NECS candidate scoring (the model inference).
-    Score = 8,
+    Score = 9,
     /// Reply handoff: from the worker sending the finished response to
     /// the submitting thread picking it up (thread wakeup latency — a
     /// dominant tail term on oversubscribed machines).
-    Respond = 9,
+    Respond = 10,
     /// Rendering the response document to JSON text.
-    Serialize = 10,
+    Serialize = 11,
     /// Writing the response frame to the socket.
-    Write = 11,
+    Write = 12,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 13;
 
     /// Every phase, in request-path order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -80,6 +83,7 @@ impl Phase {
         Phase::FrameRead,
         Phase::Parse,
         Phase::Enqueue,
+        Phase::Dispatch,
         Phase::QueueWait,
         Phase::Dequeue,
         Phase::SnapshotLoad,
@@ -97,6 +101,7 @@ impl Phase {
             Phase::FrameRead => "frame_read",
             Phase::Parse => "parse",
             Phase::Enqueue => "enqueue",
+            Phase::Dispatch => "dispatch",
             Phase::QueueWait => "queue_wait",
             Phase::Dequeue => "dequeue",
             Phase::SnapshotLoad => "snapshot_load",
@@ -115,6 +120,7 @@ impl Phase {
             Phase::FrameRead => "serve.phase.frame_read_ns",
             Phase::Parse => "serve.phase.parse_ns",
             Phase::Enqueue => "serve.phase.enqueue_ns",
+            Phase::Dispatch => "serve.phase.dispatch_ns",
             Phase::QueueWait => "serve.phase.queue_wait_ns",
             Phase::Dequeue => "serve.phase.dequeue_ns",
             Phase::SnapshotLoad => "serve.phase.snapshot_load_ns",

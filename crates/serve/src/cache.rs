@@ -157,6 +157,14 @@ impl PredictionCache {
         self.hits.value()
     }
 
+    /// Credit `n` hits answered on behalf of this cache without probing
+    /// it — the response-cache fast path short-circuits the per-candidate
+    /// lookups a repeat request would have hit, and the hit-rate account
+    /// must not lose them.
+    pub fn credit_hits(&self, n: u64) {
+        self.hits.add(n);
+    }
+
     /// Lifetime misses (stale-version evictions included).
     pub fn misses(&self) -> u64 {
         self.misses.value()
@@ -174,6 +182,180 @@ impl PredictionCache {
 
     fn shard(&self, key: &CacheKey) -> std::sync::MutexGuard<'_, Shard> {
         self.shards[key.shard_of(self.shards.len())].lock().expect("cache shard poisoned")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response cache
+
+/// app(1) + data(5) + cluster env(6) + cluster name hash(1) + k(1) + seed(1).
+const RESPONSE_KEY_WORDS: usize = 15;
+
+/// Exact whole-request key: every input a `recommend` response depends on
+/// besides the model version, bit-packed the same way [`CacheKey`] packs a
+/// candidate's identity. Two requests share an entry only when the server
+/// would compute the identical response.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResponseKey([u64; RESPONSE_KEY_WORDS]);
+
+impl ResponseKey {
+    /// Pack one request's identity.
+    pub fn new(
+        app: AppId,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+        k: usize,
+        seed: u64,
+    ) -> ResponseKey {
+        let mut w = [0u64; RESPONSE_KEY_WORDS];
+        w[0] = app.index() as u64;
+        w[1] = data.rows;
+        w[2] = data.cols as u64;
+        w[3] = data.iterations as u64;
+        w[4] = data.partitions as u64;
+        w[5] = data.bytes;
+        for (i, &e) in cluster.env_features().iter().enumerate() {
+            w[6 + i] = e.to_bits();
+        }
+        w[12] = fnv1a(cluster.name.as_bytes());
+        w[13] = k as u64;
+        w[14] = seed;
+        ResponseKey(w)
+    }
+
+    fn shard_of(&self, shards: usize) -> usize {
+        let mut h = 0xcbf29ce484222325u64;
+        for &word in &self.0 {
+            h = (h ^ word).wrapping_mul(0x100000001b3);
+        }
+        (h % shards as u64) as usize
+    }
+
+    /// FNV-1a over the packed words — the shard-affinity hash the sharded
+    /// dispatcher routes by, so repeats of one request always land on the
+    /// same worker (and therefore the same warm caches).
+    pub fn route_hash(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &word in &self.0 {
+            h = (h ^ word).wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+struct ResponseEntry<V> {
+    version: u64,
+    value: V,
+    stamp: u64,
+}
+
+struct ResponseShard<V> {
+    map: HashMap<ResponseKey, ResponseEntry<V>>,
+    clock: u64,
+}
+
+/// Whole-response LRU cache: the serve plane's inline fast path answers
+/// repeat `recommend` requests from here without crossing into a worker.
+/// Same versioning discipline as [`PredictionCache`] — entries remember
+/// the model version, so hot-swaps invalidate lazily — and same sharded
+/// locking, so reactor threads and workers never convoy on one mutex.
+pub struct ResponseCache<V> {
+    shards: Vec<Mutex<ResponseShard<V>>>,
+    capacity_per_shard: usize,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl<V: Clone> ResponseCache<V> {
+    /// `shards` independently locked maps of at most `capacity_per_shard`
+    /// entries each.
+    pub fn new(
+        shards: usize,
+        capacity_per_shard: usize,
+        hits: Counter,
+        misses: Counter,
+    ) -> ResponseCache<V> {
+        assert!(shards > 0, "cache needs at least one shard");
+        ResponseCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(ResponseShard { map: HashMap::new(), clock: 0 }))
+                .collect(),
+            capacity_per_shard,
+            hits,
+            misses,
+        }
+    }
+
+    /// Look up the response served at model `version`. A stale-version
+    /// entry is removed on sight and counts as a miss.
+    pub fn get(&self, key: &ResponseKey, version: u64) -> Option<V> {
+        let mut shard = self.shard(key);
+        match shard.map.get_mut(key) {
+            Some(entry) if entry.version == version => {
+                shard.clock += 1;
+                let stamp = shard.clock;
+                let entry = shard.map.get_mut(key)?;
+                entry.stamp = stamp;
+                let value = entry.value.clone();
+                self.hits.inc();
+                Some(value)
+            }
+            Some(_) => {
+                shard.map.remove(key);
+                self.misses.inc();
+                None
+            }
+            None => {
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Store a response, evicting the shard's least-recently-used entry
+    /// when full.
+    pub fn insert(&self, key: ResponseKey, version: u64, value: V) {
+        if self.capacity_per_shard == 0 {
+            return;
+        }
+        let mut shard = self.shard(&key);
+        if shard.map.len() >= self.capacity_per_shard && !shard.map.contains_key(&key) {
+            if let Some(oldest) = shard.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k) {
+                shard.map.remove(&oldest);
+            }
+        }
+        shard.clock += 1;
+        let stamp = shard.clock;
+        shard.map.insert(key, ResponseEntry { version, value, stamp });
+    }
+
+    /// Entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(std::sync::PoisonError::into_inner).map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.value()
+    }
+
+    /// Lifetime misses (stale-version evictions included).
+    pub fn misses(&self) -> u64 {
+        self.misses.value()
+    }
+
+    fn shard(&self, key: &ResponseKey) -> std::sync::MutexGuard<'_, ResponseShard<V>> {
+        self.shards[key.shard_of(self.shards.len())]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -213,6 +395,24 @@ mod tests {
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 3);
         assert!((c.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_cache_versions_and_routes_stably() {
+        let reg = Registry::new();
+        let c: ResponseCache<u32> = ResponseCache::new(2, 2, reg.counter("rh"), reg.counter("rm"));
+        let data = AppId::Sort.dataset(lite_workloads::data::SizeTier::Valid);
+        let k = ResponseKey::new(AppId::Sort, &data, &ClusterSpec::cluster_a(), 3, 7);
+        assert_eq!(c.get(&k, 0), None);
+        c.insert(k, 0, 42);
+        assert_eq!(c.get(&k, 0), Some(42));
+        assert_eq!(c.get(&k, 1), None, "hot-swap invalidates lazily");
+        let again = ResponseKey::new(AppId::Sort, &data, &ClusterSpec::cluster_a(), 3, 7);
+        assert_eq!(k.route_hash(), again.route_hash(), "routing must be deterministic");
+        let other = ResponseKey::new(AppId::Sort, &data, &ClusterSpec::cluster_a(), 3, 8);
+        assert!(k != other, "seed must be part of the response identity");
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
     }
 
     #[test]

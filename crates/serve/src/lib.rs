@@ -45,6 +45,7 @@
 pub mod cache;
 pub mod monitor;
 pub mod net;
+pub mod proto;
 pub mod resilience;
 pub mod service;
 pub mod slot;
@@ -52,14 +53,17 @@ pub mod snapshot;
 
 pub use cache::PredictionCache;
 pub use monitor::{DriftConfig, DriftMonitor, DriftSummary};
-pub use net::{Client, ErrorCode, OpCode, TcpServer, PROTOCOL_VERSION};
+pub use net::{Client, ClientBuilder, ErrorCode, OpCode, TcpServer, MAX_FRAME, PROTOCOL_VERSION};
+pub use proto::{
+    AnalyzeTarget, ClusterRef, Neighbor, Request, Response, RetrieveTarget, PROTOCOL_V3,
+};
 pub use resilience::{
     BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker, ClientError, ResilientClient,
     RetryPolicy,
 };
 pub use service::{
-    ConfigError, RecommendResponse, RetrieveResponse, ServeConfig, ServeConfigBuilder, ServeError,
-    Service, ServiceHandle, ServiceStats, TraceConfig,
+    ConfigError, ProtocolConfig, RecommendResponse, RetrieveResponse, ServeConfig,
+    ServeConfigBuilder, ServeError, Service, ServiceHandle, ServiceStats, TraceConfig,
 };
 pub use slot::{SlotReader, VersionedSlot};
 pub use snapshot::ModelSnapshot;

@@ -111,8 +111,8 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 use lite_obs::span::epoch_ns;
@@ -126,13 +126,17 @@ use lite_workloads::apps::AppId;
 use lite_workloads::data::DataSpec;
 
 use crate::monitor::DriftSummary;
+use crate::proto;
 use crate::service::{
-    RecommendResponse, RetrieveResponse, ServeError, ServiceHandle, ServiceStats,
+    ObserveReply, RecommendReply, RecommendResponse, RetrieveResponse, ServeError, ServiceHandle,
+    ServiceStats,
 };
 
 /// Largest accepted frame payload; recommendation traffic is tiny, so
-/// anything bigger is a protocol error, not a workload.
-const MAX_FRAME: u32 = 1 << 20;
+/// anything bigger is a protocol error, not a workload. The transport
+/// ceiling: `ProtocolConfig::max_frame` may lower the binary-frame cap
+/// per service, never raise it past this.
+pub const MAX_FRAME: u32 = 1 << 20;
 
 /// Newest protocol version this build speaks.
 pub const PROTOCOL_VERSION: u64 = 2;
@@ -346,12 +350,12 @@ fn read_frame_timed<R: Read>(r: &mut R) -> std::io::Result<Option<(Vec<u8>, u64)
 // Server
 
 /// A running TCP front-end. Dropping (or calling
-/// [`shutdown`](TcpServer::shutdown)) stops accepting new connections;
-/// established connections end when their clients disconnect.
+/// [`shutdown`](TcpServer::shutdown)) stops the reactor; established
+/// connections are closed once their in-flight requests drain.
 pub struct TcpServer {
     local_addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor_thread: Option<JoinHandle<()>>,
 }
 
 impl TcpServer {
@@ -360,7 +364,7 @@ impl TcpServer {
         self.local_addr
     }
 
-    /// Stop the accept loop and join it.
+    /// Stop the reactor and join it.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -369,10 +373,9 @@ impl TcpServer {
         if self.stop.swap(true, Ordering::AcqRel) {
             return;
         }
-        // Unblock the accept call with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(t) = self.accept_thread.take() {
-            t.join().expect("accept thread panicked"); // gate: allow(expect)
+        // The reactor polls non-blockingly, so setting the flag is enough.
+        if let Some(t) = self.reactor_thread.take() {
+            t.join().expect("reactor thread panicked"); // gate: allow(expect)
         }
     }
 }
@@ -383,103 +386,775 @@ impl Drop for TcpServer {
     }
 }
 
-/// Serve `handle` over TCP at `addr` (e.g. `"127.0.0.1:0"`). Each
-/// connection gets its own thread; requests on one connection are served
-/// in order, concurrency comes from concurrent connections.
+/// Serve `handle` over TCP at `addr` (e.g. `"127.0.0.1:0"`).
+///
+/// One readiness-driven reactor thread owns the listener and every
+/// connection: sockets are non-blocking, frames are extracted from
+/// per-connection buffers, and hot operations (`recommend`/`observe`)
+/// are submitted to the shard queues with callback replies so the
+/// reactor never blocks on a worker. JSON (v1/v2) connections are served
+/// strictly one frame at a time; v3 binary connections may pipeline up to
+/// `protocol.max_pipeline` frames, with responses correlated by request
+/// id. Admin and retrieval operations are answered inline on the reactor.
 pub fn serve_tcp<A: ToSocketAddrs>(handle: ServiceHandle, addr: A) -> std::io::Result<TcpServer> {
     let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let accept_stop = stop.clone();
-    let accept_thread = std::thread::Builder::new()
-        .name("serve-accept".into())
-        .spawn(move || {
-            for conn in listener.incoming() {
-                if accept_stop.load(Ordering::Acquire) {
-                    break;
-                }
-                let Ok(stream) = conn else { continue };
-                // Frames are written as two small writes (length prefix +
-                // payload); without NODELAY, Nagle + delayed ACK stalls
-                // every response by tens of milliseconds.
-                let _ = stream.set_nodelay(true);
-                let handle = handle.clone();
-                let _ = std::thread::Builder::new()
-                    .name("serve-conn".into())
-                    .spawn(move || connection_loop(stream, handle));
-            }
-        })
-        .expect("spawn accept thread"); // gate: allow(expect)
-    Ok(TcpServer { local_addr, stop, accept_thread: Some(accept_thread) })
+    let reactor_stop = stop.clone();
+    let reactor_thread = std::thread::Builder::new()
+        .name("serve-reactor".into())
+        .spawn(move || reactor_loop(listener, handle, reactor_stop))
+        .expect("spawn reactor thread"); // gate: allow(expect)
+    Ok(TcpServer { local_addr, stop, reactor_thread: Some(reactor_thread) })
 }
 
-fn connection_loop(mut stream: TcpStream, handle: ServiceHandle) {
-    let space = ConfSpace::table_iv();
-    let faults = handle.fault_injector();
-    let tracing = handle.trace_enabled();
-    loop {
-        let ready_ns = if tracing { epoch_ns() } else { 0 };
-        let (payload, arrived_ns) = match read_frame_timed(&mut stream) {
-            Ok(Some(p)) => p,
-            Ok(None) | Err(_) => return, // client gone
+/// The reply half of a connection, shared with worker callbacks. Writes
+/// go through a mutex (one frame at a time, never interleaved) on a
+/// dup'd socket handle; `dead` poisons the connection for the reactor.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    dead: AtomicBool,
+    in_flight: AtomicUsize,
+    faults: Option<Arc<lite_sparksim::fault::FaultInjector>>,
+}
+
+impl ConnWriter {
+    /// Write one length-prefixed frame, honoring the injected torn-frame
+    /// fault (length promises a full payload, half arrives, the
+    /// connection dies). Marks the connection dead on any write failure.
+    fn write_frame(&self, payload: &[u8]) -> bool {
+        if self.dead.load(Ordering::Acquire) {
+            return false;
+        }
+        let Ok(len) = u32::try_from(payload.len()) else {
+            self.dead.store(true, Ordering::Release);
+            return false;
         };
-        let read_done_ns = if tracing { epoch_ns() } else { 0 };
-        let parsed = std::str::from_utf8(&payload)
-            .map_err(|_| "frame is not utf-8".to_string())
-            .and_then(|text| Json::parse(text).map_err(|e| e.to_string()));
-        // The trace id lives inside the frame, so the socket-side phases
-        // that precede parsing are recorded retroactively once it is known.
-        // Accept covers the idle wait for the length prefix (kept out of
-        // the request's end-to-end total); FrameRead covers the payload
-        // transfer itself.
-        let mut trace = None;
-        if tracing {
-            if let Ok(request) = &parsed {
-                if let Some(id) = request_trace(request) {
-                    handle.trace_phase(id, Phase::Accept, ready_ns, arrived_ns);
-                    handle.trace_phase(id, Phase::FrameRead, arrived_ns, read_done_ns);
-                    handle.trace_phase(id, Phase::Parse, read_done_ns, epoch_ns());
-                    trace = Some(id);
-                }
+        if len > MAX_FRAME {
+            self.dead.store(true, Ordering::Release);
+            return false;
+        }
+        let torn =
+            self.faults.as_deref().is_some_and(|f| f.fires(FaultKind::TornFrame, f.next_key()));
+        let body = if torn { &payload[..payload.len() / 2] } else { payload };
+        let mut frame = Vec::with_capacity(4 + body.len());
+        frame.extend_from_slice(&len.to_be_bytes());
+        frame.extend_from_slice(body);
+        let mut stream = self.stream.lock().unwrap_or_else(PoisonError::into_inner);
+        let ok = nb_write_all(&mut stream, &frame).is_ok();
+        let _ = stream.flush();
+        drop(stream);
+        if torn || !ok {
+            self.dead.store(true, Ordering::Release);
+            return false;
+        }
+        true
+    }
+}
+
+/// `write_all` over a non-blocking socket (the dup'd writer handle shares
+/// the reader's `O_NONBLOCK`): retry briefly on `WouldBlock`, give up —
+/// poisoning the connection — if the peer stalls for seconds.
+fn nb_write_all(stream: &mut TcpStream, mut buf: &[u8]) -> std::io::Result<()> {
+    let mut stalls = 0u32;
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => return Err(std::io::Error::new(std::io::ErrorKind::WriteZero, "peer gone")),
+            Ok(n) => {
+                buf = &buf[n..];
+                stalls = 0;
             }
-        }
-        let response = match parsed {
-            Ok(request) => dispatch(&handle, &space, &request, trace),
-            Err(msg) => wire_error(false, ErrorCode::BadRequest, &msg),
-        };
-        let serialize_start_ns = if trace.is_some() { epoch_ns() } else { 0 };
-        let rendered = response.render();
-        if let Some(id) = trace {
-            handle.trace_phase(id, Phase::Serialize, serialize_start_ns, epoch_ns());
-        }
-        // Injected torn frame: the length prefix promises a full payload
-        // but the connection dies halfway through writing it. Clients must
-        // treat the connection as dead and reconnect (resilient clients
-        // retry the request on a fresh one).
-        if let Some(f) = faults.as_deref() {
-            if f.fires(FaultKind::TornFrame, f.next_key()) {
-                let bytes = rendered.as_bytes();
-                if let Ok(len) = u32::try_from(bytes.len()) {
-                    let _ = stream.write_all(&len.to_be_bytes());
-                    let _ = stream.write_all(&bytes[..bytes.len() / 2]);
-                    let _ = stream.flush();
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                stalls += 1;
+                if stalls > 40_000 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "peer not draining",
+                    ));
                 }
-                return;
+                std::thread::sleep(std::time::Duration::from_micros(50));
             }
-        }
-        let write_start_ns = if trace.is_some() { epoch_ns() } else { 0 };
-        if write_frame(&mut stream, rendered.as_bytes()).is_err() {
-            return;
-        }
-        if let Some(id) = trace {
-            let done_ns = epoch_ns();
-            handle.trace_phase(id, Phase::Write, write_start_ns, done_ns);
-            // End-to-end as the server observed it: from the request frame
-            // arriving to the response flushed. This is the latency the
-            // exemplar reservoir ranks by.
-            handle.trace_complete(id, done_ns.saturating_sub(arrived_ns));
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
         }
     }
+    Ok(())
+}
+
+/// Per-connection reactor state: the non-blocking reader, the shared
+/// writer, and the receive buffer frames are extracted from.
+struct Conn {
+    stream: TcpStream,
+    writer: Arc<ConnWriter>,
+    buf: Vec<u8>,
+    read_closed: bool,
+    /// When the connection went idle (last frame fully consumed) — the
+    /// start of the next request's `Accept` span.
+    idle_ns: u64,
+    /// When bytes last arrived — the `Accept`/`FrameRead` boundary.
+    last_read_ns: u64,
+}
+
+/// Receive-buffer cap per connection: enough for one maximal frame plus a
+/// full pipeline of small ones; the reactor stops draining the socket
+/// past it, which backpressures pipelining clients through TCP.
+const CONN_BUF_CAP: usize = 2 * MAX_FRAME as usize;
+
+impl Conn {
+    fn new(
+        stream: TcpStream,
+        writer_stream: TcpStream,
+        faults: Option<Arc<lite_sparksim::fault::FaultInjector>>,
+    ) -> Conn {
+        let now = epoch_ns();
+        Conn {
+            stream,
+            writer: Arc::new(ConnWriter {
+                stream: Mutex::new(writer_stream),
+                dead: AtomicBool::new(false),
+                in_flight: AtomicUsize::new(0),
+                faults,
+            }),
+            buf: Vec::new(),
+            read_closed: false,
+            idle_ns: now,
+            last_read_ns: now,
+        }
+    }
+
+    /// Whether the connection still has work: not poisoned, and either
+    /// readable, holding a complete buffered frame, or awaiting replies.
+    fn alive(&self) -> bool {
+        if self.writer.dead.load(Ordering::Acquire) {
+            return false;
+        }
+        !self.read_closed
+            || self.writer.in_flight.load(Ordering::Acquire) > 0
+            || complete_frame_len(&self.buf).is_some()
+    }
+
+    /// Drain the socket into the buffer and serve every extractable
+    /// frame. Returns whether anything happened (the reactor's idle
+    /// detector).
+    fn pump(&mut self, cx: &ReactorCx, chunk: &mut [u8]) -> bool {
+        if self.writer.dead.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut active = false;
+        while !self.read_closed && self.buf.len() < CONN_BUF_CAP {
+            match self.stream.read(chunk) {
+                Ok(0) => self.read_closed = true,
+                Ok(n) => {
+                    self.last_read_ns = epoch_ns();
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    active = true;
+                    if n < chunk.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.read_closed = true;
+                    self.writer.dead.store(true, Ordering::Release);
+                }
+            }
+        }
+        while let Some(total) = complete_frame_len(&self.buf) {
+            if total == usize::MAX {
+                // Oversized length prefix: unrecoverable framing error.
+                self.writer.dead.store(true, Ordering::Release);
+                self.read_closed = true;
+                self.buf.clear();
+                break;
+            }
+            let binary = self.buf.get(4) == Some(&proto::V3_MAGIC);
+            let in_flight = self.writer.in_flight.load(Ordering::Acquire);
+            // JSON frames are strictly serial (responses carry no
+            // correlation tag, so order is the contract); binary frames
+            // pipeline up to the configured depth.
+            if in_flight >= if binary { cx.max_pipeline } else { 1 } {
+                break;
+            }
+            let payload = self.buf[4..total].to_vec();
+            self.buf.drain(..total);
+            active = true;
+            let arrived_ns = self.last_read_ns;
+            let idle_ns = self.idle_ns;
+            self.idle_ns = epoch_ns();
+            if binary {
+                if payload.len() > cx.binary_cap as usize {
+                    let op = binary_op_hint(&payload);
+                    let req_id = binary_req_id_hint(&payload);
+                    self.writer.write_frame(&proto::encode_error_response(
+                        op,
+                        req_id,
+                        ErrorCode::BadRequest,
+                        "binary frame exceeds protocol.max_frame",
+                    ));
+                    continue;
+                }
+                serve_binary_frame(cx, &self.writer, &payload, idle_ns, arrived_ns);
+            } else {
+                serve_json_frame(cx, &self.writer, &payload, idle_ns, arrived_ns);
+            }
+        }
+        active
+    }
+}
+
+/// Total length (prefix + payload) of the first complete frame in `buf`,
+/// `None` when more bytes are needed, `usize::MAX` when the length prefix
+/// itself is out of protocol bounds.
+fn complete_frame_len(buf: &[u8]) -> Option<usize> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len > MAX_FRAME {
+        return Some(usize::MAX);
+    }
+    let total = 4 + len as usize;
+    (buf.len() >= total).then_some(total)
+}
+
+/// Best-effort op extraction from an undecodable binary frame, so the
+/// error frame still echoes something useful.
+fn binary_op_hint(payload: &[u8]) -> OpCode {
+    payload.get(2).and_then(|&b| OpCode::from_code(u64::from(b))).unwrap_or(OpCode::Ping)
+}
+
+/// Best-effort request-id extraction from an undecodable binary frame.
+fn binary_req_id_hint(payload: &[u8]) -> u32 {
+    match payload.get(4..8) {
+        Some(b) => u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+        None => 0,
+    }
+}
+
+/// Shared per-reactor context threaded into frame handlers.
+struct ReactorCx {
+    handle: ServiceHandle,
+    space: ConfSpace,
+    max_pipeline: usize,
+    binary_cap: u32,
+}
+
+fn reactor_loop(listener: TcpListener, handle: ServiceHandle, stop: Arc<AtomicBool>) {
+    let faults = handle.fault_injector();
+    let cx = ReactorCx {
+        space: ConfSpace::table_iv(),
+        max_pipeline: handle.protocol().max_pipeline.max(1),
+        binary_cap: handle.protocol().max_frame.min(MAX_FRAME),
+        handle,
+    };
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut chunk = vec![0u8; 64 * 1024];
+    while !stop.load(Ordering::Acquire) {
+        let mut active = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Frames are small; without NODELAY, Nagle + delayed
+                    // ACK stalls every response by tens of milliseconds.
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    if let Ok(writer_stream) = stream.try_clone() {
+                        conns.push(Conn::new(stream, writer_stream, faults.clone()));
+                        active = true;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        for conn in &mut conns {
+            active |= conn.pump(&cx, &mut chunk);
+        }
+        conns.retain(Conn::alive);
+        if !active {
+            // Nothing readable and nothing accepted: yield briefly rather
+            // than spin. Callback replies progress on worker threads.
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame handlers
+
+/// Serve one JSON (v1/v2) frame. Hot operations are submitted to the
+/// shard queues with a callback reply; everything else is answered inline
+/// through [`dispatch`], byte-identical to the previous
+/// thread-per-connection front-end.
+fn serve_json_frame(
+    cx: &ReactorCx,
+    writer: &Arc<ConnWriter>,
+    payload: &[u8],
+    idle_ns: u64,
+    arrived_ns: u64,
+) {
+    let handle = &cx.handle;
+    let tracing = handle.trace_enabled();
+    let parsed = std::str::from_utf8(payload)
+        .map_err(|_| "frame is not utf-8".to_string())
+        .and_then(|text| Json::parse(text).map_err(|e| e.to_string()));
+    // The trace id lives inside the frame, so the socket-side phases that
+    // precede parsing are recorded retroactively once it is known. Accept
+    // covers the idle wait between frames (kept out of the request's
+    // end-to-end total); FrameRead is the buffered-transfer boundary.
+    let mut trace = None;
+    if tracing {
+        if let Ok(request) = &parsed {
+            if let Some(id) = request_trace(request) {
+                handle.trace_phase(id, Phase::Accept, idle_ns, arrived_ns);
+                handle.trace_phase(id, Phase::FrameRead, arrived_ns, arrived_ns);
+                handle.trace_phase(id, Phase::Parse, arrived_ns, epoch_ns());
+                trace = Some(id);
+            }
+        }
+    }
+    let request = match parsed {
+        Ok(request) => request,
+        Err(msg) => {
+            let doc = wire_error(false, ErrorCode::BadRequest, &msg);
+            write_json_response(handle, writer, trace, arrived_ns, &doc);
+            return;
+        }
+    };
+    // Hot ops leave the reactor through the shard queues; their replies
+    // come back on worker threads via the connection's writer. Versions
+    // other than 1/2 fall through to `dispatch` for the error shape.
+    let version = request.get("v").and_then(Json::as_u64);
+    if matches!(version, None | Some(2)) {
+        let v2 = version == Some(2);
+        let op = if v2 {
+            request.get("o").and_then(Json::as_u64).and_then(OpCode::from_code)
+        } else {
+            request.get("op").and_then(Json::as_str).and_then(OpCode::from_name)
+        };
+        match op {
+            Some(OpCode::Recommend) => {
+                submit_json_recommend(cx, writer, &request, v2, trace, arrived_ns);
+                return;
+            }
+            Some(OpCode::Observe) => {
+                submit_json_observe(cx, writer, &request, v2, arrived_ns);
+                return;
+            }
+            _ => {}
+        }
+    }
+    let doc = dispatch(handle, &cx.space, &request, trace);
+    write_json_response(handle, writer, trace, arrived_ns, &doc);
+}
+
+/// Render and write one JSON response, recording the serialize/write
+/// phases and completing the trace.
+fn write_json_response(
+    handle: &ServiceHandle,
+    writer: &ConnWriter,
+    trace: Option<TraceId>,
+    arrived_ns: u64,
+    doc: &Json,
+) {
+    let serialize_start_ns = if trace.is_some() { epoch_ns() } else { 0 };
+    let rendered = doc.render();
+    if let Some(id) = trace {
+        handle.trace_phase(id, Phase::Serialize, serialize_start_ns, epoch_ns());
+    }
+    let write_start_ns = if trace.is_some() { epoch_ns() } else { 0 };
+    writer.write_frame(rendered.as_bytes());
+    if let Some(id) = trace {
+        let done_ns = epoch_ns();
+        handle.trace_phase(id, Phase::Write, write_start_ns, done_ns);
+        // End-to-end as the server observed it: from the request frame
+        // arriving to the response flushed. This is the latency the
+        // exemplar reservoir ranks by.
+        handle.trace_complete(id, done_ns.saturating_sub(arrived_ns));
+    }
+}
+
+/// Parse and submit a JSON `recommend`; the response is written from the
+/// worker callback (or inline, when the fast path answers immediately).
+fn submit_json_recommend(
+    cx: &ReactorCx,
+    writer: &Arc<ConnWriter>,
+    request: &Json,
+    v2: bool,
+    trace: Option<TraceId>,
+    arrived_ns: u64,
+) {
+    let handle = &cx.handle;
+    let parsed = (|| {
+        let app = parse_app(request.get("app"))?;
+        let data = parse_data(request.get("data"))?;
+        let cluster = parse_cluster(request.get("cluster"))?;
+        let k = request.get("k").and_then(Json::as_u64).unwrap_or(1) as usize;
+        let seed = request.get("seed").and_then(Json::as_u64).unwrap_or(0);
+        Ok((app, data, cluster, k, seed))
+    })();
+    let (app, data, cluster, k, seed) = match parsed {
+        Ok(fields) => fields,
+        Err((code, msg)) => {
+            let doc = wire_error(v2, code, &msg);
+            write_json_response(handle, writer, trace, arrived_ns, &doc);
+            return;
+        }
+    };
+    writer.in_flight.fetch_add(1, Ordering::AcqRel);
+    let h = handle.clone();
+    let w = writer.clone();
+    handle.submit_recommend(
+        app,
+        &data,
+        &cluster,
+        k,
+        seed,
+        handle.default_deadline(),
+        trace,
+        RecommendReply::Callback(Box::new(move |outcome, sent_ns, shard| {
+            if let Some(id) = trace {
+                if sent_ns != 0 {
+                    h.trace_respond(id, sent_ns, epoch_ns(), shard);
+                }
+            }
+            let doc = match outcome {
+                Ok(resp) => {
+                    let doc = recommend_to_json(&resp);
+                    if v2 {
+                        stamp_v2(doc, trace)
+                    } else {
+                        doc
+                    }
+                }
+                Err(err) => wire_error(v2, error_code(&err), &err.to_string()),
+            };
+            write_json_response(&h, &w, trace, arrived_ns, &doc);
+            w.in_flight.fetch_sub(1, Ordering::AcqRel);
+        })),
+    );
+}
+
+/// Parse and submit a JSON `observe`; the response is written from the
+/// worker callback.
+fn submit_json_observe(
+    cx: &ReactorCx,
+    writer: &Arc<ConnWriter>,
+    request: &Json,
+    v2: bool,
+    arrived_ns: u64,
+) {
+    let handle = &cx.handle;
+    let parsed = (|| {
+        let app = parse_app(request.get("app"))?;
+        let data = parse_data(request.get("data"))?;
+        let cluster = parse_cluster(request.get("cluster"))?;
+        let conf = parse_conf(&cx.space, request.get("conf"))?;
+        let result = parse_result(request.get("result"))?;
+        Ok((app, data, cluster, conf, result))
+    })();
+    let (app, data, cluster, conf, result) = match parsed {
+        Ok(fields) => fields,
+        Err((code, msg)) => {
+            let doc = wire_error(v2, code, &msg);
+            write_json_response(handle, writer, None, arrived_ns, &doc);
+            return;
+        }
+    };
+    writer.in_flight.fetch_add(1, Ordering::AcqRel);
+    let h = handle.clone();
+    let w = writer.clone();
+    handle.submit_observe(
+        app,
+        &data,
+        &cluster,
+        &conf,
+        Box::new(result),
+        ObserveReply::Callback(Box::new(move |outcome| {
+            let doc = match outcome {
+                Ok(feedback) => {
+                    let doc = Json::obj(vec![
+                        ("ok", Json::Bool(true)),
+                        ("feedback", Json::from(feedback)),
+                    ]);
+                    if v2 {
+                        stamp_v2(doc, None)
+                    } else {
+                        doc
+                    }
+                }
+                Err(err) => wire_error(v2, error_code(&err), &err.to_string()),
+            };
+            write_json_response(&h, &w, None, arrived_ns, &doc);
+            w.in_flight.fetch_sub(1, Ordering::AcqRel);
+        })),
+    );
+}
+
+/// Serve one v3 binary frame. Hot ops go through the shard queues with
+/// binary-encoding callbacks; retrieval and admin ops are answered inline.
+/// Every failure is a clean error frame — the connection survives
+/// anything short of transport-level framing damage.
+fn serve_binary_frame(
+    cx: &ReactorCx,
+    writer: &Arc<ConnWriter>,
+    payload: &[u8],
+    idle_ns: u64,
+    arrived_ns: u64,
+) {
+    let handle = &cx.handle;
+    let (header, request) = match proto::decode_request(payload, &cx.space) {
+        Ok(decoded) => decoded,
+        Err(msg) => {
+            writer.write_frame(&proto::encode_error_response(
+                binary_op_hint(payload),
+                binary_req_id_hint(payload),
+                ErrorCode::BadRequest,
+                msg,
+            ));
+            return;
+        }
+    };
+    // Binary tracing is strictly opt-in per request (`FLAG_TRACED`):
+    // pipelined hot paths stay trace-free unless the caller asks.
+    let trace =
+        if handle.trace_enabled() { request.trace_id().and_then(TraceId::from_wire) } else { None };
+    if let Some(id) = trace {
+        handle.trace_phase(id, Phase::Accept, idle_ns, arrived_ns);
+        handle.trace_phase(id, Phase::FrameRead, arrived_ns, arrived_ns);
+        handle.trace_phase(id, Phase::Parse, arrived_ns, epoch_ns());
+    }
+    let req_id = header.req_id;
+    match request {
+        proto::Request::Hello { max } => {
+            writer.write_frame(&proto::encode_hello_response(
+                req_id,
+                max.clamp(1, proto::PROTOCOL_V3),
+            ));
+        }
+        proto::Request::Ping => {
+            writer.write_frame(&proto::encode_ping_response(
+                req_id,
+                handle.version(),
+                handle.swap_count(),
+            ));
+        }
+        proto::Request::Recommend { app, data, cluster, k, seed, .. } => {
+            let cluster = match proto::resolve_cluster(&cluster) {
+                Ok(c) => c,
+                Err(msg) => {
+                    writer.write_frame(&proto::encode_error_response(
+                        OpCode::Recommend,
+                        req_id,
+                        ErrorCode::BadRequest,
+                        &msg,
+                    ));
+                    return;
+                }
+            };
+            writer.in_flight.fetch_add(1, Ordering::AcqRel);
+            let h = handle.clone();
+            let w = writer.clone();
+            handle.submit_recommend(
+                app,
+                &data,
+                &cluster,
+                k,
+                seed,
+                handle.default_deadline(),
+                trace,
+                RecommendReply::Callback(Box::new(move |outcome, sent_ns, shard| {
+                    if let Some(id) = trace {
+                        if sent_ns != 0 {
+                            h.trace_respond(id, sent_ns, epoch_ns(), shard);
+                        }
+                    }
+                    let serialize_start_ns = if trace.is_some() { epoch_ns() } else { 0 };
+                    let frame = match &outcome {
+                        Ok(resp) => {
+                            proto::encode_recommend_response(req_id, trace.map(TraceId::raw), resp)
+                        }
+                        Err(err) => proto::encode_error_response(
+                            OpCode::Recommend,
+                            req_id,
+                            error_code(err),
+                            &err.to_string(),
+                        ),
+                    };
+                    if let Some(id) = trace {
+                        h.trace_phase(id, Phase::Serialize, serialize_start_ns, epoch_ns());
+                    }
+                    let write_start_ns = if trace.is_some() { epoch_ns() } else { 0 };
+                    w.write_frame(&frame);
+                    if let Some(id) = trace {
+                        let done_ns = epoch_ns();
+                        h.trace_phase(id, Phase::Write, write_start_ns, done_ns);
+                        h.trace_complete(id, done_ns.saturating_sub(arrived_ns));
+                    }
+                    w.in_flight.fetch_sub(1, Ordering::AcqRel);
+                })),
+            );
+        }
+        proto::Request::Observe { app, data, cluster, conf, result } => {
+            let cluster = match proto::resolve_cluster(&cluster) {
+                Ok(c) => c,
+                Err(msg) => {
+                    writer.write_frame(&proto::encode_error_response(
+                        OpCode::Observe,
+                        req_id,
+                        ErrorCode::BadRequest,
+                        &msg,
+                    ));
+                    return;
+                }
+            };
+            writer.in_flight.fetch_add(1, Ordering::AcqRel);
+            let w = writer.clone();
+            handle.submit_observe(
+                app,
+                &data,
+                &cluster,
+                &conf,
+                result,
+                ObserveReply::Callback(Box::new(move |outcome| {
+                    let frame = match outcome {
+                        Ok(feedback) => proto::encode_observe_response(req_id, feedback),
+                        Err(err) => proto::encode_error_response(
+                            OpCode::Observe,
+                            req_id,
+                            error_code(&err),
+                            &err.to_string(),
+                        ),
+                    };
+                    w.write_frame(&frame);
+                    w.in_flight.fetch_sub(1, Ordering::AcqRel);
+                })),
+            );
+        }
+        proto::Request::Retrieve { target, data, cluster, k, .. } => {
+            let outcome = binary_retrieve(handle, &target, &data, &cluster, k, trace);
+            let frame = match outcome {
+                Ok(resp) => proto::encode_retrieve_response(req_id, trace.map(TraceId::raw), &resp),
+                Err((code, msg)) => {
+                    proto::encode_error_response(OpCode::Retrieve, req_id, code, &msg)
+                }
+            };
+            let write_start_ns = if trace.is_some() { epoch_ns() } else { 0 };
+            writer.write_frame(&frame);
+            if let Some(id) = trace {
+                let done_ns = epoch_ns();
+                handle.trace_phase(id, Phase::Write, write_start_ns, done_ns);
+                handle.trace_complete(id, done_ns.saturating_sub(arrived_ns));
+            }
+        }
+        proto::Request::Analyze { target } => {
+            let outcome = match &target {
+                proto::AnalyzeTarget::App(app) => {
+                    let iters =
+                        app.dataset(lite_workloads::data::SizeTier::Train(0)).iterations.max(1);
+                    run_analyze(app.main_source(), iters)
+                }
+                proto::AnalyzeTarget::Source { source, iterations } => {
+                    run_analyze(source, (*iterations).max(1))
+                }
+            };
+            write_binary_admin(writer, OpCode::Analyze, req_id, outcome);
+        }
+        proto::Request::Profile { k } => {
+            write_binary_admin(
+                writer,
+                OpCode::Profile,
+                req_id,
+                wire_profile(handle, k.clamp(1, 64)),
+            );
+        }
+        proto::Request::Stats => {
+            write_binary_admin(writer, OpCode::Stats, req_id, Ok(stats_with_planes(handle)));
+        }
+        proto::Request::Metrics => {
+            let doc = Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("content_type", Json::from("text/plain; version=0.0.4")),
+                ("body", Json::from(handle.prometheus().as_str())),
+            ]);
+            write_binary_admin(writer, OpCode::Metrics, req_id, Ok(doc));
+        }
+        proto::Request::Trace => {
+            let (trace_doc, dropped) = handle.trace_json_capped(MAX_FRAME as usize / 2);
+            let doc = Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("trace", trace_doc),
+                ("dropped_spans", Json::from(dropped)),
+            ]);
+            write_binary_admin(writer, OpCode::Trace, req_id, Ok(doc));
+        }
+        proto::Request::Health => {
+            let doc = Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("status", Json::from("ok")),
+                ("version", Json::from(handle.version())),
+                ("uptime_s", Json::Num(handle.stats().uptime_s)),
+            ]);
+            write_binary_admin(writer, OpCode::Health, req_id, Ok(doc));
+        }
+        proto::Request::Tailtrace => {
+            let (completed, captured) = handle.tail_totals();
+            let doc = tailtrace_to_json(
+                handle.tail_exemplars(),
+                completed,
+                captured,
+                MAX_FRAME as usize / 2,
+            );
+            write_binary_admin(writer, OpCode::Tailtrace, req_id, Ok(doc));
+        }
+        proto::Request::Slo => {
+            write_binary_admin(writer, OpCode::Slo, req_id, wire_slo(handle));
+        }
+    }
+}
+
+/// The binary `retrieve` path, mirroring [`wire_retrieve`]'s semantics
+/// over typed fields.
+fn binary_retrieve(
+    handle: &ServiceHandle,
+    target: &proto::RetrieveTarget,
+    data: &DataSpec,
+    cluster: &proto::ClusterRef,
+    k: usize,
+    trace: Option<TraceId>,
+) -> Result<RetrieveResponse, (ErrorCode, String)> {
+    if !handle.retrieval_enabled() {
+        return Err((ErrorCode::BadRequest, "retrieval not enabled on this server".to_string()));
+    }
+    let cluster = proto::resolve_cluster(cluster).map_err(|m| (ErrorCode::BadRequest, m))?;
+    let k = k.clamp(1, 64);
+    let outcome = match target {
+        proto::RetrieveTarget::App(app) => match trace {
+            Some(id) => handle.retrieve_traced(*app, data, &cluster, k, id),
+            None => handle.retrieve(*app, data, &cluster, k),
+        },
+        proto::RetrieveTarget::Source(src) => handle.retrieve_source(src, data, &cluster, k, trace),
+    };
+    outcome.map_err(|err| (error_code(&err), err.to_string()))
+}
+
+/// Write one admin-op outcome as a binary frame: success docs travel as
+/// rendered JSON bodies, failures as error frames.
+fn write_binary_admin(
+    writer: &ConnWriter,
+    op: OpCode,
+    req_id: u32,
+    outcome: Result<Json, (ErrorCode, String)>,
+) {
+    let frame = match outcome {
+        Ok(doc) => proto::encode_admin_response(op, req_id, &doc),
+        Err((code, msg)) => proto::encode_error_response(op, req_id, code, &msg),
+    };
+    writer.write_frame(&frame);
 }
 
 /// The trace id a parsed request should be recorded under, when the
@@ -580,7 +1255,10 @@ fn dispatch(
             // peers get a clean refusal, never a new v1 success shape.
             Err((ErrorCode::BadRequest, "profile requires protocol v2".to_string()))
         }
-        Some(OpCode::Profile) => wire_profile(handle, request),
+        Some(OpCode::Profile) => {
+            let k = request.get("k").and_then(Json::as_u64).unwrap_or(10).clamp(1, 64) as usize;
+            wire_profile(handle, k)
+        }
         Some(OpCode::Slo) if !v2 => {
             Err((ErrorCode::BadRequest, "slo requires protocol v2".to_string()))
         }
@@ -707,7 +1385,13 @@ fn wire_analyze(request: &Json) -> WireResult {
         .get("iterations")
         .and_then(Json::as_u64)
         .map_or(default_iters, |i| i.min(u64::from(u32::MAX)) as u32);
-    match lite_analyze::extract_stages(&source, lite_analyze::ExtractOptions { iterations }) {
+    run_analyze(&source, iterations)
+}
+
+/// Run the static stage extraction both front-ends (JSON `analyze` and
+/// the v3 binary op) share.
+fn run_analyze(source: &str, iterations: u32) -> WireResult {
+    match lite_analyze::extract_stages(source, lite_analyze::ExtractOptions { iterations }) {
         Ok(ex) => Ok(extraction_to_json(&ex)),
         Err(e) => Err((ErrorCode::BadRequest, e.to_string())),
     }
@@ -827,8 +1511,7 @@ fn retrieve_to_json(resp: &RetrieveResponse) -> Json {
     ])
 }
 
-fn wire_profile(handle: &ServiceHandle, request: &Json) -> WireResult {
-    let k = request.get("k").and_then(Json::as_u64).unwrap_or(10).clamp(1, 64) as usize;
+fn wire_profile(handle: &ServiceHandle, k: usize) -> WireResult {
     let Some(report) = handle.profile_report(k) else {
         return Err((ErrorCode::BadRequest, "profiling not enabled on this server".to_string()));
     };
@@ -1172,27 +1855,248 @@ fn parse_result(value: Option<&Json>) -> Result<RunResult, (ErrorCode, String)> 
 // ---------------------------------------------------------------------------
 // Client
 
-/// A blocking TCP client speaking the framed JSON protocol. Connects as
-/// v1; [`negotiate`](Client::negotiate) upgrades to the highest protocol
-/// version both sides speak, after which every request uses the v2
-/// envelope transparently.
+/// Builder for a [`Client`]: protocol ceiling, pipelining depth, and
+/// per-request trace opt-in, with graceful fallback to JSON against
+/// pre-v3 servers.
+///
+/// ```no_run
+/// use lite_serve::net::ClientBuilder;
+/// let client = ClientBuilder::new()
+///     .pipeline_depth(64)
+///     .trace(true)
+///     .connect("127.0.0.1:7878")?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    protocol: u64,
+    pipeline_depth: usize,
+    trace: bool,
+}
+
+impl Default for ClientBuilder {
+    fn default() -> Self {
+        ClientBuilder::new()
+    }
+}
+
+impl ClientBuilder {
+    /// Defaults: newest protocol (v3 binary, falling back to the highest
+    /// JSON version the server speaks), pipeline depth 32, tracing off.
+    pub fn new() -> ClientBuilder {
+        ClientBuilder { protocol: proto::PROTOCOL_V3, pipeline_depth: 32, trace: false }
+    }
+
+    /// Cap the protocol version: `1`/`2` force the JSON envelopes, `3`
+    /// (the default) negotiates the binary protocol when the server
+    /// speaks it.
+    pub fn protocol(mut self, version: u64) -> ClientBuilder {
+        self.protocol = version.max(1);
+        self
+    }
+
+    /// Client-side pipelining window for [`Client::pipeline`]: at most
+    /// this many v3 requests are in flight on the connection at once.
+    pub fn pipeline_depth(mut self, depth: usize) -> ClientBuilder {
+        self.pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// Opt hot requests into tail-forensics tracing: `recommend` and
+    /// `retrieve` requests without an explicit trace id get a generated
+    /// one (v2's implicit server-side tracing is unchanged).
+    pub fn trace(mut self, on: bool) -> ClientBuilder {
+        self.trace = on;
+        self
+    }
+
+    /// Connect and negotiate. With the default protocol ceiling this
+    /// sends a binary `hello` first; a pre-v3 server answers it with a
+    /// JSON `bad_request` (the magic byte is not valid UTF-8), which the
+    /// client detects and falls back to JSON negotiation on the same
+    /// connection.
+    pub fn connect<A: ToSocketAddrs>(self, addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Client {
+            stream,
+            version: 1,
+            pipeline_depth: self.pipeline_depth,
+            trace: self.trace,
+            space: ConfSpace::table_iv(),
+            next_req: 0,
+        };
+        if self.protocol >= proto::PROTOCOL_V3 {
+            let hello = proto::Request::Hello { max: self.protocol };
+            write_frame(&mut client.stream, &proto::encode_request(&hello, 0))?;
+            let payload = read_frame(&mut client.stream)?.ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed")
+            })?;
+            if payload.first() == Some(&proto::V3_MAGIC) {
+                let (_, resp) = proto::decode_response(&payload, &client.space)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+                if let proto::Response::Hello { v } = resp {
+                    client.version = v.clamp(1, proto::PROTOCOL_V3);
+                } else {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "unexpected binary hello response",
+                    ));
+                }
+            } else {
+                // Pre-v3 server: it answered the binary frame with a JSON
+                // bad_request and kept the connection open. Fall back.
+                client.negotiate()?;
+            }
+        } else if self.protocol >= 2 {
+            client.negotiate()?;
+        }
+        Ok(client)
+    }
+}
+
+/// A blocking TCP client for the serve plane. [`ClientBuilder`] is the
+/// full-featured entry point (binary v3 with pipelining and JSON
+/// fallback); [`connect`](Client::connect) gives the legacy v1 JSON
+/// client, upgradable with [`negotiate`](Client::negotiate).
+///
+/// [`call`](Client::call) is the typed API: one [`proto::Request`] in,
+/// one [`proto::Response`] out, encoded under whatever protocol version
+/// the connection negotiated. The historical per-operation methods
+/// survive as deprecated wrappers for one release.
 pub struct Client {
     stream: TcpStream,
     version: u64,
+    pipeline_depth: usize,
+    trace: bool,
+    space: ConfSpace,
+    next_req: u32,
 }
 
 impl Client {
-    /// Connect to a [`TcpServer`].
+    /// Connect to a [`TcpServer`] as a v1 JSON client (no negotiation);
+    /// use [`ClientBuilder`] for v3. Kept ungated because the wire-pin
+    /// tests rely on a pristine v1 connection.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream, version: 1 })
+        Ok(Client {
+            stream,
+            version: 1,
+            pipeline_depth: 1,
+            trace: false,
+            space: ConfSpace::table_iv(),
+            next_req: 0,
+        })
     }
 
     /// The protocol version requests are encoded with (1 until a
-    /// successful [`negotiate`](Client::negotiate)).
+    /// successful [`negotiate`](Client::negotiate) or a v3 handshake via
+    /// [`ClientBuilder::connect`]).
     pub fn protocol_version(&self) -> u64 {
         self.version
+    }
+
+    /// Send one typed request and block for its typed response.
+    ///
+    /// On a v3 connection the request travels as a binary frame; on v1/v2
+    /// it is encoded as the byte-identical JSON document the legacy
+    /// per-op methods produced, and the response document is decoded into
+    /// the same [`proto::Response`] shape — callers never branch on the
+    /// negotiated version.
+    pub fn call(&mut self, request: &proto::Request) -> std::io::Result<proto::Response> {
+        let request = self.stamped(request);
+        if self.version >= proto::PROTOCOL_V3 {
+            let req_id = self.next_req_id();
+            write_frame(&mut self.stream, &proto::encode_request(&request, req_id))?;
+            loop {
+                let payload = self.read_response_payload()?;
+                let (rid, resp) = proto::decode_response(&payload, &self.space)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+                if rid == req_id {
+                    return Ok(resp);
+                }
+                // A stale response from an abandoned pipeline: skip it.
+            }
+        }
+        let doc = request.to_json(self.version);
+        let resp = self.request(&doc)?;
+        Ok(proto::Response::from_json(request.op(), &resp, &self.space))
+    }
+
+    /// Send a batch of typed requests over one connection, keeping up to
+    /// the configured [`pipeline depth`](ClientBuilder::pipeline_depth)
+    /// in flight, and return the responses in request order.
+    ///
+    /// v3 connections genuinely pipeline (responses are correlated by
+    /// request id, so server-side completion order does not matter); on
+    /// v1/v2 this degrades to a serial loop.
+    pub fn pipeline(
+        &mut self,
+        requests: &[proto::Request],
+    ) -> std::io::Result<Vec<proto::Response>> {
+        if self.version < proto::PROTOCOL_V3 || requests.len() <= 1 {
+            return requests.iter().map(|r| self.call(r)).collect();
+        }
+        let n = requests.len();
+        let first_id = self.next_req.wrapping_add(1);
+        let mut out: Vec<Option<proto::Response>> = (0..n).map(|_| None).collect();
+        let mut sent = 0usize;
+        let mut received = 0usize;
+        while received < n {
+            while sent < n && sent - received < self.pipeline_depth {
+                let request = self.stamped(&requests[sent]);
+                let req_id = self.next_req_id();
+                write_frame(&mut self.stream, &proto::encode_request(&request, req_id))?;
+                sent += 1;
+            }
+            let payload = self.read_response_payload()?;
+            let (rid, resp) = proto::decode_response(&payload, &self.space)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            let idx = rid.wrapping_sub(first_id) as usize;
+            if idx < n && out[idx].is_none() {
+                out[idx] = Some(resp);
+                received += 1;
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or(proto::Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "response missing from pipeline".to_string(),
+                })
+            })
+            .collect())
+    }
+
+    fn next_req_id(&mut self) -> u32 {
+        self.next_req = self.next_req.wrapping_add(1);
+        self.next_req
+    }
+
+    fn read_response_payload(&mut self) -> std::io::Result<Vec<u8>> {
+        read_frame(&mut self.stream)?
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed"))
+    }
+
+    /// Apply the builder's trace opt-in: hot requests without an explicit
+    /// trace id get a generated one (only meaningful from v2 up — v1
+    /// frames cannot carry the id).
+    fn stamped(&mut self, request: &proto::Request) -> proto::Request {
+        let mut request = request.clone();
+        if self.trace && self.version >= 2 {
+            match &mut request {
+                proto::Request::Recommend { trace, .. }
+                | proto::Request::Retrieve { trace, .. }
+                    if trace.is_none() =>
+                {
+                    *trace = Some(TraceId::generate().raw());
+                }
+                _ => {}
+            }
+        }
+        request
     }
 
     /// `hello`: negotiate the protocol version. The server answers
@@ -1207,10 +2111,13 @@ impl Client {
         Ok(self.version)
     }
 
-    /// Encode an operation under the negotiated protocol version.
+    /// Encode an operation under the negotiated protocol version (a v3
+    /// connection still encodes JSON documents as v2 — the binary version
+    /// never appears in a JSON envelope).
     fn op_frame(&self, op: OpCode, mut fields: Vec<(&str, Json)>) -> Json {
-        let mut pairs = if self.version >= 2 {
-            vec![("v", Json::from(self.version)), ("o", Json::from(u64::from(op.code())))]
+        let version = self.version.min(PROTOCOL_VERSION);
+        let mut pairs = if version >= 2 {
+            vec![("v", Json::from(version)), ("o", Json::from(u64::from(op.code())))]
         } else {
             vec![("op", Json::from(op.name()))]
         };
@@ -1237,6 +2144,7 @@ impl Client {
     }
 
     /// `ping`: the serving model version.
+    #[deprecated(note = "use Client::call with proto::Request::Ping")]
     pub fn ping(&mut self) -> std::io::Result<u64> {
         let resp = self.request_op(OpCode::Ping, Vec::new())?;
         resp.get("version").and_then(Json::as_u64).ok_or_else(|| {
@@ -1246,6 +2154,7 @@ impl Client {
 
     /// `recommend` against a preset cluster; returns the raw response
     /// document (check `"ok"`).
+    #[deprecated(note = "use Client::call with proto::Request::Recommend")]
     pub fn recommend(
         &mut self,
         app: AppId,
@@ -1271,6 +2180,7 @@ impl Client {
     /// request's path under `trace_id` when tail forensics is enabled and
     /// echoes the id as `"t"` in the response.
     #[allow(clippy::too_many_arguments)]
+    #[deprecated(note = "use Client::call with proto::Request::Recommend")]
     pub fn recommend_traced(
         &mut self,
         app: AppId,
@@ -1295,6 +2205,7 @@ impl Client {
 
     /// `observe` an executed configuration's outcome against a preset
     /// cluster; returns the raw response document.
+    #[deprecated(note = "use Client::call with proto::Request::Observe")]
     pub fn observe(
         &mut self,
         app: AppId,
@@ -1316,11 +2227,13 @@ impl Client {
     }
 
     /// `stats`: the operational summary document (check `"ok"`).
+    #[deprecated(note = "use Client::call with proto::Request::Stats")]
     pub fn stats(&mut self) -> std::io::Result<Json> {
         self.request_op(OpCode::Stats, Vec::new())
     }
 
     /// `metrics`: the Prometheus text exposition body.
+    #[deprecated(note = "use Client::call with proto::Request::Metrics")]
     pub fn metrics_text(&mut self) -> std::io::Result<String> {
         let resp = self.request_op(OpCode::Metrics, Vec::new())?;
         resp.get("body").and_then(Json::as_str).map(str::to_string).ok_or_else(|| {
@@ -1330,6 +2243,7 @@ impl Client {
 
     /// `trace`: the Chrome trace-event document (save to a `.json` file
     /// and open in Perfetto).
+    #[deprecated(note = "use Client::call with proto::Request::Trace")]
     pub fn trace(&mut self) -> std::io::Result<Json> {
         let resp = self.request_op(OpCode::Trace, Vec::new())?;
         resp.get("trace").cloned().ok_or_else(|| {
@@ -1339,18 +2253,21 @@ impl Client {
 
     /// `tailtrace`: the slow-request exemplar reservoir (check `"ok"`;
     /// `"exemplars"` is the slowest-first list with per-phase spans).
+    #[deprecated(note = "use Client::call with proto::Request::Tailtrace")]
     pub fn tailtrace(&mut self) -> std::io::Result<Json> {
         self.request_op(OpCode::Tailtrace, Vec::new())
     }
 
     /// `analyze`: statically extract a named workload's stage templates
     /// and lint diagnostics — the zero-run cold-start onboarding probe.
+    #[deprecated(note = "use Client::call with proto::Request::Analyze")]
     pub fn analyze(&mut self, app: AppId) -> std::io::Result<Json> {
         self.request_op(OpCode::Analyze, vec![("app", Json::from(app.name()))])
     }
 
     /// `analyze` submitted source text directly, with an explicit
     /// iteration count for iterative pipelines.
+    #[deprecated(note = "use Client::call with proto::Request::Analyze")]
     pub fn analyze_source(&mut self, source: &str, iterations: u32) -> std::io::Result<Json> {
         self.request_op(
             OpCode::Analyze,
@@ -1362,6 +2279,7 @@ impl Client {
     /// target data/cluster scale, with scale-adapted candidate confs
     /// (v2 only — v1 peers are refused with `BadRequest`). Returns the
     /// raw response document (check `"ok"`).
+    #[deprecated(note = "use Client::call with proto::Request::Retrieve")]
     pub fn retrieve(
         &mut self,
         app: AppId,
@@ -1383,6 +2301,7 @@ impl Client {
     /// `retrieve` for submitted source text: the zero-execution cold-start
     /// path — the server embeds the source statically and searches the
     /// run index without ever running the job.
+    #[deprecated(note = "use Client::call with proto::Request::Retrieve")]
     pub fn retrieve_source(
         &mut self,
         source: &str,
@@ -1405,17 +2324,20 @@ impl Client {
     /// table, folded stacks, allocation attribution (v2 only — v1 peers
     /// are refused with `BadRequest`). Returns the raw response document
     /// (check `"ok"`).
+    #[deprecated(note = "use Client::call with proto::Request::Profile")]
     pub fn profile(&mut self, k: usize) -> std::io::Result<Json> {
         self.request_op(OpCode::Profile, vec![("k", Json::from(k))])
     }
 
     /// `slo`: the burn-rate SLO status — windowed quantiles, burn rates,
     /// alert state (v2 only). Returns the raw response document.
+    #[deprecated(note = "use Client::call with proto::Request::Slo")]
     pub fn slo(&mut self) -> std::io::Result<Json> {
         self.request_op(OpCode::Slo, Vec::new())
     }
 
     /// `health`: `Ok(version)` when the server answers `status: "ok"`.
+    #[deprecated(note = "use Client::call with proto::Request::Health")]
     pub fn health(&mut self) -> std::io::Result<u64> {
         let resp = self.request_op(OpCode::Health, Vec::new())?;
         match (resp.get("status").and_then(Json::as_str), resp.get("version")) {

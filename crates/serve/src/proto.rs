@@ -1,0 +1,1160 @@
+//! The typed request/response surface and the protocol v3 binary codec.
+//!
+//! One [`Request`]/[`Response`] enum pair covers every operation the serve
+//! plane speaks — recommend/observe/retrieve plus the admin family — and
+//! both codecs serialize it: the JSON envelopes (v1/v2, byte-identical to
+//! the historical per-method client shims) and the v3 binary frames. The
+//! [`Client`](crate::net::Client) calls [`Request::to_json`] or
+//! [`encode_request`] depending on the negotiated version; the server's
+//! reactor decodes v3 frames with [`decode_request`] and answers with the
+//! `encode_*_response` family.
+//!
+//! ## v3 frame layout
+//!
+//! A v3 frame rides inside the same outer transport framing as JSON (a
+//! 4-byte big-endian payload length), distinguished by its first payload
+//! byte: JSON documents start with `{` (0x7B), v3 frames with the magic
+//! byte 0xB3. The payload is a fixed 16-byte little-endian header followed
+//! by an op-specific body:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     magic 0xB3
+//! 1       1     protocol version (3)
+//! 2       1     op code (the shared OpCode table)
+//! 3       1     flags: bit0 = traced, bit1 = error response
+//! 4       4     request id (u32 LE) — pipelining correlation tag
+//! 8       8     trace id (u64 LE; meaningful when bit0 is set)
+//! 16      ...   body
+//! ```
+//!
+//! Hot ops (recommend/observe/retrieve, plus ping/hello) use fixed binary
+//! body layouts decoded by bounds-checked slice views — no intermediate
+//! JSON value exists on the hot path. Admin responses (stats, metrics,
+//! trace, health, analyze, tailtrace, profile, slo) carry the rendered v2
+//! JSON success document as the body: those ops are not hot, and reusing
+//! the JSON renderers keeps one source of truth for their shapes. Error
+//! responses set flags bit1 and carry `code:u8` + UTF-8 message.
+//!
+//! Multi-byte integers and floats are little-endian throughout the body;
+//! floats travel as `f64` bit patterns. Strings are length-prefixed
+//! (u16 for names, u32 for source text). A decoder rejects any frame with
+//! trailing bytes, so round-trips are bit-exact.
+
+use lite_core::recommend::RankedCandidate;
+use lite_obs::Json;
+use lite_sparksim::cluster::ClusterSpec;
+use lite_sparksim::conf::{ConfSpace, SparkConf, NUM_KNOBS};
+use lite_sparksim::result::{FailureReason, RunResult, StageStats};
+use lite_workloads::apps::AppId;
+use lite_workloads::data::DataSpec;
+
+use crate::net::{data_to_json, result_to_json, ErrorCode, OpCode, PROTOCOL_VERSION};
+use crate::service::{RecommendResponse, RetrieveResponse};
+
+/// First payload byte of a v3 binary frame (never a valid JSON start).
+pub const V3_MAGIC: u8 = 0xB3;
+
+/// The binary protocol version negotiated by a binary `hello`.
+pub const PROTOCOL_V3: u64 = 3;
+
+/// Fixed v3 header size, bytes.
+pub const V3_HEADER: usize = 16;
+
+/// Header flag: the request carries a trace id / the response echoes one.
+pub const FLAG_TRACED: u8 = 1;
+
+/// Header flag: the response is an error frame (`code:u8` + message body).
+pub const FLAG_ERROR: u8 = 2;
+
+// ---------------------------------------------------------------------------
+// Typed surface
+
+/// A cluster reference: a server-known preset name, or a full
+/// specification for clusters the server has never seen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterRef {
+    /// A preset name (`"cluster-a"`/`"cluster-b"`/`"cluster-c"`).
+    Preset(String),
+    /// A full Table III specification.
+    Spec(ClusterSpec),
+}
+
+impl ClusterRef {
+    /// Wrap a [`ClusterSpec`], collapsing to the preset name when the spec
+    /// is one of the evaluation presets (keeps JSON encodings minimal).
+    pub fn from_spec(spec: &ClusterSpec) -> ClusterRef {
+        for preset in ClusterSpec::all_evaluation_clusters() {
+            if preset == *spec {
+                return ClusterRef::Preset(preset.name.clone());
+            }
+        }
+        ClusterRef::Spec(spec.clone())
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            ClusterRef::Preset(name) => Json::from(name.as_str()),
+            ClusterRef::Spec(c) => Json::obj(vec![
+                ("name", Json::from(c.name.as_str())),
+                ("nodes", Json::from(u64::from(c.nodes))),
+                ("cores_per_node", Json::from(u64::from(c.cores_per_node))),
+                ("cpu_ghz", Json::Num(c.cpu_ghz)),
+                ("mem_gb_per_node", Json::Num(c.mem_gb_per_node)),
+                ("mem_mts", Json::Num(c.mem_mts)),
+                ("net_gbps", Json::Num(c.net_gbps)),
+            ]),
+        }
+    }
+}
+
+/// What a `retrieve` searches by: a server-known app, or raw source text
+/// the server embeds statically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetrieveTarget {
+    /// Nearest runs for a named workload.
+    App(AppId),
+    /// Nearest runs for submitted source text (zero-execution cold start).
+    Source(String),
+}
+
+/// What an `analyze` extracts from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalyzeTarget {
+    /// A named workload's bundled source.
+    App(AppId),
+    /// Submitted source text with an explicit iteration count.
+    Source {
+        /// The application source to extract stages from.
+        source: String,
+        /// Iteration count for iterative pipelines.
+        iterations: u32,
+    },
+}
+
+/// Every operation the serve plane accepts, as one typed enum. Encoded by
+/// [`Request::to_json`] (v1/v2) or [`encode_request`] (v3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness + serving version.
+    Ping,
+    /// Version negotiation: the highest protocol version the client speaks.
+    Hello {
+        /// Client's maximum supported protocol version.
+        max: u64,
+    },
+    /// Top-k recommendation.
+    Recommend {
+        /// Target workload.
+        app: AppId,
+        /// Target data scale.
+        data: DataSpec,
+        /// Target cluster.
+        cluster: ClusterRef,
+        /// How many candidates to return.
+        k: usize,
+        /// Candidate-sampling seed.
+        seed: u64,
+        /// Optional nonzero trace id for tail forensics.
+        trace: Option<u64>,
+    },
+    /// Executed-configuration feedback.
+    Observe {
+        /// Workload that ran.
+        app: AppId,
+        /// Data scale it ran at.
+        data: DataSpec,
+        /// Cluster it ran on.
+        cluster: ClusterRef,
+        /// The configuration that was executed.
+        conf: SparkConf,
+        /// The observed outcome.
+        result: Box<RunResult>,
+    },
+    /// Zero-execution cold-start retrieval (protocol v2+).
+    Retrieve {
+        /// What to search by.
+        target: RetrieveTarget,
+        /// Target data scale.
+        data: DataSpec,
+        /// Target cluster.
+        cluster: ClusterRef,
+        /// How many neighbors to retrieve.
+        k: usize,
+        /// Optional nonzero trace id for tail forensics.
+        trace: Option<u64>,
+    },
+    /// Static stage extraction + lints.
+    Analyze {
+        /// What to extract from.
+        target: AnalyzeTarget,
+    },
+    /// Sampling-profiler report (protocol v2+).
+    Profile {
+        /// Top-k tags to report.
+        k: usize,
+    },
+    /// Operational summary.
+    Stats,
+    /// Prometheus text exposition.
+    Metrics,
+    /// Chrome trace-event JSON.
+    Trace,
+    /// Probe endpoint.
+    Health,
+    /// Slow-request exemplars.
+    Tailtrace,
+    /// Burn-rate SLO status (protocol v2+).
+    Slo,
+}
+
+impl Request {
+    /// The operation this request performs.
+    pub fn op(&self) -> OpCode {
+        match self {
+            Request::Ping => OpCode::Ping,
+            Request::Hello { .. } => OpCode::Hello,
+            Request::Recommend { .. } => OpCode::Recommend,
+            Request::Observe { .. } => OpCode::Observe,
+            Request::Retrieve { .. } => OpCode::Retrieve,
+            Request::Analyze { .. } => OpCode::Analyze,
+            Request::Profile { .. } => OpCode::Profile,
+            Request::Stats => OpCode::Stats,
+            Request::Metrics => OpCode::Metrics,
+            Request::Trace => OpCode::Trace,
+            Request::Health => OpCode::Health,
+            Request::Tailtrace => OpCode::Tailtrace,
+            Request::Slo => OpCode::Slo,
+        }
+    }
+
+    /// The trace id riding with this request, if any.
+    pub fn trace_id(&self) -> Option<u64> {
+        match self {
+            Request::Recommend { trace, .. } | Request::Retrieve { trace, .. } => *trace,
+            _ => None,
+        }
+    }
+
+    /// Encode as a v1 (`version == 1`) or v2 (`version >= 2`) JSON
+    /// document, byte-identical to what the historical per-method client
+    /// shims produced: the envelope first (`"op"` by name for v1,
+    /// `"v"`/`"o"` numeric for v2), then the payload fields in their
+    /// pinned order, with the optional `"t"` trace id leading the payload.
+    pub fn to_json(&self, version: u64) -> Json {
+        let mut fields: Vec<(&str, Json)> = Vec::new();
+        match self {
+            Request::Ping
+            | Request::Stats
+            | Request::Metrics
+            | Request::Trace
+            | Request::Health
+            | Request::Tailtrace
+            | Request::Slo => {}
+            Request::Hello { max } => fields.push(("max", Json::from(*max))),
+            Request::Recommend { app, data, cluster, k, seed, trace } => {
+                if let Some(t) = trace {
+                    if version >= 2 {
+                        fields.push(("t", Json::from(*t)));
+                    }
+                }
+                fields.push(("app", Json::from(app.name())));
+                fields.push(("data", data_to_json(data)));
+                fields.push(("cluster", cluster.to_json()));
+                fields.push(("k", Json::from(*k)));
+                fields.push(("seed", Json::from(*seed)));
+            }
+            Request::Observe { app, data, cluster, conf, result } => {
+                fields.push(("app", Json::from(app.name())));
+                fields.push(("data", data_to_json(data)));
+                fields.push(("cluster", cluster.to_json()));
+                fields.push((
+                    "conf",
+                    Json::Arr(conf.values().iter().map(|&v| Json::Num(v)).collect()),
+                ));
+                fields.push(("result", result_to_json(result)));
+            }
+            Request::Retrieve { target, data, cluster, k, trace } => {
+                if let Some(t) = trace {
+                    if version >= 2 {
+                        fields.push(("t", Json::from(*t)));
+                    }
+                }
+                match target {
+                    RetrieveTarget::App(app) => fields.push(("app", Json::from(app.name()))),
+                    RetrieveTarget::Source(src) => {
+                        fields.push(("source", Json::from(src.as_str())))
+                    }
+                }
+                fields.push(("data", data_to_json(data)));
+                fields.push(("cluster", cluster.to_json()));
+                fields.push(("k", Json::from(*k)));
+            }
+            Request::Analyze { target } => match target {
+                AnalyzeTarget::App(app) => fields.push(("app", Json::from(app.name()))),
+                AnalyzeTarget::Source { source, iterations } => {
+                    fields.push(("source", Json::from(source.as_str())));
+                    fields.push(("iterations", Json::from(u64::from(*iterations))));
+                }
+            },
+            Request::Profile { k } => fields.push(("k", Json::from(*k))),
+        }
+        let op = self.op();
+        let mut pairs = if version >= 2 {
+            vec![
+                ("v", Json::from(version.min(PROTOCOL_VERSION))),
+                ("o", Json::from(u64::from(op.code()))),
+            ]
+        } else {
+            vec![("op", Json::from(op.name()))]
+        };
+        pairs.append(&mut fields);
+        Json::obj(pairs)
+    }
+}
+
+/// A retrieval neighbor as the wire carries it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbor {
+    /// Application of the historical run.
+    pub app: AppId,
+    /// Embedding distance to the target.
+    pub distance: f64,
+    /// Historical runtime, seconds.
+    pub runtime_s: f64,
+    /// First-order runtime estimate of the adapted conf on the target.
+    pub estimate_s: f64,
+    /// The neighbor's conf adapted to the target scale.
+    pub conf: SparkConf,
+}
+
+/// Every answer the serve plane produces, as one typed enum.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `ping` answer.
+    Pong {
+        /// Serving model version.
+        version: u64,
+        /// Completed hot-swaps.
+        swaps: u64,
+    },
+    /// `hello` answer: the negotiated protocol version.
+    Hello {
+        /// Version the server chose (`min(client max, server max)`).
+        v: u64,
+    },
+    /// `recommend` answer.
+    Recommend {
+        /// Model version that produced every score.
+        version: u64,
+        /// Candidates answered from the prediction cache.
+        cached: usize,
+        /// Candidates scored through the batched NECS pass.
+        scored: usize,
+        /// Whether this is the degradation fallback.
+        degraded: bool,
+        /// Top-k candidates, best first.
+        ranked: Vec<RankedCandidate>,
+        /// Echo of the request's trace id, when the request was traced.
+        trace: Option<u64>,
+    },
+    /// `observe` answer: feedback-buffer size after extraction.
+    Observe {
+        /// Feedback instances waiting (or total observed, tuner backends).
+        feedback: usize,
+    },
+    /// `retrieve` answer.
+    Retrieve {
+        /// Historical runs in the index.
+        index: usize,
+        /// Index search time, nanoseconds.
+        search_ns: u64,
+        /// Raw neighbors, nearest first.
+        neighbors: Vec<Neighbor>,
+        /// Adapted candidates ranked best-first.
+        ranked: Vec<RankedCandidate>,
+        /// Echo of the request's trace id, when the request was traced.
+        trace: Option<u64>,
+    },
+    /// Any admin-op answer (stats, metrics, trace, health, analyze,
+    /// tailtrace, profile, slo): the raw success document.
+    Admin(Json),
+    /// A structured wire error.
+    Error {
+        /// The structured code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Whether this is a success response.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Response::Error { .. })
+    }
+
+    /// The raw response document, when this is an admin-op response.
+    pub fn into_admin(self) -> Option<Json> {
+        match self {
+            Response::Admin(doc) => Some(doc),
+            _ => None,
+        }
+    }
+
+    /// Decode a JSON response document for `op` into the typed enum.
+    /// Unrecognized success shapes fall back to [`Response::Admin`].
+    pub fn from_json(op: OpCode, doc: &Json, space: &ConfSpace) -> Response {
+        if doc.get("ok").and_then(Json::as_bool) == Some(false) {
+            let code = ErrorCode::from_response(doc).unwrap_or(ErrorCode::Internal);
+            let message =
+                doc.get("error").and_then(Json::as_str).unwrap_or("unknown error").to_string();
+            return Response::Error { code, message };
+        }
+        let u = |key: &str| doc.get(key).and_then(Json::as_u64);
+        match op {
+            OpCode::Ping => Response::Pong {
+                version: u("version").unwrap_or(0),
+                swaps: u("swaps").unwrap_or(0),
+            },
+            OpCode::Hello => Response::Hello { v: u("v").unwrap_or(1) },
+            OpCode::Recommend => Response::Recommend {
+                version: u("version").unwrap_or(0),
+                cached: u("cached").unwrap_or(0) as usize,
+                scored: u("scored").unwrap_or(0) as usize,
+                degraded: doc.get("degraded").and_then(Json::as_bool).unwrap_or(false),
+                ranked: parse_ranked(doc.get("ranked"), space),
+                trace: u("t"),
+            },
+            OpCode::Observe => Response::Observe { feedback: u("feedback").unwrap_or(0) as usize },
+            OpCode::Retrieve => Response::Retrieve {
+                index: u("index").unwrap_or(0) as usize,
+                search_ns: u("search_ns").unwrap_or(0),
+                neighbors: parse_neighbors(doc.get("neighbors"), space),
+                ranked: parse_ranked(doc.get("ranked"), space),
+                trace: u("t"),
+            },
+            _ => Response::Admin(doc.clone()),
+        }
+    }
+}
+
+fn parse_ranked(value: Option<&Json>, space: &ConfSpace) -> Vec<RankedCandidate> {
+    let Some(items) = value.and_then(Json::as_arr) else { return Vec::new() };
+    items
+        .iter()
+        .filter_map(|item| {
+            let conf = parse_conf_values(item.get("conf"), space)?;
+            let predicted_s = item.get("predicted_s").and_then(Json::as_f64)?;
+            Some(RankedCandidate { conf, predicted_s })
+        })
+        .collect()
+}
+
+fn parse_neighbors(value: Option<&Json>, space: &ConfSpace) -> Vec<Neighbor> {
+    let Some(items) = value.and_then(Json::as_arr) else { return Vec::new() };
+    items
+        .iter()
+        .filter_map(|item| {
+            let name = item.get("app").and_then(Json::as_str)?;
+            let app = AppId::all().iter().copied().find(|a| a.name() == name)?;
+            Some(Neighbor {
+                app,
+                distance: item.get("distance").and_then(Json::as_f64).unwrap_or(0.0),
+                runtime_s: item.get("runtime_s").and_then(Json::as_f64).unwrap_or(0.0),
+                estimate_s: item.get("estimate_s").and_then(Json::as_f64).unwrap_or(0.0),
+                conf: parse_conf_values(item.get("conf"), space)?,
+            })
+        })
+        .collect()
+}
+
+fn parse_conf_values(value: Option<&Json>, space: &ConfSpace) -> Option<SparkConf> {
+    let items = value.and_then(Json::as_arr)?;
+    if items.len() != NUM_KNOBS {
+        return None;
+    }
+    let mut values = [0.0f64; NUM_KNOBS];
+    for (i, item) in items.iter().enumerate() {
+        values[i] = item.as_f64()?;
+    }
+    Some(SparkConf::from_values(space, values))
+}
+
+// ---------------------------------------------------------------------------
+// Binary primitives
+
+/// Little-endian append-only encoder for v3 bodies.
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Enc {
+        Enc { buf: Vec::with_capacity(64) }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// A u16-length-prefixed short string (names); silently truncates past
+    /// 64 KiB, which no knob or preset name approaches.
+    fn name(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        let len = bytes.len().min(u16::MAX as usize);
+        self.u16(len as u16);
+        self.buf.extend_from_slice(&bytes[..len]);
+    }
+
+    /// A u32-length-prefixed long string (source text).
+    fn text(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        self.u32(bytes.len() as u32);
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Bounds-checked little-endian slice reader for v3 bodies. Every accessor
+/// returns a decode error instead of panicking, so torn and truncated
+/// frames surface as clean `bad_request`s.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+type DecResult<T> = Result<T, &'static str>;
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> DecResult<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        let Some(end) = end else { return Err("truncated v3 frame") };
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> DecResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> DecResult<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> DecResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> DecResult<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn f64(&mut self) -> DecResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn name(&mut self) -> DecResult<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map(str::to_string).map_err(|_| "non-utf8 string in v3 frame")
+    }
+
+    fn text(&mut self) -> DecResult<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map(str::to_string).map_err(|_| "non-utf8 string in v3 frame")
+    }
+
+    /// Declare decoding finished; trailing bytes are a protocol error.
+    fn finish(self) -> DecResult<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err("trailing bytes in v3 frame")
+        }
+    }
+}
+
+/// A parsed v3 frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct V3Header {
+    /// The operation.
+    pub op: OpCode,
+    /// Header flags ([`FLAG_TRACED`], [`FLAG_ERROR`]).
+    pub flags: u8,
+    /// Pipelining correlation tag; echoed verbatim in the response.
+    pub req_id: u32,
+    /// Trace id (meaningful when [`FLAG_TRACED`] is set).
+    pub trace_id: u64,
+}
+
+fn header_bytes(op: OpCode, flags: u8, req_id: u32, trace_id: u64) -> [u8; V3_HEADER] {
+    let mut h = [0u8; V3_HEADER];
+    h[0] = V3_MAGIC;
+    h[1] = PROTOCOL_V3 as u8;
+    h[2] = op.code();
+    h[3] = flags;
+    h[4..8].copy_from_slice(&req_id.to_le_bytes());
+    h[8..16].copy_from_slice(&trace_id.to_le_bytes());
+    h
+}
+
+/// Parse a v3 header from a frame payload. `Err` is a decode error fit for
+/// a `bad_request` message.
+pub fn parse_header(payload: &[u8]) -> Result<V3Header, &'static str> {
+    if payload.len() < V3_HEADER {
+        return Err("truncated v3 header");
+    }
+    if payload[0] != V3_MAGIC {
+        return Err("bad v3 magic");
+    }
+    if payload[1] != PROTOCOL_V3 as u8 {
+        return Err("unsupported binary protocol version");
+    }
+    let Some(op) = OpCode::from_code(u64::from(payload[2])) else {
+        return Err("unknown v3 op");
+    };
+    let req_id = u32::from_le_bytes([payload[4], payload[5], payload[6], payload[7]]);
+    let mut tid = [0u8; 8];
+    tid.copy_from_slice(&payload[8..16]);
+    Ok(V3Header { op, flags: payload[3], req_id, trace_id: u64::from_le_bytes(tid) })
+}
+
+// ---------------------------------------------------------------------------
+// Request codec
+
+fn enc_data(e: &mut Enc, data: &DataSpec) {
+    e.u64(data.rows);
+    e.u32(data.cols);
+    e.u32(data.iterations);
+    e.u32(data.partitions);
+    e.u64(data.bytes);
+}
+
+fn dec_data(d: &mut Dec) -> DecResult<DataSpec> {
+    Ok(DataSpec {
+        rows: d.u64()?,
+        cols: d.u32()?,
+        iterations: d.u32()?,
+        partitions: d.u32()?,
+        bytes: d.u64()?,
+    })
+}
+
+fn enc_cluster(e: &mut Enc, cluster: &ClusterRef) {
+    match cluster {
+        ClusterRef::Preset(name) => {
+            e.u8(0);
+            e.name(name);
+        }
+        ClusterRef::Spec(c) => {
+            e.u8(1);
+            e.name(&c.name);
+            e.u32(c.nodes);
+            e.u32(c.cores_per_node);
+            e.f64(c.cpu_ghz);
+            e.f64(c.mem_gb_per_node);
+            e.f64(c.mem_mts);
+            e.f64(c.net_gbps);
+        }
+    }
+}
+
+fn dec_cluster(d: &mut Dec) -> DecResult<ClusterRef> {
+    match d.u8()? {
+        0 => Ok(ClusterRef::Preset(d.name()?)),
+        1 => Ok(ClusterRef::Spec(ClusterSpec {
+            name: d.name()?,
+            nodes: d.u32()?,
+            cores_per_node: d.u32()?,
+            cpu_ghz: d.f64()?,
+            mem_gb_per_node: d.f64()?,
+            mem_mts: d.f64()?,
+            net_gbps: d.f64()?,
+        })),
+        _ => Err("bad cluster tag"),
+    }
+}
+
+fn enc_app(e: &mut Enc, app: AppId) {
+    e.u16(app.index() as u16);
+}
+
+fn dec_app(d: &mut Dec) -> DecResult<AppId> {
+    let idx = d.u16()? as usize;
+    AppId::all().get(idx).copied().ok_or("unknown app index")
+}
+
+fn enc_conf(e: &mut Enc, conf: &SparkConf) {
+    for &v in conf.values() {
+        e.f64(v);
+    }
+}
+
+fn dec_conf(d: &mut Dec, space: &ConfSpace) -> DecResult<SparkConf> {
+    let mut values = [0.0f64; NUM_KNOBS];
+    for v in values.iter_mut() {
+        *v = d.f64()?;
+    }
+    Ok(SparkConf::from_values(space, values))
+}
+
+fn enc_result(e: &mut Enc, result: &RunResult) {
+    e.f64(result.total_time_s);
+    e.u8(u8::from(result.failure.is_some()));
+    e.u32(result.executors);
+    e.u32(result.slots);
+    let n = result.stages.len().min(u16::MAX as usize);
+    e.u16(n as u16);
+    for s in &result.stages[..n] {
+        e.u32(s.stage_id as u32);
+        e.name(&s.name);
+        e.f64(s.duration_s);
+        e.u32(s.num_tasks);
+        e.u64(s.input_bytes);
+        e.u64(s.shuffle_read_bytes);
+        e.u64(s.shuffle_write_bytes);
+        e.u64(s.spill_bytes);
+        e.f64(s.gc_time_s);
+        e.u64(s.peak_task_memory);
+        e.f64(s.cached_fraction);
+    }
+}
+
+fn dec_result(d: &mut Dec) -> DecResult<RunResult> {
+    let total_time_s = d.f64()?;
+    let failed = d.u8()? != 0;
+    let executors = d.u32()?;
+    let slots = d.u32()?;
+    let n = d.u16()? as usize;
+    let mut stages = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        stages.push(StageStats {
+            stage_id: d.u32()? as usize,
+            name: d.name()?,
+            duration_s: d.f64()?,
+            num_tasks: d.u32()?,
+            input_bytes: d.u64()?,
+            shuffle_read_bytes: d.u64()?,
+            shuffle_write_bytes: d.u64()?,
+            spill_bytes: d.u64()?,
+            gc_time_s: d.f64()?,
+            peak_task_memory: d.u64()?,
+            cached_fraction: d.f64()?,
+            tasks: Vec::new(),
+        });
+    }
+    Ok(RunResult {
+        total_time_s,
+        stages,
+        // The wire carries only a failed flag, same as the JSON codec.
+        failure: failed.then_some(FailureReason::ExecutorOom),
+        executors,
+        slots,
+    })
+}
+
+/// Encode one request as a complete v3 frame payload (header + body).
+pub fn encode_request(req: &Request, req_id: u32) -> Vec<u8> {
+    let trace = req.trace_id();
+    let flags = if trace.is_some() { FLAG_TRACED } else { 0 };
+    let mut e = Enc::new();
+    e.buf.extend_from_slice(&header_bytes(req.op(), flags, req_id, trace.unwrap_or(0)));
+    match req {
+        Request::Ping
+        | Request::Stats
+        | Request::Metrics
+        | Request::Trace
+        | Request::Health
+        | Request::Tailtrace
+        | Request::Slo => {}
+        Request::Hello { max } => e.u64(*max),
+        Request::Recommend { app, data, cluster, k, seed, trace: _ } => {
+            enc_app(&mut e, *app);
+            enc_data(&mut e, data);
+            enc_cluster(&mut e, cluster);
+            e.u16(*k as u16);
+            e.u64(*seed);
+        }
+        Request::Observe { app, data, cluster, conf, result } => {
+            enc_app(&mut e, *app);
+            enc_data(&mut e, data);
+            enc_cluster(&mut e, cluster);
+            enc_conf(&mut e, conf);
+            enc_result(&mut e, result);
+        }
+        Request::Retrieve { target, data, cluster, k, trace: _ } => {
+            match target {
+                RetrieveTarget::App(app) => {
+                    e.u8(0);
+                    enc_app(&mut e, *app);
+                }
+                RetrieveTarget::Source(src) => {
+                    e.u8(1);
+                    e.text(src);
+                }
+            }
+            enc_data(&mut e, data);
+            enc_cluster(&mut e, cluster);
+            e.u16(*k as u16);
+        }
+        Request::Analyze { target } => match target {
+            AnalyzeTarget::App(app) => {
+                e.u8(0);
+                enc_app(&mut e, *app);
+            }
+            AnalyzeTarget::Source { source, iterations } => {
+                e.u8(1);
+                e.text(source);
+                e.u32(*iterations);
+            }
+        },
+        Request::Profile { k } => e.u16(*k as u16),
+    }
+    e.buf
+}
+
+/// Decode a v3 frame payload into its header and typed request.
+pub fn decode_request(payload: &[u8], space: &ConfSpace) -> DecResult<(V3Header, Request)> {
+    let header = parse_header(payload)?;
+    let trace = (header.flags & FLAG_TRACED != 0).then_some(header.trace_id);
+    let mut d = Dec::new(&payload[V3_HEADER..]);
+    let req = match header.op {
+        OpCode::Ping => Request::Ping,
+        OpCode::Stats => Request::Stats,
+        OpCode::Metrics => Request::Metrics,
+        OpCode::Trace => Request::Trace,
+        OpCode::Health => Request::Health,
+        OpCode::Tailtrace => Request::Tailtrace,
+        OpCode::Slo => Request::Slo,
+        OpCode::Hello => Request::Hello { max: d.u64()? },
+        OpCode::Recommend => Request::Recommend {
+            app: dec_app(&mut d)?,
+            data: dec_data(&mut d)?,
+            cluster: dec_cluster(&mut d)?,
+            k: d.u16()? as usize,
+            seed: d.u64()?,
+            trace,
+        },
+        OpCode::Observe => Request::Observe {
+            app: dec_app(&mut d)?,
+            data: dec_data(&mut d)?,
+            cluster: dec_cluster(&mut d)?,
+            conf: dec_conf(&mut d, space)?,
+            result: Box::new(dec_result(&mut d)?),
+        },
+        OpCode::Retrieve => {
+            let target = match d.u8()? {
+                0 => RetrieveTarget::App(dec_app(&mut d)?),
+                1 => RetrieveTarget::Source(d.text()?),
+                _ => return Err("bad retrieve target tag"),
+            };
+            Request::Retrieve {
+                target,
+                data: dec_data(&mut d)?,
+                cluster: dec_cluster(&mut d)?,
+                k: d.u16()? as usize,
+                trace,
+            }
+        }
+        OpCode::Analyze => {
+            let target = match d.u8()? {
+                0 => AnalyzeTarget::App(dec_app(&mut d)?),
+                1 => {
+                    let source = d.text()?;
+                    AnalyzeTarget::Source { source, iterations: d.u32()? }
+                }
+                _ => return Err("bad analyze target tag"),
+            };
+            Request::Analyze { target }
+        }
+        OpCode::Profile => Request::Profile { k: d.u16()? as usize },
+    };
+    d.finish()?;
+    Ok((header, req))
+}
+
+// ---------------------------------------------------------------------------
+// Response codec
+
+/// Resolve a decoded cluster reference into a concrete spec, the same way
+/// the JSON front-end resolves preset names. `Err` is a `bad_request`
+/// message.
+pub fn resolve_cluster(cluster: &ClusterRef) -> Result<ClusterSpec, String> {
+    match cluster {
+        ClusterRef::Preset(name) => ClusterSpec::all_evaluation_clusters()
+            .into_iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown cluster preset {name:?}")),
+        ClusterRef::Spec(spec) => Ok(spec.clone()),
+    }
+}
+
+fn response_flags(trace: Option<u64>) -> u64 {
+    u64::from(trace.is_some())
+}
+
+fn response_header(op: OpCode, req_id: u32, trace: Option<u64>) -> [u8; V3_HEADER] {
+    let flags = if response_flags(trace) != 0 { FLAG_TRACED } else { 0 };
+    header_bytes(op, flags, req_id, trace.unwrap_or(0))
+}
+
+/// Encode a v3 `recommend` success response.
+pub fn encode_recommend_response(
+    req_id: u32,
+    trace: Option<u64>,
+    resp: &RecommendResponse,
+) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.buf.extend_from_slice(&response_header(OpCode::Recommend, req_id, trace));
+    e.u64(resp.version);
+    e.u32(resp.cached as u32);
+    e.u32(resp.scored as u32);
+    e.u8(u8::from(resp.degraded));
+    let n = resp.ranked.len().min(u16::MAX as usize);
+    e.u16(n as u16);
+    for r in &resp.ranked[..n] {
+        enc_conf(&mut e, &r.conf);
+        e.f64(r.predicted_s);
+    }
+    e.buf
+}
+
+/// Encode a v3 `observe` success response.
+pub fn encode_observe_response(req_id: u32, feedback: usize) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.buf.extend_from_slice(&response_header(OpCode::Observe, req_id, None));
+    e.u64(feedback as u64);
+    e.buf
+}
+
+/// Encode a v3 `retrieve` success response.
+pub fn encode_retrieve_response(
+    req_id: u32,
+    trace: Option<u64>,
+    resp: &RetrieveResponse,
+) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.buf.extend_from_slice(&response_header(OpCode::Retrieve, req_id, trace));
+    e.u64(resp.index_len as u64);
+    e.u64(resp.search_ns);
+    let n = resp.neighbors.len().min(u16::MAX as usize);
+    e.u16(n as u16);
+    for nb in &resp.neighbors[..n] {
+        enc_app(&mut e, nb.app);
+        e.f64(f64::from(nb.distance));
+        e.f64(nb.runtime_s);
+        e.f64(nb.estimate_s);
+        enc_conf(&mut e, &nb.conf);
+    }
+    let r = resp.ranked.len().min(u16::MAX as usize);
+    e.u16(r as u16);
+    for rc in &resp.ranked[..r] {
+        enc_conf(&mut e, &rc.conf);
+        e.f64(rc.predicted_s);
+    }
+    e.buf
+}
+
+/// Encode a v3 `ping` success response.
+pub fn encode_ping_response(req_id: u32, version: u64, swaps: u64) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.buf.extend_from_slice(&response_header(OpCode::Ping, req_id, None));
+    e.u64(version);
+    e.u64(swaps);
+    e.buf
+}
+
+/// Encode a v3 `hello` success response.
+pub fn encode_hello_response(req_id: u32, v: u64) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.buf.extend_from_slice(&response_header(OpCode::Hello, req_id, None));
+    e.u64(v);
+    e.buf
+}
+
+/// Encode a v3 admin success response: the rendered JSON success document
+/// as the body.
+pub fn encode_admin_response(op: OpCode, req_id: u32, doc: &Json) -> Vec<u8> {
+    let rendered = doc.render();
+    let mut buf = Vec::with_capacity(V3_HEADER + rendered.len());
+    buf.extend_from_slice(&response_header(op, req_id, None));
+    buf.extend_from_slice(rendered.as_bytes());
+    buf
+}
+
+/// Encode a v3 error response for any op.
+pub fn encode_error_response(op: OpCode, req_id: u32, code: ErrorCode, msg: &str) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.buf.extend_from_slice(&header_bytes(op, FLAG_ERROR, req_id, 0));
+    e.u8(code.code());
+    e.buf.extend_from_slice(msg.as_bytes());
+    e.buf
+}
+
+/// Decode a v3 response frame into its request id and typed response.
+pub fn decode_response(payload: &[u8], space: &ConfSpace) -> DecResult<(u32, Response)> {
+    let header = parse_header(payload)?;
+    let body = &payload[V3_HEADER..];
+    if header.flags & FLAG_ERROR != 0 {
+        let mut d = Dec::new(body);
+        let code = ErrorCode::from_code(u64::from(d.u8()?)).unwrap_or(ErrorCode::Internal);
+        let message =
+            std::str::from_utf8(&body[1..]).map_err(|_| "non-utf8 error message")?.to_string();
+        return Ok((header.req_id, Response::Error { code, message }));
+    }
+    let mut d = Dec::new(body);
+    let resp = match header.op {
+        OpCode::Ping => Response::Pong { version: d.u64()?, swaps: d.u64()? },
+        OpCode::Hello => Response::Hello { v: d.u64()? },
+        OpCode::Observe => Response::Observe { feedback: d.u64()? as usize },
+        OpCode::Recommend => {
+            let version = d.u64()?;
+            let cached = d.u32()? as usize;
+            let scored = d.u32()? as usize;
+            let degraded = d.u8()? != 0;
+            let n = d.u16()? as usize;
+            let mut ranked = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let conf = dec_conf(&mut d, space)?;
+                ranked.push(RankedCandidate { conf, predicted_s: d.f64()? });
+            }
+            let trace = (header.flags & FLAG_TRACED != 0).then_some(header.trace_id);
+            Response::Recommend { version, cached, scored, degraded, ranked, trace }
+        }
+        OpCode::Retrieve => {
+            let index = d.u64()? as usize;
+            let search_ns = d.u64()?;
+            let n = d.u16()? as usize;
+            let mut neighbors = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let app = dec_app(&mut d)?;
+                let distance = d.f64()?;
+                let runtime_s = d.f64()?;
+                let estimate_s = d.f64()?;
+                neighbors.push(Neighbor {
+                    app,
+                    distance,
+                    runtime_s,
+                    estimate_s,
+                    conf: dec_conf(&mut d, space)?,
+                });
+            }
+            let r = d.u16()? as usize;
+            let mut ranked = Vec::with_capacity(r.min(1024));
+            for _ in 0..r {
+                let conf = dec_conf(&mut d, space)?;
+                ranked.push(RankedCandidate { conf, predicted_s: d.f64()? });
+            }
+            let trace = (header.flags & FLAG_TRACED != 0).then_some(header.trace_id);
+            Response::Retrieve { index, search_ns, neighbors, ranked, trace }
+        }
+        // Admin bodies are rendered JSON documents.
+        _ => {
+            let text = std::str::from_utf8(body).map_err(|_| "non-utf8 admin body in v3 frame")?;
+            let doc = Json::parse(text).map_err(|_| "unparsable admin body in v3 frame")?;
+            return Ok((header.req_id, Response::Admin(doc)));
+        }
+    };
+    d.finish()?;
+    Ok((header.req_id, resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v3_request_roundtrip_hot_ops() {
+        let space = ConfSpace::table_iv();
+        let data = AppId::Sort.dataset(lite_workloads::data::SizeTier::Valid);
+        let req = Request::Recommend {
+            app: AppId::Sort,
+            data,
+            cluster: ClusterRef::Preset("cluster-a".into()),
+            k: 3,
+            seed: 7,
+            trace: Some(42),
+        };
+        let frame = encode_request(&req, 9);
+        let (header, decoded) = decode_request(&frame, &space).expect("decode");
+        assert_eq!(header.req_id, 9);
+        assert_eq!(header.trace_id, 42);
+        assert_eq!(decoded, req);
+        assert_eq!(encode_request(&decoded, 9), frame, "re-encode is bit-identical");
+    }
+
+    #[test]
+    fn v3_truncated_frames_fail_cleanly() {
+        let space = ConfSpace::table_iv();
+        let data = AppId::Sort.dataset(lite_workloads::data::SizeTier::Valid);
+        let req = Request::Recommend {
+            app: AppId::Sort,
+            data,
+            cluster: ClusterRef::Spec(ClusterSpec::cluster_b()),
+            k: 1,
+            seed: 0,
+            trace: None,
+        };
+        let frame = encode_request(&req, 0);
+        for cut in 0..frame.len() {
+            assert!(decode_request(&frame[..cut], &space).is_err(), "cut at {cut} must fail");
+        }
+        // Trailing garbage is refused too: round-trips are exact.
+        let mut padded = frame.clone();
+        padded.push(0);
+        assert!(decode_request(&padded, &space).is_err());
+    }
+
+    #[test]
+    fn v3_response_roundtrip_recommend() {
+        let space = ConfSpace::table_iv();
+        let resp = RecommendResponse {
+            version: 5,
+            ranked: vec![RankedCandidate { conf: space.default_conf(), predicted_s: 12.5 }],
+            cached: 2,
+            scored: 3,
+            degraded: false,
+        };
+        let frame = encode_recommend_response(7, Some(99), &resp);
+        let (req_id, decoded) = decode_response(&frame, &space).expect("decode");
+        assert_eq!(req_id, 7);
+        match decoded {
+            Response::Recommend { version, cached, scored, degraded, ranked, trace } => {
+                assert_eq!((version, cached, scored, degraded), (5, 2, 3, false));
+                assert_eq!(ranked.len(), 1);
+                assert_eq!(ranked[0].predicted_s, 12.5);
+                assert_eq!(trace, Some(99), "traced response must echo its id");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let err = encode_error_response(OpCode::Recommend, 8, ErrorCode::Overloaded, "full");
+        let (id, e) = decode_response(&err, &space).expect("decode error frame");
+        assert_eq!(id, 8);
+        assert_eq!(e, Response::Error { code: ErrorCode::Overloaded, message: "full".into() });
+    }
+}

@@ -28,6 +28,7 @@ use lite_obs::Json;
 use lite_sparksim::fault::{mix64, unit64};
 
 use crate::net::{Client, ErrorCode, OpCode};
+use crate::proto;
 
 // ---------------------------------------------------------------------------
 // Retry with decorrelated jitter
@@ -379,14 +380,48 @@ impl ResilientClient {
         sum
     }
 
+    /// Issue one typed request with retries, backoff, reconnection, and
+    /// circuit breaking. A structured [`proto::Response::Error`] either
+    /// counts against the retry budget (retryable codes) or surfaces
+    /// immediately as [`ClientError::Rejected`] (bad request, cold app);
+    /// transport failures drop the connection and reconnect next attempt.
+    pub fn call(&mut self, request: &proto::Request) -> Result<proto::Response, ClientError> {
+        self.run_attempts(|conn| {
+            let resp = conn.call(request).map_err(|_| Attempt::Transport)?;
+            match resp {
+                proto::Response::Error { code, .. } => Err(Attempt::classify(code)),
+                ok => Ok(ok),
+            }
+        })
+    }
+
     /// Issue one operation with retries, backoff, reconnection, and
     /// circuit breaking. Returns the decoded response document on any
     /// `"ok":true` answer.
+    #[deprecated(note = "use ResilientClient::call with proto::Request")]
     pub fn request_op(
         &mut self,
         op: OpCode,
         fields: Vec<(&str, Json)>,
     ) -> Result<Json, ClientError> {
+        self.run_attempts(|conn| {
+            let resp = conn
+                .request_op(op, fields.iter().map(|(k, v)| (*k, v.clone())).collect())
+                .map_err(|_| Attempt::Transport)?;
+            if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                return Ok(resp);
+            }
+            Err(Attempt::classify(ErrorCode::from_response(&resp).unwrap_or(ErrorCode::Internal)))
+        })
+    }
+
+    /// The shared attempt loop: backoff between attempts, breaker-gated
+    /// round-robin target choice, lazy (re)connection, and breaker
+    /// feedback driven by how `once` fails.
+    fn run_attempts<T>(
+        &mut self,
+        mut once: impl FnMut(&mut Client) -> Result<T, Attempt>,
+    ) -> Result<T, ClientError> {
         let attempts = self.policy.max_attempts.max(1);
         let mut prev = self.policy.base;
         let mut last_code: Option<ErrorCode> = None;
@@ -402,8 +437,12 @@ impl ResilientClient {
                 // a cooldown may expire before the policy is exhausted.
                 continue;
             };
-            match self.try_once(idx, op, &fields) {
-                Ok(json) => return Ok(json),
+            let outcome = Self::connect_target(&mut self.targets[idx]).and_then(&mut once);
+            match outcome {
+                Ok(value) => {
+                    self.targets[idx].breaker.on_success(Instant::now());
+                    return Ok(value);
+                }
                 Err(Attempt::Transport) => {
                     // Torn frame, dead or refused connection: the session
                     // is unusable; reconnect on the next attempt.
@@ -438,13 +477,8 @@ impl ResilientClient {
         None
     }
 
-    fn try_once(
-        &mut self,
-        idx: usize,
-        op: OpCode,
-        fields: &[(&str, Json)],
-    ) -> Result<Json, Attempt> {
-        let target = &mut self.targets[idx];
+    /// Ensure `target` holds a live, negotiated connection and borrow it.
+    fn connect_target(target: &mut Target) -> Result<&mut Client, Attempt> {
         if target.conn.is_none() {
             let mut client = Client::connect(target.addr).map_err(|_| Attempt::Transport)?;
             // Negotiate v2 on every fresh connection; a v1-only server
@@ -452,19 +486,7 @@ impl ResilientClient {
             client.negotiate().map_err(|_| Attempt::Transport)?;
             target.conn = Some(client);
         }
-        let conn = target.conn.as_mut().expect("connection established above");
-        let resp = conn
-            .request_op(op, fields.iter().map(|(k, v)| (*k, v.clone())).collect())
-            .map_err(|_| Attempt::Transport)?;
-        if resp.get("ok").and_then(Json::as_bool) == Some(true) {
-            target.breaker.on_success(Instant::now());
-            return Ok(resp);
-        }
-        let code = ErrorCode::from_response(&resp).unwrap_or(ErrorCode::Internal);
-        match code {
-            ErrorCode::BadRequest | ErrorCode::ColdApp => Err(Attempt::Fatal(code)),
-            retryable => Err(Attempt::Retryable(retryable)),
-        }
+        target.conn.as_mut().ok_or(Attempt::Transport)
     }
 }
 
@@ -476,6 +498,16 @@ enum Attempt {
     Retryable(ErrorCode),
     /// Structured error retrying cannot fix.
     Fatal(ErrorCode),
+}
+
+impl Attempt {
+    /// Sort a structured error code into retryable vs fatal.
+    fn classify(code: ErrorCode) -> Attempt {
+        match code {
+            ErrorCode::BadRequest | ErrorCode::ColdApp => Attempt::Fatal(code),
+            retryable => Attempt::Retryable(retryable),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -52,7 +52,7 @@ use lite_sparksim::result::RunResult;
 use lite_workloads::apps::AppId;
 use lite_workloads::data::DataSpec;
 
-use crate::cache::{CacheKey, PredictionCache};
+use crate::cache::{CacheKey, PredictionCache, ResponseCache, ResponseKey};
 use crate::monitor::{DriftConfig, DriftMonitor, DriftSummary};
 use crate::slot::VersionedSlot;
 use crate::snapshot::ModelSnapshot;
@@ -175,6 +175,53 @@ pub struct ServeConfig {
     /// metrics, worker tag frames) and stopped at shutdown; `None` or a
     /// [`Profiler::disabled`] handle costs one branch per request.
     pub profiler: Option<Profiler>,
+    /// Wire-protocol and sharded-dispatch knobs (pipelining depth, worker
+    /// shard count, binary-frame cap, inline response cache). The defaults
+    /// reproduce the pre-sharding behavior exactly: one shard per worker,
+    /// response cache off.
+    pub protocol: ProtocolConfig,
+}
+
+/// Wire-protocol and sharded-dispatch knobs: what the v3 binary front-end
+/// and the per-shard worker queues run under. Validated with the rest of
+/// [`ServeConfig`] by the builder.
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    /// Maximum in-flight pipelined frames per v3 connection. The reactor
+    /// stops draining a connection's socket once this many requests are in
+    /// flight (backpressure), so one pipelining client cannot monopolize
+    /// the shard queues. Must be > 0; JSON (v1/v2) connections are always
+    /// served one frame at a time regardless.
+    pub max_pipeline: usize,
+    /// Worker shards, each with its own bounded queue of the configured
+    /// `queue_capacity`. `0` (the default) means one shard per worker;
+    /// other values are clamped to the worker count at start (a shard
+    /// without a worker would never drain). Recommendations route by
+    /// request-identity hash (shard affinity keeps per-shard caches warm);
+    /// everything else round-robins.
+    pub shards: usize,
+    /// Largest accepted v3 binary frame payload, bytes. Oversized binary
+    /// frames are refused with a clean `bad_request` error frame (the
+    /// connection survives). Must be in `1..=` the transport's own cap
+    /// ([`crate::net::MAX_FRAME`]), which still bounds every frame.
+    pub max_frame: u32,
+    /// Whole-response cache entries per worker shard backing the inline
+    /// fast path: an untraced repeat `recommend` is answered on the
+    /// submitting/reactor thread straight from the cache, never crossing
+    /// into a worker. `0` (the default) disables the cache and the fast
+    /// path entirely; repeat-heavy serving opts in.
+    pub response_cache: usize,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            max_pipeline: 32,
+            shards: 0,
+            max_frame: crate::net::MAX_FRAME,
+            response_cache: 0,
+        }
+    }
 }
 
 /// Tail-forensics knobs: when tracing is on, every request records phase
@@ -212,6 +259,7 @@ impl Default for ServeConfig {
             retrieval: None,
             slo: None,
             profiler: None,
+            protocol: ProtocolConfig::default(),
         }
     }
 }
@@ -240,6 +288,12 @@ impl ServeConfig {
         if self.slo.as_ref().is_some_and(|s| s.validate().is_err()) {
             return Err(ConfigError::InvalidSlo);
         }
+        if self.protocol.max_pipeline == 0 {
+            return Err(ConfigError::ZeroPipelineDepth);
+        }
+        if self.protocol.max_frame == 0 || self.protocol.max_frame > crate::net::MAX_FRAME {
+            return Err(ConfigError::BadFrameCap);
+        }
         Ok(())
     }
 }
@@ -260,6 +314,11 @@ pub enum ConfigError {
     /// The SLO config fails [`SloConfig::validate`] (zero objective,
     /// target outside `(0,1)`, inverted windows, or non-positive burns).
     InvalidSlo,
+    /// `protocol.max_pipeline == 0`: a v3 connection could never have a
+    /// request in flight.
+    ZeroPipelineDepth,
+    /// `protocol.max_frame` is zero or exceeds the transport frame cap.
+    BadFrameCap,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -275,6 +334,12 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::InvalidSlo => {
                 write!(f, "slo config invalid (objective, target, windows, or burn thresholds)")
+            }
+            ConfigError::ZeroPipelineDepth => {
+                write!(f, "protocol.max_pipeline must be > 0")
+            }
+            ConfigError::BadFrameCap => {
+                write!(f, "protocol.max_frame must be in 1..=transport frame cap")
             }
         }
     }
@@ -375,6 +440,13 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Wire-protocol and sharded-dispatch knobs (pipelining depth, shard
+    /// count, binary-frame cap, inline response cache).
+    pub fn protocol(mut self, protocol: ProtocolConfig) -> Self {
+        self.config.protocol = protocol;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<ServeConfig, ConfigError> {
         self.config.validate()?;
@@ -461,14 +533,16 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Non-blocking push: admission control happens here, not by blocking
-    /// the producer.
-    fn try_push(&self, item: T) -> Result<usize, PushError> {
+    /// the producer. A refused item rides back in the error so the caller
+    /// can still answer its reply channel (callback replies would
+    /// otherwise vanish with the drop).
+    fn try_push(&self, item: T) -> Result<usize, (PushError, T)> {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if inner.closed {
-            return Err(PushError::Closed);
+            return Err((PushError::Closed, item));
         }
         if inner.items.len() >= self.capacity {
-            return Err(PushError::Full);
+            return Err((PushError::Full, item));
         }
         inner.items.push_back(item);
         let depth = inner.items.len();
@@ -515,12 +589,56 @@ impl<T> BoundedQueue<T> {
 /// epoch timestamp the submitter stamped at admission, which becomes the
 /// start of the worker's `QueueWait` span.
 #[derive(Clone, Copy)]
-struct TraceMeta {
+pub(crate) struct TraceMeta {
     id: TraceId,
     enqueued_ns: u64,
 }
 
-enum Request {
+/// How a `Recommend` outcome travels back to its submitter. Oneshot is the
+/// blocking in-process path; Callback is the reactor's shard-local reply
+/// path — the worker invokes it inline (serialize + socket write happen on
+/// the worker thread), eliminating the worker→connection handoff the
+/// `respond` phase used to attribute.
+///
+/// Both carry `(outcome, sent_ns, shard)`: the epoch-ns instant the worker
+/// sent the reply (0 when untraced) so the receiver can close a `Respond`
+/// span, and the worker shard that served it so `respond` attribution
+/// stays per-shard under sharded dispatch.
+pub(crate) enum RecommendReply {
+    Oneshot(OneshotSender<(Result<RecommendResponse, ServeError>, u64, u32)>),
+    Callback(RecommendCallback),
+}
+
+/// Boxed shard-local reply closure: `(outcome, sent_ns, shard)`.
+pub(crate) type RecommendCallback =
+    Box<dyn FnOnce(Result<RecommendResponse, ServeError>, u64, u32) + Send>;
+
+impl RecommendReply {
+    fn send(self, outcome: Result<RecommendResponse, ServeError>, sent_ns: u64, shard: u32) {
+        match self {
+            RecommendReply::Oneshot(tx) => tx.send((outcome, sent_ns, shard)),
+            RecommendReply::Callback(f) => f(outcome, sent_ns, shard),
+        }
+    }
+}
+
+/// Reply path for `Observe`; same oneshot/callback split as
+/// [`RecommendReply`], no trace payload (observe is not traced).
+pub(crate) enum ObserveReply {
+    Oneshot(OneshotSender<Result<usize, ServeError>>),
+    Callback(Box<dyn FnOnce(Result<usize, ServeError>) + Send>),
+}
+
+impl ObserveReply {
+    fn send(self, outcome: Result<usize, ServeError>) {
+        match self {
+            ObserveReply::Oneshot(tx) => tx.send(outcome),
+            ObserveReply::Callback(f) => f(outcome),
+        }
+    }
+}
+
+pub(crate) enum Request {
     Recommend {
         app: AppId,
         data: DataSpec,
@@ -528,10 +646,7 @@ enum Request {
         k: usize,
         seed: u64,
         trace: Option<TraceMeta>,
-        /// Carries the outcome plus the epoch-ns instant the worker sent
-        /// it (0 when untraced), so the submitter can close a `Respond`
-        /// span over the reply-channel handoff.
-        reply: OneshotSender<(Result<RecommendResponse, ServeError>, u64)>,
+        reply: RecommendReply,
     },
     Observe {
         app: AppId,
@@ -539,7 +654,7 @@ enum Request {
         cluster: ClusterSpec,
         conf: SparkConf,
         result: Box<RunResult>,
-        reply: OneshotSender<Result<usize, ServeError>>,
+        reply: ObserveReply,
     },
     /// Test support: occupy a worker for `dur`. Lets tests fill the queue
     /// deterministically without racing real work.
@@ -550,7 +665,7 @@ impl Request {
     /// Answer a request that will never reach a worker.
     fn reject(self, err: ServeError) {
         match self {
-            Request::Recommend { reply, .. } => reply.send((Err(err), 0)),
+            Request::Recommend { reply, .. } => reply.send(Err(err), 0, 0),
             Request::Observe { reply, .. } => reply.send(Err(err)),
             Request::Stall { reply, .. } => reply.send(Err(err)),
         }
@@ -595,6 +710,14 @@ struct ServeMetrics {
     retrieve_latency: Histogram,
     /// Neighbors returned per retrieval.
     retrieve_neighbors: Histogram,
+    /// Worker shards serving this instance (scripts/lint.sh rule 7 pins
+    /// the `serve.shard.*` namespace).
+    shard_count: Gauge,
+    /// Requests dispatched into a shard queue.
+    shard_requests: Counter,
+    /// Recommendations answered on the submitting thread by the inline
+    /// response-cache fast path (never reached a shard queue).
+    shard_inline: Counter,
 }
 
 impl ServeMetrics {
@@ -620,6 +743,9 @@ impl ServeMetrics {
             retrieve_errors: registry.counter("serve.retrieve.errors"),
             retrieve_latency: registry.histogram("serve.retrieve.latency_ns"),
             retrieve_neighbors: registry.histogram("serve.retrieve.neighbors"),
+            shard_count: registry.gauge("serve.shard.count"),
+            shard_requests: registry.counter("serve.shard.requests"),
+            shard_inline: registry.counter("serve.shard.inline"),
         }
     }
 }
@@ -715,7 +841,15 @@ struct SloState {
 
 struct Shared {
     backend: Backend,
-    queue: BoundedQueue<Job>,
+    /// One bounded queue per worker shard, each of the full configured
+    /// `queue_capacity`. Worker `i` drains shard `i % shards.len()`;
+    /// recommendations route by request-identity hash (shard affinity),
+    /// everything else round-robins through `rr`.
+    shards: Vec<BoundedQueue<Job>>,
+    rr: AtomicUsize,
+    /// Whole-response cache behind the inline fast path; `None` when
+    /// `protocol.response_cache == 0`.
+    response_cache: Option<ResponseCache<RecommendResponse>>,
     config: ServeConfig,
     shutdown: AtomicBool,
     tracer: Tracer,
@@ -741,6 +875,48 @@ struct Shared {
 }
 
 impl Shared {
+    /// Shard a recommend routes to: request-identity hash modulo shard
+    /// count, so repeats of the same request land on the same worker and
+    /// its thread-affine caches stay warm.
+    fn route_recommend(&self, key: &ResponseKey) -> usize {
+        (key.route_hash() % self.shards.len() as u64) as usize
+    }
+
+    /// Shard an observe routes to: same identity hash minus the k/seed
+    /// words, so feedback for a context lands where its recommends ran.
+    fn route_observe(&self, app: AppId, data: &DataSpec, cluster: &ClusterSpec) -> usize {
+        let key = ResponseKey::new(app, data, cluster, 0, 0);
+        (key.route_hash() % self.shards.len() as u64) as usize
+    }
+
+    /// Round-robin shard for requests with no affinity (stalls).
+    fn rr_shard(&self) -> usize {
+        self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len()
+    }
+
+    /// Admit a job into `shard`'s queue, maintaining the depth gauge and
+    /// shed counter. On refusal the job rides back (boxed — `Job` is a
+    /// wide enum) so the caller can answer its reply channel.
+    fn push(&self, shard: usize, job: Job) -> Result<usize, Box<(ServeError, Job)>> {
+        match self.shards[shard].try_push(job) {
+            Ok(depth) => {
+                self.metrics.queue_depth.set(self.queue_len() as f64);
+                self.metrics.shard_requests.inc();
+                Ok(depth)
+            }
+            Err((PushError::Full, job)) => {
+                self.metrics.shed.inc();
+                Err(Box::new((ServeError::Overloaded, job)))
+            }
+            Err((PushError::Closed, job)) => Err(Box::new((ServeError::ShuttingDown, job))),
+        }
+    }
+
+    /// Requests queued across all shards.
+    fn queue_len(&self) -> usize {
+        self.shards.iter().map(BoundedQueue::len).sum()
+    }
+
     /// Record one phase span (ring + histogram), stamping the live
     /// swap-in-progress flag. A no-op branch when tracing is off.
     fn trace_phase(&self, id: TraceId, phase: Phase, start_ns: u64, end_ns: u64, queue_depth: u32) {
@@ -822,12 +998,12 @@ fn slo_loop(shared: Arc<Shared>) {
 // ---------------------------------------------------------------------------
 // Worker
 
-fn worker_loop(shared: Arc<Shared>) {
+fn worker_loop(shared: Arc<Shared>, shard: usize) {
     let mut reader = match &shared.backend {
         Backend::Snapshot(core) => Some(core.slot.reader()),
         Backend::Tuner(_) => None,
     };
-    while let Some((job, depth)) = shared.queue.pop() {
+    while let Some((job, depth)) = shared.shards[shard].pop() {
         let picked_ns = if shared.trace.is_some() { epoch_ns() } else { 0 };
         shared.metrics.queue_depth.set(depth as f64);
         let now = Instant::now();
@@ -907,11 +1083,26 @@ fn worker_loop(shared: Arc<Shared>) {
                     }
                 }
                 drop(span);
+                // Fill the whole-response cache for the inline fast path:
+                // only clean snapshot-backend answers (untraced — traced
+                // requests must keep exercising the full pipeline — and
+                // not the degradation fallback, which should be retried).
+                if let (Some(rc), Backend::Snapshot(_)) = (&shared.response_cache, &shared.backend)
+                {
+                    if trace.is_none() {
+                        if let Ok(resp) = &outcome {
+                            if !resp.degraded {
+                                let key = ResponseKey::new(app, &data, &cluster, k, seed);
+                                rc.insert(key, resp.version, resp.clone());
+                            }
+                        }
+                    }
+                }
                 shared.metrics.requests.inc();
                 shared.metrics.latency.record_secs(job.enqueued.elapsed().as_secs_f64());
                 let sent_ns =
                     if trace.is_some() && shared.trace.is_some() { epoch_ns() } else { 0 };
-                reply.send((outcome, sent_ns));
+                reply.send(outcome, sent_ns, shard as u32);
             }
             Request::Observe { app, data, cluster, conf, result, reply } => {
                 let _tag = shared.prof_enter("serve.observe");
@@ -1388,9 +1579,34 @@ impl Service {
             tracer.attach_profiler(p.clone());
             p.start();
         }
+        // Shard plan: one queue per worker by default; an explicit shard
+        // count is clamped to the worker count (a shard no worker drains
+        // would swallow requests). Zero workers — queue tests — get one
+        // shard so requests still enqueue. Each shard keeps the full
+        // configured capacity, preserving single-shard admission-control
+        // semantics exactly.
+        let nshards = if config.workers == 0 {
+            1
+        } else if config.protocol.shards == 0 {
+            config.workers
+        } else {
+            config.protocol.shards.min(config.workers)
+        };
+        metrics.shard_count.set(nshards as f64);
+        let shards = (0..nshards).map(|_| BoundedQueue::new(config.queue_capacity)).collect();
+        let response_cache = (config.protocol.response_cache > 0).then(|| {
+            ResponseCache::new(
+                nshards,
+                config.protocol.response_cache,
+                registry.counter("serve.shard.resp_hits"),
+                registry.counter("serve.shard.resp_misses"),
+            )
+        });
         let shared = Arc::new(Shared {
             backend,
-            queue: BoundedQueue::new(config.queue_capacity),
+            shards,
+            rr: AtomicUsize::new(0),
+            response_cache,
             config,
             shutdown: AtomicBool::new(false),
             tracer,
@@ -1407,10 +1623,11 @@ impl Service {
         let mut threads = Vec::new();
         for i in 0..shared.config.workers {
             let shared = shared.clone();
+            let shard = i % nshards;
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(shared))
+                    .spawn(move || worker_loop(shared, shard))
                     .expect("spawn worker"), // gate: allow(expect)
             );
         }
@@ -1450,8 +1667,10 @@ impl Service {
         if self.shared.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
-        for job in self.shared.queue.close() {
-            job.request.reject(ServeError::ShuttingDown);
+        for shard in &self.shared.shards {
+            for job in shard.close() {
+                job.request.reject(ServeError::ShuttingDown);
+            }
         }
         if let Backend::Snapshot(core) = &self.shared.backend {
             core.feedback_cv.notify_all();
@@ -1477,6 +1696,7 @@ impl Drop for Service {
 impl ServiceHandle {
     fn submit<T>(
         &self,
+        shard: usize,
         request: Request,
         receiver: OneshotReceiver<Result<T, ServeError>>,
         deadline: Duration,
@@ -1484,15 +1704,162 @@ impl ServiceHandle {
         let now = Instant::now();
         let deadline = deadline.min(self.shared.config.max_deadline);
         let job = Job { request, enqueued: now, deadline: now + deadline };
-        match self.shared.queue.try_push(job) {
-            Ok(depth) => self.shared.metrics.queue_depth.set(depth as f64),
-            Err(PushError::Full) => {
-                self.shared.metrics.shed.inc();
-                return Err(ServeError::Overloaded);
-            }
-            Err(PushError::Closed) => return Err(ServeError::ShuttingDown),
+        if let Err(refused) = self.shared.push(shard, job) {
+            // The rejection flows through the reply channel, so oneshot
+            // and callback replies see the same admission errors.
+            let (err, job) = *refused;
+            job.request.reject(err);
         }
         receiver.recv().unwrap_or(Err(ServeError::Internal("worker dropped reply")))
+    }
+
+    /// The wire-protocol knobs this service runs under (the TCP front-end
+    /// reads pipelining depth and the binary-frame cap from here).
+    pub(crate) fn protocol(&self) -> &ProtocolConfig {
+        &self.shared.config.protocol
+    }
+
+    /// The single admission funnel every `recommend` flavor goes through:
+    /// probe the inline response cache (untraced requests only), else
+    /// stamp trace metadata, route to the affine shard, and enqueue. The
+    /// outcome — including admission rejections — always arrives through
+    /// `reply`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn submit_recommend(
+        &self,
+        app: AppId,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+        k: usize,
+        seed: u64,
+        deadline: Duration,
+        trace: Option<TraceId>,
+        reply: RecommendReply,
+    ) {
+        if trace.is_none() {
+            if let Some(resp) = self.inline_recommend(app, data, cluster, k, seed) {
+                reply.send(Ok(resp), 0, 0);
+                return;
+            }
+        }
+        let meta = match (trace, &self.shared.trace) {
+            (Some(id), Some(_)) => Some(TraceMeta { id, enqueued_ns: epoch_ns() }),
+            _ => None,
+        };
+        let key = ResponseKey::new(app, data, cluster, k, seed);
+        let shard = self.shared.route_recommend(&key);
+        let route_ns = meta.map(|_| epoch_ns());
+        let request = Request::Recommend {
+            app,
+            data: *data,
+            cluster: cluster.clone(),
+            k,
+            seed,
+            trace: meta,
+            reply,
+        };
+        let now = Instant::now();
+        let deadline = deadline.min(self.shared.config.max_deadline);
+        let job = Job { request, enqueued: now, deadline: now + deadline };
+        match self.shared.push(shard, job) {
+            Ok(depth) => {
+                if let Some(meta) = meta {
+                    // Enqueue covers admission bookkeeping up to routing;
+                    // Dispatch covers the route + shard-queue handoff and
+                    // carries the chosen shard in the depth slot.
+                    let routed = route_ns.unwrap_or(meta.enqueued_ns);
+                    self.shared.trace_phase(
+                        meta.id,
+                        Phase::Enqueue,
+                        meta.enqueued_ns,
+                        routed,
+                        depth as u32,
+                    );
+                    self.shared.trace_phase(
+                        meta.id,
+                        Phase::Dispatch,
+                        routed,
+                        epoch_ns(),
+                        shard as u32,
+                    );
+                }
+            }
+            Err(refused) => {
+                let (err, job) = *refused;
+                job.request.reject(err);
+            }
+        }
+    }
+
+    /// The inline fast path: answer an untraced repeat `recommend` from
+    /// the whole-response cache on the calling thread, never touching a
+    /// shard queue. `None` (cache off, tuner backend, miss, or shutdown)
+    /// means the caller proceeds to enqueue as usual. The served answer is
+    /// byte-identical to what a worker would produce for the same repeat:
+    /// every candidate a worker would find in the prediction cache is
+    /// re-credited as a hit, and the response reports them all as cached.
+    fn inline_recommend(
+        &self,
+        app: AppId,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+        k: usize,
+        seed: u64,
+    ) -> Option<RecommendResponse> {
+        let rc = self.shared.response_cache.as_ref()?;
+        let Backend::Snapshot(core) = &self.shared.backend else { return None };
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        let t0 = Instant::now();
+        let key = ResponseKey::new(app, data, cluster, k, seed);
+        // The slot stamp doubles as the served version (see
+        // `VersionedSlot::stamp`), so validity costs one atomic load.
+        let mut resp = rc.get(&key, core.slot.stamp())?;
+        let _tag = self.shared.prof_enter("serve.recommend");
+        if let Some(f) = self.shared.config.faults.as_deref() {
+            if let Some(d) = f.fire_delay(FaultKind::RequestDelay, f.next_key()) {
+                std::thread::sleep(d);
+            }
+        }
+        core.cache.credit_hits((resp.cached + resp.scored) as u64);
+        resp.cached += resp.scored;
+        resp.scored = 0;
+        self.shared.metrics.cache_hit_rate.set(core.cache.hit_rate());
+        self.shared.metrics.shard_inline.inc();
+        self.shared.metrics.requests.inc();
+        self.shared.metrics.latency.record_secs(t0.elapsed().as_secs_f64());
+        Some(resp)
+    }
+
+    /// Route-and-enqueue an observation with a callback reply (the TCP
+    /// front-end's shard-local path); admission rejections flow through
+    /// the callback.
+    pub(crate) fn submit_observe(
+        &self,
+        app: AppId,
+        data: &DataSpec,
+        cluster: &ClusterSpec,
+        conf: &SparkConf,
+        result: Box<RunResult>,
+        reply: ObserveReply,
+    ) {
+        let shard = self.shared.route_observe(app, data, cluster);
+        let request = Request::Observe {
+            app,
+            data: *data,
+            cluster: cluster.clone(),
+            conf: conf.clone(),
+            result,
+            reply,
+        };
+        let now = Instant::now();
+        let deadline = self.shared.config.default_deadline.min(self.shared.config.max_deadline);
+        let job = Job { request, enqueued: now, deadline: now + deadline };
+        if let Err(refused) = self.shared.push(shard, job) {
+            let (err, job) = *refused;
+            job.request.reject(err);
+        }
     }
 
     /// Recommend top-`k` configurations with the default deadline.
@@ -1519,36 +1886,26 @@ impl ServiceHandle {
         deadline: Duration,
     ) -> Result<RecommendResponse, ServeError> {
         let (tx, rx) = oneshot();
-        let request = Request::Recommend {
+        self.submit_recommend(
             app,
-            data: *data,
-            cluster: cluster.clone(),
+            data,
+            cluster,
             k,
             seed,
-            trace: None,
-            reply: tx,
-        };
-        let now = Instant::now();
-        let deadline = deadline.min(self.shared.config.max_deadline);
-        let job = Job { request, enqueued: now, deadline: now + deadline };
-        match self.shared.queue.try_push(job) {
-            Ok(depth) => self.shared.metrics.queue_depth.set(depth as f64),
-            Err(PushError::Full) => {
-                self.shared.metrics.shed.inc();
-                return Err(ServeError::Overloaded);
-            }
-            Err(PushError::Closed) => return Err(ServeError::ShuttingDown),
-        }
-        let (outcome, _) =
-            rx.recv().unwrap_or((Err(ServeError::Internal("worker dropped reply")), 0));
+            deadline,
+            None,
+            RecommendReply::Oneshot(tx),
+        );
+        let (outcome, _, _) =
+            rx.recv().unwrap_or((Err(ServeError::Internal("worker dropped reply")), 0, 0));
         outcome
     }
 
-    /// Recommend under a trace id: phase spans (enqueue, queue wait,
-    /// dequeue, snapshot load, cache lookup, scoring, reply handoff) are
-    /// recorded against
-    /// `trace` when tracing is enabled, and the enqueue span carries the
-    /// observed queue depth. Behaves exactly like
+    /// Recommend under a trace id: phase spans (enqueue, shard dispatch,
+    /// queue wait, dequeue, snapshot load, cache lookup, scoring, reply
+    /// handoff) are recorded against `trace` when tracing is enabled; the
+    /// enqueue span carries the observed queue depth and the dispatch and
+    /// respond spans carry the serving shard. Behaves exactly like
     /// [`recommend_deadline`](ServiceHandle::recommend_deadline) when
     /// tracing is off. The caller owns request completion: call
     /// [`trace_complete`](ServiceHandle::trace_complete) with the
@@ -1564,46 +1921,24 @@ impl ServiceHandle {
         deadline: Duration,
         trace: TraceId,
     ) -> Result<RecommendResponse, ServeError> {
-        let meta =
-            self.shared.trace.as_ref().map(|_| TraceMeta { id: trace, enqueued_ns: epoch_ns() });
         let (tx, rx) = oneshot();
-        let request = Request::Recommend {
+        self.submit_recommend(
             app,
-            data: *data,
-            cluster: cluster.clone(),
+            data,
+            cluster,
             k,
             seed,
-            trace: meta,
-            reply: tx,
-        };
-        let now = Instant::now();
-        let deadline = deadline.min(self.shared.config.max_deadline);
-        let job = Job { request, enqueued: now, deadline: now + deadline };
-        match self.shared.queue.try_push(job) {
-            Ok(depth) => {
-                self.shared.metrics.queue_depth.set(depth as f64);
-                if let Some(meta) = meta {
-                    self.shared.trace_phase(
-                        meta.id,
-                        Phase::Enqueue,
-                        meta.enqueued_ns,
-                        epoch_ns(),
-                        depth as u32,
-                    );
-                }
-            }
-            Err(PushError::Full) => {
-                self.shared.metrics.shed.inc();
-                return Err(ServeError::Overloaded);
-            }
-            Err(PushError::Closed) => return Err(ServeError::ShuttingDown),
-        }
-        let (outcome, sent_ns) =
-            rx.recv().unwrap_or((Err(ServeError::Internal("worker dropped reply")), 0));
-        if sent_ns != 0 {
-            if let Some(meta) = meta {
-                self.shared.trace_phase(meta.id, Phase::Respond, sent_ns, epoch_ns(), 0);
-            }
+            deadline,
+            Some(trace),
+            RecommendReply::Oneshot(tx),
+        );
+        let (outcome, sent_ns, shard) =
+            rx.recv().unwrap_or((Err(ServeError::Internal("worker dropped reply")), 0, 0));
+        if sent_ns != 0 && self.shared.trace.is_some() {
+            // Respond covers the worker→submitter reply handoff; the depth
+            // slot names the shard that served it, so respond-phase
+            // attribution stays per-shard under sharded dispatch.
+            self.shared.trace_phase(trace, Phase::Respond, sent_ns, epoch_ns(), shard);
         }
         outcome
     }
@@ -1624,6 +1959,13 @@ impl ServiceHandle {
     /// tracing is disabled.
     pub fn trace_phase(&self, trace: TraceId, phase: Phase, start_ns: u64, end_ns: u64) {
         self.shared.trace_phase(trace, phase, start_ns, end_ns, 0);
+    }
+
+    /// Record the `Respond` reply-channel hop with the serving shard in
+    /// the span's depth slot, so sharded dispatch stays attributable (the
+    /// callback reply path records this from the worker's own thread).
+    pub(crate) fn trace_respond(&self, trace: TraceId, start_ns: u64, end_ns: u64, shard: u32) {
+        self.shared.trace_phase(trace, Phase::Respond, start_ns, end_ns, shard);
     }
 
     /// Declare a traced request finished with the given end-to-end latency;
@@ -1814,16 +2156,18 @@ impl ServiceHandle {
             cluster: cluster.clone(),
             conf: conf.clone(),
             result: Box::new(result.clone()),
-            reply: tx,
+            reply: ObserveReply::Oneshot(tx),
         };
-        self.submit(request, rx, self.shared.config.default_deadline)
+        let shard = self.shared.route_observe(app, data, cluster);
+        self.submit(shard, request, rx, self.shared.config.default_deadline)
     }
 
     /// Test support: occupy one worker for `dur`.
     pub fn stall(&self, dur: Duration) -> Result<(), ServeError> {
         let (tx, rx) = oneshot();
         // Stalls get a generous deadline: they exist to hold workers busy.
-        self.submit(Request::Stall { dur, reply: tx }, rx, dur + Duration::from_secs(60))
+        let shard = self.shared.rr_shard();
+        self.submit(shard, Request::Stall { dur, reply: tx }, rx, dur + Duration::from_secs(60))
     }
 
     /// Current model version (snapshot backend) or learning generation —
@@ -1877,9 +2221,9 @@ impl ServiceHandle {
         }
     }
 
-    /// Requests currently queued.
+    /// Requests currently queued (summed across worker shards).
     pub fn queue_len(&self) -> usize {
-        self.shared.queue.len()
+        self.shared.queue_len()
     }
 
     /// Lifetime prediction-cache hit rate in `[0, 1]` (0 for tuner

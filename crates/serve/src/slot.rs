@@ -28,7 +28,12 @@ impl<T> VersionedSlot<T> {
         VersionedSlot { stamp: AtomicU64::new(0), value: Mutex::new(initial) }
     }
 
-    /// Number of swaps so far.
+    /// Number of swaps so far. Doubles as a lock-free cache-validity
+    /// token: for snapshots whose own version counter starts equal to the
+    /// stamp and moves in lockstep with swaps (the serve plane's model
+    /// snapshots do), this reads the served version without taking the
+    /// lock — the inline fast path probes response-cache entries against
+    /// it instead of cloning the `Arc`.
     pub fn stamp(&self) -> u64 {
         self.stamp.load(Ordering::Acquire)
     }

@@ -10,7 +10,10 @@ use lite_core::experiment::{Dataset, DatasetBuilder};
 use lite_core::necs::NecsConfig;
 use lite_core::recommend::LiteTuner;
 use lite_obs::{Json, Registry, Tracer};
-use lite_serve::{DriftConfig, ModelSnapshot, ServeConfig, Service};
+use lite_serve::{
+    AnalyzeTarget, ClientBuilder, ClusterRef, DriftConfig, ErrorCode, ModelSnapshot, Request,
+    Response, ServeConfig, Service,
+};
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::exec::simulate;
 use lite_workloads::apps::{build_job, AppId};
@@ -52,18 +55,29 @@ fn admin_ops_answer_over_tcp() {
     // Enabled tracer so `trace` has spans to export.
     let service = Service::start(snapshot, ds.clone(), quick_config(), &registry, Tracer::new());
     let server = lite_serve::net::serve_tcp(service.handle(), "127.0.0.1:0").expect("bind");
-    let mut client = lite_serve::Client::connect(server.local_addr()).expect("connect");
+    let mut client = ClientBuilder::new().connect(server.local_addr()).expect("connect");
 
     // health: liveness plus the serving version.
-    assert_eq!(client.health().expect("health"), 0);
+    let health = client.call(&Request::Health).expect("health").into_admin().expect("health doc");
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health.get("version").and_then(Json::as_u64), Some(0));
 
     // Generate some traffic so stats/metrics/trace have content.
     let data = AppId::KMeans.dataset(SizeTier::Valid);
-    let rec = client.recommend(AppId::KMeans, &data, &cluster.name, 2, 3).expect("recommend");
-    assert_eq!(rec.get("ok").and_then(Json::as_bool), Some(true));
+    let rec = client
+        .call(&Request::Recommend {
+            app: AppId::KMeans,
+            data,
+            cluster: ClusterRef::Preset(cluster.name.clone()),
+            k: 2,
+            seed: 3,
+            trace: None,
+        })
+        .expect("recommend");
+    assert!(matches!(rec, Response::Recommend { .. }), "{rec:?}");
 
     // stats: the operational summary with every advertised field.
-    let stats = client.stats().expect("stats");
+    let stats = client.call(&Request::Stats).expect("stats").into_admin().expect("stats doc");
     assert_eq!(stats.get("ok").and_then(Json::as_bool), Some(true));
     assert_eq!(stats.get("version").and_then(Json::as_u64), Some(0));
     assert_eq!(stats.get("swaps").and_then(Json::as_u64), Some(0));
@@ -80,7 +94,9 @@ fn admin_ops_answer_over_tcp() {
     assert!(drift.get("inversion_rate").and_then(Json::as_f64).is_some());
 
     // metrics: Prometheus text exposition of the service registry.
-    let text = client.metrics_text().expect("metrics");
+    let metrics =
+        client.call(&Request::Metrics).expect("metrics").into_admin().expect("metrics doc");
+    let text = metrics.get("body").and_then(Json::as_str).expect("metrics body");
     assert!(text.contains("# TYPE serve_requests counter"), "{text}");
     assert!(text.contains("# TYPE serve_latency_ns histogram"), "{text}");
     assert!(text.contains("serve_latency_ns_bucket{le=\"+Inf\"}"), "{text}");
@@ -88,8 +104,12 @@ fn admin_ops_answer_over_tcp() {
     assert!(text.contains("# TYPE serve_drift_alerts counter"), "{text}");
 
     // trace: Chrome trace events from the enabled tracer, B/E balanced.
-    let trace = client.trace().expect("trace");
-    let events = trace.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+    let trace = client.call(&Request::Trace).expect("trace").into_admin().expect("trace doc");
+    let events = trace
+        .get("trace")
+        .and_then(|t| t.get("traceEvents"))
+        .and_then(Json::as_arr)
+        .expect("traceEvents");
     assert!(!events.is_empty(), "recommend should have produced spans");
     assert_eq!(events.len() % 2, 0, "every B has an E");
     assert!(events.iter().any(|e| e.get("name").and_then(Json::as_str) == Some("serve.request")));
@@ -105,12 +125,15 @@ fn analyze_op_extracts_stages_and_lints_over_tcp() {
     let registry = Registry::new();
     let service = Service::start(snapshot, ds, quick_config(), &registry, Tracer::disabled());
     let server = lite_serve::net::serve_tcp(service.handle(), "127.0.0.1:0").expect("bind");
-    let mut client = lite_serve::Client::connect(server.local_addr()).expect("connect");
-    client.negotiate().expect("negotiate");
+    let mut client = ClientBuilder::new().connect(server.local_addr()).expect("connect");
 
     // Named workload: static extraction matches the instrumented run's
     // template set without the server executing anything.
-    let resp = client.analyze(AppId::KMeans).expect("analyze");
+    let resp = client
+        .call(&Request::Analyze { target: AnalyzeTarget::App(AppId::KMeans) })
+        .expect("analyze")
+        .into_admin()
+        .expect("analyze doc");
     assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
     let stages = resp.get("stages").and_then(Json::as_arr).expect("stages");
     let templates: Vec<&str> =
@@ -133,7 +156,13 @@ fn analyze_op_extracts_stages_and_lints_over_tcp() {
         val a = pairs.reduceByKey(_ + _).count()
         val b = pairs.reduceByKey(_ + _).count()
     "#;
-    let resp = client.analyze_source(defective, 1).expect("analyze_source");
+    let resp = client
+        .call(&Request::Analyze {
+            target: AnalyzeTarget::Source { source: defective.to_string(), iterations: 1 },
+        })
+        .expect("analyze_source")
+        .into_admin()
+        .expect("analyze doc");
     assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
     let diags = resp.get("diagnostics").and_then(Json::as_arr).expect("diagnostics");
     assert!(
@@ -143,9 +172,15 @@ fn analyze_op_extracts_stages_and_lints_over_tcp() {
     assert!(diags.iter().all(|d| d.get("line").and_then(Json::as_u64).unwrap_or(0) >= 1));
 
     // Unparseable source is a bad request, not a hang or a panic.
-    let resp = client.analyze_source("val = = =", 1).expect("request survives");
-    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
-    assert_eq!(resp.get("code").and_then(Json::as_str), Some("bad_request"));
+    let resp = client
+        .call(&Request::Analyze {
+            target: AnalyzeTarget::Source { source: "val = = =".to_string(), iterations: 1 },
+        })
+        .expect("request survives");
+    assert!(
+        matches!(resp, Response::Error { code: ErrorCode::BadRequest, .. }),
+        "unparseable source must be a bad request: {resp:?}"
+    );
 
     drop(client);
     server.shutdown();

@@ -13,12 +13,39 @@ use lite_core::necs::NecsConfig;
 use lite_core::recommend::LiteTuner;
 use lite_obs::{Json, Profiler, Registry, SloConfig, Tracer};
 use lite_serve::{
-    ConfigError, ErrorCode, ModelSnapshot, ServeConfig, Service, TcpServer, TraceConfig,
+    Client, ConfigError, ErrorCode, ModelSnapshot, OpCode, ServeConfig, Service, TcpServer,
+    TraceConfig,
 };
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::fault::{FaultInjector, FaultKind};
 use lite_workloads::apps::AppId;
+use lite_workloads::data::DataSpec;
 use lite_workloads::data::SizeTier;
+
+/// Raw v1/v2 `recommend` request: these tests pin wire documents, so they
+/// go through the undeprecated raw-JSON escape hatch rather than the
+/// typed client API.
+fn recommend_doc(
+    client: &mut Client,
+    app: AppId,
+    data: &DataSpec,
+    cluster: &str,
+    k: u64,
+    seed: u64,
+) -> Json {
+    client
+        .request_op(
+            OpCode::Recommend,
+            vec![
+                ("app", Json::from(app.name())),
+                ("data", lite_serve::net::data_to_json(data)),
+                ("cluster", Json::from(cluster)),
+                ("k", Json::from(k)),
+                ("seed", Json::from(seed)),
+            ],
+        )
+        .expect("recommend")
+}
 
 fn trained() -> (Arc<Dataset>, LiteTuner) {
     let ds = DatasetBuilder {
@@ -98,16 +125,21 @@ fn profile_and_slo_are_v2_only_and_leave_v1_ops_byte_identical() {
 
     // Pre-existing v1 ops stay byte-identical: wiring in the plane must
     // not perturb ops 0–10.
-    let rec_a = v1_a.recommend(AppId::KMeans, &data, &cluster_name, 2, 7).expect("recommend");
-    let rec_b = v1_b.recommend(AppId::KMeans, &data, &cluster_name, 2, 7).expect("recommend");
+    let rec_a = recommend_doc(&mut v1_a, AppId::KMeans, &data, &cluster_name, 2, 7);
+    let rec_b = recommend_doc(&mut v1_b, AppId::KMeans, &data, &cluster_name, 2, 7);
     assert_eq!(rec_a.get("ok").and_then(Json::as_bool), Some(true));
     assert_eq!(rec_a.render(), rec_b.render(), "v1 recommend must be unchanged");
-    assert_eq!(v1_a.ping().expect("ping"), v1_b.ping().expect("ping"));
+    let ping_a = v1_a.request_op(OpCode::Ping, Vec::new()).expect("ping");
+    let ping_b = v1_b.request_op(OpCode::Ping, Vec::new()).expect("ping");
+    assert_eq!(ping_a.render(), ping_b.render(), "v1 ping must be unchanged");
 
     // A v2 peer of a server without the plane is refused with bad_request.
     let mut v2_plain = lite_serve::Client::connect(srv_plain.local_addr()).expect("connect");
     assert_eq!(v2_plain.negotiate().expect("hello"), 2);
-    for resp in [v2_plain.profile(10).expect("profile"), v2_plain.slo().expect("slo")] {
+    let profile =
+        v2_plain.request_op(OpCode::Profile, vec![("k", Json::from(10u64))]).expect("profile");
+    let slo = v2_plain.request_op(OpCode::Slo, Vec::new()).expect("slo");
+    for resp in [profile, slo] {
         assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(ErrorCode::from_response(&resp), Some(ErrorCode::BadRequest));
     }
@@ -119,9 +151,9 @@ fn profile_and_slo_are_v2_only_and_leave_v1_ops_byte_identical() {
     let deadline = Instant::now() + Duration::from_secs(60);
     let profile = loop {
         for seed in 0..16 {
-            v2.recommend(AppId::KMeans, &data, &cluster_name, 30, seed).expect("recommend");
+            recommend_doc(&mut v2, AppId::KMeans, &data, &cluster_name, 30, seed);
         }
-        let resp = v2.profile(10).expect("profile");
+        let resp = v2.request_op(OpCode::Profile, vec![("k", Json::from(10u64))]).expect("profile");
         assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp:?}");
         if resp.get("samples").and_then(Json::as_u64).unwrap_or(0) > 0 {
             break resp;
@@ -141,7 +173,7 @@ fn profile_and_slo_are_v2_only_and_leave_v1_ops_byte_identical() {
 
     // The v2 slo happy path echoes the configured objective and both
     // windows; before any tick the status is the identity evaluation.
-    let slo = v2.slo().expect("slo");
+    let slo = v2.request_op(OpCode::Slo, Vec::new()).expect("slo");
     assert_eq!(slo.get("ok").and_then(Json::as_bool), Some(true), "{slo:?}");
     assert_eq!(slo.get("objective_ns").and_then(Json::as_u64), Some(1_000_000));
     assert_eq!(slo.get("alert").and_then(Json::as_bool), Some(false));
@@ -172,7 +204,7 @@ fn stats_gains_phase_and_slo_planes_additively() {
     let (svc_full, srv_full) = start(full_config, &registry_full, Tracer::new());
 
     let mut plain = lite_serve::Client::connect(srv_plain.local_addr()).expect("connect");
-    let stats = plain.stats().expect("stats");
+    let stats = plain.request_op(OpCode::Stats, Vec::new()).expect("stats");
     assert!(stats.get("phases").is_none(), "plain stats must not grow keys");
     assert!(stats.get("slo").is_none(), "plain stats must not grow keys");
 
@@ -181,9 +213,9 @@ fn stats_gains_phase_and_slo_planes_additively() {
     let mut full = lite_serve::Client::connect(srv_full.local_addr()).expect("connect");
     assert_eq!(full.negotiate().expect("hello"), 2);
     for seed in 0..4 {
-        full.recommend(AppId::KMeans, &data, &cluster_name, 5, seed).expect("recommend");
+        recommend_doc(&mut full, AppId::KMeans, &data, &cluster_name, 5, seed);
     }
-    let stats = full.stats().expect("stats");
+    let stats = full.request_op(OpCode::Stats, Vec::new()).expect("stats");
     let phases = stats.get("phases").and_then(Json::as_arr).expect("phases plane");
     assert!(!phases.is_empty());
     for p in phases {
@@ -249,7 +281,7 @@ fn burn_rate_alert_fires_under_injected_latency() {
     // The wire op reports the same alert.
     let mut client = lite_serve::Client::connect(srv.local_addr()).expect("connect");
     assert_eq!(client.negotiate().expect("hello"), 2);
-    let resp = client.slo().expect("slo");
+    let resp = client.request_op(OpCode::Slo, Vec::new()).expect("slo");
     assert_eq!(resp.get("alert").and_then(Json::as_bool), Some(true), "{resp:?}");
 
     // Recovery: the next bucket closes with no traffic, the fast window

@@ -14,8 +14,8 @@ use lite_core::tuner::Tuner;
 use lite_obs::{Json, Registry, Tracer};
 use lite_serve::net::data_to_json;
 use lite_serve::{
-    BreakerConfig, BreakerState, CircuitBreaker, Client, ErrorCode, ModelSnapshot, OpCode,
-    ResilientClient, RetryPolicy, ServeConfig, Service,
+    BreakerConfig, BreakerState, CircuitBreaker, Client, ClusterRef, ErrorCode, ModelSnapshot,
+    OpCode, Request, ResilientClient, Response, RetryPolicy, ServeConfig, Service,
 };
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::conf::ConfSpace;
@@ -392,7 +392,7 @@ fn tcp_serves_v1_and_v2_clients_side_by_side() {
     // Legacy client: no hello, string ops, v1 envelopes.
     let mut v1 = Client::connect(server.local_addr()).expect("connect v1");
     assert_eq!(v1.protocol_version(), 1);
-    assert!(v1.ping().is_ok());
+    assert!(v1.request_op(OpCode::Ping, Vec::new()).is_ok());
     let resp = v1.request_op(OpCode::Stats, Vec::new()).expect("v1 stats");
     assert_eq!(resp.get("v"), None, "v1 responses must not grow a version tag");
     assert_eq!(resp.get("backend").and_then(Json::as_str), Some("snapshot"));
@@ -407,7 +407,18 @@ fn tcp_serves_v1_and_v2_clients_side_by_side() {
 
     // v2 structured errors: cold app carries its numeric code.
     let data = AppId::Terasort.dataset(SizeTier::Valid);
-    let resp = v2.recommend(AppId::Terasort, &data, &cluster.name, 3, 1).expect("wire ok");
+    let resp = v2
+        .request_op(
+            OpCode::Recommend,
+            vec![
+                ("app", Json::from(AppId::Terasort.name())),
+                ("data", data_to_json(&data)),
+                ("cluster", Json::from(cluster.name.as_str())),
+                ("k", Json::from(3u64)),
+                ("seed", Json::from(1u64)),
+            ],
+        )
+        .expect("wire ok");
     assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
     assert_eq!(ErrorCode::from_response(&resp), Some(ErrorCode::ColdApp));
     assert_eq!(resp.get("v").and_then(Json::as_u64), Some(2));
@@ -463,18 +474,16 @@ fn resilient_client_loses_nothing_to_torn_frames() {
     let data = AppId::Sort.dataset(SizeTier::Valid);
     for seed in 0..30u64 {
         let resp = client
-            .request_op(
-                OpCode::Recommend,
-                vec![
-                    ("app", Json::from(AppId::Sort.name())),
-                    ("data", data_to_json(&data)),
-                    ("cluster", Json::from(cluster.name.as_str())),
-                    ("k", Json::from(1u64)),
-                    ("seed", Json::from(seed)),
-                ],
-            )
+            .call(&Request::Recommend {
+                app: AppId::Sort,
+                data,
+                cluster: ClusterRef::Preset(cluster.name.clone()),
+                k: 1,
+                seed,
+                trace: None,
+            })
             .expect("no request may be lost forever");
-        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert!(resp.is_ok(), "{resp:?}");
     }
     assert!(faults.fired(FaultKind::TornFrame) >= 1, "chaos never actually fired");
 
@@ -515,7 +524,7 @@ fn breaker_opens_under_storm_and_closes_after_recovery() {
 
     // Every response is torn: the attempt budget drains and the breaker
     // trips along the way.
-    let err = client.request_op(OpCode::Ping, Vec::new()).expect_err("storm must exhaust");
+    let err = client.call(&Request::Ping).expect_err("storm must exhaust");
     assert!(matches!(err, lite_serve::ClientError::Exhausted { .. }), "got {err}");
     assert!(client.breaker_transitions().opened >= 1, "breaker never opened under storm");
 
@@ -523,8 +532,8 @@ fn breaker_opens_under_storm_and_closes_after_recovery() {
     // breaker closes again.
     faults.disarm();
     std::thread::sleep(Duration::from_millis(35));
-    let resp = client.request_op(OpCode::Ping, Vec::new()).expect("recovery ping");
-    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+    let resp = client.call(&Request::Ping).expect("recovery ping");
+    assert!(matches!(resp, Response::Pong { .. }), "{resp:?}");
     let tr = client.breaker_transitions();
     assert!(tr.half_opened >= 1, "breaker never probed");
     assert!(tr.closed >= 1, "breaker never closed after recovery");

@@ -13,6 +13,7 @@ use lite_core::necs::NecsConfig;
 use lite_core::recommend::LiteTuner;
 use lite_obs::{Json, Registry, Tracer};
 use lite_rag::{RagConfig, RagTuner};
+use lite_serve::net::data_to_json;
 use lite_serve::{ErrorCode, ModelSnapshot, OpCode, ServeConfig, Service, TcpServer};
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::conf::NUM_KNOBS;
@@ -135,21 +136,40 @@ fn retrieve_is_v2_only_and_leaves_v1_ops_byte_identical() {
 
     // Pre-existing v1 ops are served byte-identically by both servers:
     // wiring in retrieval must not perturb ops 1–9.
-    let from_plain =
-        v1_a.recommend(AppId::KMeans, &data, &cluster_name, 2, 7).expect("v1 recommend");
-    let from_rag = v1_b.recommend(AppId::KMeans, &data, &cluster_name, 2, 7).expect("v1 recommend");
+    let recommend_fields = || {
+        vec![
+            ("app", Json::from(AppId::KMeans.name())),
+            ("data", data_to_json(&data)),
+            ("cluster", Json::from(cluster_name.as_str())),
+            ("k", Json::from(2u64)),
+            ("seed", Json::from(7u64)),
+        ]
+    };
+    let from_plain = v1_a.request_op(OpCode::Recommend, recommend_fields()).expect("v1 recommend");
+    let from_rag = v1_b.request_op(OpCode::Recommend, recommend_fields()).expect("v1 recommend");
     assert_eq!(from_plain.get("ok").and_then(Json::as_bool), Some(true));
     assert_eq!(from_plain.render(), from_rag.render(), "v1 recommend must be unchanged");
-    assert_eq!(v1_a.ping().expect("ping"), v1_b.ping().expect("ping"));
-    let analyze_plain = v1_a.analyze(AppId::Sort).expect("analyze");
-    let analyze_rag = v1_b.analyze(AppId::Sort).expect("analyze");
+    let ping_a = v1_a.request_op(OpCode::Ping, Vec::new()).expect("ping");
+    let ping_b = v1_b.request_op(OpCode::Ping, Vec::new()).expect("ping");
+    assert_eq!(ping_a.render(), ping_b.render(), "v1 ping must be unchanged");
+    let analyze_fields = || vec![("app", Json::from(AppId::Sort.name()))];
+    let analyze_plain = v1_a.request_op(OpCode::Analyze, analyze_fields()).expect("analyze");
+    let analyze_rag = v1_b.request_op(OpCode::Analyze, analyze_fields()).expect("analyze");
     assert_eq!(analyze_plain.render(), analyze_rag.render(), "v1 analyze must be unchanged");
 
     // A v2 peer of a server without a retrieval store is refused with
     // bad_request — not internal, not a crash.
     let mut v2_plain = lite_serve::Client::connect(srv_plain.local_addr()).expect("connect");
     assert_eq!(v2_plain.negotiate().expect("hello"), 2);
-    let refused = v2_plain.retrieve(AppId::KMeans, &data, &cluster_name, 3).expect("retrieve");
+    let retrieve_fields = |k: u64| {
+        vec![
+            ("app", Json::from(AppId::KMeans.name())),
+            ("data", data_to_json(&data)),
+            ("cluster", Json::from(cluster_name.as_str())),
+            ("k", Json::from(k)),
+        ]
+    };
+    let refused = v2_plain.request_op(OpCode::Retrieve, retrieve_fields(3)).expect("retrieve");
     assert_eq!(refused.get("ok").and_then(Json::as_bool), Some(false));
     assert_eq!(ErrorCode::from_response(&refused), Some(ErrorCode::BadRequest));
 
@@ -157,7 +177,7 @@ fn retrieve_is_v2_only_and_leaves_v1_ops_byte_identical() {
     // ranked list, and the index size echoed.
     let mut v2 = lite_serve::Client::connect(srv_rag.local_addr()).expect("connect");
     assert_eq!(v2.negotiate().expect("hello"), 2);
-    let resp = v2.retrieve(AppId::KMeans, &data, &cluster_name, 3).expect("retrieve");
+    let resp = v2.request_op(OpCode::Retrieve, retrieve_fields(3)).expect("retrieve");
     assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp:?}");
     assert!(resp.get("index").and_then(Json::as_u64).unwrap_or(0) > 0);
     let neighbors = resp.get("neighbors").and_then(Json::as_arr).expect("neighbors");
@@ -174,7 +194,17 @@ fn retrieve_is_v2_only_and_leaves_v1_ops_byte_identical() {
     // Source-text retrieval: the zero-execution path — no AppId anywhere
     // in the request, the server embeds the submitted code statically.
     let src = resp_source();
-    let by_source = v2.retrieve_source(&src, &data, &cluster_name, 2).expect("retrieve_source");
+    let by_source = v2
+        .request_op(
+            OpCode::Retrieve,
+            vec![
+                ("source", Json::from(src.as_str())),
+                ("data", data_to_json(&data)),
+                ("cluster", Json::from(cluster_name.as_str())),
+                ("k", Json::from(2u64)),
+            ],
+        )
+        .expect("retrieve_source");
     assert_eq!(by_source.get("ok").and_then(Json::as_bool), Some(true), "{by_source:?}");
     assert!(!by_source.get("neighbors").and_then(Json::as_arr).expect("neighbors").is_empty());
 

@@ -9,7 +9,10 @@ use lite_core::experiment::{Dataset, DatasetBuilder};
 use lite_core::necs::NecsConfig;
 use lite_core::recommend::LiteTuner;
 use lite_obs::{Registry, Tracer};
-use lite_serve::{ModelSnapshot, ServeConfig, ServeError, Service};
+use lite_serve::{
+    ClientBuilder, ClusterRef, ErrorCode, ModelSnapshot, Request, Response, ServeConfig,
+    ServeError, Service,
+};
 use lite_sparksim::cluster::ClusterSpec;
 use lite_sparksim::exec::simulate;
 use lite_workloads::apps::{build_job, AppId};
@@ -246,17 +249,25 @@ fn tcp_front_end_round_trips_requests() {
     let service =
         Service::start(snapshot, ds.clone(), quick_config(), &registry, Tracer::disabled());
     let server = lite_serve::net::serve_tcp(service.handle(), "127.0.0.1:0").expect("bind");
-    let mut client = lite_serve::Client::connect(server.local_addr()).expect("connect");
+    let mut client = ClientBuilder::new().connect(server.local_addr()).expect("connect");
 
-    assert_eq!(client.ping().expect("ping"), 0);
+    let pong = client.call(&Request::Ping).expect("ping");
+    assert!(matches!(pong, Response::Pong { version: 0, .. }), "{pong:?}");
 
     let data = AppId::KMeans.dataset(SizeTier::Valid);
-    let resp = client.recommend(AppId::KMeans, &data, &cluster_name, 3, 5).expect("recommend");
-    assert_eq!(resp.get("ok").and_then(lite_obs::Json::as_bool), Some(true));
-    let ranked = resp.get("ranked").and_then(lite_obs::Json::as_arr).expect("ranked");
+    let resp = client
+        .call(&Request::Recommend {
+            app: AppId::KMeans,
+            data,
+            cluster: ClusterRef::Preset(cluster_name.clone()),
+            k: 3,
+            seed: 5,
+            trace: None,
+        })
+        .expect("recommend");
+    let Response::Recommend { ranked, .. } = resp else { panic!("not a recommend: {resp:?}") };
     assert_eq!(ranked.len(), 3);
-    let conf = ranked[0].get("conf").and_then(lite_obs::Json::as_arr).expect("conf");
-    assert_eq!(conf.len(), 16);
+    assert_eq!(ranked[0].conf.values().len(), 16);
 
     // Observe a simulated outcome of the recommended configuration.
     let rec = service
@@ -266,10 +277,16 @@ fn tcp_front_end_round_trips_requests() {
     let result =
         simulate(&ds.clusters[0], &rec.ranked[0].conf, &build_job(AppId::KMeans, &data), 1);
     let obs = client
-        .observe(AppId::KMeans, &data, &cluster_name, &rec.ranked[0].conf, &result)
+        .call(&Request::Observe {
+            app: AppId::KMeans,
+            data,
+            cluster: ClusterRef::Preset(cluster_name.clone()),
+            conf: rec.ranked[0].conf.clone(),
+            result: Box::new(result),
+        })
         .expect("observe");
-    assert_eq!(obs.get("ok").and_then(lite_obs::Json::as_bool), Some(true));
-    assert!(obs.get("feedback").and_then(lite_obs::Json::as_u64).unwrap_or(0) > 0);
+    let Response::Observe { feedback } = obs else { panic!("not an observe: {obs:?}") };
+    assert!(feedback > 0);
 
     // Unknown ops and cold apps come back as typed wire errors.
     let bad = client
@@ -278,9 +295,20 @@ fn tcp_front_end_round_trips_requests() {
     assert_eq!(bad.get("ok").and_then(lite_obs::Json::as_bool), Some(false));
     assert_eq!(bad.get("code").and_then(lite_obs::Json::as_str), Some("bad_request"));
     let cold_data = AppId::Terasort.dataset(SizeTier::Valid);
-    let cold =
-        client.recommend(AppId::Terasort, &cold_data, &cluster_name, 1, 0).expect("cold recommend");
-    assert_eq!(cold.get("code").and_then(lite_obs::Json::as_str), Some("cold_app"));
+    let cold = client
+        .call(&Request::Recommend {
+            app: AppId::Terasort,
+            data: cold_data,
+            cluster: ClusterRef::Preset(cluster_name.clone()),
+            k: 1,
+            seed: 0,
+            trace: None,
+        })
+        .expect("cold recommend");
+    assert!(
+        matches!(cold, Response::Error { code: ErrorCode::ColdApp, .. }),
+        "cold app must be a typed error: {cold:?}"
+    );
 
     drop(client);
     server.shutdown();

@@ -13,11 +13,36 @@ use lite_core::experiment::{Dataset, DatasetBuilder};
 use lite_core::necs::NecsConfig;
 use lite_core::recommend::LiteTuner;
 use lite_obs::{Json, Registry, Tracer};
-use lite_serve::net::{read_frame, write_frame};
-use lite_serve::{ModelSnapshot, OpCode, ServeConfig, Service, TraceConfig};
+use lite_serve::net::{data_to_json, read_frame, write_frame};
+use lite_serve::{Client, ModelSnapshot, OpCode, ServeConfig, Service, TraceConfig};
 use lite_sparksim::cluster::ClusterSpec;
 use lite_workloads::apps::AppId;
-use lite_workloads::data::SizeTier;
+use lite_workloads::data::{DataSpec, SizeTier};
+
+/// Raw v1/v2 `recommend` wire document, optionally trace-tagged: these
+/// tests pin exact response bytes, so they bypass the typed client API.
+fn recommend_doc(
+    client: &mut Client,
+    app: AppId,
+    data: &DataSpec,
+    cluster: &str,
+    k: u64,
+    seed: u64,
+    trace: Option<u64>,
+) -> Json {
+    let mut fields = Vec::new();
+    if let Some(t) = trace {
+        fields.push(("t", Json::from(t)));
+    }
+    fields.extend([
+        ("app", Json::from(app.name())),
+        ("data", data_to_json(data)),
+        ("cluster", Json::from(cluster)),
+        ("k", Json::from(k)),
+        ("seed", Json::from(seed)),
+    ]);
+    client.request_op(OpCode::Recommend, fields).expect("recommend")
+}
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------------
@@ -127,10 +152,9 @@ fn trace_header_and_traced_servers_leave_untraced_peers_byte_identical() {
     let mut b = lite_serve::Client::connect(srv_plain_b.local_addr()).expect("connect");
     assert_eq!(a.negotiate().expect("hello"), 2);
     assert_eq!(b.negotiate().expect("hello"), 2);
-    let plain = a.recommend(AppId::KMeans, &data, &cluster_name, 2, 7).expect("recommend");
-    let traced = b
-        .recommend_traced(AppId::KMeans, &data, &cluster_name, 2, 7, 0xDEAD_BEEF)
-        .expect("recommend traced");
+    let plain = recommend_doc(&mut a, AppId::KMeans, &data, &cluster_name, 2, 7, None);
+    let traced =
+        recommend_doc(&mut b, AppId::KMeans, &data, &cluster_name, 2, 7, Some(0xDEAD_BEEF));
     assert_eq!(plain.get("ok").and_then(Json::as_bool), Some(true));
     assert_eq!(plain.render(), traced.render(), "trace header must be inert when tracing is off");
     assert!(traced.get("t").is_none(), "disabled server must not echo a trace id");
@@ -140,10 +164,9 @@ fn trace_header_and_traced_servers_leave_untraced_peers_byte_identical() {
     let mut v1_plain = lite_serve::Client::connect(srv_plain_a.local_addr()).expect("connect");
     let mut v1_traced = lite_serve::Client::connect(srv_traced.local_addr()).expect("connect");
     let data_v1 = AppId::Sort.dataset(SizeTier::Valid);
-    let from_plain =
-        v1_plain.recommend(AppId::Sort, &data_v1, &cluster_name, 1, 9).expect("v1 recommend");
+    let from_plain = recommend_doc(&mut v1_plain, AppId::Sort, &data_v1, &cluster_name, 1, 9, None);
     let from_traced =
-        v1_traced.recommend(AppId::Sort, &data_v1, &cluster_name, 1, 9).expect("v1 recommend");
+        recommend_doc(&mut v1_traced, AppId::Sort, &data_v1, &cluster_name, 1, 9, None);
     assert_eq!(from_plain.render(), from_traced.render(), "v1 peer must be served unchanged");
     assert!(from_traced.get("t").is_none());
     assert!(from_traced.get("v").is_none());
@@ -151,12 +174,10 @@ fn trace_header_and_traced_servers_leave_untraced_peers_byte_identical() {
     // A traced v2 peer gets its id echoed and its request captured.
     let mut v2 = lite_serve::Client::connect(srv_traced.local_addr()).expect("connect");
     assert_eq!(v2.negotiate().expect("hello"), 2);
-    let resp = v2
-        .recommend_traced(AppId::KMeans, &data, &cluster_name, 2, 11, 42)
-        .expect("traced recommend");
+    let resp = recommend_doc(&mut v2, AppId::KMeans, &data, &cluster_name, 2, 11, Some(42));
     assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
     assert_eq!(resp.get("t").and_then(Json::as_u64), Some(42));
-    let tail = v2.tailtrace().expect("tailtrace");
+    let tail = v2.request_op(OpCode::Tailtrace, Vec::new()).expect("tailtrace");
     assert_eq!(tail.get("ok").and_then(Json::as_bool), Some(true));
     assert!(tail.get("completed").and_then(Json::as_u64).unwrap_or(0) >= 1);
     let exemplars = tail.get("exemplars").and_then(Json::as_arr).expect("exemplars");

@@ -75,8 +75,14 @@ fn main() {
             })
         })
         .collect();
-    let mut tcp = lite_repro::serve::Client::connect(server.local_addr()).expect("connect");
-    println!("TCP ping: serving model version {}", tcp.ping().expect("ping"));
+    let mut tcp =
+        lite_repro::serve::ClientBuilder::new().connect(server.local_addr()).expect("connect");
+    let lite_repro::serve::Response::Pong { version: pinged, .. } =
+        tcp.call(&lite_repro::serve::Request::Ping).expect("ping")
+    else {
+        panic!("ping must answer pong")
+    };
+    println!("TCP ping: serving model version {pinged}");
 
     // Feedback loop: execute recommendations and report them back until
     // the background updater publishes a new version.

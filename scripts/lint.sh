@@ -30,6 +30,10 @@
 #      list, and every canonical name must be registered. Burn-rate
 #      alerting keys on `serve.slo.alert`; a renamed gauge would mute
 #      the alert without failing any test.
+#   7. The sharded-serving metric namespace is closed the same way: every
+#      series under `serve.shard.` must match the canonical list, and
+#      every canonical name must be registered. The v3 loadtest gate and
+#      the inline fast-path accounting key on these families.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -118,6 +122,21 @@ if [ "$registered_slo" != "$canonical_slo" ]; then
     echo "lint: profiling/SLO metric series diverge from the canonical list"
     echo "      (update scripts/lint.sh rule 6 together with any obs.prof.*/serve.slo.* rename):"
     diff <(echo "$canonical_slo") <(echo "$registered_slo") | sed 's/^/  /' || true
+    fail=1
+fi
+
+# -- 7. sharded-serving metric namespace is closed --------------------------
+canonical_shard='serve.shard.count
+serve.shard.inline
+serve.shard.requests
+serve.shard.resp_hits
+serve.shard.resp_misses'
+registered_shard=$(grep -rhoE '\.(counter|gauge|histogram)\("serve\.shard\.[^"]*"' \
+    crates --include='*.rs' | sed -E 's/.*"([^"]+)"/\1/' | sort -u)
+if [ "$registered_shard" != "$canonical_shard" ]; then
+    echo "lint: sharded-serving metric series diverge from the canonical list"
+    echo "      (update scripts/lint.sh rule 7 together with any serve.shard.* rename):"
+    diff <(echo "$canonical_shard") <(echo "$registered_shard") | sed 's/^/  /' || true
     fail=1
 fi
 

@@ -44,7 +44,7 @@ echo "==> benchdiff gates (self-compare clean; seeded regression caught)"
 # against itself must be clean, and a seeded throughput collapse must
 # exit non-zero — otherwise regressions would sail through CI silently.
 cargo build --release -q -p benchdiff
-bd=target/release/benchdiff
+bd="${CARGO_TARGET_DIR:-target}/release/benchdiff"
 manifest=results/serve_loadtest.manifest.jsonl
 if [ -e "$manifest" ]; then
     "$bd" "$manifest" "$manifest" > /dev/null
@@ -59,6 +59,21 @@ if [ -e "$manifest" ]; then
 else
     echo "note: $manifest missing — run 'make loadtest' to enable the benchdiff gate"
 fi
+
+echo "==> protocol v3 smoke + steady-p99 gate vs committed v2 baseline"
+# Quick v3 loadtest (binary wire, pipelining, sharded dispatch, legacy
+# v1/v2 sanity) into a throwaway results dir, then diff against the
+# frozen pre-v3 baseline. The wide tolerance neutralizes throughput
+# comparisons (quick mode serves a fraction of the full run); the strict
+# per-metric rule is the gate: steady-state p99 must never exceed the
+# v2 baseline's.
+v3_results=$(mktemp -d)
+LITE_BENCH_QUICK=1 LITE_BENCH_RESULTS="$v3_results" \
+    cargo run --release -q -p lite-bench --bin serve_loadtest
+"$bd" --tolerance 100 --rule steady_p99_ms=lower:0 \
+    results/serve_loadtest_v2_baseline.manifest.jsonl \
+    "$v3_results/serve_loadtest.manifest.jsonl"
+rm -rf "$v3_results"
 
 echo "==> rag smoke (index recall/latency/serde gates)"
 # Quick ANN index build: recall@10 >= 0.95 vs the brute-force oracle,
