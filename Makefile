@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the full pre-merge gate.
 
-.PHONY: verify fmt lint build test bench quick loadtest chaos scrape tail demo analyze rag prof benchdiff
+.PHONY: verify fmt lint build test bench quick loadtest chaos scrape tail demo analyze rag prof benchdiff lsp
 
 verify:
 	./scripts/verify.sh
@@ -51,11 +51,19 @@ scrape:
 tail:
 	cargo run --release -p lite-bench --bin tail_forensics
 
-# Static vs dynamic cold-start extraction: wall-time and StageCode
-# equivalence across all 15 workloads; manifest goes to
+# Static vs dynamic cold-start extraction (plus the incremental
+# re-analysis latency section): wall-time, StageCode equivalence and the
+# editor-loop p99 budget across all 15 workloads; manifest goes to
 # results/analyze_bench.manifest.jsonl.
 analyze:
 	cargo run --release -p lite-bench --bin analyze_bench
+
+# Build the LSP server binary and run its scripted stdio session test.
+# Wire the built binary into an editor as a language server command:
+# target/release/lite-lsp (stdio transport).
+lsp:
+	cargo build --release -p lite-lsp
+	LITE_LSP_QUICK=1 cargo test --release -q -p lite-lsp --test session
 
 # ANN retrieval benchmark: 120k-point index recall/latency/serde gates,
 # then the leave-one-app-out cold-start head-to-head (zero-execution RAG

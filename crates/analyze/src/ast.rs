@@ -218,8 +218,15 @@ impl Program {
 
     /// Erase every span (for reparse-equality checks).
     pub fn zero_spans(&mut self) {
+        self.map_spans(&mut |s| *s = Span::default());
+    }
+
+    /// Apply `f` to every span in the program (statement spans included).
+    /// This is the one span walker: `zero_spans` erases through it, and
+    /// incremental re-analysis rebases chunk-relative spans through it.
+    pub fn map_spans(&mut self, f: &mut impl FnMut(&mut Span)) {
         for s in &mut self.stmts {
-            zero_stmt(s);
+            map_stmt_spans(s, f);
         }
     }
 }
@@ -433,89 +440,89 @@ fn print_recv(e: &Expr, out: &mut String) {
     }
 }
 
-fn zero_stmt(s: &mut Stmt) {
+fn map_stmt_spans(s: &mut Stmt, f: &mut impl FnMut(&mut Span)) {
     match s {
         Stmt::Val { value, span, .. } => {
-            *span = Span::default();
-            zero_expr(value);
+            f(span);
+            map_expr_spans(value, f);
         }
-        Stmt::Expr(e) => zero_expr(e),
+        Stmt::Expr(e) => map_expr_spans(e, f),
     }
 }
 
-fn zero_cases(cases: &mut [Case]) {
+fn map_case_spans(cases: &mut [Case], f: &mut impl FnMut(&mut Span)) {
     for c in cases {
-        zero_expr(&mut c.body);
+        map_expr_spans(&mut c.body, f);
     }
 }
 
-fn zero_expr(e: &mut Expr) {
+fn map_expr_spans(e: &mut Expr, f: &mut impl FnMut(&mut Span)) {
     match e {
         Expr::Ident(_, s)
         | Expr::Num(_, s)
         | Expr::Str(_, s)
         | Expr::Interp(_, s)
         | Expr::Char(_, s)
-        | Expr::Under(s) => *s = Span::default(),
+        | Expr::Under(s) => f(s),
         Expr::New { args, span, .. } => {
-            *span = Span::default();
+            f(span);
             if let Some(args) = args {
                 for a in args {
-                    zero_expr(&mut a.value);
+                    map_expr_spans(&mut a.value, f);
                 }
             }
         }
         Expr::Field { recv, span, .. } => {
-            *span = Span::default();
-            zero_expr(recv);
+            f(span);
+            map_expr_spans(recv, f);
         }
         Expr::Method { recv, args, span, .. } => {
-            *span = Span::default();
-            zero_expr(recv);
+            f(span);
+            map_expr_spans(recv, f);
             for a in args {
-                zero_expr(&mut a.value);
+                map_expr_spans(&mut a.value, f);
             }
         }
-        Expr::Apply { f, args, span } => {
-            *span = Span::default();
-            zero_expr(f);
+        Expr::Apply { f: callee, args, span } => {
+            f(span);
+            map_expr_spans(callee, f);
             for a in args {
-                zero_expr(&mut a.value);
+                map_expr_spans(&mut a.value, f);
             }
         }
         Expr::Lambda { body, span, .. } => {
-            *span = Span::default();
-            zero_expr(body);
+            f(span);
+            map_expr_spans(body, f);
         }
         Expr::Cases(cs, s) => {
-            *s = Span::default();
-            zero_cases(cs);
+            f(s);
+            map_case_spans(cs, f);
         }
         Expr::Block(stmts, s) => {
-            *s = Span::default();
+            f(s);
             for st in stmts {
-                zero_stmt(st);
+                map_stmt_spans(st, f);
             }
         }
         Expr::Tuple(es, s) => {
-            *s = Span::default();
+            f(s);
             for x in es {
-                zero_expr(x);
+                map_expr_spans(x, f);
             }
         }
         Expr::Binary { lhs, rhs, span, .. } => {
-            *span = Span::default();
-            zero_expr(lhs);
-            zero_expr(rhs);
+            f(span);
+            map_expr_spans(lhs, f);
+            map_expr_spans(rhs, f);
         }
         Expr::Unary { expr, span, .. } => {
-            *span = Span::default();
-            zero_expr(expr);
+            f(span);
+            map_expr_spans(expr, f);
         }
         Expr::Match { scrutinee, cases, span } => {
-            *span = Span::default();
-            zero_expr(scrutinee);
-            zero_cases(cases);
+            f(span);
+            map_expr_spans(scrutinee, f);
+            map_case_spans(cases, f);
         }
     }
 }

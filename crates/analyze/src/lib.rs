@@ -1,5 +1,5 @@
 //! lite-analyze: static stage-code analysis for the Scala-like workload
-//! subset.
+//! subset — batch extraction, and the interactive layers built on it.
 //!
 //! LITE's cold-start step (paper §III-B, step 1) runs an application once
 //! on the smallest dataset to harvest stage templates, operator DAGs and
@@ -19,19 +19,37 @@
 //!   workloads;
 //! * [`lint`] — five span-accurate semantic lints for tuning-relevant
 //!   anti-patterns.
+//!
+//! On top of the batch pipeline sit the interactive layers that power the
+//! `lite-lsp` editor server:
+//!
+//! * [`fix`] — machine-applicable [`Fix`]es for the fixable lints
+//!   (insert `.cache()`, drop single-use caches, `map`→`mapValues`),
+//!   applied as AST rewrites through the canonical printer and proven
+//!   lineage-safe on the dataflow graph;
+//! * [`incremental`] — [`DocAnalyzer`]: statement-level memoized
+//!   re-analysis for editor-latency updates, surfacing parse failures as
+//!   `syntax-error` diagnostics instead of hard errors
+//!   ([`analyze_source`] is the one-shot form).
 
 pub mod ast;
 pub mod dataflow;
 pub mod extract;
+pub mod fix;
+pub mod incremental;
 pub mod lex;
 pub mod lint;
 pub mod model;
 pub mod parse;
 
 pub use extract::{extract_stages, AnalyzeError, ExtractOptions, Extraction, StageTemplate};
+pub use fix::{apply_fixes, plan_fixes, Fix, FixKind, FixOutcome};
+pub use incremental::{analyze_source, Analysis, DocAnalyzer};
 pub use lint::{run_lints, Diagnostic};
 
 /// Convenience: lint source text directly (parse + dataflow + rules).
+#[deprecated(note = "use `analyze_source`, which reports parse failures as \
+            span-carrying `syntax-error` diagnostics instead of bailing")]
 pub fn lint_source(source: &str) -> Result<Vec<Diagnostic>, parse::ParseError> {
     let prog = parse::parse(source)?;
     Ok(lint::run_lints(&dataflow::analyze(&prog)))

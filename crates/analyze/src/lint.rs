@@ -33,6 +33,10 @@ pub const COLLECT_UNREDUCED: &str = "collect-unreduced";
 pub const PARTITIONER_LOSS: &str = "partitioner-loss";
 /// R5: `cache()` on an RDD only ever consumed once.
 pub const SINGLE_USE_CACHE: &str = "single-use-cache";
+/// A chunk of the document that failed to parse (emitted by incremental
+/// analysis, never by [`run_lints`] — the dataflow pass only sees code
+/// that parsed).
+pub const SYNTAX_ERROR: &str = "syntax-error";
 
 /// Run every rule; diagnostics come out grouped by rule, then in node
 /// order within a rule.

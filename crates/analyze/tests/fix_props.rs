@@ -1,0 +1,316 @@
+//! Property tests for the auto-fix engine and incremental re-analysis.
+//!
+//! The generator here is the violation-seeding sibling of the one in
+//! `ast_props.rs`: the same xorshift64* seed-driven style, but instead of
+//! arbitrary printable ASTs it emits *realistic Spark pipelines* — one
+//! prelude plus independent chain groups, each group either clean or
+//! seeded with exactly one lint violation (all five rules covered, plus
+//! the two-pass cache cascade). Over that corpus:
+//!
+//! 1. **Convergence** — `apply_fixes` reaches its fixpoint in ≤ 2
+//!    applying passes (the cascade group needs exactly 2), and the fixed
+//!    output is itself a fixpoint (re-running applies nothing).
+//! 2. **Soundness** — every individually applied fix yields output that
+//!    re-parses, and strictly shrinks the diagnostic count of the rule it
+//!    claims to fix; unfixable rules (`redundant-shuffle`,
+//!    `collect-unreduced`) survive fixing byte-for-byte in count.
+//! 3. **Edit stability** — pretty-print → parse round-trips after fixes,
+//!    and `DocAnalyzer` equals a from-scratch parse (spans included)
+//!    across random single-edit sequences, reparsing at most the edited
+//!    chunk.
+
+use lite_analyze::dataflow::analyze;
+use lite_analyze::fix::{apply_fix, apply_fixes, plan_fixes};
+use lite_analyze::lint::{
+    self, COLLECT_UNREDUCED, PARTITIONER_LOSS, REDUNDANT_SHUFFLE, SINGLE_USE_CACHE, SYNTAX_ERROR,
+    UNCACHED_REUSE,
+};
+use lite_analyze::parse::parse;
+use lite_analyze::DocAnalyzer;
+use proptest::prelude::*;
+
+/// Deterministic seed-driven source of choices (xorshift64*).
+struct Gen {
+    s: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen { s: seed | 1 }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.s;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.s = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Narrow, lint-silent transforms for chain bodies.
+fn transform(g: &mut Gen) -> &'static str {
+    const T: [&str; 5] =
+        [".map(x => x)", ".filter(f)", ".distinct()", ".flatMap(t => t)", ".sample(false, h)"];
+    T[g.pick(T.len())]
+}
+
+/// Job-triggering consumers that never trip `collect-unreduced`.
+fn action(g: &mut Gen, var: &str, out: &str) -> String {
+    match g.pick(4) {
+        0 => format!("val {out} = {var}.count\n"),
+        1 => format!("val {out} = {var}.first\n"),
+        2 => format!("val {out} = {var}.take(10)\n"),
+        _ => format!("{var}.foreach(x => println(x))\n"),
+    }
+}
+
+fn chain(g: &mut Gen) -> String {
+    let mut s = String::from("sc.textFile(p)");
+    for _ in 0..1 + g.pick(3) {
+        s.push_str(transform(g));
+    }
+    s
+}
+
+/// Strictly non-combining chain for the R2/R3 seeds: `filter`, `sample`
+/// and `distinct` count as reducing (or wide), which would legitimately
+/// silence those rules.
+fn raw_chain(g: &mut Gen) -> String {
+    let mut s = String::from("sc.textFile(p)");
+    for _ in 0..1 + g.pick(3) {
+        s.push_str([".map(x => x)", ".flatMap(t => t)"][g.pick(2)]);
+    }
+    s
+}
+
+/// One independent pipeline group; `i` uniquifies its bindings. Returns
+/// the source lines plus the rules the group seeds.
+fn group(g: &mut Gen, i: usize) -> (String, Vec<&'static str>) {
+    let v = format!("g{i}");
+    match g.pick(8) {
+        // Clean: one consumer, no cache.
+        0 => {
+            let mut s = format!("val {v} = {}\n", chain(g));
+            s.push_str(&action(g, &v, &format!("r{i}")));
+            (s, vec![])
+        }
+        // Clean: a justified cache (two consumers).
+        1 => {
+            let mut s = format!("val {v} = {}.cache()\n", chain(g));
+            s.push_str(&action(g, &v, &format!("r{i}a")));
+            s.push_str(&action(g, &v, &format!("r{i}b")));
+            (s, vec![])
+        }
+        // R1: multi-job reuse without a cache.
+        2 => {
+            let mut s = format!("val {v} = {}\n", chain(g));
+            for j in 0..2 + g.pick(2) {
+                s.push_str(&action(g, &v, &format!("r{i}x{j}")));
+            }
+            (s, vec![UNCACHED_REUSE])
+        }
+        // R5: cache with a single consumer.
+        3 => {
+            let mut s = format!("val {v} = {}.cache()\n", chain(g));
+            s.push_str(&action(g, &v, &format!("r{i}")));
+            (s, vec![SINGLE_USE_CACHE])
+        }
+        // R4: key-preserving map dropping a partitioner (fixable shape).
+        4 => {
+            let s = format!(
+                "val {v} = sc.textFile(p).keyBy(f).partitionBy(h)\n\
+                 val {v}m = {v}.map {{ case (k, w) => (k, f(w)) }}\n\
+                 val r{i} = {v}m.reduceByKey(f).count\n"
+            );
+            (s, vec![PARTITIONER_LOSS])
+        }
+        // R2: groupByKey over raw lineage (not mechanically fixable).
+        5 => {
+            let s = format!(
+                "val {v} = {}.groupByKey().mapValues(w => w)\nval r{i} = {v}.count\n",
+                raw_chain(g)
+            );
+            (s, vec![REDUNDANT_SHUFFLE])
+        }
+        // R3: collect of unreduced data (not mechanically fixable).
+        6 => (format!("val {v} = {}.collect()\n", raw_chain(g)), vec![COLLECT_UNREDUCED]),
+        // Two-pass cascade: caching the hot child starves the parent's
+        // cache, which the second pass then drops.
+        _ => {
+            let mut s = format!("val {v} = {}.cache()\n", chain(g));
+            s.push_str(&format!("val {v}c = {v}{}\n", transform(g)));
+            s.push_str(&action(g, &format!("{v}c"), &format!("r{i}a")));
+            s.push_str(&action(g, &format!("{v}c"), &format!("r{i}b")));
+            (s, vec![UNCACHED_REUSE, SINGLE_USE_CACHE])
+        }
+    }
+}
+
+/// A full seeded program: prelude + 1–5 independent groups.
+fn pipeline_program(seed: u64) -> (String, Vec<&'static str>) {
+    let mut g = Gen::new(seed);
+    let mut src = String::from("val sc = new SparkContext(sparkConf)\n");
+    let mut seeded = Vec::new();
+    for i in 0..1 + g.pick(5) {
+        let (s, rules) = group(&mut g, i);
+        src.push_str(&s);
+        seeded.extend(rules);
+    }
+    (src, seeded)
+}
+
+const FIXABLE: [&str; 3] = [UNCACHED_REUSE, SINGLE_USE_CACHE, PARTITIONER_LOSS];
+
+fn rule_count(diags: &[lint::Diagnostic], rule: &str) -> usize {
+    diags.iter().filter(|d| d.rule == rule).count()
+}
+
+proptest! {
+    // Convergence: the engine reaches its fixpoint in ≤ 2 applying
+    // passes, no fixable diagnostic survives, and running the engine on
+    // its own output is a no-op (the fixpoint is stable).
+    #[test]
+    fn fixes_converge_in_at_most_two_passes(seed in any::<u64>()) {
+        let (src, seeded) = pipeline_program(seed);
+        let out = apply_fixes(&src)
+            .unwrap_or_else(|e| panic!("apply_fixes failed: {e}\n{src}"));
+        prop_assert!(out.passes <= 2, "{} passes on:\n{src}", out.passes);
+        let fixed_prog = parse(&out.source)
+            .unwrap_or_else(|e| panic!("fixed source failed to parse: {e}\n{}", out.source));
+        let residual = plan_fixes(&fixed_prog, &analyze(&fixed_prog));
+        prop_assert!(residual.is_empty(), "fixable diagnostics survived:\n{}", out.source);
+        // Idempotence.
+        let again = apply_fixes(&out.source)
+            .unwrap_or_else(|e| panic!("re-fix failed: {e}\n{}", out.source));
+        prop_assert_eq!(again.passes, 0);
+        prop_assert_eq!(&again.source, &out.source);
+        // A seeded fixable violation implies work was done.
+        if seeded.iter().any(|r| FIXABLE.contains(r)) {
+            prop_assert!(!out.applied.is_empty(), "seeded violations but no fix on:\n{src}");
+        }
+    }
+
+    // Soundness of each individual fix: output re-parses and the fixed
+    // rule fires strictly fewer times; unfixable rules are untouched by
+    // the full fix run.
+    #[test]
+    fn each_fix_is_individually_sound(seed in any::<u64>()) {
+        let (src, _) = pipeline_program(seed);
+        let prog = parse(&src).expect("generated program parses");
+        let flow = analyze(&prog);
+        let before = lint::run_lints(&flow);
+        for f in plan_fixes(&prog, &flow) {
+            let mut patched = prog.clone();
+            prop_assert!(apply_fix(&mut patched, &f), "planned fix failed to land: {f:?}");
+            let printed = patched.pretty();
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("fix output failed to parse: {e}\n{printed}"));
+            let after = lint::run_lints(&analyze(&reparsed));
+            prop_assert!(
+                rule_count(&after, f.rule) < rule_count(&before, f.rule),
+                "{} did not shrink after {f:?} on:\n{printed}", f.rule
+            );
+        }
+        // Unfixable rules survive the full run in equal number.
+        let out = apply_fixes(&src).expect("apply_fixes");
+        for rule in [REDUNDANT_SHUFFLE, COLLECT_UNREDUCED] {
+            prop_assert_eq!(
+                rule_count(&out.remaining, rule),
+                rule_count(&before, rule),
+                "{} count changed across fixing", rule
+            );
+        }
+    }
+
+    // Pretty-print → parse stability after fixes: printing the fixed
+    // program and reparsing is the identity up to spans.
+    #[test]
+    fn fixed_sources_round_trip_through_pretty_print(seed in any::<u64>()) {
+        let (src, _) = pipeline_program(seed);
+        let out = apply_fixes(&src).expect("apply_fixes");
+        let mut first = parse(&out.source).expect("fixed source parses");
+        let printed = first.pretty();
+        let mut second = parse(&printed)
+            .unwrap_or_else(|e| panic!("round trip failed to parse: {e}\n{printed}"));
+        first.zero_spans();
+        second.zero_spans();
+        prop_assert_eq!(first, second, "round trip diverged on:\n{}", printed);
+    }
+
+    // Incremental analysis equals a from-scratch parse — spans included —
+    // across a random edit sequence, and a single-line replacement
+    // reparses at most one chunk.
+    #[test]
+    fn incremental_analysis_is_edit_stable(seed in any::<u64>()) {
+        let (src, _) = pipeline_program(seed);
+        let mut g = Gen::new(seed ^ 0xed17);
+        let mut doc = DocAnalyzer::new();
+        let cold = doc.update(&src);
+        prop_assert_eq!(&cold.program, &parse(&src).expect("full parse"));
+
+        let mut text = src;
+        for _ in 0..4 {
+            let lines: Vec<&str> = text.lines().collect();
+            let i = g.pick(lines.len());
+            let mut next: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+            match g.pick(4) {
+                // Replace a line in place (whitespace-only body change).
+                0 => next[i] = format!("{}  ", lines[i]),
+                // Indent a line (exercises first-line column rebasing).
+                1 => next[i] = format!("  {}", lines[i]),
+                // Duplicate a line under a fresh binding.
+                2 => {
+                    let dup = lines[i].to_string();
+                    next.insert(i + 1, dup);
+                }
+                // Append a fresh self-contained statement.
+                _ => next.push(format!("val zz{} = sc.textFile(q).count", g.pick(1000))),
+            }
+            text = next.join("\n");
+            text.push('\n');
+            let full = parse(&text).expect("edited text parses");
+            let inc = doc.update(&text);
+            prop_assert_eq!(
+                &inc.program, &full,
+                "incremental diverged from full parse on:\n{}", text
+            );
+            prop_assert!(inc.diagnostics.iter().all(|d| d.rule != SYNTAX_ERROR));
+        }
+
+        // A single in-place line replacement touches at most one chunk.
+        let lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+        let i = g.pick(lines.len());
+        let mut next = lines.clone();
+        next[i] = next[i].replace("sc.textFile(p)", "sc.textFile(p2)");
+        let edited = format!("{}\n", next.join("\n"));
+        let out = doc.update(&edited);
+        prop_assert!(
+            out.stats.reparsed <= 1,
+            "{} chunks reparsed after a one-line edit", out.stats.reparsed
+        );
+        prop_assert_eq!(&out.program, &parse(&edited).expect("full parse"));
+    }
+
+    // Breaking one statement must not suppress diagnostics elsewhere:
+    // the broken chunk degrades to one syntax-error diagnostic and every
+    // other group still parses and lints.
+    #[test]
+    fn broken_chunks_degrade_locally(seed in any::<u64>()) {
+        let (src, _) = pipeline_program(seed);
+        let mut doc = DocAnalyzer::new();
+        let intact = doc.update(&src);
+        let broken = format!("{src}val oops = sc.textFile(\n");
+        let out = doc.update(&broken);
+        prop_assert_eq!(rule_count(&out.diagnostics, SYNTAX_ERROR), 1);
+        let lints_only =
+            |ds: &[lint::Diagnostic]| ds.iter().filter(|d| d.rule != SYNTAX_ERROR).count();
+        prop_assert_eq!(lints_only(&out.diagnostics), lints_only(&intact.diagnostics));
+        prop_assert_eq!(out.program.stmts.len(), intact.program.stmts.len());
+    }
+}

@@ -1,0 +1,36 @@
+//! `lite-lsp` binary: stdio JSON-RPC loop around [`lite_lsp::LspServer`].
+//!
+//! Stdout carries only framed protocol messages (written through
+//! [`lite_lsp::write_message`], never `println!` — the workspace denies
+//! `print_stdout` and the protocol would corrupt anyway). Transport
+//! errors go to stderr and terminate the process with a nonzero status;
+//! a clean `exit` notification (or EOF) terminates with zero.
+
+use std::io::{self, BufReader, Write};
+
+fn main() {
+    let mut server = lite_lsp::LspServer::default();
+    let stdin = io::stdin();
+    let mut reader = BufReader::new(stdin.lock());
+    let stdout = io::stdout();
+    let mut writer = stdout.lock();
+    loop {
+        let msg = match lite_lsp::read_message(&mut reader) {
+            Ok(Some(m)) => m,
+            Ok(None) => break, // EOF: client went away
+            Err(e) => {
+                let _ = writeln!(io::stderr(), "lite-lsp: transport error: {e}");
+                std::process::exit(1);
+            }
+        };
+        for out in server.handle(&msg) {
+            if let Err(e) = lite_lsp::write_message(&mut writer, &out) {
+                let _ = writeln!(io::stderr(), "lite-lsp: write failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        if server.exited() {
+            break;
+        }
+    }
+}

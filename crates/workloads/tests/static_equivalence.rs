@@ -52,13 +52,48 @@ fn static_token_streams_match_dynamic_after_tokenization() {
 #[test]
 fn lints_stay_silent_on_the_clean_corpus() {
     for app in AppId::all() {
-        let diags = lite_analyze::lint_source(app.main_source())
-            .unwrap_or_else(|e| panic!("{app}: parse failed: {e}"));
+        let diags = lite_analyze::analyze_source(app.main_source()).diagnostics;
         assert!(
             diags.is_empty(),
             "{app}: lints fired on clean corpus: {:?}",
             diags.iter().map(|d| (d.rule, &d.message)).collect::<Vec<_>>()
         );
+        // The deprecated Result-returning shim must agree.
+        #[allow(deprecated)]
+        let shim = lite_analyze::lint_source(app.main_source())
+            .unwrap_or_else(|e| panic!("{app}: parse failed: {e}"));
+        assert_eq!(shim, diags, "{app}: lint_source shim diverged from analyze_source");
+    }
+}
+
+#[test]
+fn auto_fix_is_a_no_op_on_the_clean_corpus() {
+    // Zero diagnostics must mean zero planned fixes and zero fix passes;
+    // a fix engine that "improves" clean code would be rewriting
+    // semantics, not resolving lints.
+    for app in AppId::all() {
+        let out = lite_analyze::apply_fixes(app.main_source())
+            .unwrap_or_else(|e| panic!("{app}: fix run failed: {e}"));
+        assert_eq!(out.passes, 0, "{app}: auto-fix touched a clean program");
+        assert!(out.applied.is_empty());
+        assert!(out.remaining.is_empty());
+    }
+}
+
+#[test]
+fn incremental_analysis_matches_from_scratch_on_the_corpus() {
+    // Cold and warm DocAnalyzer updates must reproduce the from-scratch
+    // parse exactly — spans included — on every real main source.
+    for app in AppId::all() {
+        let src = app.main_source();
+        let full =
+            lite_analyze::parse::parse(src).unwrap_or_else(|e| panic!("{app}: parse failed: {e}"));
+        let mut doc = lite_analyze::DocAnalyzer::new();
+        let cold = doc.update(src);
+        assert_eq!(cold.program, full, "{app}: cold incremental parse diverged");
+        let warm = doc.update(src);
+        assert_eq!(warm.program, full, "{app}: warm incremental parse diverged");
+        assert_eq!(warm.stats.reparsed, 0, "{app}: warm update reparsed a chunk");
     }
 }
 

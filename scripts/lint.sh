@@ -34,8 +34,30 @@
 #      series under `serve.shard.` must match the canonical list, and
 #      every canonical name must be registered. The v3 loadtest gate and
 #      the inline fast-path accounting key on these families.
+#   8. The interactive-analysis metric namespace is closed the same way:
+#      every series under `analyze.fix.` or `lsp.` must match the
+#      canonical list, and every canonical name must be registered. The
+#      editor surface is driven by external clients, so a renamed series
+#      breaks dashboards without failing any Rust test.
+#
+# `scripts/lint.sh --selftest` negative-tests the namespace gate: it
+# seeds a source file registering a bogus `lsp.*` series and asserts the
+# gate flags it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--selftest" ]; then
+    seeded=crates/lsp/src/__lint_selftest.rs
+    trap 'rm -f "$seeded"' EXIT
+    printf '// lint.sh selftest seed — never committed\nfn _seed(r: &lite_obs::Registry) { r.counter("lsp.bogus_series").inc(); }\n' > "$seeded"
+    if "$0" > /dev/null 2>&1; then
+        echo "lint selftest: FAILED — seeded lsp.bogus_series was not flagged"
+        exit 1
+    fi
+    rm -f "$seeded"
+    echo "lint selftest: OK (seeded namespace violation flagged)"
+    exit 0
+fi
 
 fail=0
 
@@ -137,6 +159,25 @@ if [ "$registered_shard" != "$canonical_shard" ]; then
     echo "lint: sharded-serving metric series diverge from the canonical list"
     echo "      (update scripts/lint.sh rule 7 together with any serve.shard.* rename):"
     diff <(echo "$canonical_shard") <(echo "$registered_shard") | sed 's/^/  /' || true
+    fail=1
+fi
+
+# -- 8. interactive-analysis metric namespace is closed ---------------------
+canonical_interactive='analyze.fix.applied
+analyze.fix.passes
+analyze.fix.planned
+analyze.fix.rejected
+lsp.code_actions
+lsp.diagnostics_published
+lsp.hover
+lsp.requests
+lsp.update_us'
+registered_interactive=$(grep -rhoE '\.(counter|gauge|histogram)\("(analyze\.fix\.|lsp\.)[^"]*"' \
+    crates --include='*.rs' | sed -E 's/.*"([^"]+)"/\1/' | sort -u)
+if [ "$registered_interactive" != "$canonical_interactive" ]; then
+    echo "lint: interactive-analysis metric series diverge from the canonical list"
+    echo "      (update scripts/lint.sh rule 8 together with any analyze.fix.*/lsp.* rename):"
+    diff <(echo "$canonical_interactive") <(echo "$registered_interactive") | sed 's/^/  /' || true
     fail=1
 fi
 

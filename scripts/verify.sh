@@ -4,8 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> scripts/lint.sh (workspace invariant gate)"
+echo "==> scripts/lint.sh (workspace invariant gate + selftest)"
 ./scripts/lint.sh
+./scripts/lint.sh --selftest
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -74,6 +75,31 @@ LITE_BENCH_QUICK=1 LITE_BENCH_RESULTS="$v3_results" \
     results/serve_loadtest_v2_baseline.manifest.jsonl \
     "$v3_results/serve_loadtest.manifest.jsonl"
 rm -rf "$v3_results"
+
+echo "==> lite-lsp scripted session smoke (stdio, real binary)"
+# End-to-end editor session over stdio: a document seeded with all five
+# lints publishes every rule, the fix-all code action leaves only the
+# non-mechanically-fixable diagnostics, hover returns a NECS-predicted
+# runtime, a broken edit degrades to a syntax-error diagnostic, and the
+# server exits cleanly. LITE_LSP_QUICK keeps hover's scorer training small.
+LITE_LSP_QUICK=1 cargo test --release -q -p lite-lsp --test session
+
+echo "==> incremental re-analysis latency gate (p99 < 5 ms + benchdiff)"
+# Quick editor-loop latency run into a throwaway results dir; the binary
+# hard-asserts incremental p99 < 5 ms, then benchdiff guards drift against
+# the committed manifest (wide tolerance neutralizes the cold-start
+# timing fields; the strict rule is the incremental p99 budget).
+if [ -e results/analyze_bench.manifest.jsonl ]; then
+    an_results=$(mktemp -d)
+    LITE_BENCH_QUICK=1 LITE_BENCH_RESULTS="$an_results" \
+        cargo run --release -q -p lite-bench --bin analyze_bench > /dev/null
+    "$bd" --tolerance 1000 --rule incremental_p99_ms=lower:400 \
+        results/analyze_bench.manifest.jsonl \
+        "$an_results/analyze_bench.manifest.jsonl"
+    rm -rf "$an_results"
+else
+    echo "note: results/analyze_bench.manifest.jsonl missing — run 'make analyze' to enable the gate"
+fi
 
 echo "==> rag smoke (index recall/latency/serde gates)"
 # Quick ANN index build: recall@10 >= 0.95 vs the brute-force oracle,
